@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Ablation (paper Sec. VI-B, second recommendation): for small
+ * parameter changes, prefer vkCmdPushConstants over re-writing a
+ * parameter buffer.
+ *
+ * Runs the gaussian elimination loop twice on the GTX 1050 Ti: once
+ * with per-step (n, t) delivered by push constants (the suite
+ * default) and once with a parameter buffer updated via a device copy
+ * before every step.  Also reports the push-constant limits of every
+ * registered device (paper: 256 B on the GTX 1050 Ti, 128 B on the
+ * RX 560 and both mobiles).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/mathutil.h"
+#include "common/rng.h"
+#include "common/strutil.h"
+#include "harness/report.h"
+#include "kernels/kernels.h"
+#include "spirv/builder.h"
+#include "suite/vkhelp.h"
+
+using namespace vcb;
+using suite::VkContext;
+using suite::VkKernel;
+
+namespace {
+
+constexpr uint32_t n = 128;
+
+/** gaussian_fan2 variant reading (n, t) from a storage buffer at
+ *  binding 3 instead of push constants. */
+spirv::Module
+buildFan2ParamBuffer()
+{
+    using spirv::Builder;
+    using spirv::ElemType;
+    Builder b("gaussian_fan2_parambuf", 256);
+    b.bindStorage(0, ElemType::F32);       // a
+    b.bindStorage(1, ElemType::F32, true); // m
+    b.bindStorage(2, ElemType::F32);       // b
+    b.bindStorage(3, ElemType::I32, true); // params: [0]=n, [1]=t
+
+    auto gid = b.globalIdX();
+    auto zero = b.constI(0);
+    auto one = b.constI(1);
+    auto nn = b.ldBuf(3, zero);
+    auto t = b.ldBuf(3, one);
+
+    auto rows = b.isub(b.isub(nn, one), t);
+    auto cols = b.isub(nn, t);
+    auto total = b.imul(rows, cols);
+    auto in_range = b.ult(gid, total);
+    b.ifThen(in_range, [&] {
+        auto r = b.idiv(gid, cols);
+        auto c = b.irem(gid, cols);
+        auto row = b.iadd(b.iadd(r, t), one);
+        auto col = b.iadd(c, t);
+        auto mult = b.ldBuf(1, b.iadd(b.imul(row, nn), t));
+        auto idx = b.iadd(b.imul(row, nn), col);
+        auto pivot_row = b.ldBuf(0, b.iadd(b.imul(t, nn), col));
+        auto v = b.fsub(b.ldBuf(0, idx), b.fmul(mult, pivot_row));
+        b.stBuf(0, idx, v);
+        auto fix_b = b.ieq(c, zero);
+        b.ifThen(fix_b, [&] {
+            auto bt = b.ldBuf(2, t);
+            auto brow = b.ldBuf(2, row);
+            b.stBuf(2, row, b.fsub(brow, b.fmul(mult, bt)));
+        });
+    });
+    return b.finish();
+}
+
+} // namespace
+
+int
+main()
+{
+    const sim::DeviceSpec &dev = sim::gtx1050ti();
+    std::printf("Ablation: push constants vs parameter buffer "
+                "(gaussian fan2, n=%u, %u steps, %s)\n\n",
+                n, n - 1, dev.name.c_str());
+
+    Rng rng(13);
+    std::vector<float> a(uint64_t(n) * n), bvec(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        float sum = 0;
+        for (uint32_t j = 0; j < n; ++j) {
+            a[uint64_t(i) * n + j] = rng.nextFloat(0.1f, 1.0f);
+            sum += a[uint64_t(i) * n + j];
+        }
+        a[uint64_t(i) * n + i] = sum + 1.0f;
+        bvec[i] = rng.nextFloat(0.0f, 10.0f);
+    }
+
+    // --- Variant A: push constants (plus fan1, as in the suite).
+    double push_ns = 0;
+    {
+        VkContext ctx = VkContext::create(dev);
+        VkKernel k1, k2;
+        std::string err =
+            suite::createVkKernel(ctx, kernels::buildGaussianFan1(), &k1);
+        if (err.empty())
+            err = suite::createVkKernel(ctx,
+                                        kernels::buildGaussianFan2(),
+                                        &k2);
+        VCB_ASSERT(err.empty(), "%s", err.c_str());
+        auto b_a = ctx.createDeviceBuffer(a.size() * 4);
+        auto b_m = ctx.createDeviceBuffer(a.size() * 4);
+        auto b_b = ctx.createDeviceBuffer(n * 4);
+        ctx.upload(b_a, a.data(), a.size() * 4);
+        ctx.upload(b_b, bvec.data(), n * 4);
+        auto s1 = makeDescriptorSet(ctx, k1, {{0, b_a}, {1, b_m}});
+        auto s2 = makeDescriptorSet(ctx, k2,
+                                    {{0, b_a}, {1, b_m}, {2, b_b}});
+
+        vkm::CommandBuffer cb;
+        vkm::check(vkm::allocateCommandBuffer(ctx.device, ctx.cmdPool,
+                                              &cb),
+                   "allocateCommandBuffer");
+        vkm::check(vkm::beginCommandBuffer(cb), "beginCommandBuffer");
+        for (uint32_t t = 0; t + 1 < n; ++t) {
+            uint32_t push[2] = {n, t};
+            vkm::cmdBindPipeline(cb, k1.pipeline);
+            vkm::cmdBindDescriptorSet(cb, k1.layout, 0, s1);
+            vkm::cmdPushConstants(cb, k1.layout, 0, 8, push);
+            vkm::cmdDispatch(cb, (uint32_t)ceilDiv(n - 1 - t, 256), 1,
+                             1);
+            vkm::cmdPipelineBarrier(cb);
+            vkm::cmdBindPipeline(cb, k2.pipeline);
+            vkm::cmdBindDescriptorSet(cb, k2.layout, 0, s2);
+            vkm::cmdPushConstants(cb, k2.layout, 0, 8, push);
+            vkm::cmdDispatch(
+                cb,
+                (uint32_t)ceilDiv(uint64_t(n - 1 - t) * (n - t), 256),
+                1, 1);
+            vkm::cmdPipelineBarrier(cb);
+        }
+        vkm::check(vkm::endCommandBuffer(cb), "endCommandBuffer");
+        vkm::Fence fence;
+        vkm::check(vkm::createFence(ctx.device, &fence), "createFence");
+        double t0 = ctx.now();
+        vkm::SubmitInfo si;
+        si.commandBuffers.push_back(cb);
+        vkm::check(vkm::queueSubmit(ctx.queue, {si}, fence),
+                   "queueSubmit");
+        vkm::check(vkm::waitForFences(ctx.device, {fence}),
+                   "waitForFences");
+        push_ns = ctx.now() - t0;
+    }
+
+    // --- Variant B: parameter buffer updated by a copy before every
+    //     step (what the paper warns against for small scalars).
+    double parambuf_ns = 0;
+    {
+        VkContext ctx = VkContext::create(dev);
+        VkKernel k1, k2;
+        std::string err =
+            suite::createVkKernel(ctx, kernels::buildGaussianFan1(), &k1);
+        if (err.empty())
+            err = suite::createVkKernel(ctx, buildFan2ParamBuffer(), &k2);
+        VCB_ASSERT(err.empty(), "%s", err.c_str());
+        auto b_a = ctx.createDeviceBuffer(a.size() * 4);
+        auto b_m = ctx.createDeviceBuffer(a.size() * 4);
+        auto b_b = ctx.createDeviceBuffer(n * 4);
+        ctx.upload(b_a, a.data(), a.size() * 4);
+        ctx.upload(b_b, bvec.data(), n * 4);
+        // One staged parameter block per step, copied before use.
+        auto b_params = ctx.createDeviceBuffer(8);
+        auto b_stage = ctx.createDeviceBuffer(uint64_t(n) * 8);
+        std::vector<uint32_t> stage(uint64_t(n) * 2);
+        for (uint32_t t = 0; t + 1 < n; ++t) {
+            stage[2 * t] = n;
+            stage[2 * t + 1] = t;
+        }
+        ctx.upload(b_stage, stage.data(), stage.size() * 4);
+
+        auto s1 = makeDescriptorSet(ctx, k1, {{0, b_a}, {1, b_m}});
+        auto s2 = makeDescriptorSet(
+            ctx, k2, {{0, b_a}, {1, b_m}, {2, b_b}, {3, b_params}});
+
+        vkm::CommandBuffer cb;
+        vkm::check(vkm::allocateCommandBuffer(ctx.device, ctx.cmdPool,
+                                              &cb),
+                   "allocateCommandBuffer");
+        vkm::check(vkm::beginCommandBuffer(cb), "beginCommandBuffer");
+        for (uint32_t t = 0; t + 1 < n; ++t) {
+            uint32_t push[2] = {n, t};
+            vkm::cmdBindPipeline(cb, k1.pipeline);
+            vkm::cmdBindDescriptorSet(cb, k1.layout, 0, s1);
+            vkm::cmdPushConstants(cb, k1.layout, 0, 8, push);
+            vkm::cmdDispatch(cb, (uint32_t)ceilDiv(n - 1 - t, 256), 1,
+                             1);
+            vkm::cmdPipelineBarrier(cb);
+            // Parameter delivery through a buffer copy + barrier.
+            vkm::cmdCopyBuffer(cb, b_stage, b_params,
+                               {uint64_t(t) * 8, 0, 8});
+            vkm::cmdPipelineBarrier(cb);
+            vkm::cmdBindPipeline(cb, k2.pipeline);
+            vkm::cmdBindDescriptorSet(cb, k2.layout, 0, s2);
+            vkm::cmdDispatch(
+                cb,
+                (uint32_t)ceilDiv(uint64_t(n - 1 - t) * (n - t), 256),
+                1, 1);
+            vkm::cmdPipelineBarrier(cb);
+        }
+        vkm::check(vkm::endCommandBuffer(cb), "endCommandBuffer");
+        vkm::Fence fence;
+        vkm::check(vkm::createFence(ctx.device, &fence), "createFence");
+        double t0 = ctx.now();
+        vkm::SubmitInfo si;
+        si.commandBuffers.push_back(cb);
+        vkm::check(vkm::queueSubmit(ctx.queue, {si}, fence),
+                   "queueSubmit");
+        vkm::check(vkm::waitForFences(ctx.device, {fence}),
+                   "waitForFences");
+        parambuf_ns = ctx.now() - t0;
+    }
+
+    harness::Table table({"variant", "kernel region", "vs push"});
+    table.addRow({"push constants", formatNs(push_ns), "1.00x"});
+    table.addRow({"parameter buffer + copies", formatNs(parambuf_ns),
+                  harness::fmtF(parambuf_ns / push_ns, 2) + "x"});
+    std::printf("%s\n", table.render().c_str());
+
+    std::printf("push-constant limits (paper Sec. VI-B):\n");
+    for (const auto &d : sim::deviceRegistry())
+        std::printf("  %-34s %u B\n", d.name.c_str(), d.maxPushBytes);
+    return 0;
+}

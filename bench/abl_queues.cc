@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Ablation (paper Sec. VI-B, last two recommendations): use dedicated
+ * transfer queues for large copies, and spread independent kernels
+ * over multiple compute queues.
+ *
+ * Part 1: a large upload executed on the compute queue serialised
+ * with a compute pass, vs on the transfer queue overlapped with it.
+ * Part 2: four independent nn-style kernels submitted to one compute
+ * queue vs to four compute queues (semaphores join the results).
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/mathutil.h"
+#include "common/rng.h"
+#include "common/strutil.h"
+#include "harness/report.h"
+#include "kernels/kernels.h"
+#include "suite/vkhelp.h"
+
+using namespace vcb;
+using suite::VkContext;
+using suite::VkKernel;
+
+namespace {
+
+/** A compute pass: several nn_euclid dispatches over n records. */
+void
+recordComputePass(VkContext &ctx, VkKernel &k, vkm::CommandBuffer cb,
+                  vkm::DescriptorSet set, uint32_t n, uint32_t repeats)
+{
+    vkm::check(vkm::beginCommandBuffer(cb), "beginCommandBuffer");
+    vkm::cmdBindPipeline(cb, k.pipeline);
+    vkm::cmdBindDescriptorSet(cb, k.layout, 0, set);
+    uint32_t push[3] = {n, 0x42480000u /*50.f*/, 0x42b40000u /*90.f*/};
+    vkm::cmdPushConstants(cb, k.layout, 0, 12, push);
+    for (uint32_t i = 0; i < repeats; ++i) {
+        vkm::cmdDispatch(cb, (uint32_t)ceilDiv(n, 256), 1, 1);
+        vkm::cmdPipelineBarrier(cb);
+    }
+    vkm::check(vkm::endCommandBuffer(cb), "endCommandBuffer");
+}
+
+double
+transferQueuePart(const sim::DeviceSpec &dev, bool use_transfer_queue)
+{
+    const uint32_t n = 1u << 20;
+    VkContext ctx = VkContext::create(dev);
+    VkKernel k;
+    std::string err = suite::createVkKernel(ctx, kernels::buildNnEuclid(),
+                                            &k);
+    VCB_ASSERT(err.empty(), "%s", err.c_str());
+
+    uint64_t bytes = uint64_t(n) * 4;
+    auto b_lat = ctx.createDeviceBuffer(bytes);
+    auto b_lng = ctx.createDeviceBuffer(bytes);
+    auto b_dist = ctx.createDeviceBuffer(bytes);
+    auto b_upload = ctx.createDeviceBuffer(bytes * 4); // unrelated data
+    auto staging = ctx.createHostBuffer(bytes * 4);
+    auto set = makeDescriptorSet(ctx, k,
+                                 {{0, b_lat}, {1, b_lng}, {2, b_dist}});
+
+    // Compute on the compute queue.
+    vkm::CommandBuffer compute_cb;
+    vkm::check(vkm::allocateCommandBuffer(ctx.device, ctx.cmdPool,
+                                          &compute_cb),
+               "allocateCommandBuffer");
+    recordComputePass(ctx, k, compute_cb, set, n, 8);
+
+    // The big copy, recorded separately.
+    vkm::CommandPool copy_pool;
+    vkm::check(vkm::createCommandPool(
+                   ctx.device, {use_transfer_queue ? 1u : 0u},
+                   &copy_pool),
+               "createCommandPool");
+    vkm::CommandBuffer copy_cb;
+    vkm::check(vkm::allocateCommandBuffer(ctx.device, copy_pool,
+                                          &copy_cb),
+               "allocateCommandBuffer");
+    vkm::check(vkm::beginCommandBuffer(copy_cb), "beginCommandBuffer");
+    vkm::cmdCopyBuffer(copy_cb, staging, b_upload, {0, 0, bytes * 4});
+    vkm::check(vkm::endCommandBuffer(copy_cb), "endCommandBuffer");
+
+    vkm::Queue copy_queue =
+        use_transfer_queue ? ctx.transferQueue : ctx.queue;
+
+    vkm::Fence f1, f2;
+    vkm::check(vkm::createFence(ctx.device, &f1), "createFence");
+    vkm::check(vkm::createFence(ctx.device, &f2), "createFence");
+
+    double t0 = ctx.now();
+    vkm::SubmitInfo si_copy;
+    si_copy.commandBuffers.push_back(copy_cb);
+    vkm::check(vkm::queueSubmit(copy_queue, {si_copy}, f1),
+               "queueSubmit");
+    vkm::SubmitInfo si_comp;
+    si_comp.commandBuffers.push_back(compute_cb);
+    vkm::check(vkm::queueSubmit(ctx.queue, {si_comp}, f2), "queueSubmit");
+    vkm::check(vkm::waitForFences(ctx.device, {f1, f2}),
+               "waitForFences");
+    return ctx.now() - t0;
+}
+
+double
+multiQueuePart(const sim::DeviceSpec &dev, uint32_t queues)
+{
+    const uint32_t n = 1u << 20;
+    VkContext ctx = VkContext::create(dev);
+    VkKernel k;
+    std::string err = suite::createVkKernel(ctx, kernels::buildNnEuclid(),
+                                            &k);
+    VCB_ASSERT(err.empty(), "%s", err.c_str());
+
+    // Re-create the device with the requested queue count.
+    vkm::DeviceCreateInfo dci;
+    dci.queueCreateInfos.push_back({0, queues});
+    // (ctx.device already has enough queues; just fetch more handles.)
+    std::vector<vkm::Queue> qs;
+    for (uint32_t i = 0; i < queues; ++i)
+        qs.push_back(vkm::getDeviceQueue(ctx.device, 0, i));
+
+    uint64_t bytes = uint64_t(n) * 4;
+    std::vector<vkm::Fence> fences;
+    std::vector<vkm::CommandBuffer> cbs;
+    for (uint32_t i = 0; i < 4; ++i) {
+        auto b_lat = ctx.createDeviceBuffer(bytes);
+        auto b_lng = ctx.createDeviceBuffer(bytes);
+        auto b_dist = ctx.createDeviceBuffer(bytes);
+        auto set = makeDescriptorSet(
+            ctx, k, {{0, b_lat}, {1, b_lng}, {2, b_dist}});
+        vkm::CommandBuffer cb;
+        vkm::check(vkm::allocateCommandBuffer(ctx.device, ctx.cmdPool,
+                                              &cb),
+                   "allocateCommandBuffer");
+        recordComputePass(ctx, k, cb, set, n, 4);
+        cbs.push_back(cb);
+        vkm::Fence f;
+        vkm::check(vkm::createFence(ctx.device, &f), "createFence");
+        fences.push_back(f);
+    }
+
+    double t0 = ctx.now();
+    for (uint32_t i = 0; i < 4; ++i) {
+        vkm::SubmitInfo si;
+        si.commandBuffers.push_back(cbs[i]);
+        vkm::check(vkm::queueSubmit(qs[i % queues], {si}, fences[i]),
+                   "queueSubmit");
+    }
+    vkm::check(vkm::waitForFences(ctx.device, fences), "waitForFences");
+    return ctx.now() - t0;
+}
+
+} // namespace
+
+int
+main()
+{
+    const sim::DeviceSpec &dev = sim::gtx1050ti();
+    std::printf("Ablation: transfer queues and multiple compute queues "
+                "(%s)\n\n",
+                dev.name.c_str());
+
+    double same_q = transferQueuePart(dev, false);
+    double xfer_q = transferQueuePart(dev, true);
+    harness::Table t1({"large copy placed on", "wall (sim)",
+                       "speedup"});
+    t1.addRow({"compute queue (serialised)", formatNs(same_q), "1.00x"});
+    t1.addRow({"transfer queue (overlapped)", formatNs(xfer_q),
+               harness::fmtF(same_q / xfer_q, 2) + "x"});
+    std::printf("%s\n", t1.render().c_str());
+
+    double one_q = multiQueuePart(dev, 1);
+    double four_q = multiQueuePart(dev, 4);
+    harness::Table t2({"4 independent kernels on", "wall (sim)",
+                       "speedup"});
+    t2.addRow({"1 compute queue", formatNs(one_q), "1.00x"});
+    t2.addRow({"4 compute queues", formatNs(four_q),
+               harness::fmtF(one_q / four_q, 2) + "x"});
+    std::printf("%s\n", t2.render().c_str());
+    std::printf("paper: use transfer queues for large copies; use "
+                "multiple compute queues for better utilisation\n");
+    return 0;
+}

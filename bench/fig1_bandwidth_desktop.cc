@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Regenerates Figure 1: strided memory bandwidth on the desktop GPUs.
+ *
+ * 1a: GTX 1050 Ti, Vulkan vs CUDA.   1b: RX 560, Vulkan vs OpenCL.
+ * Paper anchors: unit stride reaches 84 % (CUDA) / 79.6 % (Vulkan) of
+ * the 112 GB/s peak on the GTX 1050 Ti and 71.6 % / 71.5 %
+ * (Vulkan/OpenCL) on the RX 560; Vulkan pulls slightly ahead beyond
+ * 64-byte strides on both parts.
+ */
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "harness/report.h"
+#include "suite/bandwidth.h"
+
+int
+main()
+{
+    using namespace vcb;
+    const std::vector<uint32_t> strides = {1, 4, 8, 12, 16, 20, 24, 28,
+                                           32};
+    suite::BandwidthConfig cfg;
+    cfg.threads = 16384;
+    cfg.rounds = 64;
+    cfg.repeats = 3;
+
+    struct Panel
+    {
+        const sim::DeviceSpec *dev;
+        sim::Api other;
+        const char *other_name;
+    };
+    const Panel panels[] = {
+        {&sim::gtx1050ti(), sim::Api::Cuda, "CUDA"},
+        {&sim::rx560(), sim::Api::OpenCl, "OpenCL"},
+    };
+
+    for (const Panel &panel : panels) {
+        std::printf("=== Fig. 1: %s (peak %.0f GB/s) ===\n",
+                    panel.dev->name.c_str(), panel.dev->peakBwGBs);
+        auto vk = suite::runBandwidthSweep(*panel.dev, sim::Api::Vulkan,
+                                           strides, cfg);
+        auto other = suite::runBandwidthSweep(*panel.dev, panel.other,
+                                              strides, cfg);
+        harness::Table table({"stride (4B elems)", "Vulkan GB/s",
+                              std::string(panel.other_name) + " GB/s",
+                              "Vulkan %peak"});
+        for (size_t i = 0; i < strides.size(); ++i) {
+            table.addRow(
+                {strprintf("%u", strides[i]),
+                 harness::fmtF(vk[i].gbPerSec),
+                 harness::fmtF(other[i].gbPerSec),
+                 harness::fmtF(vk[i].gbPerSec / panel.dev->peakBwGBs *
+                               100.0, 1)});
+        }
+        std::printf("%s", table.render().c_str());
+        std::printf("\nunit stride: Vulkan %.1f%% of peak, %s %.1f%% "
+                    "of peak\n\n",
+                    vk[0].gbPerSec / panel.dev->peakBwGBs * 100.0,
+                    panel.other_name,
+                    other[0].gbPerSec / panel.dev->peakBwGBs * 100.0);
+    }
+    return 0;
+}

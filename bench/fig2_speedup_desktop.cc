@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Regenerates Figure 2: per-benchmark speedups vs the OpenCL baseline
+ * on the two desktop GPUs (2a: GTX 1050 Ti with OpenCL/Vulkan/CUDA;
+ * 2b: RX 560 with OpenCL/Vulkan).
+ *
+ * Paper anchors: geomean Vulkan 1.53x vs CUDA and 1.66x vs OpenCL on
+ * the GTX 1050 Ti, 1.26x vs OpenCL on the RX 560; best speedups on
+ * the blocking-iterative benchmarks (pathfinder, hotspot, lud,
+ * gaussian); bfs *slows down* on both parts (immature SPIR-V
+ * compiler); cfd only marginal; backprop/nn/nw near parity.
+ */
+
+#include <cstdio>
+
+#include "harness/figures.h"
+
+int
+main()
+{
+    using namespace vcb;
+    for (const sim::DeviceSpec *dev :
+         {&sim::gtx1050ti(), &sim::rx560()}) {
+        harness::FigureData fig = harness::runSpeedupFigure(*dev, false);
+        std::printf("%s\n", harness::formatSpeedupFigure(fig).c_str());
+        if (!fig.allValidated())
+            std::printf("WARNING: some runs failed validation!\n");
+    }
+    std::printf("paper anchors: GTX1050Ti geomean Vulkan/OpenCL 1.66x, "
+                "Vulkan/CUDA 1.53x; RX560 Vulkan/OpenCL 1.26x\n");
+    return 0;
+}

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Launch/submission overhead microbenchmarks (google-benchmark).
+ *
+ * Reports, per device and API, the simulated host cost of issuing an
+ * empty-ish kernel and synchronising — the per-iteration tax that the
+ * paper's multi-kernel method pays and Vulkan's command buffers
+ * amortise.  Simulated nanoseconds are exported as counters (the wall
+ * time of the simulator itself is not the quantity of interest).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/mathutil.h"
+#include "cuda/cuda_rt.h"
+#include "kernels/kernels.h"
+#include "ocl/ocl.h"
+#include "suite/vkhelp.h"
+
+using namespace vcb;
+
+namespace {
+
+constexpr uint32_t tiny = 256; // one workgroup
+
+void
+BM_VulkanSubmitSync(benchmark::State &state)
+{
+    const sim::DeviceSpec &dev =
+        sim::deviceRegistry()[static_cast<size_t>(state.range(0))];
+    suite::VkContext ctx = suite::VkContext::create(dev);
+    suite::VkKernel k;
+    std::string err =
+        suite::createVkKernel(ctx, kernels::buildVecAdd(), &k);
+    if (!err.empty()) {
+        state.SkipWithError(err.c_str());
+        return;
+    }
+    auto b_x = ctx.createDeviceBuffer(tiny * 4);
+    auto b_y = ctx.createDeviceBuffer(tiny * 4);
+    auto b_z = ctx.createDeviceBuffer(tiny * 4);
+    auto set = suite::makeDescriptorSet(ctx, k,
+                                        {{0, b_x}, {1, b_y}, {2, b_z}});
+    vkm::CommandBuffer cb;
+    vkm::check(vkm::allocateCommandBuffer(ctx.device, ctx.cmdPool, &cb),
+               "allocateCommandBuffer");
+    uint32_t n = tiny;
+    vkm::check(vkm::beginCommandBuffer(cb), "beginCommandBuffer");
+    vkm::cmdBindPipeline(cb, k.pipeline);
+    vkm::cmdBindDescriptorSet(cb, k.layout, 0, set);
+    vkm::cmdPushConstants(cb, k.layout, 0, 4, &n);
+    vkm::cmdDispatch(cb, 1, 1, 1);
+    vkm::check(vkm::endCommandBuffer(cb), "endCommandBuffer");
+    vkm::Fence fence;
+    vkm::check(vkm::createFence(ctx.device, &fence), "createFence");
+
+    double total_sim_ns = 0;
+    for (auto _ : state) {
+        double t0 = ctx.now();
+        vkm::SubmitInfo si;
+        si.commandBuffers.push_back(cb);
+        vkm::queueSubmit(ctx.queue, {si}, fence);
+        vkm::waitForFences(ctx.device, {fence});
+        vkm::resetFences(ctx.device, {fence});
+        total_sim_ns += ctx.now() - t0;
+    }
+    state.counters["sim_ns_per_iter"] =
+        total_sim_ns / static_cast<double>(state.iterations());
+    state.SetLabel(dev.name);
+}
+
+void
+BM_OpenClLaunchSync(benchmark::State &state)
+{
+    const sim::DeviceSpec &dev =
+        sim::deviceRegistry()[static_cast<size_t>(state.range(0))];
+    ocl::Context ctx(dev);
+    auto prog = ocl::createProgramWithSource(ctx, kernels::buildVecAdd());
+    std::string err;
+    if (!ocl::buildProgram(prog, &err)) {
+        state.SkipWithError(err.c_str());
+        return;
+    }
+    auto k = ocl::createKernel(prog, "vectorAdd", &err);
+    auto b_x = ocl::createBuffer(ctx, ocl::MemReadOnly, tiny * 4);
+    auto b_y = ocl::createBuffer(ctx, ocl::MemReadOnly, tiny * 4);
+    auto b_z = ocl::createBuffer(ctx, ocl::MemReadWrite, tiny * 4);
+    ocl::setKernelArgBuffer(k, 0, b_x);
+    ocl::setKernelArgBuffer(k, 1, b_y);
+    ocl::setKernelArgBuffer(k, 2, b_z);
+    ocl::setKernelArgScalar(k, 0, tiny);
+
+    double total_sim_ns = 0;
+    for (auto _ : state) {
+        double t0 = ctx.hostNowNs();
+        ocl::enqueueNDRangeKernel(ctx, k, tiny);
+        ctx.finish();
+        total_sim_ns += ctx.hostNowNs() - t0;
+    }
+    state.counters["sim_ns_per_iter"] =
+        total_sim_ns / static_cast<double>(state.iterations());
+    state.SetLabel(dev.name);
+}
+
+void
+BM_CudaLaunchSync(benchmark::State &state)
+{
+    const sim::DeviceSpec &dev =
+        sim::deviceRegistry()[static_cast<size_t>(state.range(0))];
+    if (!cuda::available(dev)) {
+        state.SkipWithError("CUDA not supported on this device");
+        return;
+    }
+    cuda::Runtime rt(dev);
+    auto f = rt.loadFunction(kernels::buildVecAdd());
+    auto d_x = rt.malloc(tiny * 4);
+    auto d_y = rt.malloc(tiny * 4);
+    auto d_z = rt.malloc(tiny * 4);
+
+    double total_sim_ns = 0;
+    for (auto _ : state) {
+        double t0 = rt.hostNowNs();
+        rt.launchKernel(f, 1, 1, 1, {d_x, d_y, d_z}, {tiny});
+        rt.deviceSynchronize();
+        total_sim_ns += rt.hostNowNs() - t0;
+    }
+    state.counters["sim_ns_per_iter"] =
+        total_sim_ns / static_cast<double>(state.iterations());
+    state.SetLabel(dev.name);
+}
+
+} // namespace
+
+BENCHMARK(BM_VulkanSubmitSync)->DenseRange(0, 3)->Iterations(64);
+BENCHMARK(BM_OpenClLaunchSync)->DenseRange(0, 3)->Iterations(64);
+BENCHMARK(BM_CudaLaunchSync)->Arg(0)->Iterations(64);
+
+BENCHMARK_MAIN();

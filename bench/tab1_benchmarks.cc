@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Regenerates Table I: the VComputeBench benchmarks with their dwarf
+ * and application domain, straight from the suite registry.
+ */
+
+#include <cstdio>
+
+#include "harness/report.h"
+#include "suite/benchmark.h"
+
+int
+main()
+{
+    using namespace vcb;
+    std::printf("TABLE I: VComputeBench benchmarks\n\n");
+    harness::Table table({"Name", "Application", "Dwarf", "Domain"});
+    for (const suite::Benchmark *b : suite::registry())
+        table.addRow({b->name(), b->fullName(), b->dwarf(), b->domain()});
+    std::printf("%s\n", table.render().c_str());
+    std::printf("(paper Table I lists the same nine rows)\n");
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Regenerates Tables II and III: the desktop and mobile experimental
+ * setups, from the simulated device registry.
+ */
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "harness/report.h"
+#include "sim/device.h"
+
+using namespace vcb;
+
+namespace {
+
+void
+printPlatforms(bool mobile, const char *title)
+{
+
+    std::printf("%s\n\n", title);
+    harness::Table table({"Device", "Platform", "OpenCL", "CUDA",
+                          "Vulkan", "Heap", "Push"});
+    for (const auto &dev : sim::deviceRegistry()) {
+        if (dev.mobile != mobile)
+            continue;
+        auto ver = [&](sim::Api api) {
+            const auto &p = dev.profile(api);
+            return p.available ? p.version : std::string("-");
+        };
+        table.addRow({dev.name, dev.platform, ver(sim::Api::OpenCl),
+                      ver(sim::Api::Cuda), ver(sim::Api::Vulkan),
+                      strprintf("%llu MiB",
+                                (unsigned long long)(dev.deviceHeapBytes >>
+                                                     20)),
+                      strprintf("%u B", dev.maxPushBytes)});
+    }
+    std::printf("%s\n", table.render().c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    printPlatforms(false, "TABLE II: Desktop GPUs experimental setup");
+    printPlatforms(true, "TABLE III: Mobile GPUs experimental setup");
+    return 0;
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Example: steady-state thermal estimation of a CPU floorplan.
+ *
+ * Builds a synthetic power map with four hot cores and a cooler
+ * uncore, runs the hotspot stencil until the temperature field
+ * settles, and prints a character heat map.  Demonstrates the
+ * single-command-buffer + barrier pattern (all iterations recorded
+ * once, one submission) and descriptor-set ping-pong.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.h"
+#include "kernels/kernels.h"
+#include "sim/device.h"
+#include "suite/vkhelp.h"
+
+using namespace vcb;
+using suite::VkContext;
+using suite::VkKernel;
+
+int
+main()
+{
+    const uint32_t g = 128; // die grid (multiple of the 16x16 tile)
+    const uint32_t steps = 96;
+    const sim::DeviceSpec &dev = sim::gtx1050ti();
+    std::printf("thermal_floorplan: %ux%u die, %u steps on %s\n", g, g,
+                steps, dev.name.c_str());
+
+    // Synthetic floorplan: four core hotspots + background power.
+    std::vector<float> power(uint64_t(g) * g, 0.1f);
+    auto stamp_core = [&](uint32_t cr, uint32_t cc) {
+        for (uint32_t r = cr; r < cr + g / 4; ++r)
+            for (uint32_t c = cc; c < cc + g / 4; ++c)
+                power[uint64_t(r) * g + c] = 2.4f;
+    };
+    stamp_core(g / 8, g / 8);
+    stamp_core(g / 8, g - g / 8 - g / 4);
+    stamp_core(g - g / 8 - g / 4, g / 8);
+    stamp_core(g - g / 8 - g / 4, g - g / 8 - g / 4);
+    std::vector<float> temp(uint64_t(g) * g, 45.0f);
+
+    VkContext ctx = VkContext::create(dev);
+    VkKernel k;
+    std::string err =
+        suite::createVkKernel(ctx, kernels::buildHotspotStep(), &k);
+    if (!err.empty())
+        fatal("kernel setup failed: %s", err.c_str());
+
+    uint64_t bytes = uint64_t(g) * g * 4;
+    auto b_a = ctx.createDeviceBuffer(bytes);
+    auto b_b = ctx.createDeviceBuffer(bytes);
+    auto b_p = ctx.createDeviceBuffer(bytes);
+    ctx.upload(b_a, temp.data(), bytes);
+    ctx.upload(b_p, power.data(), bytes);
+
+    auto s_ab = suite::makeDescriptorSet(ctx, k,
+                                         {{0, b_a}, {1, b_p}, {2, b_b}});
+    auto s_ba = suite::makeDescriptorSet(ctx, k,
+                                         {{0, b_b}, {1, b_p}, {2, b_a}});
+
+    float cc = 0.08f, rx_inv = 0.35f, ry_inv = 0.35f, rz_inv = 0.08f,
+          amb = 45.0f;
+    uint32_t push[6] = {g, 0, 0, 0, 0, 0};
+    std::memcpy(&push[1], &cc, 4);
+    std::memcpy(&push[2], &rx_inv, 4);
+    std::memcpy(&push[3], &ry_inv, 4);
+    std::memcpy(&push[4], &rz_inv, 4);
+    std::memcpy(&push[5], &amb, 4);
+
+    vkm::CommandBuffer cb;
+    vkm::check(vkm::allocateCommandBuffer(ctx.device, ctx.cmdPool, &cb),
+               "allocateCommandBuffer");
+    vkm::check(vkm::beginCommandBuffer(cb), "beginCommandBuffer");
+    vkm::cmdBindPipeline(cb, k.pipeline);
+    vkm::cmdPushConstants(cb, k.layout, 0, 24, push);
+    for (uint32_t s = 0; s < steps; ++s) {
+        vkm::cmdBindDescriptorSet(cb, k.layout, 0,
+                                  (s % 2 == 0) ? s_ab : s_ba);
+        vkm::cmdDispatch(cb, g / 16, g / 16, 1);
+        vkm::cmdPipelineBarrier(cb);
+    }
+    vkm::check(vkm::endCommandBuffer(cb), "endCommandBuffer");
+
+    vkm::Fence fence;
+    vkm::check(vkm::createFence(ctx.device, &fence), "createFence");
+    double t0 = ctx.now();
+    vkm::SubmitInfo si;
+    si.commandBuffers.push_back(cb);
+    vkm::check(vkm::queueSubmit(ctx.queue, {si}, fence), "queueSubmit");
+    vkm::check(vkm::waitForFences(ctx.device, {fence}), "waitForFences");
+    double t1 = ctx.now();
+
+    std::vector<float> out(uint64_t(g) * g);
+    ctx.download((steps % 2 == 0) ? b_a : b_b, out.data(), bytes);
+
+    float t_min = out[0], t_max = out[0];
+    for (float t : out) {
+        t_min = std::fmin(t_min, t);
+        t_max = std::fmax(t_max, t);
+    }
+    std::printf("simulated %u steps in %.1f us (one submission)\n",
+                steps, (t1 - t0) / 1000.0);
+    std::printf("temperature range: %.1f C .. %.1f C\n", t_min, t_max);
+
+    // Down-sampled character heat map.
+    static const char shades[] = " .:-=+*#%@";
+    const uint32_t cell = g / 32;
+    for (uint32_t r = 0; r < g; r += cell) {
+        std::string line = "  ";
+        for (uint32_t c = 0; c < g; c += cell) {
+            float acc = 0;
+            for (uint32_t rr = 0; rr < cell; ++rr)
+                for (uint32_t cc2 = 0; cc2 < cell; ++cc2)
+                    acc += out[uint64_t(r + rr) * g + c + cc2];
+            acc /= static_cast<float>(cell) * cell;
+            int idx = static_cast<int>((acc - t_min) /
+                                       (t_max - t_min + 1e-6f) * 9.0f);
+            line += shades[idx];
+        }
+        std::printf("%s\n", line.c_str());
+    }
+    return 0;
+}

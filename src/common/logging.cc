@@ -1,0 +1,87 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace vcb {
+
+namespace {
+bool verboseEnabled = true;
+} // namespace
+
+std::string
+vstrprintf(const char *fmt, va_list args)
+{
+    va_list copy;
+    va_copy(copy, args);
+    int n = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    if (n < 0)
+        return "<format error>";
+    std::vector<char> buf(static_cast<size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data(), static_cast<size_t>(n));
+}
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string s = vstrprintf(fmt, args);
+    va_end(args);
+    return s;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vstrprintf(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vstrprintf(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vstrprintf(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (!verboseEnabled)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vstrprintf(fmt, args);
+    va_end(args);
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+setVerbose(bool verbose)
+{
+    verboseEnabled = verbose;
+}
+
+} // namespace vcb

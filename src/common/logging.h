@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Status and error reporting helpers, modelled on the gem5 conventions.
+ *
+ * panic()  — an internal invariant was violated (a bug in this library);
+ *            aborts so a debugger/core dump can capture the state.
+ * fatal()  — the *user* asked for something impossible (bad configuration,
+ *            invalid argument); exits with status 1.
+ * warn()   — something is suspicious but the run can continue.
+ * inform() — plain status output.
+ */
+
+#ifndef VCB_COMMON_LOGGING_H
+#define VCB_COMMON_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace vcb {
+
+/** Abort with a formatted message; use for internal bugs only. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Exit(1) with a formatted message; use for user/config errors. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr; execution continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Enable/disable inform() output (warnings always print). */
+void setVerbose(bool verbose);
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** vprintf-style formatting into a std::string. */
+std::string vstrprintf(const char *fmt, va_list args);
+
+} // namespace vcb
+
+/** Assert-like macro that survives NDEBUG: used for simulator invariants. */
+#define VCB_ASSERT(cond, ...)                                             \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::vcb::panic("assertion '%s' failed at %s:%d: %s", #cond,     \
+                         __FILE__, __LINE__,                              \
+                         ::vcb::strprintf(__VA_ARGS__).c_str());          \
+        }                                                                 \
+    } while (0)
+
+#endif // VCB_COMMON_LOGGING_H

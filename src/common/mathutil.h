@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Small numeric helpers shared by the timing model and the harness.
+ */
+
+#ifndef VCB_COMMON_MATHUTIL_H
+#define VCB_COMMON_MATHUTIL_H
+
+#include <cstdint>
+#include <vector>
+
+namespace vcb {
+
+/** ceil(a / b) for positive integers. */
+constexpr uint64_t
+ceilDiv(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round a up to the next multiple of align (align must be a power of 2). */
+constexpr uint64_t
+alignUp(uint64_t a, uint64_t align)
+{
+    return (a + align - 1) & ~(align - 1);
+}
+
+/** True if v is a power of two (v > 0). */
+constexpr bool
+isPow2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Geometric mean of a series; empty series returns 0. */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean; empty series returns 0. */
+double mean(const std::vector<double> &values);
+
+/** Population standard deviation; series of <2 returns 0. */
+double stddev(const std::vector<double> &values);
+
+/** Median (averaging the middle pair for even sizes). */
+double median(std::vector<double> values);
+
+/** Relative error |a-b| / max(|b|, eps). */
+double relError(double a, double b, double eps = 1e-12);
+
+} // namespace vcb
+
+#endif // VCB_COMMON_MATHUTIL_H

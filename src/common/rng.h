@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * All workload generators in the suite draw from this RNG so that every
+ * run (and every API backend within a run) sees bit-identical inputs.
+ * The implementation is xoshiro256** which is fast, has a 256-bit state
+ * and passes BigCrush; determinism across platforms matters more here
+ * than cryptographic quality.
+ */
+
+#ifndef VCB_COMMON_RNG_H
+#define VCB_COMMON_RNG_H
+
+#include <cstdint>
+
+namespace vcb {
+
+/** Deterministic, seedable RNG (xoshiro256**). */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion of a single 64-bit value. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound) ; bound must be > 0. */
+    uint64_t nextBelow(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t nextRange(int64_t lo, int64_t hi);
+
+    /** Uniform float in [0, 1). */
+    float nextFloat();
+
+    /** Uniform float in [lo, hi). */
+    float nextFloat(float lo, float hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+  private:
+    uint64_t s[4];
+};
+
+} // namespace vcb
+
+#endif // VCB_COMMON_RNG_H

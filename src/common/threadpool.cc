@@ -1,0 +1,115 @@
+#include "common/threadpool.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "common/logging.h"
+
+namespace vcb {
+
+ThreadPool::ThreadPool(unsigned workers)
+{
+    unsigned n = workers;
+    if (n == 0) {
+        unsigned hw = std::thread::hardware_concurrency();
+        n = hw > 1 ? hw - 1 : 1;
+    }
+    threads.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        threads.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        stopping = true;
+    }
+    cv.notify_all();
+    for (auto &t : threads)
+        t.join();
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+void
+ThreadPool::runJob(Job &job)
+{
+    for (;;) {
+        uint64_t begin = job.next.fetch_add(job.chunk);
+        if (begin >= job.count)
+            break;
+        uint64_t end = std::min(begin + job.chunk, job.count);
+        for (uint64_t i = begin; i < end; ++i)
+            (*job.fn)(i);
+        job.done.fetch_add(end - begin);
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    uint64_t seen = 0;
+    for (;;) {
+        Job *job = nullptr;
+        {
+            std::unique_lock<std::mutex> lk(mtx);
+            cv.wait(lk, [&] {
+                return stopping || (current && generation != seen);
+            });
+            if (stopping)
+                return;
+            seen = generation;
+            job = current;
+        }
+        runJob(*job);
+        cvDone.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(uint64_t count,
+                        const std::function<void(uint64_t)> &fn)
+{
+    if (count == 0)
+        return;
+    // Small counts: run inline, skip synchronization entirely.
+    if (count <= 2 || threads.empty()) {
+        for (uint64_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    Job job;
+    job.fn = &fn;
+    job.count = count;
+    // Aim for several chunks per worker to balance irregular work.
+    uint64_t parts = (threads.size() + 1) * 8;
+    job.chunk = std::max<uint64_t>(1, count / parts);
+
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        current = &job;
+        ++generation;
+    }
+    cv.notify_all();
+
+    runJob(job);
+
+    // Wait for stragglers still inside their chunks.
+    if (job.done.load() != count) {
+        std::unique_lock<std::mutex> lk(mtx);
+        cvDone.wait(lk, [&] { return job.done.load() == count; });
+    }
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        current = nullptr;
+    }
+}
+
+} // namespace vcb

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fixed-size thread pool with a parallel-for helper.
+ *
+ * The execution engine interprets workgroups of a dispatch in parallel;
+ * workgroups are independent (cross-workgroup communication requires a
+ * new dispatch in every supported programming model), so a simple
+ * chunked parallel-for is sufficient.
+ */
+
+#ifndef VCB_COMMON_THREADPOOL_H
+#define VCB_COMMON_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vcb {
+
+/** A fixed pool of worker threads executing chunked index ranges. */
+class ThreadPool
+{
+  public:
+    /** @param workers Number of worker threads; 0 = hardware concurrency. */
+    explicit ThreadPool(unsigned workers = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Run fn(i) for every i in [0, count); blocks until all complete.
+     * fn runs concurrently on pool threads and the calling thread.
+     * Exceptions escaping fn are fatal (panic) — simulator work items
+     * must not throw.
+     */
+    void parallelFor(uint64_t count,
+                     const std::function<void(uint64_t)> &fn);
+
+    /** Number of worker threads (not counting the caller). */
+    unsigned workerCount() const { return (unsigned)threads.size(); }
+
+    /** Process-wide shared pool, sized to the hardware. */
+    static ThreadPool &global();
+
+  private:
+    struct Job
+    {
+        const std::function<void(uint64_t)> *fn = nullptr;
+        std::atomic<uint64_t> next{0};
+        uint64_t count = 0;
+        uint64_t chunk = 1;
+        std::atomic<uint64_t> done{0};
+    };
+
+    void workerLoop();
+    void runJob(Job &job);
+
+    std::vector<std::thread> threads;
+    std::mutex mtx;
+    std::condition_variable cv;
+    std::condition_variable cvDone;
+    Job *current = nullptr;
+    uint64_t generation = 0;
+    bool stopping = false;
+};
+
+} // namespace vcb
+
+#endif // VCB_COMMON_THREADPOOL_H

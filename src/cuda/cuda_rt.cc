@@ -1,0 +1,217 @@
+#include "cuda/cuda_rt.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "sim/engine.h"
+#include "sim/kernel.h"
+#include "sim/timeline.h"
+#include "sim/timing.h"
+
+namespace vcb::cuda {
+
+struct RuntimeImpl
+{
+    const sim::DeviceSpec *spec = nullptr;
+    std::unique_ptr<sim::ExecutionEngine> engine;
+    std::unique_ptr<sim::Timeline> timeline;
+    uint64_t heapUsed = 0;
+};
+
+struct DevPtrImpl
+{
+    RuntimeImpl *rt = nullptr;
+    uint64_t bytes = 0;
+    std::vector<uint32_t> words;
+};
+
+struct FunctionImpl
+{
+    RuntimeImpl *rt = nullptr;
+    std::unique_ptr<sim::CompiledKernel> kernel;
+};
+
+bool
+available(const sim::DeviceSpec &dev)
+{
+    return dev.profile(sim::Api::Cuda).available;
+}
+
+uint64_t
+DevPtr::sizeBytes() const
+{
+    VCB_ASSERT(impl_, "null device pointer");
+    return impl_->bytes;
+}
+
+Runtime::Runtime(const sim::DeviceSpec &dev, uint32_t streams)
+    : impl_(std::make_unique<RuntimeImpl>())
+{
+    if (!available(dev))
+        fatal("cuda: no CUDA support on %s", dev.name.c_str());
+    VCB_ASSERT(streams >= 1, "need at least one stream");
+    impl_->spec = &dev;
+    impl_->engine = std::make_unique<sim::ExecutionEngine>(dev);
+    impl_->timeline = std::make_unique<sim::Timeline>(streams);
+}
+
+Runtime::~Runtime() = default;
+
+const sim::DeviceSpec &
+Runtime::device() const
+{
+    return *impl_->spec;
+}
+
+double
+Runtime::hostNowNs() const
+{
+    return impl_->timeline->hostNow();
+}
+
+DevPtr
+Runtime::malloc(uint64_t bytes)
+{
+    VCB_ASSERT(bytes > 0 && bytes % 4 == 0,
+               "allocation must be a positive multiple of 4");
+    if (impl_->heapUsed + bytes > impl_->spec->deviceHeapBytes)
+        fatal("cuda: out of device memory on %s",
+              impl_->spec->name.c_str());
+    impl_->heapUsed += bytes;
+    DevPtr p;
+    p.impl_ = std::make_shared<DevPtrImpl>();
+    p.impl_->rt = impl_.get();
+    p.impl_->bytes = bytes;
+    p.impl_->words.assign(bytes / 4, 0);
+    return p;
+}
+
+void
+Runtime::memcpyHtoD(DevPtr dst, const void *src, uint64_t bytes)
+{
+    VCB_ASSERT(dst.valid() && src && bytes <= dst.sizeBytes(),
+               "bad memcpyHtoD");
+    std::memcpy(dst.impl()->words.data(), src, bytes);
+    const sim::DriverProfile &prof =
+        impl_->spec->profile(sim::Api::Cuda);
+    impl_->timeline->hostAdvance(prof.launchOverheadNs);
+    double end = impl_->timeline->enqueue(
+        0, sim::TimingModel::transferNs(*impl_->spec, bytes));
+    impl_->timeline->hostWaitUntil(end, prof.syncWakeupNs);
+}
+
+void
+Runtime::memcpyDtoH(void *dst, DevPtr src, uint64_t bytes)
+{
+    VCB_ASSERT(src.valid() && dst && bytes <= src.sizeBytes(),
+               "bad memcpyDtoH");
+    const sim::DriverProfile &prof =
+        impl_->spec->profile(sim::Api::Cuda);
+    impl_->timeline->hostAdvance(prof.launchOverheadNs);
+    double end = impl_->timeline->enqueue(
+        0, sim::TimingModel::transferNs(*impl_->spec, bytes));
+    impl_->timeline->hostWaitUntil(end, prof.syncWakeupNs);
+    std::memcpy(dst, src.impl()->words.data(), bytes);
+}
+
+void
+Runtime::memset(DevPtr dst, uint32_t word_value, uint64_t bytes)
+{
+    VCB_ASSERT(dst.valid() && bytes % 4 == 0 && bytes <= dst.sizeBytes(),
+               "bad memset");
+    std::fill(dst.impl()->words.begin(),
+              dst.impl()->words.begin() + bytes / 4, word_value);
+    impl_->timeline->enqueue(
+        0, sim::TimingModel::deviceCopyNs(*impl_->spec, bytes) / 2.0);
+}
+
+Function
+Runtime::loadFunction(const spirv::Module &m)
+{
+    std::string err;
+    auto kernel =
+        sim::compileKernel(m, *impl_->spec, sim::Api::Cuda, &err);
+    if (!kernel)
+        fatal("cuda: module load failed: %s", err.c_str());
+    Function f;
+    f.impl_ = std::make_shared<FunctionImpl>();
+    f.impl_->rt = impl_.get();
+    f.impl_->kernel = std::move(kernel);
+    return f;
+}
+
+void
+Runtime::launchKernel(Function f, uint32_t grid_x, uint32_t grid_y,
+                      uint32_t grid_z,
+                      const std::vector<DevPtr> &buffer_args,
+                      const std::vector<uint32_t> &scalar_args,
+                      uint32_t stream)
+{
+    VCB_ASSERT(f.valid(), "null function");
+    VCB_ASSERT(stream < impl_->timeline->queueCount(),
+               "stream %u out of range", stream);
+    const sim::CompiledKernel &kernel = *f.impl()->kernel;
+    const sim::DriverProfile &prof =
+        impl_->spec->profile(sim::Api::Cuda);
+
+    sim::DispatchContext ctx;
+    ctx.kernel = &kernel;
+    ctx.groups[0] = grid_x;
+    ctx.groups[1] = grid_y;
+    ctx.groups[2] = grid_z;
+    ctx.buffers.resize(kernel.module.bindingBound());
+
+    // Buffer args are assigned to bindings in declaration order.
+    VCB_ASSERT(buffer_args.size() == kernel.module.bindings.size(),
+               "kernel '%s' expects %zu buffer args, got %zu",
+               kernel.module.name.c_str(),
+               kernel.module.bindings.size(), buffer_args.size());
+    for (size_t i = 0; i < buffer_args.size(); ++i) {
+        const auto &decl = kernel.module.bindings[i];
+        VCB_ASSERT(buffer_args[i].valid(), "null buffer arg %zu", i);
+        DevPtrImpl *p = buffer_args[i].impl();
+        ctx.buffers[decl.binding] = {p->words.data(), p->words.size()};
+    }
+
+    std::vector<uint32_t> push(
+        std::max<uint32_t>(kernel.module.pushWords, 1), 0);
+    VCB_ASSERT(scalar_args.size() == kernel.module.pushWords,
+               "kernel '%s' expects %u scalar args, got %zu",
+               kernel.module.name.c_str(), kernel.module.pushWords,
+               scalar_args.size());
+    for (size_t i = 0; i < scalar_args.size(); ++i)
+        push[i] = scalar_args[i];
+    ctx.push = push.data();
+    ctx.pushWords = static_cast<uint32_t>(push.size());
+
+    impl_->timeline->hostAdvance(prof.launchOverheadNs);
+    sim::DispatchResult r = impl_->engine->dispatch(ctx);
+    impl_->timeline->enqueue(stream, r.kernelNs);
+}
+
+double
+Runtime::eventRecordNs(uint32_t stream)
+{
+    VCB_ASSERT(stream < impl_->timeline->queueCount(),
+               "stream %u out of range", stream);
+    return std::max(impl_->timeline->queueReady(stream),
+                    impl_->timeline->hostNow());
+}
+
+void
+Runtime::streamSynchronize(uint32_t stream)
+{
+    const sim::DriverProfile &prof =
+        impl_->spec->profile(sim::Api::Cuda);
+    impl_->timeline->hostWaitQueue(stream, prof.syncWakeupNs);
+}
+
+void
+Runtime::deviceSynchronize()
+{
+    const sim::DriverProfile &prof =
+        impl_->spec->profile(sim::Api::Cuda);
+    impl_->timeline->hostWaitAll(prof.syncWakeupNs);
+}
+
+} // namespace vcb::cuda

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * CUDA-mini ("cuda"): the CUDA-runtime-style API of the simulator,
+ * available only on NVIDIA-model devices.
+ *
+ * Modelled behaviours the study relies on: kernels arrive offline
+ * compiled (fat binary — no JIT in application time), per-launch
+ * overheads are the lowest of the three APIs, streams pipeline
+ * launches in order, and host synchronisation (stream/device sync) is
+ * required between dependent multi-kernel iterations.
+ */
+
+#ifndef VCB_CUDA_CUDA_RT_H
+#define VCB_CUDA_CUDA_RT_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/device.h"
+#include "spirv/module.h"
+
+namespace vcb::cuda {
+
+struct RuntimeImpl;
+struct DevPtrImpl;
+struct FunctionImpl;
+
+/** True if the device supports CUDA (NVIDIA parts only). */
+bool available(const sim::DeviceSpec &dev);
+
+/** A device allocation (cudaMalloc analogue). */
+class DevPtr
+{
+  public:
+    DevPtr() = default;
+    bool valid() const { return impl_ != nullptr; }
+    uint64_t sizeBytes() const;
+    DevPtrImpl *impl() const { return impl_.get(); }
+    std::shared_ptr<DevPtrImpl> impl_;
+};
+
+/** A loaded kernel (cuModuleGetFunction analogue). */
+class Function
+{
+  public:
+    Function() = default;
+    bool valid() const { return impl_ != nullptr; }
+    FunctionImpl *impl() const { return impl_.get(); }
+    std::shared_ptr<FunctionImpl> impl_;
+};
+
+/** Per-device CUDA runtime state (context + default/extra streams). */
+class Runtime
+{
+  public:
+    /** fatal() if CUDA is unavailable on the device. */
+    explicit Runtime(const sim::DeviceSpec &dev, uint32_t streams = 1);
+    ~Runtime();
+
+    Runtime(const Runtime &) = delete;
+    Runtime &operator=(const Runtime &) = delete;
+
+    const sim::DeviceSpec &device() const;
+
+    /** cudaMalloc: fatal on out-of-memory. */
+    DevPtr malloc(uint64_t bytes);
+    /** cudaMemcpy host->device (blocking). */
+    void memcpyHtoD(DevPtr dst, const void *src, uint64_t bytes);
+    /** cudaMemcpy device->host (blocking). */
+    void memcpyDtoH(void *dst, DevPtr src, uint64_t bytes);
+    /** cudaMemset. */
+    void memset(DevPtr dst, uint32_t word_value, uint64_t bytes);
+
+    /** Load an offline-compiled kernel; fatal on rejection. */
+    Function loadFunction(const spirv::Module &m);
+
+    /**
+     * kernel<<<grid, block, 0, stream>>>(args...): block sizes must
+     * match the module's local size; buffer args map to bindings and
+     * scalar args to push-constant words (in order).
+     */
+    void launchKernel(Function f, uint32_t grid_x, uint32_t grid_y,
+                      uint32_t grid_z,
+                      const std::vector<DevPtr> &buffer_args,
+                      const std::vector<uint32_t> &scalar_args,
+                      uint32_t stream = 0);
+
+    /**
+     * cudaEventRecord + cudaEventElapsedTime analogue: returns the
+     * simulated timestamp at which the stream reaches this point (its
+     * pending work's completion, or now if idle).
+     */
+    double eventRecordNs(uint32_t stream = 0);
+
+    /** cudaStreamSynchronize. */
+    void streamSynchronize(uint32_t stream = 0);
+    /** cudaDeviceSynchronize. */
+    void deviceSynchronize();
+
+    /** Simulated host clock (std::chrono analogue). */
+    double hostNowNs() const;
+
+    RuntimeImpl *impl() const { return impl_.get(); }
+
+  private:
+    std::unique_ptr<RuntimeImpl> impl_;
+};
+
+} // namespace vcb::cuda
+
+#endif // VCB_CUDA_CUDA_RT_H

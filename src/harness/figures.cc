@@ -1,0 +1,155 @@
+#include "harness/figures.h"
+
+#include "common/logging.h"
+#include "common/mathutil.h"
+#include "harness/report.h"
+
+namespace vcb::harness {
+
+using sim::Api;
+
+double
+SpeedupRow::speedupVsOpenCl(Api api) const
+{
+    int a = static_cast<int>(api);
+    int base = static_cast<int>(Api::OpenCl);
+    if (!ok[a] || !ok[base] || ns[a] <= 0)
+        return 0;
+    return ns[base] / ns[a];
+}
+
+double
+FigureData::geomeanVsOpenCl(Api api) const
+{
+    std::vector<double> speedups;
+    for (const auto &row : rows) {
+        double s = row.speedupVsOpenCl(api);
+        if (s > 0)
+            speedups.push_back(s);
+    }
+    return geomean(speedups);
+}
+
+double
+FigureData::geomeanVulkanVsCuda() const
+{
+    std::vector<double> speedups;
+    int vk = static_cast<int>(Api::Vulkan);
+    int cu = static_cast<int>(Api::Cuda);
+    for (const auto &row : rows)
+        if (row.ok[vk] && row.ok[cu] && row.ns[vk] > 0)
+            speedups.push_back(row.ns[cu] / row.ns[vk]);
+    return geomean(speedups);
+}
+
+bool
+FigureData::allValidated() const
+{
+    for (const auto &row : rows)
+        for (int a = 0; a < sim::apiCount; ++a)
+            if (row.ok[a] && !row.validated[a])
+                return false;
+    return true;
+}
+
+FigureData
+runSpeedupFigure(const sim::DeviceSpec &dev, bool mobile, uint64_t scale)
+{
+    VCB_ASSERT(scale >= 1, "scale must be >= 1");
+    FigureData fig;
+    fig.dev = &dev;
+    fig.mobile = mobile;
+
+    for (const suite::Benchmark *bench : suite::registry()) {
+        auto sizes = mobile ? bench->mobileSizes()
+                            : bench->desktopSizes();
+        if (mobile && sizes.empty()) {
+            // cfd: skipped wholesale on mobile (Sec. V-B2).
+            inform("%s: skipped on mobile: %s", bench->name().c_str(),
+                   bench->mobileSkipReason().c_str());
+            continue;
+        }
+        for (const auto &size : sizes) {
+            suite::SizeConfig cfg = size;
+            if (scale > 1)
+                for (auto &p : cfg.params)
+                    p = std::max<uint64_t>(p / scale, 32);
+            SpeedupRow row;
+            row.bench = bench->name();
+            row.sizeLabel = size.label;
+            for (int a = 0; a < sim::apiCount; ++a) {
+                Api api = static_cast<Api>(a);
+                if (!dev.profile(api).available) {
+                    row.skip[a] = "API not available";
+                    continue;
+                }
+                suite::RunResult r = bench->run(dev, api, cfg);
+                row.ok[a] = r.ok;
+                row.skip[a] = r.skipReason;
+                row.ns[a] = r.kernelRegionNs;
+                row.validated[a] = r.validated;
+                if (r.ok && !r.validated)
+                    warn("%s/%s on %s [%s]: validation FAILED: %s",
+                         bench->name().c_str(), size.label.c_str(),
+                         dev.name.c_str(), sim::apiName(api),
+                         r.validationError.c_str());
+            }
+            fig.rows.push_back(std::move(row));
+        }
+    }
+    return fig;
+}
+
+std::string
+formatSpeedupFigure(const FigureData &fig)
+{
+    std::string out;
+    out += strprintf("=== Speedup vs OpenCL on %s %s===\n",
+                     fig.dev->name.c_str(),
+                     fig.mobile ? "(mobile figure) " : "");
+
+    bool has_cuda = fig.dev->profile(Api::Cuda).available;
+    std::vector<std::string> headers = {"bench", "size", "OpenCL",
+                                        "Vulkan"};
+    if (has_cuda)
+        headers.push_back("CUDA");
+    headers.push_back("note");
+    Table table(headers);
+
+    std::vector<std::pair<std::string, double>> bars;
+    for (const auto &row : fig.rows) {
+        std::vector<std::string> cells = {row.bench, row.sizeLabel};
+        int cl = static_cast<int>(Api::OpenCl);
+        cells.push_back(row.ok[cl] ? "1.00" : "-");
+        double vk = row.speedupVsOpenCl(Api::Vulkan);
+        cells.push_back(vk > 0 ? fmtF(vk) : "-");
+        if (has_cuda) {
+            double cu = row.speedupVsOpenCl(Api::Cuda);
+            cells.push_back(cu > 0 ? fmtF(cu) : "-");
+        }
+        std::string note;
+        for (int a = 0; a < sim::apiCount; ++a)
+            if (!row.ok[a] && !row.skip[a].empty() &&
+                row.skip[a] != "API not available")
+                note += std::string(sim::apiName(static_cast<Api>(a))) +
+                        ": " + row.skip[a] + " ";
+        cells.push_back(note);
+        table.addRow(cells);
+        if (vk > 0)
+            bars.push_back({row.bench + "/" + row.sizeLabel, vk});
+    }
+    out += table.render();
+    out += "\nVulkan speedup vs OpenCL (shape of the figure):\n";
+    out += barChart(bars, "x");
+    out += strprintf("\ngeomean Vulkan vs OpenCL: %.2fx\n",
+                     fig.geomeanVsOpenCl(Api::Vulkan));
+    if (has_cuda) {
+        out += strprintf("geomean CUDA   vs OpenCL: %.2fx\n",
+                         fig.geomeanVsOpenCl(Api::Cuda));
+        out += strprintf("geomean Vulkan vs CUDA  : %.2fx\n",
+                         fig.geomeanVulkanVsCuda());
+    }
+    return out;
+}
+
+} // namespace vcb::harness

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure orchestration: runs the whole suite on a device under every
+ * available API and aggregates the paper's speedup metrics.  Shared by
+ * the bench/ binaries that regenerate Figs. 2 and 4 and by the
+ * integration tests that assert the figures' shape.
+ */
+
+#ifndef VCB_HARNESS_FIGURES_H
+#define VCB_HARNESS_FIGURES_H
+
+#include <string>
+#include <vector>
+
+#include "sim/device.h"
+#include "suite/benchmark.h"
+
+namespace vcb::harness {
+
+/** One benchmark x size entry of a speedup figure. */
+struct SpeedupRow
+{
+    std::string bench;
+    std::string sizeLabel;
+    /** Kernel-region ns per API (index by static_cast<int>(Api)). */
+    double ns[sim::apiCount] = {0, 0, 0};
+    bool ok[sim::apiCount] = {false, false, false};
+    std::string skip[sim::apiCount];
+    bool validated[sim::apiCount] = {false, false, false};
+
+    /** Speedup of `api` relative to the OpenCL baseline (the paper's
+     *  convention); 0 when either side is missing. */
+    double speedupVsOpenCl(sim::Api api) const;
+};
+
+/** A full figure: all benchmarks x sizes on one device. */
+struct FigureData
+{
+    const sim::DeviceSpec *dev = nullptr;
+    bool mobile = false;
+    std::vector<SpeedupRow> rows;
+
+    /** Geometric-mean speedup of `api` vs OpenCL over all rows where
+     *  both ran (the paper's headline numbers). */
+    double geomeanVsOpenCl(sim::Api api) const;
+    /** Geometric-mean speedup of Vulkan vs CUDA (GTX1050Ti number). */
+    double geomeanVulkanVsCuda() const;
+    /** True when every executed run validated against the reference. */
+    bool allValidated() const;
+};
+
+/**
+ * Run every suite benchmark at its desktop or mobile sizes on `dev`
+ * under every API the device supports.
+ *
+ * @param scale optional divisor (>1 shrinks the size parameters for
+ *        quick smoke runs; 1 = figure defaults).
+ */
+FigureData runSpeedupFigure(const sim::DeviceSpec &dev, bool mobile,
+                            uint64_t scale = 1);
+
+/** Render a figure as a table plus per-benchmark bar chart. */
+std::string formatSpeedupFigure(const FigureData &fig);
+
+} // namespace vcb::harness
+
+#endif // VCB_HARNESS_FIGURES_H

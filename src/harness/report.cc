@@ -1,0 +1,102 @@
+#include "harness/report.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strutil.h"
+
+namespace vcb::harness {
+
+Table::Table(std::vector<std::string> hdrs) : headers(std::move(hdrs)) {}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    VCB_ASSERT(cells.size() == headers.size(),
+               "row has %zu cells, table has %zu columns", cells.size(),
+               headers.size());
+    rows.push_back(std::move(cells));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths(headers.size());
+    for (size_t c = 0; c < headers.size(); ++c)
+        widths[c] = headers[c].size();
+    for (const auto &row : rows)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::string out;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            out += padRight(cells[c], widths[c]);
+            out += (c + 1 < cells.size()) ? "  " : "";
+        }
+        out += "\n";
+    };
+    emit(headers);
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+    out += std::string(total > 2 ? total - 2 : total, '-') + "\n";
+    for (const auto &row : rows)
+        emit(row);
+    return out;
+}
+
+std::string
+Table::csv() const
+{
+    auto escape = [](const std::string &s) {
+        if (s.find(',') == std::string::npos &&
+            s.find('"') == std::string::npos)
+            return s;
+        std::string q = "\"";
+        for (char c : s) {
+            if (c == '"')
+                q += "\"\"";
+            else
+                q += c;
+        }
+        return q + "\"";
+    };
+    std::string out;
+    for (size_t c = 0; c < headers.size(); ++c)
+        out += escape(headers[c]) + (c + 1 < headers.size() ? "," : "\n");
+    for (const auto &row : rows)
+        for (size_t c = 0; c < row.size(); ++c)
+            out += escape(row[c]) + (c + 1 < row.size() ? "," : "\n");
+    return out;
+}
+
+std::string
+barChart(const std::vector<std::pair<std::string, double>> &bars,
+         const std::string &unit, size_t max_width)
+{
+    double max_v = 0;
+    size_t label_w = 0;
+    for (const auto &[label, v] : bars) {
+        max_v = std::max(max_v, v);
+        label_w = std::max(label_w, label.size());
+    }
+    if (max_v <= 0)
+        max_v = 1;
+    std::string out;
+    for (const auto &[label, v] : bars) {
+        size_t len = static_cast<size_t>(v / max_v * max_width + 0.5);
+        out += padRight(label, label_w) + " |" +
+               std::string(len, '#') +
+               strprintf(" %.2f %s\n", v, unit.c_str());
+    }
+    return out;
+}
+
+std::string
+fmtF(double v, int precision)
+{
+    return strprintf("%.*f", precision, v);
+}
+
+} // namespace vcb::harness

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Reporting utilities: aligned text tables, ASCII bar charts and CSV
+ * emission for the figure/table regeneration binaries.
+ */
+
+#ifndef VCB_HARNESS_REPORT_H
+#define VCB_HARNESS_REPORT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vcb::harness {
+
+/** A simple aligned text table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+    /** Render with column alignment and a header rule. */
+    std::string render() const;
+    /** Render as CSV (no alignment, comma-escaped). */
+    std::string csv() const;
+
+  private:
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/**
+ * Horizontal ASCII bar chart: one row per (label, value), bars scaled
+ * to max_width characters against the maximum value.  Used to render
+ * the figures' shape directly in the terminal.
+ */
+std::string barChart(const std::vector<std::pair<std::string, double>>
+                         &bars,
+                     const std::string &unit, size_t max_width = 48);
+
+/** Format a double with given precision. */
+std::string fmtF(double v, int precision = 2);
+
+} // namespace vcb::harness
+
+#endif // VCB_HARNESS_REPORT_H

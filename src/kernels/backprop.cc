@@ -1,0 +1,116 @@
+/**
+ * @file
+ * backprop kernels (Rodinia backprop, 16-unit hidden layer).
+ */
+
+#include "kernels/kernels.h"
+
+#include "spirv/builder.h"
+
+namespace vcb::kernels {
+
+using spirv::Builder;
+using spirv::ElemType;
+
+// Workgroup: 256 lanes = 16 inputs x 16 hidden units.
+// shared[0..15]          : staged input tile
+// shared[16..271]        : per-(input, hidden) products for reduction
+spirv::Module
+buildBackpropLayerForward()
+{
+    Builder b("backprop_layerforward", 256);
+    b.bindStorage(0, ElemType::F32, true);  // input[n]
+    b.bindStorage(1, ElemType::F32, true);  // weights[n*16]
+    b.bindStorage(2, ElemType::F32);        // partial[numBlocks*16]
+    b.setPushWords(1);
+    b.setSharedWords(16 + 256);
+
+    auto lane = b.localLinearId();
+    auto sixteen = b.constI(16);
+    auto i_local = b.irem(lane, sixteen);
+    auto j = b.idiv(lane, sixteen);
+    auto block = b.groupIdX();
+    auto n = b.ldPush(0);
+
+    auto i_global = b.iadd(b.imul(block, sixteen), i_local);
+    auto valid = b.ult(i_global, n);
+
+    // Lanes with j == 0 stage the input tile.
+    auto zero = b.constI(0);
+    auto is_loader = b.ieq(j, zero);
+    b.ifThen(is_loader, [&] {
+        auto safe = b.select(valid, i_global, zero);
+        auto v = b.ldBuf(0, safe);
+        auto fzero = b.constF(0.0f);
+        auto staged = b.select(valid, v, fzero);
+        b.stShared(i_local, staged);
+    });
+    b.barrier();
+
+    // prod(i_local, j) = input[i] * w[i*16 + j]
+    auto safe_i = b.select(valid, i_global, zero);
+    auto w_idx = b.iadd(b.imul(safe_i, sixteen), j);
+    auto w = b.ldBuf(1, w_idx);
+    auto in_v = b.ldShared(i_local);
+    auto prod = b.fmul(in_v, w);
+    auto fzero = b.constF(0.0f);
+    prod = b.select(valid, prod, fzero);
+    // Store at 16 + i_local*16 + j so the reduction over i_local walks
+    // a fixed stride per hidden unit.
+    auto slot = b.iadd(sixteen, b.iadd(b.imul(i_local, sixteen), j));
+    b.stShared(slot, prod);
+    b.barrier();
+
+    // Tree reduction over i_local (stride 8, 4, 2, 1).
+    for (uint32_t s = 8; s >= 1; s /= 2) {
+        auto stride = b.constI(static_cast<int32_t>(s));
+        auto active = b.ilt(i_local, stride);
+        b.ifThen(active, [&] {
+            auto mine = b.iadd(sixteen,
+                               b.iadd(b.imul(i_local, sixteen), j));
+            auto theirs = b.iadd(
+                sixteen,
+                b.iadd(b.imul(b.iadd(i_local, stride), sixteen), j));
+            auto sum = b.fadd(b.ldShared(mine), b.ldShared(theirs));
+            b.stShared(mine, sum);
+        });
+        b.barrier();
+    }
+
+    // Lane row 0 writes the per-block partial sums.
+    auto is_writer = b.ieq(i_local, zero);
+    b.ifThen(is_writer, [&] {
+        auto out_idx = b.iadd(b.imul(block, sixteen), j);
+        b.stBuf(2, out_idx, b.ldShared(b.iadd(sixteen, j)));
+    });
+    return b.finish();
+}
+
+// w[i*16 + j] += lr * delta[j] * input[i]
+spirv::Module
+buildBackpropAdjustWeights()
+{
+    Builder b("backprop_adjust_weights", 256);
+    b.bindStorage(0, ElemType::F32, true); // input[n]
+    b.bindStorage(1, ElemType::F32, true); // delta[16]
+    b.bindStorage(2, ElemType::F32);       // weights[n*16]
+    b.setPushWords(2);
+
+    auto gid = b.globalIdX();
+    auto n = b.ldPush(0);
+    auto lr = b.ldPush(1);
+    auto sixteen = b.constI(16);
+    auto i = b.idiv(gid, sixteen);
+    auto j = b.irem(gid, sixteen);
+    auto in_range = b.ult(i, n);
+    b.ifThen(in_range, [&] {
+        auto input = b.ldBuf(0, i);
+        auto delta = b.ldBuf(1, j);
+        auto w = b.ldBuf(2, gid);
+        auto upd = b.ffma(b.fmul(lr, delta), input, w);
+        b.stBuf(2, gid, upd);
+    });
+    return b.finish();
+}
+
+} // namespace vcb::kernels

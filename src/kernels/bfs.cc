@@ -1,0 +1,93 @@
+/**
+ * @file
+ * bfs kernels (Rodinia bfs: frontier expansion + mask fold).
+ *
+ * The edge-array and visited-flag loads in kernel1 carry the
+ * promote-to-on-chip hint: disassembling the real drivers' output the
+ * paper found the OpenCL compiler used workgroup local memory for
+ * these accesses while the Vulkan compiler issued plain buffer loads
+ * (Sec. V-A2) — the cause of bfs's Vulkan slowdown on both desktop
+ * GPUs.
+ */
+
+#include "kernels/kernels.h"
+
+#include "spirv/builder.h"
+
+namespace vcb::kernels {
+
+using spirv::Builder;
+using spirv::ElemType;
+using spirv::MemFlagPromoteHint;
+
+spirv::Module
+buildBfsKernel1()
+{
+    Builder b("bfs_kernel1", 256);
+    b.bindStorage(0, ElemType::I32, true); // nodeStart
+    b.bindStorage(1, ElemType::I32, true); // nodeDegree
+    b.bindStorage(2, ElemType::I32, true); // edges
+    b.bindStorage(3, ElemType::I32);       // mask
+    b.bindStorage(4, ElemType::I32);       // updatingMask
+    b.bindStorage(5, ElemType::I32, true); // visited
+    b.bindStorage(6, ElemType::I32);       // cost
+    b.setPushWords(1);
+
+    auto tid = b.globalIdX();
+    auto n = b.ldPush(0);
+    auto zero = b.constI(0);
+    auto one = b.constI(1);
+
+    auto in_range = b.ult(tid, n);
+    b.ifThen(in_range, [&] {
+        auto active = b.ine(b.ldBuf(3, tid), zero);
+        b.ifThen(active, [&] {
+            b.stBuf(3, tid, zero);
+            auto my_cost = b.ldBuf(6, tid);
+            auto next_cost = b.iadd(my_cost, one);
+            auto start = b.ldBuf(0, tid);
+            auto degree = b.ldBuf(1, tid);
+            auto end = b.iadd(start, degree);
+            b.forRange(start, end, one, [&](Builder::Reg e) {
+                auto id = b.ldBuf(2, e, MemFlagPromoteHint);
+                auto seen = b.ldBuf(5, id);
+                auto fresh = b.ieq(seen, zero);
+                b.ifThen(fresh, [&] {
+                    b.stBuf(6, id, next_cost);
+                    b.stBuf(4, id, one);
+                });
+            });
+        });
+    });
+    return b.finish();
+}
+
+spirv::Module
+buildBfsKernel2()
+{
+    Builder b("bfs_kernel2", 256);
+    b.bindStorage(0, ElemType::I32); // mask
+    b.bindStorage(1, ElemType::I32); // updatingMask
+    b.bindStorage(2, ElemType::I32); // visited
+    b.bindStorage(3, ElemType::I32); // stop flag (word 0)
+    b.setPushWords(1);
+
+    auto tid = b.globalIdX();
+    auto n = b.ldPush(0);
+    auto zero = b.constI(0);
+    auto one = b.constI(1);
+
+    auto in_range = b.ult(tid, n);
+    b.ifThen(in_range, [&] {
+        auto pending = b.ine(b.ldBuf(1, tid), zero);
+        b.ifThen(pending, [&] {
+            b.stBuf(0, tid, one);
+            b.stBuf(2, tid, one);
+            b.stBuf(3, zero, one); // benign same-value race
+            b.stBuf(1, tid, zero);
+        });
+    });
+    return b.finish();
+}
+
+} // namespace vcb::kernels

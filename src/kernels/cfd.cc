@@ -1,0 +1,144 @@
+/**
+ * @file
+ * cfd kernels (Rodinia euler3d structure: three dependent kernels per
+ * solver iteration over an unstructured mesh).
+ *
+ * The flux mathematics is a synthetic-but-stable equivalent (smoothed
+ * neighbour exchange with per-neighbour sqrt/divide work) — see
+ * DESIGN.md: the study's cfd findings depend on the *shape* (three
+ * compute-heavy kernels, three pipeline binds per iteration, fixed
+ * iteration count), not on the exact Euler flux formula.
+ */
+
+#include "kernels/kernels.h"
+
+#include "spirv/builder.h"
+
+namespace vcb::kernels {
+
+using spirv::Builder;
+using spirv::ElemType;
+
+namespace {
+/** Number of conserved variables per cell (density, 3 momentum,
+ *  energy), as in euler3d. */
+constexpr uint32_t nVar = 5;
+/** Neighbours per cell in the synthetic mesh. */
+constexpr uint32_t nNb = 4;
+/** Smoothing coefficient of the synthetic flux. */
+constexpr float fluxCoeff = 0.12f;
+} // namespace
+
+spirv::Module
+buildCfdStepFactor()
+{
+    Builder b("cfd_compute_step_factor", 128);
+    b.bindStorage(0, ElemType::F32, true); // variables 5n
+    b.bindStorage(1, ElemType::F32, true); // areas n
+    b.bindStorage(2, ElemType::F32);       // stepFactors n
+    b.setPushWords(1);
+
+    auto i = b.globalIdX();
+    auto n = b.ldPush(0);
+    auto in_range = b.ult(i, n);
+    b.ifThen(in_range, [&] {
+        auto rho = b.ldBuf(0, i);
+        auto mx = b.ldBuf(0, b.iadd(i, n));
+        auto my = b.ldBuf(0, b.iadd(i, b.imul(n, b.constI(2))));
+        auto mz = b.ldBuf(0, b.iadd(i, b.imul(n, b.constI(3))));
+        auto e = b.ldBuf(0, b.iadd(i, b.imul(n, b.constI(4))));
+
+        auto rho_safe = b.fmax(rho, b.constF(1e-6f));
+        auto m2 = b.ffma(mx, mx, b.ffma(my, my, b.fmul(mz, mz)));
+        auto v2 = b.fdiv(m2, b.fmul(rho_safe, rho_safe));
+        auto half_rho_v2 = b.fmul(b.constF(0.5f),
+                                  b.fmul(rho_safe, v2));
+        auto p = b.fmul(b.constF(0.4f), b.fsub(e, half_rho_v2));
+        p = b.fmax(p, b.constF(1e-6f));
+        auto c = b.fsqrt(b.fdiv(b.fmul(b.constF(1.4f), p), rho_safe));
+        auto speed = b.fsqrt(v2);
+        auto area = b.fmax(b.ldBuf(1, i), b.constF(1e-6f));
+        auto denom = b.fmul(b.fsqrt(area), b.fadd(speed, c));
+        b.stBuf(2, i, b.fdiv(b.constF(0.5f), denom));
+    });
+    return b.finish();
+}
+
+spirv::Module
+buildCfdComputeFlux()
+{
+    Builder b("cfd_compute_flux", 128);
+    b.bindStorage(0, ElemType::F32, true); // variables 5n
+    b.bindStorage(1, ElemType::I32, true); // neighbors 4n
+    b.bindStorage(2, ElemType::F32, true); // normals 4n
+    b.bindStorage(3, ElemType::F32);       // fluxes 5n
+    b.setPushWords(1);
+
+    auto i = b.globalIdX();
+    auto n = b.ldPush(0);
+    auto zero = b.constI(0);
+    auto in_range = b.ult(i, n);
+    b.ifThen(in_range, [&] {
+        // Centre values and accumulators.
+        Builder::Reg centre[nVar];
+        Builder::Reg acc[nVar];
+        for (uint32_t v = 0; v < nVar; ++v) {
+            auto off = b.iadd(i, b.imul(n, b.constI((int32_t)v)));
+            centre[v] = b.ldBuf(0, off);
+            acc[v] = b.constF(0.0f);
+        }
+        auto coeff = b.constF(fluxCoeff);
+        for (uint32_t nb = 0; nb < nNb; ++nb) {
+            auto slot = b.iadd(i, b.imul(n, b.constI((int32_t)nb)));
+            auto j = b.ldBuf(1, slot);
+            auto valid = b.ige(j, zero);
+            b.ifThen(valid, [&] {
+                auto w = b.ldBuf(2, slot);
+                // Per-neighbour weight: coeff * sqrt(w) / (1 + w).
+                auto speed = b.fsqrt(w);
+                auto weight = b.fdiv(b.fmul(coeff, speed),
+                                     b.fadd(b.constF(1.0f), w));
+                for (uint32_t v = 0; v < nVar; ++v) {
+                    auto off = b.iadd(j, b.imul(n, b.constI((int32_t)v)));
+                    auto other = b.ldBuf(0, off);
+                    auto diff = b.fsub(other, centre[v]);
+                    auto upd = b.ffma(diff, weight, acc[v]);
+                    b.movTo(acc[v], upd);
+                }
+            });
+        }
+        for (uint32_t v = 0; v < nVar; ++v) {
+            auto off = b.iadd(i, b.imul(n, b.constI((int32_t)v)));
+            b.stBuf(3, off, acc[v]);
+        }
+    });
+    return b.finish();
+}
+
+spirv::Module
+buildCfdTimeStep()
+{
+    Builder b("cfd_time_step", 128);
+    b.bindStorage(0, ElemType::F32);       // variables 5n
+    b.bindStorage(1, ElemType::F32, true); // stepFactors n
+    b.bindStorage(2, ElemType::F32, true); // fluxes 5n
+    b.setPushWords(2);
+
+    auto i = b.globalIdX();
+    auto n = b.ldPush(0);
+    auto rk = b.ldPush(1);
+    auto in_range = b.ult(i, n);
+    b.ifThen(in_range, [&] {
+        auto sf = b.ldBuf(1, i);
+        auto factor = b.fmul(rk, sf);
+        for (uint32_t v = 0; v < nVar; ++v) {
+            auto off = b.iadd(i, b.imul(n, b.constI((int32_t)v)));
+            auto cur = b.ldBuf(0, off);
+            auto flux = b.ldBuf(2, off);
+            b.stBuf(0, off, b.ffma(factor, flux, cur));
+        }
+    });
+    return b.finish();
+}
+
+} // namespace vcb::kernels

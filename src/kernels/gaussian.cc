@@ -1,0 +1,82 @@
+/**
+ * @file
+ * gaussian kernels (Rodinia gaussian: Fan1 / Fan2 per elimination
+ * step t, launched n-1 times with a dependency between steps).
+ */
+
+#include "kernels/kernels.h"
+
+#include "spirv/builder.h"
+
+namespace vcb::kernels {
+
+using spirv::Builder;
+using spirv::ElemType;
+
+// m[(i+t+1)*n + t] = a[(i+t+1)*n + t] / a[t*n + t]
+spirv::Module
+buildGaussianFan1()
+{
+    Builder b("gaussian_fan1", 256);
+    b.bindStorage(0, ElemType::F32, true); // a
+    b.bindStorage(1, ElemType::F32);       // m
+    b.setPushWords(2);
+
+    auto i = b.globalIdX();
+    auto n = b.ldPush(0);
+    auto t = b.ldPush(1);
+    auto one = b.constI(1);
+
+    auto limit = b.isub(b.isub(n, one), t);
+    auto in_range = b.ult(i, limit);
+    b.ifThen(in_range, [&] {
+        auto row = b.iadd(b.iadd(i, t), one);
+        auto idx = b.iadd(b.imul(row, n), t);
+        auto pivot = b.ldBuf(0, b.iadd(b.imul(t, n), t));
+        auto mult = b.fdiv(b.ldBuf(0, idx), pivot);
+        b.stBuf(1, idx, mult);
+    });
+    return b.finish();
+}
+
+// a[row*n + col] -= m[row*n + t] * a[t*n + col]; col == 0 also fixes b.
+spirv::Module
+buildGaussianFan2()
+{
+    Builder b("gaussian_fan2", 256);
+    b.bindStorage(0, ElemType::F32);       // a
+    b.bindStorage(1, ElemType::F32, true); // m
+    b.bindStorage(2, ElemType::F32);       // b
+    b.setPushWords(2);
+
+    auto gid = b.globalIdX();
+    auto n = b.ldPush(0);
+    auto t = b.ldPush(1);
+    auto one = b.constI(1);
+
+    auto rows = b.isub(b.isub(n, one), t); // rows below the pivot
+    auto cols = b.isub(n, t);              // columns from t rightwards
+    auto total = b.imul(rows, cols);
+    auto in_range = b.ult(gid, total);
+    b.ifThen(in_range, [&] {
+        auto r = b.idiv(gid, cols);
+        auto c = b.irem(gid, cols);
+        auto row = b.iadd(b.iadd(r, t), one);
+        auto col = b.iadd(c, t);
+        auto mult = b.ldBuf(1, b.iadd(b.imul(row, n), t));
+        auto idx = b.iadd(b.imul(row, n), col);
+        auto pivot_row = b.ldBuf(0, b.iadd(b.imul(t, n), col));
+        auto v = b.fsub(b.ldBuf(0, idx), b.fmul(mult, pivot_row));
+        b.stBuf(0, idx, v);
+        auto zero = b.constI(0);
+        auto fix_b = b.ieq(c, zero);
+        b.ifThen(fix_b, [&] {
+            auto bt = b.ldBuf(2, t);
+            auto brow = b.ldBuf(2, row);
+            b.stBuf(2, row, b.fsub(brow, b.fmul(mult, bt)));
+        });
+    });
+    return b.finish();
+}
+
+} // namespace vcb::kernels

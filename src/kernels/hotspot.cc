@@ -1,0 +1,101 @@
+/**
+ * @file
+ * hotspot kernel (Rodinia hotspot: tiled thermal stencil with halo
+ * staging in workgroup shared memory).
+ */
+
+#include "kernels/kernels.h"
+
+#include "spirv/builder.h"
+
+namespace vcb::kernels {
+
+using spirv::Builder;
+using spirv::ElemType;
+
+namespace {
+constexpr uint32_t tile = blockSize;       // 16
+constexpr uint32_t staged = tile + 2;      // 18 (tile + halo)
+} // namespace
+
+spirv::Module
+buildHotspotStep()
+{
+    Builder b("hotspot_step", tile, tile);
+    b.bindStorage(0, ElemType::F32, true); // tIn
+    b.bindStorage(1, ElemType::F32, true); // power
+    b.bindStorage(2, ElemType::F32);       // tOut
+    b.setPushWords(6);
+    b.setSharedWords(staged * staged);
+
+    auto g = b.ldPush(0);
+    auto cc = b.ldPush(1);
+    auto rx_inv = b.ldPush(2);
+    auto ry_inv = b.ldPush(3);
+    auto rz_inv = b.ldPush(4);
+    auto amb = b.ldPush(5);
+
+    auto gi = b.globalIdX(); // column
+    auto gj = b.globalIdY(); // row
+    auto li = b.localIdX();
+    auto lj = b.localIdY();
+    auto zero = b.constI(0);
+    auto one = b.constI(1);
+    auto g1 = b.isub(g, one);
+    auto s = b.constI(static_cast<int32_t>(staged));
+
+    // Clamped global load helper: t_in[clamp(r, 0, g-1)*g + clamp(c)].
+    auto load_clamped = [&](Builder::Reg r, Builder::Reg c) {
+        auto rr = b.imin(b.imax(r, zero), g1);
+        auto cc2 = b.imin(b.imax(c, zero), g1);
+        return b.ldBuf(0, b.iadd(b.imul(rr, g), cc2));
+    };
+
+    // Stage centre cell at shared[(lj+1)*18 + li+1].
+    auto sj = b.iadd(lj, one);
+    auto si = b.iadd(li, one);
+    b.stShared(b.iadd(b.imul(sj, s), si), load_clamped(gj, gi));
+
+    // Halo: edge lanes stage one extra cell each.
+    auto tile_max = b.constI(static_cast<int32_t>(tile - 1));
+    b.ifThen(b.ieq(li, zero), [&] {
+        b.stShared(b.iadd(b.imul(sj, s), zero),
+                   load_clamped(gj, b.isub(gi, one)));
+    });
+    b.ifThen(b.ieq(li, tile_max), [&] {
+        b.stShared(b.iadd(b.imul(sj, s), b.iadd(si, one)),
+                   load_clamped(gj, b.iadd(gi, one)));
+    });
+    b.ifThen(b.ieq(lj, zero), [&] {
+        b.stShared(b.iadd(b.imul(zero, s), si),
+                   load_clamped(b.isub(gj, one), gi));
+    });
+    b.ifThen(b.ieq(lj, tile_max), [&] {
+        b.stShared(b.iadd(b.imul(b.iadd(sj, one), s), si),
+                   load_clamped(b.iadd(gj, one), gi));
+    });
+    b.barrier();
+
+    auto in_range = b.iand(b.ult(gi, g), b.ult(gj, g));
+    b.ifThen(in_range, [&] {
+        auto centre = b.ldShared(b.iadd(b.imul(sj, s), si));
+        auto north = b.ldShared(b.iadd(b.imul(b.isub(sj, one), s), si));
+        auto south = b.ldShared(b.iadd(b.imul(b.iadd(sj, one), s), si));
+        auto west = b.ldShared(b.iadd(b.imul(sj, s), b.isub(si, one)));
+        auto east = b.ldShared(b.iadd(b.imul(sj, s), b.iadd(si, one)));
+        auto p = b.ldBuf(1, b.iadd(b.imul(gj, g), gi));
+
+        auto two = b.constF(2.0f);
+        auto vert = b.fsub(b.fadd(north, south), b.fmul(two, centre));
+        auto horiz = b.fsub(b.fadd(east, west), b.fmul(two, centre));
+        auto sink = b.fsub(amb, centre);
+        auto delta = b.fadd(p, b.fmul(vert, ry_inv));
+        delta = b.fadd(delta, b.fmul(horiz, rx_inv));
+        delta = b.fadd(delta, b.fmul(sink, rz_inv));
+        auto out = b.ffma(cc, delta, centre);
+        b.stBuf(2, b.iadd(b.imul(gj, g), gi), out);
+    });
+    return b.finish();
+}
+
+} // namespace vcb::kernels

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * The VComputeBench kernel library.
+ *
+ * Each function builds one compute kernel as a spirv::Module — the
+ * analogue of the GLSL compute shaders the paper compiles offline with
+ * glslangvalidator.  The kernels implement the same algorithms as the
+ * Rodinia 3.1 CUDA/OpenCL versions (no algorithmic changes, per the
+ * paper's methodology) so that cross-API comparisons isolate the
+ * programming model.
+ *
+ * Conventions:
+ *  - buffers are 32-bit word arrays; binding numbers are per kernel;
+ *  - scalar parameters arrive as push-constant words (Vulkan push
+ *    constants / OpenCL & CUDA scalar kernel arguments);
+ *  - each doc comment lists bindings and push words in order.
+ */
+
+#ifndef VCB_KERNELS_KERNELS_H
+#define VCB_KERNELS_KERNELS_H
+
+#include <cstdint>
+
+#include "spirv/module.h"
+
+namespace vcb::kernels {
+
+/** Workgroup edge for the blocked kernels (Rodinia BLOCK_SIZE). */
+constexpr uint32_t blockSize = 16;
+/** nw uses a wider block so per-diagonal launches carry real work at
+ *  the simulated sizes (Rodinia tunes this per platform too). */
+constexpr uint32_t nwBlockSize = 32;
+/** Hidden-layer width of backprop (Rodinia fixed at 16). */
+constexpr uint32_t bpHidden = 16;
+
+// ---------------------------------------------------------------------------
+// Microbenchmarks
+// ---------------------------------------------------------------------------
+
+/**
+ * vectorAdd — Z[i] = X[i] + Y[i] (the paper's Listing-1 example).
+ * Bindings: 0=X(ro f32), 1=Y(ro f32), 2=Z(f32).  Push: [0]=n.
+ * Local size 256.
+ */
+spirv::Module buildVecAdd();
+
+/**
+ * stridedRead — the strided memory-bandwidth microbenchmark (Figs. 1
+ * and 3).  Thread j accumulates src[(r*threads + j) * stride] for
+ * r in [0, rounds); a guarded never-taken store keeps the loop live.
+ * Bindings: 0=src(ro f32), 1=guard(f32).
+ * Push: [0]=stride, [1]=rounds, [2]=threads.  Local size 256.
+ */
+spirv::Module buildStridedRead();
+
+// ---------------------------------------------------------------------------
+// backprop (deep learning, unstructured grid)
+// ---------------------------------------------------------------------------
+
+/**
+ * backprop_layerforward — partial weighted sums of the hidden layer
+ * with a shared-memory tree reduction (workgroup = 16 inputs x 16
+ * hidden units).
+ * Bindings: 0=input(ro f32 n), 1=weights(ro f32 n*16),
+ *           2=partial(f32 numBlocks*16).
+ * Push: [0]=n.  Local size 256, shared 16 + 256 words.
+ */
+spirv::Module buildBackpropLayerForward();
+
+/**
+ * backprop_adjust_weights — w[i][j] += lr * delta[j] * input[i].
+ * Bindings: 0=input(ro f32 n), 1=delta(ro f32 16), 2=weights(f32 n*16).
+ * Push: [0]=n, [1]=lr (f32 bits).  Local size 256.
+ */
+spirv::Module buildBackpropAdjustWeights();
+
+// ---------------------------------------------------------------------------
+// bfs (graph traversal)
+// ---------------------------------------------------------------------------
+
+/**
+ * bfs_kernel1 — expand the frontier.  The edge-array and visited-flag
+ * loads carry MemFlagPromoteHint: mature compilers keep them on-chip
+ * (the paper's CodeXL finding), young Vulkan compilers do not.
+ * Bindings: 0=nodeStart(ro i32), 1=nodeDegree(ro i32), 2=edges(ro i32),
+ *           3=mask(i32), 4=updatingMask(i32), 5=visited(ro i32),
+ *           6=cost(i32).
+ * Push: [0]=numNodes.  Local size 256.
+ */
+spirv::Module buildBfsKernel1();
+
+/**
+ * bfs_kernel2 — fold the updating mask and raise the continue flag.
+ * Bindings: 0=mask(i32), 1=updatingMask(i32), 2=visited(i32),
+ *           3=stop(i32, word 0).
+ * Push: [0]=numNodes.  Local size 256.
+ */
+spirv::Module buildBfsKernel2();
+
+// ---------------------------------------------------------------------------
+// cfd (fluid dynamics; synthetic-mesh euler3d equivalent)
+// ---------------------------------------------------------------------------
+
+/**
+ * cfd_compute_step_factor.
+ * Bindings: 0=variables(ro f32 5n SoA), 1=areas(ro f32 n),
+ *           2=stepFactors(f32 n).
+ * Push: [0]=n.  Local size 128.
+ */
+spirv::Module buildCfdStepFactor();
+
+/**
+ * cfd_compute_flux — neighbour gather over the 4-neighbour synthetic
+ * mesh; the compute-heavy kernel (sqrt/div per neighbour).
+ * Bindings: 0=variables(ro f32 5n), 1=neighbors(ro i32 4n),
+ *           2=normals(ro f32 4n), 3=fluxes(f32 5n).
+ * Push: [0]=n.  Local size 128.
+ */
+spirv::Module buildCfdComputeFlux();
+
+/**
+ * cfd_time_step — variables += stepFactor * fluxes (RK stage).
+ * Bindings: 0=variables(f32 5n), 1=stepFactors(ro f32 n),
+ *           2=fluxes(ro f32 5n).
+ * Push: [0]=n, [1]=rkFactor (f32 bits).  Local size 128.
+ */
+spirv::Module buildCfdTimeStep();
+
+// ---------------------------------------------------------------------------
+// gaussian (dense linear algebra)
+// ---------------------------------------------------------------------------
+
+/**
+ * gaussian_fan1 — column multipliers for elimination step t.
+ * Bindings: 0=a(ro f32 n*n), 1=m(f32 n*n).
+ * Push: [0]=n, [1]=t.  Local size 256.
+ */
+spirv::Module buildGaussianFan1();
+
+/**
+ * gaussian_fan2 — row reduction for step t (updates a and b).
+ * Bindings: 0=a(f32 n*n), 1=m(ro f32 n*n), 2=b(f32 n).
+ * Push: [0]=n, [1]=t.  Local size 256.
+ */
+spirv::Module buildGaussianFan2();
+
+// ---------------------------------------------------------------------------
+// hotspot (structured grid, shared-memory tiled stencil)
+// ---------------------------------------------------------------------------
+
+/**
+ * hotspot_step — one tiled stencil step with halo staging in shared
+ * memory (16x16 tile, 18x18 staged).
+ * Bindings: 0=tIn(ro f32 g*g), 1=power(ro f32 g*g), 2=tOut(f32 g*g).
+ * Push: [0]=g, [1]=cc, [2]=rxInv, [3]=ryInv, [4]=rzInv, [5]=amb
+ * (floats as bits).  Local size 16x16.
+ */
+spirv::Module buildHotspotStep();
+
+// ---------------------------------------------------------------------------
+// lud (dense linear algebra, blocked 16x16)
+// ---------------------------------------------------------------------------
+
+/**
+ * lud_diagonal — in-place LU of diagonal block t (single workgroup of
+ * 16 lanes, barrier per elimination step).
+ * Bindings: 0=a(f32 n*n).  Push: [0]=n, [1]=t.  Local 16, shared 256.
+ */
+spirv::Module buildLudDiagonal();
+
+/**
+ * lud_perimeter — updates row blocks (t, t+1+w) and column blocks
+ * (t+1+w, t); workgroup w in [0, 2*(nb-t-1)).
+ * Bindings: 0=a(f32 n*n).  Push: [0]=n, [1]=t.  Local 16, shared 512.
+ */
+spirv::Module buildLudPerimeter();
+
+/**
+ * lud_internal — trailing submatrix update, 2D grid of 16x16 lanes.
+ * Bindings: 0=a(f32 n*n).  Push: [0]=n, [1]=t.
+ * Local 16x16, shared 512.
+ */
+spirv::Module buildLudInternal();
+
+// ---------------------------------------------------------------------------
+// nn (data mining)
+// ---------------------------------------------------------------------------
+
+/**
+ * nn_euclid — Euclidean distance of each (lat, lng) record to the
+ * query point.
+ * Bindings: 0=lat(ro f32 n), 1=lng(ro f32 n), 2=dist(f32 n).
+ * Push: [0]=n, [1]=qLat (bits), [2]=qLng (bits).  Local size 256.
+ */
+spirv::Module buildNnEuclid();
+
+// ---------------------------------------------------------------------------
+// nw (dynamic programming)
+// ---------------------------------------------------------------------------
+
+/**
+ * nw_block — one 16x16 block of the alignment matrix per workgroup,
+ * internal anti-diagonal wavefront with barriers; workgroup bx walks
+ * the block anti-diagonal s (x = xStart + bx, y = s - x).
+ * Bindings: 0=itemsets(i32 (n+1)^2), 1=reference(ro i32 (n+1)^2).
+ * Push: [0]=n, [1]=s, [2]=xStart, [3]=penalty.
+ * Local 16, shared 17*17 + 16*16 words.
+ */
+spirv::Module buildNwBlock();
+
+// ---------------------------------------------------------------------------
+// pathfinder (grid traversal)
+// ---------------------------------------------------------------------------
+
+/**
+ * pathfinder_row — one dynamic-programming row:
+ * dst[j] = data[row*cols + j] + min(src[j-1], src[j], src[j+1]).
+ * Bindings: 0=data(ro i32 rows*cols), 1=src(ro i32 cols),
+ *           2=dst(i32 cols).
+ * Push: [0]=cols, [1]=row.  Local size 256.
+ */
+spirv::Module buildPathfinderRow();
+
+} // namespace vcb::kernels
+
+#endif // VCB_KERNELS_KERNELS_H

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * lud kernels (Rodinia lud: blocked right-looking LU, block size 16,
+ * three kernels per elimination step: diagonal, perimeter, internal).
+ */
+
+#include "kernels/kernels.h"
+
+#include "spirv/builder.h"
+
+namespace vcb::kernels {
+
+using spirv::Builder;
+using spirv::ElemType;
+
+namespace {
+constexpr uint32_t B = blockSize; // 16
+} // namespace
+
+// Single workgroup of 16 lanes factorises diagonal block t in shared
+// memory: lane j owns row j of the block.
+spirv::Module
+buildLudDiagonal()
+{
+    Builder b("lud_diagonal", B);
+    b.bindStorage(0, ElemType::F32);
+    b.setPushWords(2);
+    b.setSharedWords(B * B);
+
+    auto n = b.ldPush(0);
+    auto t = b.ldPush(1);
+    auto j = b.localIdX();
+    auto bconst = b.constI(static_cast<int32_t>(B));
+    auto base = b.imul(t, bconst); // top-left element index (row = col)
+
+    // Load row j of the block into shared.
+    auto one = b.constI(1);
+    auto zero = b.constI(0);
+    b.forRange(zero, bconst, one, [&](Builder::Reg k) {
+        auto g = b.iadd(b.imul(b.iadd(base, j), n), b.iadd(base, k));
+        b.stShared(b.iadd(b.imul(j, bconst), k), b.ldBuf(0, g));
+    });
+    b.barrier();
+
+    // Elimination steps (static unroll over the pivot index i).
+    for (uint32_t i = 0; i + 1 < B; ++i) {
+        auto iv = b.constI(static_cast<int32_t>(i));
+        auto below = b.igt(j, iv);
+        b.ifThen(below, [&] {
+            auto lji = b.iadd(b.imul(j, bconst), iv);
+            auto uii = b.ldShared(
+                b.constI(static_cast<int32_t>(i * B + i)));
+            b.stShared(lji, b.fdiv(b.ldShared(lji), uii));
+        });
+        b.barrier();
+        b.ifThen(below, [&] {
+            auto lji = b.ldShared(b.iadd(b.imul(j, bconst), iv));
+            auto start = b.constI(static_cast<int32_t>(i + 1));
+            b.forRange(start, bconst, one, [&](Builder::Reg k) {
+                auto jk = b.iadd(b.imul(j, bconst), k);
+                auto ik = b.iadd(b.constI(static_cast<int32_t>(i * B)),
+                                 k);
+                auto v = b.fsub(b.ldShared(jk),
+                                b.fmul(lji, b.ldShared(ik)));
+                b.stShared(jk, v);
+            });
+        });
+        b.barrier();
+    }
+
+    // Write row j back.
+    b.forRange(zero, bconst, one, [&](Builder::Reg k) {
+        auto g = b.iadd(b.imul(b.iadd(base, j), n), b.iadd(base, k));
+        b.stBuf(0, g, b.ldShared(b.iadd(b.imul(j, bconst), k)));
+    });
+    return b.finish();
+}
+
+// Workgroup w < half handles row block (t, t+1+w): columns of U.
+// Workgroup w >= half handles column block (t+1+w-half, t): rows of L.
+// shared[0..255] = diagonal block, shared[256..511] = work block.
+spirv::Module
+buildLudPerimeter()
+{
+    Builder b("lud_perimeter", B);
+    b.bindStorage(0, ElemType::F32);
+    b.setPushWords(3); // n, t, half
+    b.setSharedWords(2 * B * B);
+
+    auto n = b.ldPush(0);
+    auto t = b.ldPush(1);
+    auto half = b.ldPush(2);
+    auto j = b.localIdX();
+    auto w = b.groupIdX();
+    auto bconst = b.constI(static_cast<int32_t>(B));
+    auto woff = b.constI(static_cast<int32_t>(B * B));
+    auto zero = b.constI(0);
+    auto one = b.constI(1);
+
+    auto is_row = b.ult(w, half);
+    auto off = b.select(is_row, w, b.isub(w, half));
+    auto other = b.iadd(b.iadd(t, one), off);
+    auto brow = b.select(is_row, t, other);
+    auto bcol = b.select(is_row, other, t);
+
+    // Load diag block (row j) and work block (row j).
+    auto dbase_r = b.imul(b.iadd(b.imul(t, bconst), j), n);
+    auto dbase_c = b.imul(t, bconst);
+    b.forRange(zero, bconst, one, [&](Builder::Reg k) {
+        auto g = b.iadd(dbase_r, b.iadd(dbase_c, k));
+        b.stShared(b.iadd(b.imul(j, bconst), k), b.ldBuf(0, g));
+    });
+    auto wbase_r = b.imul(b.iadd(b.imul(brow, bconst), j), n);
+    auto wbase_c = b.imul(bcol, bconst);
+    b.forRange(zero, bconst, one, [&](Builder::Reg k) {
+        auto g = b.iadd(wbase_r, b.iadd(wbase_c, k));
+        b.stShared(b.iadd(woff, b.iadd(b.imul(j, bconst), k)),
+                   b.ldBuf(0, g));
+    });
+    b.barrier();
+
+    // Both branches are pure per-lane work (lane j owns column j of a
+    // row block / row j of a column block) — no further barriers.
+    b.ifThenElse(
+        is_row,
+        [&] {
+            // U block: w[i][j] -= sum_{k<i} d[i][k] * w[k][j]
+            b.forRange(zero, bconst, one, [&](Builder::Reg i) {
+                auto acc = b.ldShared(
+                    b.iadd(woff, b.iadd(b.imul(i, bconst), j)));
+                b.forRange(zero, i, one, [&](Builder::Reg k) {
+                    auto dik = b.ldShared(b.iadd(b.imul(i, bconst), k));
+                    auto wkj = b.ldShared(
+                        b.iadd(woff, b.iadd(b.imul(k, bconst), j)));
+                    auto prod = b.fmul(dik, wkj);
+                    auto nprod = b.fneg(prod);
+                    auto sum = b.fadd(acc, nprod);
+                    b.movTo(acc, sum);
+                });
+                b.stShared(b.iadd(woff, b.iadd(b.imul(i, bconst), j)),
+                           acc);
+            });
+        },
+        [&] {
+            // L block: w[j][i] = (w[j][i] - sum_{k<i} w[j][k] * d[k][i])
+            //                    / d[i][i]
+            b.forRange(zero, bconst, one, [&](Builder::Reg i) {
+                auto acc = b.ldShared(
+                    b.iadd(woff, b.iadd(b.imul(j, bconst), i)));
+                b.forRange(zero, i, one, [&](Builder::Reg k) {
+                    auto wjk = b.ldShared(
+                        b.iadd(woff, b.iadd(b.imul(j, bconst), k)));
+                    auto dki = b.ldShared(b.iadd(b.imul(k, bconst), i));
+                    auto prod = b.fmul(wjk, dki);
+                    auto sum = b.fsub(acc, prod);
+                    b.movTo(acc, sum);
+                });
+                auto dii = b.ldShared(b.iadd(b.imul(i, bconst), i));
+                b.stShared(b.iadd(woff, b.iadd(b.imul(j, bconst), i)),
+                           b.fdiv(acc, dii));
+            });
+        });
+    b.barrier();
+
+    // Write the work block back (row j).
+    b.forRange(zero, bconst, one, [&](Builder::Reg k) {
+        auto g = b.iadd(wbase_r, b.iadd(wbase_c, k));
+        b.stBuf(0, g,
+                b.ldShared(b.iadd(woff, b.iadd(b.imul(j, bconst), k))));
+    });
+    return b.finish();
+}
+
+// 2D grid over the trailing submatrix; lane (li, lj) of workgroup
+// (bx, by) updates a[(t+1+by)*16+lj][(t+1+bx)*16+li].
+spirv::Module
+buildLudInternal()
+{
+    Builder b("lud_internal", B, B);
+    b.bindStorage(0, ElemType::F32);
+    b.setPushWords(2);
+    b.setSharedWords(2 * B * B);
+
+    auto n = b.ldPush(0);
+    auto t = b.ldPush(1);
+    auto li = b.localIdX();
+    auto lj = b.localIdY();
+    auto bx = b.groupIdX();
+    auto by = b.groupIdY();
+    auto bconst = b.constI(static_cast<int32_t>(B));
+    auto uoff = b.constI(static_cast<int32_t>(B * B));
+    auto one = b.constI(1);
+
+    auto row_block = b.iadd(b.iadd(t, one), by);
+    auto col_block = b.iadd(b.iadd(t, one), bx);
+
+    // L block: rows (row_block), cols (t).  Lane stages one element.
+    auto l_g = b.iadd(b.imul(b.iadd(b.imul(row_block, bconst), lj), n),
+                      b.iadd(b.imul(t, bconst), li));
+    b.stShared(b.iadd(b.imul(lj, bconst), li), b.ldBuf(0, l_g));
+    // U block: rows (t), cols (col_block).
+    auto u_g = b.iadd(b.imul(b.iadd(b.imul(t, bconst), lj), n),
+                      b.iadd(b.imul(col_block, bconst), li));
+    b.stShared(b.iadd(uoff, b.iadd(b.imul(lj, bconst), li)),
+               b.ldBuf(0, u_g));
+    b.barrier();
+
+    auto acc = b.constF(0.0f);
+    auto zero = b.constI(0);
+    b.forRange(zero, bconst, one, [&](Builder::Reg k) {
+        auto l = b.ldShared(b.iadd(b.imul(lj, bconst), k));
+        auto u = b.ldShared(b.iadd(uoff, b.iadd(b.imul(k, bconst), li)));
+        auto sum = b.ffma(l, u, acc);
+        b.movTo(acc, sum);
+    });
+
+    auto g = b.iadd(b.imul(b.iadd(b.imul(row_block, bconst), lj), n),
+                    b.iadd(b.imul(col_block, bconst), li));
+    b.stBuf(0, g, b.fsub(b.ldBuf(0, g), acc));
+    return b.finish();
+}
+
+} // namespace vcb::kernels

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Microbenchmark kernels: vectorAdd and stridedRead.
+ */
+
+#include "kernels/kernels.h"
+
+#include "spirv/builder.h"
+
+namespace vcb::kernels {
+
+using spirv::Builder;
+using spirv::ElemType;
+
+// GLSL equivalent:
+//   layout(local_size_x = 256) in;
+//   void main() {
+//       uint i = gl_GlobalInvocationID.x;
+//       if (i < pc.n) Z[i] = X[i] + Y[i];
+//   }
+spirv::Module
+buildVecAdd()
+{
+    Builder b("vectorAdd", 256);
+    b.bindStorage(0, ElemType::F32, true);
+    b.bindStorage(1, ElemType::F32, true);
+    b.bindStorage(2, ElemType::F32);
+    b.setPushWords(1);
+
+    auto i = b.globalIdX();
+    auto n = b.ldPush(0);
+    auto in_range = b.ult(i, n);
+    b.ifThen(in_range, [&] {
+        auto x = b.ldBuf(0, i);
+        auto y = b.ldBuf(1, i);
+        b.stBuf(2, i, b.fadd(x, y));
+    });
+    return b.finish();
+}
+
+// GLSL equivalent:
+//   uint j = gl_GlobalInvocationID.x;
+//   float sum = 0;
+//   for (uint r = 0; r < pc.rounds; ++r)
+//       sum += src[((r & 7) * pc.threads + j) * pc.stride];
+//   if (sum == 123456789.0) guard[0] = sum;   // never taken
+//
+// The row index wraps over an 8-row window so the footprint stays
+// bounded while the round count amortises launch costs; the window
+// (threads * 8 * stride * 4 bytes) far exceeds the caches of every
+// modelled GPU, so each pass streams from DRAM as a larger buffer
+// would.
+spirv::Module
+buildStridedRead()
+{
+    Builder b("stridedRead", 256);
+    b.bindStorage(0, ElemType::F32, true);
+    b.bindStorage(1, ElemType::F32);
+    b.setPushWords(3);
+
+    auto j = b.globalIdX();
+    auto stride = b.ldPush(0);
+    auto rounds = b.ldPush(1);
+    auto threads = b.ldPush(2);
+
+    auto sum = b.constF(0.0f);
+    auto zero = b.constI(0);
+    auto one = b.constI(1);
+    auto window_mask = b.constI(7);
+    b.forRange(zero, rounds, one, [&](Builder::Reg r) {
+        auto row = b.iand(r, window_mask);
+        auto base = b.imul(row, threads);
+        auto idx = b.imul(b.iadd(base, j), stride);
+        auto v = b.ldBuf(0, idx);
+        b.faddTo(sum, sum, v);
+    });
+
+    auto sentinel = b.constF(123456789.0f);
+    auto taken = b.feq(sum, sentinel);
+    b.ifThen(taken, [&] { b.stBuf(1, zero, sum); });
+    return b.finish();
+}
+
+} // namespace vcb::kernels

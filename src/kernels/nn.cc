@@ -1,0 +1,40 @@
+/**
+ * @file
+ * nn kernel (Rodinia nn: Euclidean distances of location records to a
+ * query point; the host selects the K nearest afterwards).
+ */
+
+#include "kernels/kernels.h"
+
+#include "spirv/builder.h"
+
+namespace vcb::kernels {
+
+using spirv::Builder;
+using spirv::ElemType;
+
+spirv::Module
+buildNnEuclid()
+{
+    Builder b("nn_euclid", 256);
+    b.bindStorage(0, ElemType::F32, true); // lat
+    b.bindStorage(1, ElemType::F32, true); // lng
+    b.bindStorage(2, ElemType::F32);       // dist
+    b.setPushWords(3);
+
+    auto i = b.globalIdX();
+    auto n = b.ldPush(0);
+    auto q_lat = b.ldPush(1);
+    auto q_lng = b.ldPush(2);
+
+    auto in_range = b.ult(i, n);
+    b.ifThen(in_range, [&] {
+        auto dlat = b.fsub(b.ldBuf(0, i), q_lat);
+        auto dlng = b.fsub(b.ldBuf(1, i), q_lng);
+        auto d2 = b.ffma(dlat, dlat, b.fmul(dlng, dlng));
+        b.stBuf(2, i, b.fsqrt(d2));
+    });
+    return b.finish();
+}
+
+} // namespace vcb::kernels

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * nw kernel (Rodinia needle: 16x16 alignment-matrix blocks processed
+ * along block anti-diagonals; internal cell wavefront with barriers).
+ *
+ * Rodinia ships two kernels (one per matrix triangle) that differ only
+ * in how block coordinates derive from the launch index; here the host
+ * passes the block anti-diagonal s and its starting x, so a single
+ * module covers both phases — the launch *pattern* (2*nb - 1 dependent
+ * launches) is identical.
+ */
+
+#include "kernels/kernels.h"
+
+#include "spirv/builder.h"
+
+namespace vcb::kernels {
+
+using spirv::Builder;
+using spirv::ElemType;
+
+namespace {
+constexpr uint32_t B = nwBlockSize;    // 32
+constexpr uint32_t T = B + 1;          // staged block incl. borders
+} // namespace
+
+spirv::Module
+buildNwBlock()
+{
+    Builder b("nw_block", B);
+    b.bindStorage(0, ElemType::I32);       // itemsets (n+1)^2
+    b.bindStorage(1, ElemType::I32, true); // reference (n+1)^2
+    b.setPushWords(4);
+    b.setSharedWords(T * T + B * B);
+
+    auto n = b.ldPush(0);
+    auto s = b.ldPush(1);
+    auto x_start = b.ldPush(2);
+    auto penalty = b.ldPush(3);
+    auto tx = b.localIdX();
+    auto bx = b.groupIdX();
+    auto one = b.constI(1);
+    auto zero = b.constI(0);
+    auto bconst = b.constI(static_cast<int32_t>(B));
+    auto tconst = b.constI(static_cast<int32_t>(T));
+    auto refoff = b.constI(static_cast<int32_t>(T * T));
+
+    auto nn = b.iadd(n, one); // matrix dimension with border row/col
+    auto x = b.iadd(x_start, bx);
+    auto y = b.isub(s, x);
+    auto row0 = b.imul(y, bconst); // border row of this block
+    auto col0 = b.imul(x, bconst);
+
+    // Stage borders: temp[0][0], temp[tx+1][0], temp[0][tx+1].
+    b.ifThen(b.ieq(tx, zero), [&] {
+        b.stShared(zero, b.ldBuf(0, b.iadd(b.imul(row0, nn), col0)));
+    });
+    auto tx1 = b.iadd(tx, one);
+    b.stShared(b.imul(tx1, tconst),
+               b.ldBuf(0, b.iadd(b.imul(b.iadd(row0, tx1), nn), col0)));
+    b.stShared(tx1,
+               b.ldBuf(0, b.iadd(b.imul(row0, nn), b.iadd(col0, tx1))));
+
+    // Stage the reference block: lane tx loads its column.
+    b.forRange(zero, bconst, one, [&](Builder::Reg ty) {
+        auto g = b.iadd(b.imul(b.iadd(row0, b.iadd(ty, one)), nn),
+                        b.iadd(col0, tx1));
+        b.stShared(b.iadd(refoff, b.iadd(b.imul(ty, bconst), tx)),
+                   b.ldBuf(1, g));
+    });
+    b.barrier();
+
+    // Cell wavefront: internal anti-diagonal m in [0, 2B-1).
+    auto m_end = b.constI(static_cast<int32_t>(2 * B - 1));
+    auto m = b.mov(zero);
+    b.whileLoop(
+        [&] { return b.ilt(m, m_end); },
+        [&] {
+            auto ty = b.isub(m, tx);
+            auto active = b.iand(b.ile(tx, m),
+                                 b.iand(b.ige(ty, zero),
+                                        b.ilt(ty, bconst)));
+            b.ifThen(active, [&] {
+                auto trow = b.iadd(ty, one);
+                auto tcol = tx1;
+                auto diag = b.ldShared(
+                    b.iadd(b.imul(b.isub(trow, one), tconst),
+                           b.isub(tcol, one)));
+                auto up = b.ldShared(
+                    b.iadd(b.imul(b.isub(trow, one), tconst), tcol));
+                auto left = b.ldShared(
+                    b.iadd(b.imul(trow, tconst), b.isub(tcol, one)));
+                auto ref = b.ldShared(
+                    b.iadd(refoff, b.iadd(b.imul(ty, bconst), tx)));
+                auto best = b.imax(b.iadd(diag, ref),
+                                   b.imax(b.isub(up, penalty),
+                                          b.isub(left, penalty)));
+                b.stShared(b.iadd(b.imul(trow, tconst), tcol), best);
+            });
+            b.barrier();
+            b.iaddTo(m, m, one);
+        });
+
+    // Write the block back: lane tx stores its column.
+    b.forRange(zero, bconst, one, [&](Builder::Reg ty) {
+        auto g = b.iadd(b.imul(b.iadd(row0, b.iadd(ty, one)), nn),
+                        b.iadd(col0, tx1));
+        auto v = b.ldShared(
+            b.iadd(b.imul(b.iadd(ty, one), tconst), tx1));
+        b.stBuf(0, g, v);
+    });
+    return b.finish();
+}
+
+} // namespace vcb::kernels

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * pathfinder kernel (Rodinia pathfinder: one DP row per launch,
+ * ping-pong src/dst row buffers).
+ */
+
+#include "kernels/kernels.h"
+
+#include "spirv/builder.h"
+
+namespace vcb::kernels {
+
+using spirv::Builder;
+using spirv::ElemType;
+
+spirv::Module
+buildPathfinderRow()
+{
+    Builder b("pathfinder_row", 256);
+    b.bindStorage(0, ElemType::I32, true); // data (rows x cols)
+    b.bindStorage(1, ElemType::I32, true); // src row
+    b.bindStorage(2, ElemType::I32);       // dst row
+    b.setPushWords(2);
+
+    auto j = b.globalIdX();
+    auto cols = b.ldPush(0);
+    auto row = b.ldPush(1);
+    auto zero = b.constI(0);
+    auto one = b.constI(1);
+
+    auto in_range = b.ult(j, cols);
+    b.ifThen(in_range, [&] {
+        auto left_idx = b.imax(b.isub(j, one), zero);
+        auto right_idx = b.imin(b.iadd(j, one), b.isub(cols, one));
+        auto left = b.ldBuf(1, left_idx);
+        auto mid = b.ldBuf(1, j);
+        auto right = b.ldBuf(1, right_idx);
+        auto best = b.imin(b.imin(left, mid), right);
+        auto cell = b.ldBuf(0, b.iadd(b.imul(row, cols), j));
+        b.stBuf(2, j, b.iadd(cell, best));
+    });
+    return b.finish();
+}
+
+} // namespace vcb::kernels

@@ -1,0 +1,337 @@
+#include "ocl/ocl.h"
+
+#include <cstring>
+#include <map>
+
+#include "common/logging.h"
+#include "sim/engine.h"
+#include "sim/kernel.h"
+#include "sim/timeline.h"
+#include "sim/timing.h"
+
+namespace vcb::ocl {
+
+struct EventImpl
+{
+    double queuedNs = 0;
+    double startNs = 0;
+    double endNs = 0;
+};
+
+double
+Event::queuedNs() const
+{
+    VCB_ASSERT(impl, "null event");
+    return impl->queuedNs;
+}
+
+double
+Event::startNs() const
+{
+    VCB_ASSERT(impl, "null event");
+    return impl->startNs;
+}
+
+double
+Event::endNs() const
+{
+    VCB_ASSERT(impl, "null event");
+    return impl->endNs;
+}
+
+struct ContextImpl
+{
+    const sim::DeviceSpec *spec = nullptr;
+    std::unique_ptr<sim::ExecutionEngine> engine;
+    std::unique_ptr<sim::Timeline> timeline;
+    uint64_t heapUsed = 0;
+};
+
+struct BufferImpl
+{
+    ContextImpl *ctx = nullptr;
+    uint64_t bytes = 0;
+    std::vector<uint32_t> words;
+};
+
+struct ProgramImpl
+{
+    ContextImpl *ctx = nullptr;
+    spirv::Module module;
+    std::unique_ptr<sim::CompiledKernel> kernel;
+    bool built = false;
+};
+
+struct KernelImpl
+{
+    ProgramImpl *program = nullptr;
+    std::map<uint32_t, Buffer> buffers;
+    std::vector<uint32_t> push;
+};
+
+std::vector<const sim::DeviceSpec *>
+getDevices()
+{
+    std::vector<const sim::DeviceSpec *> out;
+    for (const auto &d : sim::deviceRegistry())
+        if (d.profile(sim::Api::OpenCl).available)
+            out.push_back(&d);
+    return out;
+}
+
+Context::Context(const sim::DeviceSpec &dev)
+    : impl_(std::make_unique<ContextImpl>())
+{
+    VCB_ASSERT(dev.profile(sim::Api::OpenCl).available,
+               "OpenCL is not available on %s", dev.name.c_str());
+    impl_->spec = &dev;
+    impl_->engine = std::make_unique<sim::ExecutionEngine>(dev);
+    impl_->timeline = std::make_unique<sim::Timeline>(1);
+}
+
+Context::~Context() = default;
+
+const sim::DeviceSpec &
+Context::device() const
+{
+    return *impl_->spec;
+}
+
+double
+Context::hostNowNs() const
+{
+    return impl_->timeline->hostNow();
+}
+
+void
+Context::finish()
+{
+    const sim::DriverProfile &prof =
+        impl_->spec->profile(sim::Api::OpenCl);
+    impl_->timeline->hostWaitQueue(0, prof.syncWakeupNs);
+}
+
+uint64_t
+Buffer::sizeBytes() const
+{
+    VCB_ASSERT(impl_, "null buffer");
+    return impl_->bytes;
+}
+
+Buffer
+createBuffer(Context &ctx, uint32_t flags, uint64_t bytes)
+{
+    VCB_ASSERT(bytes > 0 && bytes % 4 == 0,
+               "buffer size must be a positive multiple of 4");
+    VCB_ASSERT(flags != 0, "buffer needs memory flags");
+    ContextImpl *c = ctx.impl();
+    if (c->heapUsed + bytes > c->spec->deviceHeapBytes)
+        fatal("ocl: CL_MEM_OBJECT_ALLOCATION_FAILURE on %s (%llu B used, "
+              "%llu B requested)",
+              c->spec->name.c_str(), (unsigned long long)c->heapUsed,
+              (unsigned long long)bytes);
+    c->heapUsed += bytes;
+    Buffer b;
+    b.impl_ = std::make_shared<BufferImpl>();
+    b.impl_->ctx = c;
+    b.impl_->bytes = bytes;
+    b.impl_->words.assign(bytes / 4, 0);
+    return b;
+}
+
+Program
+createProgramWithSource(Context &ctx, const spirv::Module &m)
+{
+    Program p;
+    p.impl_ = std::make_shared<ProgramImpl>();
+    p.impl_->ctx = ctx.impl();
+    p.impl_->module = m;
+    return p;
+}
+
+bool
+buildProgram(Program program, std::string *errorOut)
+{
+    VCB_ASSERT(program.valid(), "null program");
+    ProgramImpl *p = program.impl();
+    const sim::DeviceSpec &spec = *p->ctx->spec;
+    std::string err;
+    auto kernel = sim::compileKernel(p->module, spec, sim::Api::OpenCl,
+                                     &err);
+    if (!kernel) {
+        if (errorOut)
+            *errorOut = err;
+        return false;
+    }
+    // JIT build runs on the host, inside application time.
+    p->ctx->timeline->hostAdvance(kernel->compileNs);
+    p->kernel = std::move(kernel);
+    p->built = true;
+    if (errorOut)
+        errorOut->clear();
+    return true;
+}
+
+Kernel
+createKernel(Program program, const std::string &name,
+             std::string *errorOut)
+{
+    VCB_ASSERT(program.valid(), "null program");
+    ProgramImpl *p = program.impl();
+    if (!p->built) {
+        if (errorOut)
+            *errorOut = "program was not built";
+        return Kernel();
+    }
+    if (p->module.name != name) {
+        if (errorOut)
+            *errorOut = strprintf("no kernel '%s' in program ('%s')",
+                                  name.c_str(), p->module.name.c_str());
+        return Kernel();
+    }
+    Kernel k;
+    k.impl_ = std::make_shared<KernelImpl>();
+    k.impl_->program = p;
+    k.impl_->push.assign(std::max<uint32_t>(p->module.pushWords, 1), 0);
+    if (errorOut)
+        errorOut->clear();
+    return k;
+}
+
+void
+setKernelArgBuffer(Kernel k, uint32_t binding, Buffer buf)
+{
+    VCB_ASSERT(k.valid() && buf.valid(), "null kernel/buffer");
+    VCB_ASSERT(k.impl()->program->module.findBinding(binding),
+               "kernel '%s' has no binding %u",
+               k.impl()->program->module.name.c_str(), binding);
+    k.impl()->buffers[binding] = buf;
+}
+
+void
+setKernelArgScalar(Kernel k, uint32_t word, uint32_t value)
+{
+    VCB_ASSERT(k.valid(), "null kernel");
+    VCB_ASSERT(word < k.impl()->program->module.pushWords,
+               "kernel '%s' scalar arg word %u out of range",
+               k.impl()->program->module.name.c_str(), word);
+    k.impl()->push[word] = value;
+}
+
+void
+setKernelArgScalarF(Kernel k, uint32_t word, float value)
+{
+    uint32_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    setKernelArgScalar(k, word, bits);
+}
+
+Event
+enqueueNDRangeKernel(Context &ctx, Kernel k, uint32_t gx, uint32_t gy,
+                     uint32_t gz)
+{
+    VCB_ASSERT(k.valid(), "null kernel");
+    ContextImpl *c = ctx.impl();
+    KernelImpl *ki = k.impl();
+    const sim::CompiledKernel &kernel = *ki->program->kernel;
+    const sim::DriverProfile &prof = c->spec->profile(sim::Api::OpenCl);
+
+    const uint32_t *ls = kernel.module.localSize;
+    VCB_ASSERT(gx % ls[0] == 0 && gy % ls[1] == 0 && gz % ls[2] == 0,
+               "kernel '%s': global size (%u,%u,%u) not a multiple of "
+               "local size (%u,%u,%u)",
+               kernel.module.name.c_str(), gx, gy, gz, ls[0], ls[1],
+               ls[2]);
+
+    sim::DispatchContext dctx;
+    dctx.kernel = &kernel;
+    dctx.groups[0] = gx / ls[0];
+    dctx.groups[1] = gy / ls[1];
+    dctx.groups[2] = gz / ls[2];
+    dctx.buffers.resize(kernel.module.bindingBound());
+    for (const auto &decl : kernel.module.bindings) {
+        auto it = ki->buffers.find(decl.binding);
+        VCB_ASSERT(it != ki->buffers.end(),
+                   "kernel '%s': argument (binding %u) was never set",
+                   kernel.module.name.c_str(), decl.binding);
+        BufferImpl *b = it->second.impl();
+        dctx.buffers[decl.binding] = {b->words.data(), b->words.size()};
+    }
+    dctx.push = ki->push.data();
+    dctx.pushWords = static_cast<uint32_t>(ki->push.size());
+
+    // Host pays the enqueue overhead; the device work is appended to
+    // the in-order queue (enqueue-ahead pipelining).
+    c->timeline->hostAdvance(prof.launchOverheadNs);
+    Event ev;
+    ev.impl = std::make_shared<EventImpl>();
+    ev.impl->queuedNs = c->timeline->hostNow();
+
+    sim::DispatchResult r = c->engine->dispatch(dctx);
+    double start = std::max(c->timeline->queueReady(0),
+                            c->timeline->hostNow());
+    ev.impl->startNs = start;
+    ev.impl->endNs = c->timeline->enqueue(0, r.kernelNs);
+    return ev;
+}
+
+Event
+enqueueWriteBuffer(Context &ctx, Buffer buf, bool blocking,
+                   uint64_t offset, uint64_t bytes, const void *src)
+{
+    VCB_ASSERT(buf.valid() && src, "bad write args");
+    VCB_ASSERT(offset % 4 == 0 && bytes % 4 == 0 &&
+                   offset + bytes <= buf.sizeBytes(),
+               "write range out of bounds");
+    ContextImpl *c = ctx.impl();
+    const sim::DriverProfile &prof = c->spec->profile(sim::Api::OpenCl);
+
+    std::memcpy(reinterpret_cast<uint8_t *>(buf.impl()->words.data()) +
+                    offset,
+                src, bytes);
+
+    c->timeline->hostAdvance(prof.launchOverheadNs);
+    Event ev;
+    ev.impl = std::make_shared<EventImpl>();
+    ev.impl->queuedNs = c->timeline->hostNow();
+    double start = std::max(c->timeline->queueReady(0),
+                            c->timeline->hostNow());
+    ev.impl->startNs = start;
+    ev.impl->endNs = c->timeline->enqueue(
+        0, sim::TimingModel::transferNs(*c->spec, bytes));
+    if (blocking)
+        c->timeline->hostWaitUntil(ev.impl->endNs, prof.syncWakeupNs);
+    return ev;
+}
+
+Event
+enqueueReadBuffer(Context &ctx, Buffer buf, bool blocking, uint64_t offset,
+                  uint64_t bytes, void *dst)
+{
+    VCB_ASSERT(buf.valid() && dst, "bad read args");
+    VCB_ASSERT(offset % 4 == 0 && bytes % 4 == 0 &&
+                   offset + bytes <= buf.sizeBytes(),
+               "read range out of bounds");
+    ContextImpl *c = ctx.impl();
+    const sim::DriverProfile &prof = c->spec->profile(sim::Api::OpenCl);
+
+    std::memcpy(dst,
+                reinterpret_cast<uint8_t *>(buf.impl()->words.data()) +
+                    offset,
+                bytes);
+
+    c->timeline->hostAdvance(prof.launchOverheadNs);
+    Event ev;
+    ev.impl = std::make_shared<EventImpl>();
+    ev.impl->queuedNs = c->timeline->hostNow();
+    double start = std::max(c->timeline->queueReady(0),
+                            c->timeline->hostNow());
+    ev.impl->startNs = start;
+    ev.impl->endNs = c->timeline->enqueue(
+        0, sim::TimingModel::transferNs(*c->spec, bytes));
+    if (blocking)
+        c->timeline->hostWaitUntil(ev.impl->endNs, prof.syncWakeupNs);
+    return ev;
+}
+
+} // namespace vcb::ocl

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * OpenCL-mini ("ocl"): the OpenCL 1.2/2.0-style runtime of the
+ * simulator, used as the paper's cross-vendor baseline.
+ *
+ * Differences from vkm that matter to the study and are modelled here:
+ *  - programs are built (JIT-compiled) at run time, charging host time
+ *    (the paper excludes this from kernel-time regions by starting the
+ *    measured region after build);
+ *  - each kernel launch (enqueueNDRange) pays a host-side enqueue
+ *    overhead; there are no command buffers to amortise it;
+ *  - the driver compiler is mature: it honours local-memory promotion
+ *    hints (the bfs finding);
+ *  - in-order queues give enqueue-ahead pipelining, but host blocking
+ *    waits (finish) are required by the multi-kernel method whenever
+ *    an iteration depends on the previous one.
+ *
+ * Scalar kernel arguments map onto the kernel's push-constant words
+ * (OpenCL's clSetKernelArg with a non-buffer argument).
+ */
+
+#ifndef VCB_OCL_OCL_H
+#define VCB_OCL_OCL_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/device.h"
+#include "spirv/module.h"
+
+namespace vcb::ocl {
+
+struct ContextImpl;
+struct BufferImpl;
+struct ProgramImpl;
+struct KernelImpl;
+struct EventImpl;
+
+/** Memory flags for buffer creation. */
+enum MemFlag : uint32_t
+{
+    MemReadWrite = 1u << 0,
+    MemReadOnly = 1u << 1,
+    MemWriteOnly = 1u << 2,
+};
+
+/** Profiling info of one enqueued command (simulated ns, absolute). */
+struct Event
+{
+    std::shared_ptr<EventImpl> impl;
+    bool valid() const { return impl != nullptr; }
+    double queuedNs() const;
+    double startNs() const;
+    double endNs() const;
+};
+
+/** All simulated devices exposing OpenCL. */
+std::vector<const sim::DeviceSpec *> getDevices();
+
+/**
+ * An OpenCL context + in-order command queue for one device.
+ * (The suite never needs multiple queues per CL context, matching the
+ * Rodinia hosts.)
+ */
+class Context
+{
+  public:
+    explicit Context(const sim::DeviceSpec &dev);
+    ~Context();
+
+    Context(const Context &) = delete;
+    Context &operator=(const Context &) = delete;
+
+    const sim::DeviceSpec &device() const;
+
+    /** Simulated host clock (std::chrono analogue). */
+    double hostNowNs() const;
+
+    /** clFinish: drain the queue, blocking the host. */
+    void finish();
+
+    ContextImpl *impl() const { return impl_.get(); }
+
+  private:
+    std::unique_ptr<ContextImpl> impl_;
+};
+
+/** A device buffer. */
+class Buffer
+{
+  public:
+    Buffer() = default;
+    bool valid() const { return impl_ != nullptr; }
+    uint64_t sizeBytes() const;
+    BufferImpl *impl() const { return impl_.get(); }
+
+  private:
+    friend Buffer createBuffer(Context &, uint32_t, uint64_t);
+    std::shared_ptr<BufferImpl> impl_;
+};
+
+/** A program: IR "source" plus the build products. */
+class Program
+{
+  public:
+    Program() = default;
+    bool valid() const { return impl_ != nullptr; }
+    ProgramImpl *impl() const { return impl_.get(); }
+
+  private:
+    friend Program createProgramWithSource(Context &,
+                                           const spirv::Module &);
+    std::shared_ptr<ProgramImpl> impl_;
+};
+
+/** A kernel with bound arguments. */
+class Kernel
+{
+  public:
+    Kernel() = default;
+    bool valid() const { return impl_ != nullptr; }
+    KernelImpl *impl() const { return impl_.get(); }
+
+  private:
+    friend Kernel createKernel(Program, const std::string &,
+                               std::string *);
+    std::shared_ptr<KernelImpl> impl_;
+};
+
+/** Allocate a device buffer; fatal on heap exhaustion (CL_OUT_OF...). */
+Buffer createBuffer(Context &ctx, uint32_t flags, uint64_t bytes);
+
+/** Wrap kernel source (the IR module) into a program. */
+Program createProgramWithSource(Context &ctx, const spirv::Module &m);
+
+/**
+ * clBuildProgram: runs the driver JIT, charging host time.  Returns
+ * false and fills errorOut on driver rejection (e.g. the Snapdragon
+ * lud failure) or validation failure.
+ */
+bool buildProgram(Program program, std::string *errorOut);
+
+/** Create the (single) kernel of a built program by entry-point name. */
+Kernel createKernel(Program program, const std::string &name,
+                    std::string *errorOut);
+
+/** Bind a buffer argument to the binding slot it occupies in the IR. */
+void setKernelArgBuffer(Kernel k, uint32_t binding, Buffer buf);
+
+/** Bind a scalar argument to a push-constant word. */
+void setKernelArgScalar(Kernel k, uint32_t word, uint32_t value);
+void setKernelArgScalarF(Kernel k, uint32_t word, float value);
+
+/**
+ * Enqueue an NDRange launch.  Sizes are in work-items (OpenCL style);
+ * global must be a multiple of the kernel's local size.  Non-blocking:
+ * the host only pays the enqueue overhead.
+ */
+Event enqueueNDRangeKernel(Context &ctx, Kernel k, uint32_t gx,
+                           uint32_t gy = 1, uint32_t gz = 1);
+
+/** Blocking or non-blocking buffer write (host -> device). */
+Event enqueueWriteBuffer(Context &ctx, Buffer buf, bool blocking,
+                         uint64_t offset, uint64_t bytes,
+                         const void *src);
+
+/** Blocking or non-blocking buffer read (device -> host). */
+Event enqueueReadBuffer(Context &ctx, Buffer buf, bool blocking,
+                        uint64_t offset, uint64_t bytes, void *dst);
+
+} // namespace vcb::ocl
+
+#endif // VCB_OCL_OCL_H

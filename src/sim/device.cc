@@ -1,0 +1,54 @@
+#include "sim/device.h"
+
+#include "common/logging.h"
+#include "common/strutil.h"
+
+namespace vcb::sim {
+
+const char *
+apiName(Api api)
+{
+    switch (api) {
+      case Api::Vulkan:
+        return "Vulkan";
+      case Api::OpenCl:
+        return "OpenCL";
+      case Api::Cuda:
+        return "CUDA";
+    }
+    return "<bad>";
+}
+
+bool
+DriverProfile::kernelBroken(const std::string &name) const
+{
+    for (const auto &b : brokenKernels)
+        if (startsWith(name, b))
+            return true;
+    return false;
+}
+
+double
+DriverProfile::kernelTimeFactor(const std::string &name,
+                                bool uses_shared) const
+{
+    double factor = uses_shared ? sharedKernelTimeDerate : 1.0;
+    for (const auto &[prefix, derate] : kernelTimeDerates)
+        if (startsWith(name, prefix))
+            factor *= derate;
+    return factor;
+}
+
+const DriverProfile &
+DeviceSpec::profile(Api api) const
+{
+    return apis[static_cast<int>(api)];
+}
+
+double
+DeviceSpec::lanesPerNs() const
+{
+    return computeUnits * simdWidth * clockGhz;
+}
+
+} // namespace vcb::sim

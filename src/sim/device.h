@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Simulated GPU device descriptions and per-API driver profiles.
+ *
+ * A DeviceSpec captures the architectural parameters that the paper's
+ * findings depend on (compute width, clock, DRAM bandwidth, coalescing
+ * granularity, heap sizes) and one DriverProfile per programming model
+ * capturing the *driver* behaviours the paper attributes differences
+ * to: launch/submit/sync overheads, JIT/pipeline compile costs,
+ * compiler maturity (local-memory promotion, code quality), and
+ * platform quirks (Snapdragon's push-constant fallback, Nexus's weak
+ * shared-memory codegen, outright driver failures for particular
+ * kernels).
+ *
+ * Everything here is a *model input*: constants are set once in
+ * device_registry.cc (with rationale) and never per-benchmark.
+ */
+
+#ifndef VCB_SIM_DEVICE_H
+#define VCB_SIM_DEVICE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vcb::sim {
+
+/** The three programming models under study. */
+enum class Api { Vulkan = 0, OpenCl = 1, Cuda = 2 };
+
+/** Number of APIs (array sizing). */
+constexpr int apiCount = 3;
+
+/** Printable API name. */
+const char *apiName(Api api);
+
+/** Per-(device, API) driver behaviour model. */
+struct DriverProfile
+{
+    /** Whether this API is supported on the device at all. */
+    bool available = false;
+    /** Reported version string (Tables II/III). */
+    std::string version;
+
+    // ---- host-side overheads, all in nanoseconds -----------------------
+    /** Cost of one kernel launch/enqueue call (CUDA launch, OpenCL
+     *  clEnqueueNDRangeKernel).  Vulkan does not pay this per dispatch. */
+    double launchOverheadNs = 0;
+    /** Cost of one queue submission (vkQueueSubmit / implicit flush). */
+    double submitOverheadNs = 0;
+    /** Host latency to observe completion of a blocking wait
+     *  (fence wait / clFinish / cudaDeviceSynchronize wakeup). */
+    double syncWakeupNs = 0;
+    /** OpenCL-style JIT: program build cost per IR instruction. */
+    double jitBuildNsPerInsn = 0;
+    /** Vulkan pipeline creation cost per IR instruction. */
+    double pipelineCompileNsPerInsn = 0;
+
+    // ---- device-side per-command costs (executed from a command
+    //      buffer or implicitly per launch), nanoseconds ----------------
+    double dispatchSetupNs = 0;   ///< per dispatch (work distribution)
+    double barrierNs = 0;         ///< per pipeline/memory barrier
+    double bindPipelineNs = 0;    ///< per compute-pipeline bind
+    double bindDescSetNs = 0;     ///< per descriptor-set bind
+    double pushConstantNs = 0;    ///< per push-constant update
+
+    // ---- compiler maturity ---------------------------------------------
+    /** Whether the kernel compiler honours MemFlagPromoteHint and keeps
+     *  the marked accesses in on-chip memory.  The paper found OpenCL
+     *  and CUDA compilers do, the young Vulkan SPIR-V compilers do not
+     *  (bfs ISA comparison with CodeXL, Sec. V-A2). */
+    bool localMemPromotion = false;
+    /** ALU code-generation quality: multiplier on compute throughput. */
+    double codeQuality = 1.0;
+    /** Fraction of peak DRAM bandwidth this API's generated code and
+     *  runtime achieve for streaming accesses. */
+    double memEfficiency = 0.8;
+    /** Multiplier on the device's memory-transaction issue rate; models
+     *  small per-transaction savings of thinner runtimes. */
+    double txEfficiency = 1.0;
+
+    // ---- quirks -----------------------------------------------------------
+    /** Snapdragon 625 quirk (paper Sec. V-B1): the driver implements
+     *  push constants as ordinary buffer rebinds, charging
+     *  bindDescSetNs for every vkCmdPushConstants. */
+    bool pushConstantsAsBufferBind = false;
+    /** Nexus/PowerVR quirk (paper Sec. V-B2): kernels that use
+     *  workgroup shared memory compile to poor code; multiplier applied
+     *  to codeQuality for such kernels. */
+    double sharedMemCodegenFactor = 1.0;
+    /** Kernels (by entry-point name) this driver fails to build/run —
+     *  reproduces the paper's reported driver failures. */
+    std::vector<std::string> brokenKernels;
+
+    /**
+     * Per-kernel execution-time multipliers (name-prefix matched),
+     * for driver pathologies the paper reports without a mechanism
+     * (e.g. the Nexus Vulkan driver's hotspot slowdown, Sec. V-B2).
+     */
+    std::vector<std::pair<std::string, double>> kernelTimeDerates;
+
+    /**
+     * Execution-time multiplier applied to kernels that use workgroup
+     * shared memory — models immature drivers compiling local-memory
+     * code poorly (the Snapdragon-wide Vulkan slowdowns, Sec. V-B2).
+     */
+    double sharedKernelTimeDerate = 1.0;
+
+    /** True if this profile refuses the named kernel. */
+    bool kernelBroken(const std::string &name) const;
+
+    /** Combined execution-time multiplier for a kernel. */
+    double kernelTimeFactor(const std::string &name,
+                            bool uses_shared) const;
+};
+
+/** Architectural description of one simulated GPU. */
+struct DeviceSpec
+{
+    std::string name;        ///< marketing name (Tables II/III)
+    std::string vendor;
+    std::string platform;    ///< host platform description
+    bool mobile = false;
+
+    // ---- compute ---------------------------------------------------------
+    uint32_t computeUnits = 1;   ///< SMs / CUs / shader clusters
+    uint32_t simdWidth = 32;     ///< lanes issued per CU per cycle
+    uint32_t warpWidth = 32;     ///< coalescing / scheduling granularity
+    double clockGhz = 1.0;
+
+    // ---- memory system ------------------------------------------------------
+    double peakBwGBs = 100.0;    ///< DRAM peak bandwidth (GB/s = B/ns)
+    double sharedBwGBs = 400.0;  ///< aggregate on-chip/LDS bandwidth
+    uint32_t cacheLineBytes = 64;
+    double txPerNs = 1.5;        ///< max DRAM transactions per ns
+    double dispatchLatencyNs = 3000; ///< fixed front-end latency/dispatch
+    double atomicNsEach = 2.0;   ///< serialisation cost per atomic op
+
+    // ---- heaps / transfer -----------------------------------------------------
+    uint64_t deviceHeapBytes = 4ull << 30;
+    uint64_t hostVisibleHeapBytes = 16ull << 30;
+    double hostCopyBwGBs = 12.0; ///< PCIe for desktop, DRAM for mobile
+    bool unifiedMemory = false;
+
+    // ---- limits ------------------------------------------------------------
+    uint32_t maxPushBytes = 256;
+    uint32_t maxWorkgroupInvocations = 1024;
+    uint32_t computeQueueCount = 1;
+    uint32_t transferQueueCount = 1;
+
+    /** One profile per Api (indexed by static_cast<int>(Api)). */
+    DriverProfile apis[apiCount];
+
+    /** Profile accessor with availability check left to the caller. */
+    const DriverProfile &profile(Api api) const;
+
+    /** Lanes retired per nanosecond = CUs * simdWidth * clockGhz. */
+    double lanesPerNs() const;
+};
+
+/** All registered devices, in Table II then Table III order. */
+const std::vector<DeviceSpec> &deviceRegistry();
+
+/** Find a device by (case-insensitive substring) name; fatal if absent. */
+const DeviceSpec &deviceByName(const std::string &name);
+
+/** Registry ids used throughout benches: "gtx1050ti", "rx560",
+ *  "adreno506", "g6430". */
+const DeviceSpec &gtx1050ti();
+const DeviceSpec &rx560();
+const DeviceSpec &adreno506();
+const DeviceSpec &powervrG6430();
+
+} // namespace vcb::sim
+
+#endif // VCB_SIM_DEVICE_H

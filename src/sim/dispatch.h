@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Dispatch-level plumbing: buffer bindings and execution statistics.
+ */
+
+#ifndef VCB_SIM_DISPATCH_H
+#define VCB_SIM_DISPATCH_H
+
+#include <cstdint>
+#include <vector>
+
+namespace vcb::sim {
+
+struct CompiledKernel;
+
+/** A storage buffer as seen by the interpreter: a span of words. */
+struct BufferBinding
+{
+    uint32_t *data = nullptr;
+    uint64_t words = 0;
+};
+
+/** Aggregate execution statistics of one dispatch. */
+struct DispatchStats
+{
+    uint64_t invocations = 0;
+    /** ALU issue cycles summed over all lanes (per-op cost table). */
+    uint64_t laneCycles = 0;
+    /** Global-memory word accesses that hit DRAM. */
+    uint64_t dramAccesses = 0;
+    /** Estimated DRAM line transactions (coalescing model). */
+    double dramTransactions = 0;
+    /** Word accesses served on-chip due to promotion. */
+    uint64_t promotedAccesses = 0;
+    /** Explicit shared-memory word accesses. */
+    uint64_t sharedAccesses = 0;
+    uint64_t atomicOps = 0;
+    /** Barrier phases crossed (summed over workgroups). */
+    uint64_t barriers = 0;
+};
+
+/** Immutable inputs of one dispatch. */
+struct DispatchContext
+{
+    const CompiledKernel *kernel = nullptr;
+    uint32_t groups[3] = {1, 1, 1};
+    /** Indexed by binding number. */
+    std::vector<BufferBinding> buffers;
+    const uint32_t *push = nullptr;
+    uint32_t pushWords = 0;
+    /** Clamp out-of-bounds accesses instead of trapping. */
+    bool robustAccess = false;
+};
+
+/** Result of simulating one dispatch. */
+struct DispatchResult
+{
+    /** Device-side execution time (includes dispatch fixed latency). */
+    double kernelNs = 0;
+    DispatchStats stats;
+};
+
+} // namespace vcb::sim
+
+#endif // VCB_SIM_DISPATCH_H

@@ -1,0 +1,145 @@
+#include "sim/engine.h"
+
+#include <atomic>
+#include <mutex>
+#include <set>
+
+#include "common/logging.h"
+#include "common/threadpool.h"
+#include "sim/interpreter.h"
+#include "sim/sampler.h"
+#include "sim/timing.h"
+
+namespace vcb::sim {
+
+namespace {
+
+/** Decompose a linear workgroup index into (x, y, z). */
+inline void
+unflatten(uint64_t idx, const uint32_t groups[3], uint32_t &x,
+          uint32_t &y, uint32_t &z)
+{
+    x = static_cast<uint32_t>(idx % groups[0]);
+    y = static_cast<uint32_t>((idx / groups[0]) % groups[1]);
+    z = static_cast<uint32_t>(idx / (uint64_t(groups[0]) * groups[1]));
+}
+
+} // namespace
+
+DispatchResult
+ExecutionEngine::dispatch(const DispatchContext &ctx)
+{
+    const CompiledKernel &k = *ctx.kernel;
+    VCB_ASSERT(ctx.kernel != nullptr, "dispatch without kernel");
+    VCB_ASSERT(ctx.groups[0] >= 1 && ctx.groups[1] >= 1 &&
+                   ctx.groups[2] >= 1,
+               "kernel '%s': zero workgroup count", k.module.name.c_str());
+
+    // Every declared binding must be backed by a buffer.
+    for (const auto &decl : k.module.bindings) {
+        VCB_ASSERT(decl.binding < ctx.buffers.size() &&
+                       ctx.buffers[decl.binding].data != nullptr,
+                   "kernel '%s': binding %u has no buffer bound",
+                   k.module.name.c_str(), decl.binding);
+    }
+    VCB_ASSERT(ctx.pushWords >= k.module.pushWords,
+               "kernel '%s': push constants missing (%u of %u words)",
+               k.module.name.c_str(), ctx.pushWords, k.module.pushWords);
+
+    uint64_t total = uint64_t(ctx.groups[0]) * ctx.groups[1] *
+                     ctx.groups[2];
+
+    // Pick up to four spread-out sample workgroups for the coalescing
+    // model (always including workgroup 0).
+    std::set<uint64_t> sample_set;
+    sample_set.insert(0);
+    if (total > 1) {
+        sample_set.insert(total / 4);
+        sample_set.insert(total / 2);
+        sample_set.insert((3 * total) / 4);
+    }
+
+    CoalesceSampler sampler(k.numSites, dev.warpWidth, dev.cacheLineBytes,
+                            k.localCount());
+
+    // Shared accumulation across workers.
+    std::mutex merge_mtx;
+    DispatchStats stats;
+    std::vector<uint64_t> site_exec(k.numSites, 0);
+
+    auto merge = [&](const WorkgroupStats &ws) {
+        std::lock_guard<std::mutex> lk(merge_mtx);
+        stats.laneCycles += ws.laneCycles;
+        stats.sharedAccesses += ws.sharedAccesses;
+        stats.atomicOps += ws.atomicOps;
+        stats.barriers += ws.barriers;
+        stats.invocations += ws.invocations;
+        for (uint32_t s = 0; s < k.numSites; ++s)
+            site_exec[s] += ws.siteExec[s];
+    };
+
+    // Sampled workgroups run serially first (the sampler is not
+    // thread-safe); workgroups are independent, so order is irrelevant
+    // to results.
+    {
+        Interpreter interp;
+        interp.prepare(ctx);
+        WorkgroupStats ws;
+        ws.siteExec.assign(k.numSites, 0);
+        for (uint64_t idx : sample_set) {
+            uint32_t x, y, z;
+            unflatten(idx, ctx.groups, x, y, z);
+            interp.runWorkgroup(x, y, z, ws, &sampler);
+        }
+        merge(ws);
+    }
+
+    // Remaining workgroups in parallel, batched per worker invocation.
+    if (total > sample_set.size()) {
+        static thread_local Interpreter tls_interp;
+        static thread_local WorkgroupStats tls_ws;
+        // Collect non-sampled indices count; iterate all and skip.
+        ThreadPool::global().parallelFor(total, [&](uint64_t idx) {
+            if (sample_set.count(idx))
+                return;
+            tls_interp.prepare(ctx);
+            tls_ws.siteExec.assign(k.numSites, 0);
+            tls_ws.laneCycles = 0;
+            tls_ws.sharedAccesses = 0;
+            tls_ws.atomicOps = 0;
+            tls_ws.barriers = 0;
+            tls_ws.invocations = 0;
+            uint32_t x, y, z;
+            unflatten(idx, ctx.groups, x, y, z);
+            tls_interp.runWorkgroup(x, y, z, tls_ws, nullptr);
+            merge(tls_ws);
+        });
+    }
+
+    // Fold site execution counts into DRAM/on-chip traffic using the
+    // sampled coalescing ratios.
+    bool promote = k.promoted;
+    for (uint32_t s = 0; s < k.numSites; ++s) {
+        uint64_t exec = site_exec[s];
+        if (exec == 0)
+            continue;
+        if (promote && k.sitePromote[s]) {
+            stats.promotedAccesses += exec;
+        } else {
+            stats.dramAccesses += exec;
+            stats.dramTransactions +=
+                static_cast<double>(exec) * sampler.ratioFor(s);
+        }
+    }
+
+    DispatchResult result;
+    result.stats = stats;
+    const DriverProfile &prof = dev.profile(k.api);
+    double derate = prof.kernelTimeFactor(k.module.name,
+                                          k.module.sharedWords > 0);
+    result.kernelNs = dev.dispatchLatencyNs + prof.dispatchSetupNs +
+                      derate * TimingModel::kernelExecNs(dev, k, stats);
+    return result;
+}
+
+} // namespace vcb::sim

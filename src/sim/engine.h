@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The execution engine: functionally executes a dispatch across all
+ * workgroups and produces its simulated device time.
+ *
+ * A few spread-out workgroups are interpreted first with the
+ * coalescing sampler attached; the rest run in parallel on the host
+ * thread pool.  Workgroups are independent in every supported
+ * programming model, so parallel interpretation preserves results for
+ * valid kernels.
+ */
+
+#ifndef VCB_SIM_ENGINE_H
+#define VCB_SIM_ENGINE_H
+
+#include "sim/device.h"
+#include "sim/dispatch.h"
+#include "sim/kernel.h"
+
+namespace vcb::sim {
+
+/** Per-device dispatch executor. */
+class ExecutionEngine
+{
+  public:
+    explicit ExecutionEngine(const DeviceSpec &dev) : dev(dev) {}
+
+    /**
+     * Execute the kernel over a (gx, gy, gz) grid.
+     *
+     * @param ctx dispatch inputs; ctx.kernel/buffers must be populated.
+     * @return simulated device time (including fixed dispatch latency
+     *         and the driver's per-dispatch setup) plus statistics.
+     */
+    DispatchResult dispatch(const DispatchContext &ctx);
+
+    const DeviceSpec &device() const { return dev; }
+
+  private:
+    const DeviceSpec &dev;
+};
+
+} // namespace vcb::sim
+
+#endif // VCB_SIM_ENGINE_H

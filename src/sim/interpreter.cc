@@ -1,0 +1,415 @@
+#include "sim/interpreter.h"
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace vcb::sim {
+
+namespace {
+
+using spirv::Op;
+
+/** ALU issue cost per opcode, in lane-cycles. */
+constexpr uint8_t
+opCost(Op op)
+{
+    switch (op) {
+      case Op::Nop:
+      case Op::Ret:
+        return 0;
+      case Op::IMul:
+        return 2;
+      case Op::IDiv:
+      case Op::IRem:
+        return 12;
+      case Op::FDiv:
+      case Op::FSqrt:
+        return 8;
+      case Op::FExp:
+      case Op::FLog:
+      case Op::FSin:
+      case Op::FCos:
+        return 16;
+      case Op::FPow:
+        return 24;
+      case Op::LdBuf:
+      case Op::StBuf:
+        return 2;
+      case Op::AtomIAdd:
+      case Op::AtomIMin:
+      case Op::AtomIMax:
+      case Op::AtomIOr:
+        return 4;
+      case Op::Barrier:
+        return 2;
+      default:
+        return 1;
+    }
+}
+
+inline float
+asF(uint32_t v)
+{
+    return std::bit_cast<float>(v);
+}
+
+inline uint32_t
+asU(float v)
+{
+    return std::bit_cast<uint32_t>(v);
+}
+
+inline int32_t
+asS(uint32_t v)
+{
+    return static_cast<int32_t>(v);
+}
+
+} // namespace
+
+void
+Interpreter::prepare(const DispatchContext &new_ctx)
+{
+    ctx = &new_ctx;
+    kernel = new_ctx.kernel;
+    VCB_ASSERT(kernel != nullptr, "dispatch without kernel");
+    localCount = kernel->localCount();
+    regs.resize(static_cast<size_t>(localCount) * kernel->module.regCount);
+    pcs.resize(localCount);
+    states.resize(localCount);
+    shared.resize(kernel->module.sharedWords);
+}
+
+void
+Interpreter::runWorkgroup(uint32_t wx, uint32_t wy, uint32_t wz,
+                          WorkgroupStats &ws, CoalesceSampler *sampler)
+{
+    std::fill(regs.begin(), regs.end(), 0u);
+    std::fill(pcs.begin(), pcs.end(), 0u);
+    std::fill(states.begin(), states.end(), LaneState::Ready);
+    std::fill(shared.begin(), shared.end(), 0u);
+    if (sampler)
+        sampler->beginWorkgroup();
+
+    ws.invocations += localCount;
+
+    uint32_t done = 0;
+    while (done < localCount) {
+        uint32_t at_barrier = 0;
+        for (uint32_t lane = 0; lane < localCount; ++lane) {
+            if (states[lane] != LaneState::Ready)
+                continue;
+            LaneState st = runLane(lane, wx, wy, wz, ws, sampler);
+            states[lane] = st;
+            if (st == LaneState::Done)
+                ++done;
+            else
+                ++at_barrier;
+        }
+        if (at_barrier > 0) {
+            if (done > 0) {
+                panic("kernel '%s': barrier divergence in workgroup "
+                      "(%u,%u,%u): %u lanes at barrier, %u returned",
+                      kernel->module.name.c_str(), wx, wy, wz, at_barrier,
+                      done);
+            }
+            // Release the barrier: all live lanes resume.
+            for (uint32_t lane = 0; lane < localCount; ++lane)
+                if (states[lane] == LaneState::AtBarrier)
+                    states[lane] = LaneState::Ready;
+            ws.barriers += 1;
+            done = 0; // recount below: no lane is Done here
+        }
+    }
+    if (sampler)
+        sampler->endWorkgroup();
+}
+
+Interpreter::LaneState
+Interpreter::runLane(uint32_t lane, uint32_t wx, uint32_t wy, uint32_t wz,
+                     WorkgroupStats &ws, CoalesceSampler *sampler)
+{
+    const CompiledKernel &k = *kernel;
+    const spirv::Insn *insns = k.insns.data();
+    const uint32_t insn_count = static_cast<uint32_t>(k.insns.size());
+    uint32_t *r = regs.data() +
+                  static_cast<size_t>(lane) * k.module.regCount;
+    uint32_t pc = pcs[lane];
+    uint64_t cycles = 0;
+
+    const uint32_t lx = k.module.localSize[0];
+    const uint32_t ly = k.module.localSize[1];
+    const uint32_t lid_x = lane % lx;
+    const uint32_t lid_y = (lane / lx) % ly;
+    const uint32_t lid_z = lane / (lx * ly);
+
+    auto oob = [&](uint32_t binding, uint64_t addr,
+                   uint64_t words) -> void {
+        panic("kernel '%s' @%u: binding %u access [%llu] out of bounds "
+              "(%llu words)",
+              k.module.name.c_str(), pc, binding,
+              (unsigned long long)addr, (unsigned long long)words);
+    };
+
+    auto memAccess = [&](uint32_t binding, uint32_t addr_reg,
+                         uint32_t site_slot) -> uint32_t * {
+        const BufferBinding &buf = ctx->buffers[binding];
+        uint64_t addr = r[addr_reg];
+        if (addr >= buf.words) {
+            if (!ctx->robustAccess)
+                oob(binding, addr, buf.words);
+            addr = buf.words ? buf.words - 1 : 0;
+        }
+        ws.siteExec[site_slot] += 1;
+        if (sampler)
+            sampler->record(lane, site_slot, addr * 4);
+        return buf.data + addr;
+    };
+
+    for (;;) {
+        VCB_ASSERT(pc < insn_count, "kernel '%s': pc %u fell off the end",
+                   k.module.name.c_str(), pc);
+        const spirv::Insn &in = insns[pc];
+        cycles += opCost(in.op);
+        switch (in.op) {
+          case Op::Nop:
+            break;
+          case Op::ConstI:
+          case Op::ConstF:
+            r[in.a] = in.b;
+            break;
+          case Op::Mov:
+            r[in.a] = r[in.b];
+            break;
+          case Op::LdBuiltin: {
+            using spirv::Builtin;
+            uint32_t v = 0;
+            switch (static_cast<Builtin>(in.b)) {
+              case Builtin::GlobalIdX: v = wx * lx + lid_x; break;
+              case Builtin::GlobalIdY: v = wy * ly + lid_y; break;
+              case Builtin::GlobalIdZ:
+                v = wz * k.module.localSize[2] + lid_z;
+                break;
+              case Builtin::LocalIdX: v = lid_x; break;
+              case Builtin::LocalIdY: v = lid_y; break;
+              case Builtin::LocalIdZ: v = lid_z; break;
+              case Builtin::GroupIdX: v = wx; break;
+              case Builtin::GroupIdY: v = wy; break;
+              case Builtin::GroupIdZ: v = wz; break;
+              case Builtin::NumGroupsX: v = ctx->groups[0]; break;
+              case Builtin::NumGroupsY: v = ctx->groups[1]; break;
+              case Builtin::NumGroupsZ: v = ctx->groups[2]; break;
+              case Builtin::LocalSizeX: v = lx; break;
+              case Builtin::LocalSizeY: v = ly; break;
+              case Builtin::LocalSizeZ: v = k.module.localSize[2]; break;
+              case Builtin::GlobalSizeX: v = ctx->groups[0] * lx; break;
+              case Builtin::GlobalSizeY: v = ctx->groups[1] * ly; break;
+              case Builtin::GlobalSizeZ:
+                v = ctx->groups[2] * k.module.localSize[2];
+                break;
+              case Builtin::LocalLinearId: v = lane; break;
+              case Builtin::Count: break;
+            }
+            r[in.a] = v;
+            break;
+          }
+          case Op::LdPush:
+            VCB_ASSERT(in.b < ctx->pushWords,
+                       "kernel '%s': push word %u not provided (%u)",
+                       k.module.name.c_str(), in.b, ctx->pushWords);
+            r[in.a] = ctx->push[in.b];
+            break;
+
+          case Op::IAdd: r[in.a] = r[in.b] + r[in.c]; break;
+          case Op::ISub: r[in.a] = r[in.b] - r[in.c]; break;
+          case Op::IMul: r[in.a] = r[in.b] * r[in.c]; break;
+          case Op::IDiv:
+            if (r[in.c] == 0)
+                panic("kernel '%s' @%u: integer division by zero",
+                      k.module.name.c_str(), pc);
+            r[in.a] = static_cast<uint32_t>(asS(r[in.b]) / asS(r[in.c]));
+            break;
+          case Op::IRem:
+            if (r[in.c] == 0)
+                panic("kernel '%s' @%u: integer remainder by zero",
+                      k.module.name.c_str(), pc);
+            r[in.a] = static_cast<uint32_t>(asS(r[in.b]) % asS(r[in.c]));
+            break;
+          case Op::IMin:
+            r[in.a] = static_cast<uint32_t>(
+                std::min(asS(r[in.b]), asS(r[in.c])));
+            break;
+          case Op::IMax:
+            r[in.a] = static_cast<uint32_t>(
+                std::max(asS(r[in.b]), asS(r[in.c])));
+            break;
+          case Op::IAnd: r[in.a] = r[in.b] & r[in.c]; break;
+          case Op::IOr:  r[in.a] = r[in.b] | r[in.c]; break;
+          case Op::IXor: r[in.a] = r[in.b] ^ r[in.c]; break;
+          case Op::INot: r[in.a] = ~r[in.b]; break;
+          case Op::INeg:
+            r[in.a] = static_cast<uint32_t>(-asS(r[in.b]));
+            break;
+          case Op::IShl: r[in.a] = r[in.b] << (r[in.c] & 31); break;
+          case Op::IShrU: r[in.a] = r[in.b] >> (r[in.c] & 31); break;
+          case Op::IShrS:
+            r[in.a] = static_cast<uint32_t>(asS(r[in.b]) >>
+                                            (r[in.c] & 31));
+            break;
+
+          case Op::FAdd: r[in.a] = asU(asF(r[in.b]) + asF(r[in.c])); break;
+          case Op::FSub: r[in.a] = asU(asF(r[in.b]) - asF(r[in.c])); break;
+          case Op::FMul: r[in.a] = asU(asF(r[in.b]) * asF(r[in.c])); break;
+          case Op::FDiv: r[in.a] = asU(asF(r[in.b]) / asF(r[in.c])); break;
+          case Op::FMin:
+            r[in.a] = asU(std::fmin(asF(r[in.b]), asF(r[in.c])));
+            break;
+          case Op::FMax:
+            r[in.a] = asU(std::fmax(asF(r[in.b]), asF(r[in.c])));
+            break;
+          case Op::FAbs: r[in.a] = asU(std::fabs(asF(r[in.b]))); break;
+          case Op::FNeg: r[in.a] = asU(-asF(r[in.b])); break;
+          case Op::FSqrt: r[in.a] = asU(std::sqrt(asF(r[in.b]))); break;
+          case Op::FExp: r[in.a] = asU(std::exp(asF(r[in.b]))); break;
+          case Op::FLog: r[in.a] = asU(std::log(asF(r[in.b]))); break;
+          case Op::FFloor: r[in.a] = asU(std::floor(asF(r[in.b]))); break;
+          case Op::FSin: r[in.a] = asU(std::sin(asF(r[in.b]))); break;
+          case Op::FCos: r[in.a] = asU(std::cos(asF(r[in.b]))); break;
+          case Op::FFma:
+            r[in.a] = asU(std::fma(asF(r[in.b]), asF(r[in.c]),
+                                   asF(r[in.d])));
+            break;
+          case Op::FPow:
+            r[in.a] = asU(std::pow(asF(r[in.b]), asF(r[in.c])));
+            break;
+
+          case Op::CvtSF:
+            r[in.a] = asU(static_cast<float>(asS(r[in.b])));
+            break;
+          case Op::CvtFS:
+            r[in.a] = static_cast<uint32_t>(
+                static_cast<int32_t>(asF(r[in.b])));
+            break;
+
+          case Op::IEq: r[in.a] = r[in.b] == r[in.c]; break;
+          case Op::INe: r[in.a] = r[in.b] != r[in.c]; break;
+          case Op::ILt: r[in.a] = asS(r[in.b]) < asS(r[in.c]); break;
+          case Op::ILe: r[in.a] = asS(r[in.b]) <= asS(r[in.c]); break;
+          case Op::IGt: r[in.a] = asS(r[in.b]) > asS(r[in.c]); break;
+          case Op::IGe: r[in.a] = asS(r[in.b]) >= asS(r[in.c]); break;
+          case Op::ULt: r[in.a] = r[in.b] < r[in.c]; break;
+          case Op::UGe: r[in.a] = r[in.b] >= r[in.c]; break;
+          case Op::FEq: r[in.a] = asF(r[in.b]) == asF(r[in.c]); break;
+          case Op::FNe: r[in.a] = asF(r[in.b]) != asF(r[in.c]); break;
+          case Op::FLt: r[in.a] = asF(r[in.b]) < asF(r[in.c]); break;
+          case Op::FLe: r[in.a] = asF(r[in.b]) <= asF(r[in.c]); break;
+          case Op::FGt: r[in.a] = asF(r[in.b]) > asF(r[in.c]); break;
+          case Op::FGe: r[in.a] = asF(r[in.b]) >= asF(r[in.c]); break;
+          case Op::Select:
+            r[in.a] = r[in.b] ? r[in.c] : r[in.d];
+            break;
+
+          case Op::LdBuf: {
+            uint32_t *p = memAccess(in.b, in.c, k.siteOfInsn[pc] - 1);
+            r[in.a] = std::atomic_ref<uint32_t>(*p).load(
+                std::memory_order_relaxed);
+            break;
+          }
+          case Op::StBuf: {
+            uint32_t *p = memAccess(in.a, in.b, k.siteOfInsn[pc] - 1);
+            std::atomic_ref<uint32_t>(*p).store(
+                r[in.c], std::memory_order_relaxed);
+            break;
+          }
+          case Op::LdShared: {
+            uint64_t addr = r[in.b];
+            VCB_ASSERT(addr < shared.size(),
+                       "kernel '%s' @%u: shared load [%llu] out of "
+                       "bounds (%zu words)",
+                       k.module.name.c_str(), pc,
+                       (unsigned long long)addr, shared.size());
+            r[in.a] = shared[addr];
+            ws.sharedAccesses += 1;
+            break;
+          }
+          case Op::StShared: {
+            uint64_t addr = r[in.a];
+            VCB_ASSERT(addr < shared.size(),
+                       "kernel '%s' @%u: shared store [%llu] out of "
+                       "bounds (%zu words)",
+                       k.module.name.c_str(), pc,
+                       (unsigned long long)addr, shared.size());
+            shared[addr] = r[in.b];
+            ws.sharedAccesses += 1;
+            break;
+          }
+          case Op::AtomIAdd: {
+            uint32_t *p = memAccess(in.b, in.c, k.siteOfInsn[pc] - 1);
+            r[in.a] = std::atomic_ref<uint32_t>(*p).fetch_add(
+                r[in.d], std::memory_order_relaxed);
+            ws.atomicOps += 1;
+            break;
+          }
+          case Op::AtomIOr: {
+            uint32_t *p = memAccess(in.b, in.c, k.siteOfInsn[pc] - 1);
+            r[in.a] = std::atomic_ref<uint32_t>(*p).fetch_or(
+                r[in.d], std::memory_order_relaxed);
+            ws.atomicOps += 1;
+            break;
+          }
+          case Op::AtomIMin:
+          case Op::AtomIMax: {
+            uint32_t *p = memAccess(in.b, in.c, k.siteOfInsn[pc] - 1);
+            std::atomic_ref<uint32_t> ref(*p);
+            uint32_t old = ref.load(std::memory_order_relaxed);
+            for (;;) {
+                int32_t cur = asS(old);
+                int32_t arg = asS(r[in.d]);
+                int32_t want = in.op == Op::AtomIMin ? std::min(cur, arg)
+                                                     : std::max(cur, arg);
+                if (want == cur)
+                    break;
+                if (ref.compare_exchange_weak(
+                        old, static_cast<uint32_t>(want),
+                        std::memory_order_relaxed))
+                    break;
+            }
+            r[in.a] = old;
+            ws.atomicOps += 1;
+            break;
+          }
+
+          case Op::Br:
+            pc = in.a;
+            continue;
+          case Op::BrTrue:
+            if (r[in.a]) {
+                pc = in.b;
+                continue;
+            }
+            break;
+          case Op::BrFalse:
+            if (!r[in.a]) {
+                pc = in.b;
+                continue;
+            }
+            break;
+          case Op::Barrier:
+            pcs[lane] = pc + 1;
+            ws.laneCycles += cycles;
+            return LaneState::AtBarrier;
+          case Op::Ret:
+            ws.laneCycles += cycles;
+            return LaneState::Done;
+          case Op::Count:
+            panic("kernel '%s' @%u: invalid opcode",
+                  k.module.name.c_str(), pc);
+        }
+        ++pc;
+    }
+}
+
+} // namespace vcb::sim

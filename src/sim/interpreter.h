@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The kernel interpreter: functional execution of one workgroup.
+ *
+ * Invocations are interpreted lane-by-lane.  Workgroup barriers are
+ * handled by phased execution: every lane runs until its next Barrier
+ * (or Ret), then all lanes resume — equivalent to lockstep execution
+ * for data-race-free kernels, which is what every supported
+ * programming model requires anyway.  Mixed barrier arrival (some
+ * lanes done, some at a barrier) is the undefined behaviour all three
+ * real APIs document; the simulator traps it.
+ *
+ * Global-memory words are accessed through relaxed std::atomic_ref so
+ * that independent workgroups can be interpreted on different host
+ * threads without UB (benign same-value flag races, e.g. bfs's stop
+ * flag, behave exactly as on real hardware).
+ */
+
+#ifndef VCB_SIM_INTERPRETER_H
+#define VCB_SIM_INTERPRETER_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/dispatch.h"
+#include "sim/kernel.h"
+#include "sim/sampler.h"
+
+namespace vcb::sim {
+
+/** Per-workgroup statistics, merged into DispatchStats by the engine. */
+struct WorkgroupStats
+{
+    uint64_t laneCycles = 0;
+    uint64_t sharedAccesses = 0;
+    uint64_t atomicOps = 0;
+    uint64_t barriers = 0;
+    uint64_t invocations = 0;
+    /** Global-memory accesses per site (sized kernel.numSites). */
+    std::vector<uint64_t> siteExec;
+};
+
+/**
+ * Reusable workgroup executor.  One instance must only be used by one
+ * thread at a time; the engine keeps one per worker thread.
+ */
+class Interpreter
+{
+  public:
+    Interpreter() = default;
+
+    /** Point the interpreter at a dispatch (cheap when unchanged). */
+    void prepare(const DispatchContext &ctx);
+
+    /**
+     * Execute workgroup (wx, wy, wz) to completion, accumulating into
+     * ws (whose siteExec must be pre-sized).  When sampler is non-null
+     * this workgroup's memory accesses are recorded for coalescing
+     * estimation.
+     */
+    void runWorkgroup(uint32_t wx, uint32_t wy, uint32_t wz,
+                      WorkgroupStats &ws, CoalesceSampler *sampler);
+
+  private:
+    enum class LaneState : uint8_t { Ready, AtBarrier, Done };
+
+    LaneState runLane(uint32_t lane, uint32_t wx, uint32_t wy,
+                      uint32_t wz, WorkgroupStats &ws,
+                      CoalesceSampler *sampler);
+
+    const DispatchContext *ctx = nullptr;
+    const CompiledKernel *kernel = nullptr;
+    uint32_t localCount = 0;
+
+    std::vector<uint32_t> regs;    ///< localCount x regCount
+    std::vector<uint32_t> pcs;     ///< per-lane program counter
+    std::vector<LaneState> states; ///< per-lane state
+    std::vector<uint32_t> shared;  ///< workgroup shared memory
+};
+
+} // namespace vcb::sim
+
+#endif // VCB_SIM_INTERPRETER_H

@@ -1,0 +1,99 @@
+#include "sim/kernel.h"
+
+#include "common/logging.h"
+#include "common/strutil.h"
+
+namespace vcb::sim {
+
+uint32_t
+CompiledKernel::localCount() const
+{
+    return module.localSize[0] * module.localSize[1] * module.localSize[2];
+}
+
+std::unique_ptr<CompiledKernel>
+compileKernel(const spirv::Module &m, const DeviceSpec &dev, Api api,
+              std::string *errorOut)
+{
+    auto fail = [&](const std::string &msg) {
+        if (errorOut)
+            *errorOut = msg;
+        return nullptr;
+    };
+
+    const DriverProfile &prof = dev.profile(api);
+    if (!prof.available)
+        return fail(strprintf("%s is not available on %s", apiName(api),
+                              dev.name.c_str()));
+    if (prof.kernelBroken(m.name))
+        return fail(strprintf("driver failure: %s %s rejects kernel '%s'",
+                              dev.name.c_str(), apiName(api),
+                              m.name.c_str()));
+
+    std::string verr;
+    if (!spirv::validate(m, &verr))
+        return fail("module validation failed: " + verr);
+
+    uint32_t local = m.localSize[0] * m.localSize[1] * m.localSize[2];
+    if (local > dev.maxWorkgroupInvocations)
+        return fail(strprintf("workgroup size %u exceeds device limit %u",
+                              local, dev.maxWorkgroupInvocations));
+    if (m.pushWords * 4 > dev.maxPushBytes)
+        return fail(strprintf("push block %u B exceeds device limit %u B",
+                              m.pushWords * 4, dev.maxPushBytes));
+
+    auto k = std::make_unique<CompiledKernel>();
+    k->module = m;
+    k->insns = m.decode();
+    k->api = api;
+
+    // Build the global-memory site table.
+    k->siteOfInsn.assign(k->insns.size(), 0);
+    bool anyHint = false;
+    for (size_t i = 0; i < k->insns.size(); ++i) {
+        const spirv::Insn &insn = k->insns[i];
+        bool isMem = false;
+        uint32_t flags = 0;
+        switch (insn.op) {
+          case spirv::Op::LdBuf:
+            isMem = true;
+            flags = insn.d;
+            break;
+          case spirv::Op::StBuf:
+            isMem = true;
+            flags = insn.d;
+            break;
+          case spirv::Op::AtomIAdd:
+          case spirv::Op::AtomIMin:
+          case spirv::Op::AtomIMax:
+          case spirv::Op::AtomIOr:
+            isMem = true;
+            break;
+          default:
+            break;
+        }
+        if (!isMem)
+            continue;
+        k->siteOfInsn[i] = ++k->numSites;
+        bool hinted = (flags & spirv::MemFlagPromoteHint) != 0;
+        k->sitePromote.push_back(hinted ? 1 : 0);
+        anyHint = anyHint || hinted;
+    }
+
+    // Apply the driver profile.
+    k->promoted = prof.localMemPromotion && anyHint;
+    k->codeQualityEff = prof.codeQuality;
+    if (m.sharedWords > 0)
+        k->codeQualityEff *= prof.sharedMemCodegenFactor;
+
+    double perInsn = (api == Api::OpenCl)   ? prof.jitBuildNsPerInsn
+                     : (api == Api::Vulkan) ? prof.pipelineCompileNsPerInsn
+                                            : 0.0;
+    k->compileNs = perInsn * static_cast<double>(k->insns.size());
+
+    if (errorOut)
+        errorOut->clear();
+    return k;
+}
+
+} // namespace vcb::sim

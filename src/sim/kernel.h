@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Driver-compiled kernels.
+ *
+ * Each runtime front-end (Vulkan-mini pipelines, OpenCL-mini program
+ * builds, CUDA-mini module loads) turns a spirv::Module into a
+ * CompiledKernel by running the module through "the driver compiler":
+ * validation, instruction decode, and application of the driver
+ * profile (code quality, local-memory promotion of hinted accesses,
+ * compile-time cost).  The same source module therefore yields
+ * different compiled artefacts per API — the structure behind the
+ * paper's bfs compiler-maturity finding.
+ */
+
+#ifndef VCB_SIM_KERNEL_H
+#define VCB_SIM_KERNEL_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/device.h"
+#include "spirv/module.h"
+
+namespace vcb::sim {
+
+/** A kernel after driver compilation for one (device, API) pair. */
+struct CompiledKernel
+{
+    /** The source module (metadata: local size, bindings, push size). */
+    spirv::Module module;
+    /** Decoded instruction stream. */
+    std::vector<spirv::Insn> insns;
+    /** Which API's compiler produced this. */
+    Api api = Api::Vulkan;
+
+    /** Whether MemFlagPromoteHint accesses were promoted on-chip. */
+    bool promoted = false;
+    /** Effective compute-throughput multiplier (codeQuality, further
+     *  reduced for shared-memory kernels on quirky drivers). */
+    double codeQualityEff = 1.0;
+    /** One-time compile cost in ns (JIT build / pipeline creation). */
+    double compileNs = 0.0;
+
+    // ---- memory-site table (for coalescing stats) ----------------------
+    /** insn index -> site slot + 1; 0 = not a global-memory access. */
+    std::vector<uint32_t> siteOfInsn;
+    /** Number of distinct global-memory access sites. */
+    uint32_t numSites = 0;
+    /** Per site: carries MemFlagPromoteHint. */
+    std::vector<uint8_t> sitePromote;
+
+    /** Invocations per workgroup. */
+    uint32_t localCount() const;
+};
+
+/**
+ * Compile a module for a device/API.
+ *
+ * Fails (returns nullptr, sets errorOut) when the API is unavailable
+ * on the device, the module does not validate, the workgroup exceeds
+ * device limits, the push block exceeds the device push limit, or the
+ * driver profile lists the kernel as broken (reproducing the paper's
+ * reported driver failures).
+ */
+std::unique_ptr<CompiledKernel>
+compileKernel(const spirv::Module &m, const DeviceSpec &dev, Api api,
+              std::string *errorOut);
+
+} // namespace vcb::sim
+
+#endif // VCB_SIM_KERNEL_H

@@ -1,0 +1,78 @@
+#include "sim/sampler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/mathutil.h"
+
+namespace vcb::sim {
+
+CoalesceSampler::CoalesceSampler(uint32_t num_sites, uint32_t warp_width,
+                                 uint32_t line_bytes, uint32_t local_count)
+    : numSites(num_sites), warpWidth(warp_width), lineBytes(line_bytes),
+      localCount(local_count),
+      numWarps(static_cast<uint32_t>(ceilDiv(local_count, warp_width))),
+      agg(num_sites)
+{
+    VCB_ASSERT(warp_width > 0 && line_bytes > 0, "bad sampler params");
+    occCount.assign(static_cast<size_t>(localCount) * numSites, 0);
+}
+
+void
+CoalesceSampler::beginWorkgroup()
+{
+    std::fill(occCount.begin(), occCount.end(), 0);
+    lineSets.clear();
+}
+
+void
+CoalesceSampler::record(uint32_t lane, uint32_t site, uint64_t byte_addr)
+{
+    VCB_ASSERT(site < numSites && lane < localCount,
+               "sampler record out of range");
+    uint32_t &occ = occCount[static_cast<size_t>(lane) * numSites + site];
+    uint32_t occ_idx = std::min(occ, occCap - 1);
+    ++occ;
+
+    uint32_t warp = lane / warpWidth;
+    uint64_t key = (static_cast<uint64_t>(site) * occCap + occ_idx) *
+                       numWarps +
+                   warp;
+    uint64_t line = byte_addr / lineBytes;
+
+    auto &lines = lineSets[key];
+    if (std::find(lines.begin(), lines.end(), line) == lines.end())
+        lines.push_back(line);
+    agg[site].accesses += 1;
+}
+
+void
+CoalesceSampler::endWorkgroup()
+{
+    for (const auto &[key, lines] : lineSets) {
+        uint32_t site = static_cast<uint32_t>(key / (occCap * numWarps));
+        agg[site].transactions += lines.size();
+    }
+    lineSets.clear();
+    std::fill(occCount.begin(), occCount.end(), 0);
+}
+
+double
+CoalesceSampler::ratioFor(uint32_t site) const
+{
+    VCB_ASSERT(site < numSites, "ratioFor out of range");
+    const SiteAgg &a = agg[site];
+    if (a.accesses == 0)
+        return 1.0;
+    return static_cast<double>(a.transactions) /
+           static_cast<double>(a.accesses);
+}
+
+bool
+CoalesceSampler::sampled(uint32_t site) const
+{
+    VCB_ASSERT(site < numSites, "sampled out of range");
+    return agg[site].accesses != 0;
+}
+
+} // namespace vcb::sim

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Memory-coalescing sampler.
+ *
+ * GPUs service a warp's simultaneous memory accesses as a set of cache
+ * line transactions; the number of *distinct* lines a warp touches per
+ * access determines achieved bandwidth (the whole point of the paper's
+ * strided microbenchmark, Figs. 1 and 3).  Interpreting every work
+ * item lane-by-lane, we cannot observe warps directly, so instead we
+ * *sample* a few workgroups: for every global-memory site we group the
+ * k-th dynamic execution by each lane with the k-th execution by the
+ * other lanes of the same warp and count distinct lines in the group.
+ * The per-site transactions-per-access ratio from the sampled
+ * workgroups is then applied to the site's dispatch-wide access count.
+ *
+ * Exact for regular kernels (all of the suite's except bfs's data
+ * dependent loops, where it is a documented approximation).
+ */
+
+#ifndef VCB_SIM_SAMPLER_H
+#define VCB_SIM_SAMPLER_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace vcb::sim {
+
+/** Collects per-site coalescing ratios from sampled workgroups. */
+class CoalesceSampler
+{
+  public:
+    /**
+     * @param num_sites   number of global-memory sites in the kernel
+     * @param warp_width  coalescing granularity of the device
+     * @param line_bytes  cache line size
+     * @param local_count invocations per workgroup
+     */
+    CoalesceSampler(uint32_t num_sites, uint32_t warp_width,
+                    uint32_t line_bytes, uint32_t local_count);
+
+    /** Reset per-workgroup state before sampling a workgroup. */
+    void beginWorkgroup();
+
+    /** Record one access: lane linear id, site slot, byte address. */
+    void record(uint32_t lane, uint32_t site, uint64_t byte_addr);
+
+    /** Fold the finished workgroup into the per-site aggregates. */
+    void endWorkgroup();
+
+    /** Transactions-per-access for a site; 1.0 when never sampled
+     *  (conservative: fully uncoalesced). */
+    double ratioFor(uint32_t site) const;
+
+    /** True if the site was observed in any sampled workgroup. */
+    bool sampled(uint32_t site) const;
+
+  private:
+    /** Occurrences beyond the cap share the last bucket. */
+    static constexpr uint32_t occCap = 128;
+
+    struct SiteAgg
+    {
+        uint64_t accesses = 0;
+        uint64_t transactions = 0;
+    };
+
+    uint32_t numSites;
+    uint32_t warpWidth;
+    uint32_t lineBytes;
+    uint32_t localCount;
+    uint32_t numWarps;
+
+    std::vector<SiteAgg> agg;
+    /** Current workgroup: per (lane, site) occurrence counters. */
+    std::vector<uint32_t> occCount;
+    /** Current workgroup: (site, occ, warp) -> distinct lines. */
+    std::unordered_map<uint64_t, std::vector<uint64_t>> lineSets;
+};
+
+} // namespace vcb::sim
+
+#endif // VCB_SIM_SAMPLER_H

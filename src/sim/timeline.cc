@@ -1,0 +1,73 @@
+#include "sim/timeline.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vcb::sim {
+
+Timeline::Timeline(uint32_t queue_count)
+{
+    VCB_ASSERT(queue_count >= 1, "timeline needs at least one queue");
+    queues.assign(queue_count, 0.0);
+}
+
+void
+Timeline::hostAdvance(double ns)
+{
+    VCB_ASSERT(ns >= 0, "negative host advance");
+    hostNs += ns;
+}
+
+double
+Timeline::enqueue(uint32_t queue, double device_ns)
+{
+    VCB_ASSERT(queue < queues.size(), "queue %u out of range", queue);
+    VCB_ASSERT(device_ns >= 0, "negative device work");
+    double start = std::max(queues[queue], hostNs);
+    queues[queue] = start + device_ns;
+    return queues[queue];
+}
+
+double
+Timeline::queueReady(uint32_t queue) const
+{
+    VCB_ASSERT(queue < queues.size(), "queue %u out of range", queue);
+    return queues[queue];
+}
+
+void
+Timeline::hostWaitUntil(double t, double wakeup_ns)
+{
+    hostNs = std::max(hostNs, t) + wakeup_ns;
+}
+
+void
+Timeline::hostWaitQueue(uint32_t queue, double wakeup_ns)
+{
+    hostWaitUntil(queueReady(queue), wakeup_ns);
+}
+
+void
+Timeline::hostWaitAll(double wakeup_ns)
+{
+    double latest = 0;
+    for (double q : queues)
+        latest = std::max(latest, q);
+    hostWaitUntil(latest, wakeup_ns);
+}
+
+uint32_t
+Timeline::queueCount() const
+{
+    return static_cast<uint32_t>(queues.size());
+}
+
+void
+Timeline::queueWaitUntil(uint32_t queue, double t)
+{
+    VCB_ASSERT(queue < queues.size(), "queue %u out of range", queue);
+    queues[queue] = std::max(queues[queue], t);
+}
+
+} // namespace vcb::sim

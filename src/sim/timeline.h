@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Simulated host and queue clocks.
+ *
+ * The paper measures kernel-region times on the CPU with std::chrono;
+ * the simulator's analogue is the host clock of a Timeline.  Enqueue
+ * style APIs advance the host clock by their call overhead and append
+ * device work to an in-order queue; blocking waits advance the host
+ * clock to the awaited completion plus a wakeup latency.  This
+ * naturally reproduces both behaviours the paper contrasts: pipelined
+ * enqueue-ahead execution (total = max of host issue rate and device
+ * rate) and the blocking multi-kernel method (overheads serialise with
+ * the kernels).
+ */
+
+#ifndef VCB_SIM_TIMELINE_H
+#define VCB_SIM_TIMELINE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace vcb::sim {
+
+/** One host clock plus per-queue device clocks (all in ns). */
+class Timeline
+{
+  public:
+    explicit Timeline(uint32_t queue_count = 1);
+
+    /** Current simulated host time. */
+    double hostNow() const { return hostNs; }
+
+    /** Spend host time (API call overheads, host-side compute). */
+    void hostAdvance(double ns);
+
+    /**
+     * Append device work to an in-order queue; the work starts when
+     * both the queue is free and the host has issued it (i.e. now).
+     * @return completion timestamp of this work.
+     */
+    double enqueue(uint32_t queue, double device_ns);
+
+    /** Earliest time queue becomes idle. */
+    double queueReady(uint32_t queue) const;
+
+    /** Block the host until a timestamp has passed (fence/event wait);
+     *  charges wakeup_ns on top. */
+    void hostWaitUntil(double t, double wakeup_ns);
+
+    /** Block the host until the queue drains. */
+    void hostWaitQueue(uint32_t queue, double wakeup_ns);
+
+    /** Block the host until all queues drain. */
+    void hostWaitAll(double wakeup_ns);
+
+    /** Number of queues. */
+    uint32_t queueCount() const;
+
+    /** Make one queue wait for a timestamp (cross-queue semaphore). */
+    void queueWaitUntil(uint32_t queue, double t);
+
+  private:
+    double hostNs = 0;
+    std::vector<double> queues;
+};
+
+} // namespace vcb::sim
+
+#endif // VCB_SIM_TIMELINE_H

@@ -1,0 +1,55 @@
+#include "sim/timing.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vcb::sim {
+
+double
+TimingModel::kernelExecNs(const DeviceSpec &dev,
+                          const CompiledKernel &kernel,
+                          const DispatchStats &stats)
+{
+    const DriverProfile &prof = dev.profile(kernel.api);
+
+    // Compute-bound: lanes retired per ns, derated by codegen quality.
+    double lanes_per_ns = dev.lanesPerNs() * kernel.codeQualityEff;
+    double compute_ns =
+        static_cast<double>(stats.laneCycles) / lanes_per_ns;
+
+    // DRAM-bound: useful-byte bandwidth and transaction-issue limits.
+    double useful_bytes = static_cast<double>(stats.dramAccesses) * 4.0;
+    double bw_ns = useful_bytes / (dev.peakBwGBs * prof.memEfficiency);
+    double tx_ns = stats.dramTransactions /
+                   (dev.txPerNs * prof.txEfficiency);
+    double dram_ns = std::max(bw_ns, tx_ns);
+
+    // On-chip bound: promoted accesses and explicit shared memory.
+    double onchip_bytes =
+        static_cast<double>(stats.promotedAccesses + stats.sharedAccesses)
+        * 4.0;
+    double onchip_ns = onchip_bytes / dev.sharedBwGBs;
+
+    // Atomics serialise within memory channels.
+    double atomic_ns = static_cast<double>(stats.atomicOps) *
+                       dev.atomicNsEach /
+                       static_cast<double>(dev.computeUnits);
+
+    return std::max({compute_ns, dram_ns, onchip_ns}) + atomic_ns;
+}
+
+double
+TimingModel::transferNs(const DeviceSpec &dev, uint64_t bytes)
+{
+    return static_cast<double>(bytes) / dev.hostCopyBwGBs;
+}
+
+double
+TimingModel::deviceCopyNs(const DeviceSpec &dev, uint64_t bytes)
+{
+    // Device-local copies run at full DRAM speed: read + write traffic.
+    return 2.0 * static_cast<double>(bytes) / dev.peakBwGBs;
+}
+
+} // namespace vcb::sim

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Timing model: converts execution statistics into simulated time.
+ *
+ * See DESIGN.md Sec. 5.  A dispatch's device time is the maximum of
+ * its compute-bound, DRAM-bandwidth-bound, DRAM-transaction-bound and
+ * on-chip-bound components, plus fixed per-dispatch latency.  The two
+ * DRAM bounds are what reproduce the strided-bandwidth figures: useful
+ * bytes limit unit-stride throughput (scaled by the per-API memory
+ * efficiency) while the transaction-issue limit governs wide strides
+ * (scaled by the per-API transaction efficiency).
+ */
+
+#ifndef VCB_SIM_TIMING_H
+#define VCB_SIM_TIMING_H
+
+#include "sim/device.h"
+#include "sim/dispatch.h"
+#include "sim/kernel.h"
+
+namespace vcb::sim {
+
+/** Pure functions; all results in nanoseconds. */
+struct TimingModel
+{
+    /** Device-side execution time of one dispatch (excludes fixed
+     *  per-dispatch latency, which the engine adds). */
+    static double kernelExecNs(const DeviceSpec &dev,
+                               const CompiledKernel &kernel,
+                               const DispatchStats &stats);
+
+    /** Host<->device copy time for a byte count. */
+    static double transferNs(const DeviceSpec &dev, uint64_t bytes);
+
+    /** Device-local copy time (transfer queue / copy engine). */
+    static double deviceCopyNs(const DeviceSpec &dev, uint64_t bytes);
+};
+
+} // namespace vcb::sim
+
+#endif // VCB_SIM_TIMING_H

@@ -1,0 +1,415 @@
+#include "spirv/builder.h"
+
+#include <cstring>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace vcb::spirv {
+
+namespace {
+
+uint32_t
+floatBits(float v)
+{
+    uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+constexpr uint32_t unplaced = std::numeric_limits<uint32_t>::max();
+
+} // namespace
+
+Builder::Builder(std::string name, uint32_t lx, uint32_t ly, uint32_t lz)
+{
+    VCB_ASSERT(lx >= 1 && ly >= 1 && lz >= 1, "zero local size");
+    mod.name = std::move(name);
+    mod.localSize[0] = lx;
+    mod.localSize[1] = ly;
+    mod.localSize[2] = lz;
+}
+
+void
+Builder::bindStorage(uint32_t binding, ElemType elem, bool read_only)
+{
+    VCB_ASSERT(!mod.findBinding(binding), "binding %u declared twice",
+               binding);
+    mod.bindings.push_back({binding, read_only, elem});
+}
+
+void
+Builder::setPushWords(uint32_t words)
+{
+    mod.pushWords = words;
+}
+
+void
+Builder::setSharedWords(uint32_t words)
+{
+    mod.sharedWords = words;
+}
+
+Builder::Reg
+Builder::newReg()
+{
+    return mod.regCount++;
+}
+
+void
+Builder::emit(Op op, const uint32_t *operands, uint32_t n)
+{
+    VCB_ASSERT(!finished, "emit after finish()");
+    const OpInfo &info = opInfo(op);
+    VCB_ASSERT(n == info.numOperands, "%s expects %u operands, got %u",
+               info.name, info.numOperands, n);
+    mod.code.push_back((static_cast<uint32_t>(1 + n) << 16) |
+                       static_cast<uint32_t>(op));
+    for (uint32_t i = 0; i < n; ++i) {
+        if (info.kinds[i] == OperandKind::Label) {
+            // Record the word position for later patching.
+            patches.emplace_back(
+                static_cast<uint32_t>(mod.code.size()), operands[i]);
+        }
+        mod.code.push_back(operands[i]);
+    }
+    ++insnIndex;
+}
+
+Builder::Reg
+Builder::emitD(Op op, uint32_t b, uint32_t c, uint32_t d)
+{
+    Reg dst = newReg();
+    const OpInfo &info = opInfo(op);
+    uint32_t ops[4] = {dst, b, c, d};
+    emit(op, ops, info.numOperands);
+    return dst;
+}
+
+void
+Builder::emitTo(Op op, uint32_t a, uint32_t b, uint32_t c, uint32_t d)
+{
+    const OpInfo &info = opInfo(op);
+    uint32_t ops[4] = {a, b, c, d};
+    emit(op, ops, info.numOperands);
+}
+
+Builder::Reg
+Builder::constI(int32_t v)
+{
+    return emitD(Op::ConstI, static_cast<uint32_t>(v));
+}
+
+Builder::Reg
+Builder::constU(uint32_t v)
+{
+    return emitD(Op::ConstI, v);
+}
+
+Builder::Reg
+Builder::constF(float v)
+{
+    return emitD(Op::ConstF, floatBits(v));
+}
+
+Builder::Reg
+Builder::builtin(Builtin b)
+{
+    auto idx = static_cast<size_t>(b);
+    VCB_ASSERT(idx < static_cast<size_t>(Builtin::Count), "bad builtin");
+    if (builtinCached[idx])
+        return builtinRegs[idx];
+    Reg r = emitD(Op::LdBuiltin, static_cast<uint32_t>(b));
+    builtinRegs[idx] = r;
+    builtinCached[idx] = true;
+    return r;
+}
+
+Builder::Reg
+Builder::ldPush(uint32_t word_off)
+{
+    return emitD(Op::LdPush, word_off);
+}
+
+Builder::Reg
+Builder::mov(Reg src)
+{
+    return emitD(Op::Mov, src);
+}
+
+void
+Builder::movTo(Reg dst, Reg src)
+{
+    emitTo(Op::Mov, dst, src);
+}
+
+void
+Builder::constITo(Reg dst, int32_t v)
+{
+    emitTo(Op::ConstI, dst, static_cast<uint32_t>(v));
+}
+
+void
+Builder::constFTo(Reg dst, float v)
+{
+    emitTo(Op::ConstF, dst, floatBits(v));
+}
+
+#define VCB_BIN(name, OPC)                                                 \
+    Builder::Reg Builder::name(Reg a, Reg b)                               \
+    {                                                                      \
+        return emitD(Op::OPC, a, b);                                       \
+    }
+#define VCB_UN(name, OPC)                                                  \
+    Builder::Reg Builder::name(Reg a) { return emitD(Op::OPC, a); }
+
+VCB_BIN(iadd, IAdd)
+VCB_BIN(isub, ISub)
+VCB_BIN(imul, IMul)
+VCB_BIN(idiv, IDiv)
+VCB_BIN(irem, IRem)
+VCB_BIN(imin, IMin)
+VCB_BIN(imax, IMax)
+VCB_BIN(iand, IAnd)
+VCB_BIN(ior, IOr)
+VCB_BIN(ixor, IXor)
+VCB_UN(inot, INot)
+VCB_UN(ineg, INeg)
+VCB_BIN(ishl, IShl)
+VCB_BIN(ishru, IShrU)
+VCB_BIN(ishrs, IShrS)
+VCB_BIN(fadd, FAdd)
+VCB_BIN(fsub, FSub)
+VCB_BIN(fmul, FMul)
+VCB_BIN(fdiv, FDiv)
+VCB_BIN(fmin, FMin)
+VCB_BIN(fmax, FMax)
+VCB_UN(fabs, FAbs)
+VCB_UN(fneg, FNeg)
+VCB_UN(fsqrt, FSqrt)
+VCB_UN(fexp, FExp)
+VCB_UN(flog, FLog)
+VCB_UN(ffloor, FFloor)
+VCB_UN(fsin, FSin)
+VCB_UN(fcos, FCos)
+VCB_BIN(fpow, FPow)
+VCB_UN(cvtSF, CvtSF)
+VCB_UN(cvtFS, CvtFS)
+VCB_BIN(ieq, IEq)
+VCB_BIN(ine, INe)
+VCB_BIN(ilt, ILt)
+VCB_BIN(ile, ILe)
+VCB_BIN(igt, IGt)
+VCB_BIN(ige, IGe)
+VCB_BIN(ult, ULt)
+VCB_BIN(uge, UGe)
+VCB_BIN(feq, FEq)
+VCB_BIN(fne, FNe)
+VCB_BIN(flt, FLt)
+VCB_BIN(fle, FLe)
+VCB_BIN(fgt, FGt)
+VCB_BIN(fge, FGe)
+
+#undef VCB_BIN
+#undef VCB_UN
+
+Builder::Reg
+Builder::ffma(Reg a, Reg b, Reg c)
+{
+    return emitD(Op::FFma, a, b, c);
+}
+
+Builder::Reg
+Builder::select(Reg cond, Reg a, Reg b)
+{
+    return emitD(Op::Select, cond, a, b);
+}
+
+void
+Builder::iaddTo(Reg dst, Reg a, Reg b)
+{
+    emitTo(Op::IAdd, dst, a, b);
+}
+
+void
+Builder::imulTo(Reg dst, Reg a, Reg b)
+{
+    emitTo(Op::IMul, dst, a, b);
+}
+
+void
+Builder::faddTo(Reg dst, Reg a, Reg b)
+{
+    emitTo(Op::FAdd, dst, a, b);
+}
+
+void
+Builder::fmulTo(Reg dst, Reg a, Reg b)
+{
+    emitTo(Op::FMul, dst, a, b);
+}
+
+Builder::Reg
+Builder::ldBuf(uint32_t binding, Reg addr, uint32_t flags)
+{
+    return emitD(Op::LdBuf, binding, addr, flags);
+}
+
+void
+Builder::stBuf(uint32_t binding, Reg addr, Reg src, uint32_t flags)
+{
+    emitTo(Op::StBuf, binding, addr, src, flags);
+}
+
+Builder::Reg
+Builder::ldShared(Reg addr)
+{
+    return emitD(Op::LdShared, addr);
+}
+
+void
+Builder::stShared(Reg addr, Reg src)
+{
+    emitTo(Op::StShared, addr, src);
+}
+
+Builder::Reg
+Builder::atomIAdd(uint32_t binding, Reg addr, Reg src)
+{
+    return emitD(Op::AtomIAdd, binding, addr, src);
+}
+
+Builder::Reg
+Builder::atomIMin(uint32_t binding, Reg addr, Reg src)
+{
+    return emitD(Op::AtomIMin, binding, addr, src);
+}
+
+Builder::Reg
+Builder::atomIMax(uint32_t binding, Reg addr, Reg src)
+{
+    return emitD(Op::AtomIMax, binding, addr, src);
+}
+
+Builder::Reg
+Builder::atomIOr(uint32_t binding, Reg addr, Reg src)
+{
+    return emitD(Op::AtomIOr, binding, addr, src);
+}
+
+Builder::Label
+Builder::newLabel()
+{
+    labelTargets.push_back(unplaced);
+    return Label{static_cast<uint32_t>(labelTargets.size() - 1)};
+}
+
+void
+Builder::place(Label l)
+{
+    VCB_ASSERT(l.id < labelTargets.size(), "bad label");
+    VCB_ASSERT(labelTargets[l.id] == unplaced, "label placed twice");
+    labelTargets[l.id] = insnIndex;
+}
+
+void
+Builder::br(Label l)
+{
+    emitTo(Op::Br, l.id);
+}
+
+void
+Builder::brTrue(Reg cond, Label l)
+{
+    emitTo(Op::BrTrue, cond, l.id);
+}
+
+void
+Builder::brFalse(Reg cond, Label l)
+{
+    emitTo(Op::BrFalse, cond, l.id);
+}
+
+void
+Builder::barrier()
+{
+    emitTo(Op::Barrier, 0, 0, 0, 0);
+}
+
+void
+Builder::ret()
+{
+    emitTo(Op::Ret, 0, 0, 0, 0);
+}
+
+void
+Builder::ifThen(Reg cond, const std::function<void()> &then_fn)
+{
+    Label skip = newLabel();
+    brFalse(cond, skip);
+    then_fn();
+    place(skip);
+}
+
+void
+Builder::ifThenElse(Reg cond, const std::function<void()> &then_fn,
+                    const std::function<void()> &else_fn)
+{
+    Label elseL = newLabel();
+    Label endL = newLabel();
+    brFalse(cond, elseL);
+    then_fn();
+    br(endL);
+    place(elseL);
+    else_fn();
+    place(endL);
+}
+
+void
+Builder::whileLoop(const std::function<Reg()> &cond_fn,
+                   const std::function<void()> &body_fn)
+{
+    Label head = newLabel();
+    Label exit = newLabel();
+    place(head);
+    Reg c = cond_fn();
+    brFalse(c, exit);
+    body_fn();
+    br(head);
+    place(exit);
+}
+
+void
+Builder::forRange(Reg begin, Reg end, Reg step,
+                  const std::function<void(Reg)> &body_fn)
+{
+    Reg i = mov(begin);
+    whileLoop([&] { return ilt(i, end); },
+              [&] {
+                  body_fn(i);
+                  iaddTo(i, i, step);
+              });
+}
+
+Module
+Builder::finish()
+{
+    VCB_ASSERT(!finished, "finish() called twice");
+    // Guarantee termination for straight-line kernels.
+    ret();
+    // Labels placed after the last instruction point at the terminator.
+    for (auto &target : labelTargets) {
+        if (target == unplaced)
+            panic("finish(): label never placed");
+        if (target >= insnIndex)
+            target = insnIndex - 1;
+    }
+    for (auto [word_pos, label_id] : patches) {
+        VCB_ASSERT(label_id < labelTargets.size(), "bad label id");
+        mod.code[word_pos] = labelTargets[label_id];
+    }
+    finished = true;
+    return std::move(mod);
+}
+
+} // namespace vcb::spirv

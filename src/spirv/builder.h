@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Kernel authoring DSL — the suite's stand-in for GLSL.
+ *
+ * The paper writes kernels in GLSL and compiles them offline with
+ * glslangvalidator into SPIR-V binaries.  Here, kernels are authored
+ * with this Builder, which emits the VCB kernel IR binary; the text of
+ * each kernel in src/kernels/ reads like the corresponding GLSL compute
+ * shader (one statement per line, same algorithm, same bindings).
+ *
+ * Registers are mutable 32-bit cells.  Value-returning helpers allocate
+ * a fresh register; *To variants overwrite an existing one (needed for
+ * loop-carried variables).  Control flow uses labels with forward-
+ * reference patching, plus structured helpers (ifThen / whileLoop /
+ * forRange) that cover everything the Rodinia kernels need.
+ */
+
+#ifndef VCB_SPIRV_BUILDER_H
+#define VCB_SPIRV_BUILDER_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "spirv/module.h"
+
+namespace vcb::spirv {
+
+/** Builds a kernel Module instruction by instruction. */
+class Builder
+{
+  public:
+    using Reg = uint32_t;
+    /** Opaque label handle. */
+    struct Label { uint32_t id; };
+
+    /** @param name entry-point name, @param lx/ly/lz local size. */
+    Builder(std::string name, uint32_t lx, uint32_t ly = 1,
+            uint32_t lz = 1);
+
+    // --- module-level declarations -------------------------------------
+    /** Declare a storage-buffer binding used by this kernel. */
+    void bindStorage(uint32_t binding, ElemType elem,
+                     bool read_only = false);
+    /** Declare the push-constant block size in words. */
+    void setPushWords(uint32_t words);
+    /** Declare workgroup-shared memory size in words. */
+    void setSharedWords(uint32_t words);
+
+    // --- registers ------------------------------------------------------
+    /** Allocate a fresh (uninitialised) register. */
+    Reg newReg();
+
+    // --- constants and inputs -------------------------------------------
+    Reg constI(int32_t v);
+    Reg constU(uint32_t v);
+    Reg constF(float v);
+    /** Builtins are cached: repeated calls return the same register. */
+    Reg builtin(Builtin b);
+    Reg globalIdX() { return builtin(Builtin::GlobalIdX); }
+    Reg globalIdY() { return builtin(Builtin::GlobalIdY); }
+    Reg localIdX() { return builtin(Builtin::LocalIdX); }
+    Reg localIdY() { return builtin(Builtin::LocalIdY); }
+    Reg groupIdX() { return builtin(Builtin::GroupIdX); }
+    Reg groupIdY() { return builtin(Builtin::GroupIdY); }
+    Reg numGroupsX() { return builtin(Builtin::NumGroupsX); }
+    Reg localLinearId() { return builtin(Builtin::LocalLinearId); }
+    /** Load word `word_off` of the push-constant block. */
+    Reg ldPush(uint32_t word_off);
+
+    // --- moves ------------------------------------------------------
+    Reg mov(Reg src);
+    void movTo(Reg dst, Reg src);
+    void constITo(Reg dst, int32_t v);
+    void constFTo(Reg dst, float v);
+
+    // --- integer arithmetic ----------------------------------------------
+    Reg iadd(Reg a, Reg b);
+    Reg isub(Reg a, Reg b);
+    Reg imul(Reg a, Reg b);
+    Reg idiv(Reg a, Reg b);
+    Reg irem(Reg a, Reg b);
+    Reg imin(Reg a, Reg b);
+    Reg imax(Reg a, Reg b);
+    Reg iand(Reg a, Reg b);
+    Reg ior(Reg a, Reg b);
+    Reg ixor(Reg a, Reg b);
+    Reg inot(Reg a);
+    Reg ineg(Reg a);
+    Reg ishl(Reg a, Reg b);
+    Reg ishru(Reg a, Reg b);
+    Reg ishrs(Reg a, Reg b);
+    void iaddTo(Reg dst, Reg a, Reg b);
+    void imulTo(Reg dst, Reg a, Reg b);
+
+    // --- float arithmetic -------------------------------------------------
+    Reg fadd(Reg a, Reg b);
+    Reg fsub(Reg a, Reg b);
+    Reg fmul(Reg a, Reg b);
+    Reg fdiv(Reg a, Reg b);
+    Reg fmin(Reg a, Reg b);
+    Reg fmax(Reg a, Reg b);
+    Reg fabs(Reg a);
+    Reg fneg(Reg a);
+    Reg fsqrt(Reg a);
+    Reg fexp(Reg a);
+    Reg flog(Reg a);
+    Reg ffloor(Reg a);
+    Reg fsin(Reg a);
+    Reg fcos(Reg a);
+    Reg ffma(Reg a, Reg b, Reg c);
+    Reg fpow(Reg a, Reg b);
+    void faddTo(Reg dst, Reg a, Reg b);
+    void fmulTo(Reg dst, Reg a, Reg b);
+
+    // --- conversions ------------------------------------------------------
+    Reg cvtSF(Reg a);
+    Reg cvtFS(Reg a);
+
+    // --- comparisons (0/1 result) ------------------------------------------
+    Reg ieq(Reg a, Reg b);
+    Reg ine(Reg a, Reg b);
+    Reg ilt(Reg a, Reg b);
+    Reg ile(Reg a, Reg b);
+    Reg igt(Reg a, Reg b);
+    Reg ige(Reg a, Reg b);
+    Reg ult(Reg a, Reg b);
+    Reg uge(Reg a, Reg b);
+    Reg feq(Reg a, Reg b);
+    Reg fne(Reg a, Reg b);
+    Reg flt(Reg a, Reg b);
+    Reg fle(Reg a, Reg b);
+    Reg fgt(Reg a, Reg b);
+    Reg fge(Reg a, Reg b);
+    Reg select(Reg cond, Reg a, Reg b);
+
+    // --- memory -------------------------------------------------------------
+    Reg ldBuf(uint32_t binding, Reg addr, uint32_t flags = 0);
+    void stBuf(uint32_t binding, Reg addr, Reg src, uint32_t flags = 0);
+    Reg ldShared(Reg addr);
+    void stShared(Reg addr, Reg src);
+    Reg atomIAdd(uint32_t binding, Reg addr, Reg src);
+    Reg atomIMin(uint32_t binding, Reg addr, Reg src);
+    Reg atomIMax(uint32_t binding, Reg addr, Reg src);
+    Reg atomIOr(uint32_t binding, Reg addr, Reg src);
+
+    // --- control flow ---------------------------------------------------------
+    Label newLabel();
+    /** Bind a label to the *next* emitted instruction. */
+    void place(Label l);
+    void br(Label l);
+    void brTrue(Reg cond, Label l);
+    void brFalse(Reg cond, Label l);
+    void barrier();
+    void ret();
+
+    /** if (cond) { then(); } */
+    void ifThen(Reg cond, const std::function<void()> &then_fn);
+    /** if (cond) { then(); } else { other(); } */
+    void ifThenElse(Reg cond, const std::function<void()> &then_fn,
+                    const std::function<void()> &else_fn);
+    /**
+     * while (cond()) { body(); } — cond is re-evaluated each iteration,
+     * so it must re-load whatever it depends on.
+     */
+    void whileLoop(const std::function<Reg()> &cond_fn,
+                   const std::function<void()> &body_fn);
+    /**
+     * for (i = begin; i < end; i += step) { body(i); } with i a fresh
+     * register the body may read (but must not write).
+     */
+    void forRange(Reg begin, Reg end, Reg step,
+                  const std::function<void(Reg)> &body_fn);
+
+    // --- finish -----------------------------------------------------------
+    /**
+     * Terminate (appends Ret when missing), patch labels, and return
+     * the finished module.  The builder must not be reused afterwards.
+     */
+    Module finish();
+
+    /** Number of instructions emitted so far. */
+    uint32_t insnCount() const { return insnIndex; }
+
+  private:
+    Reg emitD(Op op, uint32_t b = 0, uint32_t c = 0, uint32_t d = 0);
+    void emitTo(Op op, uint32_t a, uint32_t b = 0, uint32_t c = 0,
+                uint32_t d = 0);
+    void emit(Op op, const uint32_t *operands, uint32_t n);
+
+    Module mod;
+    uint32_t insnIndex = 0;
+    bool finished = false;
+    // Cached builtin registers, index by Builtin value.
+    Reg builtinRegs[static_cast<size_t>(Builtin::Count)];
+    bool builtinCached[static_cast<size_t>(Builtin::Count)] = {};
+    // label id -> instruction index (UINT32_MAX until placed)
+    std::vector<uint32_t> labelTargets;
+    // (code word offset to patch, label id)
+    std::vector<std::pair<uint32_t, uint32_t>> patches;
+};
+
+} // namespace vcb::spirv
+
+#endif // VCB_SPIRV_BUILDER_H

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Human-readable module listings.
+ *
+ * The paper inspected driver-generated ISA with AMD CodeXL to explain
+ * the bfs result; this disassembler is the equivalent introspection
+ * tool for VCB kernels and is used heavily by the tests.
+ */
+
+#include "spirv/module.h"
+
+#include <set>
+
+#include "common/logging.h"
+#include "common/strutil.h"
+
+namespace vcb::spirv {
+
+std::string
+disassemble(const Module &m)
+{
+    std::string out;
+    out += strprintf("; module '%s'  local=(%u,%u,%u)  regs=%u  "
+                     "shared=%uw  push=%uw\n",
+                     m.name.c_str(), m.localSize[0], m.localSize[1],
+                     m.localSize[2], m.regCount, m.sharedWords,
+                     m.pushWords);
+    for (const auto &b : m.bindings) {
+        const char *elem = b.elem == ElemType::F32   ? "f32"
+                           : b.elem == ElemType::I32 ? "i32"
+                                                     : "u32";
+        out += strprintf("; binding %u : %s%s\n", b.binding, elem,
+                         b.readOnly ? " readonly" : "");
+    }
+
+    std::vector<Insn> insns = m.decode();
+
+    // Collect branch targets so we can print labels.
+    std::set<uint32_t> targets;
+    for (const auto &insn : insns) {
+        const OpInfo &info = opInfo(insn.op);
+        uint32_t ops[4] = {insn.a, insn.b, insn.c, insn.d};
+        for (uint32_t i = 0; i < info.numOperands; ++i)
+            if (info.kinds[i] == OperandKind::Label)
+                targets.insert(ops[i]);
+    }
+
+    for (uint32_t idx = 0; idx < insns.size(); ++idx) {
+        if (targets.count(idx))
+            out += strprintf("L%u:\n", idx);
+        const Insn &insn = insns[idx];
+        const OpInfo &info = opInfo(insn.op);
+        std::string line = strprintf("  %-10s", info.name);
+        uint32_t ops[4] = {insn.a, insn.b, insn.c, insn.d};
+        for (uint32_t i = 0; i < info.numOperands; ++i) {
+            uint32_t v = ops[i];
+            switch (info.kinds[i]) {
+              case OperandKind::DstReg:
+              case OperandKind::SrcReg:
+                line += strprintf(" %%r%u", v);
+                break;
+              case OperandKind::Label:
+                line += strprintf(" L%u", v);
+                break;
+              case OperandKind::Binding:
+                line += strprintf(" buf%u", v);
+                break;
+              case OperandKind::BuiltinCode:
+                line += strprintf(" %s",
+                                  builtinName(static_cast<Builtin>(v)));
+                break;
+              case OperandKind::Imm:
+                if (insn.op == Op::ConstF) {
+                    float f;
+                    static_assert(sizeof(f) == sizeof(v));
+                    __builtin_memcpy(&f, &v, sizeof(f));
+                    line += strprintf(" %g", (double)f);
+                } else if ((insn.op == Op::LdBuf || insn.op == Op::StBuf) &&
+                           (v & MemFlagPromoteHint)) {
+                    line += " hint=promote";
+                } else if (insn.op == Op::LdBuf || insn.op == Op::StBuf) {
+                    if (v != 0)
+                        line += strprintf(" flags=%u", v);
+                } else {
+                    line += strprintf(" %d", (int32_t)v);
+                }
+                break;
+              case OperandKind::None:
+                break;
+            }
+        }
+        out += line + "\n";
+    }
+    return out;
+}
+
+} // namespace vcb::spirv

@@ -1,0 +1,234 @@
+#include "spirv/module.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace vcb::spirv {
+
+namespace {
+
+void
+appendString(std::vector<uint32_t> &out, const std::string &s)
+{
+    out.push_back(static_cast<uint32_t>((s.size() + 3) / 4));
+    uint32_t word = 0;
+    for (size_t i = 0; i < s.size(); ++i) {
+        word |= static_cast<uint32_t>(static_cast<unsigned char>(s[i]))
+                << (8 * (i % 4));
+        if (i % 4 == 3) {
+            out.push_back(word);
+            word = 0;
+        }
+    }
+    if (s.size() % 4 != 0)
+        out.push_back(word);
+}
+
+std::string
+readString(const std::vector<uint32_t> &words, size_t &pos, size_t end)
+{
+    if (pos >= end)
+        fatal("module: truncated string header");
+    uint32_t nwords = words[pos++];
+    if (pos + nwords > end)
+        fatal("module: truncated string payload");
+    std::string s;
+    for (uint32_t w = 0; w < nwords; ++w) {
+        uint32_t word = words[pos++];
+        for (int b = 0; b < 4; ++b) {
+            char c = static_cast<char>((word >> (8 * b)) & 0xff);
+            if (c != '\0')
+                s.push_back(c);
+        }
+    }
+    return s;
+}
+
+} // namespace
+
+std::vector<uint32_t>
+Module::serialize() const
+{
+    std::vector<uint32_t> out;
+    out.push_back(moduleMagic);
+    out.push_back(moduleVersion);
+    out.push_back(generatorBuilder);
+    out.push_back(regCount);
+    out.push_back(0);
+
+    // ENTRY section.
+    {
+        std::vector<uint32_t> payload;
+        payload.push_back(localSize[0]);
+        payload.push_back(localSize[1]);
+        payload.push_back(localSize[2]);
+        payload.push_back(sharedWords);
+        payload.push_back(pushWords);
+        appendString(payload, name);
+        out.push_back(SectionEntry);
+        out.push_back(static_cast<uint32_t>(payload.size()));
+        out.insert(out.end(), payload.begin(), payload.end());
+    }
+
+    // BINDINGS section.
+    {
+        out.push_back(SectionBindings);
+        out.push_back(static_cast<uint32_t>(1 + bindings.size() * 3));
+        out.push_back(static_cast<uint32_t>(bindings.size()));
+        for (const auto &b : bindings) {
+            out.push_back(b.binding);
+            out.push_back(b.readOnly ? 1u : 0u);
+            out.push_back(static_cast<uint32_t>(b.elem));
+        }
+    }
+
+    // CODE section.
+    {
+        out.push_back(SectionCode);
+        out.push_back(static_cast<uint32_t>(code.size()));
+        out.insert(out.end(), code.begin(), code.end());
+    }
+    return out;
+}
+
+Module
+Module::deserialize(const std::vector<uint32_t> &words)
+{
+    if (words.size() < 5)
+        fatal("module: stream shorter than header");
+    if (words[0] != moduleMagic)
+        fatal("module: bad magic 0x%08x", words[0]);
+    if ((words[1] >> 16) != (moduleVersion >> 16))
+        fatal("module: unsupported version 0x%08x", words[1]);
+
+    Module m;
+    m.regCount = words[3];
+
+    size_t pos = 5;
+    bool sawEntry = false, sawCode = false;
+    while (pos < words.size()) {
+        if (pos + 2 > words.size())
+            fatal("module: truncated section header");
+        uint32_t id = words[pos++];
+        uint32_t len = words[pos++];
+        size_t end = pos + len;
+        if (end > words.size())
+            fatal("module: section %u overruns stream", id);
+        switch (id) {
+          case SectionEntry: {
+            if (len < 5)
+                fatal("module: ENTRY section too short");
+            m.localSize[0] = words[pos];
+            m.localSize[1] = words[pos + 1];
+            m.localSize[2] = words[pos + 2];
+            m.sharedWords = words[pos + 3];
+            m.pushWords = words[pos + 4];
+            size_t spos = pos + 5;
+            m.name = readString(words, spos, end);
+            sawEntry = true;
+            break;
+          }
+          case SectionBindings: {
+            if (len < 1)
+                fatal("module: BINDINGS section too short");
+            uint32_t count = words[pos];
+            if (len != 1 + count * 3)
+                fatal("module: BINDINGS length mismatch");
+            for (uint32_t i = 0; i < count; ++i) {
+                BindingDecl b;
+                b.binding = words[pos + 1 + i * 3];
+                b.readOnly = words[pos + 2 + i * 3] != 0;
+                b.elem = static_cast<ElemType>(words[pos + 3 + i * 3]);
+                m.bindings.push_back(b);
+            }
+            break;
+          }
+          case SectionCode:
+            m.code.assign(words.begin() + static_cast<long>(pos),
+                          words.begin() + static_cast<long>(end));
+            sawCode = true;
+            break;
+          default:
+            // Unknown sections are skipped for forward compatibility.
+            break;
+        }
+        pos = end;
+    }
+    if (!sawEntry)
+        fatal("module: missing ENTRY section");
+    if (!sawCode)
+        fatal("module: missing CODE section");
+    return m;
+}
+
+std::vector<Insn>
+Module::decode() const
+{
+    std::vector<Insn> out;
+    size_t pos = 0;
+    while (pos < code.size()) {
+        uint32_t head = code[pos];
+        uint16_t rawOp = static_cast<uint16_t>(head & 0xffffu);
+        uint32_t wc = head >> 16;
+        if (!opExists(rawOp))
+            fatal("module %s: unknown opcode %u at word %zu",
+                  name.c_str(), rawOp, pos);
+        Op op = static_cast<Op>(rawOp);
+        const OpInfo &info = opInfo(op);
+        if (wc != 1u + info.numOperands)
+            fatal("module %s: opcode %s has word count %u, expected %u",
+                  name.c_str(), info.name, wc, 1u + info.numOperands);
+        if (pos + wc > code.size())
+            fatal("module %s: truncated instruction at word %zu",
+                  name.c_str(), pos);
+        Insn insn;
+        insn.op = op;
+        uint32_t operands[4] = {0, 0, 0, 0};
+        for (uint32_t i = 0; i < info.numOperands; ++i)
+            operands[i] = code[pos + 1 + i];
+        insn.a = operands[0];
+        insn.b = operands[1];
+        insn.c = operands[2];
+        insn.d = operands[3];
+        out.push_back(insn);
+        pos += wc;
+    }
+    return out;
+}
+
+size_t
+Module::insnCount() const
+{
+    size_t count = 0;
+    size_t pos = 0;
+    while (pos < code.size()) {
+        uint32_t wc = code[pos] >> 16;
+        if (wc == 0)
+            fatal("module %s: zero-length instruction", name.c_str());
+        pos += wc;
+        ++count;
+    }
+    return count;
+}
+
+const BindingDecl *
+Module::findBinding(uint32_t binding) const
+{
+    for (const auto &b : bindings)
+        if (b.binding == binding)
+            return &b;
+    return nullptr;
+}
+
+uint32_t
+Module::bindingBound() const
+{
+    uint32_t bound = 0;
+    for (const auto &b : bindings)
+        bound = std::max(bound, b.binding + 1);
+    return bound;
+}
+
+} // namespace vcb::spirv

@@ -1,0 +1,72 @@
+#include "spirv/opcodes.h"
+
+#include "common/logging.h"
+
+namespace vcb::spirv {
+
+namespace {
+
+constexpr OperandKind N = OperandKind::None;
+constexpr OperandKind D = OperandKind::DstReg;
+constexpr OperandKind S = OperandKind::SrcReg;
+constexpr OperandKind I = OperandKind::Imm;
+constexpr OperandKind L = OperandKind::Label;
+constexpr OperandKind B = OperandKind::Binding;
+constexpr OperandKind U = OperandKind::BuiltinCode;
+
+constexpr uint8_t
+countOperands(OperandKind a, OperandKind b, OperandKind c, OperandKind d)
+{
+    return (a != N) + (b != N) + (c != N) + (d != N);
+}
+
+const OpInfo infoTable[] = {
+#define VCB_SPV_INFO(name, a, b, c, d)                                     \
+    {#name, countOperands(a, b, c, d), {a, b, c, d}},
+    VCB_SPV_OP_LIST(VCB_SPV_INFO)
+#undef VCB_SPV_INFO
+};
+
+static_assert(sizeof(infoTable) / sizeof(infoTable[0]) == opCount,
+              "opcode table out of sync with Op enum");
+
+const char *builtinNames[] = {
+    "GlobalIdX", "GlobalIdY", "GlobalIdZ",
+    "LocalIdX", "LocalIdY", "LocalIdZ",
+    "GroupIdX", "GroupIdY", "GroupIdZ",
+    "NumGroupsX", "NumGroupsY", "NumGroupsZ",
+    "LocalSizeX", "LocalSizeY", "LocalSizeZ",
+    "GlobalSizeX", "GlobalSizeY", "GlobalSizeZ",
+    "LocalLinearId",
+};
+
+static_assert(sizeof(builtinNames) / sizeof(builtinNames[0]) ==
+                  static_cast<size_t>(Builtin::Count),
+              "builtin name table out of sync");
+
+} // namespace
+
+const OpInfo &
+opInfo(Op op)
+{
+    auto raw = static_cast<uint16_t>(op);
+    VCB_ASSERT(raw < opCount, "opInfo(%u) out of range", raw);
+    return infoTable[raw];
+}
+
+bool
+opExists(uint16_t raw)
+{
+    return raw < opCount;
+}
+
+const char *
+builtinName(Builtin b)
+{
+    auto raw = static_cast<uint32_t>(b);
+    if (raw >= static_cast<uint32_t>(Builtin::Count))
+        return "<bad>";
+    return builtinNames[raw];
+}
+
+} // namespace vcb::spirv

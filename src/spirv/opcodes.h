@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Opcode definitions for the VCB kernel IR ("mini SPIR-V").
+ *
+ * The IR mirrors the physical shape of SPIR-V: a module is a stream of
+ * 32-bit words; each instruction's first word packs (wordCount << 16) |
+ * opcode.  Semantically it is a flat register VM rather than SSA — this
+ * keeps the interpreter fast while preserving the properties the paper
+ * relies on (self-contained binary kernels, offline compilation, driver
+ * side consumption with per-driver optimisation passes).
+ *
+ * Every instruction has at most four operands.  Operand signatures are
+ * described by a static table (see opInfo) that drives the encoder, the
+ * decoder, the validator and the disassembler, so they cannot drift
+ * apart.
+ */
+
+#ifndef VCB_SPIRV_OPCODES_H
+#define VCB_SPIRV_OPCODES_H
+
+#include <cstdint>
+
+namespace vcb::spirv {
+
+/**
+ * Operand kind letters used in the signature table:
+ *  D = destination register, S = source register, I = immediate 32-bit,
+ *  L = label (instruction index), B = buffer binding number,
+ *  U = builtin code, N = unused slot.
+ */
+enum class OperandKind : uint8_t { None, DstReg, SrcReg, Imm, Label,
+                                   Binding, BuiltinCode };
+
+/**
+ * Instruction opcodes.
+ *
+ * Integer ops operate on 32-bit two's-complement values; float ops
+ * reinterpret register bits as IEEE-754 binary32.  Comparison ops write
+ * 0 or 1.  Memory addresses are *element* (word) indices, not bytes.
+ */
+#define VCB_SPV_OP_LIST(X)                                                 \
+    /*    name      operand kinds (up to 4)          */                    \
+    X(Nop,        N, N, N, N)                                              \
+    X(ConstI,     D, I, N, N) /* dst <- signed/raw imm               */    \
+    X(ConstF,     D, I, N, N) /* dst <- float bits imm               */    \
+    X(Mov,        D, S, N, N)                                              \
+    X(LdBuiltin,  D, U, N, N) /* dst <- builtin value                */    \
+    X(LdPush,     D, I, N, N) /* dst <- pushConstants[imm word]      */    \
+    /* integer arithmetic */                                               \
+    X(IAdd,       D, S, S, N)                                              \
+    X(ISub,       D, S, S, N)                                              \
+    X(IMul,       D, S, S, N)                                              \
+    X(IDiv,       D, S, S, N) /* trap on divide by zero              */    \
+    X(IRem,       D, S, S, N)                                              \
+    X(IMin,       D, S, S, N)                                              \
+    X(IMax,       D, S, S, N)                                              \
+    X(IAnd,       D, S, S, N)                                              \
+    X(IOr,        D, S, S, N)                                              \
+    X(IXor,       D, S, S, N)                                              \
+    X(INot,       D, S, N, N)                                              \
+    X(INeg,       D, S, N, N)                                              \
+    X(IShl,       D, S, S, N)                                              \
+    X(IShrU,      D, S, S, N) /* logical                             */    \
+    X(IShrS,      D, S, S, N) /* arithmetic                          */    \
+    /* float arithmetic */                                                 \
+    X(FAdd,       D, S, S, N)                                              \
+    X(FSub,       D, S, S, N)                                              \
+    X(FMul,       D, S, S, N)                                              \
+    X(FDiv,       D, S, S, N)                                              \
+    X(FMin,       D, S, S, N)                                              \
+    X(FMax,       D, S, S, N)                                              \
+    X(FAbs,       D, S, N, N)                                              \
+    X(FNeg,       D, S, N, N)                                              \
+    X(FSqrt,      D, S, N, N)                                              \
+    X(FExp,       D, S, N, N)                                              \
+    X(FLog,       D, S, N, N)                                              \
+    X(FFloor,     D, S, N, N)                                              \
+    X(FSin,       D, S, N, N)                                              \
+    X(FCos,       D, S, N, N)                                              \
+    X(FFma,       D, S, S, S) /* dst = a*b + c                       */    \
+    X(FPow,       D, S, S, N)                                              \
+    /* conversions */                                                      \
+    X(CvtSF,      D, S, N, N) /* signed int -> float                 */    \
+    X(CvtFS,      D, S, N, N) /* float -> signed int (truncate)      */    \
+    /* comparisons: dst = 0/1 */                                           \
+    X(IEq,        D, S, S, N)                                              \
+    X(INe,        D, S, S, N)                                              \
+    X(ILt,        D, S, S, N) /* signed                              */    \
+    X(ILe,        D, S, S, N)                                              \
+    X(IGt,        D, S, S, N)                                              \
+    X(IGe,        D, S, S, N)                                              \
+    X(ULt,        D, S, S, N) /* unsigned                            */    \
+    X(UGe,        D, S, S, N)                                              \
+    X(FEq,        D, S, S, N)                                              \
+    X(FNe,        D, S, S, N)                                              \
+    X(FLt,        D, S, S, N)                                              \
+    X(FLe,        D, S, S, N)                                              \
+    X(FGt,        D, S, S, N)                                              \
+    X(FGe,        D, S, S, N)                                              \
+    X(Select,     D, S, S, S) /* dst = cond ? a : b                  */    \
+    /* memory */                                                           \
+    X(LdBuf,      D, B, S, I) /* dst <- buf[binding][addr]; I=flags  */    \
+    X(StBuf,      B, S, S, I) /* buf[binding][addr] <- src; I=flags  */    \
+    X(LdShared,   D, S, N, N) /* dst <- shared[addr]                 */    \
+    X(StShared,   S, S, N, N) /* shared[addr] <- src                 */    \
+    X(AtomIAdd,   D, B, S, S) /* dst = old; buf[addr] += src         */    \
+    X(AtomIMin,   D, B, S, S)                                              \
+    X(AtomIMax,   D, B, S, S)                                              \
+    X(AtomIOr,    D, B, S, S)                                              \
+    /* control flow */                                                     \
+    X(Br,         L, N, N, N)                                              \
+    X(BrTrue,     S, L, N, N)                                              \
+    X(BrFalse,    S, L, N, N)                                              \
+    X(Barrier,    N, N, N, N) /* workgroup control+memory barrier    */    \
+    X(Ret,        N, N, N, N)
+
+/** The opcode enumeration itself. */
+enum class Op : uint16_t
+{
+#define VCB_SPV_ENUM(name, a, b, c, d) name,
+    VCB_SPV_OP_LIST(VCB_SPV_ENUM)
+#undef VCB_SPV_ENUM
+    Count
+};
+
+/** Memory access flags carried in the Imm slot of LdBuf/StBuf. */
+enum MemFlags : uint32_t
+{
+    /**
+     * Marks an access that a mature kernel compiler promotes to on-chip
+     * (workgroup local / LDS) storage.  The paper's bfs study found the
+     * OpenCL compiler applied this optimisation while the young Vulkan
+     * SPIR-V compiler did not; driver profiles honour or ignore this
+     * hint accordingly (see sim::DriverProfile::localMemPromotion).
+     */
+    MemFlagPromoteHint = 1u << 0,
+};
+
+/** Built-in input values available to every invocation. */
+enum class Builtin : uint32_t
+{
+    GlobalIdX = 0, GlobalIdY, GlobalIdZ,
+    LocalIdX, LocalIdY, LocalIdZ,
+    GroupIdX, GroupIdY, GroupIdZ,
+    NumGroupsX, NumGroupsY, NumGroupsZ,
+    LocalSizeX, LocalSizeY, LocalSizeZ,
+    GlobalSizeX, GlobalSizeY, GlobalSizeZ,
+    LocalLinearId,
+    Count
+};
+
+/** Static description of one opcode. */
+struct OpInfo
+{
+    const char *name;
+    uint8_t numOperands;
+    OperandKind kinds[4];
+};
+
+/** Number of opcodes. */
+constexpr uint16_t opCount = static_cast<uint16_t>(Op::Count);
+
+/** Look up the descriptor for an opcode (op must be < Op::Count). */
+const OpInfo &opInfo(Op op);
+
+/** True if the raw opcode value names a defined instruction. */
+bool opExists(uint16_t raw);
+
+/** Name for a builtin code, or "<bad>" when out of range. */
+const char *builtinName(Builtin b);
+
+/** Total instruction word count for an opcode (1 + operands). */
+inline uint32_t
+opWordCount(Op op)
+{
+    return 1u + opInfo(op).numOperands;
+}
+
+} // namespace vcb::spirv
+
+#endif // VCB_SPIRV_OPCODES_H

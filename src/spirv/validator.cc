@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Structural validation of kernel modules.
+ *
+ * This plays the role of the SPIR-V validator in the Vulkan tooling
+ * layers: drivers (vkm/ocl/cuda front-ends) run it at shader-module /
+ * program-build time and reject malformed binaries with an API error
+ * instead of crashing the "GPU".
+ */
+
+#include "spirv/module.h"
+
+#include <set>
+
+#include "common/logging.h"
+#include "common/strutil.h"
+
+namespace vcb::spirv {
+
+namespace {
+
+bool
+fail(std::string *out, const std::string &msg)
+{
+    if (out)
+        *out = msg;
+    return false;
+}
+
+} // namespace
+
+bool
+validate(const Module &m, std::string *errorOut)
+{
+    if (m.name.empty())
+        return fail(errorOut, "module has no entry-point name");
+    if (m.regCount == 0)
+        return fail(errorOut, "module declares zero registers");
+    if (m.regCount > 4096)
+        return fail(errorOut,
+                    strprintf("register count %u exceeds limit 4096",
+                              m.regCount));
+    uint64_t local = uint64_t(m.localSize[0]) * m.localSize[1] *
+                     m.localSize[2];
+    if (local == 0)
+        return fail(errorOut, "local size is zero");
+    if (local > 1024)
+        return fail(errorOut,
+                    strprintf("local size %llu exceeds limit 1024",
+                              (unsigned long long)local));
+    if (m.sharedWords > 16384)
+        return fail(errorOut, "shared memory exceeds 64 KiB");
+    if (m.pushWords > 64)
+        return fail(errorOut, "push-constant block exceeds 256 bytes");
+
+    std::set<uint32_t> declared;
+    for (const auto &b : m.bindings) {
+        if (!declared.insert(b.binding).second)
+            return fail(errorOut,
+                        strprintf("binding %u declared twice", b.binding));
+        if (b.binding >= 32)
+            return fail(errorOut,
+                        strprintf("binding %u exceeds limit 31", b.binding));
+    }
+
+    // First pass: collect instruction boundaries and count.
+    size_t pos = 0;
+    uint32_t count = 0;
+    while (pos < m.code.size()) {
+        uint32_t head = m.code[pos];
+        uint16_t rawOp = static_cast<uint16_t>(head & 0xffffu);
+        uint32_t wc = head >> 16;
+        if (!opExists(rawOp))
+            return fail(errorOut,
+                        strprintf("unknown opcode %u at word %zu", rawOp,
+                                  pos));
+        const OpInfo &info = opInfo(static_cast<Op>(rawOp));
+        if (wc != 1u + info.numOperands)
+            return fail(errorOut,
+                        strprintf("%s: word count %u != %u", info.name, wc,
+                                  1u + info.numOperands));
+        if (pos + wc > m.code.size())
+            return fail(errorOut,
+                        strprintf("truncated %s at word %zu", info.name,
+                                  pos));
+        pos += wc;
+        ++count;
+    }
+    if (count == 0)
+        return fail(errorOut, "empty code section");
+
+    // Second pass: operand ranges.
+    pos = 0;
+    uint32_t index = 0;
+    bool sawRet = false;
+    while (pos < m.code.size()) {
+        uint32_t head = m.code[pos];
+        Op op = static_cast<Op>(head & 0xffffu);
+        const OpInfo &info = opInfo(op);
+        for (uint32_t i = 0; i < info.numOperands; ++i) {
+            uint32_t v = m.code[pos + 1 + i];
+            switch (info.kinds[i]) {
+              case OperandKind::DstReg:
+              case OperandKind::SrcReg:
+                if (v >= m.regCount)
+                    return fail(errorOut,
+                                strprintf("%s @%u: register %u out of "
+                                          "range (%u declared)",
+                                          info.name, index, v, m.regCount));
+                break;
+              case OperandKind::Label:
+                if (v >= count)
+                    return fail(errorOut,
+                                strprintf("%s @%u: label target %u out of "
+                                          "range (%u insns)",
+                                          info.name, index, v, count));
+                break;
+              case OperandKind::Binding:
+                if (!declared.count(v))
+                    return fail(errorOut,
+                                strprintf("%s @%u: binding %u not declared",
+                                          info.name, index, v));
+                break;
+              case OperandKind::BuiltinCode:
+                if (v >= static_cast<uint32_t>(Builtin::Count))
+                    return fail(errorOut,
+                                strprintf("%s @%u: bad builtin code %u",
+                                          info.name, index, v));
+                break;
+              case OperandKind::Imm:
+                if (op == Op::LdPush && v >= m.pushWords)
+                    return fail(errorOut,
+                                strprintf("LdPush @%u: word %u outside "
+                                          "push block of %u words",
+                                          index, v, m.pushWords));
+                break;
+              case OperandKind::None:
+                break;
+            }
+        }
+        // Writes through a read-only binding are structural errors.
+        if (op == Op::StBuf || op == Op::AtomIAdd || op == Op::AtomIMin ||
+            op == Op::AtomIMax || op == Op::AtomIOr) {
+            uint32_t binding = m.code[pos + 1 +
+                                      (op == Op::StBuf ? 0 : 1)];
+            const BindingDecl *decl = m.findBinding(binding);
+            if (decl && decl->readOnly)
+                return fail(errorOut,
+                            strprintf("%s @%u: write to read-only "
+                                      "binding %u",
+                                      info.name, index, binding));
+        }
+        if ((op == Op::LdShared || op == Op::StShared) &&
+            m.sharedWords == 0) {
+            return fail(errorOut,
+                        strprintf("%s @%u: module declares no shared "
+                                  "memory",
+                                  info.name, index));
+        }
+        if (op == Op::Ret)
+            sawRet = true;
+        pos += head >> 16;
+        ++index;
+    }
+    if (!sawRet)
+        return fail(errorOut, "no Ret instruction");
+
+    // The last instruction must not fall through the end of the stream.
+    {
+        std::vector<Insn> insns = m.decode();
+        Op last = insns.back().op;
+        if (last != Op::Ret && last != Op::Br)
+            return fail(errorOut, "code can fall off the end of the module");
+    }
+    if (errorOut)
+        errorOut->clear();
+    return true;
+}
+
+} // namespace vcb::spirv

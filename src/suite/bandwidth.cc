@@ -1,0 +1,191 @@
+#include "suite/bandwidth.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "cuda/cuda_rt.h"
+#include "kernels/kernels.h"
+#include "ocl/ocl.h"
+#include "suite/vkhelp.h"
+
+namespace vcb::suite {
+
+namespace {
+
+std::vector<float>
+sourceData(uint64_t words)
+{
+    Rng rng(0xbead);
+    std::vector<float> data(words);
+    for (auto &v : data)
+        v = rng.nextFloat(0.0f, 1.0f);
+    return data;
+}
+
+std::vector<BandwidthPoint>
+sweepVulkan(const sim::DeviceSpec &dev,
+            const std::vector<uint32_t> &strides,
+            const BandwidthConfig &cfg)
+{
+    VkContext ctx = VkContext::create(dev);
+    VkKernel k;
+    std::string err = createVkKernel(ctx, kernels::buildStridedRead(), &k);
+    VCB_ASSERT(err.empty(), "stridedRead rejected: %s", err.c_str());
+
+    uint32_t max_stride = *std::max_element(strides.begin(),
+                                            strides.end());
+    uint64_t words = uint64_t(cfg.threads) * 8 * max_stride;
+    auto src = sourceData(words);
+    auto b_src = ctx.createDeviceBuffer(words * 4);
+    auto b_guard = ctx.createDeviceBuffer(4);
+    ctx.upload(b_src, src.data(), words * 4);
+    auto set = makeDescriptorSet(ctx, k, {{0, b_src}, {1, b_guard}});
+
+    // One command buffer for the whole sweep; stride varies via
+    // vkCmdPushConstants, per-stride device windows via timestamps.
+    vkm::QueryPool pool;
+    vkm::check(vkm::createQueryPool(
+                   ctx.device,
+                   {static_cast<uint32_t>(strides.size()) * 2}, &pool),
+               "createQueryPool");
+    vkm::CommandBuffer cb;
+    vkm::check(vkm::allocateCommandBuffer(ctx.device, ctx.cmdPool, &cb),
+               "allocateCommandBuffer");
+    vkm::check(vkm::beginCommandBuffer(cb), "beginCommandBuffer");
+    vkm::cmdBindPipeline(cb, k.pipeline);
+    vkm::cmdBindDescriptorSet(cb, k.layout, 0, set);
+    uint32_t groups = cfg.threads / 256;
+    for (uint32_t i = 0; i < strides.size(); ++i) {
+        vkm::cmdWriteTimestamp(cb, pool, 2 * i);
+        for (uint32_t r = 0; r < cfg.repeats; ++r) {
+            uint32_t push[3] = {strides[i], cfg.rounds, cfg.threads};
+            vkm::cmdPushConstants(cb, k.layout, 0, 12, push);
+            vkm::cmdDispatch(cb, groups, 1, 1);
+            vkm::cmdPipelineBarrier(cb);
+        }
+        vkm::cmdWriteTimestamp(cb, pool, 2 * i + 1);
+    }
+    vkm::check(vkm::endCommandBuffer(cb), "endCommandBuffer");
+
+    vkm::Fence fence;
+    vkm::check(vkm::createFence(ctx.device, &fence), "createFence");
+    vkm::SubmitInfo si;
+    si.commandBuffers.push_back(cb);
+    vkm::check(vkm::queueSubmit(ctx.queue, {si}, fence), "queueSubmit");
+    vkm::check(vkm::waitForFences(ctx.device, {fence}), "waitForFences");
+
+    std::vector<double> ts;
+    vkm::check(vkm::getQueryPoolResults(
+                   ctx.device, pool, 0,
+                   static_cast<uint32_t>(strides.size()) * 2, &ts),
+               "getQueryPoolResults");
+
+    double useful = double(cfg.threads) * cfg.rounds * 4.0 * cfg.repeats;
+    std::vector<BandwidthPoint> points;
+    for (uint32_t i = 0; i < strides.size(); ++i) {
+        double window = ts[2 * i + 1] - ts[2 * i];
+        points.push_back({strides[i], useful / window});
+    }
+    return points;
+}
+
+std::vector<BandwidthPoint>
+sweepOpenCl(const sim::DeviceSpec &dev,
+            const std::vector<uint32_t> &strides,
+            const BandwidthConfig &cfg)
+{
+    ocl::Context ctx(dev);
+    auto prog =
+        ocl::createProgramWithSource(ctx, kernels::buildStridedRead());
+    std::string err;
+    bool built = ocl::buildProgram(prog, &err);
+    VCB_ASSERT(built, "stridedRead build failed: %s", err.c_str());
+    auto k = ocl::createKernel(prog, "stridedRead", &err);
+    VCB_ASSERT(k.valid(), "%s", err.c_str());
+
+    uint32_t max_stride = *std::max_element(strides.begin(),
+                                            strides.end());
+    uint64_t words = uint64_t(cfg.threads) * 8 * max_stride;
+    auto src = sourceData(words);
+    auto b_src = ocl::createBuffer(ctx, ocl::MemReadOnly, words * 4);
+    auto b_guard = ocl::createBuffer(ctx, ocl::MemReadWrite, 4);
+    ocl::enqueueWriteBuffer(ctx, b_src, true, 0, words * 4, src.data());
+
+    ocl::setKernelArgBuffer(k, 0, b_src);
+    ocl::setKernelArgBuffer(k, 1, b_guard);
+
+    double useful = double(cfg.threads) * cfg.rounds * 4.0 * cfg.repeats;
+    std::vector<BandwidthPoint> points;
+    for (uint32_t stride : strides) {
+        ocl::setKernelArgScalar(k, 0, stride);
+        ocl::setKernelArgScalar(k, 1, cfg.rounds);
+        ocl::setKernelArgScalar(k, 2, cfg.threads);
+        ocl::Event first, last;
+        for (uint32_t r = 0; r < cfg.repeats; ++r) {
+            ocl::Event ev =
+                ocl::enqueueNDRangeKernel(ctx, k, cfg.threads);
+            if (r == 0)
+                first = ev;
+            last = ev;
+        }
+        ctx.finish();
+        double window = last.endNs() - first.startNs();
+        points.push_back({stride, useful / window});
+    }
+    return points;
+}
+
+std::vector<BandwidthPoint>
+sweepCuda(const sim::DeviceSpec &dev,
+          const std::vector<uint32_t> &strides,
+          const BandwidthConfig &cfg)
+{
+    cuda::Runtime rt(dev);
+    auto f = rt.loadFunction(kernels::buildStridedRead());
+
+    uint32_t max_stride = *std::max_element(strides.begin(),
+                                            strides.end());
+    uint64_t words = uint64_t(cfg.threads) * 8 * max_stride;
+    auto src = sourceData(words);
+    auto d_src = rt.malloc(words * 4);
+    auto d_guard = rt.malloc(4);
+    rt.memcpyHtoD(d_src, src.data(), words * 4);
+
+    uint32_t groups = cfg.threads / 256;
+    double useful = double(cfg.threads) * cfg.rounds * 4.0 * cfg.repeats;
+    std::vector<BandwidthPoint> points;
+    for (uint32_t stride : strides) {
+        double e1 = rt.eventRecordNs();
+        for (uint32_t r = 0; r < cfg.repeats; ++r)
+            rt.launchKernel(f, groups, 1, 1, {d_src, d_guard},
+                            {stride, cfg.rounds, cfg.threads});
+        double e2 = rt.eventRecordNs();
+        rt.streamSynchronize();
+        points.push_back({stride, useful / (e2 - e1)});
+    }
+    return points;
+}
+
+} // namespace
+
+std::vector<BandwidthPoint>
+runBandwidthSweep(const sim::DeviceSpec &dev, sim::Api api,
+                  const std::vector<uint32_t> &strides,
+                  const BandwidthConfig &cfg)
+{
+    VCB_ASSERT(!strides.empty(), "empty stride list");
+    VCB_ASSERT(cfg.threads % 256 == 0,
+               "threads must be a multiple of the kernel local size");
+    switch (api) {
+      case sim::Api::Vulkan:
+        return sweepVulkan(dev, strides, cfg);
+      case sim::Api::OpenCl:
+        return sweepOpenCl(dev, strides, cfg);
+      case sim::Api::Cuda:
+        return sweepCuda(dev, strides, cfg);
+    }
+    return {};
+}
+
+} // namespace vcb::suite

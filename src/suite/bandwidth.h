@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The strided memory-bandwidth microbenchmark (paper Sec. V-A1 and
+ * V-B1; Figures 1 and 3), runnable under all three APIs.
+ *
+ * The measured quantity is useful-byte bandwidth: rounds * threads *
+ * 4 bytes divided by the kernel-region time.  Under Vulkan the stride
+ * is delivered by vkCmdPushConstants inside the command buffer — the
+ * access pattern that exposes the Snapdragon push-constant quirk.
+ */
+
+#ifndef VCB_SUITE_BANDWIDTH_H
+#define VCB_SUITE_BANDWIDTH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/device.h"
+
+namespace vcb::suite {
+
+struct BandwidthPoint
+{
+    uint32_t stride = 1; ///< in elements (4 bytes each)
+    double gbPerSec = 0;
+};
+
+struct BandwidthConfig
+{
+    uint32_t threads = 16384; ///< concurrent reader threads
+    uint32_t rounds = 64;     ///< reads per thread (8-row window)
+    uint32_t repeats = 3;     ///< timed kernel repetitions per stride
+};
+
+/**
+ * Run the strided-read sweep for the given strides.
+ * @return one point per stride (monotone layout of Figs. 1/3).
+ */
+std::vector<BandwidthPoint>
+runBandwidthSweep(const sim::DeviceSpec &dev, sim::Api api,
+                  const std::vector<uint32_t> &strides,
+                  const BandwidthConfig &cfg = BandwidthConfig());
+
+} // namespace vcb::suite
+
+#endif // VCB_SUITE_BANDWIDTH_H

@@ -1,0 +1,394 @@
+/**
+ * @file
+ * cfd — CFD solver (Unstructured Grid / Fluid Dynamics).
+ *
+ * A fixed number of solver iterations, each running three dependent
+ * kernels (step factor, flux, time step).  Vulkan must bind three
+ * compute pipelines per iteration inside its command buffer — the
+ * overhead the paper identifies as eroding cfd's command-buffer
+ * savings; iteration count does not grow with input size, so neither
+ * does the speedup (Sec. V-A2).
+ *
+ * Mobile: skipped entirely — the paper reports the cfd datasets do
+ * not fit on either mobile platform.
+ */
+
+#include "suite/benchmark.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/mathutil.h"
+#include "common/rng.h"
+#include "cuda/cuda_rt.h"
+#include "kernels/kernels.h"
+#include "ocl/ocl.h"
+#include "suite/validate.h"
+#include "suite/vkhelp.h"
+
+namespace vcb::suite {
+
+namespace {
+
+constexpr uint32_t iterations = 20; // Rodinia runs 2000; scaled
+constexpr float rkFactor = 0.8f;
+
+struct Mesh
+{
+    uint32_t n = 0;
+    std::vector<float> variables;  // 5n (SoA)
+    std::vector<float> areas;      // n
+    std::vector<int32_t> neighbors; // 4n (SoA; -1 = boundary)
+    std::vector<float> normals;    // 4n
+};
+
+Mesh
+generateMesh(uint32_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    Mesh m;
+    m.n = n;
+    m.variables.resize(5ull * n);
+    m.areas.resize(n);
+    m.neighbors.resize(4ull * n);
+    m.normals.resize(4ull * n);
+    uint32_t width = 1;
+    while (width * width < n)
+        ++width;
+    for (uint32_t i = 0; i < n; ++i) {
+        m.variables[i] = rng.nextFloat(1.0f, 2.0f);               // rho
+        m.variables[n + i] = rng.nextFloat(-0.5f, 0.5f);          // mx
+        m.variables[2ull * n + i] = rng.nextFloat(-0.5f, 0.5f);   // my
+        m.variables[3ull * n + i] = rng.nextFloat(-0.5f, 0.5f);   // mz
+        m.variables[4ull * n + i] = rng.nextFloat(2.0f, 3.0f);    // E
+        m.areas[i] = rng.nextFloat(0.5f, 2.0f);
+        int64_t cand[4] = {int64_t(i) - 1, int64_t(i) + 1,
+                           int64_t(i) - width, int64_t(i) + width};
+        for (uint32_t nb = 0; nb < 4; ++nb) {
+            m.neighbors[uint64_t(nb) * n + i] =
+                (cand[nb] >= 0 && cand[nb] < int64_t(n))
+                    ? static_cast<int32_t>(cand[nb])
+                    : -1;
+            m.normals[uint64_t(nb) * n + i] = rng.nextFloat(0.5f, 1.5f);
+        }
+    }
+    return m;
+}
+
+/** CPU reference mirroring the three kernels' float order. */
+std::vector<float>
+referenceCfd(const Mesh &mesh)
+{
+    uint32_t n = mesh.n;
+    std::vector<float> var = mesh.variables;
+    std::vector<float> sf(n), flux(5ull * n);
+    for (uint32_t it = 0; it < iterations; ++it) {
+        for (uint32_t i = 0; i < n; ++i) {
+            float rho = std::fmax(var[i], 1e-6f);
+            float mx = var[n + i], my = var[2ull * n + i],
+                  mz = var[3ull * n + i];
+            float e = var[4ull * n + i];
+            float m2 = std::fma(mx, mx, std::fma(my, my, mz * mz));
+            float v2 = m2 / (rho * rho);
+            float p = 0.4f * (e - 0.5f * (rho * v2));
+            p = std::fmax(p, 1e-6f);
+            float c = std::sqrt(1.4f * p / rho);
+            float speed = std::sqrt(v2);
+            float area = std::fmax(mesh.areas[i], 1e-6f);
+            sf[i] = 0.5f / (std::sqrt(area) * (speed + c));
+        }
+        for (uint32_t i = 0; i < n; ++i) {
+            float acc[5] = {0, 0, 0, 0, 0};
+            for (uint32_t nb = 0; nb < 4; ++nb) {
+                int32_t j = mesh.neighbors[uint64_t(nb) * n + i];
+                if (j < 0)
+                    continue;
+                float w = mesh.normals[uint64_t(nb) * n + i];
+                float weight =
+                    (0.12f * std::sqrt(w)) / (1.0f + w);
+                for (uint32_t v = 0; v < 5; ++v) {
+                    float diff = var[uint64_t(v) * n + uint32_t(j)] -
+                                 var[uint64_t(v) * n + i];
+                    acc[v] = std::fma(diff, weight, acc[v]);
+                }
+            }
+            for (uint32_t v = 0; v < 5; ++v)
+                flux[uint64_t(v) * n + i] = acc[v];
+        }
+        for (uint32_t i = 0; i < n; ++i) {
+            float factor = rkFactor * sf[i];
+            for (uint32_t v = 0; v < 5; ++v)
+                var[uint64_t(v) * n + i] =
+                    std::fma(factor, flux[uint64_t(v) * n + i],
+                             var[uint64_t(v) * n + i]);
+        }
+    }
+    return var;
+}
+
+RunResult
+finish(RunResult res, const Mesh &mesh, std::vector<float> var)
+{
+    res.validationError =
+        compareFloats(var, referenceCfd(mesh), 1e-3, 1e-4);
+    res.validated = res.validationError.empty();
+    res.ok = true;
+    return res;
+}
+
+RunResult
+runVulkan(const sim::DeviceSpec &dev, const Mesh &mesh)
+{
+    RunResult res;
+    VkContext ctx = VkContext::create(dev);
+    VkKernel k_sf, k_flux, k_ts;
+    std::string err =
+        createVkKernel(ctx, kernels::buildCfdStepFactor(), &k_sf);
+    if (err.empty())
+        err = createVkKernel(ctx, kernels::buildCfdComputeFlux(),
+                             &k_flux);
+    if (err.empty())
+        err = createVkKernel(ctx, kernels::buildCfdTimeStep(), &k_ts);
+    if (!err.empty()) {
+        res.skipReason = err;
+        return res;
+    }
+
+    double t_total0 = ctx.now();
+    uint32_t n = mesh.n;
+    auto b_var = ctx.createDeviceBuffer(5ull * n * 4);
+    auto b_area = ctx.createDeviceBuffer(uint64_t(n) * 4);
+    auto b_nb = ctx.createDeviceBuffer(4ull * n * 4);
+    auto b_norm = ctx.createDeviceBuffer(4ull * n * 4);
+    auto b_sf = ctx.createDeviceBuffer(uint64_t(n) * 4);
+    auto b_flux = ctx.createDeviceBuffer(5ull * n * 4);
+    ctx.upload(b_var, mesh.variables.data(), 5ull * n * 4);
+    ctx.upload(b_area, mesh.areas.data(), uint64_t(n) * 4);
+    ctx.upload(b_nb, mesh.neighbors.data(), 4ull * n * 4);
+    ctx.upload(b_norm, mesh.normals.data(), 4ull * n * 4);
+
+    auto s_sf = makeDescriptorSet(ctx, k_sf,
+                                  {{0, b_var}, {1, b_area}, {2, b_sf}});
+    auto s_flux = makeDescriptorSet(
+        ctx, k_flux, {{0, b_var}, {1, b_nb}, {2, b_norm}, {3, b_flux}});
+    auto s_ts = makeDescriptorSet(ctx, k_ts,
+                                  {{0, b_var}, {1, b_sf}, {2, b_flux}});
+
+    uint32_t groups = (uint32_t)ceilDiv(n, 128);
+    uint32_t push_ts[2] = {n, 0};
+    std::memcpy(&push_ts[1], &rkFactor, 4);
+
+    vkm::CommandBuffer cb;
+    vkm::check(vkm::allocateCommandBuffer(ctx.device, ctx.cmdPool, &cb),
+               "allocateCommandBuffer");
+    vkm::check(vkm::beginCommandBuffer(cb), "beginCommandBuffer");
+    for (uint32_t it = 0; it < iterations; ++it) {
+        // Three pipeline binds per iteration — cfd's Vulkan tax.
+        vkm::cmdBindPipeline(cb, k_sf.pipeline);
+        vkm::cmdBindDescriptorSet(cb, k_sf.layout, 0, s_sf);
+        vkm::cmdPushConstants(cb, k_sf.layout, 0, 4, &n);
+        vkm::cmdDispatch(cb, groups, 1, 1);
+        vkm::cmdPipelineBarrier(cb);
+        vkm::cmdBindPipeline(cb, k_flux.pipeline);
+        vkm::cmdBindDescriptorSet(cb, k_flux.layout, 0, s_flux);
+        vkm::cmdPushConstants(cb, k_flux.layout, 0, 4, &n);
+        vkm::cmdDispatch(cb, groups, 1, 1);
+        vkm::cmdPipelineBarrier(cb);
+        vkm::cmdBindPipeline(cb, k_ts.pipeline);
+        vkm::cmdBindDescriptorSet(cb, k_ts.layout, 0, s_ts);
+        vkm::cmdPushConstants(cb, k_ts.layout, 0, 8, push_ts);
+        vkm::cmdDispatch(cb, groups, 1, 1);
+        vkm::cmdPipelineBarrier(cb);
+        res.launches += 3;
+    }
+    vkm::check(vkm::endCommandBuffer(cb), "endCommandBuffer");
+
+    vkm::Fence fence;
+    vkm::check(vkm::createFence(ctx.device, &fence), "createFence");
+
+    double t0 = ctx.now();
+    vkm::SubmitInfo si;
+    si.commandBuffers.push_back(cb);
+    vkm::check(vkm::queueSubmit(ctx.queue, {si}, fence), "queueSubmit");
+    vkm::check(vkm::waitForFences(ctx.device, {fence}), "waitForFences");
+    res.kernelRegionNs = ctx.now() - t0;
+
+    std::vector<float> var(5ull * n);
+    ctx.download(b_var, var.data(), 5ull * n * 4);
+    res.totalNs = ctx.now() - t_total0;
+    return finish(std::move(res), mesh, std::move(var));
+}
+
+RunResult
+runOpenCl(const sim::DeviceSpec &dev, const Mesh &mesh)
+{
+    RunResult res;
+    ocl::Context ctx(dev);
+    auto p1 = ocl::createProgramWithSource(ctx,
+                                           kernels::buildCfdStepFactor());
+    auto p2 = ocl::createProgramWithSource(
+        ctx, kernels::buildCfdComputeFlux());
+    auto p3 = ocl::createProgramWithSource(ctx,
+                                           kernels::buildCfdTimeStep());
+    std::string err;
+    if (!ocl::buildProgram(p1, &err) || !ocl::buildProgram(p2, &err) ||
+        !ocl::buildProgram(p3, &err)) {
+        res.skipReason = err;
+        return res;
+    }
+    auto k_sf = ocl::createKernel(p1, "cfd_compute_step_factor", &err);
+    auto k_flux = ocl::createKernel(p2, "cfd_compute_flux", &err);
+    auto k_ts = ocl::createKernel(p3, "cfd_time_step", &err);
+    VCB_ASSERT(k_sf.valid() && k_flux.valid() && k_ts.valid(),
+               "kernel creation failed: %s", err.c_str());
+
+    double t_total0 = ctx.hostNowNs();
+    uint32_t n = mesh.n;
+    auto b_var = ocl::createBuffer(ctx, ocl::MemReadWrite, 5ull * n * 4);
+    auto b_area = ocl::createBuffer(ctx, ocl::MemReadOnly,
+                                    uint64_t(n) * 4);
+    auto b_nb = ocl::createBuffer(ctx, ocl::MemReadOnly, 4ull * n * 4);
+    auto b_norm = ocl::createBuffer(ctx, ocl::MemReadOnly, 4ull * n * 4);
+    auto b_sf = ocl::createBuffer(ctx, ocl::MemReadWrite,
+                                  uint64_t(n) * 4);
+    auto b_flux = ocl::createBuffer(ctx, ocl::MemReadWrite,
+                                    5ull * n * 4);
+    ocl::enqueueWriteBuffer(ctx, b_var, true, 0, 5ull * n * 4,
+                            mesh.variables.data());
+    ocl::enqueueWriteBuffer(ctx, b_area, true, 0, uint64_t(n) * 4,
+                            mesh.areas.data());
+    ocl::enqueueWriteBuffer(ctx, b_nb, true, 0, 4ull * n * 4,
+                            mesh.neighbors.data());
+    ocl::enqueueWriteBuffer(ctx, b_norm, true, 0, 4ull * n * 4,
+                            mesh.normals.data());
+
+    ocl::setKernelArgBuffer(k_sf, 0, b_var);
+    ocl::setKernelArgBuffer(k_sf, 1, b_area);
+    ocl::setKernelArgBuffer(k_sf, 2, b_sf);
+    ocl::setKernelArgScalar(k_sf, 0, n);
+    ocl::setKernelArgBuffer(k_flux, 0, b_var);
+    ocl::setKernelArgBuffer(k_flux, 1, b_nb);
+    ocl::setKernelArgBuffer(k_flux, 2, b_norm);
+    ocl::setKernelArgBuffer(k_flux, 3, b_flux);
+    ocl::setKernelArgScalar(k_flux, 0, n);
+    ocl::setKernelArgBuffer(k_ts, 0, b_var);
+    ocl::setKernelArgBuffer(k_ts, 1, b_sf);
+    ocl::setKernelArgBuffer(k_ts, 2, b_flux);
+    ocl::setKernelArgScalar(k_ts, 0, n);
+    ocl::setKernelArgScalarF(k_ts, 1, rkFactor);
+
+    uint32_t global = (uint32_t)ceilDiv(n, 128) * 128;
+
+    double t0 = ctx.hostNowNs();
+    for (uint32_t it = 0; it < iterations; ++it) {
+        ocl::enqueueNDRangeKernel(ctx, k_sf, global);
+        ocl::enqueueNDRangeKernel(ctx, k_flux, global);
+        ocl::enqueueNDRangeKernel(ctx, k_ts, global);
+        res.launches += 3;
+        ctx.finish();
+    }
+    res.kernelRegionNs = ctx.hostNowNs() - t0;
+
+    std::vector<float> var(5ull * n);
+    ocl::enqueueReadBuffer(ctx, b_var, true, 0, 5ull * n * 4,
+                           var.data());
+    res.totalNs = ctx.hostNowNs() - t_total0;
+    return finish(std::move(res), mesh, std::move(var));
+}
+
+RunResult
+runCuda(const sim::DeviceSpec &dev, const Mesh &mesh)
+{
+    RunResult res;
+    if (!cuda::available(dev)) {
+        res.skipReason = "CUDA not supported on this device";
+        return res;
+    }
+    cuda::Runtime rt(dev);
+    auto f_sf = rt.loadFunction(kernels::buildCfdStepFactor());
+    auto f_flux = rt.loadFunction(kernels::buildCfdComputeFlux());
+    auto f_ts = rt.loadFunction(kernels::buildCfdTimeStep());
+
+    double t_total0 = rt.hostNowNs();
+    uint32_t n = mesh.n;
+    auto d_var = rt.malloc(5ull * n * 4);
+    auto d_area = rt.malloc(uint64_t(n) * 4);
+    auto d_nb = rt.malloc(4ull * n * 4);
+    auto d_norm = rt.malloc(4ull * n * 4);
+    auto d_sf = rt.malloc(uint64_t(n) * 4);
+    auto d_flux = rt.malloc(5ull * n * 4);
+    rt.memcpyHtoD(d_var, mesh.variables.data(), 5ull * n * 4);
+    rt.memcpyHtoD(d_area, mesh.areas.data(), uint64_t(n) * 4);
+    rt.memcpyHtoD(d_nb, mesh.neighbors.data(), 4ull * n * 4);
+    rt.memcpyHtoD(d_norm, mesh.normals.data(), 4ull * n * 4);
+
+    uint32_t rk_bits;
+    std::memcpy(&rk_bits, &rkFactor, 4);
+    uint32_t groups = (uint32_t)ceilDiv(n, 128);
+
+    double t0 = rt.hostNowNs();
+    for (uint32_t it = 0; it < iterations; ++it) {
+        rt.launchKernel(f_sf, groups, 1, 1, {d_var, d_area, d_sf}, {n});
+        rt.launchKernel(f_flux, groups, 1, 1,
+                        {d_var, d_nb, d_norm, d_flux}, {n});
+        rt.launchKernel(f_ts, groups, 1, 1, {d_var, d_sf, d_flux},
+                        {n, rk_bits});
+        res.launches += 3;
+        rt.deviceSynchronize();
+    }
+    res.kernelRegionNs = rt.hostNowNs() - t0;
+
+    std::vector<float> var(5ull * n);
+    rt.memcpyDtoH(var.data(), d_var, 5ull * n * 4);
+    res.totalNs = rt.hostNowNs() - t_total0;
+    return finish(std::move(res), mesh, std::move(var));
+}
+
+class CfdBenchmark : public Benchmark
+{
+  public:
+    std::string name() const override { return "cfd"; }
+    std::string fullName() const override { return "CFD Solver"; }
+    std::string dwarf() const override { return "Unstructured Grid"; }
+    std::string domain() const override { return "Fluid Dynamics"; }
+
+    std::vector<SizeConfig> desktopSizes() const override
+    {
+        // Paper: fvcorr domains with 97K / 193K / 232K elements.
+        return {{"97K", {24576}}, {"193K", {49152}}, {"232K", {61440}}};
+    }
+    std::vector<SizeConfig> mobileSizes() const override { return {}; }
+    std::string mobileSkipReason() const override
+    {
+        return "dataset exceeds mobile device-local heap (paper: 'cfd "
+               "could not fit on both platforms')";
+    }
+
+    RunResult run(const sim::DeviceSpec &dev, sim::Api api,
+                  const SizeConfig &cfg) const override
+    {
+        Mesh m = generateMesh(static_cast<uint32_t>(cfg.params[0]),
+                              workloadSeed(name(), cfg));
+        switch (api) {
+          case sim::Api::Vulkan:
+            return runVulkan(dev, m);
+          case sim::Api::OpenCl:
+            return runOpenCl(dev, m);
+          case sim::Api::Cuda:
+            return runCuda(dev, m);
+        }
+        return RunResult();
+    }
+};
+
+} // namespace
+
+const Benchmark *
+makeCfd()
+{
+    static CfdBenchmark b;
+    return &b;
+}
+
+} // namespace vcb::suite

@@ -1,0 +1,310 @@
+/**
+ * @file
+ * hotspot — thermal simulation (Structured Grid / Physics).
+ *
+ * S dependent stencil steps over a g x g die; shared-memory tiled
+ * kernel (the benchmark behind the Nexus Vulkan slowdown — weak
+ * shared-memory codegen, Sec. V-B2).  CUDA/OpenCL: blocking step
+ * loop; Vulkan: one command buffer, descriptor-set ping-pong.
+ */
+
+#include "suite/benchmark.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/mathutil.h"
+#include "common/rng.h"
+#include "cuda/cuda_rt.h"
+#include "kernels/kernels.h"
+#include "ocl/ocl.h"
+#include "suite/validate.h"
+#include "suite/vkhelp.h"
+
+namespace vcb::suite {
+
+namespace {
+
+struct Die
+{
+    uint32_t g = 0;
+    uint32_t steps = 0;
+    std::vector<float> temp;
+    std::vector<float> power;
+    // Rodinia-style physical constants, pre-reduced to the kernel's
+    // push-constant form.
+    float cc = 0.05f;
+    float rxInv = 0.4f;
+    float ryInv = 0.4f;
+    float rzInv = 0.1f;
+    float amb = 80.0f;
+};
+
+Die
+generateDie(uint32_t g, uint32_t steps, uint64_t seed)
+{
+    Rng rng(seed);
+    Die d;
+    d.g = g;
+    d.steps = steps;
+    d.temp.resize(uint64_t(g) * g);
+    d.power.resize(uint64_t(g) * g);
+    for (auto &t : d.temp)
+        t = rng.nextFloat(70.0f, 90.0f);
+    for (auto &p : d.power)
+        p = rng.nextFloat(0.0f, 2.0f);
+    return d;
+}
+
+std::vector<float>
+referenceHotspot(const Die &d)
+{
+    uint32_t g = d.g;
+    std::vector<float> cur = d.temp, next(cur.size());
+    auto at = [&](const std::vector<float> &v, int64_t r,
+                  int64_t c) -> float {
+        r = std::min<int64_t>(std::max<int64_t>(r, 0), g - 1);
+        c = std::min<int64_t>(std::max<int64_t>(c, 0), g - 1);
+        return v[uint64_t(r) * g + uint64_t(c)];
+    };
+    for (uint32_t s = 0; s < d.steps; ++s) {
+        for (uint32_t r = 0; r < g; ++r) {
+            for (uint32_t c = 0; c < g; ++c) {
+                float centre = cur[uint64_t(r) * g + c];
+                float vert = at(cur, int64_t(r) - 1, c) +
+                             at(cur, int64_t(r) + 1, c) - 2.0f * centre;
+                float horiz = at(cur, r, int64_t(c) - 1) +
+                              at(cur, r, int64_t(c) + 1) - 2.0f * centre;
+                float delta = d.power[uint64_t(r) * g + c] +
+                              vert * d.ryInv + horiz * d.rxInv +
+                              (d.amb - centre) * d.rzInv;
+                next[uint64_t(r) * g + c] =
+                    std::fma(d.cc, delta, centre);
+            }
+        }
+        std::swap(cur, next);
+    }
+    return cur;
+}
+
+std::vector<uint32_t>
+pushWords(const Die &d)
+{
+    std::vector<uint32_t> push(6);
+    push[0] = d.g;
+    std::memcpy(&push[1], &d.cc, 4);
+    std::memcpy(&push[2], &d.rxInv, 4);
+    std::memcpy(&push[3], &d.ryInv, 4);
+    std::memcpy(&push[4], &d.rzInv, 4);
+    std::memcpy(&push[5], &d.amb, 4);
+    return push;
+}
+
+RunResult
+runVulkan(const sim::DeviceSpec &dev, const Die &d)
+{
+    RunResult res;
+    VkContext ctx = VkContext::create(dev);
+    VkKernel k;
+    std::string err = createVkKernel(ctx, kernels::buildHotspotStep(), &k);
+    if (!err.empty()) {
+        res.skipReason = err;
+        return res;
+    }
+
+    double t_total0 = ctx.now();
+    uint64_t bytes = uint64_t(d.g) * d.g * 4;
+    auto b_a = ctx.createDeviceBuffer(bytes);
+    auto b_b = ctx.createDeviceBuffer(bytes);
+    auto b_p = ctx.createDeviceBuffer(bytes);
+    ctx.upload(b_a, d.temp.data(), bytes);
+    ctx.upload(b_p, d.power.data(), bytes);
+
+    auto s_ab = makeDescriptorSet(ctx, k, {{0, b_a}, {1, b_p}, {2, b_b}});
+    auto s_ba = makeDescriptorSet(ctx, k, {{0, b_b}, {1, b_p}, {2, b_a}});
+
+    auto push = pushWords(d);
+    uint32_t groups = d.g / kernels::blockSize;
+
+    vkm::CommandBuffer cb;
+    vkm::check(vkm::allocateCommandBuffer(ctx.device, ctx.cmdPool, &cb),
+               "allocateCommandBuffer");
+    vkm::check(vkm::beginCommandBuffer(cb), "beginCommandBuffer");
+    vkm::cmdBindPipeline(cb, k.pipeline);
+    vkm::cmdPushConstants(cb, k.layout, 0,
+                          (uint32_t)push.size() * 4, push.data());
+    for (uint32_t s = 0; s < d.steps; ++s) {
+        vkm::cmdBindDescriptorSet(cb, k.layout, 0,
+                                  (s % 2 == 0) ? s_ab : s_ba);
+        vkm::cmdDispatch(cb, groups, groups, 1);
+        vkm::cmdPipelineBarrier(cb);
+        res.launches += 1;
+    }
+    vkm::check(vkm::endCommandBuffer(cb), "endCommandBuffer");
+
+    vkm::Fence fence;
+    vkm::check(vkm::createFence(ctx.device, &fence), "createFence");
+
+    double t0 = ctx.now();
+    vkm::SubmitInfo si;
+    si.commandBuffers.push_back(cb);
+    vkm::check(vkm::queueSubmit(ctx.queue, {si}, fence), "queueSubmit");
+    vkm::check(vkm::waitForFences(ctx.device, {fence}), "waitForFences");
+    res.kernelRegionNs = ctx.now() - t0;
+
+    std::vector<float> out(uint64_t(d.g) * d.g);
+    ctx.download((d.steps % 2 == 0) ? b_a : b_b, out.data(), bytes);
+    res.totalNs = ctx.now() - t_total0;
+
+    res.validationError = compareFloats(out, referenceHotspot(d));
+    res.validated = res.validationError.empty();
+    res.ok = true;
+    return res;
+}
+
+RunResult
+runOpenCl(const sim::DeviceSpec &dev, const Die &d)
+{
+    RunResult res;
+    ocl::Context ctx(dev);
+    auto prog =
+        ocl::createProgramWithSource(ctx, kernels::buildHotspotStep());
+    std::string err;
+    if (!ocl::buildProgram(prog, &err)) {
+        res.skipReason = err;
+        return res;
+    }
+    auto k = ocl::createKernel(prog, "hotspot_step", &err);
+    VCB_ASSERT(k.valid(), "kernel creation failed: %s", err.c_str());
+
+    double t_total0 = ctx.hostNowNs();
+    uint64_t bytes = uint64_t(d.g) * d.g * 4;
+    auto b_a = ocl::createBuffer(ctx, ocl::MemReadWrite, bytes);
+    auto b_b = ocl::createBuffer(ctx, ocl::MemReadWrite, bytes);
+    auto b_p = ocl::createBuffer(ctx, ocl::MemReadOnly, bytes);
+    ocl::enqueueWriteBuffer(ctx, b_a, true, 0, bytes, d.temp.data());
+    ocl::enqueueWriteBuffer(ctx, b_p, true, 0, bytes, d.power.data());
+
+    auto push = pushWords(d);
+    uint32_t global = d.g;
+
+    double t0 = ctx.hostNowNs();
+    for (uint32_t s = 0; s < d.steps; ++s) {
+        ocl::setKernelArgBuffer(k, 0, (s % 2 == 0) ? b_a : b_b);
+        ocl::setKernelArgBuffer(k, 1, b_p);
+        ocl::setKernelArgBuffer(k, 2, (s % 2 == 0) ? b_b : b_a);
+        for (uint32_t w = 0; w < push.size(); ++w)
+            ocl::setKernelArgScalar(k, w, push[w]);
+        ocl::enqueueNDRangeKernel(ctx, k, global, global);
+        res.launches += 1;
+        ctx.finish();
+    }
+    res.kernelRegionNs = ctx.hostNowNs() - t0;
+
+    std::vector<float> out(uint64_t(d.g) * d.g);
+    ocl::enqueueReadBuffer(ctx, (d.steps % 2 == 0) ? b_a : b_b, true, 0,
+                           bytes, out.data());
+    res.totalNs = ctx.hostNowNs() - t_total0;
+
+    res.validationError = compareFloats(out, referenceHotspot(d));
+    res.validated = res.validationError.empty();
+    res.ok = true;
+    return res;
+}
+
+RunResult
+runCuda(const sim::DeviceSpec &dev, const Die &d)
+{
+    RunResult res;
+    if (!cuda::available(dev)) {
+        res.skipReason = "CUDA not supported on this device";
+        return res;
+    }
+    cuda::Runtime rt(dev);
+    auto f = rt.loadFunction(kernels::buildHotspotStep());
+
+    double t_total0 = rt.hostNowNs();
+    uint64_t bytes = uint64_t(d.g) * d.g * 4;
+    auto d_a = rt.malloc(bytes);
+    auto d_b = rt.malloc(bytes);
+    auto d_p = rt.malloc(bytes);
+    rt.memcpyHtoD(d_a, d.temp.data(), bytes);
+    rt.memcpyHtoD(d_p, d.power.data(), bytes);
+
+    auto push = pushWords(d);
+    std::vector<uint32_t> scalars(push.begin(), push.end());
+    uint32_t groups = d.g / kernels::blockSize;
+
+    double t0 = rt.hostNowNs();
+    for (uint32_t s = 0; s < d.steps; ++s) {
+        auto &src = (s % 2 == 0) ? d_a : d_b;
+        auto &dst = (s % 2 == 0) ? d_b : d_a;
+        rt.launchKernel(f, groups, groups, 1, {src, d_p, dst}, scalars);
+        res.launches += 1;
+        rt.deviceSynchronize();
+    }
+    res.kernelRegionNs = rt.hostNowNs() - t0;
+
+    std::vector<float> out(uint64_t(d.g) * d.g);
+    rt.memcpyDtoH(out.data(), (d.steps % 2 == 0) ? d_a : d_b, bytes);
+    res.totalNs = rt.hostNowNs() - t_total0;
+
+    res.validationError = compareFloats(out, referenceHotspot(d));
+    res.validated = res.validationError.empty();
+    res.ok = true;
+    return res;
+}
+
+class HotspotBenchmark : public Benchmark
+{
+  public:
+    std::string name() const override { return "hotspot"; }
+    std::string fullName() const override
+    {
+        return "Hotspot Simulation";
+    }
+    std::string dwarf() const override { return "Structured Grid"; }
+    std::string domain() const override { return "Physics"; }
+
+    std::vector<SizeConfig> desktopSizes() const override
+    {
+        // Paper: 512 grid with 8 / 16 / 32 steps.
+        return {{"512-08", {256, 8}},
+                {"512-16", {256, 16}},
+                {"512-32", {256, 32}}};
+    }
+    std::vector<SizeConfig> mobileSizes() const override
+    {
+        return {{"128-8", {128, 8}}, {"128-16", {128, 16}}};
+    }
+
+    RunResult run(const sim::DeviceSpec &dev, sim::Api api,
+                  const SizeConfig &cfg) const override
+    {
+        Die d = generateDie(static_cast<uint32_t>(cfg.params[0]),
+                            static_cast<uint32_t>(cfg.params[1]),
+                            workloadSeed(name(), cfg));
+        switch (api) {
+          case sim::Api::Vulkan:
+            return runVulkan(dev, d);
+          case sim::Api::OpenCl:
+            return runOpenCl(dev, d);
+          case sim::Api::Cuda:
+            return runCuda(dev, d);
+        }
+        return RunResult();
+    }
+};
+
+} // namespace
+
+const Benchmark *
+makeHotspot()
+{
+    static HotspotBenchmark b;
+    return &b;
+}
+
+} // namespace vcb::suite

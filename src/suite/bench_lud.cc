@@ -1,0 +1,343 @@
+/**
+ * @file
+ * lud — LU Decomposition (Dense Linear Algebra), blocked 16x16.
+ *
+ * nb dependent steps of up to three kernels (diagonal, perimeter,
+ * internal).  CUDA/OpenCL: blocking multi-kernel iterations; Vulkan:
+ * one command buffer with three pipelines bound per step.  This is
+ * the benchmark whose OpenCL build fails on the Snapdragon (paper
+ * Sec. V-B2), reproduced via the Adreno driver profile.
+ */
+
+#include "suite/benchmark.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/mathutil.h"
+#include "common/rng.h"
+#include "cuda/cuda_rt.h"
+#include "kernels/kernels.h"
+#include "ocl/ocl.h"
+#include "suite/validate.h"
+#include "suite/vkhelp.h"
+
+namespace vcb::suite {
+
+namespace {
+
+constexpr uint32_t B = kernels::blockSize;
+
+struct Matrix
+{
+    uint32_t n = 0;
+    std::vector<float> a;
+};
+
+Matrix
+generateMatrix(uint32_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    Matrix m;
+    m.n = static_cast<uint32_t>(alignUp(n, B));
+    m.a.resize(uint64_t(m.n) * m.n);
+    for (uint32_t i = 0; i < m.n; ++i) {
+        float row_sum = 0;
+        for (uint32_t j = 0; j < m.n; ++j) {
+            float v = rng.nextFloat(0.01f, 1.0f);
+            m.a[uint64_t(i) * m.n + j] = v;
+            row_sum += v;
+        }
+        m.a[uint64_t(i) * m.n + i] = row_sum + 2.0f;
+    }
+    return m;
+}
+
+/** CPU reference: the same blocked algorithm in the same float order
+ *  (diagonal, then perimeter row/column blocks, then internal). */
+std::vector<float>
+referenceLud(const Matrix &mat)
+{
+    uint32_t n = mat.n, nb = n / B;
+    std::vector<float> a = mat.a;
+    auto at = [&](uint32_t r, uint32_t c) -> float & {
+        return a[uint64_t(r) * n + c];
+    };
+    for (uint32_t t = 0; t < nb; ++t) {
+        uint32_t base = t * B;
+        // Diagonal block.
+        for (uint32_t i = 0; i + 1 < B; ++i)
+            for (uint32_t j = i + 1; j < B; ++j) {
+                at(base + j, base + i) /= at(base + i, base + i);
+                float l = at(base + j, base + i);
+                for (uint32_t k = i + 1; k < B; ++k)
+                    at(base + j, base + k) -= l * at(base + i, base + k);
+            }
+        if (t + 1 == nb)
+            break;
+        // Perimeter row blocks (U panels).
+        for (uint32_t cb = t + 1; cb < nb; ++cb)
+            for (uint32_t j = 0; j < B; ++j)      // column of the block
+                for (uint32_t i = 0; i < B; ++i) { // row (sequential)
+                    float acc = at(base + i, cb * B + j);
+                    for (uint32_t k = 0; k < i; ++k)
+                        acc -= at(base + i, base + k) *
+                               at(base + k, cb * B + j);
+                    at(base + i, cb * B + j) = acc;
+                }
+        // Perimeter column blocks (L panels).
+        for (uint32_t rb = t + 1; rb < nb; ++rb)
+            for (uint32_t j = 0; j < B; ++j)       // row of the block
+                for (uint32_t i = 0; i < B; ++i) { // column (sequential)
+                    float acc = at(rb * B + j, base + i);
+                    for (uint32_t k = 0; k < i; ++k)
+                        acc -= at(rb * B + j, base + k) *
+                               at(base + k, base + i);
+                    at(rb * B + j, base + i) =
+                        acc / at(base + i, base + i);
+                }
+        // Internal blocks.
+        for (uint32_t rb = t + 1; rb < nb; ++rb)
+            for (uint32_t cb = t + 1; cb < nb; ++cb)
+                for (uint32_t i = 0; i < B; ++i)
+                    for (uint32_t j = 0; j < B; ++j) {
+                        float acc = 0;
+                        for (uint32_t k = 0; k < B; ++k)
+                            acc = std::fma(at(rb * B + i, base + k),
+                                           at(base + k, cb * B + j),
+                                           acc);
+                        at(rb * B + i, cb * B + j) -= acc;
+                    }
+    }
+    return a;
+}
+
+RunResult
+finish(RunResult res, const Matrix &mat, std::vector<float> a)
+{
+    res.validationError = compareFloats(a, referenceLud(mat), 5e-3, 1e-3);
+    res.validated = res.validationError.empty();
+    res.ok = true;
+    return res;
+}
+
+RunResult
+runVulkan(const sim::DeviceSpec &dev, const Matrix &mat)
+{
+    RunResult res;
+    VkContext ctx = VkContext::create(dev);
+    VkKernel kd, kp, ki;
+    std::string err = createVkKernel(ctx, kernels::buildLudDiagonal(),
+                                     &kd);
+    if (err.empty())
+        err = createVkKernel(ctx, kernels::buildLudPerimeter(), &kp);
+    if (err.empty())
+        err = createVkKernel(ctx, kernels::buildLudInternal(), &ki);
+    if (!err.empty()) {
+        res.skipReason = err;
+        return res;
+    }
+
+    double t_total0 = ctx.now();
+    uint32_t n = mat.n, nb = n / B;
+    uint64_t bytes = uint64_t(n) * n * 4;
+    auto b_a = ctx.createDeviceBuffer(bytes);
+    ctx.upload(b_a, mat.a.data(), bytes);
+
+    auto sd = makeDescriptorSet(ctx, kd, {{0, b_a}});
+    auto sp = makeDescriptorSet(ctx, kp, {{0, b_a}});
+    auto s_int = makeDescriptorSet(ctx, ki, {{0, b_a}});
+
+    vkm::CommandBuffer cb;
+    vkm::check(vkm::allocateCommandBuffer(ctx.device, ctx.cmdPool, &cb),
+               "allocateCommandBuffer");
+    vkm::check(vkm::beginCommandBuffer(cb), "beginCommandBuffer");
+    for (uint32_t t = 0; t < nb; ++t) {
+        uint32_t push2[2] = {n, t};
+        vkm::cmdBindPipeline(cb, kd.pipeline);
+        vkm::cmdBindDescriptorSet(cb, kd.layout, 0, sd);
+        vkm::cmdPushConstants(cb, kd.layout, 0, 8, push2);
+        vkm::cmdDispatch(cb, 1, 1, 1);
+        vkm::cmdPipelineBarrier(cb);
+        res.launches += 1;
+        if (t + 1 == nb)
+            break;
+        uint32_t rem = nb - t - 1;
+        uint32_t push3[3] = {n, t, rem};
+        vkm::cmdBindPipeline(cb, kp.pipeline);
+        vkm::cmdBindDescriptorSet(cb, kp.layout, 0, sp);
+        vkm::cmdPushConstants(cb, kp.layout, 0, 12, push3);
+        vkm::cmdDispatch(cb, 2 * rem, 1, 1);
+        vkm::cmdPipelineBarrier(cb);
+        vkm::cmdBindPipeline(cb, ki.pipeline);
+        vkm::cmdBindDescriptorSet(cb, ki.layout, 0, s_int);
+        vkm::cmdPushConstants(cb, ki.layout, 0, 8, push2);
+        vkm::cmdDispatch(cb, rem, rem, 1);
+        vkm::cmdPipelineBarrier(cb);
+        res.launches += 2;
+    }
+    vkm::check(vkm::endCommandBuffer(cb), "endCommandBuffer");
+
+    vkm::Fence fence;
+    vkm::check(vkm::createFence(ctx.device, &fence), "createFence");
+
+    double t0 = ctx.now();
+    vkm::SubmitInfo si;
+    si.commandBuffers.push_back(cb);
+    vkm::check(vkm::queueSubmit(ctx.queue, {si}, fence), "queueSubmit");
+    vkm::check(vkm::waitForFences(ctx.device, {fence}), "waitForFences");
+    res.kernelRegionNs = ctx.now() - t0;
+
+    std::vector<float> out(uint64_t(n) * n);
+    ctx.download(b_a, out.data(), bytes);
+    res.totalNs = ctx.now() - t_total0;
+    return finish(std::move(res), mat, std::move(out));
+}
+
+RunResult
+runOpenCl(const sim::DeviceSpec &dev, const Matrix &mat)
+{
+    RunResult res;
+    ocl::Context ctx(dev);
+    auto pd = ocl::createProgramWithSource(ctx,
+                                           kernels::buildLudDiagonal());
+    auto pp = ocl::createProgramWithSource(ctx,
+                                           kernels::buildLudPerimeter());
+    auto pi = ocl::createProgramWithSource(ctx,
+                                           kernels::buildLudInternal());
+    std::string err;
+    if (!ocl::buildProgram(pd, &err) || !ocl::buildProgram(pp, &err) ||
+        !ocl::buildProgram(pi, &err)) {
+        res.skipReason = err;
+        return res;
+    }
+    auto kd = ocl::createKernel(pd, "lud_diagonal", &err);
+    auto kp = ocl::createKernel(pp, "lud_perimeter", &err);
+    auto ki = ocl::createKernel(pi, "lud_internal", &err);
+    VCB_ASSERT(kd.valid() && kp.valid() && ki.valid(),
+               "kernel creation failed: %s", err.c_str());
+
+    double t_total0 = ctx.hostNowNs();
+    uint32_t n = mat.n, nb = n / B;
+    uint64_t bytes = uint64_t(n) * n * 4;
+    auto b_a = ocl::createBuffer(ctx, ocl::MemReadWrite, bytes);
+    ocl::enqueueWriteBuffer(ctx, b_a, true, 0, bytes, mat.a.data());
+
+    ocl::setKernelArgBuffer(kd, 0, b_a);
+    ocl::setKernelArgBuffer(kp, 0, b_a);
+    ocl::setKernelArgBuffer(ki, 0, b_a);
+
+    double t0 = ctx.hostNowNs();
+    for (uint32_t t = 0; t < nb; ++t) {
+        ocl::setKernelArgScalar(kd, 0, n);
+        ocl::setKernelArgScalar(kd, 1, t);
+        ocl::enqueueNDRangeKernel(ctx, kd, B);
+        res.launches += 1;
+        if (t + 1 < nb) {
+            uint32_t rem = nb - t - 1;
+            ocl::setKernelArgScalar(kp, 0, n);
+            ocl::setKernelArgScalar(kp, 1, t);
+            ocl::setKernelArgScalar(kp, 2, rem);
+            ocl::enqueueNDRangeKernel(ctx, kp, 2 * rem * B);
+            ocl::setKernelArgScalar(ki, 0, n);
+            ocl::setKernelArgScalar(ki, 1, t);
+            ocl::enqueueNDRangeKernel(ctx, ki, rem * B, rem * B);
+            res.launches += 2;
+        }
+        ctx.finish();
+    }
+    res.kernelRegionNs = ctx.hostNowNs() - t0;
+
+    std::vector<float> out(uint64_t(n) * n);
+    ocl::enqueueReadBuffer(ctx, b_a, true, 0, bytes, out.data());
+    res.totalNs = ctx.hostNowNs() - t_total0;
+    return finish(std::move(res), mat, std::move(out));
+}
+
+RunResult
+runCuda(const sim::DeviceSpec &dev, const Matrix &mat)
+{
+    RunResult res;
+    if (!cuda::available(dev)) {
+        res.skipReason = "CUDA not supported on this device";
+        return res;
+    }
+    cuda::Runtime rt(dev);
+    auto fd = rt.loadFunction(kernels::buildLudDiagonal());
+    auto fp = rt.loadFunction(kernels::buildLudPerimeter());
+    auto fi = rt.loadFunction(kernels::buildLudInternal());
+
+    double t_total0 = rt.hostNowNs();
+    uint32_t n = mat.n, nb = n / B;
+    uint64_t bytes = uint64_t(n) * n * 4;
+    auto d_a = rt.malloc(bytes);
+    rt.memcpyHtoD(d_a, mat.a.data(), bytes);
+
+    double t0 = rt.hostNowNs();
+    for (uint32_t t = 0; t < nb; ++t) {
+        rt.launchKernel(fd, 1, 1, 1, {d_a}, {n, t});
+        res.launches += 1;
+        if (t + 1 < nb) {
+            uint32_t rem = nb - t - 1;
+            rt.launchKernel(fp, 2 * rem, 1, 1, {d_a}, {n, t, rem});
+            rt.launchKernel(fi, rem, rem, 1, {d_a}, {n, t});
+            res.launches += 2;
+        }
+        rt.deviceSynchronize();
+    }
+    res.kernelRegionNs = rt.hostNowNs() - t0;
+
+    std::vector<float> out(uint64_t(n) * n);
+    rt.memcpyDtoH(out.data(), d_a, bytes);
+    res.totalNs = rt.hostNowNs() - t_total0;
+    return finish(std::move(res), mat, std::move(out));
+}
+
+class LudBenchmark : public Benchmark
+{
+  public:
+    std::string name() const override { return "lud"; }
+    std::string fullName() const override { return "LU Decomposition"; }
+    std::string dwarf() const override
+    {
+        return "Dense Linear Algebra";
+    }
+    std::string domain() const override { return "Linear Algebra"; }
+
+    std::vector<SizeConfig> desktopSizes() const override
+    {
+        // Paper: 256 / 512 / 2048.
+        return {{"256", {128}}, {"512", {192}}, {"2048", {256}}};
+    }
+    std::vector<SizeConfig> mobileSizes() const override
+    {
+        return {{"64", {64}}, {"256", {128}}};
+    }
+
+    RunResult run(const sim::DeviceSpec &dev, sim::Api api,
+                  const SizeConfig &cfg) const override
+    {
+        Matrix m = generateMatrix(static_cast<uint32_t>(cfg.params[0]),
+                                  workloadSeed(name(), cfg));
+        switch (api) {
+          case sim::Api::Vulkan:
+            return runVulkan(dev, m);
+          case sim::Api::OpenCl:
+            return runOpenCl(dev, m);
+          case sim::Api::Cuda:
+            return runCuda(dev, m);
+        }
+        return RunResult();
+    }
+};
+
+} // namespace
+
+const Benchmark *
+makeLud()
+{
+    static LudBenchmark b;
+    return &b;
+}
+
+} // namespace vcb::suite

@@ -1,0 +1,59 @@
+#include "suite/benchmark.h"
+
+#include "common/logging.h"
+
+namespace vcb::suite {
+
+// Defined one per bench_*.cc translation unit.
+const Benchmark *makeBackprop();
+const Benchmark *makeBfs();
+const Benchmark *makeCfd();
+const Benchmark *makeGaussian();
+const Benchmark *makeHotspot();
+const Benchmark *makeLud();
+const Benchmark *makeNn();
+const Benchmark *makeNw();
+const Benchmark *makePathfinder();
+
+const std::vector<const Benchmark *> &
+registry()
+{
+    // Table-I order.
+    static const std::vector<const Benchmark *> benches = {
+        makeBackprop(), makeBfs(),        makeCfd(),
+        makeGaussian(), makeHotspot(),    makeLud(),
+        makeNn(),       makeNw(),         makePathfinder(),
+    };
+    return benches;
+}
+
+const Benchmark &
+byName(const std::string &name)
+{
+    for (const Benchmark *b : registry())
+        if (b->name() == name)
+            return *b;
+    fatal("no benchmark named '%s'", name.c_str());
+}
+
+uint64_t
+workloadSeed(const std::string &bench_name, const SizeConfig &cfg)
+{
+    // FNV-1a over name + parameters: stable across runs and APIs.
+    uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (8 * i)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    };
+    for (char c : bench_name) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    for (uint64_t p : cfg.params)
+        mix(p);
+    return h;
+}
+
+} // namespace vcb::suite

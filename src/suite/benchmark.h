@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The VComputeBench suite: benchmark interface and registry.
+ *
+ * Each benchmark (Table I of the paper) knows its Rodinia metadata
+ * (dwarf, domain), its desktop and mobile size configurations (paper
+ * axis labels plus the simulator parameters they map to — see
+ * EXPERIMENTS.md for the scaling rationale), and how to run itself on
+ * a given simulated device under each of the three programming models.
+ *
+ * run() generates the workload deterministically (same bits for every
+ * API), executes the benchmark, measures the paper's metric (the
+ * kernel-only region on the simulated host clock), downloads results
+ * and validates them against a from-scratch CPU reference.
+ */
+
+#ifndef VCB_SUITE_BENCHMARK_H
+#define VCB_SUITE_BENCHMARK_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/device.h"
+
+namespace vcb::suite {
+
+/** One input-size configuration of a benchmark. */
+struct SizeConfig
+{
+    /** Paper axis label, e.g. "64K" or "512-08". */
+    std::string label;
+    /** Simulator parameters (benchmark-specific meaning). */
+    std::vector<uint64_t> params;
+};
+
+/** Outcome of one benchmark execution. */
+struct RunResult
+{
+    /** False when the configuration cannot run (missing API support,
+     *  driver failure, out of memory) — skipReason says why. */
+    bool ok = false;
+    std::string skipReason;
+
+    /** The paper's metric: kernel-only region on the host clock (ns),
+     *  i.e. launches + kernels + synchronisation, excluding context
+     *  setup, JIT, transfers and host pre/post-processing. */
+    double kernelRegionNs = 0;
+    /** End-to-end time including transfers (ns). */
+    double totalNs = 0;
+    /** Kernel launches (CL/CUDA) or recorded dispatches (Vulkan). */
+    uint64_t launches = 0;
+
+    /** Output matched the CPU reference. */
+    bool validated = false;
+    std::string validationError;
+};
+
+/** Abstract benchmark (one Table-I row). */
+class Benchmark
+{
+  public:
+    virtual ~Benchmark() = default;
+
+    virtual std::string name() const = 0;     ///< "bfs"
+    virtual std::string fullName() const = 0; ///< "Breadth-First Search"
+    virtual std::string dwarf() const = 0;    ///< "Graph Traversal"
+    virtual std::string domain() const = 0;   ///< "Graph Theory"
+
+    /** Sizes of the desktop evaluation (Fig. 2). */
+    virtual std::vector<SizeConfig> desktopSizes() const = 0;
+    /** Sizes of the mobile evaluation (Fig. 4); empty when the
+     *  benchmark cannot run on mobile at all. */
+    virtual std::vector<SizeConfig> mobileSizes() const = 0;
+    /** Non-empty when mobile runs are skipped wholesale (cfd: the
+     *  paper-size datasets exceed the mobile device heaps). */
+    virtual std::string mobileSkipReason() const { return ""; }
+
+    /** Execute on a device under an API at a size configuration. */
+    virtual RunResult run(const sim::DeviceSpec &dev, sim::Api api,
+                          const SizeConfig &cfg) const = 0;
+};
+
+/** All nine benchmarks, in Table-I order. */
+const std::vector<const Benchmark *> &registry();
+
+/** Look up by short name; fatal when unknown. */
+const Benchmark &byName(const std::string &name);
+
+/** Deterministic workload seed for a benchmark + size (all APIs see
+ *  identical inputs). */
+uint64_t workloadSeed(const std::string &bench_name,
+                      const SizeConfig &cfg);
+
+} // namespace vcb::suite
+
+#endif // VCB_SUITE_BENCHMARK_H

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Output validation helpers (the paper validates every VCompute
+ * benchmark against the CUDA/OpenCL outputs; we validate all three
+ * backends against CPU references).
+ */
+
+#ifndef VCB_SUITE_VALIDATE_H
+#define VCB_SUITE_VALIDATE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vcb::suite {
+
+/**
+ * Element-wise float comparison with relative+absolute tolerance.
+ * @return empty string on success, else a description of the first
+ *         mismatch.
+ */
+std::string compareFloats(const std::vector<float> &got,
+                          const std::vector<float> &expect,
+                          double rel_tol = 1e-4,
+                          double abs_tol = 1e-5);
+
+/** Exact element-wise integer comparison. */
+std::string compareInts(const std::vector<int32_t> &got,
+                        const std::vector<int32_t> &expect);
+
+} // namespace vcb::suite
+
+#endif // VCB_SUITE_VALIDATE_H

@@ -1,0 +1,227 @@
+#include "suite/vkhelp.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace vcb::suite {
+
+using namespace vcb::vkm;
+
+VkContext
+VkContext::create(const sim::DeviceSpec &spec)
+{
+    VkContext ctx;
+    check(createInstance({"vcomputebench", true}, &ctx.instance),
+          "createInstance");
+    for (auto pd : enumeratePhysicalDevices(ctx.instance))
+        if (&physicalDeviceSpec(pd) == &spec)
+            ctx.phys = pd;
+    VCB_ASSERT(ctx.phys.valid(), "%s does not expose Vulkan",
+               spec.name.c_str());
+
+    DeviceCreateInfo dci;
+    dci.queueCreateInfos.push_back({0, 1});
+    dci.queueCreateInfos.push_back({1, 1});
+    check(createDevice(ctx.phys, dci, &ctx.device), "createDevice");
+    ctx.queue = getDeviceQueue(ctx.device, 0, 0);
+    ctx.transferQueue = getDeviceQueue(ctx.device, 1, 0);
+    check(createCommandPool(ctx.device, {0}, &ctx.cmdPool),
+          "createCommandPool");
+    check(createDescriptorPool(ctx.device, {256}, &ctx.descPool),
+          "createDescriptorPool");
+    ctx.unified = spec.unifiedMemory;
+    return ctx;
+}
+
+namespace {
+
+vkm::Buffer
+makeBuffer(VkContext &ctx, uint64_t bytes, uint32_t mem_flags)
+{
+    Buffer buf;
+    BufferCreateInfo bci;
+    bci.size = bytes;
+    bci.usage = BufferUsageStorage | BufferUsageTransferSrc |
+                BufferUsageTransferDst;
+    check(createBuffer(ctx.device, bci, &buf), "createBuffer");
+
+    MemoryRequirements reqs = getBufferMemoryRequirements(ctx.device, buf);
+    auto props = getPhysicalDeviceMemoryProperties(ctx.phys);
+    uint32_t type = findMemoryType(props, reqs.memoryTypeBits, mem_flags);
+    VCB_ASSERT(type != UINT32_MAX, "no matching memory type");
+
+    DeviceMemory mem;
+    MemoryAllocateInfo mai;
+    mai.allocationSize = reqs.size;
+    mai.memoryTypeIndex = type;
+    Result r = allocateMemory(ctx.device, mai, &mem);
+    if (r == Result::ErrorOutOfDeviceMemory)
+        fatal("vkm: out of device memory allocating %llu B on %s",
+              (unsigned long long)bytes,
+              physicalDeviceSpec(ctx.phys).name.c_str());
+    check(r, "allocateMemory");
+    check(bindBufferMemory(ctx.device, buf, mem, 0), "bindBufferMemory");
+    return buf;
+}
+
+} // namespace
+
+vkm::Buffer
+VkContext::createDeviceBuffer(uint64_t bytes)
+{
+    return makeBuffer(*this, bytes, MemoryDeviceLocal);
+}
+
+vkm::Buffer
+VkContext::createHostBuffer(uint64_t bytes)
+{
+    return makeBuffer(*this, bytes,
+                      MemoryHostVisible | MemoryHostCoherent);
+}
+
+uint32_t *
+VkContext::map(vkm::Buffer buf)
+{
+    void *ptr = nullptr;
+    check(mapMemory(device, bufferMemory(buf), 0, bufferSize(buf),
+                    &ptr),
+          "mapMemory");
+    return static_cast<uint32_t *>(ptr);
+}
+
+void
+VkContext::upload(vkm::Buffer dst, const void *src, uint64_t bytes)
+{
+    if (unified) {
+        // Unified memory: write through a map.
+        void *ptr = nullptr;
+        check(mapMemory(device, bufferMemory(dst), 0, bytes, &ptr),
+              "mapMemory");
+        std::memcpy(ptr, src, bytes);
+        unmapMemory(device, bufferMemory(dst));
+        return;
+    }
+    // Discrete: staging buffer + copy on the transfer queue (the
+    // paper's recommended use of transfer queues for large copies).
+    Buffer staging = createHostBuffer(bytes);
+    void *ptr = nullptr;
+    check(mapMemory(device, bufferMemory(staging), 0, bytes, &ptr),
+          "mapMemory");
+    std::memcpy(ptr, src, bytes);
+    unmapMemory(device, bufferMemory(staging));
+
+    CommandBuffer cb;
+    CommandPoolCreateInfo cpci;
+    cpci.queueFamilyIndex = 1;
+    CommandPool pool;
+    check(createCommandPool(device, cpci, &pool), "createCommandPool");
+    check(allocateCommandBuffer(device, pool, &cb),
+          "allocateCommandBuffer");
+    check(beginCommandBuffer(cb), "beginCommandBuffer");
+    cmdCopyBuffer(cb, staging, dst, {0, 0, bytes});
+    check(endCommandBuffer(cb), "endCommandBuffer");
+
+    Fence fence;
+    check(createFence(device, &fence), "createFence");
+    SubmitInfo si;
+    si.commandBuffers.push_back(cb);
+    check(queueSubmit(transferQueue, {si}, fence), "queueSubmit");
+    check(waitForFences(device, {fence}), "waitForFences");
+}
+
+void
+VkContext::download(vkm::Buffer src, void *dst, uint64_t bytes)
+{
+    if (unified) {
+        void *ptr = nullptr;
+        check(mapMemory(device, bufferMemory(src), 0, bytes, &ptr),
+              "mapMemory");
+        std::memcpy(dst, ptr, bytes);
+        unmapMemory(device, bufferMemory(src));
+        return;
+    }
+    Buffer staging = createHostBuffer(bytes);
+
+    CommandBuffer cb;
+    CommandPoolCreateInfo cpci;
+    cpci.queueFamilyIndex = 1;
+    CommandPool pool;
+    check(createCommandPool(device, cpci, &pool), "createCommandPool");
+    check(allocateCommandBuffer(device, pool, &cb),
+          "allocateCommandBuffer");
+    check(beginCommandBuffer(cb), "beginCommandBuffer");
+    cmdCopyBuffer(cb, src, staging, {0, 0, bytes});
+    check(endCommandBuffer(cb), "endCommandBuffer");
+
+    Fence fence;
+    check(createFence(device, &fence), "createFence");
+    SubmitInfo si;
+    si.commandBuffers.push_back(cb);
+    check(queueSubmit(transferQueue, {si}, fence), "queueSubmit");
+    check(waitForFences(device, {fence}), "waitForFences");
+
+    void *ptr = nullptr;
+    check(mapMemory(device, bufferMemory(staging), 0, bytes, &ptr),
+          "mapMemory");
+    std::memcpy(dst, ptr, bytes);
+    unmapMemory(device, bufferMemory(staging));
+}
+
+double
+VkContext::now() const
+{
+    return hostNowNs(device);
+}
+
+std::string
+createVkKernel(VkContext &ctx, const spirv::Module &m, VkKernel *out)
+{
+    VkKernel k;
+    ShaderModuleCreateInfo smci;
+    smci.code = m.serialize();
+    Result r = createShaderModule(ctx.device, smci, &k.module);
+    if (r != Result::Success)
+        return strprintf("shader module rejected (%s)", resultName(r));
+
+    DescriptorSetLayoutCreateInfo dslci;
+    for (const auto &bnd : m.bindings)
+        dslci.bindings.push_back({bnd.binding});
+    r = createDescriptorSetLayout(ctx.device, dslci, &k.dsl);
+    if (r != Result::Success)
+        return strprintf("descriptor layout rejected (%s)",
+                         resultName(r));
+
+    PipelineLayoutCreateInfo plci;
+    plci.setLayouts.push_back(k.dsl);
+    if (m.pushWords > 0)
+        plci.pushConstantRanges.push_back({0, m.pushWords * 4});
+    r = createPipelineLayout(ctx.device, plci, &k.layout);
+    if (r != Result::Success)
+        return strprintf("pipeline layout rejected (%s)", resultName(r));
+
+    r = createComputePipeline(ctx.device, {k.module, k.layout},
+                              &k.pipeline);
+    if (r != Result::Success)
+        return strprintf("pipeline creation failed for '%s' (%s)",
+                         m.name.c_str(), resultName(r));
+    *out = k;
+    return "";
+}
+
+vkm::DescriptorSet
+makeDescriptorSet(VkContext &ctx, const VkKernel &k,
+                  const std::vector<std::pair<uint32_t, vkm::Buffer>>
+                      &bindings)
+{
+    DescriptorSet set;
+    check(allocateDescriptorSet(ctx.device, ctx.descPool, k.dsl, &set),
+          "allocateDescriptorSet");
+    std::vector<WriteDescriptorSet> writes;
+    for (const auto &[binding, buffer] : bindings)
+        writes.push_back({set, binding, buffer});
+    updateDescriptorSets(ctx.device, writes);
+    return set;
+}
+
+} // namespace vcb::suite

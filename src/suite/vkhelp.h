@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Vulkan-side boilerplate for the benchmark runners.
+ *
+ * The paper stresses Vulkan's verbosity (~40 lines per buffer); these
+ * helpers concentrate the buffer/memory/pipeline ceremony so the nine
+ * runner implementations stay readable, while still exercising the
+ * full API path (staging uploads through the transfer queue on
+ * discrete GPUs, mapped memory on unified-memory mobiles).
+ */
+
+#ifndef VCB_SUITE_VKHELP_H
+#define VCB_SUITE_VKHELP_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/device.h"
+#include "vkm/vkm.h"
+
+namespace vcb::suite {
+
+/** Everything a Vulkan benchmark run needs from instance to pools. */
+struct VkContext
+{
+    vkm::Instance instance;
+    vkm::PhysicalDevice phys;
+    vkm::Device device;
+    vkm::Queue queue;         ///< compute family, queue 0
+    vkm::Queue transferQueue; ///< transfer family, queue 0
+    vkm::CommandPool cmdPool;
+    vkm::DescriptorPool descPool;
+    bool unified = false;
+
+    /** Build the full context for one simulated device (fatal on
+     *  internal errors — the device is known to support Vulkan). */
+    static VkContext create(const sim::DeviceSpec &spec);
+
+    /** Device-local storage buffer (plus transfer usage). */
+    vkm::Buffer createDeviceBuffer(uint64_t bytes);
+    /** Host-visible storage buffer (stop flags, staging). */
+    vkm::Buffer createHostBuffer(uint64_t bytes);
+
+    /** Upload through a staging buffer + transfer queue (discrete) or
+     *  a direct map (unified). */
+    void upload(vkm::Buffer dst, const void *src, uint64_t bytes);
+    /** Download, mirroring upload. */
+    void download(vkm::Buffer src, void *dst, uint64_t bytes);
+
+    /** Persistently map a host-visible buffer. */
+    uint32_t *map(vkm::Buffer buf);
+
+    /** Simulated host clock. */
+    double now() const;
+};
+
+/** A compiled kernel with its layout chain. */
+struct VkKernel
+{
+    vkm::ShaderModule module;
+    vkm::DescriptorSetLayout dsl;
+    vkm::PipelineLayout layout;
+    vkm::Pipeline pipeline;
+};
+
+/**
+ * Build shader module + descriptor-set layout + pipeline layout +
+ * pipeline for an IR module.
+ * @return empty string on success; else the reason (e.g. the modelled
+ *         driver failures on the mobile parts), for RunResult::skip.
+ */
+std::string createVkKernel(VkContext &ctx, const spirv::Module &m,
+                           VkKernel *out);
+
+/** Allocate and write a descriptor set for (binding, buffer) pairs. */
+vkm::DescriptorSet
+makeDescriptorSet(VkContext &ctx, const VkKernel &k,
+                  const std::vector<std::pair<uint32_t, vkm::Buffer>>
+                      &bindings);
+
+} // namespace vcb::suite
+
+#endif // VCB_SUITE_VKHELP_H

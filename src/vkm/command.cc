@@ -1,0 +1,405 @@
+/**
+ * @file
+ * Command recording, queue submission (replay), and synchronisation.
+ */
+
+#include "vkm/internal.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "sim/timing.h"
+
+namespace vcb::vkm {
+
+namespace {
+
+CommandBufferImpl *
+recording(CommandBuffer cb)
+{
+    VCB_ASSERT(cb.valid(), "null command buffer");
+    CommandBufferImpl *impl = cb.impl();
+    VCB_ASSERT(impl->recording,
+               "command recorded outside begin/endCommandBuffer");
+    return impl;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Recording
+// ---------------------------------------------------------------------------
+
+Result
+beginCommandBuffer(CommandBuffer cb)
+{
+    VCB_ASSERT(cb.valid(), "null command buffer");
+    CommandBufferImpl *impl = cb.impl();
+    if (impl->recording) {
+        warn("vkm validation: beginCommandBuffer on a recording buffer");
+        return Result::ErrorValidation;
+    }
+    impl->recording = true;
+    impl->ended = false;
+    impl->commands.clear();
+    return Result::Success;
+}
+
+Result
+endCommandBuffer(CommandBuffer cb)
+{
+    VCB_ASSERT(cb.valid(), "null command buffer");
+    CommandBufferImpl *impl = cb.impl();
+    if (!impl->recording) {
+        warn("vkm validation: endCommandBuffer without begin");
+        return Result::ErrorValidation;
+    }
+    impl->recording = false;
+    impl->ended = true;
+    return Result::Success;
+}
+
+Result
+resetCommandBuffer(CommandBuffer cb)
+{
+    VCB_ASSERT(cb.valid(), "null command buffer");
+    cb.impl()->recording = false;
+    cb.impl()->ended = false;
+    cb.impl()->commands.clear();
+    return Result::Success;
+}
+
+void
+cmdBindPipeline(CommandBuffer cb, Pipeline pipeline)
+{
+    VCB_ASSERT(pipeline.valid(), "null pipeline");
+    Command c;
+    c.kind = Command::Kind::BindPipeline;
+    c.pipeline = pipeline;
+    recording(cb)->commands.push_back(std::move(c));
+}
+
+void
+cmdBindDescriptorSet(CommandBuffer cb, PipelineLayout layout,
+                     uint32_t set_index, DescriptorSet set)
+{
+    VCB_ASSERT(layout.valid() && set.valid(), "null layout/set");
+    Command c;
+    c.kind = Command::Kind::BindDescriptorSet;
+    c.set = set;
+    c.setIndex = set_index;
+    recording(cb)->commands.push_back(std::move(c));
+}
+
+void
+cmdPushConstants(CommandBuffer cb, PipelineLayout layout,
+                 uint32_t offset_bytes, uint32_t size_bytes,
+                 const void *data)
+{
+    VCB_ASSERT(layout.valid() && data, "bad cmdPushConstants args");
+    VCB_ASSERT(offset_bytes % 4 == 0 && size_bytes % 4 == 0,
+               "push constants must be word aligned");
+    VCB_ASSERT(offset_bytes + size_bytes <= layout.impl()->pushBytes,
+               "push constants exceed the layout's declared range");
+    Command c;
+    c.kind = Command::Kind::PushConstants;
+    c.pushOffsetWords = offset_bytes / 4;
+    c.pushData.resize(size_bytes / 4);
+    std::memcpy(c.pushData.data(), data, size_bytes);
+    recording(cb)->commands.push_back(std::move(c));
+}
+
+void
+cmdDispatch(CommandBuffer cb, uint32_t gx, uint32_t gy, uint32_t gz)
+{
+    VCB_ASSERT(gx >= 1 && gy >= 1 && gz >= 1, "zero dispatch size");
+    Command c;
+    c.kind = Command::Kind::Dispatch;
+    c.groups[0] = gx;
+    c.groups[1] = gy;
+    c.groups[2] = gz;
+    recording(cb)->commands.push_back(std::move(c));
+}
+
+void
+cmdPipelineBarrier(CommandBuffer cb)
+{
+    Command c;
+    c.kind = Command::Kind::Barrier;
+    recording(cb)->commands.push_back(std::move(c));
+}
+
+void
+cmdCopyBuffer(CommandBuffer cb, Buffer src, Buffer dst,
+              const BufferCopy &region)
+{
+    VCB_ASSERT(src.valid() && dst.valid(), "null buffers in copy");
+    VCB_ASSERT(src.impl()->usage & BufferUsageTransferSrc,
+               "copy source lacks TRANSFER_SRC usage");
+    VCB_ASSERT(dst.impl()->usage & BufferUsageTransferDst,
+               "copy destination lacks TRANSFER_DST usage");
+    VCB_ASSERT(region.srcOffset + region.size <= src.impl()->size &&
+                   region.dstOffset + region.size <= dst.impl()->size,
+               "copy region out of bounds");
+    Command c;
+    c.kind = Command::Kind::CopyBuffer;
+    c.src = src;
+    c.dst = dst;
+    c.srcOffset = region.srcOffset;
+    c.dstOffset = region.dstOffset;
+    c.copySize = region.size;
+    recording(cb)->commands.push_back(std::move(c));
+}
+
+void
+cmdFillBuffer(CommandBuffer cb, Buffer dst, uint64_t offset, uint64_t size,
+              uint32_t value)
+{
+    VCB_ASSERT(dst.valid(), "null buffer in fill");
+    VCB_ASSERT(offset % 4 == 0 && size % 4 == 0, "fill must be word aligned");
+    VCB_ASSERT(offset + size <= dst.impl()->size, "fill out of bounds");
+    Command c;
+    c.kind = Command::Kind::FillBuffer;
+    c.dst = dst;
+    c.dstOffset = offset;
+    c.copySize = size;
+    c.fillValue = value;
+    recording(cb)->commands.push_back(std::move(c));
+}
+
+void
+cmdWriteTimestamp(CommandBuffer cb, QueryPool pool, uint32_t query)
+{
+    VCB_ASSERT(pool.valid(), "null query pool");
+    VCB_ASSERT(query < pool.impl()->values.size(), "query out of range");
+    Command c;
+    c.kind = Command::Kind::WriteTimestamp;
+    c.queryPool = pool;
+    c.query = query;
+    recording(cb)->commands.push_back(std::move(c));
+}
+
+// ---------------------------------------------------------------------------
+// Submission (replay)
+// ---------------------------------------------------------------------------
+
+Result
+replaySubmits(QueueImpl *q, const std::vector<SubmitInfo> &submits,
+              Fence fence)
+{
+    DeviceImpl *d = q->dev;
+    const sim::DeviceSpec &spec = *d->spec;
+    const sim::DriverProfile &prof = spec.profile(sim::Api::Vulkan);
+
+    // Host-side submission cost (once per queueSubmit call).
+    d->timeline->hostAdvance(prof.submitOverheadNs);
+    d->submitCount += 1;
+
+    // Cross-queue waits first.
+    for (const auto &submit : submits)
+        for (const auto &sem : submit.waitSemaphores)
+            if (sem.valid())
+                d->timeline->queueWaitUntil(q->timelineIndex,
+                                            sem.impl()->timestampNs);
+
+    double start = std::max(d->timeline->queueReady(q->timelineIndex),
+                            d->timeline->hostNow());
+    double device_ns = 0;
+
+    // Bound state during replay.
+    PipelineImpl *pipeline = nullptr;
+    DescriptorSetImpl *sets[4] = {nullptr, nullptr, nullptr, nullptr};
+    std::vector<uint32_t> push(64, 0);
+
+    for (const auto &submit : submits) {
+        for (const auto &cbh : submit.commandBuffers) {
+            VCB_ASSERT(cbh.valid(), "null command buffer in submit");
+            CommandBufferImpl *cb = cbh.impl();
+            if (!cb->ended) {
+                warn("vkm validation: submitted command buffer was not "
+                     "ended");
+                return Result::ErrorValidation;
+            }
+            for (const auto &c : cb->commands) {
+                switch (c.kind) {
+                  case Command::Kind::BindPipeline:
+                    pipeline = c.pipeline.impl();
+                    device_ns += prof.bindPipelineNs;
+                    break;
+                  case Command::Kind::BindDescriptorSet:
+                    VCB_ASSERT(c.setIndex < 4, "set index out of range");
+                    sets[c.setIndex] = c.set.impl();
+                    device_ns += prof.bindDescSetNs;
+                    break;
+                  case Command::Kind::PushConstants: {
+                    for (size_t i = 0; i < c.pushData.size(); ++i)
+                        push[c.pushOffsetWords + i] = c.pushData[i];
+                    // Snapdragon quirk: push constants behave like a
+                    // storage-buffer rebind (paper Sec. V-B1).
+                    device_ns += prof.pushConstantsAsBufferBind
+                                     ? prof.bindDescSetNs
+                                     : prof.pushConstantNs;
+                    break;
+                  }
+                  case Command::Kind::Dispatch: {
+                    if (!pipeline) {
+                        warn("vkm validation: dispatch without a bound "
+                             "pipeline");
+                        return Result::ErrorValidation;
+                    }
+                    const sim::CompiledKernel &kernel = *pipeline->kernel;
+                    sim::DispatchContext ctx;
+                    ctx.kernel = &kernel;
+                    ctx.groups[0] = c.groups[0];
+                    ctx.groups[1] = c.groups[1];
+                    ctx.groups[2] = c.groups[2];
+                    ctx.buffers.resize(kernel.module.bindingBound());
+                    for (const auto &decl : kernel.module.bindings) {
+                        Buffer buf;
+                        for (auto *set : sets) {
+                            if (!set)
+                                continue;
+                            auto it = set->buffers.find(decl.binding);
+                            if (it != set->buffers.end())
+                                buf = it->second;
+                        }
+                        if (!buf.valid()) {
+                            warn("vkm validation: kernel '%s' binding %u "
+                                 "has no descriptor bound",
+                                 kernel.module.name.c_str(), decl.binding);
+                            return Result::ErrorValidation;
+                        }
+                        ctx.buffers[decl.binding] = {
+                            buf.impl()->data(), buf.impl()->words()};
+                    }
+                    ctx.push = push.data();
+                    ctx.pushWords = static_cast<uint32_t>(push.size());
+                    sim::DispatchResult r = d->engine->dispatch(ctx);
+                    device_ns += r.kernelNs;
+                    d->dispatchCount += 1;
+                    break;
+                  }
+                  case Command::Kind::Barrier:
+                    device_ns += prof.barrierNs;
+                    break;
+                  case Command::Kind::CopyBuffer: {
+                    std::memcpy(
+                        reinterpret_cast<uint8_t *>(c.dst.impl()->data()) +
+                            c.dstOffset,
+                        reinterpret_cast<uint8_t *>(c.src.impl()->data()) +
+                            c.srcOffset,
+                        c.copySize);
+                    device_ns +=
+                        sim::TimingModel::deviceCopyNs(spec, c.copySize);
+                    break;
+                  }
+                  case Command::Kind::FillBuffer: {
+                    uint32_t *p = c.dst.impl()->data() + c.dstOffset / 4;
+                    std::fill(p, p + c.copySize / 4, c.fillValue);
+                    device_ns += sim::TimingModel::deviceCopyNs(
+                                     spec, c.copySize) /
+                                 2.0;
+                    break;
+                  }
+                  case Command::Kind::WriteTimestamp: {
+                    QueryPoolImpl *pool = c.queryPool.impl();
+                    pool->values[c.query] = start + device_ns;
+                    pool->written[c.query] = true;
+                    break;
+                  }
+                }
+            }
+        }
+    }
+
+    d->timeline->queueWaitUntil(q->timelineIndex, start);
+    double completion = d->timeline->enqueue(q->timelineIndex, device_ns);
+
+    for (const auto &submit : submits)
+        for (const auto &sem : submit.signalSemaphores)
+            if (sem.valid())
+                sem.impl()->timestampNs = completion;
+
+    if (fence.valid()) {
+        fence.impl()->submitted = true;
+        fence.impl()->completionNs = completion;
+    }
+    return Result::Success;
+}
+
+Result
+queueSubmit(Queue queue, const std::vector<SubmitInfo> &submits,
+            Fence fence)
+{
+    VCB_ASSERT(queue.valid(), "null queue");
+    return replaySubmits(queue.impl(), submits, fence);
+}
+
+// ---------------------------------------------------------------------------
+// Waits
+// ---------------------------------------------------------------------------
+
+Result
+queueWaitIdle(Queue queue)
+{
+    VCB_ASSERT(queue.valid(), "null queue");
+    QueueImpl *q = queue.impl();
+    const sim::DriverProfile &prof =
+        q->dev->spec->profile(sim::Api::Vulkan);
+    q->dev->timeline->hostWaitQueue(q->timelineIndex, prof.syncWakeupNs);
+    return Result::Success;
+}
+
+Result
+deviceWaitIdle(Device dev)
+{
+    VCB_ASSERT(dev.valid(), "null device");
+    const sim::DriverProfile &prof =
+        dev.impl()->spec->profile(sim::Api::Vulkan);
+    dev.impl()->timeline->hostWaitAll(prof.syncWakeupNs);
+    return Result::Success;
+}
+
+Result
+waitForFences(Device dev, const std::vector<Fence> &fences)
+{
+    VCB_ASSERT(dev.valid(), "null device");
+    double latest = 0;
+    for (const auto &f : fences) {
+        VCB_ASSERT(f.valid(), "null fence");
+        if (!f.impl()->submitted) {
+            warn("vkm validation: waiting on a never-submitted fence");
+            return Result::ErrorValidation;
+        }
+        latest = std::max(latest, f.impl()->completionNs);
+    }
+    const sim::DriverProfile &prof =
+        dev.impl()->spec->profile(sim::Api::Vulkan);
+    dev.impl()->timeline->hostWaitUntil(latest, prof.syncWakeupNs);
+    return Result::Success;
+}
+
+Result
+getFenceStatus(Device dev, Fence fence, bool *signaled)
+{
+    VCB_ASSERT(dev.valid() && fence.valid() && signaled,
+               "bad getFenceStatus args");
+    FenceImpl *f = fence.impl();
+    *signaled = f->submitted &&
+                f->completionNs <= dev.impl()->timeline->hostNow();
+    return Result::Success;
+}
+
+Result
+resetFences(Device dev, const std::vector<Fence> &fences)
+{
+    VCB_ASSERT(dev.valid(), "null device");
+    for (const auto &f : fences) {
+        VCB_ASSERT(f.valid(), "null fence");
+        f.impl()->submitted = false;
+        f.impl()->completionNs = 0;
+    }
+    return Result::Success;
+}
+
+} // namespace vcb::vkm

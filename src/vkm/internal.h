@@ -1,0 +1,179 @@
+/**
+ * @file
+ * vkm implementation structures, shared between the vkm .cc files.
+ * Not part of the public API.
+ */
+
+#ifndef VCB_VKM_INTERNAL_H
+#define VCB_VKM_INTERNAL_H
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/kernel.h"
+#include "sim/timeline.h"
+#include "vkm/vkm.h"
+
+namespace vcb::vkm {
+
+struct InstanceImpl
+{
+    bool validation = true;
+    std::string applicationName;
+    std::vector<PhysicalDevice> physicalDevices;
+};
+
+struct PhysicalDeviceImpl
+{
+    const sim::DeviceSpec *spec = nullptr;
+};
+
+struct DeviceImpl
+{
+    const sim::DeviceSpec *spec = nullptr;
+    std::unique_ptr<sim::ExecutionEngine> engine;
+    std::unique_ptr<sim::Timeline> timeline;
+    /** Bytes currently allocated per heap. */
+    std::vector<uint64_t> heapUsed;
+    PhysicalDeviceMemoryProperties memProps;
+    /** Running counters for tests and tooling. */
+    uint64_t submitCount = 0;
+    uint64_t dispatchCount = 0;
+};
+
+struct QueueImpl
+{
+    DeviceImpl *dev = nullptr;
+    uint32_t family = 0;
+    uint32_t timelineIndex = 0;
+};
+
+struct DeviceMemoryImpl
+{
+    DeviceImpl *dev = nullptr;
+    uint32_t typeIndex = 0;
+    uint32_t heapIndex = 0;
+    uint64_t size = 0;
+    bool hostVisible = false;
+    bool mapped = false;
+    bool freed = false;
+    std::vector<uint32_t> words;
+
+    ~DeviceMemoryImpl();
+};
+
+struct BufferImpl
+{
+    DeviceImpl *dev = nullptr;
+    uint64_t size = 0;
+    uint32_t usage = 0;
+    DeviceMemory memory; ///< keeps the allocation alive
+    uint64_t offset = 0;
+    bool bound = false;
+
+    uint32_t *data() const;
+    uint64_t words() const { return size / 4; }
+};
+
+struct ShaderModuleImpl
+{
+    spirv::Module module;
+};
+
+struct DescriptorSetLayoutImpl
+{
+    std::vector<DescriptorSetLayoutBinding> bindings;
+};
+
+struct PipelineLayoutImpl
+{
+    std::vector<DescriptorSetLayout> setLayouts;
+    uint32_t pushBytes = 0;
+};
+
+struct PipelineImpl
+{
+    std::unique_ptr<sim::CompiledKernel> kernel;
+    PipelineLayout layout;
+};
+
+struct DescriptorPoolImpl
+{
+    uint32_t maxSets = 0;
+    uint32_t allocated = 0;
+};
+
+struct DescriptorSetImpl
+{
+    DescriptorSetLayout layout;
+    std::map<uint32_t, Buffer> buffers; ///< binding -> buffer
+};
+
+struct CommandPoolImpl
+{
+    DeviceImpl *dev = nullptr;
+    uint32_t family = 0;
+};
+
+/** One recorded command (fat-struct variant). */
+struct Command
+{
+    enum class Kind
+    {
+        BindPipeline,
+        BindDescriptorSet,
+        PushConstants,
+        Dispatch,
+        Barrier,
+        CopyBuffer,
+        FillBuffer,
+        WriteTimestamp,
+    } kind;
+
+    Pipeline pipeline;
+    DescriptorSet set;
+    uint32_t setIndex = 0;
+    uint32_t pushOffsetWords = 0;
+    std::vector<uint32_t> pushData;
+    uint32_t groups[3] = {1, 1, 1};
+    Buffer src, dst;
+    uint64_t srcOffset = 0, dstOffset = 0, copySize = 0;
+    uint32_t fillValue = 0;
+    QueryPool queryPool;
+    uint32_t query = 0;
+};
+
+struct CommandBufferImpl
+{
+    DeviceImpl *dev = nullptr;
+    bool recording = false;
+    bool ended = false;
+    std::vector<Command> commands;
+};
+
+struct FenceImpl
+{
+    bool submitted = false;
+    double completionNs = 0;
+};
+
+struct SemaphoreImpl
+{
+    double timestampNs = 0;
+};
+
+struct QueryPoolImpl
+{
+    std::vector<double> values;
+    std::vector<bool> written;
+};
+
+/** Shared submit-replay entry point (command.cc). */
+Result replaySubmits(QueueImpl *q, const std::vector<SubmitInfo> &submits,
+                     Fence fence);
+
+} // namespace vcb::vkm
+
+#endif // VCB_VKM_INTERNAL_H

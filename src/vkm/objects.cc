@@ -1,0 +1,558 @@
+/**
+ * @file
+ * vkm object lifecycle: instance, physical/logical devices, memory,
+ * buffers, descriptors, pools, fences, semaphores, query pools.
+ */
+
+#include "vkm/internal.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace vcb::vkm {
+
+const char *
+resultName(Result r)
+{
+    switch (r) {
+      case Result::Success: return "Success";
+      case Result::ErrorOutOfDeviceMemory: return "ErrorOutOfDeviceMemory";
+      case Result::ErrorInitializationFailed:
+        return "ErrorInitializationFailed";
+      case Result::ErrorInvalidShader: return "ErrorInvalidShader";
+      case Result::ErrorFeatureNotPresent: return "ErrorFeatureNotPresent";
+      case Result::ErrorMemoryMapFailed: return "ErrorMemoryMapFailed";
+      case Result::ErrorValidation: return "ErrorValidation";
+      case Result::NotReady: return "NotReady";
+    }
+    return "<bad>";
+}
+
+void
+check(Result r, const char *what)
+{
+    if (r != Result::Success)
+        fatal("%s failed: %s", what, resultName(r));
+}
+
+namespace {
+
+Result
+validationError(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string msg = vstrprintf(fmt, args);
+    va_end(args);
+    warn("vkm validation: %s", msg.c_str());
+    return Result::ErrorValidation;
+}
+
+PhysicalDeviceMemoryProperties
+buildMemoryProperties(const sim::DeviceSpec &spec)
+{
+    PhysicalDeviceMemoryProperties props;
+    if (spec.unifiedMemory) {
+        props.memoryHeaps.push_back({spec.deviceHeapBytes});
+        props.memoryTypes.push_back(
+            {MemoryDeviceLocal | MemoryHostVisible | MemoryHostCoherent,
+             0});
+    } else {
+        props.memoryHeaps.push_back({spec.deviceHeapBytes});
+        props.memoryHeaps.push_back({spec.hostVisibleHeapBytes});
+        props.memoryTypes.push_back({MemoryDeviceLocal, 0});
+        props.memoryTypes.push_back(
+            {MemoryHostVisible | MemoryHostCoherent, 1});
+    }
+    return props;
+}
+
+} // namespace
+
+DeviceMemoryImpl::~DeviceMemoryImpl()
+{
+    if (dev && !freed)
+        dev->heapUsed[heapIndex] -= size;
+}
+
+uint32_t *
+BufferImpl::data() const
+{
+    VCB_ASSERT(bound && memory.valid(), "buffer used before memory bind");
+    return memory.impl()->words.data() + offset / 4;
+}
+
+// ---------------------------------------------------------------------------
+// Instance
+// ---------------------------------------------------------------------------
+
+Result
+createInstance(const InstanceCreateInfo &info, Instance *out)
+{
+    VCB_ASSERT(out, "null out handle");
+    auto impl = std::make_shared<InstanceImpl>();
+    impl->validation = info.enableValidation;
+    impl->applicationName = info.applicationName;
+    for (const auto &spec : sim::deviceRegistry()) {
+        if (!spec.profile(sim::Api::Vulkan).available)
+            continue;
+        auto pd = std::make_shared<PhysicalDeviceImpl>();
+        pd->spec = &spec;
+        impl->physicalDevices.push_back(PhysicalDevice(pd));
+    }
+    *out = Instance(impl);
+    return Result::Success;
+}
+
+std::vector<PhysicalDevice>
+enumeratePhysicalDevices(Instance instance)
+{
+    VCB_ASSERT(instance.valid(), "null instance");
+    return instance.impl()->physicalDevices;
+}
+
+PhysicalDeviceProperties
+getPhysicalDeviceProperties(PhysicalDevice pd)
+{
+    VCB_ASSERT(pd.valid(), "null physical device");
+    const sim::DeviceSpec &spec = *pd.impl()->spec;
+    PhysicalDeviceProperties props;
+    props.deviceName = spec.name;
+    props.vendorName = spec.vendor;
+    props.apiVersion = spec.profile(sim::Api::Vulkan).version;
+    props.mobile = spec.mobile;
+    props.limits.maxPushConstantsSize = spec.maxPushBytes;
+    props.limits.maxComputeWorkGroupInvocations =
+        spec.maxWorkgroupInvocations;
+    return props;
+}
+
+std::vector<QueueFamilyProperties>
+getPhysicalDeviceQueueFamilyProperties(PhysicalDevice pd)
+{
+    VCB_ASSERT(pd.valid(), "null physical device");
+    const sim::DeviceSpec &spec = *pd.impl()->spec;
+    std::vector<QueueFamilyProperties> families;
+    families.push_back(
+        {QueueCompute | QueueTransfer, spec.computeQueueCount});
+    families.push_back({QueueTransfer, spec.transferQueueCount});
+    return families;
+}
+
+PhysicalDeviceMemoryProperties
+getPhysicalDeviceMemoryProperties(PhysicalDevice pd)
+{
+    VCB_ASSERT(pd.valid(), "null physical device");
+    return buildMemoryProperties(*pd.impl()->spec);
+}
+
+const sim::DeviceSpec &
+physicalDeviceSpec(PhysicalDevice pd)
+{
+    VCB_ASSERT(pd.valid(), "null physical device");
+    return *pd.impl()->spec;
+}
+
+uint32_t
+findMemoryType(const PhysicalDeviceMemoryProperties &props,
+               uint32_t type_bits, uint32_t required_flags)
+{
+    for (uint32_t i = 0; i < props.memoryTypes.size(); ++i) {
+        if (!(type_bits & (1u << i)))
+            continue;
+        if ((props.memoryTypes[i].propertyFlags & required_flags) ==
+            required_flags)
+            return i;
+    }
+    return UINT32_MAX;
+}
+
+// ---------------------------------------------------------------------------
+// Device and queues
+// ---------------------------------------------------------------------------
+
+Result
+createDevice(PhysicalDevice pd, const DeviceCreateInfo &info, Device *out)
+{
+    VCB_ASSERT(pd.valid() && out, "bad createDevice arguments");
+    const sim::DeviceSpec &spec = *pd.impl()->spec;
+    for (const auto &q : info.queueCreateInfos) {
+        if (q.queueFamilyIndex > 1)
+            return validationError("queue family %u does not exist",
+                                   q.queueFamilyIndex);
+        uint32_t avail = q.queueFamilyIndex == 0 ? spec.computeQueueCount
+                                                 : spec.transferQueueCount;
+        if (q.queueCount > avail)
+            return validationError(
+                "requested %u queues from family %u (%u available)",
+                q.queueCount, q.queueFamilyIndex, avail);
+    }
+    auto impl = std::make_shared<DeviceImpl>();
+    impl->spec = &spec;
+    impl->engine = std::make_unique<sim::ExecutionEngine>(spec);
+    impl->timeline = std::make_unique<sim::Timeline>(
+        spec.computeQueueCount + spec.transferQueueCount);
+    impl->memProps = buildMemoryProperties(spec);
+    impl->heapUsed.assign(impl->memProps.memoryHeaps.size(), 0);
+    *out = Device(impl);
+    return Result::Success;
+}
+
+Queue
+getDeviceQueue(Device dev, uint32_t family, uint32_t index)
+{
+    VCB_ASSERT(dev.valid(), "null device");
+    const sim::DeviceSpec &spec = *dev.impl()->spec;
+    VCB_ASSERT(family <= 1, "queue family %u does not exist", family);
+    uint32_t avail = family == 0 ? spec.computeQueueCount
+                                 : spec.transferQueueCount;
+    VCB_ASSERT(index < avail, "queue index %u out of range (family %u)",
+               index, family);
+    auto impl = std::make_shared<QueueImpl>();
+    impl->dev = dev.impl();
+    impl->family = family;
+    impl->timelineIndex =
+        family == 0 ? index : spec.computeQueueCount + index;
+    return Queue(impl);
+}
+
+// ---------------------------------------------------------------------------
+// Buffers and memory
+// ---------------------------------------------------------------------------
+
+Result
+createBuffer(Device dev, const BufferCreateInfo &info, Buffer *out)
+{
+    VCB_ASSERT(dev.valid() && out, "bad createBuffer arguments");
+    if (info.size == 0 || info.size % 4 != 0)
+        return validationError("buffer size %llu must be a positive "
+                               "multiple of 4",
+                               (unsigned long long)info.size);
+    if (info.usage == 0)
+        return validationError("buffer created with no usage flags");
+    auto impl = std::make_shared<BufferImpl>();
+    impl->dev = dev.impl();
+    impl->size = info.size;
+    impl->usage = info.usage;
+    *out = Buffer(impl);
+    return Result::Success;
+}
+
+MemoryRequirements
+getBufferMemoryRequirements(Device dev, Buffer buf)
+{
+    VCB_ASSERT(dev.valid() && buf.valid(), "bad arguments");
+    MemoryRequirements reqs;
+    reqs.size = (buf.impl()->size + 255) & ~uint64_t(255);
+    reqs.alignment = 256;
+    reqs.memoryTypeBits =
+        (1u << dev.impl()->memProps.memoryTypes.size()) - 1;
+    return reqs;
+}
+
+Result
+allocateMemory(Device dev, const MemoryAllocateInfo &info,
+               DeviceMemory *out)
+{
+    VCB_ASSERT(dev.valid() && out, "bad allocateMemory arguments");
+    DeviceImpl *d = dev.impl();
+    if (info.memoryTypeIndex >= d->memProps.memoryTypes.size())
+        return validationError("memory type %u does not exist",
+                               info.memoryTypeIndex);
+    const MemoryType &type = d->memProps.memoryTypes[info.memoryTypeIndex];
+    const MemoryHeap &heap = d->memProps.memoryHeaps[type.heapIndex];
+    if (d->heapUsed[type.heapIndex] + info.allocationSize > heap.size)
+        return Result::ErrorOutOfDeviceMemory;
+
+    auto impl = std::make_shared<DeviceMemoryImpl>();
+    impl->dev = d;
+    impl->typeIndex = info.memoryTypeIndex;
+    impl->heapIndex = type.heapIndex;
+    impl->size = info.allocationSize;
+    impl->hostVisible = (type.propertyFlags & MemoryHostVisible) != 0;
+    impl->words.assign((info.allocationSize + 3) / 4, 0);
+    d->heapUsed[type.heapIndex] += info.allocationSize;
+    *out = DeviceMemory(impl);
+    return Result::Success;
+}
+
+Result
+bindBufferMemory(Device dev, Buffer buf, DeviceMemory mem, uint64_t offset)
+{
+    VCB_ASSERT(dev.valid() && buf.valid() && mem.valid(),
+               "bad bindBufferMemory arguments");
+    BufferImpl *b = buf.impl();
+    if (b->bound)
+        return validationError("buffer already bound to memory");
+    if (offset % 256 != 0)
+        return validationError("bind offset %llu violates alignment 256",
+                               (unsigned long long)offset);
+    if (offset + b->size > mem.impl()->size)
+        return validationError("buffer (%llu B at +%llu) overruns "
+                               "allocation of %llu B",
+                               (unsigned long long)b->size,
+                               (unsigned long long)offset,
+                               (unsigned long long)mem.impl()->size);
+    b->memory = mem;
+    b->offset = offset;
+    b->bound = true;
+    return Result::Success;
+}
+
+Result
+mapMemory(Device dev, DeviceMemory mem, uint64_t offset, uint64_t size,
+          void **out)
+{
+    VCB_ASSERT(dev.valid() && mem.valid() && out, "bad mapMemory args");
+    DeviceMemoryImpl *m = mem.impl();
+    if (!m->hostVisible)
+        return Result::ErrorMemoryMapFailed;
+    if (m->mapped)
+        return validationError("memory already mapped");
+    if (offset % 4 != 0 || offset + size > m->size)
+        return validationError("map range out of bounds");
+    m->mapped = true;
+    *out = reinterpret_cast<uint8_t *>(m->words.data()) + offset;
+    return Result::Success;
+}
+
+void
+unmapMemory(Device dev, DeviceMemory mem)
+{
+    VCB_ASSERT(dev.valid() && mem.valid(), "bad unmapMemory args");
+    VCB_ASSERT(mem.impl()->mapped, "memory was not mapped");
+    mem.impl()->mapped = false;
+}
+
+void
+freeMemory(Device dev, DeviceMemory mem)
+{
+    VCB_ASSERT(dev.valid() && mem.valid(), "bad freeMemory args");
+    DeviceMemoryImpl *m = mem.impl();
+    if (!m->freed) {
+        m->dev->heapUsed[m->heapIndex] -= m->size;
+        m->freed = true;
+        m->words.clear();
+        m->words.shrink_to_fit();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shader modules, layouts, descriptors
+// ---------------------------------------------------------------------------
+
+uint64_t
+bufferSize(Buffer buf)
+{
+    VCB_ASSERT(buf.valid(), "null buffer");
+    return buf.impl()->size;
+}
+
+DeviceMemory
+bufferMemory(Buffer buf)
+{
+    VCB_ASSERT(buf.valid(), "null buffer");
+    return buf.impl()->memory;
+}
+
+Result
+createShaderModule(Device dev, const ShaderModuleCreateInfo &info,
+                   ShaderModule *out)
+{
+    VCB_ASSERT(dev.valid() && out, "bad createShaderModule arguments");
+    if (info.code.empty())
+        return Result::ErrorInvalidShader;
+    auto impl = std::make_shared<ShaderModuleImpl>();
+    impl->module = spirv::Module::deserialize(info.code);
+    std::string err;
+    if (!spirv::validate(impl->module, &err)) {
+        warn("vkm: shader module rejected: %s", err.c_str());
+        return Result::ErrorInvalidShader;
+    }
+    *out = ShaderModule(impl);
+    return Result::Success;
+}
+
+Result
+createDescriptorSetLayout(Device dev,
+                          const DescriptorSetLayoutCreateInfo &info,
+                          DescriptorSetLayout *out)
+{
+    VCB_ASSERT(dev.valid() && out, "bad createDescriptorSetLayout args");
+    for (size_t i = 0; i < info.bindings.size(); ++i)
+        for (size_t j = i + 1; j < info.bindings.size(); ++j)
+            if (info.bindings[i].binding == info.bindings[j].binding)
+                return validationError("binding %u repeated in layout",
+                                       info.bindings[i].binding);
+    auto impl = std::make_shared<DescriptorSetLayoutImpl>();
+    impl->bindings = info.bindings;
+    *out = DescriptorSetLayout(impl);
+    return Result::Success;
+}
+
+Result
+createPipelineLayout(Device dev, const PipelineLayoutCreateInfo &info,
+                     PipelineLayout *out)
+{
+    VCB_ASSERT(dev.valid() && out, "bad createPipelineLayout args");
+    uint32_t push_end = 0;
+    for (const auto &range : info.pushConstantRanges)
+        push_end = std::max(push_end, range.offset + range.size);
+    if (push_end > dev.impl()->spec->maxPushBytes)
+        return validationError(
+            "push-constant range (%u B) exceeds device limit (%u B)",
+            push_end, dev.impl()->spec->maxPushBytes);
+    auto impl = std::make_shared<PipelineLayoutImpl>();
+    impl->setLayouts = info.setLayouts;
+    impl->pushBytes = push_end;
+    *out = PipelineLayout(impl);
+    return Result::Success;
+}
+
+Result
+createDescriptorPool(Device dev, const DescriptorPoolCreateInfo &info,
+                     DescriptorPool *out)
+{
+    VCB_ASSERT(dev.valid() && out, "bad createDescriptorPool args");
+    auto impl = std::make_shared<DescriptorPoolImpl>();
+    impl->maxSets = info.maxSets;
+    *out = DescriptorPool(impl);
+    return Result::Success;
+}
+
+Result
+allocateDescriptorSet(Device dev, DescriptorPool pool,
+                      DescriptorSetLayout layout, DescriptorSet *out)
+{
+    VCB_ASSERT(dev.valid() && pool.valid() && layout.valid() && out,
+               "bad allocateDescriptorSet args");
+    DescriptorPoolImpl *p = pool.impl();
+    if (p->allocated >= p->maxSets)
+        return validationError("descriptor pool exhausted (%u sets)",
+                               p->maxSets);
+    ++p->allocated;
+    auto impl = std::make_shared<DescriptorSetImpl>();
+    impl->layout = layout;
+    *out = DescriptorSet(impl);
+    return Result::Success;
+}
+
+void
+updateDescriptorSets(Device dev,
+                     const std::vector<WriteDescriptorSet> &writes)
+{
+    VCB_ASSERT(dev.valid(), "null device");
+    for (const auto &w : writes) {
+        VCB_ASSERT(w.dstSet.valid() && w.buffer.valid(),
+                   "write descriptor with null set or buffer");
+        VCB_ASSERT(w.buffer.impl()->bound,
+                   "descriptor write with unbound buffer");
+        DescriptorSetImpl *set = w.dstSet.impl();
+        bool declared = false;
+        for (const auto &b : set->layout.impl()->bindings)
+            declared = declared || b.binding == w.dstBinding;
+        VCB_ASSERT(declared, "binding %u not in descriptor set layout",
+                   w.dstBinding);
+        set->buffers[w.dstBinding] = w.buffer;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pools, fences, semaphores, query pools
+// ---------------------------------------------------------------------------
+
+Result
+createCommandPool(Device dev, const CommandPoolCreateInfo &info,
+                  CommandPool *out)
+{
+    VCB_ASSERT(dev.valid() && out, "bad createCommandPool args");
+    if (info.queueFamilyIndex > 1)
+        return validationError("queue family %u does not exist",
+                               info.queueFamilyIndex);
+    auto impl = std::make_shared<CommandPoolImpl>();
+    impl->dev = dev.impl();
+    impl->family = info.queueFamilyIndex;
+    *out = CommandPool(impl);
+    return Result::Success;
+}
+
+Result
+allocateCommandBuffer(Device dev, CommandPool pool, CommandBuffer *out)
+{
+    VCB_ASSERT(dev.valid() && pool.valid() && out,
+               "bad allocateCommandBuffer args");
+    auto impl = std::make_shared<CommandBufferImpl>();
+    impl->dev = dev.impl();
+    *out = CommandBuffer(impl);
+    return Result::Success;
+}
+
+Result
+createFence(Device dev, Fence *out)
+{
+    VCB_ASSERT(dev.valid() && out, "bad createFence args");
+    *out = Fence(std::make_shared<FenceImpl>());
+    return Result::Success;
+}
+
+Result
+createSemaphore(Device dev, Semaphore *out)
+{
+    VCB_ASSERT(dev.valid() && out, "bad createSemaphore args");
+    *out = Semaphore(std::make_shared<SemaphoreImpl>());
+    return Result::Success;
+}
+
+Result
+createQueryPool(Device dev, const QueryPoolCreateInfo &info,
+                QueryPool *out)
+{
+    VCB_ASSERT(dev.valid() && out, "bad createQueryPool args");
+    if (info.queryCount == 0)
+        return validationError("query pool with zero queries");
+    auto impl = std::make_shared<QueryPoolImpl>();
+    impl->values.assign(info.queryCount, 0.0);
+    impl->written.assign(info.queryCount, false);
+    *out = QueryPool(impl);
+    return Result::Success;
+}
+
+Result
+getQueryPoolResults(Device dev, QueryPool pool, uint32_t first,
+                    uint32_t count, std::vector<double> *out)
+{
+    VCB_ASSERT(dev.valid() && pool.valid() && out,
+               "bad getQueryPoolResults args");
+    QueryPoolImpl *p = pool.impl();
+    if (first + count > p->values.size())
+        return validationError("query range [%u, %u) out of bounds", first,
+                               first + count);
+    out->clear();
+    for (uint32_t i = first; i < first + count; ++i) {
+        if (!p->written[i])
+            return Result::NotReady;
+        out->push_back(p->values[i]);
+    }
+    return Result::Success;
+}
+
+// ---------------------------------------------------------------------------
+// Clock access
+// ---------------------------------------------------------------------------
+
+double
+hostNowNs(Device dev)
+{
+    VCB_ASSERT(dev.valid(), "null device");
+    return dev.impl()->timeline->hostNow();
+}
+
+void
+hostAdvanceNs(Device dev, double ns)
+{
+    VCB_ASSERT(dev.valid(), "null device");
+    dev.impl()->timeline->hostAdvance(ns);
+}
+
+} // namespace vcb::vkm

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Compute pipeline creation: the vkm front-end of the driver compiler.
+ */
+
+#include "vkm/internal.h"
+
+#include "common/logging.h"
+
+namespace vcb::vkm {
+
+Result
+createComputePipeline(Device dev, const ComputePipelineCreateInfo &info,
+                      Pipeline *out)
+{
+    VCB_ASSERT(dev.valid() && out, "bad createComputePipeline args");
+    if (!info.module.valid() || !info.layout.valid()) {
+        warn("vkm validation: pipeline created with null module/layout");
+        return Result::ErrorValidation;
+    }
+    DeviceImpl *d = dev.impl();
+    const spirv::Module &m = info.module.impl()->module;
+
+    // The pipeline layout must declare at least the bindings and push
+    // range the kernel uses.
+    uint32_t push_bytes = m.pushWords * 4;
+    if (push_bytes > info.layout.impl()->pushBytes) {
+        warn("vkm validation: kernel '%s' needs %u push bytes, layout "
+             "provides %u",
+             m.name.c_str(), push_bytes, info.layout.impl()->pushBytes);
+        return Result::ErrorValidation;
+    }
+    for (const auto &decl : m.bindings) {
+        bool found = false;
+        for (const auto &sl : info.layout.impl()->setLayouts)
+            for (const auto &b : sl.impl()->bindings)
+                found = found || b.binding == decl.binding;
+        if (!found) {
+            warn("vkm validation: kernel '%s' binding %u missing from "
+                 "pipeline layout",
+                 m.name.c_str(), decl.binding);
+            return Result::ErrorValidation;
+        }
+    }
+
+    std::string err;
+    auto kernel = sim::compileKernel(m, *d->spec, sim::Api::Vulkan, &err);
+    if (!kernel) {
+        warn("vkm: pipeline compilation failed: %s", err.c_str());
+        return Result::ErrorInitializationFailed;
+    }
+
+    // Pipeline creation runs the driver compiler on the host (this is
+    // the cost Vulkan pays once, where OpenCL JIT-compiles at runtime).
+    d->timeline->hostAdvance(kernel->compileNs);
+
+    auto impl = std::make_shared<PipelineImpl>();
+    impl->kernel = std::move(kernel);
+    impl->layout = info.layout;
+    *out = Pipeline(impl);
+    return Result::Success;
+}
+
+} // namespace vcb::vkm

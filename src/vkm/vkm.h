@@ -1,0 +1,429 @@
+/**
+ * @file
+ * Vulkan-mini ("vkm"): the Vulkan compute API surface of the simulator.
+ *
+ * The object model mirrors the compute-relevant subset of Vulkan 1.0
+ * one-for-one (see the paper's Listing 1): instances, physical-device
+ * enumeration, queue families, logical devices, buffers, device memory
+ * with heaps and types, shader modules, descriptor set layouts / pools
+ * / sets, pipeline layouts with push-constant ranges, compute
+ * pipelines, command pools / buffers, pipeline barriers, queues,
+ * fences, semaphores and timestamp query pools.
+ *
+ * Handles are shared-pointer wrappers (a boxed analogue of Vulkan's
+ * dispatchable handles); creation functions return a Result, and the
+ * usage errors that real Vulkan leaves to the validation layers are
+ * always checked here, yielding Result::ErrorValidation plus a warn()
+ * instead of undefined behaviour.
+ *
+ * Execution semantics: command buffers are *replayed* when submitted;
+ * functional effects (kernel execution, copies, fills) happen eagerly
+ * at submit while their simulated cost lands on the queue's timeline.
+ * Because hosts may only read results after a fence / queue / device
+ * wait, eager execution is observationally equivalent to deferred
+ * execution for valid programs.
+ */
+
+#ifndef VCB_VKM_VKM_H
+#define VCB_VKM_VKM_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/device.h"
+#include "spirv/module.h"
+
+namespace vcb::vkm {
+
+// ---------------------------------------------------------------------------
+// Results and flags
+// ---------------------------------------------------------------------------
+
+/** API call outcome (subset of VkResult). */
+enum class Result
+{
+    Success = 0,
+    ErrorOutOfDeviceMemory,
+    ErrorInitializationFailed,
+    ErrorInvalidShader,
+    ErrorFeatureNotPresent,
+    ErrorMemoryMapFailed,
+    ErrorValidation,
+    NotReady,
+};
+
+/** Printable result name. */
+const char *resultName(Result r);
+
+/** Abort via fatal() unless r is Success (convenience for examples). */
+void check(Result r, const char *what);
+
+/** Buffer usage flags. */
+enum BufferUsage : uint32_t
+{
+    BufferUsageStorage = 1u << 0,
+    BufferUsageUniform = 1u << 1,
+    BufferUsageTransferSrc = 1u << 2,
+    BufferUsageTransferDst = 1u << 3,
+};
+
+/** Memory property flags. */
+enum MemoryProperty : uint32_t
+{
+    MemoryDeviceLocal = 1u << 0,
+    MemoryHostVisible = 1u << 1,
+    MemoryHostCoherent = 1u << 2,
+};
+
+/** Queue capability flags. */
+enum QueueFlag : uint32_t
+{
+    QueueCompute = 1u << 0,
+    QueueTransfer = 1u << 1,
+};
+
+// ---------------------------------------------------------------------------
+// Property structs
+// ---------------------------------------------------------------------------
+
+struct QueueFamilyProperties
+{
+    uint32_t queueFlags = 0;
+    uint32_t queueCount = 0;
+};
+
+struct MemoryType
+{
+    uint32_t propertyFlags = 0;
+    uint32_t heapIndex = 0;
+};
+
+struct MemoryHeap
+{
+    uint64_t size = 0;
+};
+
+struct PhysicalDeviceMemoryProperties
+{
+    std::vector<MemoryType> memoryTypes;
+    std::vector<MemoryHeap> memoryHeaps;
+};
+
+struct PhysicalDeviceLimits
+{
+    uint32_t maxPushConstantsSize = 128;
+    uint32_t maxComputeWorkGroupInvocations = 1024;
+    uint32_t maxBoundDescriptorSets = 4;
+};
+
+struct PhysicalDeviceProperties
+{
+    std::string deviceName;
+    std::string vendorName;
+    std::string apiVersion;
+    bool mobile = false;
+    PhysicalDeviceLimits limits;
+};
+
+// ---------------------------------------------------------------------------
+// Handles (forward declarations of Impls live in internal.h)
+// ---------------------------------------------------------------------------
+
+struct InstanceImpl;
+struct PhysicalDeviceImpl;
+struct DeviceImpl;
+struct QueueImpl;
+struct DeviceMemoryImpl;
+struct BufferImpl;
+struct ShaderModuleImpl;
+struct DescriptorSetLayoutImpl;
+struct PipelineLayoutImpl;
+struct PipelineImpl;
+struct DescriptorPoolImpl;
+struct DescriptorSetImpl;
+struct CommandPoolImpl;
+struct CommandBufferImpl;
+struct FenceImpl;
+struct SemaphoreImpl;
+struct QueryPoolImpl;
+
+#define VCB_VKM_HANDLE(Name)                                               \
+    class Name                                                             \
+    {                                                                      \
+      public:                                                              \
+        Name() = default;                                                  \
+        explicit Name(std::shared_ptr<Name##Impl> i) : impl_(i) {}         \
+        bool valid() const { return impl_ != nullptr; }                    \
+        Name##Impl *impl() const { return impl_.get(); }                   \
+        bool operator==(const Name &o) const { return impl_ == o.impl_; } \
+        void reset() { impl_.reset(); }                                    \
+                                                                           \
+      private:                                                             \
+        std::shared_ptr<Name##Impl> impl_;                                 \
+    }
+
+VCB_VKM_HANDLE(Instance);
+VCB_VKM_HANDLE(PhysicalDevice);
+VCB_VKM_HANDLE(Device);
+VCB_VKM_HANDLE(Queue);
+VCB_VKM_HANDLE(DeviceMemory);
+VCB_VKM_HANDLE(Buffer);
+VCB_VKM_HANDLE(ShaderModule);
+VCB_VKM_HANDLE(DescriptorSetLayout);
+VCB_VKM_HANDLE(PipelineLayout);
+VCB_VKM_HANDLE(Pipeline);
+VCB_VKM_HANDLE(DescriptorPool);
+VCB_VKM_HANDLE(DescriptorSet);
+VCB_VKM_HANDLE(CommandPool);
+VCB_VKM_HANDLE(CommandBuffer);
+VCB_VKM_HANDLE(Fence);
+VCB_VKM_HANDLE(Semaphore);
+VCB_VKM_HANDLE(QueryPool);
+
+#undef VCB_VKM_HANDLE
+
+// ---------------------------------------------------------------------------
+// Create infos
+// ---------------------------------------------------------------------------
+
+struct InstanceCreateInfo
+{
+    std::string applicationName = "vcb";
+    bool enableValidation = true;
+};
+
+struct DeviceQueueCreateInfo
+{
+    uint32_t queueFamilyIndex = 0;
+    uint32_t queueCount = 1;
+};
+
+struct DeviceCreateInfo
+{
+    std::vector<DeviceQueueCreateInfo> queueCreateInfos;
+};
+
+struct BufferCreateInfo
+{
+    uint64_t size = 0;   ///< bytes; must be a positive multiple of 4
+    uint32_t usage = 0;  ///< BufferUsage flags
+};
+
+struct MemoryRequirements
+{
+    uint64_t size = 0;
+    uint64_t alignment = 256;
+    uint32_t memoryTypeBits = 0;
+};
+
+struct MemoryAllocateInfo
+{
+    uint64_t allocationSize = 0;
+    uint32_t memoryTypeIndex = 0;
+};
+
+struct ShaderModuleCreateInfo
+{
+    /** Serialized kernel IR words (spirv::Module::serialize output). */
+    std::vector<uint32_t> code;
+};
+
+struct DescriptorSetLayoutBinding
+{
+    uint32_t binding = 0;
+    /** Only storage buffers exist in the compute subset. */
+};
+
+struct DescriptorSetLayoutCreateInfo
+{
+    std::vector<DescriptorSetLayoutBinding> bindings;
+};
+
+struct PushConstantRange
+{
+    uint32_t offset = 0; ///< bytes
+    uint32_t size = 0;   ///< bytes
+};
+
+struct PipelineLayoutCreateInfo
+{
+    std::vector<DescriptorSetLayout> setLayouts;
+    std::vector<PushConstantRange> pushConstantRanges;
+};
+
+struct ComputePipelineCreateInfo
+{
+    ShaderModule module;
+    PipelineLayout layout;
+};
+
+struct DescriptorPoolCreateInfo
+{
+    uint32_t maxSets = 64;
+};
+
+struct WriteDescriptorSet
+{
+    DescriptorSet dstSet;
+    uint32_t dstBinding = 0;
+    Buffer buffer;
+};
+
+struct CommandPoolCreateInfo
+{
+    uint32_t queueFamilyIndex = 0;
+};
+
+struct SubmitInfo
+{
+    std::vector<Semaphore> waitSemaphores;
+    std::vector<CommandBuffer> commandBuffers;
+    std::vector<Semaphore> signalSemaphores;
+};
+
+struct BufferCopy
+{
+    uint64_t srcOffset = 0;
+    uint64_t dstOffset = 0;
+    uint64_t size = 0;
+};
+
+struct QueryPoolCreateInfo
+{
+    uint32_t queryCount = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Instance-level API
+// ---------------------------------------------------------------------------
+
+/** Create an instance (loads the "loader" and the simulated ICDs). */
+Result createInstance(const InstanceCreateInfo &info, Instance *out);
+
+/** All physical devices whose driver exposes Vulkan. */
+std::vector<PhysicalDevice> enumeratePhysicalDevices(Instance instance);
+
+PhysicalDeviceProperties getPhysicalDeviceProperties(PhysicalDevice pd);
+std::vector<QueueFamilyProperties>
+getPhysicalDeviceQueueFamilyProperties(PhysicalDevice pd);
+PhysicalDeviceMemoryProperties
+getPhysicalDeviceMemoryProperties(PhysicalDevice pd);
+
+/** The simulated hardware behind a physical device. */
+const sim::DeviceSpec &physicalDeviceSpec(PhysicalDevice pd);
+
+/** Find a memory type with all required property flags among the
+ *  allowed bits; returns UINT32_MAX when none qualifies. */
+uint32_t findMemoryType(const PhysicalDeviceMemoryProperties &props,
+                        uint32_t type_bits, uint32_t required_flags);
+
+// ---------------------------------------------------------------------------
+// Device-level API
+// ---------------------------------------------------------------------------
+
+Result createDevice(PhysicalDevice pd, const DeviceCreateInfo &info,
+                    Device *out);
+Queue getDeviceQueue(Device dev, uint32_t family, uint32_t index);
+
+Result createBuffer(Device dev, const BufferCreateInfo &info, Buffer *out);
+MemoryRequirements getBufferMemoryRequirements(Device dev, Buffer buf);
+Result allocateMemory(Device dev, const MemoryAllocateInfo &info,
+                      DeviceMemory *out);
+Result bindBufferMemory(Device dev, Buffer buf, DeviceMemory mem,
+                        uint64_t offset);
+/** Map host-visible memory; fails on desktop device-local types. */
+Result mapMemory(Device dev, DeviceMemory mem, uint64_t offset,
+                 uint64_t size, void **out);
+void unmapMemory(Device dev, DeviceMemory mem);
+/** Free explicitly (handles also release on destruction). */
+void freeMemory(Device dev, DeviceMemory mem);
+
+/** Size in bytes of a created buffer. */
+uint64_t bufferSize(Buffer buf);
+/** The memory a buffer is bound to (null handle before binding). */
+DeviceMemory bufferMemory(Buffer buf);
+
+Result createShaderModule(Device dev, const ShaderModuleCreateInfo &info,
+                          ShaderModule *out);
+Result createDescriptorSetLayout(Device dev,
+                                 const DescriptorSetLayoutCreateInfo &info,
+                                 DescriptorSetLayout *out);
+Result createPipelineLayout(Device dev,
+                            const PipelineLayoutCreateInfo &info,
+                            PipelineLayout *out);
+Result createComputePipeline(Device dev,
+                             const ComputePipelineCreateInfo &info,
+                             Pipeline *out);
+Result createDescriptorPool(Device dev,
+                            const DescriptorPoolCreateInfo &info,
+                            DescriptorPool *out);
+Result allocateDescriptorSet(Device dev, DescriptorPool pool,
+                             DescriptorSetLayout layout,
+                             DescriptorSet *out);
+void updateDescriptorSets(Device dev,
+                          const std::vector<WriteDescriptorSet> &writes);
+
+Result createCommandPool(Device dev, const CommandPoolCreateInfo &info,
+                         CommandPool *out);
+Result allocateCommandBuffer(Device dev, CommandPool pool,
+                             CommandBuffer *out);
+Result createFence(Device dev, Fence *out);
+Result createSemaphore(Device dev, Semaphore *out);
+Result createQueryPool(Device dev, const QueryPoolCreateInfo &info,
+                       QueryPool *out);
+
+// ---------------------------------------------------------------------------
+// Command recording
+// ---------------------------------------------------------------------------
+
+Result beginCommandBuffer(CommandBuffer cb);
+Result endCommandBuffer(CommandBuffer cb);
+/** Clear a command buffer for re-recording. */
+Result resetCommandBuffer(CommandBuffer cb);
+
+void cmdBindPipeline(CommandBuffer cb, Pipeline pipeline);
+void cmdBindDescriptorSet(CommandBuffer cb, PipelineLayout layout,
+                          uint32_t set_index, DescriptorSet set);
+void cmdPushConstants(CommandBuffer cb, PipelineLayout layout,
+                      uint32_t offset_bytes, uint32_t size_bytes,
+                      const void *data);
+void cmdDispatch(CommandBuffer cb, uint32_t gx, uint32_t gy, uint32_t gz);
+/** Compute->compute execution + memory dependency. */
+void cmdPipelineBarrier(CommandBuffer cb);
+void cmdCopyBuffer(CommandBuffer cb, Buffer src, Buffer dst,
+                   const BufferCopy &region);
+void cmdFillBuffer(CommandBuffer cb, Buffer dst, uint64_t offset,
+                   uint64_t size, uint32_t value);
+void cmdWriteTimestamp(CommandBuffer cb, QueryPool pool, uint32_t query);
+
+// ---------------------------------------------------------------------------
+// Submission and synchronisation
+// ---------------------------------------------------------------------------
+
+Result queueSubmit(Queue queue, const std::vector<SubmitInfo> &submits,
+                   Fence fence);
+Result queueWaitIdle(Queue queue);
+Result deviceWaitIdle(Device dev);
+Result waitForFences(Device dev, const std::vector<Fence> &fences);
+Result getFenceStatus(Device dev, Fence fence, bool *signaled);
+Result resetFences(Device dev, const std::vector<Fence> &fences);
+
+/** Timestamp results in simulated nanoseconds (absolute). */
+Result getQueryPoolResults(Device dev, QueryPool pool, uint32_t first,
+                           uint32_t count, std::vector<double> *out);
+
+// ---------------------------------------------------------------------------
+// Simulated-clock access (the std::chrono analogue)
+// ---------------------------------------------------------------------------
+
+/** Simulated host clock of the device's timeline, in ns. */
+double hostNowNs(Device dev);
+
+/** Spend host time explicitly (host-side compute in benchmarks). */
+void hostAdvanceNs(Device dev, double ns);
+
+} // namespace vcb::vkm
+
+#endif // VCB_VKM_VKM_H

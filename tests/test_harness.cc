@@ -1,0 +1,133 @@
+/** @file Reporting and figure-aggregation utilities. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "harness/figures.h"
+#include "harness/report.h"
+
+namespace vcb::harness {
+namespace {
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"name", "value"});
+    t.addRow({"a", "1"});
+    t.addRow({"longer", "22"});
+    std::string out = t.render();
+    EXPECT_NE(out.find("name    value"), std::string::npos);
+    EXPECT_NE(out.find("longer  22"), std::string::npos);
+    EXPECT_NE(out.find("-----"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials)
+{
+    Table t({"a", "b"});
+    t.addRow({"x,y", "quote\"inside"});
+    std::string csv = t.csv();
+    EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+    EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(BarChart, ScalesToMaximum)
+{
+    std::string chart = barChart({{"half", 2.0}, {"full", 4.0}}, "x", 10);
+    // The max bar has 10 hashes, the half bar 5.
+    EXPECT_NE(chart.find("full |##########"), std::string::npos);
+    EXPECT_NE(chart.find("half |#####"), std::string::npos);
+}
+
+TEST(BarChart, HandlesEmptyAndZero)
+{
+    EXPECT_EQ(barChart({}, "x"), "");
+    std::string z = barChart({{"zero", 0.0}}, "u");
+    EXPECT_NE(z.find("zero"), std::string::npos);
+}
+
+TEST(FmtF, Precision)
+{
+    EXPECT_EQ(fmtF(1.2345, 2), "1.23");
+    EXPECT_EQ(fmtF(1.0, 0), "1");
+}
+
+SpeedupRow
+makeRow(const std::string &bench, double cl, double vk, double cu)
+{
+    SpeedupRow row;
+    row.bench = bench;
+    row.sizeLabel = "s";
+    int icl = static_cast<int>(sim::Api::OpenCl);
+    int ivk = static_cast<int>(sim::Api::Vulkan);
+    int icu = static_cast<int>(sim::Api::Cuda);
+    if (cl > 0) {
+        row.ok[icl] = true;
+        row.ns[icl] = cl;
+        row.validated[icl] = true;
+    }
+    if (vk > 0) {
+        row.ok[ivk] = true;
+        row.ns[ivk] = vk;
+        row.validated[ivk] = true;
+    }
+    if (cu > 0) {
+        row.ok[icu] = true;
+        row.ns[icu] = cu;
+        row.validated[icu] = true;
+    }
+    return row;
+}
+
+TEST(SpeedupRow, RatioVsOpenClBaseline)
+{
+    SpeedupRow row = makeRow("x", 200, 100, 400);
+    EXPECT_DOUBLE_EQ(row.speedupVsOpenCl(sim::Api::Vulkan), 2.0);
+    EXPECT_DOUBLE_EQ(row.speedupVsOpenCl(sim::Api::Cuda), 0.5);
+    EXPECT_DOUBLE_EQ(row.speedupVsOpenCl(sim::Api::OpenCl), 1.0);
+}
+
+TEST(SpeedupRow, MissingSidesYieldZero)
+{
+    SpeedupRow row = makeRow("x", 0, 100, 0);
+    EXPECT_DOUBLE_EQ(row.speedupVsOpenCl(sim::Api::Vulkan), 0.0);
+}
+
+TEST(FigureData, GeomeansSkipMissingRows)
+{
+    FigureData fig;
+    fig.dev = &sim::gtx1050ti();
+    fig.rows.push_back(makeRow("a", 400, 100, 200)); // vk 4x, cuda 2x
+    fig.rows.push_back(makeRow("b", 100, 100, 100)); // vk 1x
+    fig.rows.push_back(makeRow("c", 0, 100, 0));     // skipped
+    EXPECT_NEAR(fig.geomeanVsOpenCl(sim::Api::Vulkan), 2.0, 1e-9);
+    EXPECT_NEAR(fig.geomeanVulkanVsCuda(), std::sqrt(2.0), 1e-9);
+    EXPECT_TRUE(fig.allValidated());
+}
+
+TEST(FigureData, UnvalidatedRunsAreFlagged)
+{
+    FigureData fig;
+    fig.dev = &sim::gtx1050ti();
+    SpeedupRow row = makeRow("a", 100, 100, 0);
+    row.validated[static_cast<int>(sim::Api::Vulkan)] = false;
+    fig.rows.push_back(row);
+    EXPECT_FALSE(fig.allValidated());
+}
+
+TEST(FigureData, FormatIncludesGeomeanAndNotes)
+{
+    FigureData fig;
+    fig.dev = &sim::gtx1050ti();
+    fig.rows.push_back(makeRow("bench1", 300, 100, 150));
+    SpeedupRow skip = makeRow("bench2", 100, 0, 0);
+    skip.skip[static_cast<int>(sim::Api::Vulkan)] = "driver failure: x";
+    fig.rows.push_back(skip);
+    std::string out = formatSpeedupFigure(fig);
+    EXPECT_NE(out.find("geomean Vulkan vs OpenCL"), std::string::npos);
+    EXPECT_NE(out.find("bench1"), std::string::npos);
+    EXPECT_NE(out.find("driver failure"), std::string::npos);
+    EXPECT_NE(out.find("3.00"), std::string::npos);
+}
+
+} // namespace
+} // namespace vcb::harness

@@ -1,0 +1,179 @@
+/** @file Integration tests: the figures' *shape* — the paper's
+ *  qualitative findings — asserted end to end through the public
+ *  APIs.  Sizes are reduced where possible; the slowest cases take a
+ *  few seconds. */
+
+#include <gtest/gtest.h>
+
+#include "harness/figures.h"
+#include "suite/bandwidth.h"
+#include "suite/benchmark.h"
+
+namespace vcb {
+namespace {
+
+using sim::Api;
+using suite::RunResult;
+using suite::SizeConfig;
+
+double
+speedup(const std::string &bench, const sim::DeviceSpec &dev,
+        Api api_num, Api api_den, const SizeConfig &cfg)
+{
+    RunResult num = suite::byName(bench).run(dev, api_num, cfg);
+    RunResult den = suite::byName(bench).run(dev, api_den, cfg);
+    EXPECT_TRUE(num.ok) << num.skipReason;
+    EXPECT_TRUE(den.ok) << den.skipReason;
+    EXPECT_TRUE(num.validated) << num.validationError;
+    EXPECT_TRUE(den.validated) << den.validationError;
+    return den.kernelRegionNs / num.kernelRegionNs;
+}
+
+// --- Fig. 2 shape (desktop) ------------------------------------------------
+
+TEST(Fig2Shape, VulkanWinsBlockingIterativeBenchmarks)
+{
+    // pathfinder / gaussian / hotspot: the command-buffer+barrier
+    // optimisation eliminates per-iteration launch overhead.
+    const sim::DeviceSpec &dev = sim::gtx1050ti();
+    EXPECT_GT(speedup("pathfinder", dev, Api::Vulkan, Api::OpenCl,
+                      {"t", {48, 8192}}),
+              1.5);
+    EXPECT_GT(speedup("gaussian", dev, Api::Vulkan, Api::OpenCl,
+                      {"t", {96}}),
+              1.5);
+    EXPECT_GT(speedup("hotspot", dev, Api::Vulkan, Api::OpenCl,
+                      {"t", {128, 8}}),
+              1.3);
+}
+
+TEST(Fig2Shape, BfsSlowsDownOnBothDesktopGpus)
+{
+    // The immature SPIR-V compiler misses the local-memory promotion
+    // (Sec. V-A2): Vulkan bfs loses despite the overhead savings.
+    SizeConfig cfg{"t", {49152}};
+    EXPECT_LT(speedup("bfs", sim::gtx1050ti(), Api::Vulkan, Api::OpenCl,
+                      cfg),
+              1.0);
+    EXPECT_LT(speedup("bfs", sim::rx560(), Api::Vulkan, Api::OpenCl,
+                      cfg),
+              1.0);
+}
+
+TEST(Fig2Shape, NoDependencyBenchmarksNearParity)
+{
+    // backprop / nn / nw: no per-iteration host round trips to save.
+    const sim::DeviceSpec &dev = sim::gtx1050ti();
+    double nn = speedup("nn", dev, Api::Vulkan, Api::OpenCl,
+                        {"t", {262144}});
+    EXPECT_GT(nn, 0.75);
+    EXPECT_LT(nn, 1.25);
+    double nw = speedup("nw", dev, Api::Vulkan, Api::OpenCl,
+                        {"t", {1024}});
+    EXPECT_GT(nw, 0.75);
+    EXPECT_LT(nw, 1.35);
+}
+
+TEST(Fig2Shape, HotspotSpeedupGrowsWithStepCount)
+{
+    // Paper: "the speedup increases as we increase the input size" —
+    // hotspot's iteration count is its size axis.
+    const sim::DeviceSpec &dev = sim::gtx1050ti();
+    double s8 = speedup("hotspot", dev, Api::Vulkan, Api::OpenCl,
+                        {"t", {128, 8}});
+    double s32 = speedup("hotspot", dev, Api::Vulkan, Api::OpenCl,
+                         {"t", {128, 32}});
+    EXPECT_GT(s32, s8);
+}
+
+TEST(Fig2Shape, CfdOnlyMarginalOnOpenCl)
+{
+    // Three pipeline binds per iteration + fixed iteration count.
+    double s = speedup("cfd", sim::gtx1050ti(), Api::Vulkan, Api::OpenCl,
+                       {"t", {16384}});
+    EXPECT_GT(s, 0.9);
+    EXPECT_LT(s, 1.6);
+}
+
+// --- Fig. 4 shape (mobile) ---------------------------------------------------
+
+TEST(Fig4Shape, PathfinderIsTheLoneSnapdragonWinner)
+{
+    const sim::DeviceSpec &dev = sim::adreno506();
+    EXPECT_GT(speedup("pathfinder", dev, Api::Vulkan, Api::OpenCl,
+                      {"t", {32, 512}}),
+              1.2);
+    EXPECT_LT(speedup("gaussian", dev, Api::Vulkan, Api::OpenCl,
+                      {"t", {48}}),
+              1.0);
+    EXPECT_LT(speedup("nn", dev, Api::Vulkan, Api::OpenCl,
+                      {"t", {65536}}),
+              1.05);
+}
+
+TEST(Fig4Shape, HotspotIsTheNexusException)
+{
+    const sim::DeviceSpec &dev = sim::powervrG6430();
+    // Most benchmarks win on the Nexus...
+    EXPECT_GT(speedup("gaussian", dev, Api::Vulkan, Api::OpenCl,
+                      {"t", {48}}),
+              1.3);
+    // ...hotspot does not (Sec. V-B2).
+    EXPECT_LT(speedup("hotspot", dev, Api::Vulkan, Api::OpenCl,
+                      {"t", {128, 8}}),
+              1.0);
+}
+
+// --- Figs. 1 and 3 shape (bandwidth) -----------------------------------------
+
+TEST(Fig1Shape, BandwidthFallsWithStrideAndVulkanLeadsWideStrides)
+{
+    // The figure's configuration: enough rounds that fixed costs do
+    // not distort the unit-stride comparison.
+    suite::BandwidthConfig cfg;
+    std::vector<uint32_t> strides = {1, 4, 16, 32};
+    auto vk = suite::runBandwidthSweep(sim::gtx1050ti(), Api::Vulkan,
+                                       strides, cfg);
+    auto cu = suite::runBandwidthSweep(sim::gtx1050ti(), Api::Cuda,
+                                       strides, cfg);
+    // Monotone non-increasing.
+    for (size_t i = 1; i < vk.size(); ++i) {
+        EXPECT_LE(vk[i].gbPerSec, vk[i - 1].gbPerSec * 1.001);
+        EXPECT_LE(cu[i].gbPerSec, cu[i - 1].gbPerSec * 1.001);
+    }
+    // CUDA ahead at unit stride; Vulkan ahead beyond 64-byte strides.
+    EXPECT_GT(cu[0].gbPerSec, vk[0].gbPerSec);
+    EXPECT_GT(vk[3].gbPerSec, cu[3].gbPerSec);
+}
+
+TEST(Fig3Shape, SnapdragonPushConstantQuirkHurtsSmallStrides)
+{
+    suite::BandwidthConfig cfg;
+    cfg.threads = 2048;
+    cfg.rounds = 16;
+    cfg.repeats = 2;
+    std::vector<uint32_t> strides = {1, 16};
+    auto vk = suite::runBandwidthSweep(sim::adreno506(), Api::Vulkan,
+                                       strides, cfg);
+    auto cl = suite::runBandwidthSweep(sim::adreno506(), Api::OpenCl,
+                                       strides, cfg);
+    double small_ratio = vk[0].gbPerSec / cl[0].gbPerSec;
+    double large_ratio = vk[1].gbPerSec / cl[1].gbPerSec;
+    EXPECT_LT(small_ratio, 0.95); // Vulkan worse below 16-byte strides
+    EXPECT_GT(large_ratio, small_ratio); // converging above
+}
+
+// --- modelled driver behaviours ----------------------------------------------------
+
+TEST(Integration, JitExcludedKernelRegionStillChargesTotal)
+{
+    // OpenCL JIT lands before the kernel region (the paper's rationale
+    // for reporting kernel times only).
+    RunResult r = suite::byName("nn").run(sim::gtx1050ti(), Api::OpenCl,
+                                          {"t", {65536}});
+    ASSERT_TRUE(r.ok);
+    EXPECT_LT(r.kernelRegionNs, r.totalNs);
+}
+
+} // namespace
+} // namespace vcb

@@ -1,0 +1,441 @@
+/** @file Interpreter semantics: every op class, builtins, control
+ *  flow, barriers, shared memory, atomics, robust access, stats and
+ *  the coalescing model. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "sim/engine.h"
+#include "sim/kernel.h"
+#include "spirv/builder.h"
+
+namespace vcb::sim {
+namespace {
+
+using spirv::Builder;
+using spirv::ElemType;
+
+/** Compile for the GTX1050Ti under Vulkan and run one dispatch. */
+DispatchResult
+runKernel(const spirv::Module &m, std::vector<std::vector<uint32_t>> &bufs,
+          uint32_t gx, const std::vector<uint32_t> &push = {},
+          Api api = Api::Vulkan)
+{
+    const DeviceSpec &dev = gtx1050ti();
+    std::string err;
+    auto kernel = compileKernel(m, dev, api, &err);
+    if (!kernel)
+        panic("compile failed: %s", err.c_str());
+    DispatchContext ctx;
+    ctx.kernel = kernel.get();
+    ctx.groups[0] = gx;
+    for (size_t i = 0; i < bufs.size(); ++i)
+        ctx.buffers.push_back({bufs[i].data(), bufs[i].size()});
+    ctx.push = push.data();
+    ctx.pushWords = static_cast<uint32_t>(push.size());
+    ExecutionEngine engine(dev);
+    return engine.dispatch(ctx);
+}
+
+float
+asFloat(uint32_t bits)
+{
+    float f;
+    static_assert(sizeof(f) == sizeof(bits));
+    __builtin_memcpy(&f, &bits, sizeof(f));
+    return f;
+}
+
+uint32_t
+asBits(float f)
+{
+    uint32_t bits;
+    __builtin_memcpy(&bits, &f, sizeof(f));
+    return bits;
+}
+
+TEST(Interpreter, IntegerArithmetic)
+{
+    Builder b("int_ops", 1);
+    b.bindStorage(0, ElemType::I32);
+    auto x = b.constI(-15);
+    auto y = b.constI(4);
+    uint32_t slot = 0;
+    auto store = [&](Builder::Reg r) {
+        b.stBuf(0, b.constI(static_cast<int32_t>(slot++)), r);
+    };
+    store(b.iadd(x, y));  // -11
+    store(b.isub(x, y));  // -19
+    store(b.imul(x, y));  // -60
+    store(b.idiv(x, y));  // -3 (truncated)
+    store(b.irem(x, y));  // -3
+    store(b.imin(x, y));  // -15
+    store(b.imax(x, y));  // 4
+    store(b.ineg(x));     // 15
+    store(b.ishl(y, b.constI(2)));  // 16
+    store(b.ishrs(x, b.constI(1))); // -8 (arithmetic)
+    store(b.ishru(x, b.constI(1))); // 0x7ffffff8
+    std::vector<std::vector<uint32_t>> bufs = {
+        std::vector<uint32_t>(16, 0)};
+    runKernel(b.finish(), bufs, 1);
+    auto v = [&](size_t i) { return static_cast<int32_t>(bufs[0][i]); };
+    EXPECT_EQ(v(0), -11);
+    EXPECT_EQ(v(1), -19);
+    EXPECT_EQ(v(2), -60);
+    EXPECT_EQ(v(3), -3);
+    EXPECT_EQ(v(4), -3);
+    EXPECT_EQ(v(5), -15);
+    EXPECT_EQ(v(6), 4);
+    EXPECT_EQ(v(7), 15);
+    EXPECT_EQ(v(8), 16);
+    EXPECT_EQ(v(9), -8);
+    EXPECT_EQ(bufs[0][10], 0x7ffffff8u);
+}
+
+TEST(Interpreter, FloatArithmetic)
+{
+    Builder b("float_ops", 1);
+    b.bindStorage(0, ElemType::F32);
+    auto x = b.constF(2.25f);
+    auto y = b.constF(-0.5f);
+    uint32_t slot = 0;
+    auto store = [&](Builder::Reg r) {
+        b.stBuf(0, b.constI(static_cast<int32_t>(slot++)), r);
+    };
+    store(b.fadd(x, y));
+    store(b.fmul(x, y));
+    store(b.fdiv(x, y));
+    store(b.fabs(y));
+    store(b.fsqrt(x));
+    store(b.ffma(x, y, x));
+    store(b.ffloor(x));
+    store(b.fmin(x, y));
+    store(b.fmax(x, y));
+    store(b.fexp(b.constF(1.0f)));
+    std::vector<std::vector<uint32_t>> bufs = {
+        std::vector<uint32_t>(16, 0)};
+    runKernel(b.finish(), bufs, 1);
+    auto v = [&](size_t i) { return asFloat(bufs[0][i]); };
+    EXPECT_FLOAT_EQ(v(0), 1.75f);
+    EXPECT_FLOAT_EQ(v(1), -1.125f);
+    EXPECT_FLOAT_EQ(v(2), -4.5f);
+    EXPECT_FLOAT_EQ(v(3), 0.5f);
+    EXPECT_FLOAT_EQ(v(4), 1.5f);
+    EXPECT_FLOAT_EQ(v(5), std::fma(2.25f, -0.5f, 2.25f));
+    EXPECT_FLOAT_EQ(v(6), 2.0f);
+    EXPECT_FLOAT_EQ(v(7), -0.5f);
+    EXPECT_FLOAT_EQ(v(8), 2.25f);
+    EXPECT_FLOAT_EQ(v(9), std::exp(1.0f));
+}
+
+TEST(Interpreter, ComparisonsAndSelect)
+{
+    Builder b("cmp_ops", 1);
+    b.bindStorage(0, ElemType::I32);
+    auto two = b.constI(2);
+    auto three = b.constI(3);
+    auto big = b.constU(0x80000000u); // negative signed, large unsigned
+    uint32_t slot = 0;
+    auto store = [&](Builder::Reg r) {
+        b.stBuf(0, b.constI(static_cast<int32_t>(slot++)), r);
+    };
+    store(b.ilt(two, three)); // 1
+    store(b.ilt(big, two));   // 1 (signed)
+    store(b.ult(big, two));   // 0 (unsigned)
+    store(b.uge(big, two));   // 1
+    store(b.flt(b.constF(1.0f), b.constF(2.0f))); // 1
+    store(b.feq(b.constF(1.0f), b.constF(1.0f))); // 1
+    store(b.select(b.constI(1), two, three));     // 2
+    store(b.select(b.constI(0), two, three));     // 3
+    std::vector<std::vector<uint32_t>> bufs = {
+        std::vector<uint32_t>(8, 7)};
+    runKernel(b.finish(), bufs, 1);
+    EXPECT_EQ(bufs[0][0], 1u);
+    EXPECT_EQ(bufs[0][1], 1u);
+    EXPECT_EQ(bufs[0][2], 0u);
+    EXPECT_EQ(bufs[0][3], 1u);
+    EXPECT_EQ(bufs[0][4], 1u);
+    EXPECT_EQ(bufs[0][5], 1u);
+    EXPECT_EQ(bufs[0][6], 2u);
+    EXPECT_EQ(bufs[0][7], 3u);
+}
+
+TEST(Interpreter, BuiltinsAcrossWorkgroups)
+{
+    Builder b("builtins", 4);
+    b.bindStorage(0, ElemType::I32);
+    b.bindStorage(1, ElemType::I32);
+    auto gid = b.globalIdX();
+    b.stBuf(0, gid, b.localIdX());
+    b.stBuf(1, gid, b.groupIdX());
+    std::vector<std::vector<uint32_t>> bufs = {
+        std::vector<uint32_t>(12, 0), std::vector<uint32_t>(12, 0)};
+    DispatchResult r = runKernel(b.finish(), bufs, 3);
+    for (uint32_t i = 0; i < 12; ++i) {
+        EXPECT_EQ(bufs[0][i], i % 4);
+        EXPECT_EQ(bufs[1][i], i / 4);
+    }
+    EXPECT_EQ(r.stats.invocations, 12u);
+}
+
+TEST(Interpreter, LoopSumsRange)
+{
+    Builder b("loop", 1);
+    b.bindStorage(0, ElemType::I32);
+    b.setPushWords(1);
+    auto n = b.ldPush(0);
+    auto sum = b.constI(0);
+    b.forRange(b.constI(0), n, b.constI(1),
+               [&](Builder::Reg i) { b.iaddTo(sum, sum, i); });
+    b.stBuf(0, b.constI(0), sum);
+    std::vector<std::vector<uint32_t>> bufs = {
+        std::vector<uint32_t>(1, 0)};
+    runKernel(b.finish(), bufs, 1, {100});
+    EXPECT_EQ(bufs[0][0], 4950u);
+}
+
+TEST(Interpreter, WhileLoopWithBreakCondition)
+{
+    // Collatz steps for 27 = 111.
+    Builder b("collatz", 1);
+    b.bindStorage(0, ElemType::I32);
+    auto v = b.constI(27);
+    auto steps = b.constI(0);
+    auto one = b.constI(1);
+    auto two = b.constI(2);
+    auto three = b.constI(3);
+    b.whileLoop([&] { return b.igt(v, one); },
+                [&] {
+                    auto is_odd = b.irem(v, two);
+                    auto odd_next = b.iadd(b.imul(v, three), one);
+                    auto even_next = b.idiv(v, two);
+                    b.movTo(v, b.select(is_odd, odd_next, even_next));
+                    b.iaddTo(steps, steps, one);
+                });
+    b.stBuf(0, b.constI(0), steps);
+    std::vector<std::vector<uint32_t>> bufs = {
+        std::vector<uint32_t>(1, 0)};
+    runKernel(b.finish(), bufs, 1);
+    EXPECT_EQ(bufs[0][0], 111u);
+}
+
+TEST(Interpreter, BarrierSharedReduction)
+{
+    // Classic tree reduction over 64 lanes in shared memory.
+    Builder b("reduce", 64);
+    b.bindStorage(0, ElemType::I32, true);
+    b.bindStorage(1, ElemType::I32);
+    b.setSharedWords(64);
+    auto lid = b.localIdX();
+    auto gid = b.globalIdX();
+    b.stShared(lid, b.ldBuf(0, gid));
+    b.barrier();
+    for (uint32_t s = 32; s >= 1; s /= 2) {
+        auto active = b.ilt(lid, b.constI(static_cast<int32_t>(s)));
+        b.ifThen(active, [&] {
+            auto other = b.iadd(lid, b.constI(static_cast<int32_t>(s)));
+            b.stShared(lid, b.iadd(b.ldShared(lid), b.ldShared(other)));
+        });
+        b.barrier();
+    }
+    auto is_first = b.ieq(lid, b.constI(0));
+    b.ifThen(is_first,
+             [&] { b.stBuf(1, b.groupIdX(), b.ldShared(b.constI(0))); });
+
+    std::vector<uint32_t> input(128);
+    for (uint32_t i = 0; i < 128; ++i)
+        input[i] = i + 1;
+    std::vector<std::vector<uint32_t>> bufs = {
+        input, std::vector<uint32_t>(2, 0)};
+    DispatchResult r = runKernel(b.finish(), bufs, 2);
+    EXPECT_EQ(bufs[1][0], 64u * 65u / 2u);             // 1..64
+    EXPECT_EQ(bufs[1][1], 128u * 129u / 2u - 2080u);   // 65..128
+    EXPECT_GT(r.stats.barriers, 0u);
+    EXPECT_GT(r.stats.sharedAccesses, 0u);
+}
+
+TEST(Interpreter, AtomicsAddMinMax)
+{
+    Builder b("atomics", 32);
+    b.bindStorage(0, ElemType::I32);
+    auto gid = b.globalIdX();
+    auto one = b.constI(1);
+    auto zero = b.constI(0);
+    b.atomIAdd(0, zero, one);
+    b.atomIMax(0, one, gid);
+    b.atomIMin(0, b.constI(2), gid);
+    std::vector<std::vector<uint32_t>> bufs = {{0u, 0u, 0xffffu}};
+    DispatchResult r = runKernel(b.finish(), bufs, 4); // 128 lanes
+    EXPECT_EQ(bufs[0][0], 128u);
+    EXPECT_EQ(bufs[0][1], 127u);
+    EXPECT_EQ(bufs[0][2], 0u);
+    EXPECT_EQ(r.stats.atomicOps, 3u * 128u);
+}
+
+TEST(Interpreter, OutOfBoundsTraps)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Builder b("oob", 1);
+    b.bindStorage(0, ElemType::I32);
+    b.stBuf(0, b.constI(100), b.constI(1));
+    spirv::Module m = b.finish();
+    std::vector<std::vector<uint32_t>> bufs = {
+        std::vector<uint32_t>(4, 0)};
+    EXPECT_DEATH(runKernel(m, bufs, 1), "out of bounds");
+}
+
+TEST(Interpreter, RobustAccessClamps)
+{
+    Builder b("robust", 1);
+    b.bindStorage(0, ElemType::I32);
+    b.stBuf(0, b.constI(100), b.constI(42));
+    spirv::Module m = b.finish();
+
+    const DeviceSpec &dev = gtx1050ti();
+    std::string err;
+    auto kernel = compileKernel(m, dev, Api::Vulkan, &err);
+    ASSERT_NE(kernel, nullptr) << err;
+    std::vector<uint32_t> buf(4, 0);
+    DispatchContext ctx;
+    ctx.kernel = kernel.get();
+    ctx.buffers.push_back({buf.data(), buf.size()});
+    ctx.robustAccess = true;
+    ExecutionEngine engine(dev);
+    engine.dispatch(ctx);
+    EXPECT_EQ(buf[3], 42u); // clamped to the last word
+}
+
+TEST(Interpreter, BarrierDivergenceTraps)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Builder b("diverge", 2);
+    b.bindStorage(0, ElemType::I32);
+    auto lid = b.localIdX();
+    auto is_first = b.ieq(lid, b.constI(0));
+    b.ifThen(is_first, [&] { b.barrier(); }); // only lane 0 arrives
+    b.stBuf(0, lid, lid);
+    spirv::Module m = b.finish();
+    std::vector<std::vector<uint32_t>> bufs = {
+        std::vector<uint32_t>(4, 0)};
+    EXPECT_DEATH(runKernel(m, bufs, 1), "barrier divergence");
+}
+
+TEST(Interpreter, DivisionByZeroTraps)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Builder b("div0", 1);
+    b.bindStorage(0, ElemType::I32);
+    b.stBuf(0, b.constI(0), b.idiv(b.constI(1), b.constI(0)));
+    spirv::Module m = b.finish();
+    std::vector<std::vector<uint32_t>> bufs = {
+        std::vector<uint32_t>(1, 0)};
+    EXPECT_DEATH(runKernel(m, bufs, 1), "division by zero");
+}
+
+TEST(Interpreter, PushConstantsReachKernel)
+{
+    Builder b("push", 1);
+    b.bindStorage(0, ElemType::I32);
+    b.setPushWords(3);
+    b.stBuf(0, b.constI(0), b.ldPush(0));
+    b.stBuf(0, b.constI(1), b.ldPush(2));
+    std::vector<std::vector<uint32_t>> bufs = {
+        std::vector<uint32_t>(2, 0)};
+    runKernel(b.finish(), bufs, 1, {11, 22, 33});
+    EXPECT_EQ(bufs[0][0], 11u);
+    EXPECT_EQ(bufs[0][1], 33u);
+}
+
+TEST(Interpreter, FloatBitsRoundTripThroughBuffers)
+{
+    Builder b("bits", 1);
+    b.bindStorage(0, ElemType::F32, true);
+    b.bindStorage(1, ElemType::F32);
+    b.stBuf(1, b.constI(0), b.fneg(b.ldBuf(0, b.constI(0))));
+    std::vector<std::vector<uint32_t>> bufs = {{asBits(3.5f)}, {0u}};
+    runKernel(b.finish(), bufs, 1);
+    EXPECT_FLOAT_EQ(asFloat(bufs[1][0]), -3.5f);
+}
+
+// --- coalescing / stats ----------------------------------------------------
+
+spirv::Module
+stridedKernel()
+{
+    Builder b("stride_probe", 256);
+    b.bindStorage(0, ElemType::F32, true);
+    b.bindStorage(1, ElemType::F32);
+    b.setPushWords(1);
+    auto gid = b.globalIdX();
+    auto idx = b.imul(gid, b.ldPush(0));
+    auto guard = b.feq(b.ldBuf(0, idx), b.constF(1e30f));
+    b.ifThen(guard, [&] { b.stBuf(1, b.constI(0), b.constF(0.0f)); });
+    return b.finish();
+}
+
+double
+transactionsFor(uint32_t stride)
+{
+    std::vector<std::vector<uint32_t>> bufs = {
+        std::vector<uint32_t>(256 * 32 * 4, 0),
+        std::vector<uint32_t>(1, 0)};
+    DispatchResult r = runKernel(stridedKernel(), bufs, 4, {stride});
+    return r.stats.dramTransactions;
+}
+
+TEST(Coalescing, TransactionsScaleWithStride)
+{
+    double tx1 = transactionsFor(1);
+    double tx4 = transactionsFor(4);
+    double tx16 = transactionsFor(16);
+    double tx32 = transactionsFor(32);
+    // Unit stride: 32 lanes x 4 B = 2 lines of 64 B per warp.
+    EXPECT_NEAR(tx1, 1024.0 * 2.0 / 32.0, 1.0);
+    EXPECT_NEAR(tx4 / tx1, 4.0, 0.2);
+    // At stride 16 (64 B) every lane owns a line; beyond that flat.
+    EXPECT_NEAR(tx16 / tx1, 16.0, 0.5);
+    EXPECT_NEAR(tx32 / tx16, 1.0, 0.05);
+}
+
+TEST(Coalescing, PromotionMovesTrafficOnChip)
+{
+    Builder b("promo", 256);
+    b.bindStorage(0, ElemType::F32, true);
+    b.bindStorage(1, ElemType::F32);
+    auto gid = b.globalIdX();
+    auto v = b.ldBuf(0, gid, spirv::MemFlagPromoteHint);
+    b.stBuf(1, gid, v);
+    spirv::Module m = b.finish();
+
+    std::vector<std::vector<uint32_t>> cl_bufs = {
+        std::vector<uint32_t>(512, 0), std::vector<uint32_t>(512, 0)};
+    // OpenCL on the GTX honours the hint; Vulkan does not.
+    DispatchResult cl = runKernel(m, cl_bufs, 2, {}, Api::OpenCl);
+    std::vector<std::vector<uint32_t>> vk_bufs = {
+        std::vector<uint32_t>(512, 0), std::vector<uint32_t>(512, 0)};
+    DispatchResult vk = runKernel(m, vk_bufs, 2, {}, Api::Vulkan);
+
+    EXPECT_EQ(cl.stats.promotedAccesses, 512u);
+    EXPECT_EQ(vk.stats.promotedAccesses, 0u);
+    EXPECT_GT(vk.stats.dramAccesses, cl.stats.dramAccesses);
+}
+
+TEST(Stats, LaneCyclesAndAccessesCounted)
+{
+    Builder b("stats", 64);
+    b.bindStorage(0, ElemType::I32);
+    auto gid = b.globalIdX();
+    b.stBuf(0, gid, b.iadd(gid, gid));
+    std::vector<std::vector<uint32_t>> bufs = {
+        std::vector<uint32_t>(128, 0)};
+    DispatchResult r = runKernel(b.finish(), bufs, 2);
+    EXPECT_EQ(r.stats.invocations, 128u);
+    EXPECT_EQ(r.stats.dramAccesses, 128u);
+    EXPECT_GT(r.stats.laneCycles, 128u);
+    EXPECT_GT(r.kernelNs, 0.0);
+}
+
+} // namespace
+} // namespace vcb::sim

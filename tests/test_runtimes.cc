@@ -1,0 +1,236 @@
+/** @file OpenCL-mini and CUDA-mini runtimes: device discovery, JIT
+ *  builds, argument binding, enqueue semantics, events and transfers. */
+
+#include <gtest/gtest.h>
+
+#include "common/mathutil.h"
+#include "cuda/cuda_rt.h"
+#include "kernels/kernels.h"
+#include "ocl/ocl.h"
+
+namespace vcb {
+namespace {
+
+// --- OpenCL -----------------------------------------------------------------
+
+TEST(Ocl, AllDevicesExposeOpenCl)
+{
+    EXPECT_EQ(ocl::getDevices().size(), 4u);
+}
+
+TEST(Ocl, BuildChargesHostTime)
+{
+    ocl::Context ctx(sim::gtx1050ti());
+    double before = ctx.hostNowNs();
+    auto prog = ocl::createProgramWithSource(ctx, kernels::buildVecAdd());
+    std::string err;
+    ASSERT_TRUE(ocl::buildProgram(prog, &err)) << err;
+    EXPECT_GT(ctx.hostNowNs(), before); // JIT cost landed on the host
+}
+
+TEST(Ocl, BrokenDriverKernelFailsToBuild)
+{
+    ocl::Context ctx(sim::adreno506());
+    auto prog = ocl::createProgramWithSource(
+        ctx, kernels::buildLudDiagonal());
+    std::string err;
+    EXPECT_FALSE(ocl::buildProgram(prog, &err));
+    EXPECT_NE(err.find("driver failure"), std::string::npos);
+}
+
+TEST(Ocl, KernelNameMustMatch)
+{
+    ocl::Context ctx(sim::gtx1050ti());
+    auto prog = ocl::createProgramWithSource(ctx, kernels::buildVecAdd());
+    std::string err;
+    ASSERT_TRUE(ocl::buildProgram(prog, &err));
+    EXPECT_FALSE(ocl::createKernel(prog, "wrongName", &err).valid());
+    EXPECT_NE(err.find("no kernel"), std::string::npos);
+    EXPECT_TRUE(ocl::createKernel(prog, "vectorAdd", &err).valid());
+}
+
+TEST(Ocl, VectorAddEndToEnd)
+{
+    ocl::Context ctx(sim::rx560());
+    auto prog = ocl::createProgramWithSource(ctx, kernels::buildVecAdd());
+    std::string err;
+    ASSERT_TRUE(ocl::buildProgram(prog, &err)) << err;
+    auto k = ocl::createKernel(prog, "vectorAdd", &err);
+    ASSERT_TRUE(k.valid());
+
+    const uint32_t n = 1024;
+    auto bx = ocl::createBuffer(ctx, ocl::MemReadOnly, n * 4);
+    auto by = ocl::createBuffer(ctx, ocl::MemReadOnly, n * 4);
+    auto bz = ocl::createBuffer(ctx, ocl::MemWriteOnly, n * 4);
+    std::vector<float> x(n), y(n), z(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        x[i] = 0.5f * i;
+        y[i] = 100.0f - i;
+    }
+    ocl::enqueueWriteBuffer(ctx, bx, true, 0, n * 4, x.data());
+    ocl::enqueueWriteBuffer(ctx, by, true, 0, n * 4, y.data());
+    ocl::setKernelArgBuffer(k, 0, bx);
+    ocl::setKernelArgBuffer(k, 1, by);
+    ocl::setKernelArgBuffer(k, 2, bz);
+    ocl::setKernelArgScalar(k, 0, n);
+    ocl::enqueueNDRangeKernel(ctx, k, n);
+    ocl::enqueueReadBuffer(ctx, bz, true, 0, n * 4, z.data());
+    for (uint32_t i = 0; i < n; ++i)
+        ASSERT_FLOAT_EQ(z[i], x[i] + y[i]) << i;
+}
+
+TEST(Ocl, EventsExposeDeviceWindows)
+{
+    ocl::Context ctx(sim::gtx1050ti());
+    auto prog = ocl::createProgramWithSource(ctx, kernels::buildVecAdd());
+    std::string err;
+    ASSERT_TRUE(ocl::buildProgram(prog, &err));
+    auto k = ocl::createKernel(prog, "vectorAdd", &err);
+    const uint32_t n = 4096;
+    auto bx = ocl::createBuffer(ctx, ocl::MemReadWrite, n * 4);
+    ocl::setKernelArgBuffer(k, 0, bx);
+    ocl::setKernelArgBuffer(k, 1, bx);
+    ocl::setKernelArgBuffer(k, 2, bx);
+    ocl::setKernelArgScalar(k, 0, n);
+
+    ocl::Event e1 = ocl::enqueueNDRangeKernel(ctx, k, n);
+    ocl::Event e2 = ocl::enqueueNDRangeKernel(ctx, k, n);
+    ctx.finish();
+    EXPECT_LT(e1.queuedNs(), e1.endNs());
+    EXPECT_LT(e1.startNs(), e1.endNs());
+    // In-order queue: the second launch starts after the first ends.
+    EXPECT_GE(e2.startNs(), e1.endNs());
+    EXPECT_GE(ctx.hostNowNs(), e2.endNs()); // finish blocked the host
+}
+
+TEST(Ocl, EnqueueAheadPipelinesAgainstBlockingLoop)
+{
+    const uint32_t n = 256; // tiny kernels: overhead dominates
+    auto run = [&](bool blocking) {
+        ocl::Context ctx(sim::gtx1050ti());
+        auto prog = ocl::createProgramWithSource(ctx,
+                                                 kernels::buildVecAdd());
+        std::string err;
+        if (!ocl::buildProgram(prog, &err))
+            ADD_FAILURE() << err;
+        auto k = ocl::createKernel(prog, "vectorAdd", &err);
+        auto buf = ocl::createBuffer(ctx, ocl::MemReadWrite, n * 4);
+        ocl::setKernelArgBuffer(k, 0, buf);
+        ocl::setKernelArgBuffer(k, 1, buf);
+        ocl::setKernelArgBuffer(k, 2, buf);
+        ocl::setKernelArgScalar(k, 0, n);
+        double t0 = ctx.hostNowNs();
+        for (int i = 0; i < 16; ++i) {
+            ocl::enqueueNDRangeKernel(ctx, k, n);
+            if (blocking)
+                ctx.finish();
+        }
+        ctx.finish();
+        return ctx.hostNowNs() - t0;
+    };
+    EXPECT_LT(run(false), run(true) * 0.7);
+}
+
+// --- CUDA -----------------------------------------------------------------------
+
+TEST(Cuda, OnlyOnNvidia)
+{
+    EXPECT_TRUE(cuda::available(sim::gtx1050ti()));
+    EXPECT_FALSE(cuda::available(sim::rx560()));
+    EXPECT_FALSE(cuda::available(sim::adreno506()));
+    EXPECT_FALSE(cuda::available(sim::powervrG6430()));
+}
+
+TEST(Cuda, MemcpyRoundTrip)
+{
+    cuda::Runtime rt(sim::gtx1050ti());
+    auto d = rt.malloc(1024);
+    std::vector<uint32_t> in(256), out(256);
+    for (uint32_t i = 0; i < 256; ++i)
+        in[i] = i * 3 + 1;
+    rt.memcpyHtoD(d, in.data(), 1024);
+    rt.memcpyDtoH(out.data(), d, 1024);
+    EXPECT_EQ(in, out);
+}
+
+TEST(Cuda, VectorAddEndToEnd)
+{
+    cuda::Runtime rt(sim::gtx1050ti());
+    auto f = rt.loadFunction(kernels::buildVecAdd());
+    const uint32_t n = 2048;
+    auto dx = rt.malloc(n * 4);
+    auto dy = rt.malloc(n * 4);
+    auto dz = rt.malloc(n * 4);
+    std::vector<float> x(n), y(n), z(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        x[i] = i * 0.25f;
+        y[i] = 7.0f;
+    }
+    rt.memcpyHtoD(dx, x.data(), n * 4);
+    rt.memcpyHtoD(dy, y.data(), n * 4);
+    rt.launchKernel(f, (uint32_t)ceilDiv(n, 256), 1, 1, {dx, dy, dz},
+                    {n});
+    rt.deviceSynchronize();
+    rt.memcpyDtoH(z.data(), dz, n * 4);
+    for (uint32_t i = 0; i < n; ++i)
+        ASSERT_FLOAT_EQ(z[i], x[i] + 7.0f) << i;
+}
+
+TEST(Cuda, MemsetFillsWords)
+{
+    cuda::Runtime rt(sim::gtx1050ti());
+    auto d = rt.malloc(64);
+    rt.memset(d, 0xdeadbeef, 64);
+    std::vector<uint32_t> out(16);
+    rt.memcpyDtoH(out.data(), d, 64);
+    for (uint32_t v : out)
+        EXPECT_EQ(v, 0xdeadbeefu);
+}
+
+TEST(Cuda, EventsBracketStreamWork)
+{
+    cuda::Runtime rt(sim::gtx1050ti());
+    auto f = rt.loadFunction(kernels::buildVecAdd());
+    const uint32_t n = 65536;
+    auto d = rt.malloc(n * 4);
+    double e1 = rt.eventRecordNs();
+    rt.launchKernel(f, n / 256, 1, 1, {d, d, d}, {n});
+    double e2 = rt.eventRecordNs();
+    rt.streamSynchronize();
+    EXPECT_GT(e2, e1);
+    // A bigger grid takes longer device time.
+    double e3 = rt.eventRecordNs();
+    for (int i = 0; i < 4; ++i)
+        rt.launchKernel(f, n / 256, 1, 1, {d, d, d}, {n});
+    double e4 = rt.eventRecordNs();
+    rt.streamSynchronize();
+    EXPECT_GT(e4 - e3, (e2 - e1) * 2.0);
+}
+
+TEST(Cuda, StreamsOverlapIndependentWork)
+{
+    cuda::Runtime rt2(sim::gtx1050ti(), 2);
+    auto f = rt2.loadFunction(kernels::buildVecAdd());
+    const uint32_t n = 1u << 20;
+    auto a = rt2.malloc(n * 4);
+    auto b = rt2.malloc(n * 4);
+    double t0 = rt2.hostNowNs();
+    rt2.launchKernel(f, n / 256, 1, 1, {a, a, a}, {n}, 0);
+    rt2.launchKernel(f, n / 256, 1, 1, {b, b, b}, {n}, 1);
+    rt2.deviceSynchronize();
+    double overlapped = rt2.hostNowNs() - t0;
+
+    cuda::Runtime rt1(sim::gtx1050ti(), 1);
+    auto f1 = rt1.loadFunction(kernels::buildVecAdd());
+    auto c = rt1.malloc(n * 4);
+    auto d = rt1.malloc(n * 4);
+    double t1 = rt1.hostNowNs();
+    rt1.launchKernel(f1, n / 256, 1, 1, {c, c, c}, {n}, 0);
+    rt1.launchKernel(f1, n / 256, 1, 1, {d, d, d}, {n}, 0);
+    rt1.deviceSynchronize();
+    double serial = rt1.hostNowNs() - t1;
+    EXPECT_LT(overlapped, serial * 0.75);
+}
+
+} // namespace
+} // namespace vcb

@@ -1,0 +1,317 @@
+/** @file Unit tests for the kernel IR: opcodes, module binary format,
+ *  builder, validator and disassembler. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/strutil.h"
+#include "spirv/builder.h"
+#include "spirv/module.h"
+
+namespace vcb::spirv {
+namespace {
+
+Module
+tinyModule()
+{
+    Builder b("tiny", 64);
+    b.bindStorage(0, ElemType::F32, true);
+    b.bindStorage(1, ElemType::F32);
+    b.setPushWords(2);
+    auto i = b.globalIdX();
+    auto n = b.ldPush(0);
+    auto ok = b.ult(i, n);
+    b.ifThen(ok, [&] { b.stBuf(1, i, b.ldBuf(0, i)); });
+    return b.finish();
+}
+
+TEST(Opcodes, TableIsConsistent)
+{
+    for (uint16_t raw = 0; raw < opCount; ++raw) {
+        const OpInfo &info = opInfo(static_cast<Op>(raw));
+        ASSERT_NE(info.name, nullptr);
+        uint8_t counted = 0;
+        for (int i = 0; i < 4; ++i)
+            counted += info.kinds[i] != OperandKind::None;
+        EXPECT_EQ(counted, info.numOperands) << info.name;
+    }
+    EXPECT_FALSE(opExists(opCount));
+    EXPECT_TRUE(opExists(0));
+}
+
+TEST(Opcodes, BuiltinNames)
+{
+    EXPECT_STREQ(builtinName(Builtin::GlobalIdX), "GlobalIdX");
+    EXPECT_STREQ(builtinName(Builtin::LocalLinearId), "LocalLinearId");
+    EXPECT_STREQ(builtinName(static_cast<Builtin>(999)), "<bad>");
+}
+
+TEST(Module, SerializeDeserializeRoundTrip)
+{
+    Module m = tinyModule();
+    std::vector<uint32_t> words = m.serialize();
+    Module back = Module::deserialize(words);
+    EXPECT_EQ(back.name, m.name);
+    EXPECT_EQ(back.regCount, m.regCount);
+    EXPECT_EQ(back.localSize[0], m.localSize[0]);
+    EXPECT_EQ(back.pushWords, m.pushWords);
+    EXPECT_EQ(back.sharedWords, m.sharedWords);
+    ASSERT_EQ(back.bindings.size(), m.bindings.size());
+    for (size_t i = 0; i < m.bindings.size(); ++i) {
+        EXPECT_EQ(back.bindings[i].binding, m.bindings[i].binding);
+        EXPECT_EQ(back.bindings[i].readOnly, m.bindings[i].readOnly);
+    }
+    EXPECT_EQ(back.code, m.code);
+}
+
+TEST(Module, RoundTripPreservesLongNames)
+{
+    Builder b("a_rather_long_entry_point_name_for_packing", 32);
+    b.bindStorage(0, ElemType::I32);
+    b.stBuf(0, b.constI(0), b.constI(1));
+    Module m = b.finish();
+    Module back = Module::deserialize(m.serialize());
+    EXPECT_EQ(back.name, m.name);
+}
+
+TEST(Module, DecodeCountsInstructions)
+{
+    Module m = tinyModule();
+    EXPECT_EQ(m.decode().size(), m.insnCount());
+    EXPECT_GT(m.insnCount(), 4u);
+}
+
+TEST(Module, FindBindingAndBound)
+{
+    Module m = tinyModule();
+    EXPECT_NE(m.findBinding(0), nullptr);
+    EXPECT_NE(m.findBinding(1), nullptr);
+    EXPECT_EQ(m.findBinding(2), nullptr);
+    EXPECT_EQ(m.bindingBound(), 2u);
+}
+
+TEST(Validator, AcceptsWellFormed)
+{
+    std::string err;
+    EXPECT_TRUE(validate(tinyModule(), &err)) << err;
+    EXPECT_TRUE(err.empty());
+}
+
+TEST(Validator, RejectsEmptyCode)
+{
+    Module m = tinyModule();
+    m.code.clear();
+    std::string err;
+    EXPECT_FALSE(validate(m, &err));
+    EXPECT_NE(err.find("empty"), std::string::npos);
+}
+
+TEST(Validator, RejectsBadRegister)
+{
+    Module m = tinyModule();
+    m.regCount = 1; // far fewer than the code uses
+    std::string err;
+    EXPECT_FALSE(validate(m, &err));
+    EXPECT_NE(err.find("register"), std::string::npos);
+}
+
+TEST(Validator, RejectsUndeclaredBinding)
+{
+    Builder b("bad", 32);
+    b.bindStorage(0, ElemType::F32);
+    b.stBuf(0, b.constI(0), b.constF(1.0f));
+    Module m = b.finish();
+    // Forge the binding number in the encoded StBuf.
+    for (size_t pos = 0; pos < m.code.size();) {
+        uint32_t head = m.code[pos];
+        if (static_cast<Op>(head & 0xffff) == Op::StBuf) {
+            m.code[pos + 1] = 7;
+            break;
+        }
+        pos += head >> 16;
+    }
+    std::string err;
+    EXPECT_FALSE(validate(m, &err));
+    EXPECT_NE(err.find("binding"), std::string::npos);
+}
+
+TEST(Validator, RejectsWriteToReadOnlyBinding)
+{
+    Builder b("ro_write", 32);
+    b.bindStorage(0, ElemType::F32, true);
+    b.stBuf(0, b.constI(0), b.constF(1.0f));
+    std::string err;
+    EXPECT_FALSE(validate(b.finish(), &err));
+    EXPECT_NE(err.find("read-only"), std::string::npos);
+}
+
+TEST(Validator, RejectsSharedAccessWithoutSharedMemory)
+{
+    Builder b("no_shared", 32);
+    b.bindStorage(0, ElemType::F32);
+    b.stBuf(0, b.constI(0), b.ldShared(b.constI(0)));
+    std::string err;
+    EXPECT_FALSE(validate(b.finish(), &err));
+    EXPECT_NE(err.find("shared"), std::string::npos);
+}
+
+TEST(Validator, RejectsOversizedLocalSize)
+{
+    Builder b("huge", 2048);
+    b.bindStorage(0, ElemType::F32);
+    b.stBuf(0, b.constI(0), b.constI(0));
+    std::string err;
+    EXPECT_FALSE(validate(b.finish(), &err));
+    EXPECT_NE(err.find("local size"), std::string::npos);
+}
+
+TEST(Validator, RejectsOversizedPushBlock)
+{
+    Builder b("push", 32);
+    b.bindStorage(0, ElemType::F32);
+    b.setPushWords(65); // 260 B > 256 B ceiling
+    b.stBuf(0, b.constI(0), b.constI(0));
+    std::string err;
+    EXPECT_FALSE(validate(b.finish(), &err));
+    EXPECT_NE(err.find("push"), std::string::npos);
+}
+
+TEST(Validator, RejectsLdPushBeyondBlock)
+{
+    Builder b("pushoob", 32);
+    b.bindStorage(0, ElemType::I32);
+    b.setPushWords(1);
+    b.stBuf(0, b.constI(0), b.ldPush(0));
+    Module m = b.finish();
+    // Forge the LdPush offset.
+    for (size_t pos = 0; pos < m.code.size();) {
+        uint32_t head = m.code[pos];
+        if (static_cast<Op>(head & 0xffff) == Op::LdPush) {
+            m.code[pos + 2] = 5;
+            break;
+        }
+        pos += head >> 16;
+    }
+    std::string err;
+    EXPECT_FALSE(validate(m, &err));
+    EXPECT_NE(err.find("push"), std::string::npos);
+}
+
+TEST(Validator, RejectsUnknownOpcode)
+{
+    Module m = tinyModule();
+    m.code[0] = (1u << 16) | 0xfffe;
+    std::string err;
+    EXPECT_FALSE(validate(m, &err));
+    EXPECT_NE(err.find("unknown opcode"), std::string::npos);
+}
+
+TEST(Validator, RejectsBadLabel)
+{
+    Builder b("badlabel", 32);
+    b.bindStorage(0, ElemType::I32);
+    auto l = b.newLabel();
+    b.br(l);
+    b.place(l);
+    b.stBuf(0, b.constI(0), b.constI(0));
+    Module m = b.finish();
+    // Forge the branch target out of range.
+    for (size_t pos = 0; pos < m.code.size();) {
+        uint32_t head = m.code[pos];
+        if (static_cast<Op>(head & 0xffff) == Op::Br) {
+            m.code[pos + 1] = 10000;
+            break;
+        }
+        pos += head >> 16;
+    }
+    std::string err;
+    EXPECT_FALSE(validate(m, &err));
+    EXPECT_NE(err.find("label"), std::string::npos);
+}
+
+TEST(Builder, LabelsPatchForwardReferences)
+{
+    Builder b("fwd", 32);
+    b.bindStorage(0, ElemType::I32);
+    auto skip = b.newLabel();
+    auto c = b.constI(1);
+    b.brTrue(c, skip);
+    b.stBuf(0, b.constI(0), b.constI(42));
+    b.place(skip);
+    Module m = b.finish();
+    std::string err;
+    EXPECT_TRUE(validate(m, &err)) << err;
+}
+
+TEST(Builder, BuiltinsAreCached)
+{
+    Builder b("cache", 32);
+    b.bindStorage(0, ElemType::I32);
+    auto a = b.globalIdX();
+    auto c = b.globalIdX();
+    EXPECT_EQ(a, c);
+    b.stBuf(0, a, c);
+    EXPECT_TRUE(validate(b.finish(), nullptr));
+}
+
+TEST(Disasm, ContainsOpNamesAndLabels)
+{
+    Builder b("dis", 32);
+    b.bindStorage(0, ElemType::F32, true);
+    b.bindStorage(1, ElemType::F32);
+    b.setPushWords(1);
+    auto i = b.globalIdX();
+    auto n = b.ldPush(0);
+    auto ok = b.ult(i, n);
+    b.ifThen(ok, [&] {
+        b.stBuf(1, i, b.ldBuf(0, i, MemFlagPromoteHint));
+    });
+    std::string text = disassemble(b.finish());
+    EXPECT_NE(text.find("module 'dis'"), std::string::npos);
+    EXPECT_NE(text.find("LdBuiltin"), std::string::npos);
+    EXPECT_NE(text.find("GlobalIdX"), std::string::npos);
+    EXPECT_NE(text.find("BrFalse"), std::string::npos);
+    EXPECT_NE(text.find("hint=promote"), std::string::npos);
+    EXPECT_NE(text.find("readonly"), std::string::npos);
+    EXPECT_NE(text.find("L"), std::string::npos);
+}
+
+/** Property test: random straight-line modules round-trip exactly. */
+TEST(Module, RandomRoundTripProperty)
+{
+    Rng rng(0xdead);
+    for (int trial = 0; trial < 50; ++trial) {
+        Builder b(strprintf("rand%d", trial),
+                  1u << rng.nextBelow(9));
+        b.bindStorage(0, ElemType::F32);
+        b.setPushWords(1 + (uint32_t)rng.nextBelow(8));
+        std::vector<Builder::Reg> regs;
+        regs.push_back(b.constF(rng.nextFloat()));
+        regs.push_back(b.constI((int32_t)rng.nextRange(-100, 100)));
+        for (int i = 0; i < 30; ++i) {
+            auto pick = [&] {
+                return regs[rng.nextBelow(regs.size())];
+            };
+            switch (rng.nextBelow(6)) {
+              case 0: regs.push_back(b.fadd(pick(), pick())); break;
+              case 1: regs.push_back(b.imul(pick(), pick())); break;
+              case 2: regs.push_back(b.fsqrt(pick())); break;
+              case 3: regs.push_back(b.select(pick(), pick(), pick()));
+                break;
+              case 4: regs.push_back(b.ldPush(0)); break;
+              default: regs.push_back(b.ult(pick(), pick())); break;
+            }
+        }
+        b.stBuf(0, b.constI(0), regs.back());
+        Module m = b.finish();
+        std::string err;
+        ASSERT_TRUE(validate(m, &err)) << err;
+        Module back = Module::deserialize(m.serialize());
+        EXPECT_EQ(back.code, m.code);
+        EXPECT_EQ(back.regCount, m.regCount);
+    }
+}
+
+} // namespace
+} // namespace vcb::spirv

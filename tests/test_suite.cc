@@ -1,0 +1,228 @@
+/** @file The benchmark suite: registry metadata (Table I), workload
+ *  determinism, and — the heart of the paper's methodology — output
+ *  validation of every benchmark under every API against the CPU
+ *  references, at reduced sizes for test speed. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "suite/benchmark.h"
+#include "suite/validate.h"
+
+namespace vcb::suite {
+namespace {
+
+TEST(SuiteRegistry, TableOneContents)
+{
+    const auto &benches = registry();
+    ASSERT_EQ(benches.size(), 9u);
+    std::vector<std::string> names;
+    for (const auto *b : benches)
+        names.push_back(b->name());
+    std::vector<std::string> expect = {"backprop", "bfs",  "cfd",
+                                       "gaussian", "hotspot", "lud",
+                                       "nn",       "nw",   "pathfinder"};
+    EXPECT_EQ(names, expect);
+    for (const auto *b : benches) {
+        EXPECT_FALSE(b->fullName().empty()) << b->name();
+        EXPECT_FALSE(b->dwarf().empty()) << b->name();
+        EXPECT_FALSE(b->domain().empty()) << b->name();
+        EXPECT_EQ(b->desktopSizes().size(), 3u) << b->name();
+    }
+}
+
+TEST(SuiteRegistry, MobileCoverageMatchesPaper)
+{
+    // cfd is absent from the mobile evaluation; everyone else has two
+    // mobile sizes (Fig. 4).
+    for (const auto *b : registry()) {
+        if (b->name() == "cfd") {
+            EXPECT_TRUE(b->mobileSizes().empty());
+            EXPECT_NE(b->mobileSkipReason().find("heap"),
+                      std::string::npos);
+        } else {
+            EXPECT_EQ(b->mobileSizes().size(), 2u) << b->name();
+        }
+    }
+}
+
+TEST(SuiteRegistry, ByNameFindsEveryBenchmark)
+{
+    for (const auto *b : registry())
+        EXPECT_EQ(&byName(b->name()), b);
+}
+
+TEST(SuiteRegistry, WorkloadSeedsAreStableAndDistinct)
+{
+    SizeConfig a{"x", {64}};
+    SizeConfig b{"x", {128}};
+    EXPECT_EQ(workloadSeed("bfs", a), workloadSeed("bfs", a));
+    EXPECT_NE(workloadSeed("bfs", a), workloadSeed("bfs", b));
+    EXPECT_NE(workloadSeed("bfs", a), workloadSeed("nn", a));
+}
+
+TEST(Validate, CompareFloats)
+{
+    EXPECT_TRUE(compareFloats({1.0f, 2.0f}, {1.0f, 2.0f}).empty());
+    EXPECT_FALSE(compareFloats({1.0f}, {1.0f, 2.0f}).empty());
+    EXPECT_FALSE(compareFloats({1.0f}, {1.1f}).empty());
+    // Within relative tolerance.
+    EXPECT_TRUE(compareFloats({1.00001f}, {1.0f}, 1e-3).empty());
+    // NaN mismatch is reported.
+    EXPECT_FALSE(
+        compareFloats({std::nanf("")}, {1.0f}).empty());
+    EXPECT_TRUE(
+        compareFloats({std::nanf("")}, {std::nanf("")}).empty());
+}
+
+TEST(Validate, CompareInts)
+{
+    EXPECT_TRUE(compareInts({1, 2, 3}, {1, 2, 3}).empty());
+    EXPECT_NE(compareInts({1, 2, 4}, {1, 2, 3}).find("[2]"),
+              std::string::npos);
+}
+
+/**
+ * Reduced-size configurations used for cross-API validation — small
+ * enough that the full (benchmark x API) matrix interprets in seconds.
+ * Parameter meanings follow each benchmark's SizeConfig convention.
+ */
+SizeConfig
+smallConfig(const std::string &name)
+{
+    if (name == "backprop")
+        return {"small", {2048}};
+    if (name == "bfs")
+        return {"small", {4096}};
+    if (name == "cfd")
+        return {"small", {4096}};
+    if (name == "gaussian")
+        return {"small", {64}};
+    if (name == "hotspot")
+        return {"small", {64, 4}};
+    if (name == "lud")
+        return {"small", {96}};
+    if (name == "nn")
+        return {"small", {8192}};
+    if (name == "nw")
+        return {"small", {160}};
+    if (name == "pathfinder")
+        return {"small", {16, 2048}};
+    ADD_FAILURE() << "unknown benchmark " << name;
+    return {"small", {64}};
+}
+
+struct MatrixCase
+{
+    std::string bench;
+    sim::Api api;
+};
+
+class SuiteValidation : public ::testing::TestWithParam<MatrixCase>
+{
+};
+
+TEST_P(SuiteValidation, OutputMatchesCpuReferenceOnGtx)
+{
+    const MatrixCase &mc = GetParam();
+    const Benchmark &bench = byName(mc.bench);
+    RunResult r = bench.run(sim::gtx1050ti(), mc.api,
+                            smallConfig(mc.bench));
+    ASSERT_TRUE(r.ok) << r.skipReason;
+    EXPECT_TRUE(r.validated) << r.validationError;
+    EXPECT_GT(r.kernelRegionNs, 0.0);
+    EXPECT_GE(r.totalNs, r.kernelRegionNs);
+    EXPECT_GT(r.launches, 0u);
+}
+
+std::vector<MatrixCase>
+allMatrixCases()
+{
+    std::vector<MatrixCase> cases;
+    for (const auto *b : registry())
+        for (sim::Api api :
+             {sim::Api::Vulkan, sim::Api::OpenCl, sim::Api::Cuda})
+            cases.push_back({b->name(), api});
+    return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarksAllApis, SuiteValidation,
+    ::testing::ValuesIn(allMatrixCases()),
+    [](const ::testing::TestParamInfo<MatrixCase> &info) {
+        return info.param.bench + "_" +
+               std::string(sim::apiName(info.param.api));
+    });
+
+/** Cross-device validation of one representative benchmark. */
+class SuiteDevices : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SuiteDevices, PathfinderValidatesEverywhere)
+{
+    const sim::DeviceSpec &dev =
+        sim::deviceRegistry()[static_cast<size_t>(GetParam())];
+    const Benchmark &bench = byName("pathfinder");
+    for (sim::Api api : {sim::Api::Vulkan, sim::Api::OpenCl}) {
+        RunResult r = bench.run(dev, api, smallConfig("pathfinder"));
+        ASSERT_TRUE(r.ok) << dev.name << ": " << r.skipReason;
+        EXPECT_TRUE(r.validated)
+            << dev.name << ": " << r.validationError;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDevices, SuiteDevices,
+                         ::testing::Range(0, 4));
+
+TEST(SuiteDriverFailures, LudOpenClFailsOnSnapdragon)
+{
+    RunResult r = byName("lud").run(sim::adreno506(), sim::Api::OpenCl,
+                                    smallConfig("lud"));
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.skipReason.find("driver failure"), std::string::npos);
+    // ... while the Vulkan path still works.
+    RunResult vk = byName("lud").run(sim::adreno506(), sim::Api::Vulkan,
+                                     smallConfig("lud"));
+    EXPECT_TRUE(vk.ok) << vk.skipReason;
+    EXPECT_TRUE(vk.validated) << vk.validationError;
+}
+
+TEST(SuiteDriverFailures, BackpropFailsOnNexusUnderBothApis)
+{
+    // OpenCL surfaces the build error directly; Vulkan reports the
+    // failed pipeline creation (ErrorInitializationFailed).
+    RunResult cl = byName("backprop").run(
+        sim::powervrG6430(), sim::Api::OpenCl, smallConfig("backprop"));
+    EXPECT_FALSE(cl.ok);
+    EXPECT_NE(cl.skipReason.find("driver failure"), std::string::npos);
+    RunResult vk = byName("backprop").run(
+        sim::powervrG6430(), sim::Api::Vulkan, smallConfig("backprop"));
+    EXPECT_FALSE(vk.ok);
+    EXPECT_NE(vk.skipReason.find("failed"), std::string::npos);
+}
+
+TEST(SuiteDriverFailures, CudaUnavailableOffNvidia)
+{
+    RunResult r = byName("nn").run(sim::rx560(), sim::Api::Cuda,
+                                   smallConfig("nn"));
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.skipReason.find("CUDA"), std::string::npos);
+}
+
+TEST(SuiteDeterminism, SameSeedSameTiming)
+{
+    const Benchmark &bench = byName("gaussian");
+    RunResult a = bench.run(sim::gtx1050ti(), sim::Api::Vulkan,
+                            smallConfig("gaussian"));
+    RunResult b = bench.run(sim::gtx1050ti(), sim::Api::Vulkan,
+                            smallConfig("gaussian"));
+    ASSERT_TRUE(a.ok && b.ok);
+    EXPECT_DOUBLE_EQ(a.kernelRegionNs, b.kernelRegionNs);
+    EXPECT_EQ(a.launches, b.launches);
+}
+
+} // namespace
+} // namespace vcb::suite

@@ -1,0 +1,533 @@
+/** @file Vulkan-mini API: object lifecycle, memory model, validation
+ *  errors, command recording/submission, fences, timestamps and
+ *  multi-queue behaviour. */
+
+#include <gtest/gtest.h>
+
+#include "common/mathutil.h"
+#include "kernels/kernels.h"
+#include "vkm/vkm.h"
+
+namespace vcb::vkm {
+namespace {
+
+Instance
+makeInstance()
+{
+    Instance inst;
+    check(createInstance({"test", true}, &inst), "createInstance");
+    return inst;
+}
+
+PhysicalDevice
+physByName(Instance inst, const char *needle)
+{
+    for (auto pd : enumeratePhysicalDevices(inst))
+        if (getPhysicalDeviceProperties(pd).deviceName.find(needle) !=
+            std::string::npos)
+            return pd;
+    return PhysicalDevice();
+}
+
+Device
+makeDevice(PhysicalDevice pd)
+{
+    Device dev;
+    DeviceCreateInfo dci;
+    dci.queueCreateInfos.push_back({0, 1});
+    dci.queueCreateInfos.push_back({1, 1});
+    check(createDevice(pd, dci, &dev), "createDevice");
+    return dev;
+}
+
+TEST(VkmInstance, EnumeratesAllFourDevices)
+{
+    Instance inst = makeInstance();
+    EXPECT_EQ(enumeratePhysicalDevices(inst).size(), 4u);
+}
+
+TEST(VkmInstance, QueueFamiliesMatchSpec)
+{
+    Instance inst = makeInstance();
+    auto pd = physByName(inst, "GTX1050Ti");
+    ASSERT_TRUE(pd.valid());
+    auto families = getPhysicalDeviceQueueFamilyProperties(pd);
+    ASSERT_EQ(families.size(), 2u);
+    EXPECT_TRUE(families[0].queueFlags & QueueCompute);
+    EXPECT_TRUE(families[0].queueFlags & QueueTransfer);
+    EXPECT_FALSE(families[1].queueFlags & QueueCompute);
+    EXPECT_EQ(families[0].queueCount, 8u);
+}
+
+TEST(VkmInstance, MemoryPropertiesDiscreteVsUnified)
+{
+    Instance inst = makeInstance();
+    auto desktop = getPhysicalDeviceMemoryProperties(
+        physByName(inst, "GTX1050Ti"));
+    EXPECT_EQ(desktop.memoryHeaps.size(), 2u);
+    EXPECT_EQ(desktop.memoryTypes.size(), 2u);
+    EXPECT_EQ(desktop.memoryTypes[0].propertyFlags, MemoryDeviceLocal);
+
+    auto mobile = getPhysicalDeviceMemoryProperties(
+        physByName(inst, "Adreno"));
+    EXPECT_EQ(mobile.memoryHeaps.size(), 1u);
+    ASSERT_EQ(mobile.memoryTypes.size(), 1u);
+    EXPECT_TRUE(mobile.memoryTypes[0].propertyFlags & MemoryDeviceLocal);
+    EXPECT_TRUE(mobile.memoryTypes[0].propertyFlags & MemoryHostVisible);
+}
+
+TEST(VkmInstance, FindMemoryType)
+{
+    Instance inst = makeInstance();
+    auto props = getPhysicalDeviceMemoryProperties(
+        physByName(inst, "GTX1050Ti"));
+    EXPECT_EQ(findMemoryType(props, 0x3, MemoryDeviceLocal), 0u);
+    EXPECT_EQ(findMemoryType(props, 0x3,
+                             MemoryHostVisible | MemoryHostCoherent),
+              1u);
+    // Exclude type 1 from the allowed bits: no host-visible match.
+    EXPECT_EQ(findMemoryType(props, 0x1, MemoryHostVisible), UINT32_MAX);
+}
+
+TEST(VkmDevice, RejectsExcessQueueRequests)
+{
+    Instance inst = makeInstance();
+    auto pd = physByName(inst, "Adreno"); // 1 compute queue
+    Device dev;
+    DeviceCreateInfo dci;
+    dci.queueCreateInfos.push_back({0, 4});
+    EXPECT_EQ(createDevice(pd, dci, &dev), Result::ErrorValidation);
+}
+
+TEST(VkmBuffer, CreateRequiresSaneSizeAndUsage)
+{
+    Instance inst = makeInstance();
+    Device dev = makeDevice(physByName(inst, "GTX1050Ti"));
+    Buffer buf;
+    EXPECT_EQ(createBuffer(dev, {0, BufferUsageStorage}, &buf),
+              Result::ErrorValidation);
+    EXPECT_EQ(createBuffer(dev, {6, BufferUsageStorage}, &buf),
+              Result::ErrorValidation);
+    EXPECT_EQ(createBuffer(dev, {64, 0}, &buf), Result::ErrorValidation);
+    EXPECT_EQ(createBuffer(dev, {64, BufferUsageStorage}, &buf),
+              Result::Success);
+    EXPECT_EQ(bufferSize(buf), 64u);
+}
+
+TEST(VkmMemory, AllocateBindMapLifecycle)
+{
+    Instance inst = makeInstance();
+    auto pd = physByName(inst, "GTX1050Ti");
+    Device dev = makeDevice(pd);
+    Buffer buf;
+    check(createBuffer(dev,
+                       {1024, BufferUsageStorage | BufferUsageTransferDst},
+                       &buf),
+          "createBuffer");
+    auto reqs = getBufferMemoryRequirements(dev, buf);
+    EXPECT_GE(reqs.size, 1024u);
+    EXPECT_EQ(reqs.size % 256, 0u);
+
+    auto props = getPhysicalDeviceMemoryProperties(pd);
+    uint32_t host_type = findMemoryType(
+        props, reqs.memoryTypeBits,
+        MemoryHostVisible | MemoryHostCoherent);
+    DeviceMemory mem;
+    check(allocateMemory(dev, {reqs.size, host_type}, &mem),
+          "allocateMemory");
+    check(bindBufferMemory(dev, buf, mem, 0), "bindBufferMemory");
+    // Double bind is a validation error.
+    EXPECT_EQ(bindBufferMemory(dev, buf, mem, 0),
+              Result::ErrorValidation);
+
+    void *ptr = nullptr;
+    check(mapMemory(dev, mem, 0, 1024, &ptr), "mapMemory");
+    ASSERT_NE(ptr, nullptr);
+    // Double map is a validation error.
+    void *ptr2 = nullptr;
+    EXPECT_EQ(mapMemory(dev, mem, 0, 1024, &ptr2),
+              Result::ErrorValidation);
+    unmapMemory(dev, mem);
+}
+
+TEST(VkmMemory, DeviceLocalIsNotMappableOnDiscrete)
+{
+    Instance inst = makeInstance();
+    auto pd = physByName(inst, "RX560");
+    Device dev = makeDevice(pd);
+    DeviceMemory mem;
+    check(allocateMemory(dev, {4096, 0}, &mem), "allocateMemory");
+    void *ptr = nullptr;
+    EXPECT_EQ(mapMemory(dev, mem, 0, 4096, &ptr),
+              Result::ErrorMemoryMapFailed);
+}
+
+TEST(VkmMemory, HeapExhaustionReturnsOutOfDeviceMemory)
+{
+    Instance inst = makeInstance();
+    auto pd = physByName(inst, "Adreno"); // 512 MiB heap
+    Device dev = makeDevice(pd);
+    DeviceMemory a, b;
+    EXPECT_EQ(allocateMemory(dev, {400ull << 20, 0}, &a),
+              Result::Success);
+    EXPECT_EQ(allocateMemory(dev, {400ull << 20, 0}, &b),
+              Result::ErrorOutOfDeviceMemory);
+    // Freeing returns budget.
+    freeMemory(dev, a);
+    EXPECT_EQ(allocateMemory(dev, {400ull << 20, 0}, &b),
+              Result::Success);
+}
+
+TEST(VkmShader, RejectsMalformedModules)
+{
+    Instance inst = makeInstance();
+    Device dev = makeDevice(physByName(inst, "GTX1050Ti"));
+    ShaderModule mod;
+    EXPECT_EQ(createShaderModule(dev, {{}}, &mod),
+              Result::ErrorInvalidShader);
+    // Corrupt a valid module's code section (register out of range).
+    spirv::Module m = kernels::buildVecAdd();
+    m.regCount = 1;
+    EXPECT_EQ(createShaderModule(dev, {m.serialize()}, &mod),
+              Result::ErrorInvalidShader);
+    EXPECT_EQ(createShaderModule(
+                  dev, {kernels::buildVecAdd().serialize()}, &mod),
+              Result::Success);
+}
+
+TEST(VkmPipeline, LayoutMustCoverKernelResources)
+{
+    Instance inst = makeInstance();
+    Device dev = makeDevice(physByName(inst, "GTX1050Ti"));
+    ShaderModule mod;
+    check(createShaderModule(dev, {kernels::buildVecAdd().serialize()},
+                             &mod),
+          "createShaderModule");
+
+    // Layout missing binding 2 and the push range.
+    DescriptorSetLayout dsl;
+    check(createDescriptorSetLayout(dev, {{{0}, {1}}}, &dsl),
+          "createDescriptorSetLayout");
+    PipelineLayout layout;
+    PipelineLayoutCreateInfo plci;
+    plci.setLayouts.push_back(dsl);
+    check(createPipelineLayout(dev, plci, &layout),
+          "createPipelineLayout");
+    Pipeline pipeline;
+    EXPECT_EQ(createComputePipeline(dev, {mod, layout}, &pipeline),
+              Result::ErrorValidation);
+}
+
+TEST(VkmPipeline, PushRangeLimitEnforcedPerDevice)
+{
+    Instance inst = makeInstance();
+    Device dev = makeDevice(physByName(inst, "RX560")); // 128 B limit
+    PipelineLayout layout;
+    PipelineLayoutCreateInfo plci;
+    plci.pushConstantRanges.push_back({0, 192});
+    EXPECT_EQ(createPipelineLayout(dev, plci, &layout),
+              Result::ErrorValidation);
+    plci.pushConstantRanges[0].size = 128;
+    EXPECT_EQ(createPipelineLayout(dev, plci, &layout), Result::Success);
+}
+
+TEST(VkmPipeline, DriverFailureSurfacesAsInitializationError)
+{
+    Instance inst = makeInstance();
+    Device dev = makeDevice(physByName(inst, "PowerVR"));
+    spirv::Module m = kernels::buildBackpropAdjustWeights();
+    ShaderModule mod;
+    check(createShaderModule(dev, {m.serialize()}, &mod),
+          "createShaderModule");
+    DescriptorSetLayout dsl;
+    check(createDescriptorSetLayout(dev, {{{0}, {1}, {2}}}, &dsl),
+          "createDescriptorSetLayout");
+    PipelineLayout layout;
+    PipelineLayoutCreateInfo plci;
+    plci.setLayouts.push_back(dsl);
+    plci.pushConstantRanges.push_back({0, 8});
+    check(createPipelineLayout(dev, plci, &layout),
+          "createPipelineLayout");
+    Pipeline pipeline;
+    EXPECT_EQ(createComputePipeline(dev, {mod, layout}, &pipeline),
+              Result::ErrorInitializationFailed);
+}
+
+TEST(VkmDescriptors, PoolExhaustionAndLayoutChecks)
+{
+    Instance inst = makeInstance();
+    Device dev = makeDevice(physByName(inst, "GTX1050Ti"));
+    DescriptorSetLayout dsl;
+    check(createDescriptorSetLayout(dev, {{{0}}}, &dsl),
+          "createDescriptorSetLayout");
+    DescriptorPool pool;
+    check(createDescriptorPool(dev, {2}, &pool), "createDescriptorPool");
+    DescriptorSet s1, s2, s3;
+    EXPECT_EQ(allocateDescriptorSet(dev, pool, dsl, &s1),
+              Result::Success);
+    EXPECT_EQ(allocateDescriptorSet(dev, pool, dsl, &s2),
+              Result::Success);
+    EXPECT_EQ(allocateDescriptorSet(dev, pool, dsl, &s3),
+              Result::ErrorValidation);
+}
+
+/** Full Listing-1 style round trip, parameterised over every device. */
+class VkmEndToEnd : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(VkmEndToEnd, VectorAddOnEveryDevice)
+{
+    Instance inst = makeInstance();
+    auto pd = enumeratePhysicalDevices(inst)[GetParam()];
+    Device dev = makeDevice(pd);
+    Queue queue = getDeviceQueue(dev, 0, 0);
+
+    const uint32_t n = 2048;
+    auto props = getPhysicalDeviceMemoryProperties(pd);
+    auto make_host_buffer = [&](Buffer *buf) {
+        check(createBuffer(dev, {n * 4, BufferUsageStorage}, buf),
+              "createBuffer");
+        auto reqs = getBufferMemoryRequirements(dev, *buf);
+        uint32_t type = findMemoryType(
+            props, reqs.memoryTypeBits,
+            MemoryHostVisible | MemoryHostCoherent);
+        ASSERT_NE(type, UINT32_MAX);
+        DeviceMemory mem;
+        check(allocateMemory(dev, {reqs.size, type}, &mem),
+              "allocateMemory");
+        check(bindBufferMemory(dev, *buf, mem, 0), "bindBufferMemory");
+    };
+    Buffer x, y, z;
+    make_host_buffer(&x);
+    make_host_buffer(&y);
+    make_host_buffer(&z);
+
+    auto fill = [&](Buffer buf, float base) {
+        void *ptr = nullptr;
+        check(mapMemory(dev, bufferMemory(buf), 0, n * 4, &ptr),
+              "mapMemory");
+        float *f = static_cast<float *>(ptr);
+        for (uint32_t i = 0; i < n; ++i)
+            f[i] = base + i;
+        unmapMemory(dev, bufferMemory(buf));
+    };
+    fill(x, 1.0f);
+    fill(y, 1000.0f);
+
+    ShaderModule mod;
+    check(createShaderModule(dev, {kernels::buildVecAdd().serialize()},
+                             &mod),
+          "createShaderModule");
+    DescriptorSetLayout dsl;
+    check(createDescriptorSetLayout(dev, {{{0}, {1}, {2}}}, &dsl),
+          "createDescriptorSetLayout");
+    PipelineLayout layout;
+    PipelineLayoutCreateInfo plci;
+    plci.setLayouts.push_back(dsl);
+    plci.pushConstantRanges.push_back({0, 4});
+    check(createPipelineLayout(dev, plci, &layout),
+          "createPipelineLayout");
+    Pipeline pipeline;
+    check(createComputePipeline(dev, {mod, layout}, &pipeline),
+          "createComputePipeline");
+
+    DescriptorPool pool;
+    check(createDescriptorPool(dev, {4}, &pool), "createDescriptorPool");
+    DescriptorSet set;
+    check(allocateDescriptorSet(dev, pool, dsl, &set),
+          "allocateDescriptorSet");
+    updateDescriptorSets(dev, {{set, 0, x}, {set, 1, y}, {set, 2, z}});
+
+    CommandPool cmd_pool;
+    check(createCommandPool(dev, {0}, &cmd_pool), "createCommandPool");
+    CommandBuffer cb;
+    check(allocateCommandBuffer(dev, cmd_pool, &cb),
+          "allocateCommandBuffer");
+    check(beginCommandBuffer(cb), "begin");
+    cmdBindPipeline(cb, pipeline);
+    cmdBindDescriptorSet(cb, layout, 0, set);
+    cmdPushConstants(cb, layout, 0, 4, &n);
+    cmdDispatch(cb, (uint32_t)ceilDiv(n, 256), 1, 1);
+    check(endCommandBuffer(cb), "end");
+
+    Fence fence;
+    check(createFence(dev, &fence), "createFence");
+    double t0 = hostNowNs(dev);
+    SubmitInfo si;
+    si.commandBuffers.push_back(cb);
+    check(queueSubmit(queue, {si}, fence), "queueSubmit");
+    check(waitForFences(dev, {fence}), "waitForFences");
+    EXPECT_GT(hostNowNs(dev), t0);
+
+    void *ptr = nullptr;
+    check(mapMemory(dev, bufferMemory(z), 0, n * 4, &ptr), "mapMemory");
+    const float *out = static_cast<const float *>(ptr);
+    for (uint32_t i = 0; i < n; ++i)
+        ASSERT_FLOAT_EQ(out[i], 1001.0f + 2.0f * i) << i;
+    unmapMemory(dev, bufferMemory(z));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDevices, VkmEndToEnd,
+                         ::testing::Range(0, 4));
+
+TEST(VkmCommands, StateMachineValidation)
+{
+    Instance inst = makeInstance();
+    Device dev = makeDevice(physByName(inst, "GTX1050Ti"));
+    CommandPool pool;
+    check(createCommandPool(dev, {0}, &pool), "createCommandPool");
+    CommandBuffer cb;
+    check(allocateCommandBuffer(dev, pool, &cb),
+          "allocateCommandBuffer");
+    check(beginCommandBuffer(cb), "begin");
+    EXPECT_EQ(beginCommandBuffer(cb), Result::ErrorValidation);
+    check(endCommandBuffer(cb), "end");
+    EXPECT_EQ(endCommandBuffer(cb), Result::ErrorValidation);
+
+    // Submitting an unrecorded buffer is a validation error.
+    CommandBuffer fresh;
+    check(allocateCommandBuffer(dev, pool, &fresh),
+          "allocateCommandBuffer");
+    Queue queue = getDeviceQueue(dev, 0, 0);
+    SubmitInfo si;
+    si.commandBuffers.push_back(fresh);
+    EXPECT_EQ(queueSubmit(queue, {si}, Fence()),
+              Result::ErrorValidation);
+}
+
+TEST(VkmCommands, DispatchWithoutPipelineFailsAtSubmit)
+{
+    Instance inst = makeInstance();
+    Device dev = makeDevice(physByName(inst, "GTX1050Ti"));
+    CommandPool pool;
+    check(createCommandPool(dev, {0}, &pool), "createCommandPool");
+    CommandBuffer cb;
+    check(allocateCommandBuffer(dev, pool, &cb),
+          "allocateCommandBuffer");
+    check(beginCommandBuffer(cb), "begin");
+    cmdDispatch(cb, 1, 1, 1);
+    check(endCommandBuffer(cb), "end");
+    Queue queue = getDeviceQueue(dev, 0, 0);
+    SubmitInfo si;
+    si.commandBuffers.push_back(cb);
+    EXPECT_EQ(queueSubmit(queue, {si}, Fence()),
+              Result::ErrorValidation);
+}
+
+TEST(VkmSync, FenceLifecycle)
+{
+    Instance inst = makeInstance();
+    Device dev = makeDevice(physByName(inst, "GTX1050Ti"));
+    Fence fence;
+    check(createFence(dev, &fence), "createFence");
+    // Waiting on a never-submitted fence is an error.
+    EXPECT_EQ(waitForFences(dev, {fence}), Result::ErrorValidation);
+    bool signaled = true;
+    check(getFenceStatus(dev, fence, &signaled), "getFenceStatus");
+    EXPECT_FALSE(signaled);
+}
+
+TEST(VkmSync, TimestampsOrderWithinCommandBuffer)
+{
+    Instance inst = makeInstance();
+    auto pd = physByName(inst, "GTX1050Ti");
+    Device dev = makeDevice(pd);
+    Queue queue = getDeviceQueue(dev, 0, 0);
+    QueryPool qp;
+    check(createQueryPool(dev, {2}, &qp), "createQueryPool");
+
+    CommandPool pool;
+    check(createCommandPool(dev, {0}, &pool), "createCommandPool");
+    CommandBuffer cb;
+    check(allocateCommandBuffer(dev, pool, &cb),
+          "allocateCommandBuffer");
+
+    Buffer buf;
+    check(createBuffer(
+              dev, {4096, BufferUsageStorage | BufferUsageTransferDst},
+              &buf),
+          "createBuffer");
+    auto reqs = getBufferMemoryRequirements(dev, buf);
+    DeviceMemory mem;
+    check(allocateMemory(dev, {reqs.size, 0}, &mem), "allocateMemory");
+    check(bindBufferMemory(dev, buf, mem, 0), "bindBufferMemory");
+
+    check(beginCommandBuffer(cb), "begin");
+    cmdWriteTimestamp(cb, qp, 0);
+    cmdFillBuffer(cb, buf, 0, 4096, 7);
+    cmdWriteTimestamp(cb, qp, 1);
+    check(endCommandBuffer(cb), "end");
+
+    std::vector<double> results;
+    EXPECT_EQ(getQueryPoolResults(dev, qp, 0, 2, &results),
+              Result::NotReady);
+
+    Fence fence;
+    check(createFence(dev, &fence), "createFence");
+    SubmitInfo si;
+    si.commandBuffers.push_back(cb);
+    check(queueSubmit(queue, {si}, fence), "queueSubmit");
+    check(waitForFences(dev, {fence}), "waitForFences");
+
+    check(getQueryPoolResults(dev, qp, 0, 2, &results),
+          "getQueryPoolResults");
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_GT(results[1], results[0]);
+}
+
+TEST(VkmSync, SemaphoresChainAcrossQueues)
+{
+    Instance inst = makeInstance();
+    auto pd = physByName(inst, "GTX1050Ti");
+    Device dev = makeDevice(pd);
+    Queue q0 = getDeviceQueue(dev, 0, 0);
+    Queue q1 = getDeviceQueue(dev, 1, 0);
+
+    Buffer a, c;
+    for (Buffer *b : {&a, &c}) {
+        check(createBuffer(dev,
+                           {4096, BufferUsageStorage |
+                                      BufferUsageTransferSrc |
+                                      BufferUsageTransferDst},
+                           b),
+              "createBuffer");
+        auto reqs = getBufferMemoryRequirements(dev, *b);
+        DeviceMemory mem;
+        check(allocateMemory(dev, {reqs.size, 0}, &mem),
+              "allocateMemory");
+        check(bindBufferMemory(dev, *b, mem, 0), "bindBufferMemory");
+    }
+
+    CommandPool pool;
+    check(createCommandPool(dev, {0}, &pool), "createCommandPool");
+    CommandBuffer fill_cb, copy_cb;
+    check(allocateCommandBuffer(dev, pool, &fill_cb), "alloc");
+    check(allocateCommandBuffer(dev, pool, &copy_cb), "alloc");
+    check(beginCommandBuffer(fill_cb), "begin");
+    cmdFillBuffer(fill_cb, a, 0, 4096, 9);
+    check(endCommandBuffer(fill_cb), "end");
+    check(beginCommandBuffer(copy_cb), "begin");
+    cmdCopyBuffer(copy_cb, a, c, {0, 0, 4096});
+    check(endCommandBuffer(copy_cb), "end");
+
+    Semaphore sem;
+    check(createSemaphore(dev, &sem), "createSemaphore");
+    Fence fence;
+    check(createFence(dev, &fence), "createFence");
+
+    SubmitInfo s0;
+    s0.commandBuffers.push_back(fill_cb);
+    s0.signalSemaphores.push_back(sem);
+    check(queueSubmit(q0, {s0}, Fence()), "queueSubmit");
+    SubmitInfo s1;
+    s1.waitSemaphores.push_back(sem);
+    s1.commandBuffers.push_back(copy_cb);
+    check(queueSubmit(q1, {s1}, fence), "queueSubmit");
+    check(waitForFences(dev, {fence}), "waitForFences");
+    check(deviceWaitIdle(dev), "deviceWaitIdle");
+    SUCCEED();
+}
+
+} // namespace
+} // namespace vcb::vkm
