@@ -29,7 +29,7 @@ namespace {
 
 /** A compute pass: several nn_euclid dispatches over n records. */
 void
-recordComputePass(VkContext &ctx, VkKernel &k, vkm::CommandBuffer cb,
+recordComputePass(VkKernel &k, vkm::CommandBuffer cb,
                   vkm::DescriptorSet set, uint32_t n, uint32_t repeats)
 {
     vkm::check(vkm::beginCommandBuffer(cb), "beginCommandBuffer");
@@ -68,7 +68,7 @@ transferQueuePart(const sim::DeviceSpec &dev, bool use_transfer_queue)
     vkm::check(vkm::allocateCommandBuffer(ctx.device, ctx.cmdPool,
                                           &compute_cb),
                "allocateCommandBuffer");
-    recordComputePass(ctx, k, compute_cb, set, n, 8);
+    recordComputePass(k, compute_cb, set, n, 8);
 
     // The big copy, recorded separately.
     vkm::CommandPool copy_pool;
@@ -135,7 +135,7 @@ multiQueuePart(const sim::DeviceSpec &dev, uint32_t queues)
         vkm::check(vkm::allocateCommandBuffer(ctx.device, ctx.cmdPool,
                                               &cb),
                    "allocateCommandBuffer");
-        recordComputePass(ctx, k, cb, set, n, 4);
+        recordComputePass(k, cb, set, n, 4);
         cbs.push_back(cb);
         vkm::Fence f;
         vkm::check(vkm::createFence(ctx.device, &f), "createFence");

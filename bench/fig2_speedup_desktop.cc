@@ -12,16 +12,34 @@
  */
 
 #include <cstdio>
+#include <cstring>
 
 #include "harness/figures.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vcb;
+    // --dry-run shrinks every size configuration so CI can smoke-test
+    // the figure path; numbers are then NOT comparable to the paper.
+    bool dry_run = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--dry-run") == 0) {
+            dry_run = true;
+        } else {
+            std::fprintf(stderr, "usage: %s [--dry-run]\n", argv[0]);
+            return 1;
+        }
+    }
+    const uint64_t scale = dry_run ? 64 : 1;
+    if (dry_run)
+        std::printf("(dry run: sizes / %llu, figures not "
+                    "paper-comparable)\n",
+                    (unsigned long long)scale);
     for (const sim::DeviceSpec *dev :
          {&sim::gtx1050ti(), &sim::rx560()}) {
-        harness::FigureData fig = harness::runSpeedupFigure(*dev, false);
+        harness::FigureData fig =
+            harness::runSpeedupFigure(*dev, false, scale);
         std::printf("%s\n", harness::formatSpeedupFigure(fig).c_str());
         if (!fig.allValidated())
             std::printf("WARNING: some runs failed validation!\n");

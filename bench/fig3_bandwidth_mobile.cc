@@ -12,21 +12,36 @@
  */
 
 #include <cstdio>
+#include <cstring>
 
 #include "common/logging.h"
 #include "harness/report.h"
 #include "suite/bandwidth.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace vcb;
+    // --dry-run: tiny sweep so CI can smoke-test the figure path;
+    // numbers are then NOT comparable to the paper.
+    bool dry_run = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--dry-run") == 0) {
+            dry_run = true;
+        } else {
+            std::fprintf(stderr, "usage: %s [--dry-run]\n", argv[0]);
+            return 1;
+        }
+    }
     const std::vector<uint32_t> strides = {1, 2, 4, 6, 8, 10, 12, 14,
                                            16};
     suite::BandwidthConfig cfg;
-    cfg.threads = 4096;
-    cfg.rounds = 32;
-    cfg.repeats = 3;
+    cfg.threads = dry_run ? 1024 : 4096;
+    cfg.rounds = dry_run ? 8 : 32;
+    cfg.repeats = dry_run ? 1 : 3;
+    if (dry_run)
+        std::printf("(dry run: reduced sizes, figures not "
+                    "paper-comparable)\n");
 
     for (const sim::DeviceSpec *dev :
          {&sim::powervrG6430(), &sim::adreno506()}) {

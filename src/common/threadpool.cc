@@ -2,10 +2,31 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
 
 #include "common/logging.h"
 
 namespace vcb {
+
+namespace {
+
+/** Run one work item; any escaping exception is a simulator bug.
+ *  Without this, a throw on the calling thread would propagate (and on
+ *  a worker thread std::terminate) — panic keeps the documented
+ *  contract on both paths. */
+void
+runItem(const std::function<void(uint64_t)> &fn, uint64_t i)
+{
+    try {
+        fn(i);
+    } catch (const std::exception &e) {
+        panic("exception escaped a ThreadPool work item: %s", e.what());
+    } catch (...) {
+        panic("unknown exception escaped a ThreadPool work item");
+    }
+}
+
+} // namespace
 
 ThreadPool::ThreadPool(unsigned workers)
 {
@@ -46,7 +67,7 @@ ThreadPool::runJob(Job &job)
             break;
         uint64_t end = std::min(begin + job.chunk, job.count);
         for (uint64_t i = begin; i < end; ++i)
-            (*job.fn)(i);
+            runItem(*job.fn, i);
         job.done.fetch_add(end - begin);
     }
 }
@@ -81,7 +102,7 @@ ThreadPool::parallelFor(uint64_t count,
     // Small counts: run inline, skip synchronization entirely.
     if (count <= 2 || threads.empty()) {
         for (uint64_t i = 0; i < count; ++i)
-            fn(i);
+            runItem(fn, i);
         return;
     }
 

@@ -20,6 +20,9 @@
 #define VCB_KERNELS_KERNELS_H
 
 #include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "spirv/module.h"
 
@@ -220,6 +223,24 @@ spirv::Module buildNwBlock();
  * Push: [0]=cols, [1]=row.  Local size 256.
  */
 spirv::Module buildPathfinderRow();
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/** Builder signature shared by every kernel above. */
+using BuildFn = spirv::Module (*)();
+
+/**
+ * Entry-point name → builder for every kernel in this library, in
+ * header order.  vcb_disasm, the golden-reference coverage test and
+ * future tools share this single table; keep it in sync when adding a
+ * kernel.
+ */
+const std::vector<std::pair<std::string, BuildFn>> &kernelRegistry();
+
+/** Build a kernel by entry-point name; fatal when unknown. */
+spirv::Module buildByName(const std::string &name);
 
 } // namespace vcb::kernels
 

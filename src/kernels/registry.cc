@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The kernel registry: one table mapping entry-point names to their
+ * builders, shared by vcb_disasm, the golden-reference coverage test
+ * and anything else that needs "all kernels" without hard-coding the
+ * list.
+ */
+
+#include "kernels/kernels.h"
+
+#include "common/logging.h"
+
+namespace vcb::kernels {
+
+const std::vector<std::pair<std::string, BuildFn>> &
+kernelRegistry()
+{
+    static const std::vector<std::pair<std::string, BuildFn>> table = {
+        {"vectorAdd", buildVecAdd},
+        {"stridedRead", buildStridedRead},
+        {"backprop_layerforward", buildBackpropLayerForward},
+        {"backprop_adjust_weights", buildBackpropAdjustWeights},
+        {"bfs_kernel1", buildBfsKernel1},
+        {"bfs_kernel2", buildBfsKernel2},
+        {"cfd_compute_step_factor", buildCfdStepFactor},
+        {"cfd_compute_flux", buildCfdComputeFlux},
+        {"cfd_time_step", buildCfdTimeStep},
+        {"gaussian_fan1", buildGaussianFan1},
+        {"gaussian_fan2", buildGaussianFan2},
+        {"hotspot_step", buildHotspotStep},
+        {"lud_diagonal", buildLudDiagonal},
+        {"lud_perimeter", buildLudPerimeter},
+        {"lud_internal", buildLudInternal},
+        {"nn_euclid", buildNnEuclid},
+        {"nw_block", buildNwBlock},
+        {"pathfinder_row", buildPathfinderRow},
+    };
+    return table;
+}
+
+spirv::Module
+buildByName(const std::string &name)
+{
+    for (const auto &[k, fn] : kernelRegistry())
+        if (k == name)
+            return fn();
+    fatal("unknown kernel '%s'", name.c_str());
+}
+
+} // namespace vcb::kernels

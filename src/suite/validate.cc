@@ -2,8 +2,16 @@
 
 #include <cmath>
 
+#include <algorithm>
+#include <bit>
+
 #include "common/logging.h"
+#include "common/mathutil.h"
+#include "common/rng.h"
 #include "common/strutil.h"
+#include "kernels/kernels.h"
+#include "sim/engine.h"
+#include "sim/kernel.h"
 
 namespace vcb::suite {
 
@@ -45,6 +53,679 @@ compareInts(const std::vector<int32_t> &got,
                              expect[i]);
     }
     return "";
+}
+
+// ---------------------------------------------------------------------------
+// Golden-reference scenarios.
+//
+// Each builder below synthesises a deterministic seeded workload,
+// computes a from-scratch CPU reference mirroring the kernel's
+// documented arithmetic (same operation order, so float results stay
+// within a tight tolerance of the interpreter), and schedules the
+// host-driven dispatch sequence the real benchmark would issue.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using spirv::ElemType;
+
+uint32_t
+fbits(float v)
+{
+    return std::bit_cast<uint32_t>(v);
+}
+
+std::vector<uint32_t>
+wordsOf(const std::vector<float> &v)
+{
+    std::vector<uint32_t> w(v.size());
+    for (size_t i = 0; i < v.size(); ++i)
+        w[i] = std::bit_cast<uint32_t>(v[i]);
+    return w;
+}
+
+std::vector<uint32_t>
+wordsOf(const std::vector<int32_t> &v)
+{
+    std::vector<uint32_t> w(v.size());
+    for (size_t i = 0; i < v.size(); ++i)
+        w[i] = static_cast<uint32_t>(v[i]);
+    return w;
+}
+
+std::vector<float>
+floatsOf(const std::vector<uint32_t> &w)
+{
+    std::vector<float> v(w.size());
+    for (size_t i = 0; i < w.size(); ++i)
+        v[i] = std::bit_cast<float>(w[i]);
+    return v;
+}
+
+std::vector<int32_t>
+intsOf(const std::vector<uint32_t> &w)
+{
+    std::vector<int32_t> v(w.size());
+    for (size_t i = 0; i < w.size(); ++i)
+        v[i] = static_cast<int32_t>(w[i]);
+    return v;
+}
+
+GoldenStep
+makeStep(size_t module, uint32_t gx, uint32_t gy,
+         std::vector<uint32_t> push, std::vector<size_t> buffers)
+{
+    GoldenStep s;
+    s.module = module;
+    s.groups[0] = gx;
+    s.groups[1] = gy;
+    s.push = std::move(push);
+    s.buffers = std::move(buffers);
+    return s;
+}
+
+std::vector<float>
+randomFloats(Rng &rng, size_t n, float lo, float hi)
+{
+    std::vector<float> v(n);
+    for (auto &x : v)
+        x = rng.nextFloat(lo, hi);
+    return v;
+}
+
+GoldenScenario
+makeVecAddScenario()
+{
+    constexpr uint32_t n = 1000;
+    Rng rng(0x9001);
+    GoldenScenario s;
+    s.name = "vectorAdd";
+    s.modules = {kernels::buildVecAdd()};
+    auto x = randomFloats(rng, n, -100.0f, 100.0f);
+    auto y = randomFloats(rng, n, -100.0f, 100.0f);
+    s.buffers = {wordsOf(x), wordsOf(y),
+                 std::vector<uint32_t>(n, fbits(0.0f))};
+    s.steps = {makeStep(0, (uint32_t)ceilDiv(n, 256), 1, {n}, {0, 1, 2})};
+    std::vector<float> z(n);
+    for (uint32_t i = 0; i < n; ++i)
+        z[i] = x[i] + y[i];
+    s.checks = {{2, ElemType::F32, wordsOf(z), 1e-4, 1e-5}};
+    return s;
+}
+
+GoldenScenario
+makeStridedReadScenario()
+{
+    // rounds == window size (8), so every lane reads each of its 8
+    // window cells exactly once.
+    constexpr uint32_t threads = 512, stride = 3, rounds = 8;
+    constexpr float sentinel = 123456789.0f; // the kernel's guard value
+    Rng rng(0x9002);
+    GoldenScenario s;
+    s.name = "stridedRead";
+    s.modules = {kernels::buildStridedRead()};
+    auto src = randomFloats(rng, size_t(8) * threads * stride, 0.0f, 1.0f);
+    // Plant the sentinel in lane 0's window: one cell holds it, the
+    // other seven are exactly zero, so a correct implementation sums
+    // to exactly the sentinel and takes the guarded store.  Any
+    // mis-addressed load (wrong stride, wrong row, wrong lane base)
+    // picks up a random cell instead and leaves the guard untouched.
+    for (uint32_t r = 0; r < 8; ++r)
+        src[size_t(r) * threads * stride] = r == 3 ? sentinel : 0.0f;
+    s.buffers = {wordsOf(src), {fbits(0.0f)}};
+    s.steps = {makeStep(0, threads / 256, 1, {stride, rounds, threads},
+                        {0, 1})};
+    s.checks = {{1, ElemType::F32, {fbits(sentinel)}, 0.0, 0.0}};
+    return s;
+}
+
+GoldenScenario
+makeBackpropLayerForwardScenario()
+{
+    constexpr uint32_t n = 100;
+    const uint32_t blocks = (uint32_t)ceilDiv(n, 16);
+    Rng rng(0x9003);
+    GoldenScenario s;
+    s.name = "backprop_layerforward";
+    s.modules = {kernels::buildBackpropLayerForward()};
+    auto input = randomFloats(rng, n, -1.0f, 1.0f);
+    auto weights = randomFloats(rng, size_t(n) * 16, -1.0f, 1.0f);
+    s.buffers = {wordsOf(input), wordsOf(weights),
+                 std::vector<uint32_t>(size_t(blocks) * 16, fbits(0.0f))};
+    s.steps = {makeStep(0, blocks, 1, {n}, {0, 1, 2})};
+
+    // Reference mirrors the kernel's shared-memory tree reduction so
+    // the partial sums match bit-for-bit in operation order.
+    std::vector<float> partial(size_t(blocks) * 16);
+    for (uint32_t blk = 0; blk < blocks; ++blk) {
+        for (uint32_t j = 0; j < 16; ++j) {
+            float p[16];
+            for (uint32_t i = 0; i < 16; ++i) {
+                uint32_t gi = blk * 16 + i;
+                p[i] = gi < n ? input[gi] * weights[size_t(gi) * 16 + j]
+                              : 0.0f;
+            }
+            for (uint32_t str = 8; str >= 1; str /= 2)
+                for (uint32_t i = 0; i < str; ++i)
+                    p[i] = p[i] + p[i + str];
+            partial[size_t(blk) * 16 + j] = p[0];
+        }
+    }
+    s.checks = {{2, ElemType::F32, wordsOf(partial), 1e-4, 1e-5}};
+    return s;
+}
+
+GoldenScenario
+makeBackpropAdjustWeightsScenario()
+{
+    constexpr uint32_t n = 200;
+    constexpr float lr = 0.3f;
+    Rng rng(0x9004);
+    GoldenScenario s;
+    s.name = "backprop_adjust_weights";
+    s.modules = {kernels::buildBackpropAdjustWeights()};
+    auto input = randomFloats(rng, n, -1.0f, 1.0f);
+    auto delta = randomFloats(rng, 16, -1.0f, 1.0f);
+    auto weights = randomFloats(rng, size_t(n) * 16, -1.0f, 1.0f);
+    s.buffers = {wordsOf(input), wordsOf(delta), wordsOf(weights)};
+    s.steps = {makeStep(0, (uint32_t)ceilDiv(size_t(n) * 16, 256), 1,
+                        {n, fbits(lr)}, {0, 1, 2})};
+
+    std::vector<float> expect = weights;
+    for (uint32_t gid = 0; gid < n * 16; ++gid) {
+        uint32_t i = gid / 16, j = gid % 16;
+        expect[gid] = std::fma(lr * delta[j], input[i], weights[gid]);
+    }
+    s.checks = {{2, ElemType::F32, wordsOf(expect), 1e-4, 1e-5}};
+    return s;
+}
+
+GoldenScenario
+makeBfsScenario()
+{
+    constexpr uint32_t n = 300;
+    Rng rng(0x9005);
+    GoldenScenario s;
+    s.name = "bfs";
+    s.modules = {kernels::buildBfsKernel1(), kernels::buildBfsKernel2()};
+
+    std::vector<int32_t> start(n), degree(n), edges;
+    for (uint32_t i = 0; i < n; ++i) {
+        start[i] = (int32_t)edges.size();
+        degree[i] = 1 + (int32_t)rng.nextBelow(4);
+        for (int32_t e = 0; e < degree[i]; ++e)
+            edges.push_back((int32_t)rng.nextBelow(n));
+    }
+
+    std::vector<int32_t> mask(n, 0), updating(n, 0), visited(n, 0);
+    std::vector<int32_t> cost(n, -1);
+    mask[0] = 1;
+    visited[0] = 1;
+    cost[0] = 0;
+
+    // CPU reference: plain frontier BFS over the same CSR graph.
+    std::vector<int32_t> dist(n, -1);
+    dist[0] = 0;
+    std::vector<uint32_t> frontier = {0};
+    int32_t levels = 0;
+    while (!frontier.empty()) {
+        std::vector<uint32_t> next;
+        for (uint32_t u : frontier) {
+            for (int32_t e = start[u]; e < start[u] + degree[u]; ++e) {
+                auto v = (uint32_t)edges[e];
+                if (dist[v] < 0) {
+                    dist[v] = dist[u] + 1;
+                    levels = dist[v];
+                    next.push_back(v);
+                }
+            }
+        }
+        frontier = std::move(next);
+    }
+
+    s.buffers = {wordsOf(start),   wordsOf(degree), wordsOf(edges),
+                 wordsOf(mask),    wordsOf(updating), wordsOf(visited),
+                 wordsOf(cost),    {0}};
+    // One extra host iteration drains the final frontier so the masks
+    // end empty (mirrors Rodinia's do/while on the stop flag).
+    const uint32_t groups = (uint32_t)ceilDiv(n, 256);
+    for (int32_t it = 0; it < levels + 1; ++it) {
+        s.steps.push_back(
+            makeStep(0, groups, 1, {n}, {0, 1, 2, 3, 4, 5, 6}));
+        s.steps.push_back(makeStep(1, groups, 1, {n}, {3, 4, 5, 7}));
+    }
+
+    std::vector<int32_t> visitedExpect(n);
+    for (uint32_t i = 0; i < n; ++i)
+        visitedExpect[i] = dist[i] >= 0 ? 1 : 0;
+    s.checks = {{6, ElemType::I32, wordsOf(dist)},
+                {5, ElemType::I32, wordsOf(visitedExpect)},
+                {3, ElemType::I32, wordsOf(std::vector<int32_t>(n, 0))},
+                {4, ElemType::I32, wordsOf(std::vector<int32_t>(n, 0))}};
+    return s;
+}
+
+GoldenScenario
+makeCfdScenario()
+{
+    constexpr uint32_t n = 192, rowLen = 16;
+    constexpr float fluxCoeff = 0.12f;
+    Rng rng(0x9006);
+    GoldenScenario s;
+    s.name = "cfd";
+    s.modules = {kernels::buildCfdStepFactor(),
+                 kernels::buildCfdComputeFlux(),
+                 kernels::buildCfdTimeStep()};
+
+    std::vector<float> vars(size_t(n) * 5);
+    for (uint32_t i = 0; i < n; ++i) {
+        vars[i] = rng.nextFloat(0.5f, 2.0f);                // rho
+        vars[n + i] = rng.nextFloat(-0.5f, 0.5f);           // mx
+        vars[2 * n + i] = rng.nextFloat(-0.5f, 0.5f);       // my
+        vars[3 * n + i] = rng.nextFloat(-0.5f, 0.5f);       // mz
+        vars[4 * n + i] = rng.nextFloat(1.0f, 3.0f);        // e
+    }
+    auto areas = randomFloats(rng, n, 0.5f, 2.0f);
+    std::vector<int32_t> nbr(size_t(n) * 4);
+    for (uint32_t i = 0; i < n; ++i) {
+        nbr[i] = i % rowLen > 0 ? (int32_t)(i - 1) : -1;
+        nbr[n + i] = i % rowLen < rowLen - 1 ? (int32_t)(i + 1) : -1;
+        nbr[2 * n + i] = i >= rowLen ? (int32_t)(i - rowLen) : -1;
+        nbr[3 * n + i] = i + rowLen < n ? (int32_t)(i + rowLen) : -1;
+    }
+    auto normals = randomFloats(rng, size_t(n) * 4, 0.1f, 2.0f);
+
+    s.buffers = {wordsOf(vars),
+                 wordsOf(areas),
+                 std::vector<uint32_t>(n, fbits(0.0f)),
+                 wordsOf(nbr),
+                 wordsOf(normals),
+                 std::vector<uint32_t>(size_t(n) * 5, fbits(0.0f))};
+
+    const uint32_t groups = (uint32_t)ceilDiv(n, 128);
+    const float rk[2] = {0.5f, 1.0f};
+    for (float f : rk) {
+        s.steps.push_back(makeStep(0, groups, 1, {n}, {0, 1, 2}));
+        s.steps.push_back(makeStep(1, groups, 1, {n}, {0, 3, 4, 5}));
+        s.steps.push_back(
+            makeStep(2, groups, 1, {n, fbits(f)}, {0, 2, 5}));
+    }
+
+    // CPU reference, mirroring the kernels' operation order exactly.
+    std::vector<float> v = vars, sf(n, 0.0f), flux(size_t(n) * 5, 0.0f);
+    for (float f : rk) {
+        for (uint32_t i = 0; i < n; ++i) {
+            float rho = v[i], mx = v[n + i], my = v[2 * n + i];
+            float mz = v[3 * n + i], e = v[4 * n + i];
+            float rhoSafe = std::fmax(rho, 1e-6f);
+            float m2 = std::fma(mx, mx, std::fma(my, my, mz * mz));
+            float v2 = m2 / (rhoSafe * rhoSafe);
+            float halfRhoV2 = 0.5f * (rhoSafe * v2);
+            float p = std::fmax(0.4f * (e - halfRhoV2), 1e-6f);
+            float c = std::sqrt((1.4f * p) / rhoSafe);
+            float speed = std::sqrt(v2);
+            float area = std::fmax(areas[i], 1e-6f);
+            float denom = std::sqrt(area) * (speed + c);
+            sf[i] = 0.5f / denom;
+        }
+        for (uint32_t i = 0; i < n; ++i) {
+            float centre[5], acc[5] = {0, 0, 0, 0, 0};
+            for (uint32_t k = 0; k < 5; ++k)
+                centre[k] = v[size_t(k) * n + i];
+            for (uint32_t nb = 0; nb < 4; ++nb) {
+                int32_t j = nbr[size_t(nb) * n + i];
+                if (j < 0)
+                    continue;
+                float w = normals[size_t(nb) * n + i];
+                float weight = (fluxCoeff * std::sqrt(w)) / (1.0f + w);
+                for (uint32_t k = 0; k < 5; ++k) {
+                    float other = v[size_t(k) * n + (uint32_t)j];
+                    acc[k] = std::fma(other - centre[k], weight, acc[k]);
+                }
+            }
+            for (uint32_t k = 0; k < 5; ++k)
+                flux[size_t(k) * n + i] = acc[k];
+        }
+        for (uint32_t i = 0; i < n; ++i) {
+            float factor = f * sf[i];
+            for (uint32_t k = 0; k < 5; ++k) {
+                size_t off = size_t(k) * n + i;
+                v[off] = std::fma(factor, flux[off], v[off]);
+            }
+        }
+    }
+    s.checks = {{0, ElemType::F32, wordsOf(v), 1e-4, 1e-5},
+                {2, ElemType::F32, wordsOf(sf), 1e-4, 1e-5},
+                {5, ElemType::F32, wordsOf(flux), 1e-4, 1e-5}};
+    return s;
+}
+
+GoldenScenario
+makeGaussianScenario()
+{
+    constexpr uint32_t n = 24;
+    Rng rng(0x9007);
+    GoldenScenario s;
+    s.name = "gaussian";
+    s.modules = {kernels::buildGaussianFan1(), kernels::buildGaussianFan2()};
+
+    auto a = randomFloats(rng, size_t(n) * n, -1.0f, 1.0f);
+    for (uint32_t i = 0; i < n; ++i)
+        a[size_t(i) * n + i] += (float)n; // diagonal dominance
+    auto bvec = randomFloats(rng, n, 0.0f, 10.0f);
+    s.buffers = {wordsOf(a),
+                 std::vector<uint32_t>(size_t(n) * n, fbits(0.0f)),
+                 wordsOf(bvec)};
+
+    for (uint32_t t = 0; t + 1 < n; ++t) {
+        uint32_t rows = n - 1 - t, cols = n - t;
+        s.steps.push_back(makeStep(
+            0, (uint32_t)ceilDiv(rows, 256), 1, {n, t}, {0, 1}));
+        s.steps.push_back(makeStep(
+            1, (uint32_t)ceilDiv(size_t(rows) * cols, 256), 1, {n, t},
+            {0, 1, 2}));
+    }
+
+    // CPU forward elimination, identical operation order.
+    std::vector<float> ra = a, rm(size_t(n) * n, 0.0f), rb = bvec;
+    for (uint32_t t = 0; t + 1 < n; ++t) {
+        float pivot = ra[size_t(t) * n + t];
+        for (uint32_t row = t + 1; row < n; ++row)
+            rm[size_t(row) * n + t] = ra[size_t(row) * n + t] / pivot;
+        for (uint32_t row = t + 1; row < n; ++row) {
+            float mult = rm[size_t(row) * n + t];
+            for (uint32_t col = t; col < n; ++col)
+                ra[size_t(row) * n + col] -=
+                    mult * ra[size_t(t) * n + col];
+            rb[row] -= mult * rb[t];
+        }
+    }
+    s.checks = {{0, ElemType::F32, wordsOf(ra), 1e-4, 1e-5},
+                {1, ElemType::F32, wordsOf(rm), 1e-4, 1e-5},
+                {2, ElemType::F32, wordsOf(rb), 1e-4, 1e-5}};
+    return s;
+}
+
+GoldenScenario
+makeHotspotScenario()
+{
+    constexpr uint32_t g = 64;
+    constexpr float cc = 0.05f, rxInv = 0.1f, ryInv = 0.1f,
+                    rzInv = 0.003f, amb = 80.0f;
+    Rng rng(0x9008);
+    GoldenScenario s;
+    s.name = "hotspot";
+    s.modules = {kernels::buildHotspotStep()};
+    auto tIn = randomFloats(rng, size_t(g) * g, 40.0f, 90.0f);
+    auto power = randomFloats(rng, size_t(g) * g, 0.0f, 0.5f);
+    s.buffers = {wordsOf(tIn), wordsOf(power),
+                 std::vector<uint32_t>(size_t(g) * g, fbits(0.0f))};
+    s.steps = {makeStep(0, g / 16, g / 16,
+                        {g, fbits(cc), fbits(rxInv), fbits(ryInv),
+                         fbits(rzInv), fbits(amb)},
+                        {0, 1, 2})};
+
+    auto at = [&](int32_t r, int32_t c) {
+        r = std::clamp(r, 0, (int32_t)g - 1);
+        c = std::clamp(c, 0, (int32_t)g - 1);
+        return tIn[size_t(r) * g + c];
+    };
+    std::vector<float> tOut(size_t(g) * g);
+    for (int32_t r = 0; r < (int32_t)g; ++r) {
+        for (int32_t c = 0; c < (int32_t)g; ++c) {
+            float centre = at(r, c);
+            float vert = (at(r - 1, c) + at(r + 1, c)) - 2.0f * centre;
+            float horiz = (at(r, c + 1) + at(r, c - 1)) - 2.0f * centre;
+            float sink = amb - centre;
+            float delta = power[size_t(r) * g + c] + vert * ryInv;
+            delta = delta + horiz * rxInv;
+            delta = delta + sink * rzInv;
+            tOut[size_t(r) * g + c] = std::fma(cc, delta, centre);
+        }
+    }
+    s.checks = {{2, ElemType::F32, wordsOf(tOut), 1e-4, 1e-5}};
+    return s;
+}
+
+GoldenScenario
+makeLudScenario()
+{
+    constexpr uint32_t n = 48, nb = n / 16;
+    Rng rng(0x9009);
+    GoldenScenario s;
+    s.name = "lud";
+    s.modules = {kernels::buildLudDiagonal(), kernels::buildLudPerimeter(),
+                 kernels::buildLudInternal()};
+    auto a = randomFloats(rng, size_t(n) * n, -1.0f, 1.0f);
+    for (uint32_t i = 0; i < n; ++i)
+        a[size_t(i) * n + i] += 2.0f * n; // well-conditioned
+    s.buffers = {wordsOf(a)};
+
+    for (uint32_t t = 0; t < nb; ++t) {
+        s.steps.push_back(makeStep(0, 1, 1, {n, t}, {0}));
+        uint32_t rem = nb - 1 - t;
+        if (rem == 0)
+            continue;
+        s.steps.push_back(makeStep(1, 2 * rem, 1, {n, t, rem}, {0}));
+        s.steps.push_back(makeStep(2, rem, rem, {n, t}, {0}));
+    }
+
+    // From-scratch reference: unblocked in-place Doolittle LU.  The
+    // blocked kernels compute the same factorisation with a different
+    // summation order, hence the tolerance comparison.
+    std::vector<float> lu = a;
+    for (uint32_t k = 0; k < n; ++k) {
+        for (uint32_t i = k + 1; i < n; ++i) {
+            lu[size_t(i) * n + k] /= lu[size_t(k) * n + k];
+            float lik = lu[size_t(i) * n + k];
+            for (uint32_t j = k + 1; j < n; ++j)
+                lu[size_t(i) * n + j] -= lik * lu[size_t(k) * n + j];
+        }
+    }
+    s.checks = {{0, ElemType::F32, wordsOf(lu), 1e-4, 1e-5}};
+    return s;
+}
+
+GoldenScenario
+makeNnScenario()
+{
+    constexpr uint32_t n = 500;
+    constexpr float qLat = 30.0f, qLng = 90.0f;
+    Rng rng(0x900a);
+    GoldenScenario s;
+    s.name = "nn";
+    s.modules = {kernels::buildNnEuclid()};
+    auto lat = randomFloats(rng, n, 0.0f, 90.0f);
+    auto lng = randomFloats(rng, n, 0.0f, 180.0f);
+    s.buffers = {wordsOf(lat), wordsOf(lng),
+                 std::vector<uint32_t>(n, fbits(0.0f))};
+    s.steps = {makeStep(0, (uint32_t)ceilDiv(n, 256), 1,
+                        {n, fbits(qLat), fbits(qLng)}, {0, 1, 2})};
+
+    std::vector<float> dist(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        float dlat = lat[i] - qLat, dlng = lng[i] - qLng;
+        dist[i] = std::sqrt(std::fma(dlat, dlat, dlng * dlng));
+    }
+    s.checks = {{2, ElemType::F32, wordsOf(dist), 1e-4, 1e-5}};
+    return s;
+}
+
+GoldenScenario
+makeNwScenario()
+{
+    constexpr uint32_t n = 64, nb = n / kernels::nwBlockSize;
+    constexpr int32_t penalty = 10;
+    const uint32_t nn1 = n + 1;
+    Rng rng(0x900b);
+    GoldenScenario s;
+    s.name = "nw";
+    s.modules = {kernels::buildNwBlock()};
+
+    std::vector<int32_t> items(size_t(nn1) * nn1, 0);
+    std::vector<int32_t> ref(size_t(nn1) * nn1, 0);
+    for (uint32_t i = 1; i < nn1; ++i) {
+        items[size_t(i) * nn1] = -(int32_t)i * penalty;
+        items[i] = -(int32_t)i * penalty;
+        for (uint32_t j = 1; j < nn1; ++j)
+            ref[size_t(i) * nn1 + j] = (int32_t)rng.nextBelow(10);
+    }
+    s.buffers = {wordsOf(items), wordsOf(ref)};
+
+    for (uint32_t sdiag = 0; sdiag < 2 * nb - 1; ++sdiag) {
+        uint32_t xStart = sdiag >= nb ? sdiag - nb + 1 : 0;
+        uint32_t xEnd = std::min(sdiag, nb - 1);
+        s.steps.push_back(makeStep(
+            0, xEnd - xStart + 1, 1,
+            {n, sdiag, xStart, (uint32_t)penalty}, {0, 1}));
+    }
+
+    std::vector<int32_t> expect = items;
+    for (uint32_t i = 1; i < nn1; ++i)
+        for (uint32_t j = 1; j < nn1; ++j)
+            expect[size_t(i) * nn1 + j] = std::max(
+                expect[size_t(i - 1) * nn1 + (j - 1)] +
+                    ref[size_t(i) * nn1 + j],
+                std::max(expect[size_t(i - 1) * nn1 + j] - penalty,
+                         expect[size_t(i) * nn1 + (j - 1)] - penalty));
+    s.checks = {{0, ElemType::I32, wordsOf(expect)}};
+    return s;
+}
+
+GoldenScenario
+makePathfinderScenario()
+{
+    constexpr uint32_t cols = 700, rows = 6;
+    Rng rng(0x900c);
+    GoldenScenario s;
+    s.name = "pathfinder";
+    s.modules = {kernels::buildPathfinderRow()};
+
+    std::vector<int32_t> data(size_t(rows) * cols);
+    for (auto &x : data)
+        x = (int32_t)rng.nextBelow(10);
+    std::vector<int32_t> rowA(data.begin(), data.begin() + cols);
+    s.buffers = {wordsOf(data), wordsOf(rowA),
+                 std::vector<uint32_t>(cols, 0)};
+
+    const uint32_t groups = (uint32_t)ceilDiv(cols, 256);
+    for (uint32_t row = 1; row < rows; ++row) {
+        bool ping = row % 2 == 1; // odd rows read rowA, write rowB
+        s.steps.push_back(makeStep(0, groups, 1, {cols, row},
+                                   ping ? std::vector<size_t>{0, 1, 2}
+                                        : std::vector<size_t>{0, 2, 1}));
+    }
+
+    // DP reference; rows-1 = 5 steps leave the final row in rowB (2)
+    // and the penultimate row in rowA (1).
+    std::vector<int32_t> dp(rowA.begin(), rowA.end()), prev;
+    for (uint32_t row = 1; row < rows; ++row) {
+        prev = dp;
+        for (uint32_t j = 0; j < cols; ++j) {
+            int32_t left = prev[j > 0 ? j - 1 : 0];
+            int32_t right = prev[j + 1 < cols ? j + 1 : cols - 1];
+            dp[j] = data[size_t(row) * cols + j] +
+                    std::min(std::min(left, prev[j]), right);
+        }
+        if (row == rows - 2)
+            rowA = dp;
+    }
+    s.checks = {{2, ElemType::I32, wordsOf(dp)},
+                {1, ElemType::I32, wordsOf(rowA)}};
+    return s;
+}
+
+} // namespace
+
+const std::vector<GoldenScenario> &
+goldenScenarios()
+{
+    static const std::vector<GoldenScenario> scenarios = {
+        makeVecAddScenario(),
+        makeStridedReadScenario(),
+        makeBackpropLayerForwardScenario(),
+        makeBackpropAdjustWeightsScenario(),
+        makeBfsScenario(),
+        makeCfdScenario(),
+        makeGaussianScenario(),
+        makeHotspotScenario(),
+        makeLudScenario(),
+        makeNnScenario(),
+        makeNwScenario(),
+        makePathfinderScenario(),
+    };
+    return scenarios;
+}
+
+const GoldenScenario &
+goldenScenarioByName(const std::string &name)
+{
+    for (const auto &s : goldenScenarios())
+        if (s.name == name)
+            return s;
+    fatal("no golden scenario named '%s'", name.c_str());
+}
+
+GoldenOutcome
+runGoldenScenario(const GoldenScenario &s, const sim::DeviceSpec &dev,
+                  sim::Api api)
+{
+    GoldenOutcome out;
+    if (!dev.profile(api).available) {
+        out.skipReason =
+            strprintf("%s not available on %s", sim::apiName(api),
+                      dev.name.c_str());
+        return out;
+    }
+
+    std::vector<std::unique_ptr<sim::CompiledKernel>> compiled;
+    for (const auto &m : s.modules) {
+        std::string err;
+        auto k = sim::compileKernel(m, dev, api, &err);
+        if (!k) {
+            out.skipReason = m.name + ": " + err;
+            return out;
+        }
+        compiled.push_back(std::move(k));
+    }
+
+    auto work = s.buffers;
+    sim::ExecutionEngine engine(dev);
+    for (const auto &step : s.steps) {
+        VCB_ASSERT(step.module < compiled.size(),
+                   "step module %zu out of range", step.module);
+        sim::DispatchContext ctx;
+        ctx.kernel = compiled[step.module].get();
+        for (int d = 0; d < 3; ++d)
+            ctx.groups[d] = step.groups[d];
+        ctx.buffers.resize(step.buffers.size());
+        for (size_t b = 0; b < step.buffers.size(); ++b) {
+            VCB_ASSERT(step.buffers[b] < work.size(),
+                       "step buffer %zu out of range", step.buffers[b]);
+            auto &buf = work[step.buffers[b]];
+            ctx.buffers[b] = {buf.data(), buf.size()};
+        }
+        ctx.push = step.push.data();
+        ctx.pushWords = (uint32_t)step.push.size();
+        engine.dispatch(ctx);
+    }
+
+    out.ran = true;
+    for (const auto &chk : s.checks) {
+        VCB_ASSERT(chk.buffer < work.size(), "check buffer %zu",
+                   chk.buffer);
+        const auto &got = work[chk.buffer];
+        out.checkedBuffers.push_back(got);
+        std::string err =
+            chk.elem == ElemType::F32
+                ? compareFloats(floatsOf(got), floatsOf(chk.expect),
+                                chk.relTol, chk.absTol)
+                : compareInts(intsOf(got), intsOf(chk.expect));
+        if (!err.empty() && out.error.empty())
+            out.error = strprintf("buffer %zu: %s", chk.buffer,
+                                  err.c_str());
+    }
+    return out;
 }
 
 } // namespace vcb::suite

@@ -12,6 +12,9 @@
 #include <string>
 #include <vector>
 
+#include "sim/device.h"
+#include "spirv/module.h"
+
 namespace vcb::suite {
 
 /**
@@ -27,6 +30,92 @@ std::string compareFloats(const std::vector<float> &got,
 /** Exact element-wise integer comparison. */
 std::string compareInts(const std::vector<int32_t> &got,
                         const std::vector<int32_t> &expect);
+
+// ---------------------------------------------------------------------------
+// Golden-reference validation harness.
+//
+// A GoldenScenario is a deterministic, host-driven execution of one or
+// more suite kernels on seeded inputs, together with a from-scratch CPU
+// reference of the final buffer contents (the paper's Section-IV
+// methodology: every benchmark output is validated against a known-good
+// result).  Scenarios are replayed through the per-API driver-compile +
+// execution-engine path, so each of the simulated Vulkan / OpenCL /
+// CUDA backends can be checked against the reference and against each
+// other.
+// ---------------------------------------------------------------------------
+
+/** One dispatch of a scenario's schedule. */
+struct GoldenStep
+{
+    /** Index into GoldenScenario::modules. */
+    size_t module = 0;
+    /** Workgroup grid. */
+    uint32_t groups[3] = {1, 1, 1};
+    /** Push-constant words for this dispatch. */
+    std::vector<uint32_t> push;
+    /** Kernel binding number -> scenario buffer index. */
+    std::vector<size_t> buffers;
+};
+
+/** Expected final contents of one scenario buffer. */
+struct GoldenCheck
+{
+    size_t buffer = 0;
+    /** F32 compares with tolerance; I32/U32 compare exactly. */
+    spirv::ElemType elem = spirv::ElemType::F32;
+    /** CPU-reference words. */
+    std::vector<uint32_t> expect;
+    /** Tolerances for F32 checks. */
+    double relTol = 1e-4;
+    double absTol = 1e-5;
+};
+
+/** A full scenario: kernels + seeded inputs + schedule + reference. */
+struct GoldenScenario
+{
+    /** Scenario name, e.g. "gaussian". */
+    std::string name;
+    /** The kernel modules the schedule dispatches. */
+    std::vector<spirv::Module> modules;
+    /** Initial buffer contents (words). */
+    std::vector<std::vector<uint32_t>> buffers;
+    /** Dispatches, in order (host-driven dependency chain). */
+    std::vector<GoldenStep> steps;
+    /** Final-state expectations. */
+    std::vector<GoldenCheck> checks;
+};
+
+/** Result of replaying a scenario on one simulated API path. */
+struct GoldenOutcome
+{
+    /** False when a driver refused a kernel (unavailable API, broken
+     *  kernel, limit violation) — skipReason says why. */
+    bool ran = false;
+    std::string skipReason;
+    /** Empty when every check matched the CPU reference. */
+    std::string error;
+    /** Final contents of each checked buffer, in check order (for
+     *  cross-API agreement tests). */
+    std::vector<std::vector<uint32_t>> checkedBuffers;
+};
+
+/**
+ * All golden scenarios.  Together they cover every kernel in
+ * src/kernels/ with at least one seeded-input / CPU-reference case.
+ */
+const std::vector<GoldenScenario> &goldenScenarios();
+
+/** Look up a scenario by name; fatal when unknown. */
+const GoldenScenario &goldenScenarioByName(const std::string &name);
+
+/**
+ * Replay a scenario on `dev` under `api`: driver-compile every module,
+ * execute the schedule on the execution engine, and compare the final
+ * buffers against the CPU reference.
+ */
+GoldenOutcome runGoldenScenario(const GoldenScenario &s,
+                                const sim::DeviceSpec &dev,
+                                sim::Api api);
 
 } // namespace vcb::suite
 

@@ -1,0 +1,165 @@
+/** @file Golden-reference validation: every kernel in src/kernels/
+ *  runs on deterministic seeded inputs through each simulated API's
+ *  driver-compile + execution path, and the outputs must match a
+ *  from-scratch CPU reference and agree across APIs (the paper's
+ *  Section-IV correctness methodology as executable tests). */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "kernels/kernels.h"
+#include "spirv/module.h"
+#include "suite/validate.h"
+
+namespace vcb::suite {
+namespace {
+
+const sim::Api allApis[] = {sim::Api::Vulkan, sim::Api::OpenCl,
+                            sim::Api::Cuda};
+
+class GoldenReference
+    : public ::testing::TestWithParam<const GoldenScenario *>
+{
+};
+
+/** Desktop drivers reject nothing: every scenario must execute and
+ *  validate under every API the device exposes. */
+TEST_P(GoldenReference, ValidatesOnDesktopDevices)
+{
+    const GoldenScenario &s = *GetParam();
+    for (const sim::DeviceSpec *dev :
+         {&sim::gtx1050ti(), &sim::rx560()}) {
+        for (sim::Api api : allApis) {
+            if (!dev->profile(api).available)
+                continue;
+            GoldenOutcome out = runGoldenScenario(s, *dev, api);
+            ASSERT_TRUE(out.ran)
+                << s.name << " on " << dev->name << "/"
+                << sim::apiName(api) << ": " << out.skipReason;
+            EXPECT_EQ(out.error, "")
+                << s.name << " on " << dev->name << "/"
+                << sim::apiName(api);
+        }
+    }
+}
+
+/** The three programming models must produce matching results for the
+ *  same seeded workload (cross-API comparability, paper Sec. IV). */
+TEST_P(GoldenReference, ApisAgreeOnGtx1050Ti)
+{
+    const GoldenScenario &s = *GetParam();
+    const sim::DeviceSpec &dev = sim::gtx1050ti();
+
+    GoldenOutcome baseline =
+        runGoldenScenario(s, dev, sim::Api::OpenCl);
+    ASSERT_TRUE(baseline.ran) << baseline.skipReason;
+
+    for (sim::Api api : {sim::Api::Vulkan, sim::Api::Cuda}) {
+        GoldenOutcome out = runGoldenScenario(s, dev, api);
+        ASSERT_TRUE(out.ran) << out.skipReason;
+        ASSERT_EQ(out.checkedBuffers.size(),
+                  baseline.checkedBuffers.size());
+        for (size_t c = 0; c < s.checks.size(); ++c) {
+            const GoldenCheck &chk = s.checks[c];
+            std::string err;
+            if (chk.elem == spirv::ElemType::F32) {
+                std::vector<float> got(out.checkedBuffers[c].size()),
+                    base(baseline.checkedBuffers[c].size());
+                for (size_t i = 0; i < got.size(); ++i)
+                    got[i] = std::bit_cast<float>(
+                        out.checkedBuffers[c][i]);
+                for (size_t i = 0; i < base.size(); ++i)
+                    base[i] = std::bit_cast<float>(
+                        baseline.checkedBuffers[c][i]);
+                err = compareFloats(got, base, chk.relTol, chk.absTol);
+            } else {
+                err = out.checkedBuffers[c] == baseline.checkedBuffers[c]
+                          ? ""
+                          : "integer buffers differ";
+            }
+            EXPECT_EQ(err, "")
+                << s.name << " check " << c << ": "
+                << sim::apiName(api) << " vs OpenCL";
+        }
+    }
+}
+
+/** Mobile drivers may legitimately refuse kernels (the paper's driver
+ *  failures); anything that runs must still validate, and any skip
+ *  must be attributable to the device's declared driver profile. */
+TEST_P(GoldenReference, MobileSkipsMatchDriverProfiles)
+{
+    const GoldenScenario &s = *GetParam();
+    for (const sim::DeviceSpec *dev :
+         {&sim::adreno506(), &sim::powervrG6430()}) {
+        for (sim::Api api : allApis) {
+            if (!dev->profile(api).available)
+                continue;
+            GoldenOutcome out = runGoldenScenario(s, *dev, api);
+            if (out.ran) {
+                EXPECT_EQ(out.error, "")
+                    << s.name << " on " << dev->name << "/"
+                    << sim::apiName(api);
+                continue;
+            }
+            bool declared = false;
+            for (const auto &m : s.modules)
+                declared |= dev->profile(api).kernelBroken(m.name);
+            EXPECT_TRUE(declared)
+                << s.name << " skipped on " << dev->name << "/"
+                << sim::apiName(api)
+                << " without a profile-declared reason: "
+                << out.skipReason;
+        }
+    }
+}
+
+std::vector<const GoldenScenario *>
+scenarioPtrs()
+{
+    std::vector<const GoldenScenario *> ptrs;
+    for (const auto &s : goldenScenarios())
+        ptrs.push_back(&s);
+    return ptrs;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScenarios, GoldenReference, ::testing::ValuesIn(scenarioPtrs()),
+    [](const ::testing::TestParamInfo<const GoldenScenario *> &info) {
+        return info.param->name;
+    });
+
+TEST(GoldenCoverage, EveryKernelHasAScenario)
+{
+    // A kernel added to the registry without a golden scenario fails
+    // here — coverage cannot silently regress.
+    std::set<std::string> expected;
+    for (const auto &[name, fn] : kernels::kernelRegistry())
+        expected.insert(name);
+    EXPECT_EQ(expected.size(), 18u);
+
+    std::set<std::string> covered;
+    for (const auto &s : goldenScenarios()) {
+        EXPECT_FALSE(s.steps.empty()) << s.name;
+        EXPECT_FALSE(s.checks.empty()) << s.name;
+        for (const auto &m : s.modules)
+            covered.insert(m.name);
+        // Every module must actually be dispatched by the schedule.
+        std::set<size_t> used;
+        for (const auto &st : s.steps)
+            used.insert(st.module);
+        EXPECT_EQ(used.size(), s.modules.size()) << s.name;
+    }
+    EXPECT_EQ(covered, expected);
+}
+
+TEST(GoldenCoverage, LookupByNameWorks)
+{
+    EXPECT_EQ(goldenScenarioByName("gaussian").name, "gaussian");
+    EXPECT_GE(goldenScenarioByName("bfs").steps.size(), 2u);
+}
+
+} // namespace
+} // namespace vcb::suite

@@ -110,6 +110,19 @@ TEST(KernelLibrary, WorkgroupShapesMatchDocs)
     EXPECT_EQ(buildNwBlock().localSize[0], nwBlockSize);
 }
 
+TEST(KernelLibrary, RegistryMatchesTheLibrary)
+{
+    // The shared registry must list exactly the kernels above, each
+    // under its own entry-point name.
+    ASSERT_EQ(kernelRegistry().size(), std::size(kernelCases));
+    for (size_t i = 0; i < kernelRegistry().size(); ++i) {
+        const auto &[name, fn] = kernelRegistry()[i];
+        EXPECT_EQ(name, kernelCases[i].name);
+        EXPECT_EQ(fn().name, name);
+    }
+    EXPECT_EQ(buildByName("nw_block").name, "nw_block");
+}
+
 TEST(KernelLibrary, OnlyBfsCarriesThePromoteHint)
 {
     // The paper's compiler-maturity finding is specific to bfs.

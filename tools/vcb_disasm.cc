@@ -14,9 +14,10 @@
  */
 
 #include <cstdio>
-#include <functional>
-#include <map>
+
+#include <algorithm>
 #include <string>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/strutil.h"
@@ -26,38 +27,6 @@
 
 using namespace vcb;
 
-namespace {
-
-const std::map<std::string, std::function<spirv::Module()>> &
-kernelTable()
-{
-    using namespace vcb::kernels;
-    static const std::map<std::string, std::function<spirv::Module()>>
-        table = {
-            {"vectorAdd", buildVecAdd},
-            {"stridedRead", buildStridedRead},
-            {"backprop_layerforward", buildBackpropLayerForward},
-            {"backprop_adjust_weights", buildBackpropAdjustWeights},
-            {"bfs_kernel1", buildBfsKernel1},
-            {"bfs_kernel2", buildBfsKernel2},
-            {"cfd_compute_step_factor", buildCfdStepFactor},
-            {"cfd_compute_flux", buildCfdComputeFlux},
-            {"cfd_time_step", buildCfdTimeStep},
-            {"gaussian_fan1", buildGaussianFan1},
-            {"gaussian_fan2", buildGaussianFan2},
-            {"hotspot_step", buildHotspotStep},
-            {"lud_diagonal", buildLudDiagonal},
-            {"lud_perimeter", buildLudPerimeter},
-            {"lud_internal", buildLudInternal},
-            {"nn_euclid", buildNnEuclid},
-            {"nw_block", buildNwBlock},
-            {"pathfinder_row", buildPathfinderRow},
-        };
-    return table;
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
@@ -66,7 +35,11 @@ main(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         if (arg == "--list") {
-            for (const auto &[k, fn] : kernelTable())
+            std::vector<std::string> names;
+            for (const auto &[k, fn] : kernels::kernelRegistry())
+                names.push_back(k);
+            std::sort(names.begin(), names.end());
+            for (const auto &k : names)
                 std::printf("%s\n", k.c_str());
             return 0;
         }
@@ -84,10 +57,11 @@ main(int argc, char **argv)
         return 1;
     }
 
-    auto it = kernelTable().find(name);
-    if (it == kernelTable().end())
+    const auto &reg = kernels::kernelRegistry();
+    if (std::none_of(reg.begin(), reg.end(),
+                     [&](const auto &e) { return e.first == name; }))
         fatal("unknown kernel '%s' (try --list)", name.c_str());
-    spirv::Module m = it->second();
+    spirv::Module m = kernels::buildByName(name);
 
     std::vector<uint32_t> words = m.serialize();
     std::printf("%s\n", spirv::disassemble(m).c_str());
