@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
 #include <exception>
 
 #include "common/logging.h"
@@ -26,18 +27,34 @@ runItem(const std::function<void(uint64_t)> &fn, uint64_t i)
     }
 }
 
+/** Same contract for whole-range work items. */
+void
+runRange(const std::function<void(uint64_t, uint64_t, unsigned)> &fn,
+         uint64_t begin, uint64_t end, unsigned worker)
+{
+    try {
+        fn(begin, end, worker);
+    } catch (const std::exception &e) {
+        panic("exception escaped a ThreadPool work range: %s", e.what());
+    } catch (...) {
+        panic("unknown exception escaped a ThreadPool work range");
+    }
+}
+
 } // namespace
 
-ThreadPool::ThreadPool(unsigned workers)
+ThreadPool::ThreadPool(int workers)
 {
-    unsigned n = workers;
-    if (n == 0) {
+    unsigned n;
+    if (workers < 0) {
         unsigned hw = std::thread::hardware_concurrency();
         n = hw > 1 ? hw - 1 : 1;
+    } else {
+        n = static_cast<unsigned>(workers);
     }
     threads.reserve(n);
     for (unsigned i = 0; i < n; ++i)
-        threads.emplace_back([this] { workerLoop(); });
+        threads.emplace_back([this, i] { workerLoop(i + 1); });
 }
 
 ThreadPool::~ThreadPool()
@@ -51,29 +68,47 @@ ThreadPool::~ThreadPool()
         t.join();
 }
 
+int
+ThreadPool::globalWorkers()
+{
+    const char *env = std::getenv("VCB_THREADS");
+    if (env && *env) {
+        char *end = nullptr;
+        long v = std::strtol(env, &end, 10);
+        if (end && *end == '\0' && v >= 1 && v <= 4096)
+            return static_cast<int>(v) - 1;
+        warn("ignoring invalid VCB_THREADS='%s' (want 1..4096)", env);
+    }
+    return -1;
+}
+
 ThreadPool &
 ThreadPool::global()
 {
-    static ThreadPool pool;
+    static ThreadPool pool(globalWorkers());
     return pool;
 }
 
 void
-ThreadPool::runJob(Job &job)
+ThreadPool::runJob(Job &job, unsigned worker)
 {
     for (;;) {
         uint64_t begin = job.next.fetch_add(job.chunk);
         if (begin >= job.count)
             break;
         uint64_t end = std::min(begin + job.chunk, job.count);
-        for (uint64_t i = begin; i < end; ++i)
-            runItem(*job.fn, i);
+        if (job.rangeFn) {
+            runRange(*job.rangeFn, begin, end, worker);
+        } else {
+            for (uint64_t i = begin; i < end; ++i)
+                runItem(*job.fn, i);
+        }
         job.done.fetch_add(end - begin);
     }
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(unsigned worker)
 {
     uint64_t seen = 0;
     for (;;) {
@@ -88,8 +123,35 @@ ThreadPool::workerLoop()
             seen = generation;
             job = current;
         }
-        runJob(*job);
+        runJob(*job, worker);
         cvDone.notify_all();
+    }
+}
+
+void
+ThreadPool::submitAndRun(Job &job)
+{
+    // Aim for several chunks per worker to balance irregular work.
+    uint64_t parts = (threads.size() + 1) * 8;
+    job.chunk = std::max<uint64_t>(1, job.count / parts);
+
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        current = &job;
+        ++generation;
+    }
+    cv.notify_all();
+
+    runJob(job, 0);
+
+    // Wait for stragglers still inside their chunks.
+    if (job.done.load() != job.count) {
+        std::unique_lock<std::mutex> lk(mtx);
+        cvDone.wait(lk, [&] { return job.done.load() == job.count; });
+    }
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        current = nullptr;
     }
 }
 
@@ -109,28 +171,25 @@ ThreadPool::parallelFor(uint64_t count,
     Job job;
     job.fn = &fn;
     job.count = count;
-    // Aim for several chunks per worker to balance irregular work.
-    uint64_t parts = (threads.size() + 1) * 8;
-    job.chunk = std::max<uint64_t>(1, count / parts);
+    submitAndRun(job);
+}
 
-    {
-        std::lock_guard<std::mutex> lk(mtx);
-        current = &job;
-        ++generation;
+void
+ThreadPool::parallelForRange(
+    uint64_t count,
+    const std::function<void(uint64_t, uint64_t, unsigned)> &fn)
+{
+    if (count == 0)
+        return;
+    if (count <= 2 || threads.empty()) {
+        runRange(fn, 0, count, 0);
+        return;
     }
-    cv.notify_all();
 
-    runJob(job);
-
-    // Wait for stragglers still inside their chunks.
-    if (job.done.load() != count) {
-        std::unique_lock<std::mutex> lk(mtx);
-        cvDone.wait(lk, [&] { return job.done.load() == count; });
-    }
-    {
-        std::lock_guard<std::mutex> lk(mtx);
-        current = nullptr;
-    }
+    Job job;
+    job.rangeFn = &fn;
+    job.count = count;
+    submitAndRun(job);
 }
 
 } // namespace vcb

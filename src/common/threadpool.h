@@ -1,11 +1,14 @@
 /**
  * @file
- * Fixed-size thread pool with a parallel-for helper.
+ * Fixed-size thread pool with parallel-for helpers.
  *
  * The execution engine interprets workgroups of a dispatch in parallel;
  * workgroups are independent (cross-workgroup communication requires a
  * new dispatch in every supported programming model), so a simple
- * chunked parallel-for is sufficient.
+ * chunked parallel-for is sufficient.  parallelForRange() hands each
+ * participant whole index ranges plus a stable worker slot, letting
+ * callers keep per-worker accumulator state and amortize per-item
+ * overhead across a chunk.
  */
 
 #ifndef VCB_COMMON_THREADPOOL_H
@@ -25,8 +28,12 @@ namespace vcb {
 class ThreadPool
 {
   public:
-    /** @param workers Number of worker threads; 0 = hardware concurrency. */
-    explicit ThreadPool(unsigned workers = 0);
+    /**
+     * @param workers Number of worker threads: negative = size to the
+     *                hardware (concurrency - 1, at least 1); 0 = no
+     *                workers, everything runs on the calling thread.
+     */
+    explicit ThreadPool(int workers = -1);
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;
@@ -41,24 +48,52 @@ class ThreadPool
     void parallelFor(uint64_t count,
                      const std::function<void(uint64_t)> &fn);
 
+    /**
+     * Run fn(begin, end, worker) over disjoint chunks covering
+     * [0, count); blocks until all complete.  worker identifies the
+     * executing thread's slot — 0 for the calling thread, 1..
+     * workerCount() for pool threads — so callers can keep per-worker
+     * state without locks or thread_locals.  Same exception contract
+     * as parallelFor.
+     */
+    void parallelForRange(
+        uint64_t count,
+        const std::function<void(uint64_t, uint64_t, unsigned)> &fn);
+
     /** Number of worker threads (not counting the caller). */
     unsigned workerCount() const { return (unsigned)threads.size(); }
 
-    /** Process-wide shared pool, sized to the hardware. */
+    /**
+     * Process-wide shared pool.  Sized at first use from VCB_THREADS
+     * (total executing threads including the caller, i.e. 1 = fully
+     * serial) when set and valid, otherwise to the hardware.
+     */
     static ThreadPool &global();
+
+    /**
+     * Worker-thread count the global pool will use: VCB_THREADS - 1
+     * when the environment override is set and valid (clamped to
+     * [1, 4096] total threads), -1 (hardware default) otherwise.
+     * Exposed for tests and tools.
+     */
+    static int globalWorkers();
 
   private:
     struct Job
     {
+        /** Exactly one of fn / rangeFn is set. */
         const std::function<void(uint64_t)> *fn = nullptr;
+        const std::function<void(uint64_t, uint64_t, unsigned)>
+            *rangeFn = nullptr;
         std::atomic<uint64_t> next{0};
         uint64_t count = 0;
         uint64_t chunk = 1;
         std::atomic<uint64_t> done{0};
     };
 
-    void workerLoop();
-    void runJob(Job &job);
+    void workerLoop(unsigned worker);
+    void runJob(Job &job, unsigned worker);
+    void submitAndRun(Job &job);
 
     std::vector<std::thread> threads;
     std::mutex mtx;

@@ -1,8 +1,8 @@
 #include "sim/engine.h"
 
+#include <algorithm>
 #include <atomic>
-#include <mutex>
-#include <set>
+#include <chrono>
 
 #include "common/logging.h"
 #include "common/threadpool.h"
@@ -24,13 +24,52 @@ unflatten(uint64_t idx, const uint32_t groups[3], uint32_t &x,
     z = static_cast<uint32_t>(idx / (uint64_t(groups[0]) * groups[1]));
 }
 
+/** Per-participant execution state, scoped to one dispatch so buffers
+ *  are released when the dispatch ends (a thread_local interpreter
+ *  would pin the last dispatch's register/shared vectors forever). */
+struct WorkerState
+{
+    Interpreter interp;
+    WorkgroupStats ws;
+    bool active = false;
+};
+
+std::atomic<uint64_t> g_workgroupsExecuted{0};
+std::atomic<uint64_t> g_dispatchWallNs{0};
+
 } // namespace
+
+uint64_t
+executedWorkgroupCount()
+{
+    return g_workgroupsExecuted.load(std::memory_order_relaxed);
+}
+
+uint64_t
+dispatchWallNs()
+{
+    return g_dispatchWallNs.load(std::memory_order_relaxed);
+}
 
 DispatchResult
 ExecutionEngine::dispatch(const DispatchContext &ctx)
 {
-    const CompiledKernel &k = *ctx.kernel;
+    const auto wall_start = std::chrono::steady_clock::now();
+    struct WallScope
+    {
+        std::chrono::steady_clock::time_point t0;
+        ~WallScope()
+        {
+            g_dispatchWallNs.fetch_add(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count(),
+                std::memory_order_relaxed);
+        }
+    } wall_scope{wall_start};
+
     VCB_ASSERT(ctx.kernel != nullptr, "dispatch without kernel");
+    const CompiledKernel &k = *ctx.kernel;
     VCB_ASSERT(ctx.groups[0] >= 1 && ctx.groups[1] >= 1 &&
                    ctx.groups[2] >= 1,
                "kernel '%s': zero workgroup count", k.module.name.c_str());
@@ -48,27 +87,29 @@ ExecutionEngine::dispatch(const DispatchContext &ctx)
 
     uint64_t total = uint64_t(ctx.groups[0]) * ctx.groups[1] *
                      ctx.groups[2];
+    g_workgroupsExecuted.fetch_add(total, std::memory_order_relaxed);
 
     // Pick up to four spread-out sample workgroups for the coalescing
-    // model (always including workgroup 0).
-    std::set<uint64_t> sample_set;
-    sample_set.insert(0);
+    // model (always including workgroup 0), as a sorted unique array.
+    uint64_t samples[4];
+    size_t num_samples = 0;
+    samples[num_samples++] = 0;
     if (total > 1) {
-        sample_set.insert(total / 4);
-        sample_set.insert(total / 2);
-        sample_set.insert((3 * total) / 4);
+        for (uint64_t s : {total / 4, total / 2, (3 * total) / 4})
+            if (s != samples[num_samples - 1])
+                samples[num_samples++] = s;
     }
 
     CoalesceSampler sampler(k.numSites, dev.warpWidth, dev.cacheLineBytes,
                             k.localCount());
 
-    // Shared accumulation across workers.
-    std::mutex merge_mtx;
     DispatchStats stats;
     std::vector<uint64_t> site_exec(k.numSites, 0);
 
+    // Workers accumulate privately; everything merges exactly once per
+    // dispatch after the parallel region joins — no mutex on the
+    // per-workgroup path.
     auto merge = [&](const WorkgroupStats &ws) {
-        std::lock_guard<std::mutex> lk(merge_mtx);
         stats.laneCycles += ws.laneCycles;
         stats.sharedAccesses += ws.sharedAccesses;
         stats.atomicOps += ws.atomicOps;
@@ -86,34 +127,52 @@ ExecutionEngine::dispatch(const DispatchContext &ctx)
         interp.prepare(ctx);
         WorkgroupStats ws;
         ws.siteExec.assign(k.numSites, 0);
-        for (uint64_t idx : sample_set) {
+        for (size_t i = 0; i < num_samples; ++i) {
             uint32_t x, y, z;
-            unflatten(idx, ctx.groups, x, y, z);
+            unflatten(samples[i], ctx.groups, x, y, z);
             interp.runWorkgroup(x, y, z, ws, &sampler);
         }
         merge(ws);
     }
 
-    // Remaining workgroups in parallel, batched per worker invocation.
-    if (total > sample_set.size()) {
-        static thread_local Interpreter tls_interp;
-        static thread_local WorkgroupStats tls_ws;
-        // Collect non-sampled indices count; iterate all and skip.
-        ThreadPool::global().parallelFor(total, [&](uint64_t idx) {
-            if (sample_set.count(idx))
-                return;
-            tls_interp.prepare(ctx);
-            tls_ws.siteExec.assign(k.numSites, 0);
-            tls_ws.laneCycles = 0;
-            tls_ws.sharedAccesses = 0;
-            tls_ws.atomicOps = 0;
-            tls_ws.barriers = 0;
-            tls_ws.invocations = 0;
-            uint32_t x, y, z;
-            unflatten(idx, ctx.groups, x, y, z);
-            tls_interp.runWorkgroup(x, y, z, tls_ws, nullptr);
-            merge(tls_ws);
-        });
+    // Remaining workgroups in parallel, whole ranges per worker
+    // invocation.  prepare() and the siteExec sizing run once per
+    // participant instead of once per workgroup; the sorted sample
+    // array is subtracted from each range up front so the hot loop is
+    // branch-free over contiguous sub-ranges.
+    if (total > num_samples) {
+        ThreadPool &pool = ThreadPool::global();
+        std::vector<WorkerState> workers(pool.workerCount() + 1);
+        pool.parallelForRange(
+            total, [&](uint64_t begin, uint64_t end, unsigned w) {
+                WorkerState &st = workers[w];
+                if (!st.active) {
+                    st.active = true;
+                    st.interp.prepare(ctx);
+                    st.ws.siteExec.assign(k.numSites, 0);
+                }
+                auto run = [&](uint64_t from, uint64_t to) {
+                    for (uint64_t idx = from; idx < to; ++idx) {
+                        uint32_t x, y, z;
+                        unflatten(idx, ctx.groups, x, y, z);
+                        st.interp.runWorkgroup(x, y, z, st.ws, nullptr);
+                    }
+                };
+                uint64_t at = begin;
+                for (size_t i = 0; i < num_samples && at < end; ++i) {
+                    uint64_t s = samples[i];
+                    if (s < at)
+                        continue;
+                    if (s >= end)
+                        break;
+                    run(at, s);
+                    at = s + 1;
+                }
+                run(at, end);
+            });
+        for (const WorkerState &st : workers)
+            if (st.active)
+                merge(st.ws);
     }
 
     // Fold site execution counts into DRAM/on-chip traffic using the

@@ -19,6 +19,22 @@
 
 namespace vcb::sim {
 
+/**
+ * Process-wide count of workgroups executed by all engines, for perf
+ * tooling (tools/vcb_perf): sample before/after a run to derive
+ * workgroups-per-second.  Monotonic, never reset.
+ */
+uint64_t executedWorkgroupCount();
+
+/**
+ * Process-wide wall-clock nanoseconds spent inside
+ * ExecutionEngine::dispatch — the simulator's own execution time,
+ * excluding host-side workload generation, reference computation and
+ * validation.  Monotonic, never reset; the companion to
+ * executedWorkgroupCount() for throughput measurement.
+ */
+uint64_t dispatchWallNs();
+
 /** Per-device dispatch executor. */
 class ExecutionEngine
 {

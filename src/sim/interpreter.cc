@@ -1,7 +1,6 @@
 #include "sim/interpreter.h"
 
 #include <atomic>
-#include <bit>
 #include <cmath>
 
 #include "common/logging.h"
@@ -10,62 +9,139 @@ namespace vcb::sim {
 
 namespace {
 
-using spirv::Op;
-
-/** ALU issue cost per opcode, in lane-cycles. */
-constexpr uint8_t
-opCost(Op op)
+/**
+ * Evaluate one hoisted template op (see MicroKernel::templateOps) on
+ * the template register file.  Expressions mirror the interpreter
+ * handlers exactly so hoisting is bit-invisible.
+ */
+void
+evalTemplateOp(const MicroOp &op, uint32_t *r, const DispatchContext &ctx,
+               const spirv::Module &m)
 {
-    switch (op) {
-      case Op::Nop:
-      case Op::Ret:
-        return 0;
-      case Op::IMul:
-        return 2;
-      case Op::IDiv:
-      case Op::IRem:
-        return 12;
-      case Op::FDiv:
-      case Op::FSqrt:
-        return 8;
-      case Op::FExp:
-      case Op::FLog:
-      case Op::FSin:
-      case Op::FCos:
-        return 16;
-      case Op::FPow:
-        return 24;
-      case Op::LdBuf:
-      case Op::StBuf:
-        return 2;
-      case Op::AtomIAdd:
-      case Op::AtomIMin:
-      case Op::AtomIMax:
-      case Op::AtomIOr:
-        return 4;
-      case Op::Barrier:
-        return 2;
-      default:
-        return 1;
+    switch (op.op) {
+      case MOp::Const: r[op.a] = op.b; break;
+      case MOp::Mov: r[op.a] = r[op.b]; break;
+      case MOp::LdPush: r[op.a] = ctx.push[op.b]; break;
+      case MOp::LdBuiltin: {
+        using spirv::Builtin;
+        uint32_t v = 0;
+        switch (static_cast<Builtin>(op.aux)) {
+          case Builtin::NumGroupsX: v = ctx.groups[0]; break;
+          case Builtin::NumGroupsY: v = ctx.groups[1]; break;
+          case Builtin::NumGroupsZ: v = ctx.groups[2]; break;
+          case Builtin::LocalSizeX: v = m.localSize[0]; break;
+          case Builtin::LocalSizeY: v = m.localSize[1]; break;
+          case Builtin::LocalSizeZ: v = m.localSize[2]; break;
+          case Builtin::GlobalSizeX:
+            v = ctx.groups[0] * m.localSize[0];
+            break;
+          case Builtin::GlobalSizeY:
+            v = ctx.groups[1] * m.localSize[1];
+            break;
+          case Builtin::GlobalSizeZ:
+            v = ctx.groups[2] * m.localSize[2];
+            break;
+          default:
+            panic("non-uniform builtin %u in register template", op.aux);
+        }
+        r[op.a] = v;
+        break;
+      }
+      case MOp::INot: r[op.a] = ~r[op.b]; break;
+      case MOp::INeg:
+        r[op.a] = static_cast<uint32_t>(-bitsToS(r[op.b]));
+        break;
+      case MOp::FAbs: r[op.a] = fToBits(std::fabs(bitsToF(r[op.b]))); break;
+      case MOp::FNeg: r[op.a] = fToBits(-bitsToF(r[op.b])); break;
+      case MOp::FSqrt:
+        r[op.a] = fToBits(std::sqrt(bitsToF(r[op.b])));
+        break;
+      case MOp::FExp: r[op.a] = fToBits(std::exp(bitsToF(r[op.b]))); break;
+      case MOp::FLog: r[op.a] = fToBits(std::log(bitsToF(r[op.b]))); break;
+      case MOp::FFloor:
+        r[op.a] = fToBits(std::floor(bitsToF(r[op.b])));
+        break;
+      case MOp::FSin: r[op.a] = fToBits(std::sin(bitsToF(r[op.b]))); break;
+      case MOp::FCos: r[op.a] = fToBits(std::cos(bitsToF(r[op.b]))); break;
+      case MOp::FFma:
+        r[op.a] = fToBits(std::fma(bitsToF(r[op.b]), bitsToF(r[op.c]),
+                                   bitsToF(r[op.d])));
+        break;
+      case MOp::FPow:
+        r[op.a] = fToBits(std::pow(bitsToF(r[op.b]), bitsToF(r[op.c])));
+        break;
+      case MOp::CvtSF:
+        r[op.a] = fToBits(static_cast<float>(bitsToS(r[op.b])));
+        break;
+      case MOp::CvtFS:
+        r[op.a] =
+            static_cast<uint32_t>(static_cast<int32_t>(bitsToF(r[op.b])));
+        break;
+      case MOp::Select:
+        r[op.a] = r[op.b] ? r[op.c] : r[op.d];
+        break;
+      case MOp::ConstAlu:
+        r[op.a] = op.b;
+        r[op.c] =
+            evalBin(static_cast<BinKind>(op.aux), r[op.d], r[op.e]);
+        break;
+      case MOp::IMulAdd: {
+        uint32_t t = r[op.b] * r[op.c];
+        r[op.a] = t;
+        r[op.d] = t + r[op.e];
+        break;
+      }
+      case MOp::IAddAdd: {
+        uint32_t t = r[op.b] + r[op.c];
+        r[op.a] = t;
+        r[op.d] = t + r[op.e];
+        break;
+      }
+      default: {
+        // Remaining template-pure ops are binary ALU / compares whose
+        // MOp order mirrors the interpreter cases; evaluate via the
+        // shared evalBin table.
+        BinKind kind;
+        switch (op.op) {
+          case MOp::IAdd: kind = BinKind::IAdd; break;
+          case MOp::ISub: kind = BinKind::ISub; break;
+          case MOp::IMul: kind = BinKind::IMul; break;
+          case MOp::IMin: kind = BinKind::IMin; break;
+          case MOp::IMax: kind = BinKind::IMax; break;
+          case MOp::IAnd: kind = BinKind::IAnd; break;
+          case MOp::IOr:  kind = BinKind::IOr;  break;
+          case MOp::IXor: kind = BinKind::IXor; break;
+          case MOp::IShl: kind = BinKind::IShl; break;
+          case MOp::IShrU: kind = BinKind::IShrU; break;
+          case MOp::IShrS: kind = BinKind::IShrS; break;
+          case MOp::FAdd: kind = BinKind::FAdd; break;
+          case MOp::FSub: kind = BinKind::FSub; break;
+          case MOp::FMul: kind = BinKind::FMul; break;
+          case MOp::FDiv: kind = BinKind::FDiv; break;
+          case MOp::FMin: kind = BinKind::FMin; break;
+          case MOp::FMax: kind = BinKind::FMax; break;
+          case MOp::IEq: kind = BinKind::IEq; break;
+          case MOp::INe: kind = BinKind::INe; break;
+          case MOp::ILt: kind = BinKind::ILt; break;
+          case MOp::ILe: kind = BinKind::ILe; break;
+          case MOp::IGt: kind = BinKind::IGt; break;
+          case MOp::IGe: kind = BinKind::IGe; break;
+          case MOp::ULt: kind = BinKind::ULt; break;
+          case MOp::UGe: kind = BinKind::UGe; break;
+          case MOp::FEq: kind = BinKind::FEq; break;
+          case MOp::FNe: kind = BinKind::FNe; break;
+          case MOp::FLt: kind = BinKind::FLt; break;
+          case MOp::FLe: kind = BinKind::FLe; break;
+          case MOp::FGt: kind = BinKind::FGt; break;
+          case MOp::FGe: kind = BinKind::FGe; break;
+          default:
+            panic("op %u is not template-pure",
+                  static_cast<unsigned>(op.op));
+        }
+        r[op.a] = evalBin(kind, r[op.b], r[op.c]);
+        break;
+      }
     }
-}
-
-inline float
-asF(uint32_t v)
-{
-    return std::bit_cast<float>(v);
-}
-
-inline uint32_t
-asU(float v)
-{
-    return std::bit_cast<uint32_t>(v);
-}
-
-inline int32_t
-asS(uint32_t v)
-{
-    return static_cast<int32_t>(v);
 }
 
 } // namespace
@@ -79,72 +155,779 @@ Interpreter::prepare(const DispatchContext &new_ctx)
     localCount = kernel->localCount();
     regs.resize(static_cast<size_t>(localCount) * kernel->module.regCount);
     pcs.resize(localCount);
-    states.resize(localCount);
     shared.resize(kernel->module.sharedWords);
+
+    // Local-invocation ids per lane, computed once per dispatch: the
+    // three divisions per lane entry were measurable at small kernels.
+    lids.resize(localCount);
+    const uint32_t lx = kernel->module.localSize[0];
+    const uint32_t ly = kernel->module.localSize[1];
+    for (uint32_t lane = 0; lane < localCount; ++lane)
+        lids[lane] = {lane % lx, (lane / lx) % ly, lane / (lx * ly)};
+
+    // Hoisted dispatch-uniform entry ops: evaluate once, then
+    // broadcast the written registers to every lane.  The writers are
+    // removed from the per-lane stream and write exactly once, so the
+    // values stay correct for every workgroup of this dispatch.  The
+    // register file is reg-major (reg * localCount + lane), so each
+    // broadcast is one contiguous fill.
+    const MicroKernel &mk = kernel->micro;
+    if (!mk.templateOps.empty()) {
+        const uint32_t reg_count = kernel->module.regCount;
+        std::vector<uint32_t> tmpl(reg_count, 0);
+        for (const MicroOp &op : mk.templateOps)
+            evalTemplateOp(op, tmpl.data(), *ctx, kernel->module);
+        for (uint32_t dst : mk.templateDsts)
+            std::fill_n(regs.begin() +
+                            static_cast<size_t>(dst) * localCount,
+                        localCount, tmpl[dst]);
+    }
 }
 
 void
 Interpreter::runWorkgroup(uint32_t wx, uint32_t wy, uint32_t wz,
                           WorkgroupStats &ws, CoalesceSampler *sampler)
 {
-    std::fill(regs.begin(), regs.end(), 0u);
-    std::fill(pcs.begin(), pcs.end(), 0u);
-    std::fill(states.begin(), states.end(), LaneState::Ready);
+    const MicroKernel &mk = kernel->micro;
+    // When lowering proved every register is written before it is
+    // read, the zero-fill is unobservable: skip it.  Shared memory
+    // keeps its deterministic zero state per workgroup.
+    if (!mk.skipRegZeroInit)
+        std::fill(regs.begin(), regs.end(), 0u);
     std::fill(shared.begin(), shared.end(), 0u);
     if (sampler)
         sampler->beginWorkgroup();
 
     ws.invocations += localCount;
 
-    uint32_t done = 0;
-    while (done < localCount) {
+    const bool instrumented = sampler != nullptr || ctx->robustAccess;
+
+    // Phased execution, one executor call per phase: every lane runs
+    // from its pc until Ret or Barrier.  At each phase boundary either
+    // all lanes returned (done), all stopped at a barrier (release and
+    // run the next phase), or the kernel diverged (trap).  Barrier-free
+    // kernels complete in a single phase.  Phases whose lanes all
+    // resume at one pc run op-major (runPhaseVector); instrumented
+    // runs and phases with scattered resume points go lane-major.
+    std::fill(pcs.begin(), pcs.end(), 0u);
+    bool uniform = !instrumented;
+    for (;;) {
+        uint32_t done = 0;
         uint32_t at_barrier = 0;
-        for (uint32_t lane = 0; lane < localCount; ++lane) {
-            if (states[lane] != LaneState::Ready)
-                continue;
-            LaneState st = runLane(lane, wx, wy, wz, ws, sampler);
-            states[lane] = st;
-            if (st == LaneState::Done)
-                ++done;
-            else
-                ++at_barrier;
+        if (instrumented)
+            runPhase<true>(wx, wy, wz, ws, sampler, done, at_barrier);
+        else if (uniform)
+            runPhaseVector(pcs[0], wx, wy, wz, ws, done, at_barrier);
+        else
+            runPhase<false>(wx, wy, wz, ws, nullptr, done, at_barrier);
+        if (at_barrier == 0)
+            break;
+        if (done > 0) {
+            panic("kernel '%s': barrier divergence in workgroup "
+                  "(%u,%u,%u): %u lanes at barrier, %u returned",
+                  kernel->module.name.c_str(), wx, wy, wz, at_barrier,
+                  done);
         }
-        if (at_barrier > 0) {
-            if (done > 0) {
-                panic("kernel '%s': barrier divergence in workgroup "
-                      "(%u,%u,%u): %u lanes at barrier, %u returned",
-                      kernel->module.name.c_str(), wx, wy, wz, at_barrier,
-                      done);
-            }
-            // Release the barrier: all live lanes resume.
-            for (uint32_t lane = 0; lane < localCount; ++lane)
-                if (states[lane] == LaneState::AtBarrier)
-                    states[lane] = LaneState::Ready;
-            ws.barriers += 1;
-            done = 0; // recount below: no lane is Done here
+        // Release the barrier: every lane resumes past its Barrier.
+        ws.barriers += 1;
+        if (!instrumented) {
+            uniform = true;
+            for (uint32_t lane = 1; lane < localCount && uniform; ++lane)
+                uniform = pcs[lane] == pcs[0];
         }
     }
     if (sampler)
         sampler->endWorkgroup();
 }
 
-Interpreter::LaneState
-Interpreter::runLane(uint32_t lane, uint32_t wx, uint32_t wy, uint32_t wz,
-                     WorkgroupStats &ws, CoalesceSampler *sampler)
-{
-    const CompiledKernel &k = *kernel;
-    const spirv::Insn *insns = k.insns.data();
-    const uint32_t insn_count = static_cast<uint32_t>(k.insns.size());
-    uint32_t *r = regs.data() +
-                  static_cast<size_t>(lane) * k.module.regCount;
-    uint32_t pc = pcs[lane];
-    uint64_t cycles = 0;
+/**
+ * The lane executor walks the micro-op stream by pointer; one handler
+ * body per MOp, shared between two dispatch strategies:
+ *
+ *  - VCB_THREADED_DISPATCH=1: direct-threaded via GCC/Clang computed
+ *    goto — each handler jumps straight to the next handler through a
+ *    label table (one indirect-branch site per handler).
+ *  - VCB_THREADED_DISPATCH=0: a classic switch-in-loop.
+ *
+ * Which wins depends on the host branch predictor; the default is
+ * chosen by measurement (tools/vcb_perf) and can be overridden with
+ * -DVCB_THREADED_DISPATCH=0/1.  On the reference machines the switch
+ * form predicts better once the handler set grew past ~80 ops, so it
+ * is the default.  NEXT falls through to the following micro-op; XFER
+ * transfers control and charges the target's straight-line run cost
+ * (see MicroKernel::costFrom).
+ */
+#ifndef VCB_THREADED_DISPATCH
+#define VCB_THREADED_DISPATCH 0
+#endif
+#if VCB_THREADED_DISPATCH && !defined(__GNUC__) && !defined(__clang__)
+#error "threaded dispatch requires computed goto (GCC/Clang)"
+#endif
 
+#if VCB_THREADED_DISPATCH
+#define VCB_OP(name) L_##name:
+#define NEXT                                                              \
+    do {                                                                  \
+        ++ip;                                                             \
+        goto *kJump[static_cast<size_t>(ip->op)];                         \
+    } while (0)
+#define XFER(target)                                                      \
+    do {                                                                  \
+        const uint32_t xfer_pc = (target);                                \
+        ip = ops + xfer_pc;                                               \
+        cycles += cost_from[xfer_pc];                                     \
+        goto *kJump[static_cast<size_t>(ip->op)];                         \
+    } while (0)
+#else
+#define VCB_OP(name) case MOp::name:
+#define NEXT break
+#define XFER(target)                                                      \
+    do {                                                                  \
+        const uint32_t xfer_pc = (target);                                \
+        ip = ops + xfer_pc;                                               \
+        cycles += cost_from[xfer_pc];                                     \
+        goto dispatch;                                                    \
+    } while (0)
+#endif
+
+/** Lane register access: the register file is reg-major so the
+ *  op-major executor reads each register as a contiguous lane vector;
+ *  the lane-major executor indexes column `lane` via this macro. */
+#define R(x) r[static_cast<size_t>(x) * lc]
+
+/** Fused compare+branch handler: write the flag, branch on sense. */
+#define VCB_CMPBR(name, expr)                                             \
+    VCB_OP(name) {                                                        \
+        const uint32_t x = R(ip->b);                                      \
+        const uint32_t y = R(ip->c);                                      \
+        const uint32_t cond = (expr);                                     \
+        R(ip->a) = cond;                                                  \
+        XFER(cond == ip->aux ? ip->d : pcOf() + 1);                       \
+    }
+
+template <bool Instrumented>
+void
+Interpreter::runPhase(uint32_t wx, uint32_t wy, uint32_t wz,
+                      WorkgroupStats &ws, CoalesceSampler *sampler,
+                      uint32_t &done_out, uint32_t &barrier_out)
+{
+#if VCB_THREADED_DISPATCH
+    // Must match the MOp enumeration order exactly.
+    static const void *const kJump[] = {
+        &&L_Const, &&L_Mov, &&L_LdBuiltin, &&L_LdPush,
+        &&L_IAdd, &&L_ISub, &&L_IMul, &&L_IDiv, &&L_IRem, &&L_IMin,
+        &&L_IMax, &&L_IAnd, &&L_IOr, &&L_IXor,
+        &&L_INot, &&L_INeg, &&L_IShl, &&L_IShrU, &&L_IShrS,
+        &&L_FAdd, &&L_FSub, &&L_FMul, &&L_FDiv, &&L_FMin, &&L_FMax,
+        &&L_FAbs, &&L_FNeg, &&L_FSqrt, &&L_FExp, &&L_FLog,
+        &&L_FFloor, &&L_FSin, &&L_FCos, &&L_FFma, &&L_FPow,
+        &&L_CvtSF, &&L_CvtFS,
+        &&L_IEq, &&L_INe, &&L_ILt, &&L_ILe, &&L_IGt, &&L_IGe, &&L_ULt,
+        &&L_UGe, &&L_FEq, &&L_FNe, &&L_FLt, &&L_FLe, &&L_FGt, &&L_FGe,
+        &&L_Select,
+        &&L_LdBuf, &&L_StBuf, &&L_LdShared, &&L_StShared,
+        &&L_AtomIAdd, &&L_AtomIOr, &&L_AtomIMin, &&L_AtomIMax,
+        &&L_Jmp, &&L_BrTrue, &&L_BrFalse,
+        &&L_CmpBrIEq, &&L_CmpBrINe, &&L_CmpBrILt, &&L_CmpBrILe,
+        &&L_CmpBrIGt, &&L_CmpBrIGe, &&L_CmpBrULt, &&L_CmpBrUGe,
+        &&L_CmpBrFEq, &&L_CmpBrFNe, &&L_CmpBrFLt, &&L_CmpBrFLe,
+        &&L_CmpBrFGt, &&L_CmpBrFGe,
+        &&L_ConstAlu, &&L_IAddLd, &&L_IAddSt, &&L_IMulAdd, &&L_IAddAdd,
+        &&L_IAddLdSh, &&L_IAddStSh, &&L_MulAddLdSh, &&L_MulAddStSh,
+        &&L_FMulFAdd, &&L_FMulFSub,
+        &&L_LdShFMul, &&L_LdShFSub, &&L_LdShFDiv,
+        &&L_FSubStSh, &&L_FDivStSh, &&L_IDivRem,
+        &&L_Barrier, &&L_Ret,
+    };
+    static_assert(sizeof(kJump) / sizeof(kJump[0]) ==
+                      static_cast<size_t>(MOp::Count),
+                  "jump table out of sync with MOp");
+#endif
+
+    const CompiledKernel &k = *kernel;
+    const MicroKernel &mk = k.micro;
+    const MicroOp *const ops = mk.ops.data();
+    const uint32_t *const cost_from = mk.costFrom.data();
+    const size_t lc = localCount;
+    const BufferBinding *const bufs = ctx->buffers.data();
+    uint64_t *const site_exec = ws.siteExec.data();
+    uint32_t *const sh = shared.data();
+    const uint64_t shared_words = shared.size();
+    const bool robust = Instrumented && ctx->robustAccess;
     const uint32_t lx = k.module.localSize[0];
     const uint32_t ly = k.module.localSize[1];
-    const uint32_t lid_x = lane % lx;
-    const uint32_t lid_y = (lane / lx) % ly;
-    const uint32_t lid_z = lane / (lx * ly);
+
+    uint32_t lane = 0;
+    uint32_t done = 0;
+    uint32_t at_barrier = 0;
+    uint32_t *r = regs.data();
+    const MicroOp *ip = nullptr;
+    uint64_t cycles = 0;
+
+    auto pcOf = [&]() -> uint32_t {
+        return static_cast<uint32_t>(ip - ops);
+    };
+
+    auto oob = [&](uint32_t binding, uint64_t addr,
+                   uint64_t words) -> void {
+        panic("kernel '%s' @%u: binding %u access [%llu] out of bounds "
+              "(%llu words)",
+              k.module.name.c_str(), pcOf(), binding,
+              (unsigned long long)addr, (unsigned long long)words);
+    };
+
+    /** Bounds-check/clamp one global-memory access and account it. */
+    auto resolve = [&](uint32_t binding, uint64_t addr,
+                       uint32_t site) -> uint32_t * {
+        const BufferBinding &buf = bufs[binding];
+        if (addr >= buf.words) [[unlikely]] {
+            if (!robust)
+                oob(binding, addr, buf.words);
+            addr = buf.words ? buf.words - 1 : 0;
+        }
+        site_exec[site] += 1;
+        if (Instrumented && sampler)
+            sampler->record(lane, site, addr * 4);
+        return buf.data + addr;
+    };
+
+new_lane:
+    // Per-lane entry: bind the lane's register column (the file is
+    // reg-major: R(x) = regs[x * localCount + lane]), charge the first
+    // straight-line run (issue cost is pre-summed per run: one add on
+    // entry and per control transfer instead of per op), and execute.
+    {
+        const uint32_t start_pc = pcs[lane];
+        r = regs.data() + lane;
+        ip = ops + start_pc;
+        cycles = cost_from[start_pc];
+    }
+
+#if VCB_THREADED_DISPATCH
+    goto *kJump[static_cast<size_t>(ip->op)];
+#else
+dispatch:
+    for (;;) {
+        switch (ip->op) {
+#endif
+
+VCB_OP(Const)
+    R(ip->a) = ip->b;
+    NEXT;
+VCB_OP(Mov)
+    R(ip->a) = R(ip->b);
+    NEXT;
+VCB_OP(LdBuiltin) {
+    using spirv::Builtin;
+    const LaneId lid = lids[lane];
+    uint32_t v = 0;
+    switch (static_cast<Builtin>(ip->aux)) {
+      case Builtin::GlobalIdX: v = wx * lx + lid.x; break;
+      case Builtin::GlobalIdY: v = wy * ly + lid.y; break;
+      case Builtin::GlobalIdZ:
+        v = wz * k.module.localSize[2] + lid.z;
+        break;
+      case Builtin::LocalIdX: v = lid.x; break;
+      case Builtin::LocalIdY: v = lid.y; break;
+      case Builtin::LocalIdZ: v = lid.z; break;
+      case Builtin::GroupIdX: v = wx; break;
+      case Builtin::GroupIdY: v = wy; break;
+      case Builtin::GroupIdZ: v = wz; break;
+      case Builtin::NumGroupsX: v = ctx->groups[0]; break;
+      case Builtin::NumGroupsY: v = ctx->groups[1]; break;
+      case Builtin::NumGroupsZ: v = ctx->groups[2]; break;
+      case Builtin::LocalSizeX: v = lx; break;
+      case Builtin::LocalSizeY: v = ly; break;
+      case Builtin::LocalSizeZ: v = k.module.localSize[2]; break;
+      case Builtin::GlobalSizeX: v = ctx->groups[0] * lx; break;
+      case Builtin::GlobalSizeY: v = ctx->groups[1] * ly; break;
+      case Builtin::GlobalSizeZ:
+        v = ctx->groups[2] * k.module.localSize[2];
+        break;
+      case Builtin::LocalLinearId: v = lane; break;
+      case Builtin::Count: break;
+    }
+    R(ip->a) = v;
+    NEXT;
+}
+VCB_OP(LdPush)
+    // Range-checked at lowering against the validated module; the
+    // engine asserts the dispatch provides the full block.
+    R(ip->a) = ctx->push[ip->b];
+    NEXT;
+
+VCB_OP(IAdd) R(ip->a) = R(ip->b) + R(ip->c); NEXT;
+VCB_OP(ISub) R(ip->a) = R(ip->b) - R(ip->c); NEXT;
+VCB_OP(IMul) R(ip->a) = R(ip->b) * R(ip->c); NEXT;
+VCB_OP(IDiv)
+    if (R(ip->c) == 0)
+        panic("kernel '%s' @%u: integer division by zero",
+              k.module.name.c_str(), pcOf());
+    R(ip->a) =
+        static_cast<uint32_t>(bitsToS(R(ip->b)) / bitsToS(R(ip->c)));
+    NEXT;
+VCB_OP(IRem)
+    if (R(ip->c) == 0)
+        panic("kernel '%s' @%u: integer remainder by zero",
+              k.module.name.c_str(), pcOf());
+    R(ip->a) =
+        static_cast<uint32_t>(bitsToS(R(ip->b)) % bitsToS(R(ip->c)));
+    NEXT;
+VCB_OP(IMin)
+    R(ip->a) = static_cast<uint32_t>(
+        std::min(bitsToS(R(ip->b)), bitsToS(R(ip->c))));
+    NEXT;
+VCB_OP(IMax)
+    R(ip->a) = static_cast<uint32_t>(
+        std::max(bitsToS(R(ip->b)), bitsToS(R(ip->c))));
+    NEXT;
+VCB_OP(IAnd) R(ip->a) = R(ip->b) & R(ip->c); NEXT;
+VCB_OP(IOr)  R(ip->a) = R(ip->b) | R(ip->c); NEXT;
+VCB_OP(IXor) R(ip->a) = R(ip->b) ^ R(ip->c); NEXT;
+VCB_OP(INot) R(ip->a) = ~R(ip->b); NEXT;
+VCB_OP(INeg) R(ip->a) = static_cast<uint32_t>(-bitsToS(R(ip->b))); NEXT;
+VCB_OP(IShl) R(ip->a) = R(ip->b) << (R(ip->c) & 31); NEXT;
+VCB_OP(IShrU) R(ip->a) = R(ip->b) >> (R(ip->c) & 31); NEXT;
+VCB_OP(IShrS)
+    R(ip->a) =
+        static_cast<uint32_t>(bitsToS(R(ip->b)) >> (R(ip->c) & 31));
+    NEXT;
+
+VCB_OP(FAdd) R(ip->a) = fToBits(bitsToF(R(ip->b)) + bitsToF(R(ip->c))); NEXT;
+VCB_OP(FSub) R(ip->a) = fToBits(bitsToF(R(ip->b)) - bitsToF(R(ip->c))); NEXT;
+VCB_OP(FMul) R(ip->a) = fToBits(bitsToF(R(ip->b)) * bitsToF(R(ip->c))); NEXT;
+VCB_OP(FDiv) R(ip->a) = fToBits(bitsToF(R(ip->b)) / bitsToF(R(ip->c))); NEXT;
+VCB_OP(FMin)
+    R(ip->a) = fToBits(std::fmin(bitsToF(R(ip->b)), bitsToF(R(ip->c))));
+    NEXT;
+VCB_OP(FMax)
+    R(ip->a) = fToBits(std::fmax(bitsToF(R(ip->b)), bitsToF(R(ip->c))));
+    NEXT;
+VCB_OP(FAbs) R(ip->a) = fToBits(std::fabs(bitsToF(R(ip->b)))); NEXT;
+VCB_OP(FNeg) R(ip->a) = fToBits(-bitsToF(R(ip->b))); NEXT;
+VCB_OP(FSqrt) R(ip->a) = fToBits(std::sqrt(bitsToF(R(ip->b)))); NEXT;
+VCB_OP(FExp) R(ip->a) = fToBits(std::exp(bitsToF(R(ip->b)))); NEXT;
+VCB_OP(FLog) R(ip->a) = fToBits(std::log(bitsToF(R(ip->b)))); NEXT;
+VCB_OP(FFloor) R(ip->a) = fToBits(std::floor(bitsToF(R(ip->b)))); NEXT;
+VCB_OP(FSin) R(ip->a) = fToBits(std::sin(bitsToF(R(ip->b)))); NEXT;
+VCB_OP(FCos) R(ip->a) = fToBits(std::cos(bitsToF(R(ip->b)))); NEXT;
+VCB_OP(FFma)
+    R(ip->a) = fToBits(
+        std::fma(bitsToF(R(ip->b)), bitsToF(R(ip->c)), bitsToF(R(ip->d))));
+    NEXT;
+VCB_OP(FPow)
+    R(ip->a) = fToBits(std::pow(bitsToF(R(ip->b)), bitsToF(R(ip->c))));
+    NEXT;
+
+VCB_OP(CvtSF) R(ip->a) = fToBits(static_cast<float>(bitsToS(R(ip->b)))); NEXT;
+VCB_OP(CvtFS)
+    R(ip->a) = static_cast<uint32_t>(static_cast<int32_t>(bitsToF(R(ip->b))));
+    NEXT;
+
+VCB_OP(IEq) R(ip->a) = R(ip->b) == R(ip->c); NEXT;
+VCB_OP(INe) R(ip->a) = R(ip->b) != R(ip->c); NEXT;
+VCB_OP(ILt) R(ip->a) = bitsToS(R(ip->b)) < bitsToS(R(ip->c)); NEXT;
+VCB_OP(ILe) R(ip->a) = bitsToS(R(ip->b)) <= bitsToS(R(ip->c)); NEXT;
+VCB_OP(IGt) R(ip->a) = bitsToS(R(ip->b)) > bitsToS(R(ip->c)); NEXT;
+VCB_OP(IGe) R(ip->a) = bitsToS(R(ip->b)) >= bitsToS(R(ip->c)); NEXT;
+VCB_OP(ULt) R(ip->a) = R(ip->b) < R(ip->c); NEXT;
+VCB_OP(UGe) R(ip->a) = R(ip->b) >= R(ip->c); NEXT;
+VCB_OP(FEq) R(ip->a) = bitsToF(R(ip->b)) == bitsToF(R(ip->c)); NEXT;
+VCB_OP(FNe) R(ip->a) = bitsToF(R(ip->b)) != bitsToF(R(ip->c)); NEXT;
+VCB_OP(FLt) R(ip->a) = bitsToF(R(ip->b)) < bitsToF(R(ip->c)); NEXT;
+VCB_OP(FLe) R(ip->a) = bitsToF(R(ip->b)) <= bitsToF(R(ip->c)); NEXT;
+VCB_OP(FGt) R(ip->a) = bitsToF(R(ip->b)) > bitsToF(R(ip->c)); NEXT;
+VCB_OP(FGe) R(ip->a) = bitsToF(R(ip->b)) >= bitsToF(R(ip->c)); NEXT;
+VCB_OP(Select)
+    R(ip->a) = R(ip->b) ? R(ip->c) : R(ip->d);
+    NEXT;
+
+VCB_OP(LdBuf) {
+    uint32_t *p = resolve(ip->b, R(ip->c), ip->d);
+    R(ip->a) =
+        std::atomic_ref<uint32_t>(*p).load(std::memory_order_relaxed);
+    NEXT;
+}
+VCB_OP(StBuf) {
+    uint32_t *p = resolve(ip->a, R(ip->b), ip->d);
+    std::atomic_ref<uint32_t>(*p).store(R(ip->c),
+                                        std::memory_order_relaxed);
+    NEXT;
+}
+VCB_OP(LdShared) {
+    uint64_t addr = R(ip->b);
+    VCB_ASSERT(addr < shared_words,
+               "kernel '%s' @%u: shared load [%llu] out of bounds "
+               "(%llu words)",
+               k.module.name.c_str(), pcOf(), (unsigned long long)addr,
+               (unsigned long long)shared_words);
+    R(ip->a) = sh[addr];
+    ws.sharedAccesses += 1;
+    NEXT;
+}
+VCB_OP(StShared) {
+    uint64_t addr = R(ip->a);
+    VCB_ASSERT(addr < shared_words,
+               "kernel '%s' @%u: shared store [%llu] out of bounds "
+               "(%llu words)",
+               k.module.name.c_str(), pcOf(), (unsigned long long)addr,
+               (unsigned long long)shared_words);
+    sh[addr] = R(ip->b);
+    ws.sharedAccesses += 1;
+    NEXT;
+}
+VCB_OP(AtomIAdd) {
+    uint32_t *p = resolve(ip->b, R(ip->c), ip->e);
+    R(ip->a) = std::atomic_ref<uint32_t>(*p).fetch_add(
+        R(ip->d), std::memory_order_relaxed);
+    ws.atomicOps += 1;
+    NEXT;
+}
+VCB_OP(AtomIOr) {
+    uint32_t *p = resolve(ip->b, R(ip->c), ip->e);
+    R(ip->a) = std::atomic_ref<uint32_t>(*p).fetch_or(
+        R(ip->d), std::memory_order_relaxed);
+    ws.atomicOps += 1;
+    NEXT;
+}
+VCB_OP(AtomIMin)
+VCB_OP(AtomIMax) {
+    uint32_t *p = resolve(ip->b, R(ip->c), ip->e);
+    std::atomic_ref<uint32_t> ref(*p);
+    uint32_t old = ref.load(std::memory_order_relaxed);
+    for (;;) {
+        int32_t cur = bitsToS(old);
+        int32_t arg = bitsToS(R(ip->d));
+        int32_t want = ip->op == MOp::AtomIMin ? std::min(cur, arg)
+                                               : std::max(cur, arg);
+        if (want == cur)
+            break;
+        if (ref.compare_exchange_weak(old, static_cast<uint32_t>(want),
+                                      std::memory_order_relaxed))
+            break;
+    }
+    R(ip->a) = old;
+    ws.atomicOps += 1;
+    NEXT;
+}
+
+VCB_OP(Jmp)
+    XFER(ip->a);
+VCB_OP(BrTrue)
+    XFER(R(ip->a) ? ip->b : pcOf() + 1);
+VCB_OP(BrFalse)
+    XFER(!R(ip->a) ? ip->b : pcOf() + 1);
+
+VCB_CMPBR(CmpBrIEq, x == y)
+VCB_CMPBR(CmpBrINe, x != y)
+VCB_CMPBR(CmpBrILt, bitsToS(x) < bitsToS(y))
+VCB_CMPBR(CmpBrILe, bitsToS(x) <= bitsToS(y))
+VCB_CMPBR(CmpBrIGt, bitsToS(x) > bitsToS(y))
+VCB_CMPBR(CmpBrIGe, bitsToS(x) >= bitsToS(y))
+VCB_CMPBR(CmpBrULt, x < y)
+VCB_CMPBR(CmpBrUGe, x >= y)
+VCB_CMPBR(CmpBrFEq, bitsToF(x) == bitsToF(y))
+VCB_CMPBR(CmpBrFNe, bitsToF(x) != bitsToF(y))
+VCB_CMPBR(CmpBrFLt, bitsToF(x) < bitsToF(y))
+VCB_CMPBR(CmpBrFLe, bitsToF(x) <= bitsToF(y))
+VCB_CMPBR(CmpBrFGt, bitsToF(x) > bitsToF(y))
+VCB_CMPBR(CmpBrFGe, bitsToF(x) >= bitsToF(y))
+
+VCB_OP(ConstAlu)
+    R(ip->a) = ip->b;
+    R(ip->c) = evalBin(static_cast<BinKind>(ip->aux), R(ip->d), R(ip->e));
+    NEXT;
+VCB_OP(IAddLd) {
+    uint32_t addr = R(ip->b) + R(ip->c);
+    R(ip->a) = addr;
+    uint32_t *p = resolve(ip->aux, addr, ip->e);
+    R(ip->d) =
+        std::atomic_ref<uint32_t>(*p).load(std::memory_order_relaxed);
+    NEXT;
+}
+VCB_OP(IAddSt) {
+    uint32_t addr = R(ip->b) + R(ip->c);
+    R(ip->a) = addr;
+    uint32_t *p = resolve(ip->aux, addr, ip->e);
+    std::atomic_ref<uint32_t>(*p).store(R(ip->d),
+                                        std::memory_order_relaxed);
+    NEXT;
+}
+VCB_OP(IMulAdd) {
+    uint32_t t = R(ip->b) * R(ip->c);
+    R(ip->a) = t;
+    R(ip->d) = t + R(ip->e);
+    NEXT;
+}
+VCB_OP(IAddAdd) {
+    uint32_t t = R(ip->b) + R(ip->c);
+    R(ip->a) = t;
+    R(ip->d) = t + R(ip->e);
+    NEXT;
+}
+VCB_OP(IAddLdSh) {
+    uint32_t addr = R(ip->b) + R(ip->c);
+    R(ip->a) = addr;
+    VCB_ASSERT(addr < shared_words,
+               "kernel '%s' @%u: shared load [%u] out of bounds "
+               "(%llu words)",
+               k.module.name.c_str(), pcOf(), addr,
+               (unsigned long long)shared_words);
+    R(ip->d) = sh[addr];
+    ws.sharedAccesses += 1;
+    NEXT;
+}
+VCB_OP(IAddStSh) {
+    uint32_t addr = R(ip->b) + R(ip->c);
+    R(ip->a) = addr;
+    VCB_ASSERT(addr < shared_words,
+               "kernel '%s' @%u: shared store [%u] out of bounds "
+               "(%llu words)",
+               k.module.name.c_str(), pcOf(), addr,
+               (unsigned long long)shared_words);
+    sh[addr] = R(ip->d);
+    ws.sharedAccesses += 1;
+    NEXT;
+}
+VCB_OP(MulAddLdSh) {
+    uint32_t t = R(ip->b) * R(ip->c);
+    R(ip->a) = t;
+    uint32_t addr = t + R(ip->e);
+    R(ip->d) = addr;
+    VCB_ASSERT(addr < shared_words,
+               "kernel '%s' @%u: shared load [%u] out of bounds "
+               "(%llu words)",
+               k.module.name.c_str(), pcOf(), addr,
+               (unsigned long long)shared_words);
+    R(ip->aux) = sh[addr];
+    ws.sharedAccesses += 1;
+    NEXT;
+}
+VCB_OP(MulAddStSh) {
+    uint32_t t = R(ip->b) * R(ip->c);
+    R(ip->a) = t;
+    uint32_t addr = t + R(ip->e);
+    R(ip->d) = addr;
+    VCB_ASSERT(addr < shared_words,
+               "kernel '%s' @%u: shared store [%u] out of bounds "
+               "(%llu words)",
+               k.module.name.c_str(), pcOf(), addr,
+               (unsigned long long)shared_words);
+    sh[addr] = R(ip->aux);
+    ws.sharedAccesses += 1;
+    NEXT;
+}
+
+VCB_OP(FMulFAdd) {
+    const float t = bitsToF(R(ip->b)) * bitsToF(R(ip->c));
+    R(ip->a) = fToBits(t);
+    const float z = bitsToF(R(ip->e));
+    R(ip->d) = fToBits(ip->aux & 1 ? t + z : z + t);
+    NEXT;
+}
+VCB_OP(FMulFSub) {
+    const float t = bitsToF(R(ip->b)) * bitsToF(R(ip->c));
+    R(ip->a) = fToBits(t);
+    const float z = bitsToF(R(ip->e));
+    R(ip->d) = fToBits(ip->aux & 1 ? t - z : z - t);
+    NEXT;
+}
+VCB_OP(LdShFMul) {
+    uint64_t addr = R(ip->b);
+    VCB_ASSERT(addr < shared_words,
+               "kernel '%s' @%u: shared load [%llu] out of bounds "
+               "(%llu words)",
+               k.module.name.c_str(), pcOf(), (unsigned long long)addr,
+               (unsigned long long)shared_words);
+    const uint32_t v = sh[addr];
+    R(ip->a) = v;
+    ws.sharedAccesses += 1;
+    const float z = bitsToF(R(ip->e));
+    R(ip->d) = fToBits(ip->aux & 1 ? bitsToF(v) * z : z * bitsToF(v));
+    NEXT;
+}
+VCB_OP(LdShFSub) {
+    uint64_t addr = R(ip->b);
+    VCB_ASSERT(addr < shared_words,
+               "kernel '%s' @%u: shared load [%llu] out of bounds "
+               "(%llu words)",
+               k.module.name.c_str(), pcOf(), (unsigned long long)addr,
+               (unsigned long long)shared_words);
+    const uint32_t v = sh[addr];
+    R(ip->a) = v;
+    ws.sharedAccesses += 1;
+    const float z = bitsToF(R(ip->e));
+    R(ip->d) = fToBits(ip->aux & 1 ? bitsToF(v) - z : z - bitsToF(v));
+    NEXT;
+}
+VCB_OP(LdShFDiv) {
+    uint64_t addr = R(ip->b);
+    VCB_ASSERT(addr < shared_words,
+               "kernel '%s' @%u: shared load [%llu] out of bounds "
+               "(%llu words)",
+               k.module.name.c_str(), pcOf(), (unsigned long long)addr,
+               (unsigned long long)shared_words);
+    const uint32_t v = sh[addr];
+    R(ip->a) = v;
+    ws.sharedAccesses += 1;
+    const float z = bitsToF(R(ip->e));
+    R(ip->d) = fToBits(ip->aux & 1 ? bitsToF(v) / z : z / bitsToF(v));
+    NEXT;
+}
+VCB_OP(FSubStSh) {
+    const uint32_t t =
+        fToBits(bitsToF(R(ip->b)) - bitsToF(R(ip->c)));
+    R(ip->a) = t;
+    uint64_t addr = R(ip->d);
+    VCB_ASSERT(addr < shared_words,
+               "kernel '%s' @%u: shared store [%llu] out of bounds "
+               "(%llu words)",
+               k.module.name.c_str(), pcOf(), (unsigned long long)addr,
+               (unsigned long long)shared_words);
+    sh[addr] = t;
+    ws.sharedAccesses += 1;
+    NEXT;
+}
+VCB_OP(FDivStSh) {
+    const uint32_t t =
+        fToBits(bitsToF(R(ip->b)) / bitsToF(R(ip->c)));
+    R(ip->a) = t;
+    uint64_t addr = R(ip->d);
+    VCB_ASSERT(addr < shared_words,
+               "kernel '%s' @%u: shared store [%llu] out of bounds "
+               "(%llu words)",
+               k.module.name.c_str(), pcOf(), (unsigned long long)addr,
+               (unsigned long long)shared_words);
+    sh[addr] = t;
+    ws.sharedAccesses += 1;
+    NEXT;
+}
+
+VCB_OP(IDivRem) {
+    const int32_t den = bitsToS(R(ip->c));
+    if (den == 0)
+        panic("kernel '%s' @%u: integer division by zero",
+              k.module.name.c_str(), pcOf());
+    const int32_t num = bitsToS(R(ip->b));
+    R(ip->a) = static_cast<uint32_t>(num / den);
+    R(ip->d) = static_cast<uint32_t>(num % den);
+    NEXT;
+}
+
+VCB_OP(Barrier)
+    pcs[lane] = pcOf() + 1;
+    ws.laneCycles += cycles;
+    ++at_barrier;
+    goto lane_done;
+VCB_OP(Ret)
+    ws.laneCycles += cycles;
+    ++done;
+    goto lane_done;
+
+#if !VCB_THREADED_DISPATCH
+          case MOp::Count:
+            panic("kernel '%s' @%u: invalid micro-op",
+                  k.module.name.c_str(), pcOf());
+        }
+        ++ip;
+    }
+#endif
+
+lane_done:
+    if (++lane < localCount)
+        goto new_lane;
+    done_out = done;
+    barrier_out = at_barrier;
+}
+
+#undef VCB_CMPBR
+#undef VCB_OP
+#undef NEXT
+#undef XFER
+#undef R
+
+template void
+Interpreter::runPhase<false>(uint32_t, uint32_t, uint32_t,
+                             WorkgroupStats &, CoalesceSampler *,
+                             uint32_t &, uint32_t &);
+template void
+Interpreter::runPhase<true>(uint32_t, uint32_t, uint32_t,
+                            WorkgroupStats &, CoalesceSampler *,
+                            uint32_t &, uint32_t &);
+
+/** Lane vector of register x (contiguous, reg-major file). */
+#define V(x) (regs0 + static_cast<size_t>(x) * lc)
+/** Element-wise binary op handler for the op-major executor.  A may
+ *  alias B/C only exactly (vector offsets are multiples of lc), which
+ *  keeps the per-lane semantics of the lane-major path. */
+#define VBIN(name, expr)                                                  \
+    case MOp::name: {                                                     \
+        uint32_t *const A = V(in.a);                                      \
+        const uint32_t *const B = V(in.b);                                \
+        const uint32_t *const C = V(in.c);                                \
+        for (size_t l = 0; l < lc; ++l)                                   \
+            A[l] = (expr);                                                \
+        break;                                                            \
+    }
+#define VUN(name, expr)                                                   \
+    case MOp::name: {                                                     \
+        uint32_t *const A = V(in.a);                                      \
+        const uint32_t *const B = V(in.b);                                \
+        for (size_t l = 0; l < lc; ++l)                                   \
+            A[l] = (expr);                                                \
+        break;                                                            \
+    }
+/** Fused compare+branch: flags written per lane, then the uniform /
+ *  divergent decision below the switch. */
+#define VCMPBR(name, expr)                                                \
+    case MOp::name: {                                                     \
+        uint32_t *const A = V(in.a);                                      \
+        const uint32_t *const B = V(in.b);                                \
+        const uint32_t *const C = V(in.c);                                \
+        uint32_t taken = 0;                                               \
+        const uint32_t sense = in.aux;                                    \
+        for (size_t l = 0; l < lc; ++l) {                                 \
+            const uint32_t x = B[l];                                      \
+            const uint32_t y = C[l];                                      \
+            const uint32_t cond = (expr);                                 \
+            A[l] = cond;                                                  \
+            taken += cond == sense;                                       \
+        }                                                                 \
+        if (taken == lc || taken == 0) {                                  \
+            pc = taken ? in.d : pc + 1;                                   \
+            ws.laneCycles +=                                              \
+                static_cast<uint64_t>(cost_from[pc]) * lc;                \
+            continue;                                                     \
+        }                                                                 \
+        for (size_t l = 0; l < lc; ++l)                                   \
+            pcs[l] = A[l] == sense ? in.d : pc + 1;                       \
+        runPhase<false>(wx, wy, wz, ws, nullptr, done_out,                \
+                        barrier_out);                                     \
+        return;                                                           \
+    }
+
+void
+Interpreter::runPhaseVector(uint32_t start_pc, uint32_t wx, uint32_t wy,
+                            uint32_t wz, WorkgroupStats &ws,
+                            uint32_t &done_out, uint32_t &barrier_out)
+{
+    const CompiledKernel &k = *kernel;
+    const MicroKernel &mk = k.micro;
+    const MicroOp *const ops = mk.ops.data();
+    const uint32_t *const cost_from = mk.costFrom.data();
+    const size_t lc = localCount;
+    uint32_t *const regs0 = regs.data();
+    const BufferBinding *const bufs = ctx->buffers.data();
+    uint64_t *const site_exec = ws.siteExec.data();
+    uint32_t *const sh = shared.data();
+    const uint64_t shared_words = shared.size();
+    const uint32_t lx = k.module.localSize[0];
+    const uint32_t ly = k.module.localSize[1];
+
+    uint32_t pc = start_pc;
+    // Charge the whole straight-line run for every lane up front, as
+    // the lane-major executor does per lane at entry.
+    ws.laneCycles += static_cast<uint64_t>(cost_from[pc]) * lc;
 
     auto oob = [&](uint32_t binding, uint64_t addr,
                    uint64_t words) -> void {
@@ -153,263 +936,540 @@ Interpreter::runLane(uint32_t lane, uint32_t wx, uint32_t wy, uint32_t wz,
               k.module.name.c_str(), pc, binding,
               (unsigned long long)addr, (unsigned long long)words);
     };
-
-    auto memAccess = [&](uint32_t binding, uint32_t addr_reg,
-                         uint32_t site_slot) -> uint32_t * {
-        const BufferBinding &buf = ctx->buffers[binding];
-        uint64_t addr = r[addr_reg];
-        if (addr >= buf.words) {
-            if (!ctx->robustAccess)
-                oob(binding, addr, buf.words);
-            addr = buf.words ? buf.words - 1 : 0;
-        }
-        ws.siteExec[site_slot] += 1;
-        if (sampler)
-            sampler->record(lane, site_slot, addr * 4);
-        return buf.data + addr;
+    auto shOob = [&](const char *what, uint64_t addr) -> void {
+        panic("kernel '%s' @%u: shared %s [%llu] out of bounds "
+              "(%llu words)",
+              k.module.name.c_str(), pc, what, (unsigned long long)addr,
+              (unsigned long long)shared_words);
     };
 
     for (;;) {
-        VCB_ASSERT(pc < insn_count, "kernel '%s': pc %u fell off the end",
-                   k.module.name.c_str(), pc);
-        const spirv::Insn &in = insns[pc];
-        cycles += opCost(in.op);
+        const MicroOp &in = ops[pc];
         switch (in.op) {
-          case Op::Nop:
+          case MOp::Const:
+            std::fill_n(V(in.a), lc, in.b);
             break;
-          case Op::ConstI:
-          case Op::ConstF:
-            r[in.a] = in.b;
+          case MOp::Mov:
+            std::copy_n(V(in.b), lc, V(in.a));
             break;
-          case Op::Mov:
-            r[in.a] = r[in.b];
-            break;
-          case Op::LdBuiltin: {
+          case MOp::LdBuiltin: {
             using spirv::Builtin;
-            uint32_t v = 0;
-            switch (static_cast<Builtin>(in.b)) {
-              case Builtin::GlobalIdX: v = wx * lx + lid_x; break;
-              case Builtin::GlobalIdY: v = wy * ly + lid_y; break;
+            uint32_t *const A = V(in.a);
+            const LaneId *const lid = lids.data();
+            switch (static_cast<Builtin>(in.aux)) {
+              case Builtin::GlobalIdX:
+                for (size_t l = 0; l < lc; ++l)
+                    A[l] = wx * lx + lid[l].x;
+                break;
+              case Builtin::GlobalIdY:
+                for (size_t l = 0; l < lc; ++l)
+                    A[l] = wy * ly + lid[l].y;
+                break;
               case Builtin::GlobalIdZ:
-                v = wz * k.module.localSize[2] + lid_z;
+                for (size_t l = 0; l < lc; ++l)
+                    A[l] = wz * k.module.localSize[2] + lid[l].z;
                 break;
-              case Builtin::LocalIdX: v = lid_x; break;
-              case Builtin::LocalIdY: v = lid_y; break;
-              case Builtin::LocalIdZ: v = lid_z; break;
-              case Builtin::GroupIdX: v = wx; break;
-              case Builtin::GroupIdY: v = wy; break;
-              case Builtin::GroupIdZ: v = wz; break;
-              case Builtin::NumGroupsX: v = ctx->groups[0]; break;
-              case Builtin::NumGroupsY: v = ctx->groups[1]; break;
-              case Builtin::NumGroupsZ: v = ctx->groups[2]; break;
-              case Builtin::LocalSizeX: v = lx; break;
-              case Builtin::LocalSizeY: v = ly; break;
-              case Builtin::LocalSizeZ: v = k.module.localSize[2]; break;
-              case Builtin::GlobalSizeX: v = ctx->groups[0] * lx; break;
-              case Builtin::GlobalSizeY: v = ctx->groups[1] * ly; break;
+              case Builtin::LocalIdX:
+                for (size_t l = 0; l < lc; ++l)
+                    A[l] = lid[l].x;
+                break;
+              case Builtin::LocalIdY:
+                for (size_t l = 0; l < lc; ++l)
+                    A[l] = lid[l].y;
+                break;
+              case Builtin::LocalIdZ:
+                for (size_t l = 0; l < lc; ++l)
+                    A[l] = lid[l].z;
+                break;
+              case Builtin::LocalLinearId:
+                for (size_t l = 0; l < lc; ++l)
+                    A[l] = static_cast<uint32_t>(l);
+                break;
+              case Builtin::GroupIdX: std::fill_n(A, lc, wx); break;
+              case Builtin::GroupIdY: std::fill_n(A, lc, wy); break;
+              case Builtin::GroupIdZ: std::fill_n(A, lc, wz); break;
+              case Builtin::NumGroupsX:
+                std::fill_n(A, lc, ctx->groups[0]);
+                break;
+              case Builtin::NumGroupsY:
+                std::fill_n(A, lc, ctx->groups[1]);
+                break;
+              case Builtin::NumGroupsZ:
+                std::fill_n(A, lc, ctx->groups[2]);
+                break;
+              case Builtin::LocalSizeX: std::fill_n(A, lc, lx); break;
+              case Builtin::LocalSizeY: std::fill_n(A, lc, ly); break;
+              case Builtin::LocalSizeZ:
+                std::fill_n(A, lc, k.module.localSize[2]);
+                break;
+              case Builtin::GlobalSizeX:
+                std::fill_n(A, lc, ctx->groups[0] * lx);
+                break;
+              case Builtin::GlobalSizeY:
+                std::fill_n(A, lc, ctx->groups[1] * ly);
+                break;
               case Builtin::GlobalSizeZ:
-                v = ctx->groups[2] * k.module.localSize[2];
+                std::fill_n(A, lc,
+                            ctx->groups[2] * k.module.localSize[2]);
                 break;
-              case Builtin::LocalLinearId: v = lane; break;
-              case Builtin::Count: break;
+              case Builtin::Count: std::fill_n(A, lc, 0u); break;
             }
-            r[in.a] = v;
             break;
           }
-          case Op::LdPush:
-            VCB_ASSERT(in.b < ctx->pushWords,
-                       "kernel '%s': push word %u not provided (%u)",
-                       k.module.name.c_str(), in.b, ctx->pushWords);
-            r[in.a] = ctx->push[in.b];
+          case MOp::LdPush:
+            std::fill_n(V(in.a), lc, ctx->push[in.b]);
             break;
 
-          case Op::IAdd: r[in.a] = r[in.b] + r[in.c]; break;
-          case Op::ISub: r[in.a] = r[in.b] - r[in.c]; break;
-          case Op::IMul: r[in.a] = r[in.b] * r[in.c]; break;
-          case Op::IDiv:
-            if (r[in.c] == 0)
-                panic("kernel '%s' @%u: integer division by zero",
-                      k.module.name.c_str(), pc);
-            r[in.a] = static_cast<uint32_t>(asS(r[in.b]) / asS(r[in.c]));
-            break;
-          case Op::IRem:
-            if (r[in.c] == 0)
-                panic("kernel '%s' @%u: integer remainder by zero",
-                      k.module.name.c_str(), pc);
-            r[in.a] = static_cast<uint32_t>(asS(r[in.b]) % asS(r[in.c]));
-            break;
-          case Op::IMin:
-            r[in.a] = static_cast<uint32_t>(
-                std::min(asS(r[in.b]), asS(r[in.c])));
-            break;
-          case Op::IMax:
-            r[in.a] = static_cast<uint32_t>(
-                std::max(asS(r[in.b]), asS(r[in.c])));
-            break;
-          case Op::IAnd: r[in.a] = r[in.b] & r[in.c]; break;
-          case Op::IOr:  r[in.a] = r[in.b] | r[in.c]; break;
-          case Op::IXor: r[in.a] = r[in.b] ^ r[in.c]; break;
-          case Op::INot: r[in.a] = ~r[in.b]; break;
-          case Op::INeg:
-            r[in.a] = static_cast<uint32_t>(-asS(r[in.b]));
-            break;
-          case Op::IShl: r[in.a] = r[in.b] << (r[in.c] & 31); break;
-          case Op::IShrU: r[in.a] = r[in.b] >> (r[in.c] & 31); break;
-          case Op::IShrS:
-            r[in.a] = static_cast<uint32_t>(asS(r[in.b]) >>
-                                            (r[in.c] & 31));
-            break;
-
-          case Op::FAdd: r[in.a] = asU(asF(r[in.b]) + asF(r[in.c])); break;
-          case Op::FSub: r[in.a] = asU(asF(r[in.b]) - asF(r[in.c])); break;
-          case Op::FMul: r[in.a] = asU(asF(r[in.b]) * asF(r[in.c])); break;
-          case Op::FDiv: r[in.a] = asU(asF(r[in.b]) / asF(r[in.c])); break;
-          case Op::FMin:
-            r[in.a] = asU(std::fmin(asF(r[in.b]), asF(r[in.c])));
-            break;
-          case Op::FMax:
-            r[in.a] = asU(std::fmax(asF(r[in.b]), asF(r[in.c])));
-            break;
-          case Op::FAbs: r[in.a] = asU(std::fabs(asF(r[in.b]))); break;
-          case Op::FNeg: r[in.a] = asU(-asF(r[in.b])); break;
-          case Op::FSqrt: r[in.a] = asU(std::sqrt(asF(r[in.b]))); break;
-          case Op::FExp: r[in.a] = asU(std::exp(asF(r[in.b]))); break;
-          case Op::FLog: r[in.a] = asU(std::log(asF(r[in.b]))); break;
-          case Op::FFloor: r[in.a] = asU(std::floor(asF(r[in.b]))); break;
-          case Op::FSin: r[in.a] = asU(std::sin(asF(r[in.b]))); break;
-          case Op::FCos: r[in.a] = asU(std::cos(asF(r[in.b]))); break;
-          case Op::FFma:
-            r[in.a] = asU(std::fma(asF(r[in.b]), asF(r[in.c]),
-                                   asF(r[in.d])));
-            break;
-          case Op::FPow:
-            r[in.a] = asU(std::pow(asF(r[in.b]), asF(r[in.c])));
-            break;
-
-          case Op::CvtSF:
-            r[in.a] = asU(static_cast<float>(asS(r[in.b])));
-            break;
-          case Op::CvtFS:
-            r[in.a] = static_cast<uint32_t>(
-                static_cast<int32_t>(asF(r[in.b])));
-            break;
-
-          case Op::IEq: r[in.a] = r[in.b] == r[in.c]; break;
-          case Op::INe: r[in.a] = r[in.b] != r[in.c]; break;
-          case Op::ILt: r[in.a] = asS(r[in.b]) < asS(r[in.c]); break;
-          case Op::ILe: r[in.a] = asS(r[in.b]) <= asS(r[in.c]); break;
-          case Op::IGt: r[in.a] = asS(r[in.b]) > asS(r[in.c]); break;
-          case Op::IGe: r[in.a] = asS(r[in.b]) >= asS(r[in.c]); break;
-          case Op::ULt: r[in.a] = r[in.b] < r[in.c]; break;
-          case Op::UGe: r[in.a] = r[in.b] >= r[in.c]; break;
-          case Op::FEq: r[in.a] = asF(r[in.b]) == asF(r[in.c]); break;
-          case Op::FNe: r[in.a] = asF(r[in.b]) != asF(r[in.c]); break;
-          case Op::FLt: r[in.a] = asF(r[in.b]) < asF(r[in.c]); break;
-          case Op::FLe: r[in.a] = asF(r[in.b]) <= asF(r[in.c]); break;
-          case Op::FGt: r[in.a] = asF(r[in.b]) > asF(r[in.c]); break;
-          case Op::FGe: r[in.a] = asF(r[in.b]) >= asF(r[in.c]); break;
-          case Op::Select:
-            r[in.a] = r[in.b] ? r[in.c] : r[in.d];
-            break;
-
-          case Op::LdBuf: {
-            uint32_t *p = memAccess(in.b, in.c, k.siteOfInsn[pc] - 1);
-            r[in.a] = std::atomic_ref<uint32_t>(*p).load(
-                std::memory_order_relaxed);
-            break;
-          }
-          case Op::StBuf: {
-            uint32_t *p = memAccess(in.a, in.b, k.siteOfInsn[pc] - 1);
-            std::atomic_ref<uint32_t>(*p).store(
-                r[in.c], std::memory_order_relaxed);
-            break;
-          }
-          case Op::LdShared: {
-            uint64_t addr = r[in.b];
-            VCB_ASSERT(addr < shared.size(),
-                       "kernel '%s' @%u: shared load [%llu] out of "
-                       "bounds (%zu words)",
-                       k.module.name.c_str(), pc,
-                       (unsigned long long)addr, shared.size());
-            r[in.a] = shared[addr];
-            ws.sharedAccesses += 1;
-            break;
-          }
-          case Op::StShared: {
-            uint64_t addr = r[in.a];
-            VCB_ASSERT(addr < shared.size(),
-                       "kernel '%s' @%u: shared store [%llu] out of "
-                       "bounds (%zu words)",
-                       k.module.name.c_str(), pc,
-                       (unsigned long long)addr, shared.size());
-            shared[addr] = r[in.b];
-            ws.sharedAccesses += 1;
-            break;
-          }
-          case Op::AtomIAdd: {
-            uint32_t *p = memAccess(in.b, in.c, k.siteOfInsn[pc] - 1);
-            r[in.a] = std::atomic_ref<uint32_t>(*p).fetch_add(
-                r[in.d], std::memory_order_relaxed);
-            ws.atomicOps += 1;
-            break;
-          }
-          case Op::AtomIOr: {
-            uint32_t *p = memAccess(in.b, in.c, k.siteOfInsn[pc] - 1);
-            r[in.a] = std::atomic_ref<uint32_t>(*p).fetch_or(
-                r[in.d], std::memory_order_relaxed);
-            ws.atomicOps += 1;
-            break;
-          }
-          case Op::AtomIMin:
-          case Op::AtomIMax: {
-            uint32_t *p = memAccess(in.b, in.c, k.siteOfInsn[pc] - 1);
-            std::atomic_ref<uint32_t> ref(*p);
-            uint32_t old = ref.load(std::memory_order_relaxed);
-            for (;;) {
-                int32_t cur = asS(old);
-                int32_t arg = asS(r[in.d]);
-                int32_t want = in.op == Op::AtomIMin ? std::min(cur, arg)
-                                                     : std::max(cur, arg);
-                if (want == cur)
-                    break;
-                if (ref.compare_exchange_weak(
-                        old, static_cast<uint32_t>(want),
-                        std::memory_order_relaxed))
-                    break;
+          VBIN(IAdd, B[l] + C[l])
+          VBIN(ISub, B[l] - C[l])
+          VBIN(IMul, B[l] * C[l])
+          case MOp::IDiv: {
+            uint32_t *const A = V(in.a);
+            const uint32_t *const B = V(in.b);
+            const uint32_t *const C = V(in.c);
+            for (size_t l = 0; l < lc; ++l) {
+                if (C[l] == 0)
+                    panic("kernel '%s' @%u: integer division by zero",
+                          k.module.name.c_str(), pc);
+                A[l] = static_cast<uint32_t>(bitsToS(B[l]) /
+                                             bitsToS(C[l]));
             }
-            r[in.a] = old;
-            ws.atomicOps += 1;
+            break;
+          }
+          case MOp::IRem: {
+            uint32_t *const A = V(in.a);
+            const uint32_t *const B = V(in.b);
+            const uint32_t *const C = V(in.c);
+            for (size_t l = 0; l < lc; ++l) {
+                if (C[l] == 0)
+                    panic("kernel '%s' @%u: integer remainder by zero",
+                          k.module.name.c_str(), pc);
+                A[l] = static_cast<uint32_t>(bitsToS(B[l]) %
+                                             bitsToS(C[l]));
+            }
+            break;
+          }
+          VBIN(IMin, static_cast<uint32_t>(
+                         std::min(bitsToS(B[l]), bitsToS(C[l]))))
+          VBIN(IMax, static_cast<uint32_t>(
+                         std::max(bitsToS(B[l]), bitsToS(C[l]))))
+          VBIN(IAnd, B[l] & C[l])
+          VBIN(IOr, B[l] | C[l])
+          VBIN(IXor, B[l] ^ C[l])
+          VUN(INot, ~B[l])
+          VUN(INeg, static_cast<uint32_t>(-bitsToS(B[l])))
+          VBIN(IShl, B[l] << (C[l] & 31))
+          VBIN(IShrU, B[l] >> (C[l] & 31))
+          VBIN(IShrS,
+               static_cast<uint32_t>(bitsToS(B[l]) >> (C[l] & 31)))
+
+          VBIN(FAdd, fToBits(bitsToF(B[l]) + bitsToF(C[l])))
+          VBIN(FSub, fToBits(bitsToF(B[l]) - bitsToF(C[l])))
+          VBIN(FMul, fToBits(bitsToF(B[l]) * bitsToF(C[l])))
+          VBIN(FDiv, fToBits(bitsToF(B[l]) / bitsToF(C[l])))
+          VBIN(FMin, fToBits(std::fmin(bitsToF(B[l]), bitsToF(C[l]))))
+          VBIN(FMax, fToBits(std::fmax(bitsToF(B[l]), bitsToF(C[l]))))
+          VUN(FAbs, fToBits(std::fabs(bitsToF(B[l]))))
+          VUN(FNeg, fToBits(-bitsToF(B[l])))
+          VUN(FSqrt, fToBits(std::sqrt(bitsToF(B[l]))))
+          VUN(FExp, fToBits(std::exp(bitsToF(B[l]))))
+          VUN(FLog, fToBits(std::log(bitsToF(B[l]))))
+          VUN(FFloor, fToBits(std::floor(bitsToF(B[l]))))
+          VUN(FSin, fToBits(std::sin(bitsToF(B[l]))))
+          VUN(FCos, fToBits(std::cos(bitsToF(B[l]))))
+          case MOp::FFma: {
+            uint32_t *const A = V(in.a);
+            const uint32_t *const B = V(in.b);
+            const uint32_t *const C = V(in.c);
+            const uint32_t *const D = V(in.d);
+            for (size_t l = 0; l < lc; ++l)
+                A[l] = fToBits(std::fma(bitsToF(B[l]), bitsToF(C[l]),
+                                        bitsToF(D[l])));
+            break;
+          }
+          VBIN(FPow, fToBits(std::pow(bitsToF(B[l]), bitsToF(C[l]))))
+          VUN(CvtSF, fToBits(static_cast<float>(bitsToS(B[l]))))
+          VUN(CvtFS, static_cast<uint32_t>(
+                         static_cast<int32_t>(bitsToF(B[l]))))
+
+          VBIN(IEq, B[l] == C[l])
+          VBIN(INe, B[l] != C[l])
+          VBIN(ILt, bitsToS(B[l]) < bitsToS(C[l]))
+          VBIN(ILe, bitsToS(B[l]) <= bitsToS(C[l]))
+          VBIN(IGt, bitsToS(B[l]) > bitsToS(C[l]))
+          VBIN(IGe, bitsToS(B[l]) >= bitsToS(C[l]))
+          VBIN(ULt, B[l] < C[l])
+          VBIN(UGe, B[l] >= C[l])
+          VBIN(FEq, bitsToF(B[l]) == bitsToF(C[l]))
+          VBIN(FNe, bitsToF(B[l]) != bitsToF(C[l]))
+          VBIN(FLt, bitsToF(B[l]) < bitsToF(C[l]))
+          VBIN(FLe, bitsToF(B[l]) <= bitsToF(C[l]))
+          VBIN(FGt, bitsToF(B[l]) > bitsToF(C[l]))
+          VBIN(FGe, bitsToF(B[l]) >= bitsToF(C[l]))
+          case MOp::Select: {
+            uint32_t *const A = V(in.a);
+            const uint32_t *const B = V(in.b);
+            const uint32_t *const C = V(in.c);
+            const uint32_t *const D = V(in.d);
+            for (size_t l = 0; l < lc; ++l)
+                A[l] = B[l] ? C[l] : D[l];
             break;
           }
 
-          case Op::Br:
+          case MOp::LdBuf: {
+            const BufferBinding &buf = bufs[in.b];
+            uint32_t *const A = V(in.a);
+            const uint32_t *const ADDR = V(in.c);
+            for (size_t l = 0; l < lc; ++l) {
+                const uint32_t addr = ADDR[l];
+                if (addr >= buf.words) [[unlikely]]
+                    oob(in.b, addr, buf.words);
+                A[l] = std::atomic_ref<uint32_t>(buf.data[addr])
+                           .load(std::memory_order_relaxed);
+            }
+            site_exec[in.d] += lc;
+            break;
+          }
+          case MOp::StBuf: {
+            const BufferBinding &buf = bufs[in.a];
+            const uint32_t *const ADDR = V(in.b);
+            const uint32_t *const S = V(in.c);
+            for (size_t l = 0; l < lc; ++l) {
+                const uint32_t addr = ADDR[l];
+                if (addr >= buf.words) [[unlikely]]
+                    oob(in.a, addr, buf.words);
+                std::atomic_ref<uint32_t>(buf.data[addr])
+                    .store(S[l], std::memory_order_relaxed);
+            }
+            site_exec[in.d] += lc;
+            break;
+          }
+          case MOp::LdShared: {
+            uint32_t *const A = V(in.a);
+            const uint32_t *const ADDR = V(in.b);
+            for (size_t l = 0; l < lc; ++l) {
+                const uint32_t addr = ADDR[l];
+                if (addr >= shared_words) [[unlikely]]
+                    shOob("load", addr);
+                A[l] = sh[addr];
+            }
+            ws.sharedAccesses += lc;
+            break;
+          }
+          case MOp::StShared: {
+            const uint32_t *const ADDR = V(in.a);
+            const uint32_t *const S = V(in.b);
+            for (size_t l = 0; l < lc; ++l) {
+                const uint32_t addr = ADDR[l];
+                if (addr >= shared_words) [[unlikely]]
+                    shOob("store", addr);
+                sh[addr] = S[l];
+            }
+            ws.sharedAccesses += lc;
+            break;
+          }
+
+          case MOp::IAddLd: {
+            const BufferBinding &buf = bufs[in.aux];
+            uint32_t *const A = V(in.a);
+            const uint32_t *const B = V(in.b);
+            const uint32_t *const C = V(in.c);
+            uint32_t *const D = V(in.d);
+            for (size_t l = 0; l < lc; ++l) {
+                const uint32_t addr = B[l] + C[l];
+                A[l] = addr;
+                if (addr >= buf.words) [[unlikely]]
+                    oob(in.aux, addr, buf.words);
+                D[l] = std::atomic_ref<uint32_t>(buf.data[addr])
+                           .load(std::memory_order_relaxed);
+            }
+            site_exec[in.e] += lc;
+            break;
+          }
+          case MOp::IAddSt: {
+            const BufferBinding &buf = bufs[in.aux];
+            uint32_t *const A = V(in.a);
+            const uint32_t *const B = V(in.b);
+            const uint32_t *const C = V(in.c);
+            const uint32_t *const D = V(in.d);
+            for (size_t l = 0; l < lc; ++l) {
+                const uint32_t addr = B[l] + C[l];
+                A[l] = addr;
+                if (addr >= buf.words) [[unlikely]]
+                    oob(in.aux, addr, buf.words);
+                std::atomic_ref<uint32_t>(buf.data[addr])
+                    .store(D[l], std::memory_order_relaxed);
+            }
+            site_exec[in.e] += lc;
+            break;
+          }
+          case MOp::IMulAdd: {
+            uint32_t *const A = V(in.a);
+            const uint32_t *const B = V(in.b);
+            const uint32_t *const C = V(in.c);
+            uint32_t *const D = V(in.d);
+            const uint32_t *const E = V(in.e);
+            for (size_t l = 0; l < lc; ++l) {
+                const uint32_t t = B[l] * C[l];
+                A[l] = t;
+                D[l] = t + E[l];
+            }
+            break;
+          }
+          case MOp::IAddAdd: {
+            uint32_t *const A = V(in.a);
+            const uint32_t *const B = V(in.b);
+            const uint32_t *const C = V(in.c);
+            uint32_t *const D = V(in.d);
+            const uint32_t *const E = V(in.e);
+            for (size_t l = 0; l < lc; ++l) {
+                const uint32_t t = B[l] + C[l];
+                A[l] = t;
+                D[l] = t + E[l];
+            }
+            break;
+          }
+          case MOp::IAddLdSh: {
+            uint32_t *const A = V(in.a);
+            const uint32_t *const B = V(in.b);
+            const uint32_t *const C = V(in.c);
+            uint32_t *const D = V(in.d);
+            for (size_t l = 0; l < lc; ++l) {
+                const uint32_t addr = B[l] + C[l];
+                A[l] = addr;
+                if (addr >= shared_words) [[unlikely]]
+                    shOob("load", addr);
+                D[l] = sh[addr];
+            }
+            ws.sharedAccesses += lc;
+            break;
+          }
+          case MOp::IAddStSh: {
+            uint32_t *const A = V(in.a);
+            const uint32_t *const B = V(in.b);
+            const uint32_t *const C = V(in.c);
+            const uint32_t *const D = V(in.d);
+            for (size_t l = 0; l < lc; ++l) {
+                const uint32_t addr = B[l] + C[l];
+                A[l] = addr;
+                if (addr >= shared_words) [[unlikely]]
+                    shOob("store", addr);
+                sh[addr] = D[l];
+            }
+            ws.sharedAccesses += lc;
+            break;
+          }
+          case MOp::MulAddLdSh: {
+            uint32_t *const A = V(in.a);
+            const uint32_t *const B = V(in.b);
+            const uint32_t *const C = V(in.c);
+            uint32_t *const D = V(in.d);
+            const uint32_t *const E = V(in.e);
+            uint32_t *const X = V(in.aux);
+            for (size_t l = 0; l < lc; ++l) {
+                const uint32_t t = B[l] * C[l];
+                A[l] = t;
+                const uint32_t addr = t + E[l];
+                D[l] = addr;
+                if (addr >= shared_words) [[unlikely]]
+                    shOob("load", addr);
+                X[l] = sh[addr];
+            }
+            ws.sharedAccesses += lc;
+            break;
+          }
+          case MOp::MulAddStSh: {
+            uint32_t *const A = V(in.a);
+            const uint32_t *const B = V(in.b);
+            const uint32_t *const C = V(in.c);
+            uint32_t *const D = V(in.d);
+            const uint32_t *const E = V(in.e);
+            const uint32_t *const X = V(in.aux);
+            for (size_t l = 0; l < lc; ++l) {
+                const uint32_t t = B[l] * C[l];
+                A[l] = t;
+                const uint32_t addr = t + E[l];
+                D[l] = addr;
+                if (addr >= shared_words) [[unlikely]]
+                    shOob("store", addr);
+                sh[addr] = X[l];
+            }
+            ws.sharedAccesses += lc;
+            break;
+          }
+          case MOp::FMulFAdd: {
+            uint32_t *const A = V(in.a);
+            const uint32_t *const B = V(in.b);
+            const uint32_t *const C = V(in.c);
+            uint32_t *const D = V(in.d);
+            const uint32_t *const E = V(in.e);
+            const bool left = in.aux & 1;
+            for (size_t l = 0; l < lc; ++l) {
+                const float t = bitsToF(B[l]) * bitsToF(C[l]);
+                A[l] = fToBits(t);
+                const float z = bitsToF(E[l]);
+                D[l] = fToBits(left ? t + z : z + t);
+            }
+            break;
+          }
+          case MOp::FMulFSub: {
+            uint32_t *const A = V(in.a);
+            const uint32_t *const B = V(in.b);
+            const uint32_t *const C = V(in.c);
+            uint32_t *const D = V(in.d);
+            const uint32_t *const E = V(in.e);
+            const bool left = in.aux & 1;
+            for (size_t l = 0; l < lc; ++l) {
+                const float t = bitsToF(B[l]) * bitsToF(C[l]);
+                A[l] = fToBits(t);
+                const float z = bitsToF(E[l]);
+                D[l] = fToBits(left ? t - z : z - t);
+            }
+            break;
+          }
+          case MOp::LdShFMul:
+          case MOp::LdShFSub:
+          case MOp::LdShFDiv: {
+            uint32_t *const A = V(in.a);
+            const uint32_t *const B = V(in.b);
+            uint32_t *const D = V(in.d);
+            const uint32_t *const E = V(in.e);
+            const bool left = in.aux & 1;
+            for (size_t l = 0; l < lc; ++l) {
+                const uint32_t addr = B[l];
+                if (addr >= shared_words) [[unlikely]]
+                    shOob("load", addr);
+                const uint32_t v = sh[addr];
+                A[l] = v;
+                const float fv = bitsToF(v);
+                const float z = bitsToF(E[l]);
+                float res;
+                if (in.op == MOp::LdShFMul)
+                    res = left ? fv * z : z * fv;
+                else if (in.op == MOp::LdShFSub)
+                    res = left ? fv - z : z - fv;
+                else
+                    res = left ? fv / z : z / fv;
+                D[l] = fToBits(res);
+            }
+            ws.sharedAccesses += lc;
+            break;
+          }
+          case MOp::FSubStSh:
+          case MOp::FDivStSh: {
+            uint32_t *const A = V(in.a);
+            const uint32_t *const B = V(in.b);
+            const uint32_t *const C = V(in.c);
+            const uint32_t *const D = V(in.d);
+            for (size_t l = 0; l < lc; ++l) {
+                const float x = bitsToF(B[l]);
+                const float y = bitsToF(C[l]);
+                const uint32_t t =
+                    fToBits(in.op == MOp::FSubStSh ? x - y : x / y);
+                A[l] = t;
+                const uint32_t addr = D[l];
+                if (addr >= shared_words) [[unlikely]]
+                    shOob("store", addr);
+                sh[addr] = t;
+            }
+            ws.sharedAccesses += lc;
+            break;
+          }
+          case MOp::IDivRem: {
+            uint32_t *const A = V(in.a);
+            const uint32_t *const B = V(in.b);
+            const uint32_t *const C = V(in.c);
+            uint32_t *const D = V(in.d);
+            for (size_t l = 0; l < lc; ++l) {
+                const int32_t den = bitsToS(C[l]);
+                if (den == 0)
+                    panic("kernel '%s' @%u: integer division by zero",
+                          k.module.name.c_str(), pc);
+                const int32_t num = bitsToS(B[l]);
+                A[l] = static_cast<uint32_t>(num / den);
+                D[l] = static_cast<uint32_t>(num % den);
+            }
+            break;
+          }
+
+          case MOp::Jmp:
             pc = in.a;
+            ws.laneCycles += static_cast<uint64_t>(cost_from[pc]) * lc;
             continue;
-          case Op::BrTrue:
-            if (r[in.a]) {
-                pc = in.b;
+          case MOp::BrTrue:
+          case MOp::BrFalse: {
+            const uint32_t *const A = V(in.a);
+            const uint32_t sense = in.op == MOp::BrTrue ? 1 : 0;
+            uint32_t taken = 0;
+            for (size_t l = 0; l < lc; ++l)
+                taken += (A[l] != 0) == (sense != 0);
+            if (taken == lc || taken == 0) {
+                pc = taken ? in.b : pc + 1;
+                ws.laneCycles +=
+                    static_cast<uint64_t>(cost_from[pc]) * lc;
                 continue;
             }
+            for (size_t l = 0; l < lc; ++l)
+                pcs[l] = (A[l] != 0) == (sense != 0) ? in.b : pc + 1;
+            runPhase<false>(wx, wy, wz, ws, nullptr, done_out,
+                            barrier_out);
+            return;
+          }
+
+          VCMPBR(CmpBrIEq, x == y)
+          VCMPBR(CmpBrINe, x != y)
+          VCMPBR(CmpBrILt, bitsToS(x) < bitsToS(y))
+          VCMPBR(CmpBrILe, bitsToS(x) <= bitsToS(y))
+          VCMPBR(CmpBrIGt, bitsToS(x) > bitsToS(y))
+          VCMPBR(CmpBrIGe, bitsToS(x) >= bitsToS(y))
+          VCMPBR(CmpBrULt, x < y)
+          VCMPBR(CmpBrUGe, x >= y)
+          VCMPBR(CmpBrFEq, bitsToF(x) == bitsToF(y))
+          VCMPBR(CmpBrFNe, bitsToF(x) != bitsToF(y))
+          VCMPBR(CmpBrFLt, bitsToF(x) < bitsToF(y))
+          VCMPBR(CmpBrFLe, bitsToF(x) <= bitsToF(y))
+          VCMPBR(CmpBrFGt, bitsToF(x) > bitsToF(y))
+          VCMPBR(CmpBrFGe, bitsToF(x) >= bitsToF(y))
+
+          case MOp::ConstAlu: {
+            uint32_t *const A = V(in.a);
+            uint32_t *const C2 = V(in.c);
+            const uint32_t *const D = V(in.d);
+            const uint32_t *const E = V(in.e);
+            const BinKind kind = static_cast<BinKind>(in.aux);
+            std::fill_n(A, lc, in.b);
+            for (size_t l = 0; l < lc; ++l)
+                C2[l] = evalBin(kind, D[l], E[l]);
             break;
-          case Op::BrFalse:
-            if (!r[in.a]) {
-                pc = in.b;
-                continue;
-            }
-            break;
-          case Op::Barrier:
-            pcs[lane] = pc + 1;
-            ws.laneCycles += cycles;
-            return LaneState::AtBarrier;
-          case Op::Ret:
-            ws.laneCycles += cycles;
-            return LaneState::Done;
-          case Op::Count:
-            panic("kernel '%s' @%u: invalid opcode",
-                  k.module.name.c_str(), pc);
+          }
+
+          case MOp::Barrier:
+            std::fill(pcs.begin(), pcs.end(), pc + 1);
+            done_out = 0;
+            barrier_out = static_cast<uint32_t>(lc);
+            return;
+          case MOp::Ret:
+            done_out = static_cast<uint32_t>(lc);
+            barrier_out = 0;
+            return;
+
+          default:
+            // Atomics (lane order observable) and anything else we do
+            // not vectorize: hand the rest of the phase to the
+            // lane-major executor, which re-charges from this pc.
+            ws.laneCycles -= static_cast<uint64_t>(cost_from[pc]) * lc;
+            std::fill(pcs.begin(), pcs.end(), pc);
+            runPhase<false>(wx, wy, wz, ws, nullptr, done_out,
+                            barrier_out);
+            return;
         }
         ++pc;
     }
 }
+
+#undef V
+#undef VBIN
+#undef VUN
+#undef VCMPBR
 
 } // namespace vcb::sim

@@ -2,13 +2,20 @@
  * @file
  * The kernel interpreter: functional execution of one workgroup.
  *
- * Invocations are interpreted lane-by-lane.  Workgroup barriers are
- * handled by phased execution: every lane runs until its next Barrier
- * (or Ret), then all lanes resume — equivalent to lockstep execution
- * for data-race-free kernels, which is what every supported
- * programming model requires anyway.  Mixed barrier arrival (some
- * lanes done, some at a barrier) is the undefined behaviour all three
- * real APIs document; the simulator traps it.
+ * Invocations are interpreted lane-by-lane over the kernel's micro-op
+ * lowering (see microop.h).  Workgroup barriers are handled by phased
+ * execution: every lane runs until its next Barrier (or Ret), then all
+ * lanes resume — equivalent to lockstep execution for data-race-free
+ * kernels, which is what every supported programming model requires
+ * anyway.  Mixed barrier arrival (some lanes done, some at a barrier)
+ * is the undefined behaviour all three real APIs document; the
+ * simulator traps it.
+ *
+ * Two execution paths share one template: the fast path (no coalescing
+ * sampler attached, robust access off) carries no instrumentation
+ * branches in the memory pipeline; the instrumented path adds sampler
+ * recording and out-of-bounds clamping.  Both produce bit-identical
+ * results and statistics.
  *
  * Global-memory words are accessed through relaxed std::atomic_ref so
  * that independent workgroups can be interpreted on different host
@@ -42,7 +49,8 @@ struct WorkgroupStats
 
 /**
  * Reusable workgroup executor.  One instance must only be used by one
- * thread at a time; the engine keeps one per worker thread.
+ * thread at a time; the engine keeps one per worker thread for the
+ * duration of a dispatch.
  */
 class Interpreter
 {
@@ -62,20 +70,44 @@ class Interpreter
                       WorkgroupStats &ws, CoalesceSampler *sampler);
 
   private:
-    enum class LaneState : uint8_t { Ready, AtBarrier, Done };
+    struct LaneId
+    {
+        uint32_t x, y, z;
+    };
 
-    LaneState runLane(uint32_t lane, uint32_t wx, uint32_t wy,
-                      uint32_t wz, WorkgroupStats &ws,
-                      CoalesceSampler *sampler);
+    /**
+     * Execute one barrier phase lane-by-lane: every lane runs from
+     * pcs[lane] until Ret or Barrier; counts of each outcome are
+     * returned so the caller can detect completion vs divergence.
+     * Instrumented adds sampler recording and robust-access clamping.
+     */
+    template <bool Instrumented>
+    void runPhase(uint32_t wx, uint32_t wy, uint32_t wz,
+                  WorkgroupStats &ws, CoalesceSampler *sampler,
+                  uint32_t &done_out, uint32_t &barrier_out);
+
+    /**
+     * Execute one phase op-major (lockstep): all lanes start at the
+     * same pc and each micro-op runs across the whole workgroup before
+     * the next, amortizing dispatch over lanes and letting the
+     * reg-major register file vectorize.  Valid for data-race-free
+     * kernels, whose results are order-independent between barriers
+     * (the simulator's documented execution contract).  Falls back to
+     * the lane-major runPhase mid-phase when lanes diverge at a
+     * branch, or at ops whose lane order is observable (atomics).
+     */
+    void runPhaseVector(uint32_t start_pc, uint32_t wx, uint32_t wy,
+                        uint32_t wz, WorkgroupStats &ws,
+                        uint32_t &done_out, uint32_t &barrier_out);
 
     const DispatchContext *ctx = nullptr;
     const CompiledKernel *kernel = nullptr;
     uint32_t localCount = 0;
 
-    std::vector<uint32_t> regs;    ///< localCount x regCount
-    std::vector<uint32_t> pcs;     ///< per-lane program counter
-    std::vector<LaneState> states; ///< per-lane state
-    std::vector<uint32_t> shared;  ///< workgroup shared memory
+    std::vector<uint32_t> regs;   ///< localCount x regCount
+    std::vector<uint32_t> pcs;    ///< per-lane program counter
+    std::vector<uint32_t> shared; ///< workgroup shared memory
+    std::vector<LaneId> lids;     ///< per-lane local-invocation id
 };
 
 } // namespace vcb::sim

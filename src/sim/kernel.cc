@@ -91,6 +91,11 @@ compileKernel(const spirv::Module &m, const DeviceSpec &dev, Api api,
                                             : 0.0;
     k->compileNs = perInsn * static_cast<double>(k->insns.size());
 
+    // Lower to the executable micro-op form (see microop.h).  Runs
+    // after the site table is built: site slots are baked into the
+    // micro-ops.
+    lowerKernel(*k);
+
     if (errorOut)
         errorOut->clear();
     return k;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "sim/device.h"
+#include "sim/microop.h"
 #include "spirv/module.h"
 
 namespace vcb::sim {
@@ -49,6 +50,10 @@ struct CompiledKernel
     uint32_t numSites = 0;
     /** Per site: carries MemFlagPromoteHint. */
     std::vector<uint8_t> sitePromote;
+
+    /** The executable lowering the interpreter actually runs (packed
+     *  micro-ops, fused pairs, suffix cost table) — see microop.h. */
+    MicroKernel micro;
 
     /** Invocations per workgroup. */
     uint32_t localCount() const;

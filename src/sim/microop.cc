@@ -1,0 +1,775 @@
+#include "sim/microop.h"
+
+#include "common/logging.h"
+#include "sim/kernel.h"
+
+namespace vcb::sim {
+
+using spirv::Insn;
+using spirv::Op;
+using spirv::OperandKind;
+
+uint8_t
+opCost(Op op)
+{
+    switch (op) {
+      case Op::Nop:
+      case Op::Ret:
+        return 0;
+      case Op::IMul:
+        return 2;
+      case Op::IDiv:
+      case Op::IRem:
+        return 12;
+      case Op::FDiv:
+      case Op::FSqrt:
+        return 8;
+      case Op::FExp:
+      case Op::FLog:
+      case Op::FSin:
+      case Op::FCos:
+        return 16;
+      case Op::FPow:
+        return 24;
+      case Op::LdBuf:
+      case Op::StBuf:
+        return 2;
+      case Op::AtomIAdd:
+      case Op::AtomIMin:
+      case Op::AtomIMax:
+      case Op::AtomIOr:
+        return 4;
+      case Op::Barrier:
+        return 2;
+      default:
+        return 1;
+    }
+}
+
+namespace {
+
+/** Map a source op to the fused-executor BinKind.  Covers exactly the
+ *  (DstReg, SrcReg, SrcReg) binary ops whose evaluation evalBin()
+ *  reproduces bit-identically; trapping ops (IDiv/IRem) and ternary
+ *  ops stay unfused. */
+bool
+binKindOf(Op op, BinKind *out)
+{
+    switch (op) {
+      case Op::IAdd: *out = BinKind::IAdd; return true;
+      case Op::ISub: *out = BinKind::ISub; return true;
+      case Op::IMul: *out = BinKind::IMul; return true;
+      case Op::IMin: *out = BinKind::IMin; return true;
+      case Op::IMax: *out = BinKind::IMax; return true;
+      case Op::IAnd: *out = BinKind::IAnd; return true;
+      case Op::IOr:  *out = BinKind::IOr;  return true;
+      case Op::IXor: *out = BinKind::IXor; return true;
+      case Op::IShl: *out = BinKind::IShl; return true;
+      case Op::IShrU: *out = BinKind::IShrU; return true;
+      case Op::IShrS: *out = BinKind::IShrS; return true;
+      case Op::FAdd: *out = BinKind::FAdd; return true;
+      case Op::FSub: *out = BinKind::FSub; return true;
+      case Op::FMul: *out = BinKind::FMul; return true;
+      case Op::FDiv: *out = BinKind::FDiv; return true;
+      case Op::FMin: *out = BinKind::FMin; return true;
+      case Op::FMax: *out = BinKind::FMax; return true;
+      case Op::IEq: *out = BinKind::IEq; return true;
+      case Op::INe: *out = BinKind::INe; return true;
+      case Op::ILt: *out = BinKind::ILt; return true;
+      case Op::ILe: *out = BinKind::ILe; return true;
+      case Op::IGt: *out = BinKind::IGt; return true;
+      case Op::IGe: *out = BinKind::IGe; return true;
+      case Op::ULt: *out = BinKind::ULt; return true;
+      case Op::UGe: *out = BinKind::UGe; return true;
+      case Op::FEq: *out = BinKind::FEq; return true;
+      case Op::FNe: *out = BinKind::FNe; return true;
+      case Op::FLt: *out = BinKind::FLt; return true;
+      case Op::FLe: *out = BinKind::FLe; return true;
+      case Op::FGt: *out = BinKind::FGt; return true;
+      case Op::FGe: *out = BinKind::FGe; return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isCompare(Op op, BinKind *out)
+{
+    return op >= Op::IEq && op <= Op::FGe && binKindOf(op, out);
+}
+
+bool
+isCmpBr(MOp op)
+{
+    return op >= MOp::CmpBrIEq && op <= MOp::CmpBrFGe;
+}
+
+bool
+isTerminator(MOp op)
+{
+    switch (op) {
+      case MOp::Jmp:
+      case MOp::BrTrue:
+      case MOp::BrFalse:
+      case MOp::Barrier:
+      case MOp::Ret:
+        return true;
+      default:
+        return isCmpBr(op);
+    }
+}
+
+/**
+ * Forward must-analysis: at every reachable instruction, is each read
+ * register definitely assigned on all paths from entry?  Meet is set
+ * intersection; unvisited blocks start at top (all registers).  The
+ * validator's guarantees (labels in range, terminal Ret/Br) make all
+ * successor indices valid.  Barriers are plain fall-throughs here:
+ * registers persist across barrier phases within a workgroup.
+ */
+bool
+provesWriteBeforeRead(const CompiledKernel &k)
+{
+    const std::vector<Insn> &insns = k.insns;
+    const size_t n = insns.size();
+    const uint32_t reg_count = k.module.regCount;
+    if (n == 0)
+        return false;
+    const size_t words = (reg_count + 63) / 64;
+
+    std::vector<uint64_t> in(n * words, ~0ull);
+    std::vector<uint8_t> reached(n, 0);
+    std::fill(in.begin(), in.begin() + words, 0ull);
+    reached[0] = 1;
+
+    std::vector<uint32_t> work = {0};
+    std::vector<uint64_t> out(words);
+    while (!work.empty()) {
+        uint32_t pc = work.back();
+        work.pop_back();
+        const uint64_t *in_pc = in.data() + size_t(pc) * words;
+        std::copy(in_pc, in_pc + words, out.begin());
+
+        const Insn &ins = insns[pc];
+        const spirv::OpInfo &info = spirv::opInfo(ins.op);
+        const uint32_t operands[4] = {ins.a, ins.b, ins.c, ins.d};
+        for (uint32_t s = 0; s < info.numOperands; ++s) {
+            uint32_t r = operands[s];
+            if (info.kinds[s] == OperandKind::SrcReg &&
+                !(out[r / 64] >> (r % 64) & 1))
+                return false; // read may observe the zero-fill
+        }
+        for (uint32_t s = 0; s < info.numOperands; ++s) {
+            uint32_t r = operands[s];
+            if (info.kinds[s] == OperandKind::DstReg)
+                out[r / 64] |= 1ull << (r % 64);
+        }
+
+        uint32_t succ[2];
+        int ns = 0;
+        switch (ins.op) {
+          case Op::Br:
+            succ[ns++] = ins.a;
+            break;
+          case Op::BrTrue:
+          case Op::BrFalse:
+            succ[ns++] = ins.b;
+            succ[ns++] = pc + 1;
+            break;
+          case Op::Ret:
+            break;
+          default:
+            succ[ns++] = pc + 1;
+            break;
+        }
+        for (int i = 0; i < ns; ++i) {
+            uint32_t s = succ[i];
+            VCB_ASSERT(s < n, "kernel '%s': successor %u out of range",
+                       k.module.name.c_str(), s);
+            uint64_t *in_s = in.data() + size_t(s) * words;
+            bool changed = false;
+            if (!reached[s]) {
+                reached[s] = 1;
+                std::copy(out.begin(), out.end(), in_s);
+                changed = true;
+            } else {
+                for (size_t w = 0; w < words; ++w) {
+                    uint64_t nv = in_s[w] & out[w];
+                    if (nv != in_s[w]) {
+                        in_s[w] = nv;
+                        changed = true;
+                    }
+                }
+            }
+            if (changed)
+                work.push_back(s);
+        }
+    }
+    return true;
+}
+
+/** Apply fn to every register a micro-op writes. */
+template <typename Fn>
+void
+forEachDst(const MicroOp &op, Fn fn)
+{
+    switch (op.op) {
+      case MOp::StBuf:
+      case MOp::StShared:
+      case MOp::Jmp:
+      case MOp::BrTrue:
+      case MOp::BrFalse:
+      case MOp::Barrier:
+      case MOp::Ret:
+        break;
+      case MOp::ConstAlu:
+        fn(op.a);
+        fn(op.c);
+        break;
+      case MOp::IMulAdd:
+      case MOp::IAddAdd:
+      case MOp::IAddLd:
+      case MOp::IAddLdSh:
+      case MOp::MulAddStSh:
+      case MOp::FMulFAdd:
+      case MOp::FMulFSub:
+      case MOp::LdShFMul:
+      case MOp::LdShFSub:
+      case MOp::LdShFDiv:
+      case MOp::IDivRem:
+        fn(op.a);
+        fn(op.d);
+        break;
+      case MOp::MulAddLdSh:
+        fn(op.a);
+        fn(op.d);
+        fn(op.aux);
+        break;
+      default:
+        // Everything else (ALU, compares, loads, atomics, CmpBr*,
+        // IAddSt/IAddStSh address write) writes exactly op.a.
+        fn(op.a);
+        break;
+    }
+}
+
+/** True when the builtin's value is fixed for a whole dispatch. */
+bool
+isDispatchUniformBuiltin(uint16_t code)
+{
+    using spirv::Builtin;
+    switch (static_cast<Builtin>(code)) {
+      case Builtin::NumGroupsX:
+      case Builtin::NumGroupsY:
+      case Builtin::NumGroupsZ:
+      case Builtin::LocalSizeX:
+      case Builtin::LocalSizeY:
+      case Builtin::LocalSizeZ:
+      case Builtin::GlobalSizeX:
+      case Builtin::GlobalSizeY:
+      case Builtin::GlobalSizeZ:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** Pure micro-ops a register template can evaluate at prepare() time:
+ *  no memory, no stats, no control, no traps. */
+bool
+isTemplatePure(const MicroOp &op)
+{
+    switch (op.op) {
+      case MOp::Const:
+      case MOp::Mov:
+      case MOp::LdPush:
+      case MOp::IAdd: case MOp::ISub: case MOp::IMul:
+      case MOp::IMin: case MOp::IMax: case MOp::IAnd: case MOp::IOr:
+      case MOp::IXor: case MOp::INot: case MOp::INeg: case MOp::IShl:
+      case MOp::IShrU: case MOp::IShrS:
+      case MOp::FAdd: case MOp::FSub: case MOp::FMul: case MOp::FDiv:
+      case MOp::FMin: case MOp::FMax: case MOp::FAbs: case MOp::FNeg:
+      case MOp::FSqrt: case MOp::FExp: case MOp::FLog: case MOp::FFloor:
+      case MOp::FSin: case MOp::FCos: case MOp::FFma: case MOp::FPow:
+      case MOp::CvtSF: case MOp::CvtFS:
+      case MOp::IEq: case MOp::INe: case MOp::ILt: case MOp::ILe:
+      case MOp::IGt: case MOp::IGe: case MOp::ULt: case MOp::UGe:
+      case MOp::FEq: case MOp::FNe: case MOp::FLt: case MOp::FLe:
+      case MOp::FGt: case MOp::FGe:
+      case MOp::Select:
+      case MOp::ConstAlu:
+      case MOp::IMulAdd:
+      case MOp::IAddAdd:
+        return true;
+      case MOp::LdBuiltin:
+        return isDispatchUniformBuiltin(op.aux);
+      default:
+        return false;
+    }
+}
+
+/**
+ * Are all source registers of a template-pure op already uniform?
+ * Fused ops may read a register they themselves wrote earlier in
+ * their own sequence (e.g. ConstAlu's ALU consuming its constant) —
+ * those self-references are uniform by construction.
+ */
+bool
+templateSrcsUniform(const MicroOp &op, const std::vector<uint8_t> &uni)
+{
+    auto u = [&](uint32_t rr) { return uni[rr] != 0; };
+    switch (op.op) {
+      case MOp::Const:
+      case MOp::LdPush:
+      case MOp::LdBuiltin:
+        return true;
+      case MOp::Mov:
+      case MOp::INot:
+      case MOp::INeg:
+      case MOp::FAbs: case MOp::FNeg: case MOp::FSqrt: case MOp::FExp:
+      case MOp::FLog: case MOp::FFloor: case MOp::FSin: case MOp::FCos:
+      case MOp::CvtSF: case MOp::CvtFS:
+        return u(op.b);
+      case MOp::FFma:
+      case MOp::Select:
+        return u(op.b) && u(op.c) && u(op.d);
+      case MOp::ConstAlu:
+        // r[a] = imm happens first; the ALU may read it.
+        return (u(op.d) || op.d == op.a) && (u(op.e) || op.e == op.a);
+      case MOp::IMulAdd:
+      case MOp::IAddAdd:
+        // b and c are read before a is written; e after.
+        return u(op.b) && u(op.c) && (u(op.e) || op.e == op.a);
+      default:
+        // Binary ALU / compare: sources in b and c.
+        return u(op.b) && u(op.c);
+    }
+}
+
+/**
+ * Hoist dispatch-uniform entry ops into mk.templateOps (see the field
+ * doc).  Requires write-before-read proven (skipRegZeroInit): then no
+ * register is read before its unique write, so evaluating the write
+ * early is unobservable.
+ */
+void
+hoistUniformEntry(MicroKernel &mk, std::vector<uint8_t> &cost,
+                  uint32_t reg_count)
+{
+    if (!mk.skipRegZeroInit)
+        return;
+
+    // Branch targets in micro space; entering mid-entry-run would
+    // re-execute a suffix of it, so the hoist region stops at the
+    // first target (re-entry at op 0 re-executes the whole region and
+    // stays exact — uniform write-once ops rewrite the same values).
+    std::vector<uint8_t> is_target(mk.ops.size(), 0);
+    for (const MicroOp &op : mk.ops) {
+        switch (op.op) {
+          case MOp::Jmp: is_target[op.a] = 1; break;
+          case MOp::BrTrue:
+          case MOp::BrFalse: is_target[op.b] = 1; break;
+          default:
+            if (isCmpBr(op.op))
+                is_target[op.d] = 1;
+            break;
+        }
+    }
+
+    std::vector<uint8_t> write_count(reg_count, 0);
+    for (const MicroOp &op : mk.ops)
+        forEachDst(op, [&](uint32_t rr) {
+            if (write_count[rr] < 2)
+                ++write_count[rr];
+        });
+
+    std::vector<uint8_t> uniform(reg_count, 0);
+    std::vector<uint8_t> hoist(mk.ops.size(), 0);
+    uint32_t hoisted = 0;
+    uint32_t hoisted_cost = 0;
+    for (size_t i = 0; i < mk.ops.size(); ++i) {
+        const MicroOp &op = mk.ops[i];
+        if ((i > 0 && is_target[i]) || isTerminator(op.op))
+            break;
+        if (!isTemplatePure(op))
+            continue;
+        bool ok = templateSrcsUniform(op, uniform);
+        forEachDst(op, [&](uint32_t rr) {
+            ok = ok && write_count[rr] == 1;
+        });
+        if (!ok)
+            continue;
+        forEachDst(op, [&](uint32_t rr) {
+            uniform[rr] = 1;
+            mk.templateDsts.push_back(rr);
+        });
+        hoist[i] = 1;
+        ++hoisted;
+        hoisted_cost += cost[i];
+        mk.templateOps.push_back(op);
+    }
+    if (hoisted == 0)
+        return;
+
+    // Compact the stream and remap branch targets.  All removed ops
+    // precede every branch target (the region stops at the first one),
+    // so every target shifts down by the full removed count.
+    std::vector<MicroOp> new_ops;
+    std::vector<uint8_t> new_cost;
+    new_ops.reserve(mk.ops.size() - hoisted);
+    new_cost.reserve(mk.ops.size() - hoisted);
+    for (size_t i = 0; i < mk.ops.size(); ++i) {
+        if (hoist[i])
+            continue;
+        new_ops.push_back(mk.ops[i]);
+        new_cost.push_back(cost[i]);
+    }
+    // Targets are either 0 (loop back to entry: re-executes the whole
+    // region, which hoisted write-once ops make value- and
+    // cost-neutral) or past the hoist region.
+    auto remap = [&](uint32_t t) { return t == 0 ? 0 : t - hoisted; };
+    for (MicroOp &op : new_ops) {
+        switch (op.op) {
+          case MOp::Jmp: op.a = remap(op.a); break;
+          case MOp::BrTrue:
+          case MOp::BrFalse: op.b = remap(op.b); break;
+          default:
+            if (isCmpBr(op.op))
+                op.d = remap(op.d);
+            break;
+        }
+    }
+    mk.ops = std::move(new_ops);
+    cost = std::move(new_cost);
+    mk.hoistedCost = hoisted_cost;
+}
+
+} // namespace
+
+void
+lowerKernel(CompiledKernel &k, const LowerOptions &opt)
+{
+    MicroKernel &mk = k.micro;
+    mk.ops.clear();
+    mk.costFrom.clear();
+    mk.templateOps.clear();
+    mk.templateDsts.clear();
+    mk.hoistedCost = 0;
+    mk.fusedPairs = 0;
+    mk.hasBarrier = false;
+
+    const std::vector<Insn> &insns = k.insns;
+    const size_t n = insns.size();
+    VCB_ASSERT(n > 0, "kernel '%s': empty instruction stream",
+               k.module.name.c_str());
+
+    // Instructions control flow can land on: fusion must not swallow
+    // them as the second half of a pair.
+    std::vector<uint8_t> is_target(n, 0);
+    for (const Insn &in : insns) {
+        switch (in.op) {
+          case Op::Br: is_target[in.a] = 1; break;
+          case Op::BrTrue:
+          case Op::BrFalse: is_target[in.b] = 1; break;
+          default: break;
+        }
+    }
+
+    // Pass 1: emit micro-ops; branch fields keep *source* instruction
+    // targets until pass 2 remaps them through micro_of.
+    std::vector<uint32_t> micro_of(n, 0);
+    std::vector<uint8_t> cost; // per micro-op issue cost
+    cost.reserve(n);
+    mk.ops.reserve(n);
+
+    auto emit = [&](MicroOp op, uint8_t op_cost) {
+        mk.ops.push_back(op);
+        cost.push_back(op_cost);
+    };
+
+    size_t i = 0;
+    while (i < n) {
+        micro_of[i] = static_cast<uint32_t>(mk.ops.size());
+        const Insn &in = insns[i];
+
+        if (i + 1 < n && !is_target[i + 1]) {
+            const Insn &nx = insns[i + 1];
+            const uint8_t pair_cost =
+                static_cast<uint8_t>(opCost(in.op) + opCost(nx.op));
+            auto fused = [&](MicroOp op) {
+                emit(op, pair_cost);
+                micro_of[i + 1] =
+                    static_cast<uint32_t>(mk.ops.size()) - 1;
+                ++mk.fusedPairs;
+                i += 2;
+            };
+            BinKind kind;
+            if (opt.fuseCmpBranch && isCompare(in.op, &kind) &&
+                (nx.op == Op::BrTrue || nx.op == Op::BrFalse) &&
+                nx.a == in.a) {
+                static_assert(
+                    static_cast<int>(MOp::CmpBrFGe) -
+                            static_cast<int>(MOp::CmpBrIEq) ==
+                        static_cast<int>(BinKind::FGe) -
+                            static_cast<int>(BinKind::IEq),
+                    "CmpBr block out of sync with BinKind comparisons");
+                const MOp cmp_br = static_cast<MOp>(
+                    static_cast<int>(MOp::CmpBrIEq) +
+                    (static_cast<int>(kind) -
+                     static_cast<int>(BinKind::IEq)));
+                uint16_t sense = nx.op == Op::BrTrue ? 1 : 0;
+                fused({cmp_br, sense, in.a, in.b, in.c, nx.b, 0});
+                continue;
+            }
+            if (in.op == Op::IAdd) {
+                // IAdd feeding the next op's memory address — the
+                // array-indexing idiom.  The address register is still
+                // written (it may be read downstream).
+                const uint32_t nx_site =
+                    k.siteOfInsn[i + 1] ? k.siteOfInsn[i + 1] - 1 : 0;
+                if (opt.fuseAddrMem && nx.op == Op::LdBuf &&
+                    nx.c == in.a) {
+                    fused({MOp::IAddLd, static_cast<uint16_t>(nx.b),
+                           in.a, in.b, in.c, nx.a, nx_site});
+                    continue;
+                }
+                if (opt.fuseAddrMem && nx.op == Op::StBuf &&
+                    nx.b == in.a) {
+                    fused({MOp::IAddSt, static_cast<uint16_t>(nx.a),
+                           in.a, in.b, in.c, nx.c, nx_site});
+                    continue;
+                }
+                if (opt.fuseAddrMem && nx.op == Op::LdShared &&
+                    nx.b == in.a) {
+                    fused({MOp::IAddLdSh, 0, in.a, in.b, in.c, nx.a, 0});
+                    continue;
+                }
+                if (opt.fuseAddrMem && nx.op == Op::StShared &&
+                    nx.a == in.a) {
+                    fused({MOp::IAddStSh, 0, in.a, in.b, in.c, nx.b, 0});
+                    continue;
+                }
+                if (opt.fuseMulAdd && nx.op == Op::IAdd &&
+                    (nx.b == in.a || nx.c == in.a)) {
+                    const uint32_t other = nx.b == in.a ? nx.c : nx.b;
+                    fused({MOp::IAddAdd, 0, in.a, in.b, in.c, nx.a,
+                           other});
+                    continue;
+                }
+            }
+            if (opt.fuseMulAdd && in.op == Op::IMul &&
+                nx.op == Op::IAdd && (nx.b == in.a || nx.c == in.a)) {
+                // t = b*c feeding an add: addition commutes, so the
+                // other operand's position doesn't matter.
+                const uint32_t other = nx.b == in.a ? nx.c : nx.b;
+                // Triple: the add's result feeding a shared-memory
+                // access (the row*pitch+col staging idiom).  Three
+                // source ops collapse into one micro-op.
+                if (opt.fuseAddrMem && i + 2 < n && !is_target[i + 2]) {
+                    const Insn &n2 = insns[i + 2];
+                    const uint8_t triple_cost = static_cast<uint8_t>(
+                        opCost(in.op) + opCost(nx.op) + opCost(n2.op));
+                    if (n2.op == Op::LdShared && n2.b == nx.a) {
+                        emit({MOp::MulAddLdSh,
+                              static_cast<uint16_t>(n2.a), in.a, in.b,
+                              in.c, nx.a, other},
+                             triple_cost);
+                        micro_of[i + 1] = micro_of[i + 2] =
+                            static_cast<uint32_t>(mk.ops.size()) - 1;
+                        mk.fusedPairs += 2;
+                        i += 3;
+                        continue;
+                    }
+                    if (n2.op == Op::StShared && n2.a == nx.a) {
+                        emit({MOp::MulAddStSh,
+                              static_cast<uint16_t>(n2.b), in.a, in.b,
+                              in.c, nx.a, other},
+                             triple_cost);
+                        micro_of[i + 1] = micro_of[i + 2] =
+                            static_cast<uint32_t>(mk.ops.size()) - 1;
+                        mk.fusedPairs += 2;
+                        i += 3;
+                        continue;
+                    }
+                }
+                fused({MOp::IMulAdd, 0, in.a, in.b, in.c, nx.a, other});
+                continue;
+            }
+            if (opt.fuseConstAlu &&
+                (in.op == Op::ConstI || in.op == Op::ConstF) &&
+                binKindOf(nx.op, &kind) &&
+                (nx.b == in.a || nx.c == in.a)) {
+                fused({MOp::ConstAlu, static_cast<uint16_t>(kind), in.a,
+                       in.b, nx.a, nx.b, nx.c});
+                continue;
+            }
+            // Float producer/consumer pairs (operand order preserved:
+            // aux bit 0 says the produced value is the left operand).
+            if (opt.fuseMulAdd && in.op == Op::FMul &&
+                (nx.op == Op::FAdd || nx.op == Op::FSub) &&
+                (nx.b == in.a || nx.c == in.a)) {
+                const uint16_t left = nx.b == in.a ? 1 : 0;
+                const uint32_t other = left ? nx.c : nx.b;
+                fused({nx.op == Op::FAdd ? MOp::FMulFAdd : MOp::FMulFSub,
+                       left, in.a, in.b, in.c, nx.a, other});
+                continue;
+            }
+            if (opt.fuseAddrMem && in.op == Op::LdShared &&
+                (nx.op == Op::FMul || nx.op == Op::FSub ||
+                 nx.op == Op::FDiv) &&
+                (nx.b == in.a || nx.c == in.a)) {
+                const uint16_t left = nx.b == in.a ? 1 : 0;
+                const uint32_t other = left ? nx.c : nx.b;
+                const MOp mop = nx.op == Op::FMul   ? MOp::LdShFMul
+                                : nx.op == Op::FSub ? MOp::LdShFSub
+                                                    : MOp::LdShFDiv;
+                fused({mop, left, in.a, in.b, 0, nx.a, other});
+                continue;
+            }
+            if (opt.fuseAddrMem &&
+                (in.op == Op::FSub || in.op == Op::FDiv) &&
+                nx.op == Op::StShared && nx.b == in.a) {
+                fused({in.op == Op::FSub ? MOp::FSubStSh : MOp::FDivStSh,
+                       0, in.a, in.b, in.c, nx.a, 0});
+                continue;
+            }
+            if (opt.fuseMulAdd && in.op == Op::IDiv &&
+                nx.op == Op::IRem && nx.b == in.b && nx.c == in.c &&
+                in.a != in.b && in.a != in.c) {
+                // Same operands and the quotient doesn't clobber them:
+                // one host division yields both results.
+                fused({MOp::IDivRem, 0, in.a, in.b, in.c, nx.a, 0});
+                continue;
+            }
+        }
+
+        const uint8_t c = opCost(in.op);
+        const uint32_t site =
+            k.siteOfInsn[i] ? k.siteOfInsn[i] - 1 : 0;
+        switch (in.op) {
+          case Op::Nop:
+            break; // dropped; micro_of already points at the next op
+          case Op::ConstI:
+          case Op::ConstF:
+            emit({MOp::Const, 0, in.a, in.b, 0, 0, 0}, c);
+            break;
+          case Op::Mov:
+            emit({MOp::Mov, 0, in.a, in.b, 0, 0, 0}, c);
+            break;
+          case Op::LdBuiltin:
+            emit({MOp::LdBuiltin, static_cast<uint16_t>(in.b), in.a, 0,
+                  0, 0, 0}, c);
+            break;
+          case Op::LdPush:
+            VCB_ASSERT(in.b < k.module.pushWords,
+                       "kernel '%s': push word %u outside block (%u)",
+                       k.module.name.c_str(), in.b, k.module.pushWords);
+            emit({MOp::LdPush, 0, in.a, in.b, 0, 0, 0}, c);
+            break;
+
+#define VCB_LOWER_SAME(name)                                              \
+          case Op::name:                                                  \
+            emit({MOp::name, 0, in.a, in.b, in.c, in.d, 0}, c);           \
+            break
+          VCB_LOWER_SAME(IAdd); VCB_LOWER_SAME(ISub);
+          VCB_LOWER_SAME(IMul); VCB_LOWER_SAME(IDiv);
+          VCB_LOWER_SAME(IRem); VCB_LOWER_SAME(IMin);
+          VCB_LOWER_SAME(IMax); VCB_LOWER_SAME(IAnd);
+          VCB_LOWER_SAME(IOr);  VCB_LOWER_SAME(IXor);
+          VCB_LOWER_SAME(INot); VCB_LOWER_SAME(INeg);
+          VCB_LOWER_SAME(IShl); VCB_LOWER_SAME(IShrU);
+          VCB_LOWER_SAME(IShrS);
+          VCB_LOWER_SAME(FAdd); VCB_LOWER_SAME(FSub);
+          VCB_LOWER_SAME(FMul); VCB_LOWER_SAME(FDiv);
+          VCB_LOWER_SAME(FMin); VCB_LOWER_SAME(FMax);
+          VCB_LOWER_SAME(FAbs); VCB_LOWER_SAME(FNeg);
+          VCB_LOWER_SAME(FSqrt); VCB_LOWER_SAME(FExp);
+          VCB_LOWER_SAME(FLog); VCB_LOWER_SAME(FFloor);
+          VCB_LOWER_SAME(FSin); VCB_LOWER_SAME(FCos);
+          VCB_LOWER_SAME(FFma); VCB_LOWER_SAME(FPow);
+          VCB_LOWER_SAME(CvtSF); VCB_LOWER_SAME(CvtFS);
+          VCB_LOWER_SAME(IEq); VCB_LOWER_SAME(INe);
+          VCB_LOWER_SAME(ILt); VCB_LOWER_SAME(ILe);
+          VCB_LOWER_SAME(IGt); VCB_LOWER_SAME(IGe);
+          VCB_LOWER_SAME(ULt); VCB_LOWER_SAME(UGe);
+          VCB_LOWER_SAME(FEq); VCB_LOWER_SAME(FNe);
+          VCB_LOWER_SAME(FLt); VCB_LOWER_SAME(FLe);
+          VCB_LOWER_SAME(FGt); VCB_LOWER_SAME(FGe);
+          VCB_LOWER_SAME(Select);
+          VCB_LOWER_SAME(LdShared); VCB_LOWER_SAME(StShared);
+#undef VCB_LOWER_SAME
+
+          case Op::LdBuf:
+            emit({MOp::LdBuf, 0, in.a, in.b, in.c, site, 0}, c);
+            break;
+          case Op::StBuf:
+            emit({MOp::StBuf, 0, in.a, in.b, in.c, site, 0}, c);
+            break;
+          case Op::AtomIAdd:
+            emit({MOp::AtomIAdd, 0, in.a, in.b, in.c, in.d, site}, c);
+            break;
+          case Op::AtomIOr:
+            emit({MOp::AtomIOr, 0, in.a, in.b, in.c, in.d, site}, c);
+            break;
+          case Op::AtomIMin:
+            emit({MOp::AtomIMin, 0, in.a, in.b, in.c, in.d, site}, c);
+            break;
+          case Op::AtomIMax:
+            emit({MOp::AtomIMax, 0, in.a, in.b, in.c, in.d, site}, c);
+            break;
+
+          case Op::Br:
+            emit({MOp::Jmp, 0, in.a, 0, 0, 0, 0}, c);
+            break;
+          case Op::BrTrue:
+            emit({MOp::BrTrue, 0, in.a, in.b, 0, 0, 0}, c);
+            break;
+          case Op::BrFalse:
+            emit({MOp::BrFalse, 0, in.a, in.b, 0, 0, 0}, c);
+            break;
+          case Op::Barrier:
+            emit({MOp::Barrier, 0, 0, 0, 0, 0, 0}, c);
+            mk.hasBarrier = true;
+            break;
+          case Op::Ret:
+            emit({MOp::Ret, 0, 0, 0, 0, 0, 0}, c);
+            break;
+          case Op::Count:
+            panic("kernel '%s' @%zu: invalid opcode",
+                  k.module.name.c_str(), i);
+        }
+        ++i;
+    }
+
+    // Pass 2: remap branch targets from source to micro indices.
+    for (MicroOp &op : mk.ops) {
+        switch (op.op) {
+          case MOp::Jmp: op.a = micro_of[op.a]; break;
+          case MOp::BrTrue:
+          case MOp::BrFalse: op.b = micro_of[op.b]; break;
+          default:
+            if (isCmpBr(op.op))
+                op.d = micro_of[op.d];
+            break;
+        }
+    }
+
+    mk.skipRegZeroInit = provesWriteBeforeRead(k);
+
+    // Pass 3: hoist dispatch-uniform entry ops into the register
+    // template (sound only with write-before-read proven).
+    hoistUniformEntry(mk, cost, k.module.regCount);
+
+    // Pass 4: suffix-sum costs per straight-line run; the entry run
+    // additionally carries the hoisted ops' cost so laneCycles stay
+    // bit-identical.
+    mk.costFrom.resize(mk.ops.size());
+    for (size_t j = mk.ops.size(); j-- > 0;) {
+        uint32_t after =
+            isTerminator(mk.ops[j].op) ? 0 : mk.costFrom[j + 1];
+        mk.costFrom[j] = cost[j] + after;
+    }
+    mk.costFrom[0] += mk.hoistedCost;
+}
+
+} // namespace vcb::sim

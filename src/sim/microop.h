@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Driver-side lowering of decoded kernels to a dense micro-op IR.
+ *
+ * The interpreter originally executed raw spirv::Insn records, paying
+ * an opCost() table switch and a siteOfInsn[] indirection on every
+ * instruction of every lane.  compileKernel now runs this lowering
+ * pass once per kernel instead:
+ *
+ *  - operands are re-packed so everything the executor needs (memory
+ *    site slot, builtin code, immediate) sits in the micro-op itself;
+ *  - adjacent compare+branch and const+ALU pairs are fused into single
+ *    micro-ops (never across branch targets);
+ *  - per-op issue costs are folded into a suffix-sum table
+ *    (costFrom[pc] = lane-cycles from pc to the end of its straight-
+ *    line run), so the executor accumulates cycles once per control
+ *    transfer instead of once per instruction;
+ *  - a definite-assignment dataflow pass proves, when possible, that
+ *    every register is written before it is read on all paths, letting
+ *    the interpreter skip the per-workgroup register-file zero-fill.
+ *
+ * Lowering is observably invisible: output buffers, DispatchStats and
+ * simulated kernelNs are bit-identical to direct Insn execution.  It
+ * leans on the validator's guarantees (operand ranges, label targets
+ * in range, LdPush inside the push block, terminal Ret/Br), which hold
+ * for every module compileKernel accepts.
+ */
+
+#ifndef VCB_SIM_MICROOP_H
+#define VCB_SIM_MICROOP_H
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "spirv/opcodes.h"
+
+namespace vcb::sim {
+
+struct CompiledKernel;
+
+/**
+ * Micro-op opcodes.  Operand conventions (fields of MicroOp) are given
+ * per op; `r[x]` is lane register x, `aux` is the 16-bit auxiliary
+ * field.
+ */
+enum class MOp : uint16_t
+{
+    Const,     ///< r[a] = b                        (ConstI / ConstF)
+    Mov,       ///< r[a] = r[b]
+    LdBuiltin, ///< r[a] = builtin(aux)
+    LdPush,    ///< r[a] = push[b]
+
+    IAdd, ISub, IMul, IDiv, IRem, IMin, IMax, IAnd, IOr, IXor,
+    INot, INeg, IShl, IShrU, IShrS,
+    FAdd, FSub, FMul, FDiv, FMin, FMax, FAbs, FNeg, FSqrt, FExp, FLog,
+    FFloor, FSin, FCos,
+    FFma,      ///< r[a] = fma(r[b], r[c], r[d])
+    FPow,
+    CvtSF, CvtFS,
+
+    IEq, INe, ILt, ILe, IGt, IGe, ULt, UGe,
+    FEq, FNe, FLt, FLe, FGt, FGe,
+    Select,    ///< r[a] = r[b] ? r[c] : r[d]
+
+    LdBuf,     ///< r[a] = buf[b][r[c]]; site slot d
+    StBuf,     ///< buf[a][r[b]] = r[c]; site slot d
+    LdShared,  ///< r[a] = shared[r[b]]
+    StShared,  ///< shared[r[a]] = r[b]
+    AtomIAdd,  ///< r[a] = old; buf[b][r[c]] += r[d]; site slot e
+    AtomIOr,
+    AtomIMin,
+    AtomIMax,
+
+    Jmp,       ///< pc = a
+    BrTrue,    ///< if (r[a]) pc = b
+    BrFalse,   ///< if (!r[a]) pc = b
+    /** Fused compare+branch family: r[a] = (r[b] <op> r[c]); branch to
+     *  d when the result equals aux (the branch sense).  One micro-op
+     *  per comparison so the executor needs no inner dispatch; order
+     *  matches the BinKind comparison block. */
+    CmpBrIEq, CmpBrINe, CmpBrILt, CmpBrILe, CmpBrIGt, CmpBrIGe,
+    CmpBrULt, CmpBrUGe,
+    CmpBrFEq, CmpBrFNe, CmpBrFLt, CmpBrFLe, CmpBrFGt, CmpBrFGe,
+    /** Fused constant+ALU: r[a] = b; r[c] = bin(aux.kind, r[d], r[e]).
+     *  The const dst is still written (it may be read downstream). */
+    ConstAlu,
+    /** Fused address+load: t = r[b] + r[c]; r[a] = t;
+     *  r[d] = buf[aux][t]; site slot e. */
+    IAddLd,
+    /** Fused address+store: t = r[b] + r[c]; r[a] = t;
+     *  buf[aux][t] = r[d]; site slot e. */
+    IAddSt,
+    /** Fused multiply-add (array indexing): t = r[b] * r[c];
+     *  r[a] = t; r[d] = t + r[e]. */
+    IMulAdd,
+    /** Fused add pair: t = r[b] + r[c]; r[a] = t; r[d] = t + r[e]. */
+    IAddAdd,
+    /** Fused address+shared load: t = r[b] + r[c]; r[a] = t;
+     *  r[d] = shared[t]. */
+    IAddLdSh,
+    /** Fused address+shared store: t = r[b] + r[c]; r[a] = t;
+     *  shared[t] = r[d]. */
+    IAddStSh,
+    /** Fused index+shared load (t1 = r[b] * r[c]; r[a] = t1;
+     *  t2 = t1 + r[e]; r[d] = t2; r[aux] = shared[t2]) — the
+     *  row*pitch+col staging idiom of the stencil/LU kernels. */
+    MulAddLdSh,
+    /** As MulAddLdSh but storing: shared[t2] = r[aux]. */
+    MulAddStSh,
+    /** Fused float pairs: t = r[b] <op1> r[c]; r[a] = t;
+     *  r[d] = aux&1 ? t <op2> r[e] : r[e] <op2> t.  Operand order is
+     *  preserved exactly (FP NaN payloads are not swap-safe). */
+    FMulFAdd,
+    FMulFSub,
+    /** Fused shared-load + float op: v = shared[r[b]]; r[a] = v;
+     *  r[d] = aux&1 ? v <op> r[e] : r[e] <op> v. */
+    LdShFMul,
+    LdShFSub,
+    LdShFDiv,
+    /** Fused float op + shared store: t = r[b] <op> r[c]; r[a] = t;
+     *  shared[r[d]] = t. */
+    FSubStSh,
+    FDivStSh,
+    /** Fused divide+remainder on identical operands (one host
+     *  division): r[a] = r[b] / r[c]; r[d] = r[b] % r[c]. */
+    IDivRem,
+
+    Barrier,
+    Ret,
+    Count
+};
+
+/** Binary-operation kinds shared by CmpBr and ConstAlu (see evalBin). */
+enum class BinKind : uint8_t
+{
+    IAdd, ISub, IMul, IMin, IMax, IAnd, IOr, IXor, IShl, IShrU, IShrS,
+    FAdd, FSub, FMul, FDiv, FMin, FMax,
+    IEq, INe, ILt, ILe, IGt, IGe, ULt, UGe,
+    FEq, FNe, FLt, FLe, FGt, FGe,
+    Count
+};
+
+/** One packed micro-op.  Field meaning depends on `op` (see MOp). */
+struct MicroOp
+{
+    MOp op = MOp::Ret;
+    /** CmpBr*: branch sense (0/1); ConstAlu: BinKind;
+     *  IAddLd/IAddSt: buffer binding;
+     *  MulAddLdSh/MulAddStSh: load dst / store src register;
+     *  LdBuiltin: spirv::Builtin code. */
+    uint16_t aux = 0;
+    uint32_t a = 0;
+    uint32_t b = 0;
+    uint32_t c = 0;
+    uint32_t d = 0;
+    uint32_t e = 0;
+};
+
+/** The executable form of a kernel, produced by lowerKernel(). */
+struct MicroKernel
+{
+    std::vector<MicroOp> ops;
+    /**
+     * Dispatch-uniform entry ops hoisted out of the per-lane stream:
+     * pure ops from the kernel's entry run whose inputs are dispatch
+     * constants (immediates, push words, size builtins) and whose
+     * destination registers are written exactly once.  The interpreter
+     * evaluates them once per dispatch (prepare()) and scatters the
+     * resulting register values into every lane, instead of executing
+     * them per lane per workgroup.  Their issue cost is folded into
+     * costFrom at the entry pc, so laneCycles are unchanged.
+     */
+    std::vector<MicroOp> templateOps;
+    /** Registers templateOps write, in write order (scatter list). */
+    std::vector<uint32_t> templateDsts;
+    /**
+     * costFrom[pc]: ALU issue cost (lane-cycles) of executing from pc
+     * through the terminator of its straight-line run.  The executor
+     * adds this once per control transfer; the sum over a lane's
+     * execution equals the per-instruction sum of the original stream
+     * exactly (fused ops carry the summed cost of their parts).
+     */
+    std::vector<uint32_t> costFrom;
+    /** Summed issue cost of templateOps, folded into costFrom at the
+     *  entry pc so hoisting never changes laneCycles. */
+    uint32_t hoistedCost = 0;
+    /** Definite assignment proven: every register is written before it
+     *  is read on all paths, so the per-workgroup register zero-fill
+     *  is unobservable and may be skipped. */
+    bool skipRegZeroInit = false;
+    /** Kernel contains at least one Barrier: barrier-free kernels take
+     *  a leaner workgroup loop (no per-lane pc/state bookkeeping). */
+    bool hasBarrier = false;
+    /** Number of instruction pairs fused (diagnostics/tests). */
+    uint32_t fusedPairs = 0;
+};
+
+/** Lowering knobs; defaults match compileKernel.  Tests disable fusion
+ *  to assert fused/unfused equivalence. */
+struct LowerOptions
+{
+    bool fuseCmpBranch = true;
+    bool fuseConstAlu = true;
+    /** Adds feeding memory addresses (IAddLd/IAddSt/IAddLdSh/IAddStSh;
+     *  with fuseMulAdd also the MulAdd{Ld,St}Sh triples). */
+    bool fuseAddrMem = true;
+    /** Integer ALU pairs (IMulAdd/IAddAdd, the indexing idiom). */
+    bool fuseMulAdd = true;
+
+    static LowerOptions noFusion()
+    {
+        return {false, false, false, false};
+    }
+};
+
+/** Populate k.micro from k.insns/k.siteOfInsn.  The module must have
+ *  passed validation (compileKernel guarantees this). */
+void lowerKernel(CompiledKernel &k, const LowerOptions &opt = {});
+
+/** ALU issue cost per original opcode, in lane-cycles (the timing
+ *  model's per-instruction cost table; baked into MicroKernel). */
+uint8_t opCost(spirv::Op op);
+
+// --- shared executor helpers ----------------------------------------------
+
+inline float
+bitsToF(uint32_t v)
+{
+    return std::bit_cast<float>(v);
+}
+
+inline uint32_t
+fToBits(float v)
+{
+    return std::bit_cast<uint32_t>(v);
+}
+
+inline int32_t
+bitsToS(uint32_t v)
+{
+    return static_cast<int32_t>(v);
+}
+
+/** Evaluate a BinKind over two register words — bit-identical to the
+ *  corresponding interpreter cases. */
+inline uint32_t
+evalBin(BinKind kind, uint32_t x, uint32_t y)
+{
+    switch (kind) {
+      case BinKind::IAdd: return x + y;
+      case BinKind::ISub: return x - y;
+      case BinKind::IMul: return x * y;
+      case BinKind::IMin:
+        return static_cast<uint32_t>(std::min(bitsToS(x), bitsToS(y)));
+      case BinKind::IMax:
+        return static_cast<uint32_t>(std::max(bitsToS(x), bitsToS(y)));
+      case BinKind::IAnd: return x & y;
+      case BinKind::IOr:  return x | y;
+      case BinKind::IXor: return x ^ y;
+      case BinKind::IShl: return x << (y & 31);
+      case BinKind::IShrU: return x >> (y & 31);
+      case BinKind::IShrS:
+        return static_cast<uint32_t>(bitsToS(x) >> (y & 31));
+      case BinKind::FAdd: return fToBits(bitsToF(x) + bitsToF(y));
+      case BinKind::FSub: return fToBits(bitsToF(x) - bitsToF(y));
+      case BinKind::FMul: return fToBits(bitsToF(x) * bitsToF(y));
+      case BinKind::FDiv: return fToBits(bitsToF(x) / bitsToF(y));
+      case BinKind::FMin:
+        return fToBits(std::fmin(bitsToF(x), bitsToF(y)));
+      case BinKind::FMax:
+        return fToBits(std::fmax(bitsToF(x), bitsToF(y)));
+      case BinKind::IEq: return x == y;
+      case BinKind::INe: return x != y;
+      case BinKind::ILt: return bitsToS(x) < bitsToS(y);
+      case BinKind::ILe: return bitsToS(x) <= bitsToS(y);
+      case BinKind::IGt: return bitsToS(x) > bitsToS(y);
+      case BinKind::IGe: return bitsToS(x) >= bitsToS(y);
+      case BinKind::ULt: return x < y;
+      case BinKind::UGe: return x >= y;
+      case BinKind::FEq: return bitsToF(x) == bitsToF(y);
+      case BinKind::FNe: return bitsToF(x) != bitsToF(y);
+      case BinKind::FLt: return bitsToF(x) < bitsToF(y);
+      case BinKind::FLe: return bitsToF(x) <= bitsToF(y);
+      case BinKind::FGt: return bitsToF(x) > bitsToF(y);
+      case BinKind::FGe: return bitsToF(x) >= bitsToF(y);
+      case BinKind::Count: break;
+    }
+    return 0;
+}
+
+} // namespace vcb::sim
+
+#endif // VCB_SIM_MICROOP_H

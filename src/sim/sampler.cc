@@ -16,13 +16,18 @@ CoalesceSampler::CoalesceSampler(uint32_t num_sites, uint32_t warp_width,
 {
     VCB_ASSERT(warp_width > 0 && line_bytes > 0, "bad sampler params");
     occCount.assign(static_cast<size_t>(localCount) * numSites, 0);
+    slotOf.assign(static_cast<size_t>(numSites) * occCap * numWarps, -1);
 }
 
 void
 CoalesceSampler::beginWorkgroup()
 {
     std::fill(occCount.begin(), occCount.end(), 0);
-    lineSets.clear();
+    for (size_t slot = 0; slot < touched.size(); ++slot) {
+        linePool[slot].clear();
+        slotOf[touched[slot]] = -1;
+    }
+    touched.clear();
 }
 
 void
@@ -35,12 +40,20 @@ CoalesceSampler::record(uint32_t lane, uint32_t site, uint64_t byte_addr)
     ++occ;
 
     uint32_t warp = lane / warpWidth;
-    uint64_t key = (static_cast<uint64_t>(site) * occCap + occ_idx) *
-                       numWarps +
-                   warp;
+    uint32_t key = (site * occCap + occ_idx) * numWarps + warp;
     uint64_t line = byte_addr / lineBytes;
 
-    auto &lines = lineSets[key];
+    int32_t slot = slotOf[key];
+    if (slot < 0) {
+        slot = static_cast<int32_t>(touched.size());
+        slotOf[key] = slot;
+        touched.push_back(key);
+        if (linePool.size() < touched.size())
+            linePool.resize(touched.size());
+    }
+    std::vector<uint64_t> &lines = linePool[slot];
+    // Groups normally hold at most one line per warp lane; a linear
+    // scan suffices (the saturated last occ bucket can grow larger).
     if (std::find(lines.begin(), lines.end(), line) == lines.end())
         lines.push_back(line);
     agg[site].accesses += 1;
@@ -49,11 +62,14 @@ CoalesceSampler::record(uint32_t lane, uint32_t site, uint64_t byte_addr)
 void
 CoalesceSampler::endWorkgroup()
 {
-    for (const auto &[key, lines] : lineSets) {
-        uint32_t site = static_cast<uint32_t>(key / (occCap * numWarps));
-        agg[site].transactions += lines.size();
+    for (size_t slot = 0; slot < touched.size(); ++slot) {
+        uint32_t key = touched[slot];
+        uint32_t site = key / (occCap * numWarps);
+        agg[site].transactions += linePool[slot].size();
+        linePool[slot].clear(); // capacity reused across workgroups
+        slotOf[key] = -1;
     }
-    lineSets.clear();
+    touched.clear();
     std::fill(occCount.begin(), occCount.end(), 0);
 }
 

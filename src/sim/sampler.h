@@ -21,7 +21,6 @@
 #define VCB_SIM_SAMPLER_H
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 namespace vcb::sim {
@@ -74,8 +73,17 @@ class CoalesceSampler
     std::vector<SiteAgg> agg;
     /** Current workgroup: per (lane, site) occurrence counters. */
     std::vector<uint32_t> occCount;
-    /** Current workgroup: (site, occ, warp) -> distinct lines. */
-    std::unordered_map<uint64_t, std::vector<uint64_t>> lineSets;
+
+    // Distinct-line sets of the current workgroup, keyed by the dense
+    // (site, occ, warp) index.  Slots are handed out on first touch —
+    // the record() hot path is an array lookup instead of a hash
+    // probe.  Each slot's line vector usually holds <= warpWidth
+    // entries (one line per warp lane), but the saturated last occ
+    // bucket aggregates every execution past occCap, so the vectors
+    // stay growable; their capacity is reused across workgroups.
+    std::vector<int32_t> slotOf;                ///< key -> slot or -1
+    std::vector<uint32_t> touched;              ///< keys used this wg
+    std::vector<std::vector<uint64_t>> linePool; ///< per-slot lines
 };
 
 } // namespace vcb::sim

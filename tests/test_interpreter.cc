@@ -437,5 +437,221 @@ TEST(Stats, LaneCyclesAndAccessesCounted)
     EXPECT_GT(r.kernelNs, 0.0);
 }
 
+// --- micro-op lowering -----------------------------------------------------
+
+/** A kernel exercising every fusion family: compare+branch (loop),
+ *  const+ALU, address+load/store, mul+add indexing, shared staging. */
+spirv::Module
+fusionKernel()
+{
+    Builder b("fusion", 16);
+    b.bindStorage(0, ElemType::I32, true);
+    b.bindStorage(1, ElemType::I32);
+    b.setSharedWords(32);
+    auto lid = b.localIdX();
+    auto base = b.imul(b.groupIdX(), b.constI(16));
+    auto g = b.iadd(base, lid);
+    b.stShared(b.iadd(lid, b.constI(16)), b.ldBuf(0, g));
+    b.barrier();
+    auto sum = b.constI(0);
+    b.forRange(b.constI(0), b.constI(16), b.constI(1),
+               [&](Builder::Reg i) {
+                   auto v = b.ldShared(b.iadd(i, b.constI(16)));
+                   b.iaddTo(sum, sum, v);
+               });
+    auto scaled = b.imul(sum, b.constI(3));
+    b.stBuf(1, g, b.iadd(scaled, lid));
+    return b.finish();
+}
+
+DispatchStats
+runFusionKernel(const LowerOptions &opt, std::vector<uint32_t> &out,
+                double *kernel_ns)
+{
+    const DeviceSpec &dev = gtx1050ti();
+    std::string err;
+    auto kernel = compileKernel(fusionKernel(), dev, Api::Vulkan, &err);
+    if (!kernel)
+        panic("compile failed: %s", err.c_str());
+    lowerKernel(*kernel, opt); // re-lower with the requested options
+
+    std::vector<uint32_t> in(64);
+    for (uint32_t i = 0; i < 64; ++i)
+        in[i] = i * 7 + 1;
+    out.assign(64, 0);
+    DispatchContext ctx;
+    ctx.kernel = kernel.get();
+    ctx.groups[0] = 4;
+    ctx.buffers.push_back({in.data(), in.size()});
+    ctx.buffers.push_back({out.data(), out.size()});
+    ExecutionEngine engine(dev);
+    DispatchResult r = engine.dispatch(ctx);
+    if (kernel_ns)
+        *kernel_ns = r.kernelNs;
+    return r.stats;
+}
+
+TEST(MicroOp, FusedExecutionMatchesUnfused)
+{
+    std::vector<uint32_t> fused_out, plain_out;
+    double fused_ns = 0, plain_ns = 0;
+    DispatchStats fused = runFusionKernel({}, fused_out, &fused_ns);
+    DispatchStats plain =
+        runFusionKernel(LowerOptions::noFusion(), plain_out, &plain_ns);
+
+    EXPECT_EQ(fused_out, plain_out);
+    EXPECT_EQ(fused.laneCycles, plain.laneCycles);
+    EXPECT_EQ(fused.invocations, plain.invocations);
+    EXPECT_EQ(fused.dramAccesses, plain.dramAccesses);
+    EXPECT_EQ(fused.sharedAccesses, plain.sharedAccesses);
+    EXPECT_EQ(fused.barriers, plain.barriers);
+    EXPECT_EQ(fused.dramTransactions, plain.dramTransactions);
+    EXPECT_EQ(fused_ns, plain_ns);
+}
+
+TEST(MicroOp, LoweringActuallyFuses)
+{
+    const DeviceSpec &dev = gtx1050ti();
+    std::string err;
+    auto kernel = compileKernel(fusionKernel(), dev, Api::Vulkan, &err);
+    ASSERT_NE(kernel, nullptr) << err;
+    EXPECT_GT(kernel->micro.fusedPairs, 0u);
+    EXPECT_LT(kernel->micro.ops.size(), kernel->insns.size());
+
+    lowerKernel(*kernel, LowerOptions::noFusion());
+    EXPECT_EQ(kernel->micro.fusedPairs, 0u);
+}
+
+TEST(MicroOp, RobustPathMatchesFastPath)
+{
+    // robustAccess forces the instrumented lane-major executor for
+    // every workgroup; an in-bounds kernel must produce identical
+    // results either way (op-major lockstep vs lane-major order).
+    const DeviceSpec &dev = gtx1050ti();
+    std::string err;
+    auto kernel = compileKernel(fusionKernel(), dev, Api::Vulkan, &err);
+    ASSERT_NE(kernel, nullptr) << err;
+
+    std::vector<uint32_t> in(64);
+    for (uint32_t i = 0; i < 64; ++i)
+        in[i] = i * 3 + 2;
+    std::vector<uint32_t> out_fast(64, 0), out_robust(64, 0);
+    for (bool robust : {false, true}) {
+        std::vector<uint32_t> in_copy = in;
+        DispatchContext ctx;
+        ctx.kernel = kernel.get();
+        ctx.groups[0] = 4;
+        ctx.buffers.push_back({in_copy.data(), in_copy.size()});
+        std::vector<uint32_t> &out = robust ? out_robust : out_fast;
+        ctx.buffers.push_back({out.data(), out.size()});
+        ctx.robustAccess = robust;
+        ExecutionEngine engine(dev);
+        engine.dispatch(ctx);
+    }
+    EXPECT_EQ(out_fast, out_robust);
+}
+
+TEST(MicroOp, AtomicMinMaxIntLimits)
+{
+    // CAS-loop edge cases around the INT32 extremes: the loop must
+    // terminate and return the pre-op value in all of them.
+    Builder b("atom_limits", 1);
+    b.bindStorage(0, ElemType::I32);
+    b.bindStorage(1, ElemType::I32);
+    auto i0 = b.constI(0);
+    auto i1 = b.constI(1);
+    auto i2 = b.constI(2);
+    auto int_min = b.constU(0x80000000u);
+    auto int_max = b.constU(0x7fffffffu);
+    // word0 = INT32_MAX: min with INT32_MIN stores INT32_MIN.
+    b.stBuf(1, i0, b.atomIMin(0, i0, int_min));
+    // word1 = INT32_MIN: max with INT32_MAX stores INT32_MAX.
+    b.stBuf(1, i1, b.atomIMax(0, i1, int_max));
+    // word2 = 5: min with INT32_MAX is a no-op (early CAS exit).
+    b.stBuf(1, i2, b.atomIMin(0, i2, int_max));
+
+    std::vector<std::vector<uint32_t>> bufs = {
+        {0x7fffffffu, 0x80000000u, 5u}, std::vector<uint32_t>(3, 99u)};
+    DispatchResult r = runKernel(b.finish(), bufs, 1);
+    EXPECT_EQ(bufs[0][0], 0x80000000u);
+    EXPECT_EQ(bufs[0][1], 0x7fffffffu);
+    EXPECT_EQ(bufs[0][2], 5u);
+    EXPECT_EQ(bufs[1][0], 0x7fffffffu); // old values
+    EXPECT_EQ(bufs[1][1], 0x80000000u);
+    EXPECT_EQ(bufs[1][2], 5u);
+    EXPECT_EQ(r.stats.atomicOps, 3u);
+}
+
+TEST(MicroOp, NeverWrittenRegisterReadsZero)
+{
+    // A register that is never written must still read as 0 (the
+    // pre-lowering zero-init semantics): definite assignment fails, so
+    // the register zero-fill must be retained.
+    Builder b("unwritten", 4);
+    b.bindStorage(0, ElemType::I32);
+    auto ghost = b.newReg();
+    b.stBuf(0, b.localIdX(), b.iadd(ghost, ghost));
+    spirv::Module m = b.finish();
+
+    const DeviceSpec &dev = gtx1050ti();
+    std::string err;
+    auto kernel = compileKernel(m, dev, Api::Vulkan, &err);
+    ASSERT_NE(kernel, nullptr) << err;
+    EXPECT_FALSE(kernel->micro.skipRegZeroInit);
+
+    std::vector<uint32_t> out(4, 0xdeadbeefu);
+    DispatchContext ctx;
+    ctx.kernel = kernel.get();
+    ctx.buffers.push_back({out.data(), out.size()});
+    ExecutionEngine engine(dev);
+    engine.dispatch(ctx);
+    for (uint32_t v : out)
+        EXPECT_EQ(v, 0u);
+}
+
+TEST(MicroOp, ConditionallyWrittenRegisterReadsZeroEveryWorkgroup)
+{
+    // Only workgroup 0 writes the register; later workgroups reuse the
+    // same interpreter, so they must observe the zero-init — a
+    // wrongly-skipped zero-fill would leak 42 from workgroup 0 into
+    // every following workgroup here.
+    Builder b("cond_write", 4);
+    b.bindStorage(0, ElemType::I32);
+    auto v = b.newReg();
+    b.ifThen(b.ieq(b.groupIdX(), b.constI(0)),
+             [&] { b.constITo(v, 42); });
+    b.stBuf(0, b.globalIdX(), v);
+    spirv::Module m = b.finish();
+
+    const DeviceSpec &dev = gtx1050ti();
+    std::string err;
+    auto kernel = compileKernel(m, dev, Api::Vulkan, &err);
+    ASSERT_NE(kernel, nullptr) << err;
+    EXPECT_FALSE(kernel->micro.skipRegZeroInit);
+
+    std::vector<uint32_t> out(32, 7u);
+    DispatchContext ctx;
+    ctx.kernel = kernel.get();
+    ctx.groups[0] = 8;
+    ctx.buffers.push_back({out.data(), out.size()});
+    ExecutionEngine engine(dev);
+    engine.dispatch(ctx);
+    for (uint32_t i = 0; i < 32; ++i)
+        EXPECT_EQ(out[i], i < 4 ? 42u : 0u) << i;
+}
+
+TEST(MicroOp, WriteBeforeReadKernelsSkipZeroFill)
+{
+    const DeviceSpec &dev = gtx1050ti();
+    Builder b("wbr", 64);
+    b.bindStorage(0, ElemType::I32);
+    auto gid = b.globalIdX();
+    b.stBuf(0, gid, b.iadd(gid, gid));
+    std::string err;
+    auto kernel = compileKernel(b.finish(), dev, Api::Vulkan, &err);
+    ASSERT_NE(kernel, nullptr) << err;
+    EXPECT_TRUE(kernel->micro.skipRegZeroInit);
+}
+
 } // namespace
 } // namespace vcb::sim

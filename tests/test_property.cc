@@ -375,5 +375,89 @@ TEST(ThreadPoolProperty, ThrowingWorkItemIsFatal)
         "");
 }
 
+// ---------------------------------------------------------------------------
+// Property: parallelForRange covers [0, count) with disjoint ranges,
+// each index exactly once, and hands out worker slots usable as
+// indices into a per-worker accumulator array (0 = caller).
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolProperty, RangesCoverEveryIndexExactlyOnce)
+{
+    for (int workers : {0, 1, 3}) {
+        ThreadPool pool(workers);
+        for (uint64_t count : {0ull, 1ull, 2ull, 7ull, 10000ull}) {
+            std::vector<std::atomic<uint32_t>> hits(count);
+            std::vector<uint64_t> per_worker(pool.workerCount() + 1, 0);
+            std::mutex mtx;
+            pool.parallelForRange(
+                count, [&](uint64_t begin, uint64_t end, unsigned w) {
+                    ASSERT_LT(w, pool.workerCount() + 1);
+                    ASSERT_LE(begin, end);
+                    for (uint64_t i = begin; i < end; ++i)
+                        hits[i].fetch_add(1);
+                    std::lock_guard<std::mutex> lk(mtx);
+                    per_worker[w] += end - begin;
+                });
+            uint64_t total = 0;
+            for (uint64_t i = 0; i < count; ++i)
+                ASSERT_EQ(hits[i].load(), 1u)
+                    << "index " << i << " with " << workers
+                    << " workers";
+            for (uint64_t n : per_worker)
+                total += n;
+            EXPECT_EQ(total, count);
+        }
+    }
+}
+
+TEST(ThreadPoolProperty, SerialPoolRunsRangesOnCaller)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.workerCount(), 0u);
+    unsigned seen_worker = 99;
+    uint64_t covered = 0;
+    pool.parallelForRange(100, [&](uint64_t b, uint64_t e, unsigned w) {
+        seen_worker = w;
+        covered += e - b;
+    });
+    EXPECT_EQ(seen_worker, 0u); // slot 0 = calling thread
+    EXPECT_EQ(covered, 100u);
+}
+
+// ---------------------------------------------------------------------------
+// VCB_THREADS governs the global pool size (reproducible perf runs):
+// N means N total executing threads, i.e. N-1 pool workers; invalid
+// values fall back to the hardware default.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolProperty, VcbThreadsEnvOverride)
+{
+    const char *old = std::getenv("VCB_THREADS");
+    std::string saved = old ? old : "";
+
+    setenv("VCB_THREADS", "5", 1);
+    EXPECT_EQ(ThreadPool::globalWorkers(), 4);
+    setenv("VCB_THREADS", "1", 1);
+    EXPECT_EQ(ThreadPool::globalWorkers(), 0); // fully serial
+
+    // Invalid values fall back to the hardware default (-1).
+    for (const char *bad : {"0", "-3", "abc", "4097", "2x"}) {
+        setenv("VCB_THREADS", bad, 1);
+        EXPECT_EQ(ThreadPool::globalWorkers(), -1) << bad;
+    }
+    unsetenv("VCB_THREADS");
+    EXPECT_EQ(ThreadPool::globalWorkers(), -1);
+
+    // A pool built from the override honours the worker count.
+    setenv("VCB_THREADS", "3", 1);
+    ThreadPool pool(ThreadPool::globalWorkers());
+    EXPECT_EQ(pool.workerCount(), 2u);
+
+    if (old)
+        setenv("VCB_THREADS", saved.c_str(), 1);
+    else
+        unsetenv("VCB_THREADS");
+}
+
 } // namespace
 } // namespace vcb::sim

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * vcb_perf — simulator-throughput harness for regression tracking.
+ *
+ * Runs a fixed mix of suite dispatches (bfs, hotspot, lud, gaussian)
+ * and reports the simulator's own throughput in workgroups per second.
+ * Each line reports two times: wall_ms is the whole benchmark run
+ * (including host-side workload generation, CPU reference and
+ * validation), sim_ms is the time spent inside the execution engine
+ * (sim::dispatchWallNs) — workgroups_per_s is workgroups / sim_ms, so
+ * the tracked number measures the simulator hot path and is not
+ * diluted by constant host-side work.  Output is one JSON object per
+ * line so BENCH_*.json trajectory tracking (and the CI log) has a
+ * stable machine-readable source:
+ *
+ *   {"bench": "bfs", "size": "1M", "api": "vulkan", ...}
+ *   ...
+ *   {"bench": "mix", "wall_ms": ..., "sim_ms": ...,
+ *    "workgroups_per_s": ...}
+ *
+ * For reproducible numbers pin the host parallelism with VCB_THREADS
+ * (total executing threads; 1 = fully serial) and compare only the
+ * final "mix" line.
+ *
+ *   vcb_perf            # paper-scale reference mix (largest sizes)
+ *   vcb_perf --quick    # small sizes, used as the ctest smoke entry
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "sim/engine.h"
+#include "suite/benchmark.h"
+
+using namespace vcb;
+
+namespace {
+
+struct MixEntry
+{
+    const char *bench;
+    /** Index into desktopSizes(): --quick uses the smallest paper
+     *  size, the reference mix the largest. */
+    size_t quickSize;
+    size_t fullSize;
+};
+
+/** The reference dispatch mix: the four suite benchmarks whose kernel
+ *  structure spans the simulator's hot paths (bfs: data-dependent
+ *  loops + atomics; hotspot: shared-memory stencil; lud: barriers +
+ *  many small dispatches; gaussian: many thin dispatches). */
+constexpr MixEntry kMix[] = {
+    {"bfs", 0, 2},
+    {"hotspot", 0, 2},
+    {"lud", 0, 2},
+    {"gaussian", 0, 2},
+};
+
+double
+nowMs()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double, std::milli>(
+               clock::now().time_since_epoch())
+        .count();
+}
+
+void
+usage()
+{
+    std::printf("usage: vcb_perf [--quick] [--device NAME] "
+                "[--api vulkan|opencl|cuda]\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool quick = false;
+    std::string device_name = "gtx1050ti";
+    std::string api_str = "vulkan";
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc)
+                fatal("missing value for %s", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--quick")
+            quick = true;
+        else if (arg == "--device")
+            device_name = next();
+        else if (arg == "--api")
+            api_str = next();
+        else {
+            usage();
+            return arg == "--help" ? 0 : 1;
+        }
+    }
+
+    sim::Api api;
+    if (api_str == "vulkan")
+        api = sim::Api::Vulkan;
+    else if (api_str == "opencl")
+        api = sim::Api::OpenCl;
+    else if (api_str == "cuda")
+        api = sim::Api::Cuda;
+    else
+        fatal("unknown API '%s'", api_str.c_str());
+
+    const sim::DeviceSpec &dev = sim::deviceByName(device_name);
+    if (!dev.profile(api).available)
+        fatal("%s is not available on %s", api_str.c_str(),
+              dev.name.c_str());
+
+    const char *threads_env = std::getenv("VCB_THREADS");
+
+    uint64_t mix_wgs = 0;
+    double mix_ms = 0;
+    double mix_sim_ms = 0;
+    bool all_ok = true;
+    for (const MixEntry &e : kMix) {
+        const suite::Benchmark &bench = suite::byName(e.bench);
+        auto sizes = bench.desktopSizes();
+        size_t idx = quick ? e.quickSize : e.fullSize;
+        VCB_ASSERT(idx < sizes.size(), "mix size index out of range");
+        const suite::SizeConfig &cfg = sizes[idx];
+
+        uint64_t wg0 = sim::executedWorkgroupCount();
+        uint64_t sim0 = sim::dispatchWallNs();
+        double t0 = nowMs();
+        suite::RunResult r = bench.run(dev, api, cfg);
+        double wall_ms = nowMs() - t0;
+        double sim_ms = (sim::dispatchWallNs() - sim0) / 1e6;
+        uint64_t wgs = sim::executedWorkgroupCount() - wg0;
+
+        bool ok = r.ok && r.validated;
+        all_ok = all_ok && ok;
+        mix_wgs += wgs;
+        mix_ms += wall_ms;
+        mix_sim_ms += sim_ms;
+        std::printf("{\"bench\": \"%s\", \"size\": \"%s\", "
+                    "\"api\": \"%s\", \"device\": \"%s\", "
+                    "\"wall_ms\": %.3f, \"sim_ms\": %.3f, "
+                    "\"workgroups\": %llu, "
+                    "\"workgroups_per_s\": %.0f, \"launches\": %llu, "
+                    "\"validated\": %s}\n",
+                    e.bench, cfg.label.c_str(), sim::apiName(api),
+                    dev.name.c_str(), wall_ms, sim_ms,
+                    (unsigned long long)wgs,
+                    sim_ms > 0 ? wgs * 1e3 / sim_ms : 0.0,
+                    (unsigned long long)r.launches,
+                    ok ? "true" : "false");
+        std::fflush(stdout);
+    }
+
+    std::printf("{\"bench\": \"mix\", \"mode\": \"%s\", "
+                "\"wall_ms\": %.3f, \"sim_ms\": %.3f, "
+                "\"workgroups\": %llu, "
+                "\"workgroups_per_s\": %.0f, \"vcb_threads\": \"%s\", "
+                "\"validated\": %s}\n",
+                quick ? "quick" : "full", mix_ms, mix_sim_ms,
+                (unsigned long long)mix_wgs,
+                mix_sim_ms > 0 ? mix_wgs * 1e3 / mix_sim_ms : 0.0,
+                threads_env ? threads_env : "default",
+                all_ok ? "true" : "false");
+    return all_ok ? 0 : 1;
+}
