@@ -73,7 +73,11 @@ runSpeedupFigure(const sim::DeviceSpec &dev, bool mobile, uint64_t scale)
             suite::SizeConfig cfg = size;
             if (scale > 1)
                 for (auto &p : cfg.params)
-                    p = std::max<uint64_t>(p / scale, 32);
+                    // Shrink toward a floor of 32 but never inflate:
+                    // small parameters (feature counts, iteration
+                    // counts) pass through unchanged.
+                    p = std::max<uint64_t>(p / scale,
+                                           std::min<uint64_t>(p, 32));
             SpeedupRow row;
             row.bench = bench->name();
             row.sizeLabel = size.label;

@@ -4,10 +4,10 @@
  * solver iteration over an unstructured mesh).
  *
  * The flux mathematics is a synthetic-but-stable equivalent (smoothed
- * neighbour exchange with per-neighbour sqrt/divide work) — see
- * DESIGN.md: the study's cfd findings depend on the *shape* (three
- * compute-heavy kernels, three pipeline binds per iteration, fixed
- * iteration count), not on the exact Euler flux formula.
+ * neighbour exchange with per-neighbour sqrt/divide work): the study's
+ * cfd findings depend on the *shape* (three compute-heavy kernels,
+ * three pipeline binds per iteration, fixed iteration count), not on
+ * the exact Euler flux formula.
  */
 
 #include "kernels/kernels.h"

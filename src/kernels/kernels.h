@@ -225,6 +225,72 @@ spirv::Module buildNwBlock();
 spirv::Module buildPathfinderRow();
 
 // ---------------------------------------------------------------------------
+// srad (structured grid, stencil + per-iteration statistics reduction)
+// ---------------------------------------------------------------------------
+
+/**
+ * srad_reduce — per-workgroup partial sums of J and J^2 via a
+ * shared-memory tree reduction; the host folds the partials into the
+ * iteration's q0sqr.
+ * Bindings: 0=J(ro f32 n), 1=psum(f32 numBlocks), 2=psum2(f32 numBlocks).
+ * Push: [0]=n.  Local size 256, shared 512 words.
+ */
+spirv::Module buildSradReduce();
+
+/**
+ * srad_step1 — directional derivatives (clamped neighbours) and the
+ * diffusion coefficient c, clamped to [0, 1].
+ * Bindings: 0=J(ro f32 g*g), 1=c(f32 g*g), 2=dN, 3=dS, 4=dW, 5=dE
+ * (all f32 g*g).  Push: [0]=g, [1]=q0sqr (f32 bits).  Local 16x16.
+ */
+spirv::Module buildSradStep1();
+
+/**
+ * srad_step2 — divergence of the coefficient-weighted derivatives;
+ * J += 0.25 * lambda * d in place.
+ * Bindings: 0=J(f32 g*g), 1=c(ro), 2=dN(ro), 3=dS(ro), 4=dW(ro),
+ *           5=dE(ro).  Push: [0]=g, [1]=lambda (f32 bits).
+ * Local 16x16.
+ */
+spirv::Module buildSradStep2();
+
+// ---------------------------------------------------------------------------
+// kmeans (data mining, host convergence loop)
+// ---------------------------------------------------------------------------
+
+/**
+ * kmeans_swap — transpose the feature matrix AoS (n x f) -> SoA (f x n)
+ * so the assignment kernel's feature loop is coalesced.
+ * Bindings: 0=features AoS(ro f32 n*f), 1=features SoA(f32 f*n).
+ * Push: [0]=n, [1]=f.  Local size 256.
+ */
+spirv::Module buildKmeansSwap();
+
+/**
+ * kmeans_assign — nearest-centroid assignment; counts changed
+ * memberships into an atomic delta word the host polls for
+ * convergence.
+ * Bindings: 0=features SoA(ro f32 f*n), 1=centroids(ro f32 k*f),
+ *           2=membership(i32 n), 3=delta(i32, word 0).
+ * Push: [0]=n, [1]=f, [2]=k.  Local size 256.
+ */
+spirv::Module buildKmeansAssign();
+
+// ---------------------------------------------------------------------------
+// streamcluster (data mining, branch-divergent pairwise distances)
+// ---------------------------------------------------------------------------
+
+/**
+ * streamcluster_gain — weighted distance of every point to candidate
+ * centre x; points that would switch record their saving in lower[]
+ * and raise switchFlag[].
+ * Bindings: 0=coords SoA(ro f32 dim*n), 1=weight(ro f32 n),
+ *           2=cost(ro f32 n), 3=lower(f32 n), 4=switchFlag(i32 n).
+ * Push: [0]=n, [1]=dim, [2]=x.  Local size 256.
+ */
+spirv::Module buildStreamclusterGain();
+
+// ---------------------------------------------------------------------------
 // Registry
 // ---------------------------------------------------------------------------
 

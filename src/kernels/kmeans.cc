@@ -1,0 +1,94 @@
+/**
+ * @file
+ * kmeans kernels (Rodinia kmeans: data-parallel cluster assignment on
+ * the device, centroid recomputation on the host, iterated until the
+ * membership stops changing).
+ *
+ * kmeans_swap runs once to transpose the feature matrix into SoA form
+ * so the assignment kernel's feature loop is coalesced (Rodinia does
+ * the same transpose on the GPU).  kmeans_assign then runs once per
+ * host iteration; the changed-membership counter it maintains with an
+ * atomic is what the host's convergence loop reads back every
+ * iteration — the blocking multi-kernel pattern the paper contrasts
+ * with Vulkan's enqueue-ahead submission.
+ */
+
+#include "kernels/kernels.h"
+
+#include "spirv/builder.h"
+
+namespace vcb::kernels {
+
+using spirv::Builder;
+using spirv::ElemType;
+
+spirv::Module
+buildKmeansSwap()
+{
+    Builder b("kmeans_swap", 256);
+    b.bindStorage(0, ElemType::F32, true); // features AoS (n x f)
+    b.bindStorage(1, ElemType::F32);       // features SoA (f x n)
+    b.setPushWords(2);
+
+    auto i = b.globalIdX();
+    auto n = b.ldPush(0);
+    auto f = b.ldPush(1);
+    auto zero = b.constI(0);
+    auto one = b.constI(1);
+
+    auto in_range = b.ult(i, n);
+    b.ifThen(in_range, [&] {
+        auto base = b.imul(i, f);
+        b.forRange(zero, f, one, [&](Builder::Reg j) {
+            auto v = b.ldBuf(0, b.iadd(base, j));
+            b.stBuf(1, b.iadd(b.imul(j, n), i), v);
+        });
+    });
+    return b.finish();
+}
+
+spirv::Module
+buildKmeansAssign()
+{
+    Builder b("kmeans_assign", 256);
+    b.bindStorage(0, ElemType::F32, true); // features SoA (f x n)
+    b.bindStorage(1, ElemType::F32, true); // centroids (k x f)
+    b.bindStorage(2, ElemType::I32);       // membership[n]
+    b.bindStorage(3, ElemType::I32);       // delta counter (word 0)
+    b.setPushWords(3);
+
+    auto i = b.globalIdX();
+    auto n = b.ldPush(0);
+    auto f = b.ldPush(1);
+    auto k = b.ldPush(2);
+    auto zero = b.constI(0);
+    auto one = b.constI(1);
+
+    auto in_range = b.ult(i, n);
+    b.ifThen(in_range, [&] {
+        auto best_idx = b.mov(zero);
+        auto best_dist = b.constF(3.402823466e38f); // FLT_MAX
+        b.forRange(zero, k, one, [&](Builder::Reg c) {
+            auto dist = b.constF(0.0f);
+            auto cbase = b.imul(c, f);
+            b.forRange(zero, f, one, [&](Builder::Reg j) {
+                auto x = b.ldBuf(0, b.iadd(b.imul(j, n), i));
+                auto cent = b.ldBuf(1, b.iadd(cbase, j));
+                auto diff = b.fsub(x, cent);
+                b.faddTo(dist, dist, b.fmul(diff, diff));
+            });
+            // Strict less-than: the first of equal minima wins, so the
+            // assignment is deterministic for every executor order.
+            auto better = b.flt(dist, best_dist);
+            b.movTo(best_dist, b.select(better, dist, best_dist));
+            b.movTo(best_idx, b.select(better, c, best_idx));
+        });
+        auto old = b.ldBuf(2, i);
+        auto changed = b.ine(old, best_idx);
+        b.ifThen(changed, [&] { b.atomIAdd(3, zero, one); });
+        b.stBuf(2, i, best_idx);
+    });
+    return b.finish();
+}
+
+} // namespace vcb::kernels

@@ -34,6 +34,12 @@ kernelRegistry()
         {"nn_euclid", buildNnEuclid},
         {"nw_block", buildNwBlock},
         {"pathfinder_row", buildPathfinderRow},
+        {"srad_reduce", buildSradReduce},
+        {"srad_step1", buildSradStep1},
+        {"srad_step2", buildSradStep2},
+        {"kmeans_swap", buildKmeansSwap},
+        {"kmeans_assign", buildKmeansAssign},
+        {"streamcluster_gain", buildStreamclusterGain},
     };
     return table;
 }

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * srad kernels (Rodinia srad: Speckle Reducing Anisotropic Diffusion,
+ * a structured-grid stencil whose outer loop needs a full-image
+ * statistics reduction every iteration).
+ *
+ * Per iteration the host runs: srad_reduce (partial sums of J and J^2,
+ * finished on the host into q0sqr), srad_step1 (diffusion coefficient
+ * from the four directional derivatives), srad_step2 (image update
+ * from the coefficient field).  The reduction makes srad the one
+ * structured-grid family whose host loop must read device results back
+ * between stencil steps.
+ */
+
+#include "kernels/kernels.h"
+
+#include "spirv/builder.h"
+
+namespace vcb::kernels {
+
+using spirv::Builder;
+using spirv::ElemType;
+
+// Workgroup: 256 lanes, one pixel each.
+// shared[0..255]   : per-lane J values for the sum reduction
+// shared[256..511] : per-lane J^2 values for the sum-of-squares
+spirv::Module
+buildSradReduce()
+{
+    Builder b("srad_reduce", 256);
+    b.bindStorage(0, ElemType::F32, true); // J[n]
+    b.bindStorage(1, ElemType::F32);       // psum[numBlocks]
+    b.bindStorage(2, ElemType::F32);       // psum2[numBlocks]
+    b.setPushWords(1);
+    b.setSharedWords(512);
+
+    auto lane = b.localIdX();
+    auto gid = b.globalIdX();
+    auto n = b.ldPush(0);
+    auto zero = b.constI(0);
+    auto c256 = b.constI(256);
+
+    auto valid = b.ult(gid, n);
+    auto safe = b.select(valid, gid, zero);
+    auto v = b.ldBuf(0, safe);
+    auto fzero = b.constF(0.0f);
+    v = b.select(valid, v, fzero);
+    b.stShared(lane, v);
+    b.stShared(b.iadd(lane, c256), b.fmul(v, v));
+    b.barrier();
+
+    // Tree reduction over both banks (stride 128 .. 1).
+    for (uint32_t s = 128; s >= 1; s /= 2) {
+        auto stride = b.constI(static_cast<int32_t>(s));
+        auto active = b.ilt(lane, stride);
+        b.ifThen(active, [&] {
+            auto other = b.iadd(lane, stride);
+            b.stShared(lane,
+                       b.fadd(b.ldShared(lane), b.ldShared(other)));
+            auto mine2 = b.iadd(lane, c256);
+            auto other2 = b.iadd(other, c256);
+            b.stShared(mine2,
+                       b.fadd(b.ldShared(mine2), b.ldShared(other2)));
+        });
+        b.barrier();
+    }
+
+    auto is_writer = b.ieq(lane, zero);
+    b.ifThen(is_writer, [&] {
+        auto block = b.groupIdX();
+        b.stBuf(1, block, b.ldShared(zero));
+        b.stBuf(2, block, b.ldShared(c256));
+    });
+    return b.finish();
+}
+
+spirv::Module
+buildSradStep1()
+{
+    Builder b("srad_step1", blockSize, blockSize);
+    b.bindStorage(0, ElemType::F32, true); // J (g*g)
+    b.bindStorage(1, ElemType::F32);       // c
+    b.bindStorage(2, ElemType::F32);       // dN
+    b.bindStorage(3, ElemType::F32);       // dS
+    b.bindStorage(4, ElemType::F32);       // dW
+    b.bindStorage(5, ElemType::F32);       // dE
+    b.setPushWords(2);
+
+    auto g = b.ldPush(0);
+    auto q0 = b.ldPush(1);
+    auto gi = b.globalIdX(); // column
+    auto gj = b.globalIdY(); // row
+    auto zero = b.constI(0);
+    auto one = b.constI(1);
+    auto g1 = b.isub(g, one);
+
+    auto load_clamped = [&](Builder::Reg r, Builder::Reg c) {
+        auto rr = b.imin(b.imax(r, zero), g1);
+        auto cc = b.imin(b.imax(c, zero), g1);
+        return b.ldBuf(0, b.iadd(b.imul(rr, g), cc));
+    };
+
+    auto in_range = b.iand(b.ult(gi, g), b.ult(gj, g));
+    b.ifThen(in_range, [&] {
+        auto idx = b.iadd(b.imul(gj, g), gi);
+        auto jc = b.ldBuf(0, idx);
+        auto dn = b.fsub(load_clamped(b.isub(gj, one), gi), jc);
+        auto ds = b.fsub(load_clamped(b.iadd(gj, one), gi), jc);
+        auto dw = b.fsub(load_clamped(gj, b.isub(gi, one)), jc);
+        auto de = b.fsub(load_clamped(gj, b.iadd(gi, one)), jc);
+        b.stBuf(2, idx, dn);
+        b.stBuf(3, idx, ds);
+        b.stBuf(4, idx, dw);
+        b.stBuf(5, idx, de);
+
+        // q^2 from the normalized gradient magnitude and laplacian.
+        auto sq = b.fadd(b.fadd(b.fmul(dn, dn), b.fmul(ds, ds)),
+                         b.fadd(b.fmul(dw, dw), b.fmul(de, de)));
+        auto jc2 = b.fmul(jc, jc);
+        auto g2 = b.fdiv(sq, jc2);
+        auto l = b.fdiv(b.fadd(b.fadd(dn, ds), b.fadd(dw, de)), jc);
+        auto half = b.constF(0.5f);
+        auto sixteenth = b.constF(0.0625f);
+        auto num = b.fsub(b.fmul(half, g2),
+                          b.fmul(sixteenth, b.fmul(l, l)));
+        auto fone = b.constF(1.0f);
+        auto quarter = b.constF(0.25f);
+        auto den = b.fadd(fone, b.fmul(quarter, l));
+        auto qsqr = b.fdiv(num, b.fmul(den, den));
+
+        // Diffusion coefficient, clamped to [0, 1].
+        auto den2 = b.fdiv(b.fsub(qsqr, q0),
+                           b.fmul(q0, b.fadd(fone, q0)));
+        auto cval = b.fdiv(fone, b.fadd(fone, den2));
+        cval = b.fmin(b.fmax(cval, b.constF(0.0f)), fone);
+        b.stBuf(1, idx, cval);
+    });
+    return b.finish();
+}
+
+spirv::Module
+buildSradStep2()
+{
+    Builder b("srad_step2", blockSize, blockSize);
+    b.bindStorage(0, ElemType::F32);       // J (g*g), updated in place
+    b.bindStorage(1, ElemType::F32, true); // c
+    b.bindStorage(2, ElemType::F32, true); // dN
+    b.bindStorage(3, ElemType::F32, true); // dS
+    b.bindStorage(4, ElemType::F32, true); // dW
+    b.bindStorage(5, ElemType::F32, true); // dE
+    b.setPushWords(2);
+
+    auto g = b.ldPush(0);
+    auto lambda = b.ldPush(1);
+    auto gi = b.globalIdX();
+    auto gj = b.globalIdY();
+    auto one = b.constI(1);
+    auto g1 = b.isub(g, one);
+
+    auto in_range = b.iand(b.ult(gi, g), b.ult(gj, g));
+    b.ifThen(in_range, [&] {
+        auto idx = b.iadd(b.imul(gj, g), gi);
+        // Rodinia's divergence uses the centre coefficient for the
+        // north/west fluxes and the south/east neighbours' for the rest.
+        auto cc = b.ldBuf(1, idx);
+        auto s_row = b.imin(b.iadd(gj, one), g1);
+        auto cs = b.ldBuf(1, b.iadd(b.imul(s_row, g), gi));
+        auto e_col = b.imin(b.iadd(gi, one), g1);
+        auto ce = b.ldBuf(1, b.iadd(b.imul(gj, g), e_col));
+
+        auto d = b.fmul(cc, b.ldBuf(2, idx));
+        d = b.fadd(d, b.fmul(cs, b.ldBuf(3, idx)));
+        d = b.fadd(d, b.fmul(cc, b.ldBuf(4, idx)));
+        d = b.fadd(d, b.fmul(ce, b.ldBuf(5, idx)));
+
+        auto lam4 = b.fmul(b.constF(0.25f), lambda);
+        b.stBuf(0, idx, b.ffma(lam4, d, b.ldBuf(0, idx)));
+    });
+    return b.finish();
+}
+
+} // namespace vcb::kernels

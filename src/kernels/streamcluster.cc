@@ -1,0 +1,70 @@
+/**
+ * @file
+ * streamcluster kernel (Rodinia streamcluster: the pgain step of
+ * online facility-location clustering).
+ *
+ * For one candidate centre x the kernel computes every point's
+ * weighted distance to x and, where that beats the point's current
+ * assignment cost, records the saving and a switch flag; the host sums
+ * the savings, decides whether opening x is worth it, and reassigns.
+ * The per-lane comparison makes the kernel branch-divergent in a way
+ * none of the structured-grid families are — half a warp takes the
+ * cheaper-centre path while the other half does not — so it exercises
+ * the interpreter's lane-major fallback rather than the lockstep fast
+ * path.
+ */
+
+#include "kernels/kernels.h"
+
+#include "spirv/builder.h"
+
+namespace vcb::kernels {
+
+using spirv::Builder;
+using spirv::ElemType;
+
+spirv::Module
+buildStreamclusterGain()
+{
+    Builder b("streamcluster_gain", 256);
+    b.bindStorage(0, ElemType::F32, true); // coords SoA (dim x n)
+    b.bindStorage(1, ElemType::F32, true); // weight[n]
+    b.bindStorage(2, ElemType::F32, true); // cost[n]
+    b.bindStorage(3, ElemType::F32);       // lower[n] (saving if switched)
+    b.bindStorage(4, ElemType::I32);       // switchFlag[n]
+    b.setPushWords(3);
+
+    auto i = b.globalIdX();
+    auto n = b.ldPush(0);
+    auto dim = b.ldPush(1);
+    auto x = b.ldPush(2); // candidate centre's point index
+    auto zero = b.constI(0);
+    auto one = b.constI(1);
+
+    auto in_range = b.ult(i, n);
+    b.ifThen(in_range, [&] {
+        auto d = b.constF(0.0f);
+        b.forRange(zero, dim, one, [&](Builder::Reg j) {
+            auto row = b.imul(j, n);
+            auto mine = b.ldBuf(0, b.iadd(row, i));
+            auto cand = b.ldBuf(0, b.iadd(row, x));
+            auto diff = b.fsub(mine, cand);
+            b.faddTo(d, d, b.fmul(diff, diff));
+        });
+        auto cost_new = b.fmul(b.ldBuf(1, i), d);
+        auto cheaper = b.flt(cost_new, b.ldBuf(2, i));
+        b.ifThenElse(
+            cheaper,
+            [&] {
+                b.stBuf(3, i, b.fsub(b.ldBuf(2, i), cost_new));
+                b.stBuf(4, i, one);
+            },
+            [&] {
+                b.stBuf(3, i, b.constF(0.0f));
+                b.stBuf(4, i, zero);
+            });
+    });
+    return b.finish();
+}
+
+} // namespace vcb::kernels

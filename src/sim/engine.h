@@ -3,11 +3,16 @@
  * The execution engine: functionally executes a dispatch across all
  * workgroups and produces its simulated device time.
  *
- * A few spread-out workgroups are interpreted first with the
- * coalescing sampler attached; the rest run in parallel on the host
- * thread pool.  Workgroups are independent in every supported
- * programming model, so parallel interpretation preserves results for
- * valid kernels.
+ * dispatch() interprets a few spread-out workgroups first on the
+ * instrumented executor with the coalescing sampler attached, then
+ * fans the remaining workgroups out over
+ * ThreadPool::parallelForRange, where each worker runs the micro-op
+ * fast paths (op-major lockstep, falling back to lane-major on branch
+ * divergence or atomics — see src/sim/interpreter.cc and
+ * docs/ARCHITECTURE.md).  Workgroups are independent in every
+ * supported programming model, so parallel interpretation preserves
+ * results for valid kernels; per-worker statistics merge once per
+ * dispatch, so no lock sits on the per-workgroup path.
  */
 
 #ifndef VCB_SIM_ENGINE_H

@@ -2,7 +2,8 @@
  * @file
  * Timing model: converts execution statistics into simulated time.
  *
- * See DESIGN.md Sec. 5.  A dispatch's device time is the maximum of
+ * See docs/ARCHITECTURE.md ("Timing model").  A dispatch's device
+ * time is the maximum of
  * its compute-bound, DRAM-bandwidth-bound, DRAM-transaction-bound and
  * on-chip-bound components, plus fixed per-dispatch latency.  The two
  * DRAM bounds are what reproduce the strided-bandwidth figures: useful

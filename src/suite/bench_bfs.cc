@@ -345,7 +345,7 @@ class BfsBenchmark : public Benchmark
     {
         // Paper: 4K / 64K / 1M nodes.  Simulated graphs are sized so
         // all three points sit in the kernel-dominated regime the
-        // paper's 1M-node result demonstrates (see EXPERIMENTS.md).
+        // paper's 1M-node result demonstrates.
         return {{"4K", {49152}}, {"64K", {98304}}, {"1M", {196608}}};
     }
     std::vector<SizeConfig> mobileSizes() const override

@@ -1,0 +1,474 @@
+/**
+ * @file
+ * srad — Speckle Reducing Anisotropic Diffusion (Structured Grid /
+ * Image Processing), a Rodinia family the paper's suite inherits.
+ *
+ * Host structure (all APIs): every iteration needs the image mean and
+ * variance, so the host dispatches the reduction, reads the partial
+ * sums back, folds them into q0sqr, and only then can it issue the two
+ * stencil steps with q0sqr as a push value.  The readback in the
+ * middle of every iteration means no API can run the loop purely
+ * enqueue-ahead; Vulkan still batches the two stencil dispatches into
+ * one submission with a pipeline barrier between them.
+ */
+
+#include "suite/benchmark.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/mathutil.h"
+#include "common/rng.h"
+#include "cuda/cuda_rt.h"
+#include "kernels/kernels.h"
+#include "ocl/ocl.h"
+#include "suite/validate.h"
+#include "suite/vkhelp.h"
+
+namespace vcb::suite {
+
+namespace {
+
+struct Image
+{
+    uint32_t g = 0;     ///< image edge (multiple of 16)
+    uint32_t iters = 0; ///< diffusion iterations
+    float lambda = 0.05f;
+    std::vector<float> j;
+};
+
+Image
+generateImage(uint32_t g, uint32_t iters, uint64_t seed)
+{
+    Rng rng(seed);
+    Image im;
+    im.g = g;
+    im.iters = iters;
+    im.j.resize(uint64_t(g) * g);
+    for (auto &v : im.j)
+        v = rng.nextFloat(1.0f, 2.0f);
+    return im;
+}
+
+/** Fold device (or mirrored) partial sums into q0sqr — the one copy
+ *  of the host-side statistics math, shared by the CPU reference and
+ *  every API runner so all paths stay bit-identical. */
+float
+foldQ0sqr(const std::vector<float> &psum, const std::vector<float> &psum2,
+          uint32_t n)
+{
+    float sum = 0.0f, sum2 = 0.0f;
+    for (size_t blk = 0; blk < psum.size(); ++blk) {
+        sum = sum + psum[blk];
+        sum2 = sum2 + psum2[blk];
+    }
+    const float nf = (float)n;
+    float mean = sum / nf;
+    float m2 = mean * mean;
+    float var = sum2 / nf - m2;
+    return var / m2;
+}
+
+/** Mirror of srad_reduce's tree (per 256-lane block), folded through
+ *  foldQ0sqr exactly as the runners fold the device partials. */
+float
+q0sqrOf(const std::vector<float> &j, uint32_t n)
+{
+    uint32_t blocks = (uint32_t)ceilDiv(n, 256);
+    std::vector<float> psum(blocks), psum2(blocks);
+    for (uint32_t blk = 0; blk < blocks; ++blk) {
+        float p[256], p2[256];
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t gi = blk * 256 + i;
+            float v = gi < n ? j[gi] : 0.0f;
+            p[i] = v;
+            p2[i] = v * v;
+        }
+        for (uint32_t str = 128; str >= 1; str /= 2) {
+            for (uint32_t i = 0; i < str; ++i) {
+                p[i] = p[i] + p[i + str];
+                p2[i] = p2[i] + p2[i + str];
+            }
+        }
+        psum[blk] = p[0];
+        psum2[blk] = p2[0];
+    }
+    return foldQ0sqr(psum, psum2, n);
+}
+
+/** From-scratch CPU reference mirroring the kernels' operation order
+ *  (named temporaries keep mul+add pairs uncontracted). */
+std::vector<float>
+referenceSrad(const Image &im)
+{
+    const uint32_t g = im.g, n = g * g;
+    std::vector<float> j = im.j, c(n), dn(n), ds(n), dw(n), de(n);
+    auto clampi = [&](int32_t v) {
+        return std::min(std::max(v, 0), (int32_t)g - 1);
+    };
+    for (uint32_t it = 0; it < im.iters; ++it) {
+        float q0 = q0sqrOf(j, n);
+        for (int32_t r = 0; r < (int32_t)g; ++r) {
+            for (int32_t col = 0; col < (int32_t)g; ++col) {
+                size_t idx = size_t(r) * g + col;
+                float jc = j[idx];
+                auto at = [&](int32_t rr, int32_t cc) {
+                    return j[size_t(clampi(rr)) * g + clampi(cc)];
+                };
+                dn[idx] = at(r - 1, col) - jc;
+                ds[idx] = at(r + 1, col) - jc;
+                dw[idx] = at(r, col - 1) - jc;
+                de[idx] = at(r, col + 1) - jc;
+                float sqa = dn[idx] * dn[idx];
+                float sqb = ds[idx] * ds[idx];
+                float sqc = dw[idx] * dw[idx];
+                float sqd = de[idx] * de[idx];
+                float sq = (sqa + sqb) + (sqc + sqd);
+                float jc2 = jc * jc;
+                float g2 = sq / jc2;
+                float lsum = (dn[idx] + ds[idx]) + (dw[idx] + de[idx]);
+                float l = lsum / jc;
+                float hg = 0.5f * g2;
+                float ll = l * l;
+                float sl = 0.0625f * ll;
+                float num = hg - sl;
+                float qt = 0.25f * l;
+                float den = 1.0f + qt;
+                float dd = den * den;
+                float qsqr = num / dd;
+                float qd = qsqr - q0;
+                float q1 = 1.0f + q0;
+                float qq = q0 * q1;
+                float den2 = qd / qq;
+                float e1 = 1.0f + den2;
+                float cval = 1.0f / e1;
+                c[idx] = std::fmin(std::fmax(cval, 0.0f), 1.0f);
+            }
+        }
+        for (int32_t r = 0; r < (int32_t)g; ++r) {
+            for (int32_t col = 0; col < (int32_t)g; ++col) {
+                size_t idx = size_t(r) * g + col;
+                float cc = c[idx];
+                float cs = c[size_t(clampi(r + 1)) * g + col];
+                float ce = c[size_t(r) * g + clampi(col + 1)];
+                float d = cc * dn[idx];
+                float t1 = cs * ds[idx];
+                d = d + t1;
+                float t2 = cc * dw[idx];
+                d = d + t2;
+                float t3 = ce * de[idx];
+                d = d + t3;
+                float lam4 = 0.25f * im.lambda;
+                j[idx] = std::fma(lam4, d, j[idx]);
+            }
+        }
+    }
+    return j;
+}
+
+RunResult
+runVulkan(const sim::DeviceSpec &dev, const Image &im)
+{
+    RunResult res;
+    VkContext ctx = VkContext::create(dev);
+    VkKernel k_red, k_s1, k_s2;
+    std::string err = createVkKernel(ctx, kernels::buildSradReduce(), &k_red);
+    if (err.empty())
+        err = createVkKernel(ctx, kernels::buildSradStep1(), &k_s1);
+    if (err.empty())
+        err = createVkKernel(ctx, kernels::buildSradStep2(), &k_s2);
+    if (!err.empty()) {
+        res.skipReason = err;
+        return res;
+    }
+
+    double t_total0 = ctx.now();
+    const uint32_t g = im.g, n = g * g;
+    const uint32_t blocks = (uint32_t)ceilDiv(n, 256);
+    uint64_t bytes = uint64_t(n) * 4;
+    auto b_j = ctx.createDeviceBuffer(bytes);
+    auto b_psum = ctx.createDeviceBuffer(uint64_t(blocks) * 4);
+    auto b_psum2 = ctx.createDeviceBuffer(uint64_t(blocks) * 4);
+    auto b_c = ctx.createDeviceBuffer(bytes);
+    auto b_dn = ctx.createDeviceBuffer(bytes);
+    auto b_ds = ctx.createDeviceBuffer(bytes);
+    auto b_dw = ctx.createDeviceBuffer(bytes);
+    auto b_de = ctx.createDeviceBuffer(bytes);
+    ctx.upload(b_j, im.j.data(), bytes);
+
+    auto s_red = makeDescriptorSet(ctx, k_red,
+                                   {{0, b_j}, {1, b_psum}, {2, b_psum2}});
+    auto s_s1 = makeDescriptorSet(ctx, k_s1,
+                                  {{0, b_j},
+                                   {1, b_c},
+                                   {2, b_dn},
+                                   {3, b_ds},
+                                   {4, b_dw},
+                                   {5, b_de}});
+    auto s_s2 = makeDescriptorSet(ctx, k_s2,
+                                  {{0, b_j},
+                                   {1, b_c},
+                                   {2, b_dn},
+                                   {3, b_ds},
+                                   {4, b_dw},
+                                   {5, b_de}});
+
+    // The reduction command buffer never changes: record once,
+    // resubmit each iteration.
+    vkm::CommandBuffer cb_red, cb_steps;
+    vkm::check(vkm::allocateCommandBuffer(ctx.device, ctx.cmdPool, &cb_red),
+               "allocateCommandBuffer");
+    vkm::check(
+        vkm::allocateCommandBuffer(ctx.device, ctx.cmdPool, &cb_steps),
+        "allocateCommandBuffer");
+    vkm::check(vkm::beginCommandBuffer(cb_red), "beginCommandBuffer");
+    vkm::cmdBindPipeline(cb_red, k_red.pipeline);
+    vkm::cmdBindDescriptorSet(cb_red, k_red.layout, 0, s_red);
+    vkm::cmdPushConstants(cb_red, k_red.layout, 0, 4, &n);
+    vkm::cmdDispatch(cb_red, blocks, 1, 1);
+    vkm::check(vkm::endCommandBuffer(cb_red), "endCommandBuffer");
+
+    vkm::Fence fence;
+    vkm::check(vkm::createFence(ctx.device, &fence), "createFence");
+    std::vector<float> psum(blocks), psum2(blocks);
+    const uint32_t tiles = g / kernels::blockSize;
+
+    double t0 = ctx.now();
+    for (uint32_t it = 0; it < im.iters; ++it) {
+        vkm::SubmitInfo si_red;
+        si_red.commandBuffers.push_back(cb_red);
+        vkm::check(vkm::queueSubmit(ctx.queue, {si_red}, fence),
+                   "queueSubmit");
+        vkm::check(vkm::waitForFences(ctx.device, {fence}),
+                   "waitForFences");
+        vkm::check(vkm::resetFences(ctx.device, {fence}), "resetFences");
+        ctx.download(b_psum, psum.data(), uint64_t(blocks) * 4);
+        ctx.download(b_psum2, psum2.data(), uint64_t(blocks) * 4);
+        float q0 = foldQ0sqr(psum, psum2, n);
+
+        // Both stencil steps in one submission; the q0sqr push value
+        // changes every iteration, so the command buffer is re-recorded.
+        vkm::check(vkm::resetCommandBuffer(cb_steps), "resetCommandBuffer");
+        vkm::check(vkm::beginCommandBuffer(cb_steps), "beginCommandBuffer");
+        uint32_t push1[2] = {g, std::bit_cast<uint32_t>(q0)};
+        vkm::cmdBindPipeline(cb_steps, k_s1.pipeline);
+        vkm::cmdBindDescriptorSet(cb_steps, k_s1.layout, 0, s_s1);
+        vkm::cmdPushConstants(cb_steps, k_s1.layout, 0, 8, push1);
+        vkm::cmdDispatch(cb_steps, tiles, tiles, 1);
+        vkm::cmdPipelineBarrier(cb_steps);
+        uint32_t push2[2] = {g, std::bit_cast<uint32_t>(im.lambda)};
+        vkm::cmdBindPipeline(cb_steps, k_s2.pipeline);
+        vkm::cmdBindDescriptorSet(cb_steps, k_s2.layout, 0, s_s2);
+        vkm::cmdPushConstants(cb_steps, k_s2.layout, 0, 8, push2);
+        vkm::cmdDispatch(cb_steps, tiles, tiles, 1);
+        vkm::check(vkm::endCommandBuffer(cb_steps), "endCommandBuffer");
+
+        vkm::SubmitInfo si_steps;
+        si_steps.commandBuffers.push_back(cb_steps);
+        vkm::check(vkm::queueSubmit(ctx.queue, {si_steps}, fence),
+                   "queueSubmit");
+        vkm::check(vkm::waitForFences(ctx.device, {fence}),
+                   "waitForFences");
+        vkm::check(vkm::resetFences(ctx.device, {fence}), "resetFences");
+        res.launches += 3;
+    }
+    res.kernelRegionNs = ctx.now() - t0;
+
+    std::vector<float> out(n);
+    ctx.download(b_j, out.data(), bytes);
+    res.totalNs = ctx.now() - t_total0;
+
+    res.validationError = compareFloats(out, referenceSrad(im));
+    res.validated = res.validationError.empty();
+    res.ok = true;
+    return res;
+}
+
+RunResult
+runOpenCl(const sim::DeviceSpec &dev, const Image &im)
+{
+    RunResult res;
+    ocl::Context ctx(dev);
+    auto p_red = ocl::createProgramWithSource(ctx, kernels::buildSradReduce());
+    auto p_s1 = ocl::createProgramWithSource(ctx, kernels::buildSradStep1());
+    auto p_s2 = ocl::createProgramWithSource(ctx, kernels::buildSradStep2());
+    std::string err;
+    if (!ocl::buildProgram(p_red, &err) || !ocl::buildProgram(p_s1, &err) ||
+        !ocl::buildProgram(p_s2, &err)) {
+        res.skipReason = err;
+        return res;
+    }
+    auto k_red = ocl::createKernel(p_red, "srad_reduce", &err);
+    auto k_s1 = ocl::createKernel(p_s1, "srad_step1", &err);
+    auto k_s2 = ocl::createKernel(p_s2, "srad_step2", &err);
+    VCB_ASSERT(k_red.valid() && k_s1.valid() && k_s2.valid(),
+               "kernel creation failed: %s", err.c_str());
+
+    double t_total0 = ctx.hostNowNs();
+    const uint32_t g = im.g, n = g * g;
+    const uint32_t blocks = (uint32_t)ceilDiv(n, 256);
+    uint64_t bytes = uint64_t(n) * 4;
+    auto b_j = ocl::createBuffer(ctx, ocl::MemReadWrite, bytes);
+    auto b_psum = ocl::createBuffer(ctx, ocl::MemReadWrite,
+                                    uint64_t(blocks) * 4);
+    auto b_psum2 = ocl::createBuffer(ctx, ocl::MemReadWrite,
+                                     uint64_t(blocks) * 4);
+    auto b_c = ocl::createBuffer(ctx, ocl::MemReadWrite, bytes);
+    auto b_dn = ocl::createBuffer(ctx, ocl::MemReadWrite, bytes);
+    auto b_ds = ocl::createBuffer(ctx, ocl::MemReadWrite, bytes);
+    auto b_dw = ocl::createBuffer(ctx, ocl::MemReadWrite, bytes);
+    auto b_de = ocl::createBuffer(ctx, ocl::MemReadWrite, bytes);
+    ocl::enqueueWriteBuffer(ctx, b_j, true, 0, bytes, im.j.data());
+
+    ocl::setKernelArgBuffer(k_red, 0, b_j);
+    ocl::setKernelArgBuffer(k_red, 1, b_psum);
+    ocl::setKernelArgBuffer(k_red, 2, b_psum2);
+    ocl::setKernelArgScalar(k_red, 0, n);
+    for (auto *k : {&k_s1, &k_s2}) {
+        ocl::setKernelArgBuffer(*k, 0, b_j);
+        ocl::setKernelArgBuffer(*k, 1, b_c);
+        ocl::setKernelArgBuffer(*k, 2, b_dn);
+        ocl::setKernelArgBuffer(*k, 3, b_ds);
+        ocl::setKernelArgBuffer(*k, 4, b_dw);
+        ocl::setKernelArgBuffer(*k, 5, b_de);
+        ocl::setKernelArgScalar(*k, 0, g);
+    }
+    ocl::setKernelArgScalar(k_s2, 1, std::bit_cast<uint32_t>(im.lambda));
+
+    std::vector<float> psum(blocks), psum2(blocks);
+    double t0 = ctx.hostNowNs();
+    for (uint32_t it = 0; it < im.iters; ++it) {
+        ocl::enqueueNDRangeKernel(ctx, k_red, blocks * 256);
+        ocl::enqueueReadBuffer(ctx, b_psum, true, 0,
+                               uint64_t(blocks) * 4, psum.data());
+        ocl::enqueueReadBuffer(ctx, b_psum2, true, 0,
+                               uint64_t(blocks) * 4, psum2.data());
+        float q0 = foldQ0sqr(psum, psum2, n);
+        ocl::setKernelArgScalar(k_s1, 1, std::bit_cast<uint32_t>(q0));
+        ocl::enqueueNDRangeKernel(ctx, k_s1, g, g);
+        ocl::enqueueNDRangeKernel(ctx, k_s2, g, g);
+        res.launches += 3;
+        ctx.finish();
+    }
+    res.kernelRegionNs = ctx.hostNowNs() - t0;
+
+    std::vector<float> out(n);
+    ocl::enqueueReadBuffer(ctx, b_j, true, 0, bytes, out.data());
+    res.totalNs = ctx.hostNowNs() - t_total0;
+
+    res.validationError = compareFloats(out, referenceSrad(im));
+    res.validated = res.validationError.empty();
+    res.ok = true;
+    return res;
+}
+
+RunResult
+runCuda(const sim::DeviceSpec &dev, const Image &im)
+{
+    RunResult res;
+    if (!cuda::available(dev)) {
+        res.skipReason = "CUDA not supported on this device";
+        return res;
+    }
+    cuda::Runtime rt(dev);
+    auto f_red = rt.loadFunction(kernels::buildSradReduce());
+    auto f_s1 = rt.loadFunction(kernels::buildSradStep1());
+    auto f_s2 = rt.loadFunction(kernels::buildSradStep2());
+
+    double t_total0 = rt.hostNowNs();
+    const uint32_t g = im.g, n = g * g;
+    const uint32_t blocks = (uint32_t)ceilDiv(n, 256);
+    uint64_t bytes = uint64_t(n) * 4;
+    auto d_j = rt.malloc(bytes);
+    auto d_psum = rt.malloc(uint64_t(blocks) * 4);
+    auto d_psum2 = rt.malloc(uint64_t(blocks) * 4);
+    auto d_c = rt.malloc(bytes);
+    auto d_dn = rt.malloc(bytes);
+    auto d_ds = rt.malloc(bytes);
+    auto d_dw = rt.malloc(bytes);
+    auto d_de = rt.malloc(bytes);
+    rt.memcpyHtoD(d_j, im.j.data(), bytes);
+
+    const uint32_t tiles = g / kernels::blockSize;
+    std::vector<float> psum(blocks), psum2(blocks);
+
+    double t0 = rt.hostNowNs();
+    for (uint32_t it = 0; it < im.iters; ++it) {
+        rt.launchKernel(f_red, blocks, 1, 1, {d_j, d_psum, d_psum2}, {n});
+        rt.memcpyDtoH(psum.data(), d_psum, uint64_t(blocks) * 4);
+        rt.memcpyDtoH(psum2.data(), d_psum2, uint64_t(blocks) * 4);
+        float q0 = foldQ0sqr(psum, psum2, n);
+        rt.launchKernel(f_s1, tiles, tiles, 1,
+                        {d_j, d_c, d_dn, d_ds, d_dw, d_de},
+                        {g, std::bit_cast<uint32_t>(q0)});
+        rt.launchKernel(f_s2, tiles, tiles, 1,
+                        {d_j, d_c, d_dn, d_ds, d_dw, d_de},
+                        {g, std::bit_cast<uint32_t>(im.lambda)});
+        res.launches += 3;
+        rt.deviceSynchronize();
+    }
+    res.kernelRegionNs = rt.hostNowNs() - t0;
+
+    std::vector<float> out(n);
+    rt.memcpyDtoH(out.data(), d_j, bytes);
+    res.totalNs = rt.hostNowNs() - t_total0;
+
+    res.validationError = compareFloats(out, referenceSrad(im));
+    res.validated = res.validationError.empty();
+    res.ok = true;
+    return res;
+}
+
+class SradBenchmark : public Benchmark
+{
+  public:
+    std::string name() const override { return "srad"; }
+    std::string fullName() const override
+    {
+        return "Speckle Reducing Anisotropic Diffusion";
+    }
+    std::string dwarf() const override { return "Structured Grid"; }
+    std::string domain() const override { return "Image Processing"; }
+
+    std::vector<SizeConfig> desktopSizes() const override
+    {
+        // Rodinia runs 502x458; the simulated grids are 16-aligned.
+        return {{"128", {128, 4}},
+                {"256", {256, 4}},
+                {"512", {512, 4}}};
+    }
+    std::vector<SizeConfig> mobileSizes() const override
+    {
+        return {{"64", {64, 2}}, {"128", {128, 2}}};
+    }
+
+    RunResult run(const sim::DeviceSpec &dev, sim::Api api,
+                  const SizeConfig &cfg) const override
+    {
+        Image im = generateImage(static_cast<uint32_t>(cfg.params[0]),
+                                 static_cast<uint32_t>(cfg.params[1]),
+                                 workloadSeed(name(), cfg));
+        switch (api) {
+          case sim::Api::Vulkan:
+            return runVulkan(dev, im);
+          case sim::Api::OpenCl:
+            return runOpenCl(dev, im);
+          case sim::Api::Cuda:
+            return runCuda(dev, im);
+        }
+        return RunResult();
+    }
+};
+
+} // namespace
+
+const Benchmark *
+makeSrad()
+{
+    static SradBenchmark b;
+    return &b;
+}
+
+} // namespace vcb::suite

@@ -1,0 +1,369 @@
+/**
+ * @file
+ * streamcluster — online clustering (Dense Linear Algebra / Data
+ * Mining), the pgain evaluation loop of Rodinia streamcluster.
+ *
+ * Host structure (all APIs): for each candidate centre the device
+ * evaluates every point's switch decision (branch-divergent pairwise
+ * distances), then the host reads the per-point savings back, sums the
+ * gain and — when profitable — reassigns the switched points before
+ * the next candidate.  One dispatch and one blocking readback per
+ * candidate on every API.
+ */
+
+#include "suite/benchmark.h"
+
+#include "common/logging.h"
+#include "common/mathutil.h"
+#include "common/rng.h"
+#include "cuda/cuda_rt.h"
+#include "kernels/kernels.h"
+#include "ocl/ocl.h"
+#include "suite/validate.h"
+#include "suite/vkhelp.h"
+
+namespace vcb::suite {
+
+namespace {
+
+struct Stream
+{
+    uint32_t n = 0, dim = 0, candidates = 0;
+    std::vector<float> soa;    ///< dim x n coordinates
+    std::vector<float> weight; ///< per-point weight
+};
+
+Stream
+generateStream(uint32_t n, uint32_t dim, uint32_t candidates,
+               uint64_t seed)
+{
+    Rng rng(seed);
+    Stream st;
+    st.n = n;
+    st.dim = dim;
+    st.candidates = candidates;
+    st.soa.resize(uint64_t(dim) * n);
+    for (auto &v : st.soa)
+        v = rng.nextFloat(0.0f, 100.0f);
+    st.weight.resize(n);
+    for (auto &w : st.weight)
+        w = rng.nextFloat(1.0f, 4.0f);
+    return st;
+}
+
+uint32_t
+candidateIndex(const Stream &st, uint32_t round)
+{
+    return (round * 97u + 13u) % st.n;
+}
+
+/** Mirror of the kernel's distance loop (ascending features, named
+ *  temporaries) — switch decisions must match bit-for-bit. */
+float
+distTo(const Stream &st, uint32_t i, uint32_t x)
+{
+    float d = 0.0f;
+    for (uint32_t j = 0; j < st.dim; ++j) {
+        float diff = st.soa[size_t(j) * st.n + i] -
+                     st.soa[size_t(j) * st.n + x];
+        float sq = diff * diff;
+        d = d + sq;
+    }
+    return d;
+}
+
+std::vector<float>
+initialCost(const Stream &st)
+{
+    // Every point starts assigned to point 0.
+    std::vector<float> cost(st.n);
+    for (uint32_t i = 0; i < st.n; ++i)
+        cost[i] = st.weight[i] * distTo(st, i, 0);
+    return cost;
+}
+
+/** Host decision shared by the reference and every API path: sum the
+ *  savings in index order; a profitable candidate captures its
+ *  switched points. */
+bool
+applyCandidate(const Stream &st, uint32_t x,
+               const std::vector<float> &lower,
+               const std::vector<int32_t> &sw, std::vector<float> &cost)
+{
+    float gain = 0.0f;
+    for (uint32_t i = 0; i < st.n; ++i)
+        gain = gain + lower[i];
+    if (!(gain > 0.0f))
+        return false;
+    for (uint32_t i = 0; i < st.n; ++i)
+        if (sw[i])
+            cost[i] = st.weight[i] * distTo(st, i, x);
+    return true;
+}
+
+/** From-scratch CPU reference: final per-point assignment cost. */
+std::vector<float>
+referenceStreamcluster(const Stream &st)
+{
+    auto cost = initialCost(st);
+    std::vector<float> lower(st.n);
+    std::vector<int32_t> sw(st.n);
+    for (uint32_t r = 0; r < st.candidates; ++r) {
+        uint32_t x = candidateIndex(st, r);
+        for (uint32_t i = 0; i < st.n; ++i) {
+            float cost_new = st.weight[i] * distTo(st, i, x);
+            if (cost_new < cost[i]) {
+                lower[i] = cost[i] - cost_new;
+                sw[i] = 1;
+            } else {
+                lower[i] = 0.0f;
+                sw[i] = 0;
+            }
+        }
+        applyCandidate(st, x, lower, sw, cost);
+    }
+    return cost;
+}
+
+RunResult
+runVulkan(const sim::DeviceSpec &dev, const Stream &st)
+{
+    RunResult res;
+    VkContext ctx = VkContext::create(dev);
+    VkKernel k;
+    std::string err =
+        createVkKernel(ctx, kernels::buildStreamclusterGain(), &k);
+    if (!err.empty()) {
+        res.skipReason = err;
+        return res;
+    }
+
+    double t_total0 = ctx.now();
+    uint64_t coord_bytes = uint64_t(st.dim) * st.n * 4;
+    uint64_t n_bytes = uint64_t(st.n) * 4;
+    auto b_soa = ctx.createDeviceBuffer(coord_bytes);
+    auto b_w = ctx.createDeviceBuffer(n_bytes);
+    auto b_cost = ctx.createDeviceBuffer(n_bytes);
+    auto b_lower = ctx.createDeviceBuffer(n_bytes);
+    auto b_sw = ctx.createDeviceBuffer(n_bytes);
+
+    auto cost = initialCost(st);
+    ctx.upload(b_soa, st.soa.data(), coord_bytes);
+    ctx.upload(b_w, st.weight.data(), n_bytes);
+    ctx.upload(b_cost, cost.data(), n_bytes);
+
+    auto set = makeDescriptorSet(
+        ctx, k,
+        {{0, b_soa}, {1, b_w}, {2, b_cost}, {3, b_lower}, {4, b_sw}});
+
+    const uint32_t groups = (uint32_t)ceilDiv(st.n, 256);
+    vkm::CommandBuffer cb;
+    vkm::check(vkm::allocateCommandBuffer(ctx.device, ctx.cmdPool, &cb),
+               "allocateCommandBuffer");
+    vkm::Fence fence;
+    vkm::check(vkm::createFence(ctx.device, &fence), "createFence");
+
+    std::vector<float> lower(st.n);
+    std::vector<int32_t> sw(st.n);
+
+    double t0 = ctx.now();
+    for (uint32_t r = 0; r < st.candidates; ++r) {
+        uint32_t x = candidateIndex(st, r);
+        // The candidate index is a push value, so the command buffer
+        // is re-recorded per round (the descriptor set is stable).
+        vkm::check(vkm::resetCommandBuffer(cb), "resetCommandBuffer");
+        vkm::check(vkm::beginCommandBuffer(cb), "beginCommandBuffer");
+        uint32_t push[3] = {st.n, st.dim, x};
+        vkm::cmdBindPipeline(cb, k.pipeline);
+        vkm::cmdBindDescriptorSet(cb, k.layout, 0, set);
+        vkm::cmdPushConstants(cb, k.layout, 0, 12, push);
+        vkm::cmdDispatch(cb, groups, 1, 1);
+        vkm::check(vkm::endCommandBuffer(cb), "endCommandBuffer");
+
+        vkm::SubmitInfo si;
+        si.commandBuffers.push_back(cb);
+        vkm::check(vkm::queueSubmit(ctx.queue, {si}, fence),
+                   "queueSubmit");
+        vkm::check(vkm::waitForFences(ctx.device, {fence}),
+                   "waitForFences");
+        vkm::check(vkm::resetFences(ctx.device, {fence}), "resetFences");
+        res.launches += 1;
+
+        ctx.download(b_lower, lower.data(), n_bytes);
+        ctx.download(b_sw, sw.data(), n_bytes);
+        if (applyCandidate(st, x, lower, sw, cost))
+            ctx.upload(b_cost, cost.data(), n_bytes);
+    }
+    res.kernelRegionNs = ctx.now() - t0;
+    res.totalNs = ctx.now() - t_total0;
+
+    res.validationError = compareFloats(cost, referenceStreamcluster(st));
+    res.validated = res.validationError.empty();
+    res.ok = true;
+    return res;
+}
+
+RunResult
+runOpenCl(const sim::DeviceSpec &dev, const Stream &st)
+{
+    RunResult res;
+    ocl::Context ctx(dev);
+    auto prog = ocl::createProgramWithSource(
+        ctx, kernels::buildStreamclusterGain());
+    std::string err;
+    if (!ocl::buildProgram(prog, &err)) {
+        res.skipReason = err;
+        return res;
+    }
+    auto k = ocl::createKernel(prog, "streamcluster_gain", &err);
+    VCB_ASSERT(k.valid(), "kernel creation failed: %s", err.c_str());
+
+    double t_total0 = ctx.hostNowNs();
+    uint64_t coord_bytes = uint64_t(st.dim) * st.n * 4;
+    uint64_t n_bytes = uint64_t(st.n) * 4;
+    auto b_soa = ocl::createBuffer(ctx, ocl::MemReadOnly, coord_bytes);
+    auto b_w = ocl::createBuffer(ctx, ocl::MemReadOnly, n_bytes);
+    auto b_cost = ocl::createBuffer(ctx, ocl::MemReadOnly, n_bytes);
+    auto b_lower = ocl::createBuffer(ctx, ocl::MemReadWrite, n_bytes);
+    auto b_sw = ocl::createBuffer(ctx, ocl::MemReadWrite, n_bytes);
+
+    auto cost = initialCost(st);
+    ocl::enqueueWriteBuffer(ctx, b_soa, true, 0, coord_bytes,
+                            st.soa.data());
+    ocl::enqueueWriteBuffer(ctx, b_w, true, 0, n_bytes, st.weight.data());
+    ocl::enqueueWriteBuffer(ctx, b_cost, true, 0, n_bytes, cost.data());
+
+    ocl::setKernelArgBuffer(k, 0, b_soa);
+    ocl::setKernelArgBuffer(k, 1, b_w);
+    ocl::setKernelArgBuffer(k, 2, b_cost);
+    ocl::setKernelArgBuffer(k, 3, b_lower);
+    ocl::setKernelArgBuffer(k, 4, b_sw);
+    ocl::setKernelArgScalar(k, 0, st.n);
+    ocl::setKernelArgScalar(k, 1, st.dim);
+
+    uint32_t global = (uint32_t)ceilDiv(st.n, 256) * 256;
+    std::vector<float> lower(st.n);
+    std::vector<int32_t> sw(st.n);
+
+    double t0 = ctx.hostNowNs();
+    for (uint32_t r = 0; r < st.candidates; ++r) {
+        uint32_t x = candidateIndex(st, r);
+        ocl::setKernelArgScalar(k, 2, x);
+        ocl::enqueueNDRangeKernel(ctx, k, global);
+        res.launches += 1;
+        ocl::enqueueReadBuffer(ctx, b_lower, true, 0, n_bytes,
+                               lower.data());
+        ocl::enqueueReadBuffer(ctx, b_sw, true, 0, n_bytes, sw.data());
+        if (applyCandidate(st, x, lower, sw, cost))
+            ocl::enqueueWriteBuffer(ctx, b_cost, true, 0, n_bytes,
+                                    cost.data());
+    }
+    res.kernelRegionNs = ctx.hostNowNs() - t0;
+    res.totalNs = ctx.hostNowNs() - t_total0;
+
+    res.validationError = compareFloats(cost, referenceStreamcluster(st));
+    res.validated = res.validationError.empty();
+    res.ok = true;
+    return res;
+}
+
+RunResult
+runCuda(const sim::DeviceSpec &dev, const Stream &st)
+{
+    RunResult res;
+    if (!cuda::available(dev)) {
+        res.skipReason = "CUDA not supported on this device";
+        return res;
+    }
+    cuda::Runtime rt(dev);
+    auto f = rt.loadFunction(kernels::buildStreamclusterGain());
+
+    double t_total0 = rt.hostNowNs();
+    uint64_t coord_bytes = uint64_t(st.dim) * st.n * 4;
+    uint64_t n_bytes = uint64_t(st.n) * 4;
+    auto d_soa = rt.malloc(coord_bytes);
+    auto d_w = rt.malloc(n_bytes);
+    auto d_cost = rt.malloc(n_bytes);
+    auto d_lower = rt.malloc(n_bytes);
+    auto d_sw = rt.malloc(n_bytes);
+
+    auto cost = initialCost(st);
+    rt.memcpyHtoD(d_soa, st.soa.data(), coord_bytes);
+    rt.memcpyHtoD(d_w, st.weight.data(), n_bytes);
+    rt.memcpyHtoD(d_cost, cost.data(), n_bytes);
+
+    uint32_t groups = (uint32_t)ceilDiv(st.n, 256);
+    std::vector<float> lower(st.n);
+    std::vector<int32_t> sw(st.n);
+
+    double t0 = rt.hostNowNs();
+    for (uint32_t r = 0; r < st.candidates; ++r) {
+        uint32_t x = candidateIndex(st, r);
+        rt.launchKernel(f, groups, 1, 1,
+                        {d_soa, d_w, d_cost, d_lower, d_sw},
+                        {st.n, st.dim, x});
+        res.launches += 1;
+        rt.memcpyDtoH(lower.data(), d_lower, n_bytes);
+        rt.memcpyDtoH(sw.data(), d_sw, n_bytes);
+        if (applyCandidate(st, x, lower, sw, cost))
+            rt.memcpyHtoD(d_cost, cost.data(), n_bytes);
+    }
+    res.kernelRegionNs = rt.hostNowNs() - t0;
+    res.totalNs = rt.hostNowNs() - t_total0;
+
+    res.validationError = compareFloats(cost, referenceStreamcluster(st));
+    res.validated = res.validationError.empty();
+    res.ok = true;
+    return res;
+}
+
+class StreamclusterBenchmark : public Benchmark
+{
+  public:
+    std::string name() const override { return "streamcluster"; }
+    std::string fullName() const override { return "Stream Cluster"; }
+    std::string dwarf() const override { return "Dense Linear Algebra"; }
+    std::string domain() const override { return "Data Mining"; }
+
+    std::vector<SizeConfig> desktopSizes() const override
+    {
+        // params: {points, dimensions, candidate centres}.
+        return {{"16K", {16384, 8, 8}},
+                {"32K", {32768, 8, 8}},
+                {"64K", {65536, 8, 8}}};
+    }
+    std::vector<SizeConfig> mobileSizes() const override
+    {
+        return {{"2K", {2048, 8, 4}}, {"4K", {4096, 8, 4}}};
+    }
+
+    RunResult run(const sim::DeviceSpec &dev, sim::Api api,
+                  const SizeConfig &cfg) const override
+    {
+        Stream st =
+            generateStream(static_cast<uint32_t>(cfg.params[0]),
+                           static_cast<uint32_t>(cfg.params[1]),
+                           static_cast<uint32_t>(cfg.params[2]),
+                           workloadSeed(name(), cfg));
+        switch (api) {
+          case sim::Api::Vulkan:
+            return runVulkan(dev, st);
+          case sim::Api::OpenCl:
+            return runOpenCl(dev, st);
+          case sim::Api::Cuda:
+            return runCuda(dev, st);
+        }
+        return RunResult();
+    }
+};
+
+} // namespace
+
+const Benchmark *
+makeStreamcluster()
+{
+    static StreamclusterBenchmark b;
+    return &b;
+}
+
+} // namespace vcb::suite

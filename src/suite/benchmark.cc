@@ -14,15 +14,20 @@ const Benchmark *makeLud();
 const Benchmark *makeNn();
 const Benchmark *makeNw();
 const Benchmark *makePathfinder();
+const Benchmark *makeSrad();
+const Benchmark *makeKmeans();
+const Benchmark *makeStreamcluster();
 
 const std::vector<const Benchmark *> &
 registry()
 {
-    // Table-I order.
+    // The paper's nine families in Table-I order, then the suite
+    // expansion (srad, kmeans, streamcluster).
     static const std::vector<const Benchmark *> benches = {
         makeBackprop(), makeBfs(),        makeCfd(),
         makeGaussian(), makeHotspot(),    makeLud(),
         makeNn(),       makeNw(),         makePathfinder(),
+        makeSrad(),     makeKmeans(),     makeStreamcluster(),
     };
     return benches;
 }

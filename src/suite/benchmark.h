@@ -2,11 +2,13 @@
  * @file
  * The VComputeBench suite: benchmark interface and registry.
  *
- * Each benchmark (Table I of the paper) knows its Rodinia metadata
- * (dwarf, domain), its desktop and mobile size configurations (paper
- * axis labels plus the simulator parameters they map to — see
- * EXPERIMENTS.md for the scaling rationale), and how to run itself on
- * a given simulated device under each of the three programming models.
+ * Each benchmark (a Table-I row of the paper, or one of the suite
+ * expansion families) knows its Rodinia metadata (dwarf, domain), its
+ * desktop and mobile size configurations (paper axis labels plus the
+ * simulator parameters they map to — each bench_*.cc documents its
+ * own scaling rationale next to its SizeConfig lists), and how to run
+ * itself on a given simulated device under each of the three
+ * programming models.
  *
  * run() generates the workload deterministically (same bits for every
  * API), executes the benchmark, measures the paper's metric (the
@@ -81,7 +83,8 @@ class Benchmark
                           const SizeConfig &cfg) const = 0;
 };
 
-/** All nine benchmarks, in Table-I order. */
+/** All benchmarks: the paper's Table-I rows in order, then the suite
+ *  expansion families (srad, kmeans, streamcluster). */
 const std::vector<const Benchmark *> &registry();
 
 /** Look up by short name; fatal when unknown. */

@@ -635,6 +635,304 @@ makePathfinderScenario()
     return s;
 }
 
+GoldenScenario
+makeSradScenario()
+{
+    constexpr uint32_t g = 32, n = g * g, blocks = n / 256, iters = 2;
+    constexpr float lambda = 0.05f;
+    Rng rng(0x900d);
+    GoldenScenario s;
+    s.name = "srad";
+    s.modules = {kernels::buildSradReduce(), kernels::buildSradStep1(),
+                 kernels::buildSradStep2()};
+
+    auto j0 = randomFloats(rng, n, 1.0f, 2.0f);
+    s.buffers = {wordsOf(j0),
+                 std::vector<uint32_t>(blocks, fbits(0.0f)),
+                 std::vector<uint32_t>(blocks, fbits(0.0f)),
+                 std::vector<uint32_t>(n, fbits(0.0f)),
+                 std::vector<uint32_t>(n, fbits(0.0f)),
+                 std::vector<uint32_t>(n, fbits(0.0f)),
+                 std::vector<uint32_t>(n, fbits(0.0f)),
+                 std::vector<uint32_t>(n, fbits(0.0f))};
+
+    // CPU mirror of the full host loop, interleaved with the schedule
+    // because each iteration's q0sqr push value comes from the mirrored
+    // reduction (exactly what the benchmark host computes from the
+    // partials it reads back).  Every float op uses a named temporary
+    // so the compiler cannot contract mul+add pairs the kernel executes
+    // separately.
+    std::vector<float> j = j0, c(n, 0.0f);
+    std::vector<float> dn(n, 0.0f), ds(n, 0.0f), dw(n, 0.0f), de(n, 0.0f);
+    std::vector<float> psum(blocks, 0.0f), psum2(blocks, 0.0f);
+    auto clampi = [](int32_t v, int32_t lo, int32_t hi) {
+        return std::min(std::max(v, lo), hi);
+    };
+    for (uint32_t it = 0; it < iters; ++it) {
+        for (uint32_t blk = 0; blk < blocks; ++blk) {
+            float p[256], p2[256];
+            for (uint32_t i = 0; i < 256; ++i) {
+                float v = j[size_t(blk) * 256 + i];
+                p[i] = v;
+                p2[i] = v * v;
+            }
+            for (uint32_t str = 128; str >= 1; str /= 2) {
+                for (uint32_t i = 0; i < str; ++i) {
+                    p[i] = p[i] + p[i + str];
+                    p2[i] = p2[i] + p2[i + str];
+                }
+            }
+            psum[blk] = p[0];
+            psum2[blk] = p2[0];
+        }
+        float sum = 0.0f, sum2 = 0.0f;
+        for (uint32_t blk = 0; blk < blocks; ++blk) {
+            sum = sum + psum[blk];
+            sum2 = sum2 + psum2[blk];
+        }
+        const float nf = (float)n;
+        float mean = sum / nf;
+        float m2 = mean * mean;
+        float var = sum2 / nf - m2;
+        float q0 = var / m2;
+
+        s.steps.push_back(makeStep(0, blocks, 1, {n}, {0, 1, 2}));
+        s.steps.push_back(makeStep(1, g / 16, g / 16, {g, fbits(q0)},
+                                   {0, 3, 4, 5, 6, 7}));
+        s.steps.push_back(makeStep(2, g / 16, g / 16, {g, fbits(lambda)},
+                                   {0, 3, 4, 5, 6, 7}));
+
+        for (int32_t r = 0; r < (int32_t)g; ++r) {
+            for (int32_t col = 0; col < (int32_t)g; ++col) {
+                size_t idx = size_t(r) * g + col;
+                float jc = j[idx];
+                auto at = [&](int32_t rr, int32_t cc) {
+                    return j[size_t(clampi(rr, 0, g - 1)) * g +
+                             clampi(cc, 0, g - 1)];
+                };
+                dn[idx] = at(r - 1, col) - jc;
+                ds[idx] = at(r + 1, col) - jc;
+                dw[idx] = at(r, col - 1) - jc;
+                de[idx] = at(r, col + 1) - jc;
+                float sqa = dn[idx] * dn[idx];
+                float sqb = ds[idx] * ds[idx];
+                float sqc = dw[idx] * dw[idx];
+                float sqd = de[idx] * de[idx];
+                float sq = (sqa + sqb) + (sqc + sqd);
+                float jc2 = jc * jc;
+                float g2 = sq / jc2;
+                float lsum = (dn[idx] + ds[idx]) + (dw[idx] + de[idx]);
+                float l = lsum / jc;
+                float hg = 0.5f * g2;
+                float ll = l * l;
+                float sl = 0.0625f * ll;
+                float num = hg - sl;
+                float qt = 0.25f * l;
+                float den = 1.0f + qt;
+                float dd = den * den;
+                float qsqr = num / dd;
+                float qd = qsqr - q0;
+                float q1 = 1.0f + q0;
+                float qq = q0 * q1;
+                float den2 = qd / qq;
+                float e1 = 1.0f + den2;
+                float cval = 1.0f / e1;
+                c[idx] = std::fmin(std::fmax(cval, 0.0f), 1.0f);
+            }
+        }
+        for (int32_t r = 0; r < (int32_t)g; ++r) {
+            for (int32_t col = 0; col < (int32_t)g; ++col) {
+                size_t idx = size_t(r) * g + col;
+                float cc = c[idx];
+                float cs =
+                    c[size_t(clampi(r + 1, 0, g - 1)) * g + col];
+                float ce =
+                    c[size_t(r) * g + clampi(col + 1, 0, g - 1)];
+                float d = cc * dn[idx];
+                float t1 = cs * ds[idx];
+                d = d + t1;
+                float t2 = cc * dw[idx];
+                d = d + t2;
+                float t3 = ce * de[idx];
+                d = d + t3;
+                float lam4 = 0.25f * lambda;
+                j[idx] = std::fma(lam4, d, j[idx]);
+            }
+        }
+    }
+    s.checks = {{0, ElemType::F32, wordsOf(j), 1e-4, 1e-5},
+                {3, ElemType::F32, wordsOf(c), 1e-4, 1e-5},
+                {1, ElemType::F32, wordsOf(psum), 1e-4, 1e-5},
+                {2, ElemType::F32, wordsOf(psum2), 1e-4, 1e-5}};
+    return s;
+}
+
+GoldenScenario
+makeKmeansScenario()
+{
+    constexpr uint32_t n = 512, f = 4, k = 4, iters = 6;
+    Rng rng(0x900e);
+    GoldenScenario s;
+    s.name = "kmeans";
+    s.modules = {kernels::buildKmeansSwap(), kernels::buildKmeansAssign()};
+
+    auto aos = randomFloats(rng, size_t(n) * f, 0.0f, 10.0f);
+    std::vector<float> soa(size_t(n) * f);
+    for (uint32_t i = 0; i < n; ++i)
+        for (uint32_t jf = 0; jf < f; ++jf)
+            soa[size_t(jf) * n + i] = aos[size_t(i) * f + jf];
+
+    // Buffer layout: 0=aos, 1=soa(zeros), 2=membership(-1),
+    // 3+t = the centroid buffer iteration t reads (host-recomputed
+    // between iterations, so each is a separate seeded buffer),
+    // 3+iters+t = iteration t's delta word.
+    s.buffers = {wordsOf(aos),
+                 std::vector<uint32_t>(size_t(n) * f, fbits(0.0f)),
+                 wordsOf(std::vector<int32_t>(n, -1))};
+    const size_t centBase = 3, deltaBase = centBase + iters;
+
+    std::vector<float> cent(size_t(k) * f);
+    for (uint32_t c = 0; c < k; ++c)
+        for (uint32_t jf = 0; jf < f; ++jf)
+            cent[size_t(c) * f + jf] = aos[size_t(c) * f + jf];
+
+    std::vector<int32_t> mem(n, -1);
+    std::vector<int32_t> deltas(iters, 0);
+    const uint32_t groups = (uint32_t)ceilDiv(n, 256);
+    s.steps = {makeStep(0, groups, 1, {n, f}, {0, 1})};
+    for (uint32_t t = 0; t < iters; ++t) {
+        s.buffers.push_back(wordsOf(cent));
+        for (uint32_t i = 0; i < n; ++i) {
+            int32_t best = 0;
+            float best_dist = 3.402823466e38f;
+            for (uint32_t c = 0; c < k; ++c) {
+                float dist = 0.0f;
+                for (uint32_t jf = 0; jf < f; ++jf) {
+                    float diff = soa[size_t(jf) * n + i] -
+                                 cent[size_t(c) * f + jf];
+                    float sq = diff * diff;
+                    dist = dist + sq;
+                }
+                if (dist < best_dist) {
+                    best_dist = dist;
+                    best = (int32_t)c;
+                }
+            }
+            if (mem[i] != best)
+                ++deltas[t];
+            mem[i] = best;
+        }
+        // Host centroid update: mean of members, empty clusters keep
+        // their previous centre.
+        std::vector<float> sums(size_t(k) * f, 0.0f);
+        std::vector<uint32_t> counts(k, 0);
+        for (uint32_t i = 0; i < n; ++i) {
+            ++counts[(uint32_t)mem[i]];
+            for (uint32_t jf = 0; jf < f; ++jf) {
+                size_t off = size_t(mem[i]) * f + jf;
+                sums[off] = sums[off] + aos[size_t(i) * f + jf];
+            }
+        }
+        for (uint32_t c = 0; c < k; ++c)
+            for (uint32_t jf = 0; jf < f; ++jf)
+                if (counts[c] > 0)
+                    cent[size_t(c) * f + jf] =
+                        sums[size_t(c) * f + jf] / (float)counts[c];
+    }
+    for (uint32_t t = 0; t < iters; ++t)
+        s.buffers.push_back({0});
+    for (uint32_t t = 0; t < iters; ++t)
+        s.steps.push_back(makeStep(1, groups, 1, {n, f, k},
+                                   {1, centBase + t, 2, deltaBase + t}));
+
+    s.checks = {{2, ElemType::I32, wordsOf(mem)},
+                {1, ElemType::F32, wordsOf(soa), 0.0, 0.0}};
+    for (uint32_t t = 0; t < iters; ++t)
+        s.checks.push_back({deltaBase + t, ElemType::I32,
+                            wordsOf(std::vector<int32_t>{deltas[t]})});
+    return s;
+}
+
+GoldenScenario
+makeStreamclusterScenario()
+{
+    constexpr uint32_t n = 320, dim = 6;
+    const uint32_t candidates[] = {7, 31, 101};
+    constexpr size_t rounds = std::size(candidates);
+    Rng rng(0x900f);
+    GoldenScenario s;
+    s.name = "streamcluster";
+    s.modules = {kernels::buildStreamclusterGain()};
+
+    auto soa = randomFloats(rng, size_t(dim) * n, 0.0f, 100.0f);
+    auto weight = randomFloats(rng, n, 1.0f, 4.0f);
+
+    // Mirrors the kernel's distance loop (named temporaries, ascending
+    // feature order) so switch decisions match bit-for-bit.
+    auto distTo = [&](uint32_t i, uint32_t x) {
+        float d = 0.0f;
+        for (uint32_t jf = 0; jf < dim; ++jf) {
+            float diff = soa[size_t(jf) * n + i] - soa[size_t(jf) * n + x];
+            float sq = diff * diff;
+            d = d + sq;
+        }
+        return d;
+    };
+
+    // All points start assigned to point 0.
+    std::vector<float> cost(n);
+    for (uint32_t i = 0; i < n; ++i)
+        cost[i] = weight[i] * distTo(i, 0);
+
+    // Buffer layout: 0=soa, 1=weight, 2+r = the (host-updated) cost
+    // buffer round r reads, 2+rounds+r = lower, 2+2*rounds+r = switch.
+    s.buffers = {wordsOf(soa), wordsOf(weight)};
+    const size_t costBase = 2, lowerBase = costBase + rounds,
+                 switchBase = lowerBase + rounds;
+    std::vector<std::vector<float>> lowers, costsIn;
+    std::vector<std::vector<int32_t>> switches;
+    for (size_t r = 0; r < rounds; ++r) {
+        costsIn.push_back(cost);
+        uint32_t x = candidates[r];
+        std::vector<float> lower(n, 0.0f);
+        std::vector<int32_t> sw(n, 0);
+        for (uint32_t i = 0; i < n; ++i) {
+            float cost_new = weight[i] * distTo(i, x);
+            if (cost_new < cost[i]) {
+                lower[i] = cost[i] - cost_new;
+                sw[i] = 1;
+            }
+        }
+        // The host opens every profitable centre in this simplified
+        // pgain loop: switched points adopt the candidate's cost.
+        for (uint32_t i = 0; i < n; ++i)
+            if (sw[i])
+                cost[i] = weight[i] * distTo(i, x);
+        lowers.push_back(std::move(lower));
+        switches.push_back(std::move(sw));
+    }
+    for (size_t r = 0; r < rounds; ++r)
+        s.buffers.push_back(wordsOf(costsIn[r]));
+    for (size_t r = 0; r < rounds; ++r)
+        s.buffers.push_back(std::vector<uint32_t>(n, fbits(0.0f)));
+    for (size_t r = 0; r < rounds; ++r)
+        s.buffers.push_back(std::vector<uint32_t>(n, 0));
+
+    const uint32_t groups = (uint32_t)ceilDiv(n, 256);
+    for (size_t r = 0; r < rounds; ++r)
+        s.steps.push_back(makeStep(0, groups, 1,
+                                   {n, dim, candidates[r]},
+                                   {0, 1, costBase + r, lowerBase + r,
+                                    switchBase + r}));
+    for (size_t r = 0; r < rounds; ++r) {
+        s.checks.push_back({lowerBase + r, ElemType::F32,
+                            wordsOf(lowers[r]), 1e-4, 1e-5});
+        s.checks.push_back(
+            {switchBase + r, ElemType::I32, wordsOf(switches[r])});
+    }
+    return s;
+}
+
 } // namespace
 
 const std::vector<GoldenScenario> &
@@ -653,6 +951,9 @@ goldenScenarios()
         makeNnScenario(),
         makeNwScenario(),
         makePathfinderScenario(),
+        makeSradScenario(),
+        makeKmeansScenario(),
+        makeStreamclusterScenario(),
     };
     return scenarios;
 }
@@ -668,7 +969,7 @@ goldenScenarioByName(const std::string &name)
 
 GoldenOutcome
 runGoldenScenario(const GoldenScenario &s, const sim::DeviceSpec &dev,
-                  sim::Api api)
+                  sim::Api api, const sim::LowerOptions *lower)
 {
     GoldenOutcome out;
     if (!dev.profile(api).available) {
@@ -686,6 +987,8 @@ runGoldenScenario(const GoldenScenario &s, const sim::DeviceSpec &dev,
             out.skipReason = m.name + ": " + err;
             return out;
         }
+        if (lower)
+            sim::lowerKernel(*k, *lower);
         compiled.push_back(std::move(k));
     }
 

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "sim/device.h"
+#include "sim/microop.h"
 #include "spirv/module.h"
 
 namespace vcb::suite {
@@ -101,7 +102,10 @@ struct GoldenOutcome
 
 /**
  * All golden scenarios.  Together they cover every kernel in
- * src/kernels/ with at least one seeded-input / CPU-reference case.
+ * src/kernels/ with at least one seeded-input / CPU-reference case —
+ * the coverage test in tests/test_golden.cc checks the scenario set
+ * against kernels::kernelRegistry(), so the counts stay self-
+ * describing as the suite grows.
  */
 const std::vector<GoldenScenario> &goldenScenarios();
 
@@ -112,10 +116,16 @@ const GoldenScenario &goldenScenarioByName(const std::string &name);
  * Replay a scenario on `dev` under `api`: driver-compile every module,
  * execute the schedule on the execution engine, and compare the final
  * buffers against the CPU reference.
+ *
+ * @param lower when non-null, every compiled kernel is re-lowered with
+ *        these options before execution — the fused-vs-unfused
+ *        bit-equality tests replay each scenario under
+ *        sim::LowerOptions::noFusion() and demand identical
+ *        checkedBuffers.
  */
 GoldenOutcome runGoldenScenario(const GoldenScenario &s,
-                                const sim::DeviceSpec &dev,
-                                sim::Api api);
+                                const sim::DeviceSpec &dev, sim::Api api,
+                                const sim::LowerOptions *lower = nullptr);
 
 } // namespace vcb::suite
 

@@ -3,10 +3,10 @@
  * Vulkan-side boilerplate for the benchmark runners.
  *
  * The paper stresses Vulkan's verbosity (~40 lines per buffer); these
- * helpers concentrate the buffer/memory/pipeline ceremony so the nine
- * runner implementations stay readable, while still exercising the
- * full API path (staging uploads through the transfer queue on
- * discrete GPUs, mapped memory on unified-memory mobiles).
+ * helpers concentrate the buffer/memory/pipeline ceremony so the
+ * benchmark runner implementations stay readable, while still
+ * exercising the full API path (staging uploads through the transfer
+ * queue on discrete GPUs, mapped memory on unified-memory mobiles).
  */
 
 #ifndef VCB_SUITE_VKHELP_H

@@ -134,11 +134,13 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(GoldenCoverage, EveryKernelHasAScenario)
 {
     // A kernel added to the registry without a golden scenario fails
-    // here — coverage cannot silently regress.
+    // here — coverage cannot silently regress.  The size guard keeps
+    // the registry from silently shrinking; bump it when adding a
+    // kernel family.
     std::set<std::string> expected;
     for (const auto &[name, fn] : kernels::kernelRegistry())
         expected.insert(name);
-    EXPECT_EQ(expected.size(), 18u);
+    EXPECT_EQ(expected.size(), 24u);
 
     std::set<std::string> covered;
     for (const auto &s : goldenScenarios()) {
@@ -159,6 +161,31 @@ TEST(GoldenCoverage, LookupByNameWorks)
 {
     EXPECT_EQ(goldenScenarioByName("gaussian").name, "gaussian");
     EXPECT_GE(goldenScenarioByName("bfs").steps.size(), 2u);
+    EXPECT_EQ(goldenScenarioByName("srad").modules.size(), 3u);
+    EXPECT_EQ(goldenScenarioByName("kmeans").modules.size(), 2u);
+}
+
+/** Micro-op fusion must be observably invisible on every kernel shape
+ *  in the suite: replaying a scenario with lowering fusion disabled
+ *  must produce bit-identical checked buffers (not merely within
+ *  tolerance). */
+TEST_P(GoldenReference, FusionIsBitInvisible)
+{
+    const GoldenScenario &s = *GetParam();
+    const sim::DeviceSpec &dev = sim::gtx1050ti();
+    for (sim::Api api : allApis) {
+        GoldenOutcome fused = runGoldenScenario(s, dev, api);
+        sim::LowerOptions no_fusion = sim::LowerOptions::noFusion();
+        GoldenOutcome plain = runGoldenScenario(s, dev, api, &no_fusion);
+        ASSERT_TRUE(fused.ran) << fused.skipReason;
+        ASSERT_TRUE(plain.ran) << plain.skipReason;
+        ASSERT_EQ(fused.checkedBuffers.size(),
+                  plain.checkedBuffers.size());
+        for (size_t c = 0; c < fused.checkedBuffers.size(); ++c)
+            EXPECT_EQ(fused.checkedBuffers[c], plain.checkedBuffers[c])
+                << s.name << " check " << c << " on "
+                << sim::apiName(api);
+    }
 }
 
 } // namespace

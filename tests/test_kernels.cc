@@ -43,6 +43,12 @@ const KernelCase kernelCases[] = {
     {"nn_euclid", buildNnEuclid, 3, 3, false, false},
     {"nw_block", buildNwBlock, 2, 4, true, false},
     {"pathfinder_row", buildPathfinderRow, 3, 2, false, false},
+    {"srad_reduce", buildSradReduce, 3, 1, true, false},
+    {"srad_step1", buildSradStep1, 6, 2, false, false},
+    {"srad_step2", buildSradStep2, 6, 2, false, false},
+    {"kmeans_swap", buildKmeansSwap, 2, 2, false, false},
+    {"kmeans_assign", buildKmeansAssign, 4, 3, false, false},
+    {"streamcluster_gain", buildStreamclusterGain, 5, 3, false, false},
 };
 
 class KernelLibrary : public ::testing::TestWithParam<KernelCase>
@@ -108,6 +114,11 @@ TEST(KernelLibrary, WorkgroupShapesMatchDocs)
     EXPECT_EQ(buildLudInternal().localSize[0], 16u);
     EXPECT_EQ(buildLudInternal().localSize[1], 16u);
     EXPECT_EQ(buildNwBlock().localSize[0], nwBlockSize);
+    EXPECT_EQ(buildSradStep1().localSize[0], blockSize);
+    EXPECT_EQ(buildSradStep1().localSize[1], blockSize);
+    EXPECT_EQ(buildSradReduce().localSize[0], 256u);
+    EXPECT_EQ(buildKmeansAssign().localSize[0], 256u);
+    EXPECT_EQ(buildStreamclusterGain().localSize[0], 256u);
 }
 
 TEST(KernelLibrary, RegistryMatchesTheLibrary)

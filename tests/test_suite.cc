@@ -16,14 +16,17 @@ namespace {
 
 TEST(SuiteRegistry, TableOneContents)
 {
+    // The paper's nine Table-I rows in order, then the suite-expansion
+    // families.
     const auto &benches = registry();
-    ASSERT_EQ(benches.size(), 9u);
+    ASSERT_EQ(benches.size(), 12u);
     std::vector<std::string> names;
     for (const auto *b : benches)
         names.push_back(b->name());
-    std::vector<std::string> expect = {"backprop", "bfs",  "cfd",
-                                       "gaussian", "hotspot", "lud",
-                                       "nn",       "nw",   "pathfinder"};
+    std::vector<std::string> expect = {
+        "backprop", "bfs",  "cfd",        "gaussian",
+        "hotspot",  "lud",  "nn",         "nw",
+        "pathfinder", "srad", "kmeans",   "streamcluster"};
     EXPECT_EQ(names, expect);
     for (const auto *b : benches) {
         EXPECT_FALSE(b->fullName().empty()) << b->name();
@@ -35,8 +38,9 @@ TEST(SuiteRegistry, TableOneContents)
 
 TEST(SuiteRegistry, MobileCoverageMatchesPaper)
 {
-    // cfd is absent from the mobile evaluation; everyone else has two
-    // mobile sizes (Fig. 4).
+    // cfd is absent from the mobile evaluation; everyone else —
+    // including the suite-expansion families, which follow the same
+    // convention — has two mobile sizes (Fig. 4).
     for (const auto *b : registry()) {
         if (b->name() == "cfd") {
             EXPECT_TRUE(b->mobileSizes().empty());
@@ -110,6 +114,12 @@ smallConfig(const std::string &name)
         return {"small", {160}};
     if (name == "pathfinder")
         return {"small", {16, 2048}};
+    if (name == "srad")
+        return {"small", {32, 2}};
+    if (name == "kmeans")
+        return {"small", {1024, 4, 5}};
+    if (name == "streamcluster")
+        return {"small", {1024, 8, 3}};
     ADD_FAILURE() << "unknown benchmark " << name;
     return {"small", {64}};
 }
@@ -222,6 +232,31 @@ TEST(SuiteDeterminism, SameSeedSameTiming)
     ASSERT_TRUE(a.ok && b.ok);
     EXPECT_DOUBLE_EQ(a.kernelRegionNs, b.kernelRegionNs);
     EXPECT_EQ(a.launches, b.launches);
+}
+
+TEST(SuiteDeterminism, KmeansConvergesIdenticallyAcrossApis)
+{
+    // kmeans's launch count encodes its convergence iteration count
+    // (one assignment dispatch per iteration plus the transpose); the
+    // data decides when the loop stops, so every API must agree, and
+    // repeated runs must reproduce it exactly.  The cross-thread-count
+    // version of this property lives in test_tools.cc, which can
+    // re-launch the process under different VCB_THREADS values.
+    SizeConfig cfg = smallConfig("kmeans");
+    const Benchmark &bench = byName("kmeans");
+    RunResult vk = bench.run(sim::gtx1050ti(), sim::Api::Vulkan, cfg);
+    RunResult cl = bench.run(sim::gtx1050ti(), sim::Api::OpenCl, cfg);
+    RunResult cu = bench.run(sim::gtx1050ti(), sim::Api::Cuda, cfg);
+    ASSERT_TRUE(vk.ok && cl.ok && cu.ok);
+    EXPECT_TRUE(vk.validated) << vk.validationError;
+    EXPECT_GT(vk.launches, 1u); // converged after >0 iterations
+    EXPECT_EQ(vk.launches, cl.launches);
+    EXPECT_EQ(vk.launches, cu.launches);
+
+    RunResult again = bench.run(sim::gtx1050ti(), sim::Api::Vulkan, cfg);
+    ASSERT_TRUE(again.ok);
+    EXPECT_EQ(again.launches, vk.launches);
+    EXPECT_DOUBLE_EQ(again.kernelRegionNs, vk.kernelRegionNs);
 }
 
 } // namespace

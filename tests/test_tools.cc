@@ -52,10 +52,10 @@ TEST_F(ToolsSmoke, RunListShowsBenchmarksAndDevices)
 {
     std::string out;
     ASSERT_EQ(runCapture(vcbRun + " --list", &out), 0) << out;
-    // All nine Table-I benchmarks...
-    for (const char *bench : {"backprop", "bfs", "cfd", "gaussian",
-                              "hotspot", "lud", "nn", "nw",
-                              "pathfinder"})
+    // The nine Table-I benchmarks plus the suite expansion...
+    for (const char *bench :
+         {"backprop", "bfs", "cfd", "gaussian", "hotspot", "lud", "nn",
+          "nw", "pathfinder", "srad", "kmeans", "streamcluster"})
         EXPECT_NE(out.find(bench), std::string::npos) << out;
     // ...and all four Table-II/III devices.
     for (const char *dev :
@@ -92,7 +92,8 @@ TEST_F(ToolsSmoke, DisasmListsEveryKernel)
          {"vectorAdd", "stridedRead", "backprop_layerforward",
           "bfs_kernel1", "cfd_compute_flux", "gaussian_fan1",
           "hotspot_step", "lud_diagonal", "nn_euclid", "nw_block",
-          "pathfinder_row"})
+          "pathfinder_row", "srad_reduce", "srad_step1", "srad_step2",
+          "kmeans_swap", "kmeans_assign", "streamcluster_gain"})
         EXPECT_NE(out.find(k), std::string::npos) << out;
 }
 
@@ -107,6 +108,35 @@ TEST_F(ToolsSmoke, DisasmPrintsListingAndDriverCompilation)
     // hint on the GTX 1050 Ti, OpenCL/CUDA honour it.
     EXPECT_NE(out.find("ignored"), std::string::npos) << out;
     EXPECT_NE(out.find("honoured"), std::string::npos) << out;
+}
+
+TEST_F(ToolsSmoke, KmeansIterationCountIsThreadCountInvariant)
+{
+    // kmeans's convergence loop must be a pure function of the data:
+    // the reported launch count (1 transpose + 1 assignment dispatch
+    // per iteration) has to be identical whether the simulator
+    // interprets workgroups serially (VCB_THREADS=1) or across N
+    // workers.  The pool is sized once per process, so the property
+    // needs separate processes — which is exactly what this harness
+    // can provide.
+    auto launchesOf = [&](const std::string &env) -> long {
+        std::string out;
+        int rc = runCapture(env + " " + vcbRun +
+                                " --bench kmeans --device gtx1050ti"
+                                " --api vulkan --params 2048,4,5",
+                            &out);
+        EXPECT_EQ(rc, 0) << out;
+        EXPECT_NE(out.find("VALIDATED"), std::string::npos) << out;
+        size_t pos = out.find("launches");
+        EXPECT_NE(pos, std::string::npos) << out;
+        if (pos == std::string::npos)
+            return -1;
+        return std::strtol(out.c_str() + pos + 8, nullptr, 10);
+    };
+    long serial = launchesOf("VCB_THREADS=1");
+    long parallel = launchesOf("VCB_THREADS=4");
+    EXPECT_GT(serial, 1);
+    EXPECT_EQ(serial, parallel);
 }
 
 TEST_F(ToolsSmoke, DisasmOnMobileDeviceShowsProfile)

@@ -2,7 +2,8 @@
  * @file
  * vcb_perf — simulator-throughput harness for regression tracking.
  *
- * Runs a fixed mix of suite dispatches (bfs, hotspot, lud, gaussian)
+ * Runs a fixed mix of suite dispatches (bfs, hotspot, lud, gaussian,
+ * srad, kmeans, streamcluster — see kMix below for why each is there)
  * and reports the simulator's own throughput in workgroups per second.
  * Each line reports two times: wall_ms is the whole benchmark run
  * (including host-side workload generation, CPU reference and
@@ -49,15 +50,21 @@ struct MixEntry
     size_t fullSize;
 };
 
-/** The reference dispatch mix: the four suite benchmarks whose kernel
+/** The reference dispatch mix: the suite benchmarks whose kernel
  *  structure spans the simulator's hot paths (bfs: data-dependent
  *  loops + atomics; hotspot: shared-memory stencil; lud: barriers +
- *  many small dispatches; gaussian: many thin dispatches). */
+ *  many small dispatches; gaussian: many thin dispatches; srad:
+ *  reduction trees + readback-gated stencils; kmeans: uniform inner
+ *  loops with a divergent atomic tail; streamcluster: branch-divergent
+ *  lanes on the lane-major fallback). */
 constexpr MixEntry kMix[] = {
     {"bfs", 0, 2},
     {"hotspot", 0, 2},
     {"lud", 0, 2},
     {"gaussian", 0, 2},
+    {"srad", 0, 2},
+    {"kmeans", 0, 2},
+    {"streamcluster", 0, 2},
 };
 
 double
