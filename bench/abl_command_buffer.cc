@@ -1,197 +1,175 @@
 /**
  * @file
- * Ablation (paper Sec. IV-C / VI-B, first recommendation): for
- * iterative algorithms, record all iterations into ONE command buffer
- * with memory barriers instead of naively submitting one command
- * buffer per iteration.
+ * Ablation (paper Sec. IV-C / VI-B, first recommendation, extended
+ * suite-wide): for iterative algorithms, record work into command
+ * buffers instead of naively submitting per iteration.
  *
- * Uses the pathfinder workload on the GTX 1050 Ti and reports both
- * strategies plus the per-iteration breakdown.  The single-buffer
- * strategy is what the suite's Vulkan runners use; the naive strategy
- * pays submit + fence overhead per iteration (and is still cheaper
- * than OpenCL's launch+sync, which is also shown for reference).
+ * The submission strategy is a runner parameter of the workload layer
+ * (suite/workload.h), so this ablation sweeps EVERY benchmark across
+ * every strategy its host program admits — the paper's Sec. V
+ * launch-overhead analysis over all 12 real workloads rather than one
+ * microbenchmark:
+ *
+ *   batched      — N iterations per command buffer (the paper's
+ *                  recommendation; default batch = all),
+ *   record-once  — one body command buffer resubmitted per iteration,
+ *   re-record    — reset + re-record per iteration (the naive
+ *                  baseline, paying submit + fence per iteration),
+ *
+ * with the OpenCL multi-kernel method as the cross-API reference.
+ * Outputs are checked bit-identical across strategies as we go.
+ *
+ *   abl_command_buffer           full sweep on the GTX 1050 Ti
+ *   abl_command_buffer --smoke   record-once vs re-record on two
+ *                                converge-loop benchmarks (bfs,
+ *                                kmeans); exits non-zero on any
+ *                                output/launch mismatch (the ctest
+ *                                strategy-ablation smoke)
  */
 
+#include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "common/logging.h"
-#include "common/mathutil.h"
-#include "common/rng.h"
 #include "common/strutil.h"
 #include "harness/report.h"
-#include "kernels/kernels.h"
-#include "ocl/ocl.h"
-#include "suite/vkhelp.h"
+#include "suite/benchmark.h"
 
 using namespace vcb;
-using suite::VkContext;
-using suite::VkKernel;
 
 namespace {
 
-constexpr uint32_t rows = 64;
-constexpr uint32_t cols = 16384;
-
-struct Setup
+struct StrategyRun
 {
-    VkContext ctx;
-    VkKernel k;
-    vkm::Buffer b_data, b_a, b_b;
-    vkm::DescriptorSet s_ab, s_ba;
-    uint32_t groups = 0;
+    suite::SubmitStrategy strategy;
+    suite::RunResult result;
+    suite::HostArrays host;
 };
 
-Setup
-prepare(const sim::DeviceSpec &dev, const std::vector<int32_t> &data)
+/** Run `w` under every applicable Vulkan strategy, in enum order
+ *  (record-once, re-record, batched).  `bit_identical` reports
+ *  whether every run agreed with the first on host arrays and launch
+ *  count. */
+std::vector<StrategyRun>
+sweepWorkload(const suite::Workload &w, const sim::DeviceSpec &dev,
+              bool *bit_identical)
 {
-    Setup s{VkContext::create(dev), {}, {}, {}, {}, {}, {}, 0};
-    std::string err =
-        suite::createVkKernel(s.ctx, kernels::buildPathfinderRow(), &s.k);
-    VCB_ASSERT(err.empty(), "%s", err.c_str());
-    s.b_data = s.ctx.createDeviceBuffer(data.size() * 4);
-    s.b_a = s.ctx.createDeviceBuffer(uint64_t(cols) * 4);
-    s.b_b = s.ctx.createDeviceBuffer(uint64_t(cols) * 4);
-    s.ctx.upload(s.b_data, data.data(), data.size() * 4);
-    s.ctx.upload(s.b_a, data.data(), uint64_t(cols) * 4);
-    s.s_ab = makeDescriptorSet(s.ctx, s.k,
-                               {{0, s.b_data}, {1, s.b_a}, {2, s.b_b}});
-    s.s_ba = makeDescriptorSet(s.ctx, s.k,
-                               {{0, s.b_data}, {1, s.b_b}, {2, s.b_a}});
-    s.groups = (uint32_t)ceilDiv(cols, 256);
-    return s;
-}
-
-void
-recordIteration(Setup &s, vkm::CommandBuffer cb, uint32_t r)
-{
-    vkm::cmdBindDescriptorSet(cb, s.k.layout, 0,
-                              (r % 2 == 1) ? s.s_ab : s.s_ba);
-    uint32_t push[2] = {cols, r};
-    vkm::cmdPushConstants(cb, s.k.layout, 0, 8, push);
-    vkm::cmdDispatch(cb, s.groups, 1, 1);
-    vkm::cmdPipelineBarrier(cb);
-}
-
-double
-runSingleBuffer(Setup &s)
-{
-    vkm::CommandBuffer cb;
-    vkm::check(vkm::allocateCommandBuffer(s.ctx.device, s.ctx.cmdPool,
-                                          &cb),
-               "allocateCommandBuffer");
-    vkm::check(vkm::beginCommandBuffer(cb), "beginCommandBuffer");
-    vkm::cmdBindPipeline(cb, s.k.pipeline);
-    for (uint32_t r = 1; r < rows; ++r)
-        recordIteration(s, cb, r);
-    vkm::check(vkm::endCommandBuffer(cb), "endCommandBuffer");
-
-    vkm::Fence fence;
-    vkm::check(vkm::createFence(s.ctx.device, &fence), "createFence");
-    double t0 = s.ctx.now();
-    vkm::SubmitInfo si;
-    si.commandBuffers.push_back(cb);
-    vkm::check(vkm::queueSubmit(s.ctx.queue, {si}, fence), "queueSubmit");
-    vkm::check(vkm::waitForFences(s.ctx.device, {fence}),
-               "waitForFences");
-    return s.ctx.now() - t0;
-}
-
-double
-runNaivePerIteration(Setup &s)
-{
-    vkm::Fence fence;
-    vkm::check(vkm::createFence(s.ctx.device, &fence), "createFence");
-    double t0 = s.ctx.now();
-    for (uint32_t r = 1; r < rows; ++r) {
-        vkm::CommandBuffer cb;
-        vkm::check(vkm::allocateCommandBuffer(s.ctx.device,
-                                              s.ctx.cmdPool, &cb),
-                   "allocateCommandBuffer");
-        vkm::check(vkm::beginCommandBuffer(cb), "beginCommandBuffer");
-        vkm::cmdBindPipeline(cb, s.k.pipeline);
-        recordIteration(s, cb, r);
-        vkm::check(vkm::endCommandBuffer(cb), "endCommandBuffer");
-        vkm::SubmitInfo si;
-        si.commandBuffers.push_back(cb);
-        vkm::check(vkm::queueSubmit(s.ctx.queue, {si}, fence),
-                   "queueSubmit");
-        vkm::check(vkm::waitForFences(s.ctx.device, {fence}),
-                   "waitForFences");
-        vkm::check(vkm::resetFences(s.ctx.device, {fence}),
-                   "resetFences");
+    std::vector<StrategyRun> runs;
+    for (suite::SubmitStrategy s : suite::applicableStrategies(w)) {
+        StrategyRun r;
+        r.strategy = s;
+        suite::WorkloadOptions opts;
+        opts.strategy = s;
+        r.result = suite::runWorkloadVulkan(w, dev, opts, &r.host);
+        runs.push_back(std::move(r));
     }
-    return s.ctx.now() - t0;
+    *bit_identical = true;
+    for (size_t i = 1; i < runs.size(); ++i) {
+        if (runs[i].host != runs[0].host ||
+            runs[i].result.launches != runs[0].result.launches)
+            *bit_identical = false;
+    }
+    return runs;
 }
 
-double
-runOpenClBaseline(const sim::DeviceSpec &dev,
-                  const std::vector<int32_t> &data)
+int
+runSmoke(const sim::DeviceSpec &dev)
 {
-    ocl::Context ctx(dev);
-    auto prog = ocl::createProgramWithSource(
-        ctx, kernels::buildPathfinderRow());
-    std::string err;
-    bool built = ocl::buildProgram(prog, &err);
-    VCB_ASSERT(built, "%s", err.c_str());
-    auto k = ocl::createKernel(prog, "pathfinder_row", &err);
-    auto b_data = ocl::createBuffer(ctx, ocl::MemReadOnly,
-                                    data.size() * 4);
-    auto b_a = ocl::createBuffer(ctx, ocl::MemReadWrite,
-                                 uint64_t(cols) * 4);
-    auto b_b = ocl::createBuffer(ctx, ocl::MemReadWrite,
-                                 uint64_t(cols) * 4);
-    ocl::enqueueWriteBuffer(ctx, b_data, true, 0, data.size() * 4,
-                            data.data());
-    ocl::enqueueWriteBuffer(ctx, b_a, true, 0, uint64_t(cols) * 4,
-                            data.data());
-    double t0 = ctx.hostNowNs();
-    for (uint32_t r = 1; r < rows; ++r) {
-        ocl::setKernelArgBuffer(k, 0, b_data);
-        ocl::setKernelArgBuffer(k, 1, (r % 2 == 1) ? b_a : b_b);
-        ocl::setKernelArgBuffer(k, 2, (r % 2 == 1) ? b_b : b_a);
-        ocl::setKernelArgScalar(k, 0, cols);
-        ocl::setKernelArgScalar(k, 1, r);
-        ocl::enqueueNDRangeKernel(ctx, k,
-                                  (uint32_t)ceilDiv(cols, 256) * 256);
-        ctx.finish();
+    // The strategy contrast that is easiest to get wrong: converge
+    // loops whose body command buffer is recorded once and resubmitted
+    // (bfs's frontier loop, kmeans's centroid loop) vs re-recorded.
+    int failures = 0;
+    for (const char *name : {"bfs", "kmeans"}) {
+        const suite::Benchmark &bench = suite::byName(name);
+        suite::Workload w = bench.workload(bench.desktopSizes()[0]);
+        suite::HostArrays host_once, host_rerec;
+        suite::WorkloadOptions once, rerec;
+        once.strategy = suite::SubmitStrategy::RecordOnce;
+        rerec.strategy = suite::SubmitStrategy::ReRecord;
+        suite::RunResult a =
+            suite::runWorkloadVulkan(w, dev, once, &host_once);
+        suite::RunResult b =
+            suite::runWorkloadVulkan(w, dev, rerec, &host_rerec);
+        bool ok = a.ok && b.ok && a.validated && b.validated &&
+                  a.launches == b.launches && host_once == host_rerec;
+        std::printf("%-8s record-once %s (%llu launches)  "
+                    "re-record %s (%llu launches)  outputs %s\n",
+                    name, a.validated ? "ok" : "FAILED",
+                    (unsigned long long)a.launches,
+                    b.validated ? "ok" : "FAILED",
+                    (unsigned long long)b.launches,
+                    ok ? "bit-identical" : "MISMATCH");
+        if (!ok)
+            ++failures;
     }
-    return ctx.hostNowNs() - t0;
+    return failures == 0 ? 0 : 1;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    Rng rng(7);
-    std::vector<int32_t> data(uint64_t(rows) * cols);
-    for (auto &v : data)
-        v = static_cast<int32_t>(rng.nextBelow(10));
-
     const sim::DeviceSpec &dev = sim::gtx1050ti();
-    std::printf("Ablation: one command buffer + barriers vs one "
-                "submission per iteration\n");
-    std::printf("workload: pathfinder %ux%u on %s\n\n", rows, cols,
+    if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0)
+        return runSmoke(dev);
+
+    std::printf("Ablation: Vulkan submission strategy, suite-wide "
+                "(%s, smallest desktop sizes)\n\n",
                 dev.name.c_str());
 
-    Setup s1 = prepare(dev, data);
-    double single_ns = runSingleBuffer(s1);
-    Setup s2 = prepare(dev, data);
-    double naive_ns = runNaivePerIteration(s2);
-    double opencl_ns = runOpenClBaseline(dev, data);
+    harness::Table table({"bench", "strategy", "kernel region",
+                          "per launch", "vs preferred", "OpenCL"});
+    bool all_identical = true;
+    for (const suite::Benchmark *bench : suite::registry()) {
+        suite::Workload w = bench->workload(bench->desktopSizes()[0]);
+        bool bit_identical = false;
+        std::vector<StrategyRun> runs =
+            sweepWorkload(w, dev, &bit_identical);
+        all_identical = all_identical && bit_identical;
 
-    harness::Table table({"strategy", "kernel region", "per iteration",
-                          "vs single-CB"});
-    auto row = [&](const char *name, double ns) {
-        table.addRow({name, formatNs(ns),
-                      formatNs(ns / (rows - 1)),
-                      harness::fmtF(ns / single_ns, 2) + "x"});
-    };
-    row("Vulkan, single command buffer", single_ns);
-    row("Vulkan, naive per-iteration submits", naive_ns);
-    row("OpenCL multi-kernel method", opencl_ns);
+        double preferred_ns = 0;
+        for (const StrategyRun &r : runs)
+            if (r.strategy == w.preferred)
+                preferred_ns = r.result.kernelRegionNs;
+
+        suite::RunResult cl =
+            suite::runWorkloadOcl(w, dev, nullptr);
+        for (const StrategyRun &r : runs) {
+            const suite::RunResult &res = r.result;
+            std::string marker =
+                r.strategy == w.preferred ? "*" : " ";
+            table.addRow(
+                {bench->name() + marker,
+                 suite::strategyName(r.strategy),
+                 formatNs(res.kernelRegionNs),
+                 formatNs(res.kernelRegionNs /
+                          double(std::max<uint64_t>(res.launches, 1))),
+                 preferred_ns > 0
+                     ? harness::fmtF(res.kernelRegionNs / preferred_ns,
+                                     2) +
+                           "x"
+                     : "-",
+                 cl.ok ? harness::fmtF(cl.kernelRegionNs /
+                                           res.kernelRegionNs,
+                                       2) +
+                             "x"
+                       : "-"});
+        }
+        VCB_ASSERT(bit_identical,
+                   "%s: strategies disagree on outputs or launches",
+                   bench->name().c_str());
+    }
     std::printf("%s\n", table.render().c_str());
+    std::printf("* = the workload's preferred strategy.  'OpenCL' is "
+                "the speedup of that row's\nVulkan strategy over the "
+                "OpenCL multi-kernel method.  All strategies of every\n"
+                "benchmark produced bit-identical outputs: %s\n",
+                all_identical ? "yes" : "NO");
     std::printf("paper: recording all iterations into one command "
                 "buffer is the first recommended optimisation\n");
-    return 0;
+    return all_identical ? 0 : 1;
 }

@@ -92,6 +92,7 @@ runSpeedupFigure(const sim::DeviceSpec &dev, bool mobile, uint64_t scale)
                 row.skip[a] = r.skipReason;
                 row.ns[a] = r.kernelRegionNs;
                 row.validated[a] = r.validated;
+                row.strategy[a] = r.strategy;
                 if (r.ok && !r.validated)
                     warn("%s/%s on %s [%s]: validation FAILED: %s",
                          bench->name().c_str(), size.label.c_str(),
@@ -114,7 +115,7 @@ formatSpeedupFigure(const FigureData &fig)
 
     bool has_cuda = fig.dev->profile(Api::Cuda).available;
     std::vector<std::string> headers = {"bench", "size", "OpenCL",
-                                        "Vulkan"};
+                                        "Vulkan", "vk submit"};
     if (has_cuda)
         headers.push_back("CUDA");
     headers.push_back("note");
@@ -124,9 +125,11 @@ formatSpeedupFigure(const FigureData &fig)
     for (const auto &row : fig.rows) {
         std::vector<std::string> cells = {row.bench, row.sizeLabel};
         int cl = static_cast<int>(Api::OpenCl);
+        int vk_ix = static_cast<int>(Api::Vulkan);
         cells.push_back(row.ok[cl] ? "1.00" : "-");
         double vk = row.speedupVsOpenCl(Api::Vulkan);
         cells.push_back(vk > 0 ? fmtF(vk) : "-");
+        cells.push_back(row.ok[vk_ix] ? row.strategy[vk_ix] : "-");
         if (has_cuda) {
             double cu = row.speedupVsOpenCl(Api::Cuda);
             cells.push_back(cu > 0 ? fmtF(cu) : "-");

@@ -27,6 +27,10 @@ struct SpeedupRow
     bool ok[sim::apiCount] = {false, false, false};
     std::string skip[sim::apiCount];
     bool validated[sim::apiCount] = {false, false, false};
+    /** Submission strategy each API's run used (RunResult::strategy):
+     *  the Vulkan column reports which command-buffer strategy
+     *  produced its number. */
+    std::string strategy[sim::apiCount];
 
     /** Speedup of `api` relative to the OpenCL baseline (the paper's
      *  convention); 0 when either side is missing. */

@@ -15,16 +15,13 @@
 #include "suite/benchmark.h"
 
 #include <cmath>
-#include <cstring>
+#include <memory>
 
-#include "common/logging.h"
 #include "common/mathutil.h"
 #include "common/rng.h"
-#include "cuda/cuda_rt.h"
 #include "kernels/kernels.h"
-#include "ocl/ocl.h"
 #include "suite/validate.h"
-#include "suite/vkhelp.h"
+#include "suite/workloads.h"
 
 namespace vcb::suite {
 
@@ -68,7 +65,8 @@ sigmoid(float x)
 /**
  * Host phase between the two kernels: reduce partial sums, forward to
  * the output unit, back-propagate the error into per-hidden deltas.
- * Identical code runs in the reference and in every API runner.
+ * Identical code runs in the reference and in the workload's host
+ * callback, on every API.
  */
 std::vector<float>
 hostDeltas(const Net &net, const std::vector<float> &partial)
@@ -129,214 +127,58 @@ reference(const Net &net, std::vector<float> *partial_out,
         *weights_out = std::move(weights);
 }
 
-RunResult
-finish(RunResult res, const Net &net, const std::vector<float> &partial,
-       const std::vector<float> &weights)
-{
-    std::vector<float> ref_partial, ref_weights;
-    reference(net, &ref_partial, &ref_weights);
-    res.validationError = compareFloats(partial, ref_partial);
-    if (res.validationError.empty())
-        res.validationError = compareFloats(weights, ref_weights);
-    res.validated = res.validationError.empty();
-    res.ok = true;
-    return res;
-}
+enum BufferIx : size_t { B_IN, B_W, B_PART, B_DELTA };
+enum HostIx : size_t { H_PART, H_DELTA, H_W };
 
-RunResult
-runVulkan(const sim::DeviceSpec &dev, const Net &net)
+Workload
+makeWorkload(Net n)
 {
-    RunResult res;
-    VkContext ctx = VkContext::create(dev);
-    VkKernel k1, k2;
-    std::string err =
-        createVkKernel(ctx, kernels::buildBackpropLayerForward(), &k1);
-    if (err.empty())
-        err = createVkKernel(ctx, kernels::buildBackpropAdjustWeights(),
-                             &k2);
-    if (!err.empty()) {
-        res.skipReason = err;
-        return res;
-    }
+    auto in = std::make_shared<const Net>(std::move(n));
+    const Net &net = *in;
 
-    double t_total0 = ctx.now();
     uint32_t blocks = net.n / 16;
     uint64_t in_bytes = uint64_t(net.n) * 4;
     uint64_t w_bytes = uint64_t(net.n) * hid * 4;
     uint64_t part_bytes = uint64_t(blocks) * hid * 4;
-    auto b_in = ctx.createDeviceBuffer(in_bytes);
-    auto b_w = ctx.createDeviceBuffer(w_bytes);
-    auto b_part = ctx.createDeviceBuffer(part_bytes);
-    auto b_delta = ctx.createDeviceBuffer(hid * 4);
-    ctx.upload(b_in, net.input.data(), in_bytes);
-    ctx.upload(b_w, net.weights.data(), w_bytes);
 
-    auto s1 = makeDescriptorSet(ctx, k1,
-                                {{0, b_in}, {1, b_w}, {2, b_part}});
-    auto s2 = makeDescriptorSet(ctx, k2,
-                                {{0, b_in}, {1, b_delta}, {2, b_w}});
+    Workload w;
+    w.name = "backprop";
+    w.kernels = {kernels::buildBackpropLayerForward(),
+                 kernels::buildBackpropAdjustWeights()};
+    w.buffers = {{in_bytes, wordsOf(net.input)},
+                 {w_bytes, wordsOf(net.weights)},
+                 {part_bytes, {}},
+                 {hid * 4, {}}};
+    w.host = {std::vector<uint32_t>(uint64_t(blocks) * hid),
+              std::vector<uint32_t>(hid),
+              std::vector<uint32_t>(uint64_t(net.n) * hid)};
 
-    vkm::Fence fence;
-    vkm::check(vkm::createFence(ctx.device, &fence), "createFence");
-
-    double t0 = ctx.now();
-    // Phase 1: layer forward.
-    vkm::CommandBuffer cb1;
-    vkm::check(vkm::allocateCommandBuffer(ctx.device, ctx.cmdPool, &cb1),
-               "allocateCommandBuffer");
-    vkm::check(vkm::beginCommandBuffer(cb1), "beginCommandBuffer");
-    vkm::cmdBindPipeline(cb1, k1.pipeline);
-    vkm::cmdBindDescriptorSet(cb1, k1.layout, 0, s1);
-    vkm::cmdPushConstants(cb1, k1.layout, 0, 4, &net.n);
-    vkm::cmdDispatch(cb1, blocks, 1, 1);
-    vkm::check(vkm::endCommandBuffer(cb1), "endCommandBuffer");
-    vkm::SubmitInfo si1;
-    si1.commandBuffers.push_back(cb1);
-    vkm::check(vkm::queueSubmit(ctx.queue, {si1}, fence), "queueSubmit");
-    vkm::check(vkm::waitForFences(ctx.device, {fence}), "waitForFences");
-    vkm::check(vkm::resetFences(ctx.device, {fence}), "resetFences");
-
-    std::vector<float> partial(uint64_t(blocks) * hid);
-    ctx.download(b_part, partial.data(), part_bytes);
-    std::vector<float> delta = hostDeltas(net, partial);
-    ctx.upload(b_delta, delta.data(), hid * 4);
-
-    // Phase 2: weight adjustment.
-    vkm::CommandBuffer cb2;
-    vkm::check(vkm::allocateCommandBuffer(ctx.device, ctx.cmdPool, &cb2),
-               "allocateCommandBuffer");
-    vkm::check(vkm::beginCommandBuffer(cb2), "beginCommandBuffer");
-    vkm::cmdBindPipeline(cb2, k2.pipeline);
-    vkm::cmdBindDescriptorSet(cb2, k2.layout, 0, s2);
-    uint32_t push[2] = {net.n, 0};
-    std::memcpy(&push[1], &learningRate, 4);
-    vkm::cmdPushConstants(cb2, k2.layout, 0, 8, push);
-    vkm::cmdDispatch(cb2, (uint32_t)ceilDiv(uint64_t(net.n) * hid, 256),
-                     1, 1);
-    vkm::check(vkm::endCommandBuffer(cb2), "endCommandBuffer");
-    vkm::SubmitInfo si2;
-    si2.commandBuffers.push_back(cb2);
-    vkm::check(vkm::queueSubmit(ctx.queue, {si2}, fence), "queueSubmit");
-    vkm::check(vkm::waitForFences(ctx.device, {fence}), "waitForFences");
-    res.kernelRegionNs = ctx.now() - t0;
-    res.launches = 2;
-
-    std::vector<float> weights(uint64_t(net.n) * hid);
-    ctx.download(b_w, weights.data(), w_bytes);
-    res.totalNs = ctx.now() - t_total0;
-    return finish(std::move(res), net, partial, weights);
-}
-
-RunResult
-runOpenCl(const sim::DeviceSpec &dev, const Net &net)
-{
-    RunResult res;
-    ocl::Context ctx(dev);
-    auto p1 = ocl::createProgramWithSource(
-        ctx, kernels::buildBackpropLayerForward());
-    auto p2 = ocl::createProgramWithSource(
-        ctx, kernels::buildBackpropAdjustWeights());
-    std::string err;
-    if (!ocl::buildProgram(p1, &err) || !ocl::buildProgram(p2, &err)) {
-        res.skipReason = err;
-        return res;
-    }
-    auto k1 = ocl::createKernel(p1, "backprop_layerforward", &err);
-    auto k2 = ocl::createKernel(p2, "backprop_adjust_weights", &err);
-    VCB_ASSERT(k1.valid() && k2.valid(), "kernel creation failed: %s",
-               err.c_str());
-
-    double t_total0 = ctx.hostNowNs();
-    uint32_t blocks = net.n / 16;
-    uint64_t in_bytes = uint64_t(net.n) * 4;
-    uint64_t w_bytes = uint64_t(net.n) * hid * 4;
-    uint64_t part_bytes = uint64_t(blocks) * hid * 4;
-    auto b_in = ocl::createBuffer(ctx, ocl::MemReadOnly, in_bytes);
-    auto b_w = ocl::createBuffer(ctx, ocl::MemReadWrite, w_bytes);
-    auto b_part = ocl::createBuffer(ctx, ocl::MemReadWrite, part_bytes);
-    auto b_delta = ocl::createBuffer(ctx, ocl::MemReadOnly, hid * 4);
-    ocl::enqueueWriteBuffer(ctx, b_in, true, 0, in_bytes,
-                            net.input.data());
-    ocl::enqueueWriteBuffer(ctx, b_w, true, 0, w_bytes,
-                            net.weights.data());
-
-    double t0 = ctx.hostNowNs();
-    ocl::setKernelArgBuffer(k1, 0, b_in);
-    ocl::setKernelArgBuffer(k1, 1, b_w);
-    ocl::setKernelArgBuffer(k1, 2, b_part);
-    ocl::setKernelArgScalar(k1, 0, net.n);
-    ocl::enqueueNDRangeKernel(ctx, k1, blocks * 256);
-    ctx.finish();
-
-    std::vector<float> partial(uint64_t(blocks) * hid);
-    ocl::enqueueReadBuffer(ctx, b_part, true, 0, part_bytes,
-                           partial.data());
-    std::vector<float> delta = hostDeltas(net, partial);
-    ocl::enqueueWriteBuffer(ctx, b_delta, true, 0, hid * 4,
-                            delta.data());
-
-    ocl::setKernelArgBuffer(k2, 0, b_in);
-    ocl::setKernelArgBuffer(k2, 1, b_delta);
-    ocl::setKernelArgBuffer(k2, 2, b_w);
-    ocl::setKernelArgScalar(k2, 0, net.n);
-    ocl::setKernelArgScalarF(k2, 1, learningRate);
-    ocl::enqueueNDRangeKernel(
-        ctx, k2, (uint32_t)ceilDiv(uint64_t(net.n) * hid, 256) * 256);
-    ctx.finish();
-    res.kernelRegionNs = ctx.hostNowNs() - t0;
-    res.launches = 2;
-
-    std::vector<float> weights(uint64_t(net.n) * hid);
-    ocl::enqueueReadBuffer(ctx, b_w, true, 0, w_bytes, weights.data());
-    res.totalNs = ctx.hostNowNs() - t_total0;
-    return finish(std::move(res), net, partial, weights);
-}
-
-RunResult
-runCuda(const sim::DeviceSpec &dev, const Net &net)
-{
-    RunResult res;
-    if (!cuda::available(dev)) {
-        res.skipReason = "CUDA not supported on this device";
-        return res;
-    }
-    cuda::Runtime rt(dev);
-    auto f1 = rt.loadFunction(kernels::buildBackpropLayerForward());
-    auto f2 = rt.loadFunction(kernels::buildBackpropAdjustWeights());
-
-    double t_total0 = rt.hostNowNs();
-    uint32_t blocks = net.n / 16;
-    uint64_t in_bytes = uint64_t(net.n) * 4;
-    uint64_t w_bytes = uint64_t(net.n) * hid * 4;
-    uint64_t part_bytes = uint64_t(blocks) * hid * 4;
-    auto d_in = rt.malloc(in_bytes);
-    auto d_w = rt.malloc(w_bytes);
-    auto d_part = rt.malloc(part_bytes);
-    auto d_delta = rt.malloc(hid * 4);
-    rt.memcpyHtoD(d_in, net.input.data(), in_bytes);
-    rt.memcpyHtoD(d_w, net.weights.data(), w_bytes);
-
-    double t0 = rt.hostNowNs();
-    rt.launchKernel(f1, blocks, 1, 1, {d_in, d_w, d_part}, {net.n});
-    rt.deviceSynchronize();
-
-    std::vector<float> partial(uint64_t(blocks) * hid);
-    rt.memcpyDtoH(partial.data(), d_part, part_bytes);
-    std::vector<float> delta = hostDeltas(net, partial);
-    rt.memcpyHtoD(d_delta, delta.data(), hid * 4);
-
-    uint32_t lr_bits;
-    std::memcpy(&lr_bits, &learningRate, 4);
-    rt.launchKernel(f2, (uint32_t)ceilDiv(uint64_t(net.n) * hid, 256), 1,
-                    1, {d_in, d_delta, d_w}, {net.n, lr_bits});
-    rt.deviceSynchronize();
-    res.kernelRegionNs = rt.hostNowNs() - t0;
-    res.launches = 2;
-
-    std::vector<float> weights(uint64_t(net.n) * hid);
-    rt.memcpyDtoH(weights.data(), d_w, w_bytes);
-    res.totalNs = rt.hostNowNs() - t_total0;
-    return finish(std::move(res), net, partial, weights);
+    w.body = {
+        dispatchStep(0, blocks, 1, 1, {pw(net.n)},
+                     {{0, B_IN}, {1, B_W}, {2, B_PART}}),
+        syncStep(),
+        readbackStep(B_PART, H_PART),
+        hostStep([in](HostArrays &h) {
+            h[H_DELTA] = wordsOf(hostDeltas(*in, floatsOf(h[H_PART])));
+        }),
+        uploadStep(B_DELTA, H_DELTA),
+        dispatchStep(1,
+                     (uint32_t)ceilDiv(uint64_t(net.n) * hid, 256), 1, 1,
+                     {pw(net.n), pwF(learningRate)},
+                     {{0, B_IN}, {1, B_DELTA}, {2, B_W}}),
+        syncStep(),
+    };
+    w.epilogue = {readbackStep(B_W, H_W)};
+    w.preferred = SubmitStrategy::RecordOnce;
+    w.validate = [in](const HostArrays &h) {
+        std::vector<float> ref_partial, ref_weights;
+        reference(*in, &ref_partial, &ref_weights);
+        std::string err = compareFloats(floatsOf(h[H_PART]), ref_partial);
+        if (err.empty())
+            err = compareFloats(floatsOf(h[H_W]), ref_weights);
+        return err;
+    };
+    return w;
 }
 
 class BackpropBenchmark : public Benchmark
@@ -357,20 +199,11 @@ class BackpropBenchmark : public Benchmark
         return {{"64K", {16384}}, {"256K", {65536}}};
     }
 
-    RunResult run(const sim::DeviceSpec &dev, sim::Api api,
-                  const SizeConfig &cfg) const override
+    Workload workload(const SizeConfig &cfg) const override
     {
-        Net net = generateNet(static_cast<uint32_t>(cfg.params[0]),
-                              workloadSeed(name(), cfg));
-        switch (api) {
-          case sim::Api::Vulkan:
-            return runVulkan(dev, net);
-          case sim::Api::OpenCl:
-            return runOpenCl(dev, net);
-          case sim::Api::Cuda:
-            return runCuda(dev, net);
-        }
-        return RunResult();
+        return makeWorkload(
+            generateNet(static_cast<uint32_t>(cfg.params[0]),
+                        workloadSeed(name(), cfg)));
     }
 };
 

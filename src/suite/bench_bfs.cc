@@ -7,327 +7,87 @@
  * a host round trip per level (the paper's bfs result is therefore
  * decided by kernel quality, not launch overhead — Sec. V-A2).
  *
- * Vulkan: the per-level command buffer (kernel1, barrier, kernel2) is
- * recorded once and resubmitted each level; the stop flag lives in a
- * mapped host-visible buffer.
+ * The per-level program (zero the stop flag, kernel1, barrier,
+ * kernel2, read the stop flag) is identical every level, so the
+ * preferred Vulkan strategy is record-once-resubmit; the stop flag
+ * lives in a mapped host-visible buffer.  The CSR generator and CPU
+ * reference are shared with the golden bfs scenario
+ * (suite/workloads.h).
  */
 
 #include "suite/benchmark.h"
 
-#include <deque>
+#include <memory>
 
-#include "common/logging.h"
 #include "common/mathutil.h"
-#include "common/rng.h"
-#include "cuda/cuda_rt.h"
 #include "kernels/kernels.h"
-#include "ocl/ocl.h"
 #include "suite/validate.h"
-#include "suite/vkhelp.h"
+#include "suite/workloads.h"
 
 namespace vcb::suite {
 
 namespace {
 
-struct Graph
+enum BufferIx : size_t
 {
-    uint32_t n = 0;
-    int32_t source = 0;
-    std::vector<int32_t> start;
-    std::vector<int32_t> degree;
-    std::vector<int32_t> edges;
+    B_START,
+    B_DEG,
+    B_EDGES,
+    B_MASK,
+    B_UMASK,
+    B_VISITED,
+    B_COST,
+    B_STOP
 };
+enum HostIx : size_t { H_ZERO, H_STOP, H_COST };
 
-Graph
-generateGraph(uint32_t n, uint64_t seed)
+Workload
+makeWorkload(Graph graph)
 {
-    Rng rng(seed);
-    Graph g;
-    g.n = n;
-    g.start.resize(n);
-    g.degree.resize(n);
-    for (uint32_t i = 0; i < n; ++i) {
-        g.start[i] = static_cast<int32_t>(g.edges.size());
-        uint32_t deg = 2 + static_cast<uint32_t>(rng.nextBelow(9));
-        g.degree[i] = static_cast<int32_t>(deg);
-        for (uint32_t e = 0; e < deg; ++e)
-            g.edges.push_back(static_cast<int32_t>(rng.nextBelow(n)));
-    }
-    return g;
-}
+    auto in = std::make_shared<const Graph>(std::move(graph));
+    const Graph &g = *in;
 
-std::vector<int32_t>
-referenceBfs(const Graph &g)
-{
-    std::vector<int32_t> cost(g.n, -1);
-    std::deque<int32_t> frontier;
-    cost[g.source] = 0;
-    frontier.push_back(g.source);
-    while (!frontier.empty()) {
-        int32_t u = frontier.front();
-        frontier.pop_front();
-        for (int32_t e = g.start[u]; e < g.start[u] + g.degree[u]; ++e) {
-            int32_t v = g.edges[e];
-            if (cost[v] < 0) {
-                cost[v] = cost[u] + 1;
-                frontier.push_back(v);
-            }
-        }
-    }
-    return cost;
-}
+    Workload w;
+    w.name = "bfs";
+    w.kernels = {kernels::buildBfsKernel1(), kernels::buildBfsKernel2()};
 
-struct HostState
-{
-    std::vector<int32_t> mask, umask, visited, cost;
-
-    explicit HostState(const Graph &g)
-        : mask(g.n, 0), umask(g.n, 0), visited(g.n, 0), cost(g.n, -1)
-    {
-        mask[g.source] = 1;
-        visited[g.source] = 1;
-        cost[g.source] = 0;
-    }
-};
-
-RunResult
-runVulkan(const sim::DeviceSpec &dev, const Graph &g)
-{
-    RunResult res;
-    VkContext ctx = VkContext::create(dev);
-    VkKernel k1, k2;
-    std::string err = createVkKernel(ctx, kernels::buildBfsKernel1(), &k1);
-    if (err.empty())
-        err = createVkKernel(ctx, kernels::buildBfsKernel2(), &k2);
-    if (!err.empty()) {
-        res.skipReason = err;
-        return res;
-    }
-
-    double t_total0 = ctx.now();
     uint64_t node_bytes = uint64_t(g.n) * 4;
-    auto b_start = ctx.createDeviceBuffer(node_bytes);
-    auto b_deg = ctx.createDeviceBuffer(node_bytes);
-    auto b_edges = ctx.createDeviceBuffer(g.edges.size() * 4);
-    auto b_mask = ctx.createDeviceBuffer(node_bytes);
-    auto b_umask = ctx.createDeviceBuffer(node_bytes);
-    auto b_visited = ctx.createDeviceBuffer(node_bytes);
-    auto b_cost = ctx.createDeviceBuffer(node_bytes);
-    auto b_stop = ctx.createHostBuffer(4);
-
-    HostState st(g);
-    ctx.upload(b_start, g.start.data(), node_bytes);
-    ctx.upload(b_deg, g.degree.data(), node_bytes);
-    ctx.upload(b_edges, g.edges.data(), g.edges.size() * 4);
-    ctx.upload(b_mask, st.mask.data(), node_bytes);
-    ctx.upload(b_umask, st.umask.data(), node_bytes);
-    ctx.upload(b_visited, st.visited.data(), node_bytes);
-    ctx.upload(b_cost, st.cost.data(), node_bytes);
-
-    auto s1 = makeDescriptorSet(ctx, k1,
-                                {{0, b_start},
-                                 {1, b_deg},
-                                 {2, b_edges},
-                                 {3, b_mask},
-                                 {4, b_umask},
-                                 {5, b_visited},
-                                 {6, b_cost}});
-    auto s2 = makeDescriptorSet(
-        ctx, k2,
-        {{0, b_mask}, {1, b_umask}, {2, b_visited}, {3, b_stop}});
-
-    // Record the per-level command buffer once; resubmit every level.
-    vkm::CommandBuffer cb;
-    vkm::check(vkm::allocateCommandBuffer(ctx.device, ctx.cmdPool, &cb),
-               "allocateCommandBuffer");
-    uint32_t groups = static_cast<uint32_t>(ceilDiv(g.n, 256));
-    vkm::check(vkm::beginCommandBuffer(cb), "beginCommandBuffer");
-    vkm::cmdBindPipeline(cb, k1.pipeline);
-    vkm::cmdBindDescriptorSet(cb, k1.layout, 0, s1);
-    vkm::cmdPushConstants(cb, k1.layout, 0, 4, &g.n);
-    vkm::cmdDispatch(cb, groups, 1, 1);
-    vkm::cmdPipelineBarrier(cb);
-    vkm::cmdBindPipeline(cb, k2.pipeline);
-    vkm::cmdBindDescriptorSet(cb, k2.layout, 0, s2);
-    vkm::cmdPushConstants(cb, k2.layout, 0, 4, &g.n);
-    vkm::cmdDispatch(cb, groups, 1, 1);
-    vkm::check(vkm::endCommandBuffer(cb), "endCommandBuffer");
-
-    vkm::Fence fence;
-    vkm::check(vkm::createFence(ctx.device, &fence), "createFence");
-    uint32_t *stop = ctx.map(b_stop);
-
-    double t0 = ctx.now();
-    for (;;) {
-        *stop = 0;
-        vkm::SubmitInfo si;
-        si.commandBuffers.push_back(cb);
-        vkm::check(vkm::queueSubmit(ctx.queue, {si}, fence),
-                   "queueSubmit");
-        vkm::check(vkm::waitForFences(ctx.device, {fence}),
-                   "waitForFences");
-        vkm::check(vkm::resetFences(ctx.device, {fence}), "resetFences");
-        res.launches += 2;
-        if (*stop == 0)
-            break;
-    }
-    res.kernelRegionNs = ctx.now() - t0;
-
-    std::vector<int32_t> cost(g.n);
-    ctx.download(b_cost, cost.data(), node_bytes);
-    res.totalNs = ctx.now() - t_total0;
-
-    res.validationError = compareInts(cost, referenceBfs(g));
-    res.validated = res.validationError.empty();
-    res.ok = true;
-    return res;
-}
-
-RunResult
-runOpenCl(const sim::DeviceSpec &dev, const Graph &g)
-{
-    RunResult res;
-    ocl::Context ctx(dev);
-    auto p1 = ocl::createProgramWithSource(ctx, kernels::buildBfsKernel1());
-    auto p2 = ocl::createProgramWithSource(ctx, kernels::buildBfsKernel2());
-    std::string err;
-    if (!ocl::buildProgram(p1, &err) || !ocl::buildProgram(p2, &err)) {
-        res.skipReason = err;
-        return res;
-    }
-    auto k1 = ocl::createKernel(p1, "bfs_kernel1", &err);
-    auto k2 = ocl::createKernel(p2, "bfs_kernel2", &err);
-    VCB_ASSERT(k1.valid() && k2.valid(), "kernel creation failed: %s",
-               err.c_str());
-
-    double t_total0 = ctx.hostNowNs();
-    uint64_t node_bytes = uint64_t(g.n) * 4;
-    auto b_start = ocl::createBuffer(ctx, ocl::MemReadOnly, node_bytes);
-    auto b_deg = ocl::createBuffer(ctx, ocl::MemReadOnly, node_bytes);
-    auto b_edges = ocl::createBuffer(ctx, ocl::MemReadOnly,
-                                     g.edges.size() * 4);
-    auto b_mask = ocl::createBuffer(ctx, ocl::MemReadWrite, node_bytes);
-    auto b_umask = ocl::createBuffer(ctx, ocl::MemReadWrite, node_bytes);
-    auto b_visited = ocl::createBuffer(ctx, ocl::MemReadWrite, node_bytes);
-    auto b_cost = ocl::createBuffer(ctx, ocl::MemReadWrite, node_bytes);
-    auto b_stop = ocl::createBuffer(ctx, ocl::MemReadWrite, 4);
-
-    HostState st(g);
-    ocl::enqueueWriteBuffer(ctx, b_start, true, 0, node_bytes,
-                            g.start.data());
-    ocl::enqueueWriteBuffer(ctx, b_deg, true, 0, node_bytes,
-                            g.degree.data());
-    ocl::enqueueWriteBuffer(ctx, b_edges, true, 0, g.edges.size() * 4,
-                            g.edges.data());
-    ocl::enqueueWriteBuffer(ctx, b_mask, true, 0, node_bytes,
-                            st.mask.data());
-    ocl::enqueueWriteBuffer(ctx, b_umask, true, 0, node_bytes,
-                            st.umask.data());
-    ocl::enqueueWriteBuffer(ctx, b_visited, true, 0, node_bytes,
-                            st.visited.data());
-    ocl::enqueueWriteBuffer(ctx, b_cost, true, 0, node_bytes,
-                            st.cost.data());
-
-    ocl::setKernelArgBuffer(k1, 0, b_start);
-    ocl::setKernelArgBuffer(k1, 1, b_deg);
-    ocl::setKernelArgBuffer(k1, 2, b_edges);
-    ocl::setKernelArgBuffer(k1, 3, b_mask);
-    ocl::setKernelArgBuffer(k1, 4, b_umask);
-    ocl::setKernelArgBuffer(k1, 5, b_visited);
-    ocl::setKernelArgBuffer(k1, 6, b_cost);
-    ocl::setKernelArgScalar(k1, 0, g.n);
-    ocl::setKernelArgBuffer(k2, 0, b_mask);
-    ocl::setKernelArgBuffer(k2, 1, b_umask);
-    ocl::setKernelArgBuffer(k2, 2, b_visited);
-    ocl::setKernelArgBuffer(k2, 3, b_stop);
-    ocl::setKernelArgScalar(k2, 0, g.n);
-
-    uint32_t global = static_cast<uint32_t>(ceilDiv(g.n, 256)) * 256;
-    int32_t stop = 0;
-
-    double t0 = ctx.hostNowNs();
-    for (;;) {
-        stop = 0;
-        ocl::enqueueWriteBuffer(ctx, b_stop, false, 0, 4, &stop);
-        ocl::enqueueNDRangeKernel(ctx, k1, global);
-        ocl::enqueueNDRangeKernel(ctx, k2, global);
-        res.launches += 2;
-        ocl::enqueueReadBuffer(ctx, b_stop, true, 0, 4, &stop);
-        if (stop == 0)
-            break;
-    }
-    res.kernelRegionNs = ctx.hostNowNs() - t0;
-
-    std::vector<int32_t> cost(g.n);
-    ocl::enqueueReadBuffer(ctx, b_cost, true, 0, node_bytes, cost.data());
-    res.totalNs = ctx.hostNowNs() - t_total0;
-
-    res.validationError = compareInts(cost, referenceBfs(g));
-    res.validated = res.validationError.empty();
-    res.ok = true;
-    return res;
-}
-
-RunResult
-runCuda(const sim::DeviceSpec &dev, const Graph &g)
-{
-    RunResult res;
-    if (!cuda::available(dev)) {
-        res.skipReason = "CUDA not supported on this device";
-        return res;
-    }
-    cuda::Runtime rt(dev);
-    auto f1 = rt.loadFunction(kernels::buildBfsKernel1());
-    auto f2 = rt.loadFunction(kernels::buildBfsKernel2());
-
-    double t_total0 = rt.hostNowNs();
-    uint64_t node_bytes = uint64_t(g.n) * 4;
-    auto d_start = rt.malloc(node_bytes);
-    auto d_deg = rt.malloc(node_bytes);
-    auto d_edges = rt.malloc(g.edges.size() * 4);
-    auto d_mask = rt.malloc(node_bytes);
-    auto d_umask = rt.malloc(node_bytes);
-    auto d_visited = rt.malloc(node_bytes);
-    auto d_cost = rt.malloc(node_bytes);
-    auto d_stop = rt.malloc(4);
-
-    HostState st(g);
-    rt.memcpyHtoD(d_start, g.start.data(), node_bytes);
-    rt.memcpyHtoD(d_deg, g.degree.data(), node_bytes);
-    rt.memcpyHtoD(d_edges, g.edges.data(), g.edges.size() * 4);
-    rt.memcpyHtoD(d_mask, st.mask.data(), node_bytes);
-    rt.memcpyHtoD(d_umask, st.umask.data(), node_bytes);
-    rt.memcpyHtoD(d_visited, st.visited.data(), node_bytes);
-    rt.memcpyHtoD(d_cost, st.cost.data(), node_bytes);
+    BfsHostState st(g);
+    w.buffers = {{node_bytes, wordsOf(g.start)},
+                 {node_bytes, wordsOf(g.degree)},
+                 {g.edges.size() * 4, wordsOf(g.edges)},
+                 {node_bytes, wordsOf(st.mask)},
+                 {node_bytes, wordsOf(st.umask)},
+                 {node_bytes, wordsOf(st.visited)},
+                 {node_bytes, wordsOf(st.cost)},
+                 {4, {}, /*hostVisible=*/true}};
+    w.host = {{0u}, {0u}, std::vector<uint32_t>(g.n)};
 
     uint32_t groups = static_cast<uint32_t>(ceilDiv(g.n, 256));
-    int32_t stop = 0;
-
-    double t0 = rt.hostNowNs();
-    for (;;) {
-        stop = 0;
-        rt.memcpyHtoD(d_stop, &stop, 4);
-        rt.launchKernel(f1, groups, 1, 1,
-                        {d_start, d_deg, d_edges, d_mask, d_umask,
-                         d_visited, d_cost},
-                        {g.n});
-        rt.launchKernel(f2, groups, 1, 1,
-                        {d_mask, d_umask, d_visited, d_stop}, {g.n});
-        res.launches += 2;
-        rt.memcpyDtoH(&stop, d_stop, 4);
-        if (stop == 0)
-            break;
-    }
-    res.kernelRegionNs = rt.hostNowNs() - t0;
-
-    std::vector<int32_t> cost(g.n);
-    rt.memcpyDtoH(cost.data(), d_cost, node_bytes);
-    res.totalNs = rt.hostNowNs() - t_total0;
-
-    res.validationError = compareInts(cost, referenceBfs(g));
-    res.validated = res.validationError.empty();
-    res.ok = true;
-    return res;
+    w.body = {uploadStep(B_STOP, H_ZERO),
+              dispatchStep(0, groups, 1, 1, {pw(g.n)},
+                           {{0, B_START},
+                            {1, B_DEG},
+                            {2, B_EDGES},
+                            {3, B_MASK},
+                            {4, B_UMASK},
+                            {5, B_VISITED},
+                            {6, B_COST}}),
+              barrierStep(),
+              dispatchStep(1, groups, 1, 1, {pw(g.n)},
+                           {{0, B_MASK},
+                            {1, B_UMASK},
+                            {2, B_VISITED},
+                            {3, B_STOP}}),
+              readbackStep(B_STOP, H_STOP)};
+    w.iterations = UINT32_MAX; // until the frontier drains
+    w.converged = [](const HostArrays &h) { return h[H_STOP][0] == 0; };
+    w.epilogue = {readbackStep(B_COST, H_COST)};
+    w.preferred = SubmitStrategy::RecordOnce;
+    w.validate = [in](const HostArrays &h) {
+        return compareInts(intsOf(h[H_COST]), referenceBfs(*in));
+    };
+    return w;
 }
 
 class BfsBenchmark : public Benchmark
@@ -353,20 +113,11 @@ class BfsBenchmark : public Benchmark
         return {{"4k", {2048}}, {"16k", {8192}}};
     }
 
-    RunResult run(const sim::DeviceSpec &dev, sim::Api api,
-                  const SizeConfig &cfg) const override
+    Workload workload(const SizeConfig &cfg) const override
     {
-        Graph g = generateGraph(static_cast<uint32_t>(cfg.params[0]),
-                                workloadSeed(name(), cfg));
-        switch (api) {
-          case sim::Api::Vulkan:
-            return runVulkan(dev, g);
-          case sim::Api::OpenCl:
-            return runOpenCl(dev, g);
-          case sim::Api::Cuda:
-            return runCuda(dev, g);
-        }
-        return RunResult();
+        return makeWorkload(
+            generateBfsGraph(static_cast<uint32_t>(cfg.params[0]),
+                             workloadSeed(name(), cfg), 2, 9));
     }
 };
 

@@ -7,7 +7,8 @@
  * compute pipelines per iteration inside its command buffer — the
  * overhead the paper identifies as eroding cfd's command-buffer
  * savings; iteration count does not grow with input size, so neither
- * does the speedup (Sec. V-A2).
+ * does the speedup (Sec. V-A2).  The body is uniform and pure-device,
+ * so cfd sweeps all three submission strategies.
  *
  * Mobile: skipped entirely — the paper reports the cfd datasets do
  * not fit on either mobile platform.
@@ -16,16 +17,13 @@
 #include "suite/benchmark.h"
 
 #include <cmath>
-#include <cstring>
+#include <memory>
 
-#include "common/logging.h"
 #include "common/mathutil.h"
 #include "common/rng.h"
-#include "cuda/cuda_rt.h"
 #include "kernels/kernels.h"
-#include "ocl/ocl.h"
 #include "suite/validate.h"
-#include "suite/vkhelp.h"
+#include "suite/workloads.h"
 
 namespace vcb::suite {
 
@@ -127,222 +125,52 @@ referenceCfd(const Mesh &mesh)
     return var;
 }
 
-RunResult
-finish(RunResult res, const Mesh &mesh, std::vector<float> var)
-{
-    res.validationError =
-        compareFloats(var, referenceCfd(mesh), 1e-3, 1e-4);
-    res.validated = res.validationError.empty();
-    res.ok = true;
-    return res;
-}
+enum BufferIx : size_t { B_VAR, B_AREA, B_NB, B_NORM, B_SF, B_FLUX };
+enum HostIx : size_t { H_VAR };
 
-RunResult
-runVulkan(const sim::DeviceSpec &dev, const Mesh &mesh)
+Workload
+makeWorkload(Mesh m)
 {
-    RunResult res;
-    VkContext ctx = VkContext::create(dev);
-    VkKernel k_sf, k_flux, k_ts;
-    std::string err =
-        createVkKernel(ctx, kernels::buildCfdStepFactor(), &k_sf);
-    if (err.empty())
-        err = createVkKernel(ctx, kernels::buildCfdComputeFlux(),
-                             &k_flux);
-    if (err.empty())
-        err = createVkKernel(ctx, kernels::buildCfdTimeStep(), &k_ts);
-    if (!err.empty()) {
-        res.skipReason = err;
-        return res;
-    }
-
-    double t_total0 = ctx.now();
+    auto in = std::make_shared<const Mesh>(std::move(m));
+    const Mesh &mesh = *in;
     uint32_t n = mesh.n;
-    auto b_var = ctx.createDeviceBuffer(5ull * n * 4);
-    auto b_area = ctx.createDeviceBuffer(uint64_t(n) * 4);
-    auto b_nb = ctx.createDeviceBuffer(4ull * n * 4);
-    auto b_norm = ctx.createDeviceBuffer(4ull * n * 4);
-    auto b_sf = ctx.createDeviceBuffer(uint64_t(n) * 4);
-    auto b_flux = ctx.createDeviceBuffer(5ull * n * 4);
-    ctx.upload(b_var, mesh.variables.data(), 5ull * n * 4);
-    ctx.upload(b_area, mesh.areas.data(), uint64_t(n) * 4);
-    ctx.upload(b_nb, mesh.neighbors.data(), 4ull * n * 4);
-    ctx.upload(b_norm, mesh.normals.data(), 4ull * n * 4);
 
-    auto s_sf = makeDescriptorSet(ctx, k_sf,
-                                  {{0, b_var}, {1, b_area}, {2, b_sf}});
-    auto s_flux = makeDescriptorSet(
-        ctx, k_flux, {{0, b_var}, {1, b_nb}, {2, b_norm}, {3, b_flux}});
-    auto s_ts = makeDescriptorSet(ctx, k_ts,
-                                  {{0, b_var}, {1, b_sf}, {2, b_flux}});
+    Workload w;
+    w.name = "cfd";
+    w.kernels = {kernels::buildCfdStepFactor(),
+                 kernels::buildCfdComputeFlux(),
+                 kernels::buildCfdTimeStep()};
+    w.buffers = {{5ull * n * 4, wordsOf(mesh.variables)},
+                 {uint64_t(n) * 4, wordsOf(mesh.areas)},
+                 {4ull * n * 4, wordsOf(mesh.neighbors)},
+                 {4ull * n * 4, wordsOf(mesh.normals)},
+                 {uint64_t(n) * 4, {}},
+                 {5ull * n * 4, {}}};
+    w.host = {std::vector<uint32_t>(5ull * n)};
 
     uint32_t groups = (uint32_t)ceilDiv(n, 128);
-    uint32_t push_ts[2] = {n, 0};
-    std::memcpy(&push_ts[1], &rkFactor, 4);
-
-    vkm::CommandBuffer cb;
-    vkm::check(vkm::allocateCommandBuffer(ctx.device, ctx.cmdPool, &cb),
-               "allocateCommandBuffer");
-    vkm::check(vkm::beginCommandBuffer(cb), "beginCommandBuffer");
-    for (uint32_t it = 0; it < iterations; ++it) {
-        // Three pipeline binds per iteration — cfd's Vulkan tax.
-        vkm::cmdBindPipeline(cb, k_sf.pipeline);
-        vkm::cmdBindDescriptorSet(cb, k_sf.layout, 0, s_sf);
-        vkm::cmdPushConstants(cb, k_sf.layout, 0, 4, &n);
-        vkm::cmdDispatch(cb, groups, 1, 1);
-        vkm::cmdPipelineBarrier(cb);
-        vkm::cmdBindPipeline(cb, k_flux.pipeline);
-        vkm::cmdBindDescriptorSet(cb, k_flux.layout, 0, s_flux);
-        vkm::cmdPushConstants(cb, k_flux.layout, 0, 4, &n);
-        vkm::cmdDispatch(cb, groups, 1, 1);
-        vkm::cmdPipelineBarrier(cb);
-        vkm::cmdBindPipeline(cb, k_ts.pipeline);
-        vkm::cmdBindDescriptorSet(cb, k_ts.layout, 0, s_ts);
-        vkm::cmdPushConstants(cb, k_ts.layout, 0, 8, push_ts);
-        vkm::cmdDispatch(cb, groups, 1, 1);
-        vkm::cmdPipelineBarrier(cb);
-        res.launches += 3;
-    }
-    vkm::check(vkm::endCommandBuffer(cb), "endCommandBuffer");
-
-    vkm::Fence fence;
-    vkm::check(vkm::createFence(ctx.device, &fence), "createFence");
-
-    double t0 = ctx.now();
-    vkm::SubmitInfo si;
-    si.commandBuffers.push_back(cb);
-    vkm::check(vkm::queueSubmit(ctx.queue, {si}, fence), "queueSubmit");
-    vkm::check(vkm::waitForFences(ctx.device, {fence}), "waitForFences");
-    res.kernelRegionNs = ctx.now() - t0;
-
-    std::vector<float> var(5ull * n);
-    ctx.download(b_var, var.data(), 5ull * n * 4);
-    res.totalNs = ctx.now() - t_total0;
-    return finish(std::move(res), mesh, std::move(var));
-}
-
-RunResult
-runOpenCl(const sim::DeviceSpec &dev, const Mesh &mesh)
-{
-    RunResult res;
-    ocl::Context ctx(dev);
-    auto p1 = ocl::createProgramWithSource(ctx,
-                                           kernels::buildCfdStepFactor());
-    auto p2 = ocl::createProgramWithSource(
-        ctx, kernels::buildCfdComputeFlux());
-    auto p3 = ocl::createProgramWithSource(ctx,
-                                           kernels::buildCfdTimeStep());
-    std::string err;
-    if (!ocl::buildProgram(p1, &err) || !ocl::buildProgram(p2, &err) ||
-        !ocl::buildProgram(p3, &err)) {
-        res.skipReason = err;
-        return res;
-    }
-    auto k_sf = ocl::createKernel(p1, "cfd_compute_step_factor", &err);
-    auto k_flux = ocl::createKernel(p2, "cfd_compute_flux", &err);
-    auto k_ts = ocl::createKernel(p3, "cfd_time_step", &err);
-    VCB_ASSERT(k_sf.valid() && k_flux.valid() && k_ts.valid(),
-               "kernel creation failed: %s", err.c_str());
-
-    double t_total0 = ctx.hostNowNs();
-    uint32_t n = mesh.n;
-    auto b_var = ocl::createBuffer(ctx, ocl::MemReadWrite, 5ull * n * 4);
-    auto b_area = ocl::createBuffer(ctx, ocl::MemReadOnly,
-                                    uint64_t(n) * 4);
-    auto b_nb = ocl::createBuffer(ctx, ocl::MemReadOnly, 4ull * n * 4);
-    auto b_norm = ocl::createBuffer(ctx, ocl::MemReadOnly, 4ull * n * 4);
-    auto b_sf = ocl::createBuffer(ctx, ocl::MemReadWrite,
-                                  uint64_t(n) * 4);
-    auto b_flux = ocl::createBuffer(ctx, ocl::MemReadWrite,
-                                    5ull * n * 4);
-    ocl::enqueueWriteBuffer(ctx, b_var, true, 0, 5ull * n * 4,
-                            mesh.variables.data());
-    ocl::enqueueWriteBuffer(ctx, b_area, true, 0, uint64_t(n) * 4,
-                            mesh.areas.data());
-    ocl::enqueueWriteBuffer(ctx, b_nb, true, 0, 4ull * n * 4,
-                            mesh.neighbors.data());
-    ocl::enqueueWriteBuffer(ctx, b_norm, true, 0, 4ull * n * 4,
-                            mesh.normals.data());
-
-    ocl::setKernelArgBuffer(k_sf, 0, b_var);
-    ocl::setKernelArgBuffer(k_sf, 1, b_area);
-    ocl::setKernelArgBuffer(k_sf, 2, b_sf);
-    ocl::setKernelArgScalar(k_sf, 0, n);
-    ocl::setKernelArgBuffer(k_flux, 0, b_var);
-    ocl::setKernelArgBuffer(k_flux, 1, b_nb);
-    ocl::setKernelArgBuffer(k_flux, 2, b_norm);
-    ocl::setKernelArgBuffer(k_flux, 3, b_flux);
-    ocl::setKernelArgScalar(k_flux, 0, n);
-    ocl::setKernelArgBuffer(k_ts, 0, b_var);
-    ocl::setKernelArgBuffer(k_ts, 1, b_sf);
-    ocl::setKernelArgBuffer(k_ts, 2, b_flux);
-    ocl::setKernelArgScalar(k_ts, 0, n);
-    ocl::setKernelArgScalarF(k_ts, 1, rkFactor);
-
-    uint32_t global = (uint32_t)ceilDiv(n, 128) * 128;
-
-    double t0 = ctx.hostNowNs();
-    for (uint32_t it = 0; it < iterations; ++it) {
-        ocl::enqueueNDRangeKernel(ctx, k_sf, global);
-        ocl::enqueueNDRangeKernel(ctx, k_flux, global);
-        ocl::enqueueNDRangeKernel(ctx, k_ts, global);
-        res.launches += 3;
-        ctx.finish();
-    }
-    res.kernelRegionNs = ctx.hostNowNs() - t0;
-
-    std::vector<float> var(5ull * n);
-    ocl::enqueueReadBuffer(ctx, b_var, true, 0, 5ull * n * 4,
-                           var.data());
-    res.totalNs = ctx.hostNowNs() - t_total0;
-    return finish(std::move(res), mesh, std::move(var));
-}
-
-RunResult
-runCuda(const sim::DeviceSpec &dev, const Mesh &mesh)
-{
-    RunResult res;
-    if (!cuda::available(dev)) {
-        res.skipReason = "CUDA not supported on this device";
-        return res;
-    }
-    cuda::Runtime rt(dev);
-    auto f_sf = rt.loadFunction(kernels::buildCfdStepFactor());
-    auto f_flux = rt.loadFunction(kernels::buildCfdComputeFlux());
-    auto f_ts = rt.loadFunction(kernels::buildCfdTimeStep());
-
-    double t_total0 = rt.hostNowNs();
-    uint32_t n = mesh.n;
-    auto d_var = rt.malloc(5ull * n * 4);
-    auto d_area = rt.malloc(uint64_t(n) * 4);
-    auto d_nb = rt.malloc(4ull * n * 4);
-    auto d_norm = rt.malloc(4ull * n * 4);
-    auto d_sf = rt.malloc(uint64_t(n) * 4);
-    auto d_flux = rt.malloc(5ull * n * 4);
-    rt.memcpyHtoD(d_var, mesh.variables.data(), 5ull * n * 4);
-    rt.memcpyHtoD(d_area, mesh.areas.data(), uint64_t(n) * 4);
-    rt.memcpyHtoD(d_nb, mesh.neighbors.data(), 4ull * n * 4);
-    rt.memcpyHtoD(d_norm, mesh.normals.data(), 4ull * n * 4);
-
-    uint32_t rk_bits;
-    std::memcpy(&rk_bits, &rkFactor, 4);
-    uint32_t groups = (uint32_t)ceilDiv(n, 128);
-
-    double t0 = rt.hostNowNs();
-    for (uint32_t it = 0; it < iterations; ++it) {
-        rt.launchKernel(f_sf, groups, 1, 1, {d_var, d_area, d_sf}, {n});
-        rt.launchKernel(f_flux, groups, 1, 1,
-                        {d_var, d_nb, d_norm, d_flux}, {n});
-        rt.launchKernel(f_ts, groups, 1, 1, {d_var, d_sf, d_flux},
-                        {n, rk_bits});
-        res.launches += 3;
-        rt.deviceSynchronize();
-    }
-    res.kernelRegionNs = rt.hostNowNs() - t0;
-
-    std::vector<float> var(5ull * n);
-    rt.memcpyDtoH(var.data(), d_var, 5ull * n * 4);
-    res.totalNs = rt.hostNowNs() - t_total0;
-    return finish(std::move(res), mesh, std::move(var));
+    // Three pipeline binds per iteration — cfd's Vulkan tax.
+    w.body = {dispatchStep(0, groups, 1, 1, {pw(n)},
+                           {{0, B_VAR}, {1, B_AREA}, {2, B_SF}}),
+              barrierStep(),
+              dispatchStep(1, groups, 1, 1, {pw(n)},
+                           {{0, B_VAR},
+                            {1, B_NB},
+                            {2, B_NORM},
+                            {3, B_FLUX}}),
+              barrierStep(),
+              dispatchStep(2, groups, 1, 1, {pw(n), pwF(rkFactor)},
+                           {{0, B_VAR}, {1, B_SF}, {2, B_FLUX}}),
+              barrierStep(),
+              syncStep()};
+    w.iterations = iterations;
+    w.epilogue = {readbackStep(B_VAR, H_VAR)};
+    w.preferred = SubmitStrategy::Batched;
+    w.validate = [in](const HostArrays &h) {
+        return compareFloats(floatsOf(h[H_VAR]), referenceCfd(*in),
+                             1e-3, 1e-4);
+    };
+    return w;
 }
 
 class CfdBenchmark : public Benchmark
@@ -365,20 +193,11 @@ class CfdBenchmark : public Benchmark
                "could not fit on both platforms')";
     }
 
-    RunResult run(const sim::DeviceSpec &dev, sim::Api api,
-                  const SizeConfig &cfg) const override
+    Workload workload(const SizeConfig &cfg) const override
     {
-        Mesh m = generateMesh(static_cast<uint32_t>(cfg.params[0]),
-                              workloadSeed(name(), cfg));
-        switch (api) {
-          case sim::Api::Vulkan:
-            return runVulkan(dev, m);
-          case sim::Api::OpenCl:
-            return runOpenCl(dev, m);
-          case sim::Api::Cuda:
-            return runCuda(dev, m);
-        }
-        return RunResult();
+        return makeWorkload(
+            generateMesh(static_cast<uint32_t>(cfg.params[0]),
+                         workloadSeed(name(), cfg)));
     }
 };
 

@@ -3,20 +3,23 @@
  * gaussian — Gaussian Elimination (Dense Linear Algebra).
  *
  * n-1 dependent elimination steps of two kernels each (Fan1, Fan2).
- * CUDA/OpenCL: blocking multi-kernel iterations.  Vulkan: all steps in
- * one command buffer, per-step scalars delivered via push constants.
+ * The per-step push constants (n, t) and dispatch sizes shrink as the
+ * elimination proceeds, so the body varies per iteration: the
+ * preferred Vulkan strategy is batched (all steps recorded into one
+ * command buffer, the paper's method), with re-record-per-iteration as
+ * the sweepable naive baseline.  CUDA/OpenCL: blocking multi-kernel
+ * iterations.
  */
 
 #include "suite/benchmark.h"
 
-#include "common/logging.h"
+#include <memory>
+
 #include "common/mathutil.h"
 #include "common/rng.h"
-#include "cuda/cuda_rt.h"
 #include "kernels/kernels.h"
-#include "ocl/ocl.h"
 #include "suite/validate.h"
-#include "suite/vkhelp.h"
+#include "suite/workloads.h"
 
 namespace vcb::suite {
 
@@ -73,187 +76,52 @@ referenceEliminate(LinearSystem &s, std::vector<float> *m_out)
         *m_out = std::move(m);
 }
 
-RunResult
-finish(RunResult res, const LinearSystem &sys, std::vector<float> a,
-       std::vector<float> b)
-{
-    LinearSystem ref = sys;
-    referenceEliminate(ref, nullptr);
-    res.validationError = compareFloats(a, ref.a, 2e-3, 1e-3);
-    if (res.validationError.empty())
-        res.validationError = compareFloats(b, ref.b, 2e-3, 1e-3);
-    res.validated = res.validationError.empty();
-    res.ok = true;
-    return res;
-}
+enum BufferIx : size_t { B_A, B_M, B_B };
+enum HostIx : size_t { H_A, H_B };
 
-RunResult
-runVulkan(const sim::DeviceSpec &dev, const LinearSystem &sys)
+Workload
+makeWorkload(LinearSystem s)
 {
-    RunResult res;
-    VkContext ctx = VkContext::create(dev);
-    VkKernel k1, k2;
-    std::string err =
-        createVkKernel(ctx, kernels::buildGaussianFan1(), &k1);
-    if (err.empty())
-        err = createVkKernel(ctx, kernels::buildGaussianFan2(), &k2);
-    if (!err.empty()) {
-        res.skipReason = err;
-        return res;
-    }
-
-    double t_total0 = ctx.now();
+    auto in = std::make_shared<const LinearSystem>(std::move(s));
+    const LinearSystem &sys = *in;
     uint32_t n = sys.n;
-    uint64_t mat_bytes = uint64_t(n) * n * 4;
-    auto b_a = ctx.createDeviceBuffer(mat_bytes);
-    auto b_m = ctx.createDeviceBuffer(mat_bytes);
-    auto b_b = ctx.createDeviceBuffer(uint64_t(n) * 4);
-    ctx.upload(b_a, sys.a.data(), mat_bytes);
-    ctx.upload(b_b, sys.b.data(), uint64_t(n) * 4);
 
-    auto s1 = makeDescriptorSet(ctx, k1, {{0, b_a}, {1, b_m}});
-    auto s2 = makeDescriptorSet(ctx, k2,
-                                {{0, b_a}, {1, b_m}, {2, b_b}});
+    Workload w;
+    w.name = "gaussian";
+    w.kernels = {kernels::buildGaussianFan1(),
+                 kernels::buildGaussianFan2()};
+    w.buffers = {{uint64_t(n) * n * 4, wordsOf(sys.a)},
+                 {uint64_t(n) * n * 4, {}},
+                 {uint64_t(n) * 4, wordsOf(sys.b)}};
+    w.host = {std::vector<uint32_t>(uint64_t(n) * n),
+              std::vector<uint32_t>(n)};
 
-    // All n-1 steps recorded once; push constants carry (n, t).
-    vkm::CommandBuffer cb;
-    vkm::check(vkm::allocateCommandBuffer(ctx.device, ctx.cmdPool, &cb),
-               "allocateCommandBuffer");
-    vkm::check(vkm::beginCommandBuffer(cb), "beginCommandBuffer");
-    for (uint32_t t = 0; t + 1 < n; ++t) {
-        uint32_t push[2] = {n, t};
+    w.bodyFor = [n](uint32_t t) {
         uint32_t rows = n - 1 - t;
-        vkm::cmdBindPipeline(cb, k1.pipeline);
-        vkm::cmdBindDescriptorSet(cb, k1.layout, 0, s1);
-        vkm::cmdPushConstants(cb, k1.layout, 0, 8, push);
-        vkm::cmdDispatch(cb, (uint32_t)ceilDiv(rows, 256), 1, 1);
-        vkm::cmdPipelineBarrier(cb);
-        vkm::cmdBindPipeline(cb, k2.pipeline);
-        vkm::cmdBindDescriptorSet(cb, k2.layout, 0, s2);
-        vkm::cmdPushConstants(cb, k2.layout, 0, 8, push);
         uint64_t cells = uint64_t(rows) * (n - t);
-        vkm::cmdDispatch(cb, (uint32_t)ceilDiv(cells, 256), 1, 1);
-        vkm::cmdPipelineBarrier(cb);
-        res.launches += 2;
-    }
-    vkm::check(vkm::endCommandBuffer(cb), "endCommandBuffer");
-
-    vkm::Fence fence;
-    vkm::check(vkm::createFence(ctx.device, &fence), "createFence");
-
-    double t0 = ctx.now();
-    vkm::SubmitInfo si;
-    si.commandBuffers.push_back(cb);
-    vkm::check(vkm::queueSubmit(ctx.queue, {si}, fence), "queueSubmit");
-    vkm::check(vkm::waitForFences(ctx.device, {fence}), "waitForFences");
-    res.kernelRegionNs = ctx.now() - t0;
-
-    std::vector<float> a(uint64_t(n) * n), b(n);
-    ctx.download(b_a, a.data(), mat_bytes);
-    ctx.download(b_b, b.data(), uint64_t(n) * 4);
-    res.totalNs = ctx.now() - t_total0;
-    return finish(res, sys, std::move(a), std::move(b));
-}
-
-RunResult
-runOpenCl(const sim::DeviceSpec &dev, const LinearSystem &sys)
-{
-    RunResult res;
-    ocl::Context ctx(dev);
-    auto p1 = ocl::createProgramWithSource(ctx,
-                                           kernels::buildGaussianFan1());
-    auto p2 = ocl::createProgramWithSource(ctx,
-                                           kernels::buildGaussianFan2());
-    std::string err;
-    if (!ocl::buildProgram(p1, &err) || !ocl::buildProgram(p2, &err)) {
-        res.skipReason = err;
-        return res;
-    }
-    auto k1 = ocl::createKernel(p1, "gaussian_fan1", &err);
-    auto k2 = ocl::createKernel(p2, "gaussian_fan2", &err);
-    VCB_ASSERT(k1.valid() && k2.valid(), "kernel creation failed: %s",
-               err.c_str());
-
-    double t_total0 = ctx.hostNowNs();
-    uint32_t n = sys.n;
-    uint64_t mat_bytes = uint64_t(n) * n * 4;
-    auto b_a = ocl::createBuffer(ctx, ocl::MemReadWrite, mat_bytes);
-    auto b_m = ocl::createBuffer(ctx, ocl::MemReadWrite, mat_bytes);
-    auto b_b = ocl::createBuffer(ctx, ocl::MemReadWrite,
-                                 uint64_t(n) * 4);
-    ocl::enqueueWriteBuffer(ctx, b_a, true, 0, mat_bytes, sys.a.data());
-    ocl::enqueueWriteBuffer(ctx, b_b, true, 0, uint64_t(n) * 4,
-                            sys.b.data());
-
-    ocl::setKernelArgBuffer(k1, 0, b_a);
-    ocl::setKernelArgBuffer(k1, 1, b_m);
-    ocl::setKernelArgBuffer(k2, 0, b_a);
-    ocl::setKernelArgBuffer(k2, 1, b_m);
-    ocl::setKernelArgBuffer(k2, 2, b_b);
-
-    double t0 = ctx.hostNowNs();
-    for (uint32_t t = 0; t + 1 < n; ++t) {
-        uint32_t rows = n - 1 - t;
-        ocl::setKernelArgScalar(k1, 0, n);
-        ocl::setKernelArgScalar(k1, 1, t);
-        ocl::enqueueNDRangeKernel(
-            ctx, k1, (uint32_t)ceilDiv(rows, 256) * 256);
-        ocl::setKernelArgScalar(k2, 0, n);
-        ocl::setKernelArgScalar(k2, 1, t);
-        uint64_t cells = uint64_t(rows) * (n - t);
-        ocl::enqueueNDRangeKernel(
-            ctx, k2, (uint32_t)ceilDiv(cells, 256) * 256);
-        res.launches += 2;
-        ctx.finish();
-    }
-    res.kernelRegionNs = ctx.hostNowNs() - t0;
-
-    std::vector<float> a(uint64_t(n) * n), b(n);
-    ocl::enqueueReadBuffer(ctx, b_a, true, 0, mat_bytes, a.data());
-    ocl::enqueueReadBuffer(ctx, b_b, true, 0, uint64_t(n) * 4, b.data());
-    res.totalNs = ctx.hostNowNs() - t_total0;
-    return finish(res, sys, std::move(a), std::move(b));
-}
-
-RunResult
-runCuda(const sim::DeviceSpec &dev, const LinearSystem &sys)
-{
-    RunResult res;
-    if (!cuda::available(dev)) {
-        res.skipReason = "CUDA not supported on this device";
-        return res;
-    }
-    cuda::Runtime rt(dev);
-    auto f1 = rt.loadFunction(kernels::buildGaussianFan1());
-    auto f2 = rt.loadFunction(kernels::buildGaussianFan2());
-
-    double t_total0 = rt.hostNowNs();
-    uint32_t n = sys.n;
-    uint64_t mat_bytes = uint64_t(n) * n * 4;
-    auto d_a = rt.malloc(mat_bytes);
-    auto d_m = rt.malloc(mat_bytes);
-    auto d_b = rt.malloc(uint64_t(n) * 4);
-    rt.memcpyHtoD(d_a, sys.a.data(), mat_bytes);
-    rt.memcpyHtoD(d_b, sys.b.data(), uint64_t(n) * 4);
-
-    double t0 = rt.hostNowNs();
-    for (uint32_t t = 0; t + 1 < n; ++t) {
-        uint32_t rows = n - 1 - t;
-        rt.launchKernel(f1, (uint32_t)ceilDiv(rows, 256), 1, 1,
-                        {d_a, d_m}, {n, t});
-        uint64_t cells = uint64_t(rows) * (n - t);
-        rt.launchKernel(f2, (uint32_t)ceilDiv(cells, 256), 1, 1,
-                        {d_a, d_m, d_b}, {n, t});
-        res.launches += 2;
-        rt.deviceSynchronize();
-    }
-    res.kernelRegionNs = rt.hostNowNs() - t0;
-
-    std::vector<float> a(uint64_t(n) * n), b(n);
-    rt.memcpyDtoH(a.data(), d_a, mat_bytes);
-    rt.memcpyDtoH(b.data(), d_b, uint64_t(n) * 4);
-    res.totalNs = rt.hostNowNs() - t_total0;
-    return finish(res, sys, std::move(a), std::move(b));
+        return std::vector<WorkloadStep>{
+            dispatchStep(0, (uint32_t)ceilDiv(rows, 256), 1, 1,
+                         {pw(n), pw(t)}, {{0, B_A}, {1, B_M}}),
+            barrierStep(),
+            dispatchStep(1, (uint32_t)ceilDiv(cells, 256), 1, 1,
+                         {pw(n), pw(t)},
+                         {{0, B_A}, {1, B_M}, {2, B_B}}),
+            barrierStep(),
+            syncStep()};
+    };
+    w.iterations = n - 1;
+    w.epilogue = {readbackStep(B_A, H_A), readbackStep(B_B, H_B)};
+    w.preferred = SubmitStrategy::Batched;
+    w.validate = [in](const HostArrays &h) {
+        LinearSystem ref = *in;
+        referenceEliminate(ref, nullptr);
+        std::string err =
+            compareFloats(floatsOf(h[H_A]), ref.a, 2e-3, 1e-3);
+        if (err.empty())
+            err = compareFloats(floatsOf(h[H_B]), ref.b, 2e-3, 1e-3);
+        return err;
+    };
+    return w;
 }
 
 class GaussianBenchmark : public Benchmark
@@ -280,21 +148,11 @@ class GaussianBenchmark : public Benchmark
         return {{"208", {48}}, {"416", {80}}};
     }
 
-    RunResult run(const sim::DeviceSpec &dev, sim::Api api,
-                  const SizeConfig &cfg) const override
+    Workload workload(const SizeConfig &cfg) const override
     {
-        LinearSystem sys = generateSystem(
-            static_cast<uint32_t>(cfg.params[0]),
-            workloadSeed(name(), cfg));
-        switch (api) {
-          case sim::Api::Vulkan:
-            return runVulkan(dev, sys);
-          case sim::Api::OpenCl:
-            return runOpenCl(dev, sys);
-          case sim::Api::Cuda:
-            return runCuda(dev, sys);
-        }
-        return RunResult();
+        return makeWorkload(
+            generateSystem(static_cast<uint32_t>(cfg.params[0]),
+                           workloadSeed(name(), cfg)));
     }
 };
 

@@ -4,24 +4,24 @@
  *
  * S dependent stencil steps over a g x g die; shared-memory tiled
  * kernel (the benchmark behind the Nexus Vulkan slowdown — weak
- * shared-memory codegen, Sec. V-B2).  CUDA/OpenCL: blocking step
- * loop; Vulkan: one command buffer, descriptor-set ping-pong.
+ * shared-memory codegen, Sec. V-B2).  The two buffers ping-pong via
+ * alternating binding lists, so the body varies per iteration:
+ * preferred Vulkan strategy batched (one command buffer, descriptor
+ * ping-pong), with re-record as the sweepable baseline.  CUDA/OpenCL:
+ * blocking step loop.
  */
 
 #include "suite/benchmark.h"
 
 #include <algorithm>
 #include <cmath>
-#include <cstring>
+#include <memory>
 
-#include "common/logging.h"
 #include "common/mathutil.h"
 #include "common/rng.h"
-#include "cuda/cuda_rt.h"
 #include "kernels/kernels.h"
-#include "ocl/ocl.h"
 #include "suite/validate.h"
-#include "suite/vkhelp.h"
+#include "suite/workloads.h"
 
 namespace vcb::suite {
 
@@ -89,172 +89,51 @@ referenceHotspot(const Die &d)
     return cur;
 }
 
-std::vector<uint32_t>
+std::vector<PushWord>
 pushWords(const Die &d)
 {
-    std::vector<uint32_t> push(6);
-    push[0] = d.g;
-    std::memcpy(&push[1], &d.cc, 4);
-    std::memcpy(&push[2], &d.rxInv, 4);
-    std::memcpy(&push[3], &d.ryInv, 4);
-    std::memcpy(&push[4], &d.rzInv, 4);
-    std::memcpy(&push[5], &d.amb, 4);
-    return push;
+    return {pw(d.g),     pwF(d.cc),    pwF(d.rxInv),
+            pwF(d.ryInv), pwF(d.rzInv), pwF(d.amb)};
 }
 
-RunResult
-runVulkan(const sim::DeviceSpec &dev, const Die &d)
+enum BufferIx : size_t { B_TA, B_P, B_TB };
+enum HostIx : size_t { H_OUT };
+
+Workload
+makeWorkload(Die die)
 {
-    RunResult res;
-    VkContext ctx = VkContext::create(dev);
-    VkKernel k;
-    std::string err = createVkKernel(ctx, kernels::buildHotspotStep(), &k);
-    if (!err.empty()) {
-        res.skipReason = err;
-        return res;
-    }
-
-    double t_total0 = ctx.now();
+    auto in = std::make_shared<const Die>(std::move(die));
+    const Die &d = *in;
     uint64_t bytes = uint64_t(d.g) * d.g * 4;
-    auto b_a = ctx.createDeviceBuffer(bytes);
-    auto b_b = ctx.createDeviceBuffer(bytes);
-    auto b_p = ctx.createDeviceBuffer(bytes);
-    ctx.upload(b_a, d.temp.data(), bytes);
-    ctx.upload(b_p, d.power.data(), bytes);
 
-    auto s_ab = makeDescriptorSet(ctx, k, {{0, b_a}, {1, b_p}, {2, b_b}});
-    auto s_ba = makeDescriptorSet(ctx, k, {{0, b_b}, {1, b_p}, {2, b_a}});
+    Workload w;
+    w.name = "hotspot";
+    w.kernels = {kernels::buildHotspotStep()};
+    w.buffers = {{bytes, wordsOf(d.temp)},
+                 {bytes, wordsOf(d.power)},
+                 {bytes, {}}};
+    w.host = {std::vector<uint32_t>(uint64_t(d.g) * d.g)};
 
-    auto push = pushWords(d);
     uint32_t groups = d.g / kernels::blockSize;
-
-    vkm::CommandBuffer cb;
-    vkm::check(vkm::allocateCommandBuffer(ctx.device, ctx.cmdPool, &cb),
-               "allocateCommandBuffer");
-    vkm::check(vkm::beginCommandBuffer(cb), "beginCommandBuffer");
-    vkm::cmdBindPipeline(cb, k.pipeline);
-    vkm::cmdPushConstants(cb, k.layout, 0,
-                          (uint32_t)push.size() * 4, push.data());
-    for (uint32_t s = 0; s < d.steps; ++s) {
-        vkm::cmdBindDescriptorSet(cb, k.layout, 0,
-                                  (s % 2 == 0) ? s_ab : s_ba);
-        vkm::cmdDispatch(cb, groups, groups, 1);
-        vkm::cmdPipelineBarrier(cb);
-        res.launches += 1;
-    }
-    vkm::check(vkm::endCommandBuffer(cb), "endCommandBuffer");
-
-    vkm::Fence fence;
-    vkm::check(vkm::createFence(ctx.device, &fence), "createFence");
-
-    double t0 = ctx.now();
-    vkm::SubmitInfo si;
-    si.commandBuffers.push_back(cb);
-    vkm::check(vkm::queueSubmit(ctx.queue, {si}, fence), "queueSubmit");
-    vkm::check(vkm::waitForFences(ctx.device, {fence}), "waitForFences");
-    res.kernelRegionNs = ctx.now() - t0;
-
-    std::vector<float> out(uint64_t(d.g) * d.g);
-    ctx.download((d.steps % 2 == 0) ? b_a : b_b, out.data(), bytes);
-    res.totalNs = ctx.now() - t_total0;
-
-    res.validationError = compareFloats(out, referenceHotspot(d));
-    res.validated = res.validationError.empty();
-    res.ok = true;
-    return res;
-}
-
-RunResult
-runOpenCl(const sim::DeviceSpec &dev, const Die &d)
-{
-    RunResult res;
-    ocl::Context ctx(dev);
-    auto prog =
-        ocl::createProgramWithSource(ctx, kernels::buildHotspotStep());
-    std::string err;
-    if (!ocl::buildProgram(prog, &err)) {
-        res.skipReason = err;
-        return res;
-    }
-    auto k = ocl::createKernel(prog, "hotspot_step", &err);
-    VCB_ASSERT(k.valid(), "kernel creation failed: %s", err.c_str());
-
-    double t_total0 = ctx.hostNowNs();
-    uint64_t bytes = uint64_t(d.g) * d.g * 4;
-    auto b_a = ocl::createBuffer(ctx, ocl::MemReadWrite, bytes);
-    auto b_b = ocl::createBuffer(ctx, ocl::MemReadWrite, bytes);
-    auto b_p = ocl::createBuffer(ctx, ocl::MemReadOnly, bytes);
-    ocl::enqueueWriteBuffer(ctx, b_a, true, 0, bytes, d.temp.data());
-    ocl::enqueueWriteBuffer(ctx, b_p, true, 0, bytes, d.power.data());
-
     auto push = pushWords(d);
-    uint32_t global = d.g;
-
-    double t0 = ctx.hostNowNs();
-    for (uint32_t s = 0; s < d.steps; ++s) {
-        ocl::setKernelArgBuffer(k, 0, (s % 2 == 0) ? b_a : b_b);
-        ocl::setKernelArgBuffer(k, 1, b_p);
-        ocl::setKernelArgBuffer(k, 2, (s % 2 == 0) ? b_b : b_a);
-        for (uint32_t w = 0; w < push.size(); ++w)
-            ocl::setKernelArgScalar(k, w, push[w]);
-        ocl::enqueueNDRangeKernel(ctx, k, global, global);
-        res.launches += 1;
-        ctx.finish();
-    }
-    res.kernelRegionNs = ctx.hostNowNs() - t0;
-
-    std::vector<float> out(uint64_t(d.g) * d.g);
-    ocl::enqueueReadBuffer(ctx, (d.steps % 2 == 0) ? b_a : b_b, true, 0,
-                           bytes, out.data());
-    res.totalNs = ctx.hostNowNs() - t_total0;
-
-    res.validationError = compareFloats(out, referenceHotspot(d));
-    res.validated = res.validationError.empty();
-    res.ok = true;
-    return res;
-}
-
-RunResult
-runCuda(const sim::DeviceSpec &dev, const Die &d)
-{
-    RunResult res;
-    if (!cuda::available(dev)) {
-        res.skipReason = "CUDA not supported on this device";
-        return res;
-    }
-    cuda::Runtime rt(dev);
-    auto f = rt.loadFunction(kernels::buildHotspotStep());
-
-    double t_total0 = rt.hostNowNs();
-    uint64_t bytes = uint64_t(d.g) * d.g * 4;
-    auto d_a = rt.malloc(bytes);
-    auto d_b = rt.malloc(bytes);
-    auto d_p = rt.malloc(bytes);
-    rt.memcpyHtoD(d_a, d.temp.data(), bytes);
-    rt.memcpyHtoD(d_p, d.power.data(), bytes);
-
-    auto push = pushWords(d);
-    std::vector<uint32_t> scalars(push.begin(), push.end());
-    uint32_t groups = d.g / kernels::blockSize;
-
-    double t0 = rt.hostNowNs();
-    for (uint32_t s = 0; s < d.steps; ++s) {
-        auto &src = (s % 2 == 0) ? d_a : d_b;
-        auto &dst = (s % 2 == 0) ? d_b : d_a;
-        rt.launchKernel(f, groups, groups, 1, {src, d_p, dst}, scalars);
-        res.launches += 1;
-        rt.deviceSynchronize();
-    }
-    res.kernelRegionNs = rt.hostNowNs() - t0;
-
-    std::vector<float> out(uint64_t(d.g) * d.g);
-    rt.memcpyDtoH(out.data(), (d.steps % 2 == 0) ? d_a : d_b, bytes);
-    res.totalNs = rt.hostNowNs() - t_total0;
-
-    res.validationError = compareFloats(out, referenceHotspot(d));
-    res.validated = res.validationError.empty();
-    res.ok = true;
-    return res;
+    w.bodyFor = [groups, push](uint32_t s) {
+        // Ping-pong: even steps read A write B, odd the reverse.
+        bool even = s % 2 == 0;
+        return std::vector<WorkloadStep>{
+            dispatchStep(0, groups, groups, 1, push,
+                         {{0, even ? B_TA : B_TB},
+                          {1, B_P},
+                          {2, even ? B_TB : B_TA}}),
+            barrierStep(), syncStep()};
+    };
+    w.iterations = d.steps;
+    w.epilogue = {
+        readbackStep((d.steps % 2 == 0) ? B_TA : B_TB, H_OUT)};
+    w.preferred = SubmitStrategy::Batched;
+    w.validate = [in](const HostArrays &h) {
+        return compareFloats(floatsOf(h[H_OUT]), referenceHotspot(*in));
+    };
+    return w;
 }
 
 class HotspotBenchmark : public Benchmark
@@ -280,21 +159,12 @@ class HotspotBenchmark : public Benchmark
         return {{"128-8", {128, 8}}, {"128-16", {128, 16}}};
     }
 
-    RunResult run(const sim::DeviceSpec &dev, sim::Api api,
-                  const SizeConfig &cfg) const override
+    Workload workload(const SizeConfig &cfg) const override
     {
-        Die d = generateDie(static_cast<uint32_t>(cfg.params[0]),
-                            static_cast<uint32_t>(cfg.params[1]),
-                            workloadSeed(name(), cfg));
-        switch (api) {
-          case sim::Api::Vulkan:
-            return runVulkan(dev, d);
-          case sim::Api::OpenCl:
-            return runOpenCl(dev, d);
-          case sim::Api::Cuda:
-            return runCuda(dev, d);
-        }
-        return RunResult();
+        return makeWorkload(
+            generateDie(static_cast<uint32_t>(cfg.params[0]),
+                        static_cast<uint32_t>(cfg.params[1]),
+                        workloadSeed(name(), cfg)));
     }
 };
 

@@ -7,24 +7,22 @@
  * but the centroids are recomputed on the host from the memberships,
  * so every iteration uploads centroids, dispatches, and reads the
  * membership array and the atomic changed-counter back — the blocking
- * multi-kernel method on every API.  Vulkan records the per-iteration
- * command buffer once and resubmits it; the iteration count is decided
+ * multi-kernel method on every API.  The per-iteration program is
+ * identical (only buffer contents move), so the preferred Vulkan
+ * strategy is record-once-resubmit; the iteration count is decided
  * purely by the data (loop until delta == 0 or maxIters), which is
  * what the convergence-determinism tests pin down.
  */
 
 #include "suite/benchmark.h"
 
-#include <bit>
+#include <memory>
 
-#include "common/logging.h"
 #include "common/mathutil.h"
 #include "common/rng.h"
-#include "cuda/cuda_rt.h"
 #include "kernels/kernels.h"
-#include "ocl/ocl.h"
 #include "suite/validate.h"
-#include "suite/vkhelp.h"
+#include "suite/workloads.h"
 
 namespace vcb::suite {
 
@@ -87,9 +85,9 @@ assignOnCpu(const Points &p, const std::vector<float> &soa,
     return delta;
 }
 
-/** Host-side centroid update shared by the reference and every API
- *  path: mean of each cluster's members, empty clusters keep their
- *  previous centre. */
+/** Host-side centroid update shared by the reference and the
+ *  workload's host callback: mean of each cluster's members, empty
+ *  clusters keep their previous centre. */
 void
 updateCentroids(const Points &p, const std::vector<int32_t> &mem,
                 std::vector<float> &cent)
@@ -144,236 +142,60 @@ referenceKmeans(const Points &p)
     return mem;
 }
 
-RunResult
-runVulkan(const sim::DeviceSpec &dev, const Points &p)
-{
-    RunResult res;
-    VkContext ctx = VkContext::create(dev);
-    VkKernel k_swap, k_assign;
-    std::string err = createVkKernel(ctx, kernels::buildKmeansSwap(), &k_swap);
-    if (err.empty())
-        err = createVkKernel(ctx, kernels::buildKmeansAssign(), &k_assign);
-    if (!err.empty()) {
-        res.skipReason = err;
-        return res;
-    }
+enum BufferIx : size_t { B_AOS, B_SOA, B_CENT, B_MEM, B_DELTA };
+enum HostIx : size_t { H_ZERO, H_CENT, H_DELTA, H_MEM };
 
-    double t_total0 = ctx.now();
+Workload
+makeWorkload(Points pts)
+{
+    auto in = std::make_shared<const Points>(std::move(pts));
+    const Points &p = *in;
     uint64_t feat_bytes = uint64_t(p.n) * p.f * 4;
     uint64_t cent_bytes = uint64_t(p.k) * p.f * 4;
     uint64_t mem_bytes = uint64_t(p.n) * 4;
-    auto b_aos = ctx.createDeviceBuffer(feat_bytes);
-    auto b_soa = ctx.createDeviceBuffer(feat_bytes);
-    auto b_cent = ctx.createDeviceBuffer(cent_bytes);
-    auto b_mem = ctx.createDeviceBuffer(mem_bytes);
-    auto b_delta = ctx.createDeviceBuffer(4);
 
-    std::vector<int32_t> mem(p.n, -1);
-    ctx.upload(b_aos, p.aos.data(), feat_bytes);
-    ctx.upload(b_mem, mem.data(), mem_bytes);
-
-    auto s_swap = makeDescriptorSet(ctx, k_swap, {{0, b_aos}, {1, b_soa}});
-    auto s_assign = makeDescriptorSet(
-        ctx, k_assign,
-        {{0, b_soa}, {1, b_cent}, {2, b_mem}, {3, b_delta}});
+    Workload w;
+    w.name = "kmeans";
+    w.kernels = {kernels::buildKmeansSwap(), kernels::buildKmeansAssign()};
+    w.buffers = {{feat_bytes, wordsOf(p.aos)},
+                 {feat_bytes, {}},
+                 {cent_bytes, {}},
+                 {mem_bytes, wordsOf(std::vector<int32_t>(p.n, -1))},
+                 {4, {}}};
+    w.host = {{0u},
+              wordsOf(initialCentroids(p)),
+              {0u},
+              std::vector<uint32_t>(p.n)};
 
     const uint32_t groups = (uint32_t)ceilDiv(p.n, 256);
-    vkm::Fence fence;
-    vkm::check(vkm::createFence(ctx.device, &fence), "createFence");
-
     // One-time feature transpose.
-    vkm::CommandBuffer cb_swap, cb;
-    vkm::check(vkm::allocateCommandBuffer(ctx.device, ctx.cmdPool, &cb_swap),
-               "allocateCommandBuffer");
-    vkm::check(vkm::beginCommandBuffer(cb_swap), "beginCommandBuffer");
-    uint32_t push_swap[2] = {p.n, p.f};
-    vkm::cmdBindPipeline(cb_swap, k_swap.pipeline);
-    vkm::cmdBindDescriptorSet(cb_swap, k_swap.layout, 0, s_swap);
-    vkm::cmdPushConstants(cb_swap, k_swap.layout, 0, 8, push_swap);
-    vkm::cmdDispatch(cb_swap, groups, 1, 1);
-    vkm::check(vkm::endCommandBuffer(cb_swap), "endCommandBuffer");
-
-    // The per-iteration command buffer is identical every iteration
-    // (only buffer contents change): record once, resubmit.
-    vkm::check(vkm::allocateCommandBuffer(ctx.device, ctx.cmdPool, &cb),
-               "allocateCommandBuffer");
-    vkm::check(vkm::beginCommandBuffer(cb), "beginCommandBuffer");
-    uint32_t push_assign[3] = {p.n, p.f, p.k};
-    vkm::cmdBindPipeline(cb, k_assign.pipeline);
-    vkm::cmdBindDescriptorSet(cb, k_assign.layout, 0, s_assign);
-    vkm::cmdPushConstants(cb, k_assign.layout, 0, 12, push_assign);
-    vkm::cmdDispatch(cb, groups, 1, 1);
-    vkm::check(vkm::endCommandBuffer(cb), "endCommandBuffer");
-
-    auto cent = initialCentroids(p);
-    int32_t delta = 0;
-
-    double t0 = ctx.now();
-    vkm::SubmitInfo si_swap;
-    si_swap.commandBuffers.push_back(cb_swap);
-    vkm::check(vkm::queueSubmit(ctx.queue, {si_swap}, fence),
-               "queueSubmit");
-    vkm::check(vkm::waitForFences(ctx.device, {fence}), "waitForFences");
-    vkm::check(vkm::resetFences(ctx.device, {fence}), "resetFences");
-    res.launches += 1;
-
-    for (uint32_t it = 0; it < kMaxIters; ++it) {
-        ctx.upload(b_cent, cent.data(), cent_bytes);
-        int32_t zero = 0;
-        ctx.upload(b_delta, &zero, 4);
-        vkm::SubmitInfo si;
-        si.commandBuffers.push_back(cb);
-        vkm::check(vkm::queueSubmit(ctx.queue, {si}, fence),
-                   "queueSubmit");
-        vkm::check(vkm::waitForFences(ctx.device, {fence}),
-                   "waitForFences");
-        vkm::check(vkm::resetFences(ctx.device, {fence}), "resetFences");
-        res.launches += 1;
-        ctx.download(b_delta, &delta, 4);
-        ctx.download(b_mem, mem.data(), mem_bytes);
-        updateCentroids(p, mem, cent);
-        if (delta == 0)
-            break;
-    }
-    res.kernelRegionNs = ctx.now() - t0;
-    res.totalNs = ctx.now() - t_total0;
-
-    res.validationError = compareInts(mem, referenceKmeans(p));
-    res.validated = res.validationError.empty();
-    res.ok = true;
-    return res;
-}
-
-RunResult
-runOpenCl(const sim::DeviceSpec &dev, const Points &p)
-{
-    RunResult res;
-    ocl::Context ctx(dev);
-    auto p_swap = ocl::createProgramWithSource(ctx, kernels::buildKmeansSwap());
-    auto p_assign =
-        ocl::createProgramWithSource(ctx, kernels::buildKmeansAssign());
-    std::string err;
-    if (!ocl::buildProgram(p_swap, &err) ||
-        !ocl::buildProgram(p_assign, &err)) {
-        res.skipReason = err;
-        return res;
-    }
-    auto k_swap = ocl::createKernel(p_swap, "kmeans_swap", &err);
-    auto k_assign = ocl::createKernel(p_assign, "kmeans_assign", &err);
-    VCB_ASSERT(k_swap.valid() && k_assign.valid(),
-               "kernel creation failed: %s", err.c_str());
-
-    double t_total0 = ctx.hostNowNs();
-    uint64_t feat_bytes = uint64_t(p.n) * p.f * 4;
-    uint64_t cent_bytes = uint64_t(p.k) * p.f * 4;
-    uint64_t mem_bytes = uint64_t(p.n) * 4;
-    auto b_aos = ocl::createBuffer(ctx, ocl::MemReadOnly, feat_bytes);
-    auto b_soa = ocl::createBuffer(ctx, ocl::MemReadWrite, feat_bytes);
-    auto b_cent = ocl::createBuffer(ctx, ocl::MemReadOnly, cent_bytes);
-    auto b_mem = ocl::createBuffer(ctx, ocl::MemReadWrite, mem_bytes);
-    auto b_delta = ocl::createBuffer(ctx, ocl::MemReadWrite, 4);
-
-    std::vector<int32_t> mem(p.n, -1);
-    ocl::enqueueWriteBuffer(ctx, b_aos, true, 0, feat_bytes, p.aos.data());
-    ocl::enqueueWriteBuffer(ctx, b_mem, true, 0, mem_bytes, mem.data());
-
-    ocl::setKernelArgBuffer(k_swap, 0, b_aos);
-    ocl::setKernelArgBuffer(k_swap, 1, b_soa);
-    ocl::setKernelArgScalar(k_swap, 0, p.n);
-    ocl::setKernelArgScalar(k_swap, 1, p.f);
-    ocl::setKernelArgBuffer(k_assign, 0, b_soa);
-    ocl::setKernelArgBuffer(k_assign, 1, b_cent);
-    ocl::setKernelArgBuffer(k_assign, 2, b_mem);
-    ocl::setKernelArgBuffer(k_assign, 3, b_delta);
-    ocl::setKernelArgScalar(k_assign, 0, p.n);
-    ocl::setKernelArgScalar(k_assign, 1, p.f);
-    ocl::setKernelArgScalar(k_assign, 2, p.k);
-
-    uint32_t global = (uint32_t)ceilDiv(p.n, 256) * 256;
-    auto cent = initialCentroids(p);
-    int32_t delta = 0;
-
-    double t0 = ctx.hostNowNs();
-    ocl::enqueueNDRangeKernel(ctx, k_swap, global);
-    res.launches += 1;
-    ctx.finish();
-    for (uint32_t it = 0; it < kMaxIters; ++it) {
-        int32_t zero = 0;
-        ocl::enqueueWriteBuffer(ctx, b_cent, false, 0, cent_bytes,
-                                cent.data());
-        ocl::enqueueWriteBuffer(ctx, b_delta, false, 0, 4, &zero);
-        ocl::enqueueNDRangeKernel(ctx, k_assign, global);
-        res.launches += 1;
-        ocl::enqueueReadBuffer(ctx, b_delta, true, 0, 4, &delta);
-        ocl::enqueueReadBuffer(ctx, b_mem, true, 0, mem_bytes, mem.data());
-        updateCentroids(p, mem, cent);
-        if (delta == 0)
-            break;
-    }
-    res.kernelRegionNs = ctx.hostNowNs() - t0;
-    res.totalNs = ctx.hostNowNs() - t_total0;
-
-    res.validationError = compareInts(mem, referenceKmeans(p));
-    res.validated = res.validationError.empty();
-    res.ok = true;
-    return res;
-}
-
-RunResult
-runCuda(const sim::DeviceSpec &dev, const Points &p)
-{
-    RunResult res;
-    if (!cuda::available(dev)) {
-        res.skipReason = "CUDA not supported on this device";
-        return res;
-    }
-    cuda::Runtime rt(dev);
-    auto f_swap = rt.loadFunction(kernels::buildKmeansSwap());
-    auto f_assign = rt.loadFunction(kernels::buildKmeansAssign());
-
-    double t_total0 = rt.hostNowNs();
-    uint64_t feat_bytes = uint64_t(p.n) * p.f * 4;
-    uint64_t cent_bytes = uint64_t(p.k) * p.f * 4;
-    uint64_t mem_bytes = uint64_t(p.n) * 4;
-    auto d_aos = rt.malloc(feat_bytes);
-    auto d_soa = rt.malloc(feat_bytes);
-    auto d_cent = rt.malloc(cent_bytes);
-    auto d_mem = rt.malloc(mem_bytes);
-    auto d_delta = rt.malloc(4);
-
-    std::vector<int32_t> mem(p.n, -1);
-    rt.memcpyHtoD(d_aos, p.aos.data(), feat_bytes);
-    rt.memcpyHtoD(d_mem, mem.data(), mem_bytes);
-
-    uint32_t groups = (uint32_t)ceilDiv(p.n, 256);
-    auto cent = initialCentroids(p);
-    int32_t delta = 0;
-
-    double t0 = rt.hostNowNs();
-    rt.launchKernel(f_swap, groups, 1, 1, {d_aos, d_soa}, {p.n, p.f});
-    res.launches += 1;
-    rt.deviceSynchronize();
-    for (uint32_t it = 0; it < kMaxIters; ++it) {
-        int32_t zero = 0;
-        rt.memcpyHtoD(d_cent, cent.data(), cent_bytes);
-        rt.memcpyHtoD(d_delta, &zero, 4);
-        rt.launchKernel(f_assign, groups, 1, 1,
-                        {d_soa, d_cent, d_mem, d_delta},
-                        {p.n, p.f, p.k});
-        res.launches += 1;
-        rt.memcpyDtoH(&delta, d_delta, 4);
-        rt.memcpyDtoH(mem.data(), d_mem, mem_bytes);
-        updateCentroids(p, mem, cent);
-        if (delta == 0)
-            break;
-    }
-    res.kernelRegionNs = rt.hostNowNs() - t0;
-    res.totalNs = rt.hostNowNs() - t_total0;
-
-    res.validationError = compareInts(mem, referenceKmeans(p));
-    res.validated = res.validationError.empty();
-    res.ok = true;
-    return res;
+    w.prologue = {dispatchStep(0, groups, 1, 1, {pw(p.n), pw(p.f)},
+                               {{0, B_AOS}, {1, B_SOA}})};
+    // The per-iteration program is identical every iteration (only
+    // buffer contents change): record once, resubmit.
+    w.body = {
+        uploadStep(B_CENT, H_CENT),
+        uploadStep(B_DELTA, H_ZERO),
+        dispatchStep(1, groups, 1, 1, {pw(p.n), pw(p.f), pw(p.k)},
+                     {{0, B_SOA}, {1, B_CENT}, {2, B_MEM}, {3, B_DELTA}}),
+        readbackStep(B_DELTA, H_DELTA),
+        readbackStep(B_MEM, H_MEM),
+        hostStep([in](HostArrays &h) {
+            std::vector<int32_t> mem = intsOf(h[H_MEM]);
+            std::vector<float> cent = floatsOf(h[H_CENT]);
+            updateCentroids(*in, mem, cent);
+            h[H_CENT] = wordsOf(cent);
+        }),
+    };
+    w.iterations = kMaxIters;
+    w.converged = [](const HostArrays &h) {
+        return static_cast<int32_t>(h[H_DELTA][0]) == 0;
+    };
+    w.preferred = SubmitStrategy::RecordOnce;
+    w.validate = [in](const HostArrays &h) {
+        return compareInts(intsOf(h[H_MEM]), referenceKmeans(*in));
+    };
+    return w;
 }
 
 class KmeansBenchmark : public Benchmark
@@ -396,22 +218,13 @@ class KmeansBenchmark : public Benchmark
         return {{"2K", {2048, 4, 5}}, {"8K", {8192, 4, 5}}};
     }
 
-    RunResult run(const sim::DeviceSpec &dev, sim::Api api,
-                  const SizeConfig &cfg) const override
+    Workload workload(const SizeConfig &cfg) const override
     {
-        Points p = generatePoints(static_cast<uint32_t>(cfg.params[0]),
-                                  static_cast<uint32_t>(cfg.params[1]),
-                                  static_cast<uint32_t>(cfg.params[2]),
-                                  workloadSeed(name(), cfg));
-        switch (api) {
-          case sim::Api::Vulkan:
-            return runVulkan(dev, p);
-          case sim::Api::OpenCl:
-            return runOpenCl(dev, p);
-          case sim::Api::Cuda:
-            return runCuda(dev, p);
-        }
-        return RunResult();
+        return makeWorkload(
+            generatePoints(static_cast<uint32_t>(cfg.params[0]),
+                           static_cast<uint32_t>(cfg.params[1]),
+                           static_cast<uint32_t>(cfg.params[2]),
+                           workloadSeed(name(), cfg)));
     }
 };
 

@@ -3,24 +3,25 @@
  * lud — LU Decomposition (Dense Linear Algebra), blocked 16x16.
  *
  * nb dependent steps of up to three kernels (diagonal, perimeter,
- * internal).  CUDA/OpenCL: blocking multi-kernel iterations; Vulkan:
- * one command buffer with three pipelines bound per step.  This is
- * the benchmark whose OpenCL build fails on the Snapdragon (paper
- * Sec. V-B2), reproduced via the Adreno driver profile.
+ * internal); the per-step pushes and dispatch sizes shrink with the
+ * trailing submatrix, so the body varies per iteration: preferred
+ * Vulkan strategy batched (one command buffer, three pipelines bound
+ * per step), re-record as the sweepable baseline.  CUDA/OpenCL:
+ * blocking multi-kernel iterations.  This is the benchmark whose
+ * OpenCL build fails on the Snapdragon (paper Sec. V-B2), reproduced
+ * via the Adreno driver profile.
  */
 
 #include "suite/benchmark.h"
 
 #include <cmath>
+#include <memory>
 
-#include "common/logging.h"
 #include "common/mathutil.h"
 #include "common/rng.h"
-#include "cuda/cuda_rt.h"
 #include "kernels/kernels.h"
-#include "ocl/ocl.h"
 #include "suite/validate.h"
-#include "suite/vkhelp.h"
+#include "suite/workloads.h"
 
 namespace vcb::suite {
 
@@ -112,185 +113,48 @@ referenceLud(const Matrix &mat)
     return a;
 }
 
-RunResult
-finish(RunResult res, const Matrix &mat, std::vector<float> a)
-{
-    res.validationError = compareFloats(a, referenceLud(mat), 5e-3, 1e-3);
-    res.validated = res.validationError.empty();
-    res.ok = true;
-    return res;
-}
+enum BufferIx : size_t { B_MAT };
+enum HostIx : size_t { H_A };
 
-RunResult
-runVulkan(const sim::DeviceSpec &dev, const Matrix &mat)
+Workload
+makeWorkload(Matrix m)
 {
-    RunResult res;
-    VkContext ctx = VkContext::create(dev);
-    VkKernel kd, kp, ki;
-    std::string err = createVkKernel(ctx, kernels::buildLudDiagonal(),
-                                     &kd);
-    if (err.empty())
-        err = createVkKernel(ctx, kernels::buildLudPerimeter(), &kp);
-    if (err.empty())
-        err = createVkKernel(ctx, kernels::buildLudInternal(), &ki);
-    if (!err.empty()) {
-        res.skipReason = err;
-        return res;
-    }
-
-    double t_total0 = ctx.now();
+    auto in = std::make_shared<const Matrix>(std::move(m));
+    const Matrix &mat = *in;
     uint32_t n = mat.n, nb = n / B;
-    uint64_t bytes = uint64_t(n) * n * 4;
-    auto b_a = ctx.createDeviceBuffer(bytes);
-    ctx.upload(b_a, mat.a.data(), bytes);
 
-    auto sd = makeDescriptorSet(ctx, kd, {{0, b_a}});
-    auto sp = makeDescriptorSet(ctx, kp, {{0, b_a}});
-    auto s_int = makeDescriptorSet(ctx, ki, {{0, b_a}});
+    Workload w;
+    w.name = "lud";
+    w.kernels = {kernels::buildLudDiagonal(), kernels::buildLudPerimeter(),
+                 kernels::buildLudInternal()};
+    w.buffers = {{uint64_t(n) * n * 4, wordsOf(mat.a)}};
+    w.host = {std::vector<uint32_t>(uint64_t(n) * n)};
 
-    vkm::CommandBuffer cb;
-    vkm::check(vkm::allocateCommandBuffer(ctx.device, ctx.cmdPool, &cb),
-               "allocateCommandBuffer");
-    vkm::check(vkm::beginCommandBuffer(cb), "beginCommandBuffer");
-    for (uint32_t t = 0; t < nb; ++t) {
-        uint32_t push2[2] = {n, t};
-        vkm::cmdBindPipeline(cb, kd.pipeline);
-        vkm::cmdBindDescriptorSet(cb, kd.layout, 0, sd);
-        vkm::cmdPushConstants(cb, kd.layout, 0, 8, push2);
-        vkm::cmdDispatch(cb, 1, 1, 1);
-        vkm::cmdPipelineBarrier(cb);
-        res.launches += 1;
-        if (t + 1 == nb)
-            break;
-        uint32_t rem = nb - t - 1;
-        uint32_t push3[3] = {n, t, rem};
-        vkm::cmdBindPipeline(cb, kp.pipeline);
-        vkm::cmdBindDescriptorSet(cb, kp.layout, 0, sp);
-        vkm::cmdPushConstants(cb, kp.layout, 0, 12, push3);
-        vkm::cmdDispatch(cb, 2 * rem, 1, 1);
-        vkm::cmdPipelineBarrier(cb);
-        vkm::cmdBindPipeline(cb, ki.pipeline);
-        vkm::cmdBindDescriptorSet(cb, ki.layout, 0, s_int);
-        vkm::cmdPushConstants(cb, ki.layout, 0, 8, push2);
-        vkm::cmdDispatch(cb, rem, rem, 1);
-        vkm::cmdPipelineBarrier(cb);
-        res.launches += 2;
-    }
-    vkm::check(vkm::endCommandBuffer(cb), "endCommandBuffer");
-
-    vkm::Fence fence;
-    vkm::check(vkm::createFence(ctx.device, &fence), "createFence");
-
-    double t0 = ctx.now();
-    vkm::SubmitInfo si;
-    si.commandBuffers.push_back(cb);
-    vkm::check(vkm::queueSubmit(ctx.queue, {si}, fence), "queueSubmit");
-    vkm::check(vkm::waitForFences(ctx.device, {fence}), "waitForFences");
-    res.kernelRegionNs = ctx.now() - t0;
-
-    std::vector<float> out(uint64_t(n) * n);
-    ctx.download(b_a, out.data(), bytes);
-    res.totalNs = ctx.now() - t_total0;
-    return finish(std::move(res), mat, std::move(out));
-}
-
-RunResult
-runOpenCl(const sim::DeviceSpec &dev, const Matrix &mat)
-{
-    RunResult res;
-    ocl::Context ctx(dev);
-    auto pd = ocl::createProgramWithSource(ctx,
-                                           kernels::buildLudDiagonal());
-    auto pp = ocl::createProgramWithSource(ctx,
-                                           kernels::buildLudPerimeter());
-    auto pi = ocl::createProgramWithSource(ctx,
-                                           kernels::buildLudInternal());
-    std::string err;
-    if (!ocl::buildProgram(pd, &err) || !ocl::buildProgram(pp, &err) ||
-        !ocl::buildProgram(pi, &err)) {
-        res.skipReason = err;
-        return res;
-    }
-    auto kd = ocl::createKernel(pd, "lud_diagonal", &err);
-    auto kp = ocl::createKernel(pp, "lud_perimeter", &err);
-    auto ki = ocl::createKernel(pi, "lud_internal", &err);
-    VCB_ASSERT(kd.valid() && kp.valid() && ki.valid(),
-               "kernel creation failed: %s", err.c_str());
-
-    double t_total0 = ctx.hostNowNs();
-    uint32_t n = mat.n, nb = n / B;
-    uint64_t bytes = uint64_t(n) * n * 4;
-    auto b_a = ocl::createBuffer(ctx, ocl::MemReadWrite, bytes);
-    ocl::enqueueWriteBuffer(ctx, b_a, true, 0, bytes, mat.a.data());
-
-    ocl::setKernelArgBuffer(kd, 0, b_a);
-    ocl::setKernelArgBuffer(kp, 0, b_a);
-    ocl::setKernelArgBuffer(ki, 0, b_a);
-
-    double t0 = ctx.hostNowNs();
-    for (uint32_t t = 0; t < nb; ++t) {
-        ocl::setKernelArgScalar(kd, 0, n);
-        ocl::setKernelArgScalar(kd, 1, t);
-        ocl::enqueueNDRangeKernel(ctx, kd, B);
-        res.launches += 1;
+    w.bodyFor = [n, nb](uint32_t t) {
+        std::vector<WorkloadStep> steps = {
+            dispatchStep(0, 1, 1, 1, {pw(n), pw(t)}, {{0, B_MAT}}),
+            barrierStep()};
         if (t + 1 < nb) {
             uint32_t rem = nb - t - 1;
-            ocl::setKernelArgScalar(kp, 0, n);
-            ocl::setKernelArgScalar(kp, 1, t);
-            ocl::setKernelArgScalar(kp, 2, rem);
-            ocl::enqueueNDRangeKernel(ctx, kp, 2 * rem * B);
-            ocl::setKernelArgScalar(ki, 0, n);
-            ocl::setKernelArgScalar(ki, 1, t);
-            ocl::enqueueNDRangeKernel(ctx, ki, rem * B, rem * B);
-            res.launches += 2;
+            steps.push_back(dispatchStep(1, 2 * rem, 1, 1,
+                                         {pw(n), pw(t), pw(rem)},
+                                         {{0, B_MAT}}));
+            steps.push_back(barrierStep());
+            steps.push_back(dispatchStep(2, rem, rem, 1,
+                                         {pw(n), pw(t)}, {{0, B_MAT}}));
+            steps.push_back(barrierStep());
         }
-        ctx.finish();
-    }
-    res.kernelRegionNs = ctx.hostNowNs() - t0;
-
-    std::vector<float> out(uint64_t(n) * n);
-    ocl::enqueueReadBuffer(ctx, b_a, true, 0, bytes, out.data());
-    res.totalNs = ctx.hostNowNs() - t_total0;
-    return finish(std::move(res), mat, std::move(out));
-}
-
-RunResult
-runCuda(const sim::DeviceSpec &dev, const Matrix &mat)
-{
-    RunResult res;
-    if (!cuda::available(dev)) {
-        res.skipReason = "CUDA not supported on this device";
-        return res;
-    }
-    cuda::Runtime rt(dev);
-    auto fd = rt.loadFunction(kernels::buildLudDiagonal());
-    auto fp = rt.loadFunction(kernels::buildLudPerimeter());
-    auto fi = rt.loadFunction(kernels::buildLudInternal());
-
-    double t_total0 = rt.hostNowNs();
-    uint32_t n = mat.n, nb = n / B;
-    uint64_t bytes = uint64_t(n) * n * 4;
-    auto d_a = rt.malloc(bytes);
-    rt.memcpyHtoD(d_a, mat.a.data(), bytes);
-
-    double t0 = rt.hostNowNs();
-    for (uint32_t t = 0; t < nb; ++t) {
-        rt.launchKernel(fd, 1, 1, 1, {d_a}, {n, t});
-        res.launches += 1;
-        if (t + 1 < nb) {
-            uint32_t rem = nb - t - 1;
-            rt.launchKernel(fp, 2 * rem, 1, 1, {d_a}, {n, t, rem});
-            rt.launchKernel(fi, rem, rem, 1, {d_a}, {n, t});
-            res.launches += 2;
-        }
-        rt.deviceSynchronize();
-    }
-    res.kernelRegionNs = rt.hostNowNs() - t0;
-
-    std::vector<float> out(uint64_t(n) * n);
-    rt.memcpyDtoH(out.data(), d_a, bytes);
-    res.totalNs = rt.hostNowNs() - t_total0;
-    return finish(std::move(res), mat, std::move(out));
+        steps.push_back(syncStep());
+        return steps;
+    };
+    w.iterations = nb;
+    w.epilogue = {readbackStep(B_MAT, H_A)};
+    w.preferred = SubmitStrategy::Batched;
+    w.validate = [in](const HostArrays &h) {
+        return compareFloats(floatsOf(h[H_A]), referenceLud(*in), 5e-3,
+                             1e-3);
+    };
+    return w;
 }
 
 class LudBenchmark : public Benchmark
@@ -314,20 +178,11 @@ class LudBenchmark : public Benchmark
         return {{"64", {64}}, {"256", {128}}};
     }
 
-    RunResult run(const sim::DeviceSpec &dev, sim::Api api,
-                  const SizeConfig &cfg) const override
+    Workload workload(const SizeConfig &cfg) const override
     {
-        Matrix m = generateMatrix(static_cast<uint32_t>(cfg.params[0]),
-                                  workloadSeed(name(), cfg));
-        switch (api) {
-          case sim::Api::Vulkan:
-            return runVulkan(dev, m);
-          case sim::Api::OpenCl:
-            return runOpenCl(dev, m);
-          case sim::Api::Cuda:
-            return runCuda(dev, m);
-        }
-        return RunResult();
+        return makeWorkload(
+            generateMatrix(static_cast<uint32_t>(cfg.params[0]),
+                           workloadSeed(name(), cfg)));
     }
 };
 

@@ -5,24 +5,21 @@
  * A single distance kernel over the record set; the host selects the
  * K nearest afterwards (outside the kernel-time region, as in
  * Rodinia).  No inter-launch dependencies: all three APIs issue one
- * launch/submission.
+ * launch/submission, and the one-dispatch body sweeps all three
+ * Vulkan strategies trivially.
  */
 
 #include "suite/benchmark.h"
 
-#include <cmath>
-
 #include <algorithm>
-#include <cstring>
+#include <cmath>
+#include <memory>
 
-#include "common/logging.h"
 #include "common/mathutil.h"
 #include "common/rng.h"
-#include "cuda/cuda_rt.h"
 #include "kernels/kernels.h"
-#include "ocl/ocl.h"
 #include "suite/validate.h"
-#include "suite/vkhelp.h"
+#include "suite/workloads.h"
 
 namespace vcb::suite {
 
@@ -62,149 +59,41 @@ referenceDistances(const Records &r)
     return d;
 }
 
-RunResult
-finish(RunResult res, const Records &r, std::vector<float> dist)
-{
-    res.validationError = compareFloats(dist, referenceDistances(r));
-    res.validated = res.validationError.empty();
-    // Host-side top-K selection (outside the timed region), kept to
-    // mirror the Rodinia host behaviour.
-    std::partial_sort(dist.begin(),
-                      dist.begin() + std::min<size_t>(5, dist.size()),
-                      dist.end());
-    res.ok = true;
-    return res;
-}
+enum BufferIx : size_t { B_LAT, B_LNG, B_DIST };
+enum HostIx : size_t { H_DIST };
 
-RunResult
-runVulkan(const sim::DeviceSpec &dev, const Records &r)
+Workload
+makeWorkload(Records recs)
 {
-    RunResult res;
-    VkContext ctx = VkContext::create(dev);
-    VkKernel k;
-    std::string err = createVkKernel(ctx, kernels::buildNnEuclid(), &k);
-    if (!err.empty()) {
-        res.skipReason = err;
-        return res;
-    }
-
-    double t_total0 = ctx.now();
+    auto in = std::make_shared<const Records>(std::move(recs));
+    const Records &r = *in;
     uint64_t bytes = uint64_t(r.n) * 4;
-    auto b_lat = ctx.createDeviceBuffer(bytes);
-    auto b_lng = ctx.createDeviceBuffer(bytes);
-    auto b_dist = ctx.createDeviceBuffer(bytes);
-    ctx.upload(b_lat, r.lat.data(), bytes);
-    ctx.upload(b_lng, r.lng.data(), bytes);
 
-    auto set = makeDescriptorSet(ctx, k,
-                                 {{0, b_lat}, {1, b_lng}, {2, b_dist}});
-    uint32_t push[3] = {r.n, 0, 0};
-    std::memcpy(&push[1], &r.qLat, 4);
-    std::memcpy(&push[2], &r.qLng, 4);
+    Workload w;
+    w.name = "nn";
+    w.kernels = {kernels::buildNnEuclid()};
+    w.buffers = {{bytes, wordsOf(r.lat)},
+                 {bytes, wordsOf(r.lng)},
+                 {bytes, {}}};
+    w.host = {std::vector<uint32_t>(r.n)};
 
-    vkm::CommandBuffer cb;
-    vkm::check(vkm::allocateCommandBuffer(ctx.device, ctx.cmdPool, &cb),
-               "allocateCommandBuffer");
-    vkm::check(vkm::beginCommandBuffer(cb), "beginCommandBuffer");
-    vkm::cmdBindPipeline(cb, k.pipeline);
-    vkm::cmdBindDescriptorSet(cb, k.layout, 0, set);
-    vkm::cmdPushConstants(cb, k.layout, 0, 12, push);
-    vkm::cmdDispatch(cb, (uint32_t)ceilDiv(r.n, 256), 1, 1);
-    vkm::check(vkm::endCommandBuffer(cb), "endCommandBuffer");
-    res.launches = 1;
-
-    vkm::Fence fence;
-    vkm::check(vkm::createFence(ctx.device, &fence), "createFence");
-
-    double t0 = ctx.now();
-    vkm::SubmitInfo si;
-    si.commandBuffers.push_back(cb);
-    vkm::check(vkm::queueSubmit(ctx.queue, {si}, fence), "queueSubmit");
-    vkm::check(vkm::waitForFences(ctx.device, {fence}), "waitForFences");
-    res.kernelRegionNs = ctx.now() - t0;
-
-    std::vector<float> dist(r.n);
-    ctx.download(b_dist, dist.data(), bytes);
-    res.totalNs = ctx.now() - t_total0;
-    return finish(std::move(res), r, std::move(dist));
-}
-
-RunResult
-runOpenCl(const sim::DeviceSpec &dev, const Records &r)
-{
-    RunResult res;
-    ocl::Context ctx(dev);
-    auto prog = ocl::createProgramWithSource(ctx, kernels::buildNnEuclid());
-    std::string err;
-    if (!ocl::buildProgram(prog, &err)) {
-        res.skipReason = err;
-        return res;
-    }
-    auto k = ocl::createKernel(prog, "nn_euclid", &err);
-    VCB_ASSERT(k.valid(), "kernel creation failed: %s", err.c_str());
-
-    double t_total0 = ctx.hostNowNs();
-    uint64_t bytes = uint64_t(r.n) * 4;
-    auto b_lat = ocl::createBuffer(ctx, ocl::MemReadOnly, bytes);
-    auto b_lng = ocl::createBuffer(ctx, ocl::MemReadOnly, bytes);
-    auto b_dist = ocl::createBuffer(ctx, ocl::MemWriteOnly, bytes);
-    ocl::enqueueWriteBuffer(ctx, b_lat, true, 0, bytes, r.lat.data());
-    ocl::enqueueWriteBuffer(ctx, b_lng, true, 0, bytes, r.lng.data());
-
-    ocl::setKernelArgBuffer(k, 0, b_lat);
-    ocl::setKernelArgBuffer(k, 1, b_lng);
-    ocl::setKernelArgBuffer(k, 2, b_dist);
-    ocl::setKernelArgScalar(k, 0, r.n);
-    ocl::setKernelArgScalarF(k, 1, r.qLat);
-    ocl::setKernelArgScalarF(k, 2, r.qLng);
-
-    double t0 = ctx.hostNowNs();
-    ocl::enqueueNDRangeKernel(ctx, k,
-                              (uint32_t)ceilDiv(r.n, 256) * 256);
-    res.launches = 1;
-    ctx.finish();
-    res.kernelRegionNs = ctx.hostNowNs() - t0;
-
-    std::vector<float> dist(r.n);
-    ocl::enqueueReadBuffer(ctx, b_dist, true, 0, bytes, dist.data());
-    res.totalNs = ctx.hostNowNs() - t_total0;
-    return finish(std::move(res), r, std::move(dist));
-}
-
-RunResult
-runCuda(const sim::DeviceSpec &dev, const Records &r)
-{
-    RunResult res;
-    if (!cuda::available(dev)) {
-        res.skipReason = "CUDA not supported on this device";
-        return res;
-    }
-    cuda::Runtime rt(dev);
-    auto f = rt.loadFunction(kernels::buildNnEuclid());
-
-    double t_total0 = rt.hostNowNs();
-    uint64_t bytes = uint64_t(r.n) * 4;
-    auto d_lat = rt.malloc(bytes);
-    auto d_lng = rt.malloc(bytes);
-    auto d_dist = rt.malloc(bytes);
-    rt.memcpyHtoD(d_lat, r.lat.data(), bytes);
-    rt.memcpyHtoD(d_lng, r.lng.data(), bytes);
-
-    uint32_t lat_bits, lng_bits;
-    std::memcpy(&lat_bits, &r.qLat, 4);
-    std::memcpy(&lng_bits, &r.qLng, 4);
-
-    double t0 = rt.hostNowNs();
-    rt.launchKernel(f, (uint32_t)ceilDiv(r.n, 256), 1, 1,
-                    {d_lat, d_lng, d_dist}, {r.n, lat_bits, lng_bits});
-    res.launches = 1;
-    rt.deviceSynchronize();
-    res.kernelRegionNs = rt.hostNowNs() - t0;
-
-    std::vector<float> dist(r.n);
-    rt.memcpyDtoH(dist.data(), d_dist, bytes);
-    res.totalNs = rt.hostNowNs() - t_total0;
-    return finish(std::move(res), r, std::move(dist));
+    w.body = {dispatchStep(0, (uint32_t)ceilDiv(r.n, 256), 1, 1,
+                           {pw(r.n), pwF(r.qLat), pwF(r.qLng)},
+                           {{0, B_LAT}, {1, B_LNG}, {2, B_DIST}})};
+    w.epilogue = {readbackStep(B_DIST, H_DIST)};
+    w.preferred = SubmitStrategy::Batched;
+    w.validate = [in](const HostArrays &h) {
+        std::vector<float> dist = floatsOf(h[H_DIST]);
+        std::string err = compareFloats(dist, referenceDistances(*in));
+        // Host-side top-K selection (outside the timed region), kept
+        // to mirror the Rodinia host behaviour.
+        std::partial_sort(dist.begin(),
+                          dist.begin() +
+                              std::min<size_t>(5, dist.size()),
+                          dist.end());
+        return err;
+    };
+    return w;
 }
 
 class NnBenchmark : public Benchmark
@@ -231,20 +120,11 @@ class NnBenchmark : public Benchmark
         return {{"256K", {65536}}, {"8M", {262144}}};
     }
 
-    RunResult run(const sim::DeviceSpec &dev, sim::Api api,
-                  const SizeConfig &cfg) const override
+    Workload workload(const SizeConfig &cfg) const override
     {
-        Records r = generateRecords(static_cast<uint32_t>(cfg.params[0]),
-                                    workloadSeed(name(), cfg));
-        switch (api) {
-          case sim::Api::Vulkan:
-            return runVulkan(dev, r);
-          case sim::Api::OpenCl:
-            return runOpenCl(dev, r);
-          case sim::Api::Cuda:
-            return runCuda(dev, r);
-        }
-        return RunResult();
+        return makeWorkload(
+            generateRecords(static_cast<uint32_t>(cfg.params[0]),
+                            workloadSeed(name(), cfg)));
     }
 };
 

@@ -3,22 +3,24 @@
  * nw — Needleman-Wunsch DNA sequence alignment (Dynamic Programming).
  *
  * 2*nb-1 dependent launches over block anti-diagonals.  The hosts do
- * not need data between launches, so CUDA/OpenCL enqueue ahead on the
- * in-order queue (no per-launch blocking) — which is why the paper
- * groups nw with the benchmarks where all APIs perform similarly.
- * Vulkan records all block diagonals into one command buffer.
+ * not need data between launches, so the OpenCL/CUDA runner enqueues
+ * ahead on the in-order queue (no Sync steps in the body) — which is
+ * why the paper groups nw with the benchmarks where all APIs perform
+ * similarly.  The per-diagonal pushes and dispatch counts vary, so the
+ * preferred Vulkan strategy is batched (all diagonals in one command
+ * buffer), with re-record as the sweepable baseline.
  */
 
 #include "suite/benchmark.h"
 
-#include "common/logging.h"
+#include <algorithm>
+#include <memory>
+
 #include "common/mathutil.h"
 #include "common/rng.h"
-#include "cuda/cuda_rt.h"
 #include "kernels/kernels.h"
-#include "ocl/ocl.h"
 #include "suite/validate.h"
-#include "suite/vkhelp.h"
+#include "suite/workloads.h"
 
 namespace vcb::suite {
 
@@ -73,171 +75,44 @@ referenceNw(const Alignment &a)
     return m;
 }
 
-/** Block anti-diagonal walk shared by all runners: s in [0, 2nb-1),
- *  x in [xStart, xStart+count). */
-struct DiagPlan
-{
-    uint32_t s, x_start, count;
-};
+enum BufferIx : size_t { B_ITEMS, B_REF };
+enum HostIx : size_t { H_ITEMS };
 
-std::vector<DiagPlan>
-diagPlans(uint32_t nb)
+Workload
+makeWorkload(Alignment al)
 {
-    std::vector<DiagPlan> plans;
-    for (uint32_t s = 0; s < 2 * nb - 1; ++s) {
+    auto in = std::make_shared<const Alignment>(std::move(al));
+    const Alignment &a = *in;
+    uint64_t bytes = uint64_t(a.nn) * a.nn * 4;
+    uint32_t nb = a.n / B;
+
+    Workload w;
+    w.name = "nw";
+    w.kernels = {kernels::buildNwBlock()};
+    w.buffers = {{bytes, wordsOf(a.itemsets)},
+                 {bytes, wordsOf(a.reference)}};
+    w.host = {std::vector<uint32_t>(uint64_t(a.nn) * a.nn)};
+
+    uint32_t n = a.n;
+    // Block anti-diagonal walk: s in [0, 2nb-1), x in [xStart, xEnd].
+    w.bodyFor = [n, nb](uint32_t s) {
         uint32_t x_start = s >= nb ? s - nb + 1 : 0;
         uint32_t x_end = std::min(s, nb - 1);
-        plans.push_back({s, x_start, x_end - x_start + 1});
-    }
-    return plans;
-}
-
-RunResult
-runVulkan(const sim::DeviceSpec &dev, const Alignment &a)
-{
-    RunResult res;
-    VkContext ctx = VkContext::create(dev);
-    VkKernel k;
-    std::string err = createVkKernel(ctx, kernels::buildNwBlock(), &k);
-    if (!err.empty()) {
-        res.skipReason = err;
-        return res;
-    }
-
-    double t_total0 = ctx.now();
-    uint64_t bytes = uint64_t(a.nn) * a.nn * 4;
-    auto b_items = ctx.createDeviceBuffer(bytes);
-    auto b_ref = ctx.createDeviceBuffer(bytes);
-    ctx.upload(b_items, a.itemsets.data(), bytes);
-    ctx.upload(b_ref, a.reference.data(), bytes);
-
-    auto set = makeDescriptorSet(ctx, k, {{0, b_items}, {1, b_ref}});
-
-    uint32_t nb = a.n / B;
-    vkm::CommandBuffer cb;
-    vkm::check(vkm::allocateCommandBuffer(ctx.device, ctx.cmdPool, &cb),
-               "allocateCommandBuffer");
-    vkm::check(vkm::beginCommandBuffer(cb), "beginCommandBuffer");
-    vkm::cmdBindPipeline(cb, k.pipeline);
-    vkm::cmdBindDescriptorSet(cb, k.layout, 0, set);
-    for (const DiagPlan &p : diagPlans(nb)) {
-        uint32_t push[4] = {a.n, p.s, p.x_start,
-                            static_cast<uint32_t>(penalty)};
-        vkm::cmdPushConstants(cb, k.layout, 0, 16, push);
-        vkm::cmdDispatch(cb, p.count, 1, 1);
-        vkm::cmdPipelineBarrier(cb);
-        res.launches += 1;
-    }
-    vkm::check(vkm::endCommandBuffer(cb), "endCommandBuffer");
-
-    vkm::Fence fence;
-    vkm::check(vkm::createFence(ctx.device, &fence), "createFence");
-
-    double t0 = ctx.now();
-    vkm::SubmitInfo si;
-    si.commandBuffers.push_back(cb);
-    vkm::check(vkm::queueSubmit(ctx.queue, {si}, fence), "queueSubmit");
-    vkm::check(vkm::waitForFences(ctx.device, {fence}), "waitForFences");
-    res.kernelRegionNs = ctx.now() - t0;
-
-    std::vector<int32_t> out(uint64_t(a.nn) * a.nn);
-    ctx.download(b_items, out.data(), bytes);
-    res.totalNs = ctx.now() - t_total0;
-
-    res.validationError = compareInts(out, referenceNw(a));
-    res.validated = res.validationError.empty();
-    res.ok = true;
-    return res;
-}
-
-RunResult
-runOpenCl(const sim::DeviceSpec &dev, const Alignment &a)
-{
-    RunResult res;
-    ocl::Context ctx(dev);
-    auto prog = ocl::createProgramWithSource(ctx, kernels::buildNwBlock());
-    std::string err;
-    if (!ocl::buildProgram(prog, &err)) {
-        res.skipReason = err;
-        return res;
-    }
-    auto k = ocl::createKernel(prog, "nw_block", &err);
-    VCB_ASSERT(k.valid(), "kernel creation failed: %s", err.c_str());
-
-    double t_total0 = ctx.hostNowNs();
-    uint64_t bytes = uint64_t(a.nn) * a.nn * 4;
-    auto b_items = ocl::createBuffer(ctx, ocl::MemReadWrite, bytes);
-    auto b_ref = ocl::createBuffer(ctx, ocl::MemReadOnly, bytes);
-    ocl::enqueueWriteBuffer(ctx, b_items, true, 0, bytes,
-                            a.itemsets.data());
-    ocl::enqueueWriteBuffer(ctx, b_ref, true, 0, bytes,
-                            a.reference.data());
-
-    ocl::setKernelArgBuffer(k, 0, b_items);
-    ocl::setKernelArgBuffer(k, 1, b_ref);
-
-    uint32_t nb = a.n / B;
-    double t0 = ctx.hostNowNs();
-    // Enqueue-ahead: the in-order queue resolves the inter-diagonal
-    // dependencies; a single finish at the end.
-    for (const DiagPlan &p : diagPlans(nb)) {
-        ocl::setKernelArgScalar(k, 0, a.n);
-        ocl::setKernelArgScalar(k, 1, p.s);
-        ocl::setKernelArgScalar(k, 2, p.x_start);
-        ocl::setKernelArgScalar(k, 3, static_cast<uint32_t>(penalty));
-        ocl::enqueueNDRangeKernel(ctx, k, p.count * B);
-        res.launches += 1;
-    }
-    ctx.finish();
-    res.kernelRegionNs = ctx.hostNowNs() - t0;
-
-    std::vector<int32_t> out(uint64_t(a.nn) * a.nn);
-    ocl::enqueueReadBuffer(ctx, b_items, true, 0, bytes, out.data());
-    res.totalNs = ctx.hostNowNs() - t_total0;
-
-    res.validationError = compareInts(out, referenceNw(a));
-    res.validated = res.validationError.empty();
-    res.ok = true;
-    return res;
-}
-
-RunResult
-runCuda(const sim::DeviceSpec &dev, const Alignment &a)
-{
-    RunResult res;
-    if (!cuda::available(dev)) {
-        res.skipReason = "CUDA not supported on this device";
-        return res;
-    }
-    cuda::Runtime rt(dev);
-    auto f = rt.loadFunction(kernels::buildNwBlock());
-
-    double t_total0 = rt.hostNowNs();
-    uint64_t bytes = uint64_t(a.nn) * a.nn * 4;
-    auto d_items = rt.malloc(bytes);
-    auto d_ref = rt.malloc(bytes);
-    rt.memcpyHtoD(d_items, a.itemsets.data(), bytes);
-    rt.memcpyHtoD(d_ref, a.reference.data(), bytes);
-
-    uint32_t nb = a.n / B;
-    double t0 = rt.hostNowNs();
-    for (const DiagPlan &p : diagPlans(nb)) {
-        rt.launchKernel(f, p.count, 1, 1, {d_items, d_ref},
-                        {a.n, p.s, p.x_start,
-                         static_cast<uint32_t>(penalty)});
-        res.launches += 1;
-    }
-    rt.deviceSynchronize();
-    res.kernelRegionNs = rt.hostNowNs() - t0;
-
-    std::vector<int32_t> out(uint64_t(a.nn) * a.nn);
-    rt.memcpyDtoH(out.data(), d_items, bytes);
-    res.totalNs = rt.hostNowNs() - t_total0;
-
-    res.validationError = compareInts(out, referenceNw(a));
-    res.validated = res.validationError.empty();
-    res.ok = true;
-    return res;
+        uint32_t count = x_end - x_start + 1;
+        return std::vector<WorkloadStep>{
+            dispatchStep(0, count, 1, 1,
+                         {pw(n), pw(s), pw(x_start),
+                          pw(static_cast<uint32_t>(penalty))},
+                         {{0, B_ITEMS}, {1, B_REF}}),
+            barrierStep()};
+    };
+    w.iterations = 2 * nb - 1;
+    w.epilogue = {readbackStep(B_ITEMS, H_ITEMS)};
+    w.preferred = SubmitStrategy::Batched;
+    w.validate = [in](const HostArrays &h) {
+        return compareInts(intsOf(h[H_ITEMS]), referenceNw(*in));
+    };
+    return w;
 }
 
 class NwBenchmark : public Benchmark
@@ -258,21 +133,11 @@ class NwBenchmark : public Benchmark
         return {{"1K", {384}}, {"2K", {512}}};
     }
 
-    RunResult run(const sim::DeviceSpec &dev, sim::Api api,
-                  const SizeConfig &cfg) const override
+    Workload workload(const SizeConfig &cfg) const override
     {
-        Alignment a = generateAlignment(
-            static_cast<uint32_t>(cfg.params[0]),
-            workloadSeed(name(), cfg));
-        switch (api) {
-          case sim::Api::Vulkan:
-            return runVulkan(dev, a);
-          case sim::Api::OpenCl:
-            return runOpenCl(dev, a);
-          case sim::Api::Cuda:
-            return runCuda(dev, a);
-        }
-        return RunResult();
+        return makeWorkload(
+            generateAlignment(static_cast<uint32_t>(cfg.params[0]),
+                              workloadSeed(name(), cfg)));
     }
 };
 

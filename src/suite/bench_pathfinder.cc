@@ -2,24 +2,25 @@
  * @file
  * pathfinder — dynamic programming on a 2-D grid (Grid Traversal).
  *
- * Rows depend on each other, so CUDA/OpenCL use the multi-kernel
- * method: one launch per row with a host sync (blocking iteration).
- * Vulkan records every row into a single command buffer with a
- * pipeline barrier between rows and ping-pongs the two row buffers by
- * alternating pre-built descriptor sets — the paper's flagship
- * Vulkan-specific optimisation (Sec. IV-C).
+ * Rows depend on each other, so the OpenCL/CUDA runner uses the
+ * multi-kernel method: one launch per row with a host sync (Sync step
+ * per iteration).  The preferred Vulkan strategy is batched: every row
+ * in a single command buffer with a pipeline barrier between rows,
+ * ping-ponging the two row buffers by alternating binding lists — the
+ * paper's flagship Vulkan-specific optimisation (Sec. IV-C).
+ * Re-record-per-iteration is the sweepable naive baseline.
  */
 
 #include "suite/benchmark.h"
 
-#include "common/logging.h"
+#include <algorithm>
+#include <memory>
+
 #include "common/mathutil.h"
 #include "common/rng.h"
-#include "cuda/cuda_rt.h"
 #include "kernels/kernels.h"
-#include "ocl/ocl.h"
 #include "suite/validate.h"
-#include "suite/vkhelp.h"
+#include "suite/workloads.h"
 
 namespace vcb::suite {
 
@@ -63,165 +64,47 @@ referencePathfinder(const GridData &g)
     return src;
 }
 
-RunResult
-runVulkan(const sim::DeviceSpec &dev, const GridData &g)
+enum BufferIx : size_t { B_DATA, B_RA, B_RB };
+enum HostIx : size_t { H_OUT };
+
+Workload
+makeWorkload(GridData grid)
 {
-    RunResult res;
-    VkContext ctx = VkContext::create(dev);
-    VkKernel k;
-    std::string err =
-        createVkKernel(ctx, kernels::buildPathfinderRow(), &k);
-    if (!err.empty()) {
-        res.skipReason = err;
-        return res;
-    }
+    auto in = std::make_shared<const GridData>(std::move(grid));
+    const GridData &g = *in;
 
-    double t_total0 = ctx.now();
-    uint64_t row_bytes = uint64_t(g.cols) * 4;
-    auto b_data = ctx.createDeviceBuffer(g.data.size() * 4);
-    auto b_a = ctx.createDeviceBuffer(row_bytes);
-    auto b_b = ctx.createDeviceBuffer(row_bytes);
-    ctx.upload(b_data, g.data.data(), g.data.size() * 4);
-    ctx.upload(b_a, g.data.data(), row_bytes); // row 0 seeds the DP
-
-    // Ping-pong via two pre-built descriptor sets.
-    auto s_ab = makeDescriptorSet(ctx, k,
-                                  {{0, b_data}, {1, b_a}, {2, b_b}});
-    auto s_ba = makeDescriptorSet(ctx, k,
-                                  {{0, b_data}, {1, b_b}, {2, b_a}});
-
-    vkm::CommandBuffer cb;
-    vkm::check(vkm::allocateCommandBuffer(ctx.device, ctx.cmdPool, &cb),
-               "allocateCommandBuffer");
-    uint32_t groups = static_cast<uint32_t>(ceilDiv(g.cols, 256));
-    vkm::check(vkm::beginCommandBuffer(cb), "beginCommandBuffer");
-    vkm::cmdBindPipeline(cb, k.pipeline);
-    for (uint32_t r = 1; r < g.rows; ++r) {
-        vkm::cmdBindDescriptorSet(cb, k.layout, 0,
-                                  (r % 2 == 1) ? s_ab : s_ba);
-        uint32_t push[2] = {g.cols, r};
-        vkm::cmdPushConstants(cb, k.layout, 0, 8, push);
-        vkm::cmdDispatch(cb, groups, 1, 1);
-        vkm::cmdPipelineBarrier(cb);
-        res.launches += 1;
-    }
-    vkm::check(vkm::endCommandBuffer(cb), "endCommandBuffer");
-
-    vkm::Fence fence;
-    vkm::check(vkm::createFence(ctx.device, &fence), "createFence");
-
-    double t0 = ctx.now();
-    vkm::SubmitInfo si;
-    si.commandBuffers.push_back(cb);
-    vkm::check(vkm::queueSubmit(ctx.queue, {si}, fence), "queueSubmit");
-    vkm::check(vkm::waitForFences(ctx.device, {fence}), "waitForFences");
-    res.kernelRegionNs = ctx.now() - t0;
-
-    vkm::Buffer final_buf = (g.rows % 2 == 1) ? b_a : b_b;
-    std::vector<int32_t> out(g.cols);
-    ctx.download(final_buf, out.data(), row_bytes);
-    res.totalNs = ctx.now() - t_total0;
-
-    res.validationError = compareInts(out, referencePathfinder(g));
-    res.validated = res.validationError.empty();
-    res.ok = true;
-    return res;
-}
-
-RunResult
-runOpenCl(const sim::DeviceSpec &dev, const GridData &g)
-{
-    RunResult res;
-    ocl::Context ctx(dev);
-    auto prog = ocl::createProgramWithSource(
-        ctx, kernels::buildPathfinderRow());
-    std::string err;
-    if (!ocl::buildProgram(prog, &err)) {
-        res.skipReason = err;
-        return res;
-    }
-    auto k = ocl::createKernel(prog, "pathfinder_row", &err);
-    VCB_ASSERT(k.valid(), "kernel creation failed: %s", err.c_str());
-
-    double t_total0 = ctx.hostNowNs();
-    uint64_t row_bytes = uint64_t(g.cols) * 4;
-    auto b_data = ocl::createBuffer(ctx, ocl::MemReadOnly,
-                                    g.data.size() * 4);
-    auto b_a = ocl::createBuffer(ctx, ocl::MemReadWrite, row_bytes);
-    auto b_b = ocl::createBuffer(ctx, ocl::MemReadWrite, row_bytes);
-    ocl::enqueueWriteBuffer(ctx, b_data, true, 0, g.data.size() * 4,
-                            g.data.data());
-    ocl::enqueueWriteBuffer(ctx, b_a, true, 0, row_bytes, g.data.data());
-
-    uint32_t global = static_cast<uint32_t>(ceilDiv(g.cols, 256)) * 256;
-
-    double t0 = ctx.hostNowNs();
-    for (uint32_t r = 1; r < g.rows; ++r) {
-        // Multi-kernel method: re-bind args, launch, host sync.
-        ocl::setKernelArgBuffer(k, 0, b_data);
-        ocl::setKernelArgBuffer(k, 1, (r % 2 == 1) ? b_a : b_b);
-        ocl::setKernelArgBuffer(k, 2, (r % 2 == 1) ? b_b : b_a);
-        ocl::setKernelArgScalar(k, 0, g.cols);
-        ocl::setKernelArgScalar(k, 1, r);
-        ocl::enqueueNDRangeKernel(ctx, k, global);
-        res.launches += 1;
-        ctx.finish();
-    }
-    res.kernelRegionNs = ctx.hostNowNs() - t0;
-
-    auto final_buf = (g.rows % 2 == 1) ? b_a : b_b;
-    std::vector<int32_t> out(g.cols);
-    ocl::enqueueReadBuffer(ctx, final_buf, true, 0, row_bytes,
-                           out.data());
-    res.totalNs = ctx.hostNowNs() - t_total0;
-
-    res.validationError = compareInts(out, referencePathfinder(g));
-    res.validated = res.validationError.empty();
-    res.ok = true;
-    return res;
-}
-
-RunResult
-runCuda(const sim::DeviceSpec &dev, const GridData &g)
-{
-    RunResult res;
-    if (!cuda::available(dev)) {
-        res.skipReason = "CUDA not supported on this device";
-        return res;
-    }
-    cuda::Runtime rt(dev);
-    auto f = rt.loadFunction(kernels::buildPathfinderRow());
-
-    double t_total0 = rt.hostNowNs();
-    uint64_t row_bytes = uint64_t(g.cols) * 4;
-    auto d_data = rt.malloc(g.data.size() * 4);
-    auto d_a = rt.malloc(row_bytes);
-    auto d_b = rt.malloc(row_bytes);
-    rt.memcpyHtoD(d_data, g.data.data(), g.data.size() * 4);
-    rt.memcpyHtoD(d_a, g.data.data(), row_bytes);
+    Workload w;
+    w.name = "pathfinder";
+    w.kernels = {kernels::buildPathfinderRow()};
+    // Row 0 of the data seeds the DP in buffer A.
+    std::vector<uint32_t> data_words = wordsOf(g.data);
+    std::vector<uint32_t> row0(data_words.begin(),
+                               data_words.begin() + g.cols);
+    w.buffers = {{g.data.size() * 4, std::move(data_words)},
+                 {uint64_t(g.cols) * 4, std::move(row0)},
+                 {uint64_t(g.cols) * 4, {}}};
+    w.host = {std::vector<uint32_t>(g.cols)};
 
     uint32_t groups = static_cast<uint32_t>(ceilDiv(g.cols, 256));
-
-    double t0 = rt.hostNowNs();
-    for (uint32_t r = 1; r < g.rows; ++r) {
-        auto &src = (r % 2 == 1) ? d_a : d_b;
-        auto &dst = (r % 2 == 1) ? d_b : d_a;
-        rt.launchKernel(f, groups, 1, 1, {d_data, src, dst},
-                        {g.cols, r});
-        res.launches += 1;
-        rt.deviceSynchronize();
-    }
-    res.kernelRegionNs = rt.hostNowNs() - t0;
-
-    auto &final_buf = (g.rows % 2 == 1) ? d_a : d_b;
-    std::vector<int32_t> out(g.cols);
-    rt.memcpyDtoH(out.data(), final_buf, row_bytes);
-    res.totalNs = rt.hostNowNs() - t_total0;
-
-    res.validationError = compareInts(out, referencePathfinder(g));
-    res.validated = res.validationError.empty();
-    res.ok = true;
-    return res;
+    uint32_t cols = g.cols;
+    w.bodyFor = [groups, cols](uint32_t it) {
+        uint32_t r = it + 1;
+        bool ping = r % 2 == 1; // odd rows read A, write B
+        return std::vector<WorkloadStep>{
+            dispatchStep(0, groups, 1, 1, {pw(cols), pw(r)},
+                         {{0, B_DATA},
+                          {1, ping ? B_RA : B_RB},
+                          {2, ping ? B_RB : B_RA}}),
+            barrierStep(), syncStep()};
+    };
+    w.iterations = g.rows - 1;
+    w.epilogue = {
+        readbackStep((g.rows % 2 == 1) ? B_RA : B_RB, H_OUT)};
+    w.preferred = SubmitStrategy::Batched;
+    w.validate = [in](const HostArrays &h) {
+        return compareInts(intsOf(h[H_OUT]), referencePathfinder(*in));
+    };
+    return w;
 }
 
 class PathfinderBenchmark : public Benchmark
@@ -244,21 +127,12 @@ class PathfinderBenchmark : public Benchmark
         return {{"512", {32, 512}}, {"1024", {32, 1024}}};
     }
 
-    RunResult run(const sim::DeviceSpec &dev, sim::Api api,
-                  const SizeConfig &cfg) const override
+    Workload workload(const SizeConfig &cfg) const override
     {
-        GridData g = generateGrid(static_cast<uint32_t>(cfg.params[0]),
-                                  static_cast<uint32_t>(cfg.params[1]),
-                                  workloadSeed(name(), cfg));
-        switch (api) {
-          case sim::Api::Vulkan:
-            return runVulkan(dev, g);
-          case sim::Api::OpenCl:
-            return runOpenCl(dev, g);
-          case sim::Api::Cuda:
-            return runCuda(dev, g);
-        }
-        return RunResult();
+        return makeWorkload(
+            generateGrid(static_cast<uint32_t>(cfg.params[0]),
+                         static_cast<uint32_t>(cfg.params[1]),
+                         workloadSeed(name(), cfg)));
     }
 };
 

@@ -8,8 +8,10 @@
  * sums back, folds them into q0sqr, and only then can it issue the two
  * stencil steps with q0sqr as a push value.  The readback in the
  * middle of every iteration means no API can run the loop purely
- * enqueue-ahead; Vulkan still batches the two stencil dispatches into
- * one submission with a pipeline barrier between them.
+ * enqueue-ahead, and the host-computed q0sqr push pins Vulkan to the
+ * re-record strategy (a command buffer recorded earlier would bake a
+ * stale value) — srad is the suite's one inherently re-record
+ * workload, next to streamcluster.
  */
 
 #include "suite/benchmark.h"
@@ -17,15 +19,13 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <memory>
 
-#include "common/logging.h"
 #include "common/mathutil.h"
 #include "common/rng.h"
-#include "cuda/cuda_rt.h"
 #include "kernels/kernels.h"
-#include "ocl/ocl.h"
 #include "suite/validate.h"
-#include "suite/vkhelp.h"
+#include "suite/workloads.h"
 
 namespace vcb::suite {
 
@@ -54,7 +54,7 @@ generateImage(uint32_t g, uint32_t iters, uint64_t seed)
 
 /** Fold device (or mirrored) partial sums into q0sqr — the one copy
  *  of the host-side statistics math, shared by the CPU reference and
- *  every API runner so all paths stay bit-identical. */
+ *  the workload's host callback so all paths stay bit-identical. */
 float
 foldQ0sqr(const std::vector<float> &psum, const std::vector<float> &psum2,
           uint32_t n)
@@ -168,257 +168,73 @@ referenceSrad(const Image &im)
     return j;
 }
 
-RunResult
-runVulkan(const sim::DeviceSpec &dev, const Image &im)
+enum BufferIx : size_t
 {
-    RunResult res;
-    VkContext ctx = VkContext::create(dev);
-    VkKernel k_red, k_s1, k_s2;
-    std::string err = createVkKernel(ctx, kernels::buildSradReduce(), &k_red);
-    if (err.empty())
-        err = createVkKernel(ctx, kernels::buildSradStep1(), &k_s1);
-    if (err.empty())
-        err = createVkKernel(ctx, kernels::buildSradStep2(), &k_s2);
-    if (!err.empty()) {
-        res.skipReason = err;
-        return res;
-    }
+    B_J,
+    B_PSUM,
+    B_PSUM2,
+    B_C,
+    B_DN,
+    B_DS,
+    B_DW,
+    B_DE
+};
+enum HostIx : size_t { H_PSUM, H_PSUM2, H_Q0, H_J };
 
-    double t_total0 = ctx.now();
+Workload
+makeWorkload(Image image)
+{
+    auto in = std::make_shared<const Image>(std::move(image));
+    const Image &im = *in;
     const uint32_t g = im.g, n = g * g;
     const uint32_t blocks = (uint32_t)ceilDiv(n, 256);
-    uint64_t bytes = uint64_t(n) * 4;
-    auto b_j = ctx.createDeviceBuffer(bytes);
-    auto b_psum = ctx.createDeviceBuffer(uint64_t(blocks) * 4);
-    auto b_psum2 = ctx.createDeviceBuffer(uint64_t(blocks) * 4);
-    auto b_c = ctx.createDeviceBuffer(bytes);
-    auto b_dn = ctx.createDeviceBuffer(bytes);
-    auto b_ds = ctx.createDeviceBuffer(bytes);
-    auto b_dw = ctx.createDeviceBuffer(bytes);
-    auto b_de = ctx.createDeviceBuffer(bytes);
-    ctx.upload(b_j, im.j.data(), bytes);
-
-    auto s_red = makeDescriptorSet(ctx, k_red,
-                                   {{0, b_j}, {1, b_psum}, {2, b_psum2}});
-    auto s_s1 = makeDescriptorSet(ctx, k_s1,
-                                  {{0, b_j},
-                                   {1, b_c},
-                                   {2, b_dn},
-                                   {3, b_ds},
-                                   {4, b_dw},
-                                   {5, b_de}});
-    auto s_s2 = makeDescriptorSet(ctx, k_s2,
-                                  {{0, b_j},
-                                   {1, b_c},
-                                   {2, b_dn},
-                                   {3, b_ds},
-                                   {4, b_dw},
-                                   {5, b_de}});
-
-    // The reduction command buffer never changes: record once,
-    // resubmit each iteration.
-    vkm::CommandBuffer cb_red, cb_steps;
-    vkm::check(vkm::allocateCommandBuffer(ctx.device, ctx.cmdPool, &cb_red),
-               "allocateCommandBuffer");
-    vkm::check(
-        vkm::allocateCommandBuffer(ctx.device, ctx.cmdPool, &cb_steps),
-        "allocateCommandBuffer");
-    vkm::check(vkm::beginCommandBuffer(cb_red), "beginCommandBuffer");
-    vkm::cmdBindPipeline(cb_red, k_red.pipeline);
-    vkm::cmdBindDescriptorSet(cb_red, k_red.layout, 0, s_red);
-    vkm::cmdPushConstants(cb_red, k_red.layout, 0, 4, &n);
-    vkm::cmdDispatch(cb_red, blocks, 1, 1);
-    vkm::check(vkm::endCommandBuffer(cb_red), "endCommandBuffer");
-
-    vkm::Fence fence;
-    vkm::check(vkm::createFence(ctx.device, &fence), "createFence");
-    std::vector<float> psum(blocks), psum2(blocks);
     const uint32_t tiles = g / kernels::blockSize;
-
-    double t0 = ctx.now();
-    for (uint32_t it = 0; it < im.iters; ++it) {
-        vkm::SubmitInfo si_red;
-        si_red.commandBuffers.push_back(cb_red);
-        vkm::check(vkm::queueSubmit(ctx.queue, {si_red}, fence),
-                   "queueSubmit");
-        vkm::check(vkm::waitForFences(ctx.device, {fence}),
-                   "waitForFences");
-        vkm::check(vkm::resetFences(ctx.device, {fence}), "resetFences");
-        ctx.download(b_psum, psum.data(), uint64_t(blocks) * 4);
-        ctx.download(b_psum2, psum2.data(), uint64_t(blocks) * 4);
-        float q0 = foldQ0sqr(psum, psum2, n);
-
-        // Both stencil steps in one submission; the q0sqr push value
-        // changes every iteration, so the command buffer is re-recorded.
-        vkm::check(vkm::resetCommandBuffer(cb_steps), "resetCommandBuffer");
-        vkm::check(vkm::beginCommandBuffer(cb_steps), "beginCommandBuffer");
-        uint32_t push1[2] = {g, std::bit_cast<uint32_t>(q0)};
-        vkm::cmdBindPipeline(cb_steps, k_s1.pipeline);
-        vkm::cmdBindDescriptorSet(cb_steps, k_s1.layout, 0, s_s1);
-        vkm::cmdPushConstants(cb_steps, k_s1.layout, 0, 8, push1);
-        vkm::cmdDispatch(cb_steps, tiles, tiles, 1);
-        vkm::cmdPipelineBarrier(cb_steps);
-        uint32_t push2[2] = {g, std::bit_cast<uint32_t>(im.lambda)};
-        vkm::cmdBindPipeline(cb_steps, k_s2.pipeline);
-        vkm::cmdBindDescriptorSet(cb_steps, k_s2.layout, 0, s_s2);
-        vkm::cmdPushConstants(cb_steps, k_s2.layout, 0, 8, push2);
-        vkm::cmdDispatch(cb_steps, tiles, tiles, 1);
-        vkm::check(vkm::endCommandBuffer(cb_steps), "endCommandBuffer");
-
-        vkm::SubmitInfo si_steps;
-        si_steps.commandBuffers.push_back(cb_steps);
-        vkm::check(vkm::queueSubmit(ctx.queue, {si_steps}, fence),
-                   "queueSubmit");
-        vkm::check(vkm::waitForFences(ctx.device, {fence}),
-                   "waitForFences");
-        vkm::check(vkm::resetFences(ctx.device, {fence}), "resetFences");
-        res.launches += 3;
-    }
-    res.kernelRegionNs = ctx.now() - t0;
-
-    std::vector<float> out(n);
-    ctx.download(b_j, out.data(), bytes);
-    res.totalNs = ctx.now() - t_total0;
-
-    res.validationError = compareFloats(out, referenceSrad(im));
-    res.validated = res.validationError.empty();
-    res.ok = true;
-    return res;
-}
-
-RunResult
-runOpenCl(const sim::DeviceSpec &dev, const Image &im)
-{
-    RunResult res;
-    ocl::Context ctx(dev);
-    auto p_red = ocl::createProgramWithSource(ctx, kernels::buildSradReduce());
-    auto p_s1 = ocl::createProgramWithSource(ctx, kernels::buildSradStep1());
-    auto p_s2 = ocl::createProgramWithSource(ctx, kernels::buildSradStep2());
-    std::string err;
-    if (!ocl::buildProgram(p_red, &err) || !ocl::buildProgram(p_s1, &err) ||
-        !ocl::buildProgram(p_s2, &err)) {
-        res.skipReason = err;
-        return res;
-    }
-    auto k_red = ocl::createKernel(p_red, "srad_reduce", &err);
-    auto k_s1 = ocl::createKernel(p_s1, "srad_step1", &err);
-    auto k_s2 = ocl::createKernel(p_s2, "srad_step2", &err);
-    VCB_ASSERT(k_red.valid() && k_s1.valid() && k_s2.valid(),
-               "kernel creation failed: %s", err.c_str());
-
-    double t_total0 = ctx.hostNowNs();
-    const uint32_t g = im.g, n = g * g;
-    const uint32_t blocks = (uint32_t)ceilDiv(n, 256);
     uint64_t bytes = uint64_t(n) * 4;
-    auto b_j = ocl::createBuffer(ctx, ocl::MemReadWrite, bytes);
-    auto b_psum = ocl::createBuffer(ctx, ocl::MemReadWrite,
-                                    uint64_t(blocks) * 4);
-    auto b_psum2 = ocl::createBuffer(ctx, ocl::MemReadWrite,
-                                     uint64_t(blocks) * 4);
-    auto b_c = ocl::createBuffer(ctx, ocl::MemReadWrite, bytes);
-    auto b_dn = ocl::createBuffer(ctx, ocl::MemReadWrite, bytes);
-    auto b_ds = ocl::createBuffer(ctx, ocl::MemReadWrite, bytes);
-    auto b_dw = ocl::createBuffer(ctx, ocl::MemReadWrite, bytes);
-    auto b_de = ocl::createBuffer(ctx, ocl::MemReadWrite, bytes);
-    ocl::enqueueWriteBuffer(ctx, b_j, true, 0, bytes, im.j.data());
 
-    ocl::setKernelArgBuffer(k_red, 0, b_j);
-    ocl::setKernelArgBuffer(k_red, 1, b_psum);
-    ocl::setKernelArgBuffer(k_red, 2, b_psum2);
-    ocl::setKernelArgScalar(k_red, 0, n);
-    for (auto *k : {&k_s1, &k_s2}) {
-        ocl::setKernelArgBuffer(*k, 0, b_j);
-        ocl::setKernelArgBuffer(*k, 1, b_c);
-        ocl::setKernelArgBuffer(*k, 2, b_dn);
-        ocl::setKernelArgBuffer(*k, 3, b_ds);
-        ocl::setKernelArgBuffer(*k, 4, b_dw);
-        ocl::setKernelArgBuffer(*k, 5, b_de);
-        ocl::setKernelArgScalar(*k, 0, g);
-    }
-    ocl::setKernelArgScalar(k_s2, 1, std::bit_cast<uint32_t>(im.lambda));
+    Workload w;
+    w.name = "srad";
+    w.kernels = {kernels::buildSradReduce(), kernels::buildSradStep1(),
+                 kernels::buildSradStep2()};
+    w.buffers = {{bytes, wordsOf(im.j)},
+                 {uint64_t(blocks) * 4, {}},
+                 {uint64_t(blocks) * 4, {}},
+                 {bytes, {}},
+                 {bytes, {}},
+                 {bytes, {}},
+                 {bytes, {}},
+                 {bytes, {}}};
+    w.host = {std::vector<uint32_t>(blocks),
+              std::vector<uint32_t>(blocks), {0u},
+              std::vector<uint32_t>(n)};
 
-    std::vector<float> psum(blocks), psum2(blocks);
-    double t0 = ctx.hostNowNs();
-    for (uint32_t it = 0; it < im.iters; ++it) {
-        ocl::enqueueNDRangeKernel(ctx, k_red, blocks * 256);
-        ocl::enqueueReadBuffer(ctx, b_psum, true, 0,
-                               uint64_t(blocks) * 4, psum.data());
-        ocl::enqueueReadBuffer(ctx, b_psum2, true, 0,
-                               uint64_t(blocks) * 4, psum2.data());
-        float q0 = foldQ0sqr(psum, psum2, n);
-        ocl::setKernelArgScalar(k_s1, 1, std::bit_cast<uint32_t>(q0));
-        ocl::enqueueNDRangeKernel(ctx, k_s1, g, g);
-        ocl::enqueueNDRangeKernel(ctx, k_s2, g, g);
-        res.launches += 3;
-        ctx.finish();
-    }
-    res.kernelRegionNs = ctx.hostNowNs() - t0;
-
-    std::vector<float> out(n);
-    ocl::enqueueReadBuffer(ctx, b_j, true, 0, bytes, out.data());
-    res.totalNs = ctx.hostNowNs() - t_total0;
-
-    res.validationError = compareFloats(out, referenceSrad(im));
-    res.validated = res.validationError.empty();
-    res.ok = true;
-    return res;
-}
-
-RunResult
-runCuda(const sim::DeviceSpec &dev, const Image &im)
-{
-    RunResult res;
-    if (!cuda::available(dev)) {
-        res.skipReason = "CUDA not supported on this device";
-        return res;
-    }
-    cuda::Runtime rt(dev);
-    auto f_red = rt.loadFunction(kernels::buildSradReduce());
-    auto f_s1 = rt.loadFunction(kernels::buildSradStep1());
-    auto f_s2 = rt.loadFunction(kernels::buildSradStep2());
-
-    double t_total0 = rt.hostNowNs();
-    const uint32_t g = im.g, n = g * g;
-    const uint32_t blocks = (uint32_t)ceilDiv(n, 256);
-    uint64_t bytes = uint64_t(n) * 4;
-    auto d_j = rt.malloc(bytes);
-    auto d_psum = rt.malloc(uint64_t(blocks) * 4);
-    auto d_psum2 = rt.malloc(uint64_t(blocks) * 4);
-    auto d_c = rt.malloc(bytes);
-    auto d_dn = rt.malloc(bytes);
-    auto d_ds = rt.malloc(bytes);
-    auto d_dw = rt.malloc(bytes);
-    auto d_de = rt.malloc(bytes);
-    rt.memcpyHtoD(d_j, im.j.data(), bytes);
-
-    const uint32_t tiles = g / kernels::blockSize;
-    std::vector<float> psum(blocks), psum2(blocks);
-
-    double t0 = rt.hostNowNs();
-    for (uint32_t it = 0; it < im.iters; ++it) {
-        rt.launchKernel(f_red, blocks, 1, 1, {d_j, d_psum, d_psum2}, {n});
-        rt.memcpyDtoH(psum.data(), d_psum, uint64_t(blocks) * 4);
-        rt.memcpyDtoH(psum2.data(), d_psum2, uint64_t(blocks) * 4);
-        float q0 = foldQ0sqr(psum, psum2, n);
-        rt.launchKernel(f_s1, tiles, tiles, 1,
-                        {d_j, d_c, d_dn, d_ds, d_dw, d_de},
-                        {g, std::bit_cast<uint32_t>(q0)});
-        rt.launchKernel(f_s2, tiles, tiles, 1,
-                        {d_j, d_c, d_dn, d_ds, d_dw, d_de},
-                        {g, std::bit_cast<uint32_t>(im.lambda)});
-        res.launches += 3;
-        rt.deviceSynchronize();
-    }
-    res.kernelRegionNs = rt.hostNowNs() - t0;
-
-    std::vector<float> out(n);
-    rt.memcpyDtoH(out.data(), d_j, bytes);
-    res.totalNs = rt.hostNowNs() - t_total0;
-
-    res.validationError = compareFloats(out, referenceSrad(im));
-    res.validated = res.validationError.empty();
-    res.ok = true;
-    return res;
+    std::vector<std::pair<uint32_t, size_t>> stencil_bindings = {
+        {0, B_J}, {1, B_C}, {2, B_DN}, {3, B_DS}, {4, B_DW}, {5, B_DE}};
+    w.body = {
+        dispatchStep(0, blocks, 1, 1, {pw(n)},
+                     {{0, B_J}, {1, B_PSUM}, {2, B_PSUM2}}),
+        readbackStep(B_PSUM, H_PSUM),
+        readbackStep(B_PSUM2, H_PSUM2),
+        hostStep([n](HostArrays &h) {
+            float q0 = foldQ0sqr(floatsOf(h[H_PSUM]),
+                                 floatsOf(h[H_PSUM2]), n);
+            h[H_Q0][0] = std::bit_cast<uint32_t>(q0);
+        }),
+        // Both stencil steps in one submission; q0sqr is resolved from
+        // the host fold when the dispatch is issued.
+        dispatchStep(1, tiles, tiles, 1, {pw(g), pwHost(H_Q0, 0)},
+                     stencil_bindings),
+        barrierStep(),
+        dispatchStep(2, tiles, tiles, 1, {pw(g), pwF(im.lambda)},
+                     stencil_bindings),
+        syncStep(),
+    };
+    w.iterations = im.iters;
+    w.epilogue = {readbackStep(B_J, H_J)};
+    w.preferred = SubmitStrategy::ReRecord;
+    w.validate = [in](const HostArrays &h) {
+        return compareFloats(floatsOf(h[H_J]), referenceSrad(*in));
+    };
+    return w;
 }
 
 class SradBenchmark : public Benchmark
@@ -444,21 +260,12 @@ class SradBenchmark : public Benchmark
         return {{"64", {64, 2}}, {"128", {128, 2}}};
     }
 
-    RunResult run(const sim::DeviceSpec &dev, sim::Api api,
-                  const SizeConfig &cfg) const override
+    Workload workload(const SizeConfig &cfg) const override
     {
-        Image im = generateImage(static_cast<uint32_t>(cfg.params[0]),
-                                 static_cast<uint32_t>(cfg.params[1]),
-                                 workloadSeed(name(), cfg));
-        switch (api) {
-          case sim::Api::Vulkan:
-            return runVulkan(dev, im);
-          case sim::Api::OpenCl:
-            return runOpenCl(dev, im);
-          case sim::Api::Cuda:
-            return runCuda(dev, im);
-        }
-        return RunResult();
+        return makeWorkload(
+            generateImage(static_cast<uint32_t>(cfg.params[0]),
+                          static_cast<uint32_t>(cfg.params[1]),
+                          workloadSeed(name(), cfg)));
     }
 };
 

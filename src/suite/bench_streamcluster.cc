@@ -8,19 +8,20 @@
  * distances), then the host reads the per-point savings back, sums the
  * gain and — when profitable — reassigns the switched points before
  * the next candidate.  One dispatch and one blocking readback per
- * candidate on every API.
+ * candidate on every API; the candidate index is a per-round push
+ * value, so Vulkan re-records the command buffer every round
+ * (re-record is the only applicable strategy, like srad).
  */
 
 #include "suite/benchmark.h"
 
-#include "common/logging.h"
+#include <memory>
+
 #include "common/mathutil.h"
 #include "common/rng.h"
-#include "cuda/cuda_rt.h"
 #include "kernels/kernels.h"
-#include "ocl/ocl.h"
 #include "suite/validate.h"
-#include "suite/vkhelp.h"
+#include "suite/workloads.h"
 
 namespace vcb::suite {
 
@@ -82,9 +83,9 @@ initialCost(const Stream &st)
     return cost;
 }
 
-/** Host decision shared by the reference and every API path: sum the
- *  savings in index order; a profitable candidate captures its
- *  switched points. */
+/** Host decision shared by the reference and the workload's host
+ *  callback: sum the savings in index order; a profitable candidate
+ *  captures its switched points. */
 bool
 applyCandidate(const Stream &st, uint32_t x,
                const std::vector<float> &lower,
@@ -125,196 +126,59 @@ referenceStreamcluster(const Stream &st)
     return cost;
 }
 
-RunResult
-runVulkan(const sim::DeviceSpec &dev, const Stream &st)
-{
-    RunResult res;
-    VkContext ctx = VkContext::create(dev);
-    VkKernel k;
-    std::string err =
-        createVkKernel(ctx, kernels::buildStreamclusterGain(), &k);
-    if (!err.empty()) {
-        res.skipReason = err;
-        return res;
-    }
+enum BufferIx : size_t { B_SOA, B_W, B_COST, B_LOWER, B_SW };
+enum HostIx : size_t { H_LOWER, H_SW, H_COST, H_APPLIED };
 
-    double t_total0 = ctx.now();
+Workload
+makeWorkload(Stream stream)
+{
+    auto in = std::make_shared<const Stream>(std::move(stream));
+    const Stream &st = *in;
     uint64_t coord_bytes = uint64_t(st.dim) * st.n * 4;
     uint64_t n_bytes = uint64_t(st.n) * 4;
-    auto b_soa = ctx.createDeviceBuffer(coord_bytes);
-    auto b_w = ctx.createDeviceBuffer(n_bytes);
-    auto b_cost = ctx.createDeviceBuffer(n_bytes);
-    auto b_lower = ctx.createDeviceBuffer(n_bytes);
-    auto b_sw = ctx.createDeviceBuffer(n_bytes);
 
-    auto cost = initialCost(st);
-    ctx.upload(b_soa, st.soa.data(), coord_bytes);
-    ctx.upload(b_w, st.weight.data(), n_bytes);
-    ctx.upload(b_cost, cost.data(), n_bytes);
-
-    auto set = makeDescriptorSet(
-        ctx, k,
-        {{0, b_soa}, {1, b_w}, {2, b_cost}, {3, b_lower}, {4, b_sw}});
+    Workload w;
+    w.name = "streamcluster";
+    w.kernels = {kernels::buildStreamclusterGain()};
+    w.buffers = {{coord_bytes, wordsOf(st.soa)},
+                 {n_bytes, wordsOf(st.weight)},
+                 {n_bytes, wordsOf(initialCost(st))},
+                 {n_bytes, {}},
+                 {n_bytes, {}}};
+    w.host = {std::vector<uint32_t>(st.n), std::vector<uint32_t>(st.n),
+              wordsOf(initialCost(st)), {0u}};
 
     const uint32_t groups = (uint32_t)ceilDiv(st.n, 256);
-    vkm::CommandBuffer cb;
-    vkm::check(vkm::allocateCommandBuffer(ctx.device, ctx.cmdPool, &cb),
-               "allocateCommandBuffer");
-    vkm::Fence fence;
-    vkm::check(vkm::createFence(ctx.device, &fence), "createFence");
-
-    std::vector<float> lower(st.n);
-    std::vector<int32_t> sw(st.n);
-
-    double t0 = ctx.now();
-    for (uint32_t r = 0; r < st.candidates; ++r) {
-        uint32_t x = candidateIndex(st, r);
-        // The candidate index is a push value, so the command buffer
-        // is re-recorded per round (the descriptor set is stable).
-        vkm::check(vkm::resetCommandBuffer(cb), "resetCommandBuffer");
-        vkm::check(vkm::beginCommandBuffer(cb), "beginCommandBuffer");
-        uint32_t push[3] = {st.n, st.dim, x};
-        vkm::cmdBindPipeline(cb, k.pipeline);
-        vkm::cmdBindDescriptorSet(cb, k.layout, 0, set);
-        vkm::cmdPushConstants(cb, k.layout, 0, 12, push);
-        vkm::cmdDispatch(cb, groups, 1, 1);
-        vkm::check(vkm::endCommandBuffer(cb), "endCommandBuffer");
-
-        vkm::SubmitInfo si;
-        si.commandBuffers.push_back(cb);
-        vkm::check(vkm::queueSubmit(ctx.queue, {si}, fence),
-                   "queueSubmit");
-        vkm::check(vkm::waitForFences(ctx.device, {fence}),
-                   "waitForFences");
-        vkm::check(vkm::resetFences(ctx.device, {fence}), "resetFences");
-        res.launches += 1;
-
-        ctx.download(b_lower, lower.data(), n_bytes);
-        ctx.download(b_sw, sw.data(), n_bytes);
-        if (applyCandidate(st, x, lower, sw, cost))
-            ctx.upload(b_cost, cost.data(), n_bytes);
-    }
-    res.kernelRegionNs = ctx.now() - t0;
-    res.totalNs = ctx.now() - t_total0;
-
-    res.validationError = compareFloats(cost, referenceStreamcluster(st));
-    res.validated = res.validationError.empty();
-    res.ok = true;
-    return res;
-}
-
-RunResult
-runOpenCl(const sim::DeviceSpec &dev, const Stream &st)
-{
-    RunResult res;
-    ocl::Context ctx(dev);
-    auto prog = ocl::createProgramWithSource(
-        ctx, kernels::buildStreamclusterGain());
-    std::string err;
-    if (!ocl::buildProgram(prog, &err)) {
-        res.skipReason = err;
-        return res;
-    }
-    auto k = ocl::createKernel(prog, "streamcluster_gain", &err);
-    VCB_ASSERT(k.valid(), "kernel creation failed: %s", err.c_str());
-
-    double t_total0 = ctx.hostNowNs();
-    uint64_t coord_bytes = uint64_t(st.dim) * st.n * 4;
-    uint64_t n_bytes = uint64_t(st.n) * 4;
-    auto b_soa = ocl::createBuffer(ctx, ocl::MemReadOnly, coord_bytes);
-    auto b_w = ocl::createBuffer(ctx, ocl::MemReadOnly, n_bytes);
-    auto b_cost = ocl::createBuffer(ctx, ocl::MemReadOnly, n_bytes);
-    auto b_lower = ocl::createBuffer(ctx, ocl::MemReadWrite, n_bytes);
-    auto b_sw = ocl::createBuffer(ctx, ocl::MemReadWrite, n_bytes);
-
-    auto cost = initialCost(st);
-    ocl::enqueueWriteBuffer(ctx, b_soa, true, 0, coord_bytes,
-                            st.soa.data());
-    ocl::enqueueWriteBuffer(ctx, b_w, true, 0, n_bytes, st.weight.data());
-    ocl::enqueueWriteBuffer(ctx, b_cost, true, 0, n_bytes, cost.data());
-
-    ocl::setKernelArgBuffer(k, 0, b_soa);
-    ocl::setKernelArgBuffer(k, 1, b_w);
-    ocl::setKernelArgBuffer(k, 2, b_cost);
-    ocl::setKernelArgBuffer(k, 3, b_lower);
-    ocl::setKernelArgBuffer(k, 4, b_sw);
-    ocl::setKernelArgScalar(k, 0, st.n);
-    ocl::setKernelArgScalar(k, 1, st.dim);
-
-    uint32_t global = (uint32_t)ceilDiv(st.n, 256) * 256;
-    std::vector<float> lower(st.n);
-    std::vector<int32_t> sw(st.n);
-
-    double t0 = ctx.hostNowNs();
-    for (uint32_t r = 0; r < st.candidates; ++r) {
-        uint32_t x = candidateIndex(st, r);
-        ocl::setKernelArgScalar(k, 2, x);
-        ocl::enqueueNDRangeKernel(ctx, k, global);
-        res.launches += 1;
-        ocl::enqueueReadBuffer(ctx, b_lower, true, 0, n_bytes,
-                               lower.data());
-        ocl::enqueueReadBuffer(ctx, b_sw, true, 0, n_bytes, sw.data());
-        if (applyCandidate(st, x, lower, sw, cost))
-            ocl::enqueueWriteBuffer(ctx, b_cost, true, 0, n_bytes,
-                                    cost.data());
-    }
-    res.kernelRegionNs = ctx.hostNowNs() - t0;
-    res.totalNs = ctx.hostNowNs() - t_total0;
-
-    res.validationError = compareFloats(cost, referenceStreamcluster(st));
-    res.validated = res.validationError.empty();
-    res.ok = true;
-    return res;
-}
-
-RunResult
-runCuda(const sim::DeviceSpec &dev, const Stream &st)
-{
-    RunResult res;
-    if (!cuda::available(dev)) {
-        res.skipReason = "CUDA not supported on this device";
-        return res;
-    }
-    cuda::Runtime rt(dev);
-    auto f = rt.loadFunction(kernels::buildStreamclusterGain());
-
-    double t_total0 = rt.hostNowNs();
-    uint64_t coord_bytes = uint64_t(st.dim) * st.n * 4;
-    uint64_t n_bytes = uint64_t(st.n) * 4;
-    auto d_soa = rt.malloc(coord_bytes);
-    auto d_w = rt.malloc(n_bytes);
-    auto d_cost = rt.malloc(n_bytes);
-    auto d_lower = rt.malloc(n_bytes);
-    auto d_sw = rt.malloc(n_bytes);
-
-    auto cost = initialCost(st);
-    rt.memcpyHtoD(d_soa, st.soa.data(), coord_bytes);
-    rt.memcpyHtoD(d_w, st.weight.data(), n_bytes);
-    rt.memcpyHtoD(d_cost, cost.data(), n_bytes);
-
-    uint32_t groups = (uint32_t)ceilDiv(st.n, 256);
-    std::vector<float> lower(st.n);
-    std::vector<int32_t> sw(st.n);
-
-    double t0 = rt.hostNowNs();
-    for (uint32_t r = 0; r < st.candidates; ++r) {
-        uint32_t x = candidateIndex(st, r);
-        rt.launchKernel(f, groups, 1, 1,
-                        {d_soa, d_w, d_cost, d_lower, d_sw},
-                        {st.n, st.dim, x});
-        res.launches += 1;
-        rt.memcpyDtoH(lower.data(), d_lower, n_bytes);
-        rt.memcpyDtoH(sw.data(), d_sw, n_bytes);
-        if (applyCandidate(st, x, lower, sw, cost))
-            rt.memcpyHtoD(d_cost, cost.data(), n_bytes);
-    }
-    res.kernelRegionNs = rt.hostNowNs() - t0;
-    res.totalNs = rt.hostNowNs() - t_total0;
-
-    res.validationError = compareFloats(cost, referenceStreamcluster(st));
-    res.validated = res.validationError.empty();
-    res.ok = true;
-    return res;
+    w.bodyFor = [in, groups](uint32_t r) {
+        const Stream &s = *in;
+        uint32_t x = candidateIndex(s, r);
+        return std::vector<WorkloadStep>{
+            dispatchStep(0, groups, 1, 1, {pw(s.n), pw(s.dim), pw(x)},
+                         {{0, B_SOA},
+                          {1, B_W},
+                          {2, B_COST},
+                          {3, B_LOWER},
+                          {4, B_SW}}),
+            readbackStep(B_LOWER, H_LOWER),
+            readbackStep(B_SW, H_SW),
+            hostStep([in, x](HostArrays &h) {
+                std::vector<float> cost = floatsOf(h[H_COST]);
+                bool applied =
+                    applyCandidate(*in, x, floatsOf(h[H_LOWER]),
+                                   intsOf(h[H_SW]), cost);
+                h[H_COST] = wordsOf(cost);
+                h[H_APPLIED][0] = applied ? 1 : 0;
+            }),
+            // A profitable candidate pushes the reassigned costs back.
+            uploadIfStep(B_COST, H_COST, H_APPLIED, 0)};
+    };
+    w.iterations = st.candidates;
+    w.preferred = SubmitStrategy::ReRecord;
+    w.validate = [in](const HostArrays &h) {
+        return compareFloats(floatsOf(h[H_COST]),
+                             referenceStreamcluster(*in));
+    };
+    return w;
 }
 
 class StreamclusterBenchmark : public Benchmark
@@ -337,23 +201,13 @@ class StreamclusterBenchmark : public Benchmark
         return {{"2K", {2048, 8, 4}}, {"4K", {4096, 8, 4}}};
     }
 
-    RunResult run(const sim::DeviceSpec &dev, sim::Api api,
-                  const SizeConfig &cfg) const override
+    Workload workload(const SizeConfig &cfg) const override
     {
-        Stream st =
+        return makeWorkload(
             generateStream(static_cast<uint32_t>(cfg.params[0]),
                            static_cast<uint32_t>(cfg.params[1]),
                            static_cast<uint32_t>(cfg.params[2]),
-                           workloadSeed(name(), cfg));
-        switch (api) {
-          case sim::Api::Vulkan:
-            return runVulkan(dev, st);
-          case sim::Api::OpenCl:
-            return runOpenCl(dev, st);
-          case sim::Api::Cuda:
-            return runCuda(dev, st);
-        }
-        return RunResult();
+                           workloadSeed(name(), cfg)));
     }
 };
 

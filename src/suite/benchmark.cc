@@ -32,6 +32,13 @@ registry()
     return benches;
 }
 
+RunResult
+Benchmark::run(const sim::DeviceSpec &dev, sim::Api api,
+               const SizeConfig &cfg, const WorkloadOptions &opts) const
+{
+    return runWorkload(workload(cfg), dev, api, opts);
+}
+
 const Benchmark &
 byName(const std::string &name)
 {

@@ -6,14 +6,15 @@
  * expansion families) knows its Rodinia metadata (dwarf, domain), its
  * desktop and mobile size configurations (paper axis labels plus the
  * simulator parameters they map to — each bench_*.cc documents its
- * own scaling rationale next to its SizeConfig lists), and how to run
- * itself on a given simulated device under each of the three
- * programming models.
+ * own scaling rationale next to its SizeConfig lists), and how to
+ * build its declarative workload program (suite/workload.h) for a
+ * given size.
  *
  * run() generates the workload deterministically (same bits for every
- * API), executes the benchmark, measures the paper's metric (the
- * kernel-only region on the simulated host clock), downloads results
- * and validates them against a from-scratch CPU reference.
+ * API) and hands it to the shared runners, which execute it, measure
+ * the paper's metric (the kernel-only region on the simulated host
+ * clock), download results and validate them against the benchmark's
+ * from-scratch CPU reference.
  */
 
 #ifndef VCB_SUITE_BENCHMARK_H
@@ -24,6 +25,7 @@
 #include <vector>
 
 #include "sim/device.h"
+#include "suite/workload.h"
 
 namespace vcb::suite {
 
@@ -34,28 +36,6 @@ struct SizeConfig
     std::string label;
     /** Simulator parameters (benchmark-specific meaning). */
     std::vector<uint64_t> params;
-};
-
-/** Outcome of one benchmark execution. */
-struct RunResult
-{
-    /** False when the configuration cannot run (missing API support,
-     *  driver failure, out of memory) — skipReason says why. */
-    bool ok = false;
-    std::string skipReason;
-
-    /** The paper's metric: kernel-only region on the host clock (ns),
-     *  i.e. launches + kernels + synchronisation, excluding context
-     *  setup, JIT, transfers and host pre/post-processing. */
-    double kernelRegionNs = 0;
-    /** End-to-end time including transfers (ns). */
-    double totalNs = 0;
-    /** Kernel launches (CL/CUDA) or recorded dispatches (Vulkan). */
-    uint64_t launches = 0;
-
-    /** Output matched the CPU reference. */
-    bool validated = false;
-    std::string validationError;
 };
 
 /** Abstract benchmark (one Table-I row). */
@@ -78,9 +58,18 @@ class Benchmark
      *  paper-size datasets exceed the mobile device heaps). */
     virtual std::string mobileSkipReason() const { return ""; }
 
-    /** Execute on a device under an API at a size configuration. */
-    virtual RunResult run(const sim::DeviceSpec &dev, sim::Api api,
-                          const SizeConfig &cfg) const = 0;
+    /** Build the declarative host program for one size configuration:
+     *  deterministically generated inputs, buffers, step list, loop
+     *  structure, preferred Vulkan submission strategy and the CPU
+     *  reference validation. */
+    virtual Workload workload(const SizeConfig &cfg) const = 0;
+
+    /** Execute on a device under an API at a size configuration
+     *  through the shared workload runners.  `opts` selects the Vulkan
+     *  submission strategy (default: the workload's preferred). */
+    RunResult run(const sim::DeviceSpec &dev, sim::Api api,
+                  const SizeConfig &cfg,
+                  const WorkloadOptions &opts = {}) const;
 };
 
 /** All benchmarks: the paper's Table-I rows in order, then the suite

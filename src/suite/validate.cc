@@ -12,6 +12,7 @@
 #include "kernels/kernels.h"
 #include "sim/engine.h"
 #include "sim/kernel.h"
+#include "suite/workloads.h"
 
 namespace vcb::suite {
 
@@ -69,46 +70,13 @@ namespace {
 
 using spirv::ElemType;
 
+// wordsOf / floatsOf / intsOf come from suite/workloads.h — the same
+// conversions the bench drivers use.
+
 uint32_t
 fbits(float v)
 {
     return std::bit_cast<uint32_t>(v);
-}
-
-std::vector<uint32_t>
-wordsOf(const std::vector<float> &v)
-{
-    std::vector<uint32_t> w(v.size());
-    for (size_t i = 0; i < v.size(); ++i)
-        w[i] = std::bit_cast<uint32_t>(v[i]);
-    return w;
-}
-
-std::vector<uint32_t>
-wordsOf(const std::vector<int32_t> &v)
-{
-    std::vector<uint32_t> w(v.size());
-    for (size_t i = 0; i < v.size(); ++i)
-        w[i] = static_cast<uint32_t>(v[i]);
-    return w;
-}
-
-std::vector<float>
-floatsOf(const std::vector<uint32_t> &w)
-{
-    std::vector<float> v(w.size());
-    for (size_t i = 0; i < w.size(); ++i)
-        v[i] = std::bit_cast<float>(w[i]);
-    return v;
-}
-
-std::vector<int32_t>
-intsOf(const std::vector<uint32_t> &w)
-{
-    std::vector<int32_t> v(w.size());
-    for (size_t i = 0; i < w.size(); ++i)
-        v[i] = static_cast<int32_t>(w[i]);
-    return v;
 }
 
 GoldenStep
@@ -244,48 +212,23 @@ GoldenScenario
 makeBfsScenario()
 {
     constexpr uint32_t n = 300;
-    Rng rng(0x9005);
     GoldenScenario s;
     s.name = "bfs";
     s.modules = {kernels::buildBfsKernel1(), kernels::buildBfsKernel2()};
 
-    std::vector<int32_t> start(n), degree(n), edges;
-    for (uint32_t i = 0; i < n; ++i) {
-        start[i] = (int32_t)edges.size();
-        degree[i] = 1 + (int32_t)rng.nextBelow(4);
-        for (int32_t e = 0; e < degree[i]; ++e)
-            edges.push_back((int32_t)rng.nextBelow(n));
-    }
-
-    std::vector<int32_t> mask(n, 0), updating(n, 0), visited(n, 0);
-    std::vector<int32_t> cost(n, -1);
-    mask[0] = 1;
-    visited[0] = 1;
-    cost[0] = 0;
-
-    // CPU reference: plain frontier BFS over the same CSR graph.
-    std::vector<int32_t> dist(n, -1);
-    dist[0] = 0;
-    std::vector<uint32_t> frontier = {0};
+    // The CSR builder, host state and frontier-BFS reference are the
+    // bench driver's own (suite/workloads.h) — a smaller, denser
+    // shape at the scenario's fixed seed.
+    Graph g = generateBfsGraph(n, 0x9005, 1, 4);
+    BfsHostState st(g);
+    std::vector<int32_t> dist = referenceBfs(g);
     int32_t levels = 0;
-    while (!frontier.empty()) {
-        std::vector<uint32_t> next;
-        for (uint32_t u : frontier) {
-            for (int32_t e = start[u]; e < start[u] + degree[u]; ++e) {
-                auto v = (uint32_t)edges[e];
-                if (dist[v] < 0) {
-                    dist[v] = dist[u] + 1;
-                    levels = dist[v];
-                    next.push_back(v);
-                }
-            }
-        }
-        frontier = std::move(next);
-    }
+    for (int32_t d : dist)
+        levels = std::max(levels, d);
 
-    s.buffers = {wordsOf(start),   wordsOf(degree), wordsOf(edges),
-                 wordsOf(mask),    wordsOf(updating), wordsOf(visited),
-                 wordsOf(cost),    {0}};
+    s.buffers = {wordsOf(g.start), wordsOf(g.degree), wordsOf(g.edges),
+                 wordsOf(st.mask), wordsOf(st.umask), wordsOf(st.visited),
+                 wordsOf(st.cost), {0}};
     // One extra host iteration drains the final frontier so the masks
     // end empty (mirrors Rodinia's do/while on the stop flag).
     const uint32_t groups = (uint32_t)ceilDiv(n, 256);

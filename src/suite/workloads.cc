@@ -1,0 +1,96 @@
+#include "suite/workloads.h"
+
+#include <bit>
+#include <cstddef>
+#include <deque>
+
+#include "common/rng.h"
+
+namespace vcb::suite {
+
+std::vector<uint32_t>
+wordsOf(const std::vector<float> &v)
+{
+    std::vector<uint32_t> w(v.size());
+    for (size_t i = 0; i < v.size(); ++i)
+        w[i] = std::bit_cast<uint32_t>(v[i]);
+    return w;
+}
+
+std::vector<uint32_t>
+wordsOf(const std::vector<int32_t> &v)
+{
+    std::vector<uint32_t> w(v.size());
+    for (size_t i = 0; i < v.size(); ++i)
+        w[i] = static_cast<uint32_t>(v[i]);
+    return w;
+}
+
+std::vector<float>
+floatsOf(const std::vector<uint32_t> &w)
+{
+    std::vector<float> v(w.size());
+    for (size_t i = 0; i < w.size(); ++i)
+        v[i] = std::bit_cast<float>(w[i]);
+    return v;
+}
+
+std::vector<int32_t>
+intsOf(const std::vector<uint32_t> &w)
+{
+    std::vector<int32_t> v(w.size());
+    for (size_t i = 0; i < w.size(); ++i)
+        v[i] = static_cast<int32_t>(w[i]);
+    return v;
+}
+
+Graph
+generateBfsGraph(uint32_t n, uint64_t seed, uint32_t min_degree,
+                 uint32_t degree_spread)
+{
+    Rng rng(seed);
+    Graph g;
+    g.n = n;
+    g.start.resize(n);
+    g.degree.resize(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        g.start[i] = static_cast<int32_t>(g.edges.size());
+        uint32_t deg =
+            min_degree + static_cast<uint32_t>(rng.nextBelow(degree_spread));
+        g.degree[i] = static_cast<int32_t>(deg);
+        for (uint32_t e = 0; e < deg; ++e)
+            g.edges.push_back(static_cast<int32_t>(rng.nextBelow(n)));
+    }
+    return g;
+}
+
+std::vector<int32_t>
+referenceBfs(const Graph &g)
+{
+    std::vector<int32_t> cost(g.n, -1);
+    std::deque<int32_t> frontier;
+    cost[g.source] = 0;
+    frontier.push_back(g.source);
+    while (!frontier.empty()) {
+        int32_t u = frontier.front();
+        frontier.pop_front();
+        for (int32_t e = g.start[u]; e < g.start[u] + g.degree[u]; ++e) {
+            int32_t v = g.edges[e];
+            if (cost[v] < 0) {
+                cost[v] = cost[u] + 1;
+                frontier.push_back(v);
+            }
+        }
+    }
+    return cost;
+}
+
+BfsHostState::BfsHostState(const Graph &g)
+    : mask(g.n, 0), umask(g.n, 0), visited(g.n, 0), cost(g.n, -1)
+{
+    mask[g.source] = 1;
+    visited[g.source] = 1;
+    cost[g.source] = 0;
+}
+
+} // namespace vcb::suite

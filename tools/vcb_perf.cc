@@ -23,8 +23,16 @@
  * (total executing threads; 1 = fully serial) and compare only the
  * final "mix" line.
  *
+ * --suite switches to the per-benchmark snapshot mode: every registry
+ * benchmark runs once under the selected API at its preferred
+ * submission strategy, and each JSON line carries the strategy tag and
+ * the paper's kernel_region_ns metric, so the CI perf snapshot tracks
+ * per-benchmark kernel-region trajectories alongside the simulator
+ * throughput mix.
+ *
  *   vcb_perf            # paper-scale reference mix (largest sizes)
  *   vcb_perf --quick    # small sizes, used as the ctest smoke entry
+ *   vcb_perf --suite [--quick]  # per-benchmark kernelRegionNs JSON
  */
 
 #include <chrono>
@@ -79,8 +87,51 @@ nowMs()
 void
 usage()
 {
-    std::printf("usage: vcb_perf [--quick] [--device NAME] "
+    std::printf("usage: vcb_perf [--quick] [--suite] [--device NAME] "
                 "[--api vulkan|opencl|cuda]\n");
+}
+
+/** --suite: one JSON line per registry benchmark with the paper's
+ *  metric and the submission strategy that produced it. */
+int
+runSuiteSnapshot(const sim::DeviceSpec &dev, sim::Api api, bool quick)
+{
+    bool all_ok = true;
+    double suite_kernel_ns = 0;
+    for (const suite::Benchmark *bench : suite::registry()) {
+        auto sizes = bench->desktopSizes();
+        const suite::SizeConfig &cfg =
+            quick ? sizes.front() : sizes.back();
+
+        uint64_t sim0 = sim::dispatchWallNs();
+        double t0 = nowMs();
+        suite::RunResult r = bench->run(dev, api, cfg);
+        double wall_ms = nowMs() - t0;
+        double sim_ms = (sim::dispatchWallNs() - sim0) / 1e6;
+
+        bool ok = r.ok && r.validated;
+        all_ok = all_ok && ok;
+        suite_kernel_ns += r.kernelRegionNs;
+        std::printf("{\"bench\": \"%s\", \"size\": \"%s\", "
+                    "\"api\": \"%s\", \"device\": \"%s\", "
+                    "\"strategy\": \"%s\", "
+                    "\"kernel_region_ns\": %.0f, \"total_ns\": %.0f, "
+                    "\"launches\": %llu, \"wall_ms\": %.3f, "
+                    "\"sim_ms\": %.3f, \"validated\": %s}\n",
+                    bench->name().c_str(), cfg.label.c_str(),
+                    sim::apiName(api), dev.name.c_str(),
+                    r.strategy.c_str(), r.kernelRegionNs, r.totalNs,
+                    (unsigned long long)r.launches, wall_ms, sim_ms,
+                    ok ? "true" : "false");
+        std::fflush(stdout);
+    }
+    std::printf("{\"bench\": \"suite\", \"mode\": \"%s\", "
+                "\"api\": \"%s\", \"device\": \"%s\", "
+                "\"kernel_region_ns\": %.0f, \"validated\": %s}\n",
+                quick ? "quick" : "full", sim::apiName(api),
+                dev.name.c_str(), suite_kernel_ns,
+                all_ok ? "true" : "false");
+    return all_ok ? 0 : 1;
 }
 
 } // namespace
@@ -89,6 +140,7 @@ int
 main(int argc, char **argv)
 {
     bool quick = false;
+    bool suite_mode = false;
     std::string device_name = "gtx1050ti";
     std::string api_str = "vulkan";
 
@@ -101,6 +153,8 @@ main(int argc, char **argv)
         };
         if (arg == "--quick")
             quick = true;
+        else if (arg == "--suite")
+            suite_mode = true;
         else if (arg == "--device")
             device_name = next();
         else if (arg == "--api")
@@ -125,6 +179,9 @@ main(int argc, char **argv)
     if (!dev.profile(api).available)
         fatal("%s is not available on %s", api_str.c_str(),
               dev.name.c_str());
+
+    if (suite_mode)
+        return runSuiteSnapshot(dev, api, quick);
 
     const char *threads_env = std::getenv("VCB_THREADS");
 
