@@ -1,20 +1,24 @@
 /**
  * @file
- * Regenerates Figure 1: strided memory bandwidth on the desktop GPUs.
+ * Regenerates Figure 1 (strided memory bandwidth, desktop GPUs) as a
+ * thin wrapper over the shared report-book renderer
+ * (src/harness/report_book.h) — the exact section `vcb_report` embeds
+ * in docs/RESULTS.md, so the standalone figure cannot drift from the
+ * book.
  *
- * 1a: GTX 1050 Ti, Vulkan vs CUDA.   1b: RX 560, Vulkan vs OpenCL.
  * Paper anchors: unit stride reaches 84 % (CUDA) / 79.6 % (Vulkan) of
  * the 112 GB/s peak on the GTX 1050 Ti and 71.6 % / 71.5 %
  * (Vulkan/OpenCL) on the RX 560; Vulkan pulls slightly ahead beyond
  * 64-byte strides on both parts.
+ *
+ * Default devices are the compiled-in desktop parts; --devices DIR
+ * loads a spec directory instead (every desktop entry gets a panel).
  */
 
 #include <cstdio>
 #include <cstring>
 
-#include "common/logging.h"
-#include "harness/report.h"
-#include "suite/bandwidth.h"
+#include "harness/report_book.h"
 
 int
 main(int argc, char **argv)
@@ -23,59 +27,30 @@ main(int argc, char **argv)
     // --dry-run: tiny sweep so CI can smoke-test the figure path;
     // numbers are then NOT comparable to the paper.
     bool dry_run = false;
+    std::string devices_dir;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--dry-run") == 0) {
             dry_run = true;
+        } else if (std::strcmp(argv[i], "--devices") == 0 &&
+                   i + 1 < argc) {
+            devices_dir = argv[++i];
         } else {
-            std::fprintf(stderr, "usage: %s [--dry-run]\n", argv[0]);
+            std::fprintf(stderr,
+                         "usage: %s [--dry-run] [--devices DIR]\n",
+                         argv[0]);
             return 1;
         }
     }
-    const std::vector<uint32_t> strides = {1, 4, 8, 12, 16, 20, 24, 28,
-                                           32};
-    suite::BandwidthConfig cfg;
-    cfg.threads = dry_run ? 2048 : 16384;
-    cfg.rounds = dry_run ? 8 : 64;
-    cfg.repeats = dry_run ? 1 : 3;
-    if (dry_run)
-        std::printf("(dry run: reduced sizes, figures not "
-                    "paper-comparable)\n");
-
-    struct Panel
-    {
-        const sim::DeviceSpec *dev;
-        sim::Api other;
-        const char *other_name;
-    };
-    const Panel panels[] = {
-        {&sim::gtx1050ti(), sim::Api::Cuda, "CUDA"},
-        {&sim::rx560(), sim::Api::OpenCl, "OpenCL"},
-    };
-
-    for (const Panel &panel : panels) {
-        std::printf("=== Fig. 1: %s (peak %.0f GB/s) ===\n",
-                    panel.dev->name.c_str(), panel.dev->peakBwGBs);
-        auto vk = suite::runBandwidthSweep(*panel.dev, sim::Api::Vulkan,
-                                           strides, cfg);
-        auto other = suite::runBandwidthSweep(*panel.dev, panel.other,
-                                              strides, cfg);
-        harness::Table table({"stride (4B elems)", "Vulkan GB/s",
-                              std::string(panel.other_name) + " GB/s",
-                              "Vulkan %peak"});
-        for (size_t i = 0; i < strides.size(); ++i) {
-            table.addRow(
-                {strprintf("%u", strides[i]),
-                 harness::fmtF(vk[i].gbPerSec),
-                 harness::fmtF(other[i].gbPerSec),
-                 harness::fmtF(vk[i].gbPerSec / panel.dev->peakBwGBs *
-                               100.0, 1)});
-        }
-        std::printf("%s", table.render().c_str());
-        std::printf("\nunit stride: Vulkan %.1f%% of peak, %s %.1f%% "
-                    "of peak\n\n",
-                    vk[0].gbPerSec / panel.dev->peakBwGBs * 100.0,
-                    panel.other_name,
-                    other[0].gbPerSec / panel.dev->peakBwGBs * 100.0);
-    }
+    const std::vector<sim::DeviceSpec> &devices =
+        harness::resolveReportDevices(devices_dir);
+    std::vector<harness::BandwidthPanel> panels;
+    for (const sim::DeviceSpec *dev :
+         harness::selectDevices(devices, /*mobile=*/false))
+        panels.push_back(harness::runBandwidthPanel(*dev, dry_run));
+    std::fputs(
+        harness::renderBandwidthSection(panels, /*mobile=*/false,
+                                        dry_run)
+            .c_str(),
+        stdout);
     return 0;
 }

@@ -1,20 +1,26 @@
 /**
  * @file
- * Regenerates Figure 2: per-benchmark speedups vs the OpenCL baseline
- * on the two desktop GPUs (2a: GTX 1050 Ti with OpenCL/Vulkan/CUDA;
- * 2b: RX 560 with OpenCL/Vulkan).
+ * Regenerates Figure 2 (per-benchmark speedups vs the OpenCL baseline
+ * on the desktop GPUs) as a thin wrapper over the shared report-book
+ * renderer (src/harness/report_book.h): the benchmarks run through
+ * the declarative workload layer at each device's preferred Vulkan
+ * submission strategy, and the printed section is the exact text
+ * `vcb_report` embeds in docs/RESULTS.md.
  *
  * Paper anchors: geomean Vulkan 1.53x vs CUDA and 1.66x vs OpenCL on
  * the GTX 1050 Ti, 1.26x vs OpenCL on the RX 560; best speedups on
  * the blocking-iterative benchmarks (pathfinder, hotspot, lud,
  * gaussian); bfs *slows down* on both parts (immature SPIR-V
  * compiler); cfd only marginal; backprop/nn/nw near parity.
+ *
+ * Default devices are the compiled-in desktop parts; --devices DIR
+ * loads a spec directory instead.
  */
 
 #include <cstdio>
 #include <cstring>
 
-#include "harness/figures.h"
+#include "harness/report_book.h"
 
 int
 main(int argc, char **argv)
@@ -23,28 +29,31 @@ main(int argc, char **argv)
     // --dry-run shrinks every size configuration so CI can smoke-test
     // the figure path; numbers are then NOT comparable to the paper.
     bool dry_run = false;
+    std::string devices_dir;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--dry-run") == 0) {
             dry_run = true;
+        } else if (std::strcmp(argv[i], "--devices") == 0 &&
+                   i + 1 < argc) {
+            devices_dir = argv[++i];
         } else {
-            std::fprintf(stderr, "usage: %s [--dry-run]\n", argv[0]);
+            std::fprintf(stderr,
+                         "usage: %s [--dry-run] [--devices DIR]\n",
+                         argv[0]);
             return 1;
         }
     }
-    const uint64_t scale = dry_run ? 64 : 1;
-    if (dry_run)
-        std::printf("(dry run: sizes / %llu, figures not "
-                    "paper-comparable)\n",
-                    (unsigned long long)scale);
+    const std::vector<sim::DeviceSpec> &devices =
+        harness::resolveReportDevices(devices_dir);
+    const uint64_t scale = harness::speedupScale(false, dry_run);
+    std::vector<harness::FigureData> figures;
     for (const sim::DeviceSpec *dev :
-         {&sim::gtx1050ti(), &sim::rx560()}) {
-        harness::FigureData fig =
-            harness::runSpeedupFigure(*dev, false, scale);
-        std::printf("%s\n", harness::formatSpeedupFigure(fig).c_str());
-        if (!fig.allValidated())
-            std::printf("WARNING: some runs failed validation!\n");
-    }
-    std::printf("paper anchors: GTX1050Ti geomean Vulkan/OpenCL 1.66x, "
-                "Vulkan/CUDA 1.53x; RX560 Vulkan/OpenCL 1.26x\n");
+         harness::selectDevices(devices, /*mobile=*/false))
+        figures.push_back(
+            harness::runSpeedupFigure(*dev, false, scale));
+    std::fputs(
+        harness::renderSpeedupSection(figures, /*mobile=*/false, scale)
+            .c_str(),
+        stdout);
     return 0;
 }

@@ -1,7 +1,10 @@
 /**
  * @file
- * Regenerates Figure 3: strided memory bandwidth on the mobile GPUs
- * (Vulkan vs OpenCL, strides 1..16).
+ * Regenerates Figure 3 (strided memory bandwidth, mobile GPUs) as a
+ * thin wrapper over the shared report-book renderer
+ * (src/harness/report_book.h) — the exact section `vcb_report` embeds
+ * in docs/RESULTS.md, so the standalone figure cannot drift from the
+ * book.
  *
  * Paper anchors: on the Nexus (PowerVR G6430) OpenCL reaches
  * 2.85 GB/s at unit stride vs 2.69 GB/s for Vulkan (89 % / 84 % of
@@ -9,14 +12,16 @@
  * Snapdragon (Adreno 506) Vulkan is *worse below 16-byte strides*
  * because the driver implements push constants as buffer rebinds
  * (Sec. V-B1), converging above 16 bytes.
+ *
+ * Default devices are the compiled-in mobile parts; --devices DIR
+ * loads a spec directory instead (every mobile entry gets a panel —
+ * the post-paper expansion devices included).
  */
 
 #include <cstdio>
 #include <cstring>
 
-#include "common/logging.h"
-#include "harness/report.h"
-#include "suite/bandwidth.h"
+#include "harness/report_book.h"
 
 int
 main(int argc, char **argv)
@@ -25,48 +30,29 @@ main(int argc, char **argv)
     // --dry-run: tiny sweep so CI can smoke-test the figure path;
     // numbers are then NOT comparable to the paper.
     bool dry_run = false;
+    std::string devices_dir;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--dry-run") == 0) {
             dry_run = true;
+        } else if (std::strcmp(argv[i], "--devices") == 0 &&
+                   i + 1 < argc) {
+            devices_dir = argv[++i];
         } else {
-            std::fprintf(stderr, "usage: %s [--dry-run]\n", argv[0]);
+            std::fprintf(stderr,
+                         "usage: %s [--dry-run] [--devices DIR]\n",
+                         argv[0]);
             return 1;
         }
     }
-    const std::vector<uint32_t> strides = {1, 2, 4, 6, 8, 10, 12, 14,
-                                           16};
-    suite::BandwidthConfig cfg;
-    cfg.threads = dry_run ? 1024 : 4096;
-    cfg.rounds = dry_run ? 8 : 32;
-    cfg.repeats = dry_run ? 1 : 3;
-    if (dry_run)
-        std::printf("(dry run: reduced sizes, figures not "
-                    "paper-comparable)\n");
-
+    const std::vector<sim::DeviceSpec> &devices =
+        harness::resolveReportDevices(devices_dir);
+    std::vector<harness::BandwidthPanel> panels;
     for (const sim::DeviceSpec *dev :
-         {&sim::powervrG6430(), &sim::adreno506()}) {
-        std::printf("=== Fig. 3: %s (peak %.1f GB/s) ===\n",
-                    dev->name.c_str(), dev->peakBwGBs);
-        auto vk = suite::runBandwidthSweep(*dev, sim::Api::Vulkan,
-                                           strides, cfg);
-        auto cl = suite::runBandwidthSweep(*dev, sim::Api::OpenCl,
-                                           strides, cfg);
-        harness::Table table({"stride (4B elems)", "Vulkan GB/s",
-                              "OpenCL GB/s", "Vulkan/OpenCL"});
-        for (size_t i = 0; i < strides.size(); ++i) {
-            table.addRow({strprintf("%u", strides[i]),
-                          harness::fmtF(vk[i].gbPerSec, 3),
-                          harness::fmtF(cl[i].gbPerSec, 3),
-                          harness::fmtF(vk[i].gbPerSec /
-                                        cl[i].gbPerSec, 2)});
-        }
-        std::printf("%s", table.render().c_str());
-        std::printf("\nunit stride: Vulkan %.2f GB/s (%.0f%%), OpenCL "
-                    "%.2f GB/s (%.0f%%)\n\n",
-                    vk[0].gbPerSec,
-                    vk[0].gbPerSec / dev->peakBwGBs * 100.0,
-                    cl[0].gbPerSec,
-                    cl[0].gbPerSec / dev->peakBwGBs * 100.0);
-    }
+         harness::selectDevices(devices, /*mobile=*/true))
+        panels.push_back(harness::runBandwidthPanel(*dev, dry_run));
+    std::fputs(harness::renderBandwidthSection(panels, /*mobile=*/true,
+                                               dry_run)
+                   .c_str(),
+               stdout);
     return 0;
 }

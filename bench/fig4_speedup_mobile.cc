@@ -1,8 +1,11 @@
 /**
  * @file
- * Regenerates Figure 4: per-benchmark speedups vs OpenCL on the two
- * mobile platforms (4a: Nexus / PowerVR G6430; 4b: Snapdragon /
- * Adreno 506).
+ * Regenerates Figure 4 (per-benchmark speedups vs OpenCL on the
+ * mobile platforms) as a thin wrapper over the shared report-book
+ * renderer (src/harness/report_book.h): the benchmarks run through
+ * the declarative workload layer, wholesale mobile skips and driver
+ * failures come from the device profiles, and the printed section is
+ * the exact text `vcb_report` embeds in docs/RESULTS.md.
  *
  * Paper anchors: geomean Vulkan 1.59x on the Nexus (hotspot is the
  * lone slowdown: weak shared-memory codegen) but 0.83x on the
@@ -10,12 +13,16 @@
  * absent (datasets do not fit), backprop fails on the Nexus under
  * both APIs, and lud's OpenCL build fails on the Snapdragon — all
  * reproduced through the driver profiles.
+ *
+ * Default devices are the compiled-in mobile parts; --devices DIR
+ * loads a spec directory instead (the post-paper expansion devices
+ * included).
  */
 
 #include <cstdio>
 #include <cstring>
 
-#include "harness/figures.h"
+#include "harness/report_book.h"
 
 int
 main(int argc, char **argv)
@@ -24,26 +31,30 @@ main(int argc, char **argv)
     // --dry-run shrinks every size configuration so CI can smoke-test
     // the figure path; numbers are then NOT comparable to the paper.
     bool dry_run = false;
+    std::string devices_dir;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--dry-run") == 0) {
             dry_run = true;
+        } else if (std::strcmp(argv[i], "--devices") == 0 &&
+                   i + 1 < argc) {
+            devices_dir = argv[++i];
         } else {
-            std::fprintf(stderr, "usage: %s [--dry-run]\n", argv[0]);
+            std::fprintf(stderr,
+                         "usage: %s [--dry-run] [--devices DIR]\n",
+                         argv[0]);
             return 1;
         }
     }
-    const uint64_t scale = dry_run ? 16 : 1;
-    if (dry_run)
-        std::printf("(dry run: sizes / %llu, figures not "
-                    "paper-comparable)\n",
-                    (unsigned long long)scale);
+    const std::vector<sim::DeviceSpec> &devices =
+        harness::resolveReportDevices(devices_dir);
+    const uint64_t scale = harness::speedupScale(true, dry_run);
+    std::vector<harness::FigureData> figures;
     for (const sim::DeviceSpec *dev :
-         {&sim::powervrG6430(), &sim::adreno506()}) {
-        harness::FigureData fig =
-            harness::runSpeedupFigure(*dev, true, scale);
-        std::printf("%s\n", harness::formatSpeedupFigure(fig).c_str());
-    }
-    std::printf("paper anchors: Nexus geomean Vulkan/OpenCL 1.59x; "
-                "Snapdragon 0.83x\n");
+         harness::selectDevices(devices, /*mobile=*/true))
+        figures.push_back(harness::runSpeedupFigure(*dev, true, scale));
+    std::fputs(
+        harness::renderSpeedupSection(figures, /*mobile=*/true, scale)
+            .c_str(),
+        stdout);
     return 0;
 }

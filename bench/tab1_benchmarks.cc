@@ -1,47 +1,19 @@
 /**
  * @file
- * Regenerates Table I: the VComputeBench benchmarks with their dwarf
- * and application domain, straight from the suite registry — plus the
- * submission-strategy axis the workload layer derives from each
- * benchmark's declared host program (which Vulkan strategies its shape
- * admits, and which one the paper's method prefers).
+ * Regenerates Table I (the VComputeBench benchmarks with dwarf,
+ * domain and the admissible Vulkan submission strategies the workload
+ * layer derives from each declared host program) as a thin wrapper
+ * over the shared report-book renderer — the exact section
+ * `vcb_report` embeds in docs/RESULTS.md.
  */
 
 #include <cstdio>
-#include <string>
 
-#include "harness/report.h"
-#include "suite/benchmark.h"
+#include "harness/report_book.h"
 
 int
 main()
 {
-    using namespace vcb;
-    std::printf("TABLE I: VComputeBench benchmarks\n\n");
-    harness::Table table({"Name", "Application", "Dwarf", "Domain",
-                          "Vulkan submit strategies"});
-    for (const suite::Benchmark *b : suite::registry()) {
-        // The smallest desktop size decides the program shape; the
-        // strategy set is a property of the host structure, not the
-        // input scale.
-        suite::Workload w = b->workload(b->desktopSizes()[0]);
-        std::string strategies;
-        for (suite::SubmitStrategy s : suite::applicableStrategies(w)) {
-            if (!strategies.empty())
-                strategies += ", ";
-            strategies += suite::strategyName(s);
-            if (s == w.preferred)
-                strategies += "*";
-        }
-        table.addRow({b->name(), b->fullName(), b->dwarf(), b->domain(),
-                      strategies});
-    }
-    std::printf("%s\n", table.render().c_str());
-    std::printf("(paper Table I lists the first nine rows; srad, kmeans"
-                " and streamcluster\nextend the suite with the same"
-                " Rodinia-derived methodology.  * = the strategy\nthe"
-                " paper's method prefers; every strategy listed for a"
-                " benchmark produces\nbit-identical outputs — see"
-                " bench/abl_command_buffer and tests/test_workload.)\n");
+    std::fputs(vcb::harness::renderTab1Section().c_str(), stdout);
     return 0;
 }

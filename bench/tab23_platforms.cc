@@ -1,49 +1,35 @@
 /**
  * @file
- * Regenerates Tables II and III: the desktop and mobile experimental
- * setups, from the simulated device registry.
+ * Regenerates Tables II and III (desktop and mobile experimental
+ * setups) as a thin wrapper over the shared report-book renderer —
+ * the exact section `vcb_report` embeds in docs/RESULTS.md.
+ *
+ * Default devices are the compiled-in paper parts; --devices DIR
+ * loads a spec directory instead, so spec-file-only expansion devices
+ * appear without recompilation.
  */
 
 #include <cstdio>
+#include <cstring>
 
-#include "common/logging.h"
-#include "harness/report.h"
-#include "sim/device.h"
-
-using namespace vcb;
-
-namespace {
-
-void
-printPlatforms(bool mobile, const char *title)
-{
-
-    std::printf("%s\n\n", title);
-    harness::Table table({"Device", "Platform", "OpenCL", "CUDA",
-                          "Vulkan", "Heap", "Push"});
-    for (const auto &dev : sim::deviceRegistry()) {
-        if (dev.mobile != mobile)
-            continue;
-        auto ver = [&](sim::Api api) {
-            const auto &p = dev.profile(api);
-            return p.available ? p.version : std::string("-");
-        };
-        table.addRow({dev.name, dev.platform, ver(sim::Api::OpenCl),
-                      ver(sim::Api::Cuda), ver(sim::Api::Vulkan),
-                      strprintf("%llu MiB",
-                                (unsigned long long)(dev.deviceHeapBytes >>
-                                                     20)),
-                      strprintf("%u B", dev.maxPushBytes)});
-    }
-    std::printf("%s\n", table.render().c_str());
-}
-
-} // namespace
+#include "harness/report_book.h"
 
 int
-main()
+main(int argc, char **argv)
 {
-    printPlatforms(false, "TABLE II: Desktop GPUs experimental setup");
-    printPlatforms(true, "TABLE III: Mobile GPUs experimental setup");
+    using namespace vcb;
+    std::string devices_dir;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--devices") == 0 && i + 1 < argc) {
+            devices_dir = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--devices DIR]\n",
+                         argv[0]);
+            return 1;
+        }
+    }
+    const std::vector<sim::DeviceSpec> &devices =
+        harness::resolveReportDevices(devices_dir);
+    std::fputs(harness::renderTab23Section(devices).c_str(), stdout);
     return 0;
 }

@@ -52,6 +52,20 @@ FigureData::allValidated() const
     return true;
 }
 
+suite::SizeConfig
+scaleConfig(const suite::SizeConfig &size, uint64_t scale)
+{
+    suite::SizeConfig cfg = size;
+    if (scale > 1)
+        for (auto &p : cfg.params)
+            // Shrink toward a floor of 32 but never inflate: small
+            // parameters (feature counts, iteration counts) pass
+            // through unchanged.
+            p = std::max<uint64_t>(p / scale,
+                                   std::min<uint64_t>(p, 32));
+    return cfg;
+}
+
 FigureData
 runSpeedupFigure(const sim::DeviceSpec &dev, bool mobile, uint64_t scale)
 {
@@ -70,14 +84,7 @@ runSpeedupFigure(const sim::DeviceSpec &dev, bool mobile, uint64_t scale)
             continue;
         }
         for (const auto &size : sizes) {
-            suite::SizeConfig cfg = size;
-            if (scale > 1)
-                for (auto &p : cfg.params)
-                    // Shrink toward a floor of 32 but never inflate:
-                    // small parameters (feature counts, iteration
-                    // counts) pass through unchanged.
-                    p = std::max<uint64_t>(p / scale,
-                                           std::min<uint64_t>(p, 32));
+            suite::SizeConfig cfg = scaleConfig(size, scale);
             SpeedupRow row;
             row.bench = bench->name();
             row.sizeLabel = size.label;
@@ -93,6 +100,8 @@ runSpeedupFigure(const sim::DeviceSpec &dev, bool mobile, uint64_t scale)
                 row.ns[a] = r.kernelRegionNs;
                 row.validated[a] = r.validated;
                 row.strategy[a] = r.strategy;
+                row.totalNs[a] = r.totalNs;
+                row.launches[a] = r.launches;
                 if (r.ok && !r.validated)
                     warn("%s/%s on %s [%s]: validation FAILED: %s",
                          bench->name().c_str(), size.label.c_str(),

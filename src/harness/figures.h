@@ -27,6 +27,9 @@ struct SpeedupRow
     bool ok[sim::apiCount] = {false, false, false};
     std::string skip[sim::apiCount];
     bool validated[sim::apiCount] = {false, false, false};
+    /** End-to-end ns and launch counts (report-book CSV columns). */
+    double totalNs[sim::apiCount] = {0, 0, 0};
+    uint64_t launches[sim::apiCount] = {0, 0, 0};
     /** Submission strategy each API's run used (RunResult::strategy):
      *  the Vulkan column reports which command-buffer strategy
      *  produced its number. */
@@ -62,6 +65,12 @@ struct FigureData
  */
 FigureData runSpeedupFigure(const sim::DeviceSpec &dev, bool mobile,
                             uint64_t scale = 1);
+
+/** Shrink a size configuration by `scale` toward a floor of 32
+ *  (small parameters pass through unchanged) — the fig2/fig4 --dry-run
+ *  and report-book scaling rule. */
+suite::SizeConfig scaleConfig(const suite::SizeConfig &size,
+                              uint64_t scale);
 
 /** Render a figure as a table plus per-benchmark bar chart. */
 std::string formatSpeedupFigure(const FigureData &fig);

@@ -1,0 +1,744 @@
+#include "harness/report_book.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "common/logging.h"
+#include "common/strutil.h"
+#include "harness/report.h"
+#include "sim/device_file.h"
+#include "suite/benchmark.h"
+
+namespace vcb::harness {
+
+using sim::Api;
+
+const std::vector<sim::DeviceSpec> &
+resolveReportDevices(const std::string &devices_dir)
+{
+    if (devices_dir.empty())
+        return sim::activeDeviceRegistry();
+    return sim::setActiveDeviceRegistry(
+        sim::loadDeviceDir(devices_dir));
+}
+
+std::vector<const sim::DeviceSpec *>
+selectDevices(const std::vector<sim::DeviceSpec> &devices, bool mobile)
+{
+    std::vector<const sim::DeviceSpec *> out;
+    for (const auto &d : devices)
+        if (d.mobile == mobile)
+            out.push_back(&d);
+    return out;
+}
+
+uint64_t
+speedupScale(bool mobile, bool dry)
+{
+    if (!dry)
+        return 1;
+    return mobile ? 16 : 64;
+}
+
+// ---------------------------------------------------------------------------
+// Bandwidth figures (Figs. 1 and 3)
+// ---------------------------------------------------------------------------
+
+BandwidthPanel
+runBandwidthPanel(const sim::DeviceSpec &dev, bool dry)
+{
+    BandwidthPanel panel;
+    panel.device = dev.name;
+    panel.peakBwGBs = dev.peakBwGBs;
+
+    suite::BandwidthConfig cfg;
+    if (dev.mobile) {
+        panel.strides = {1, 2, 4, 6, 8, 10, 12, 14, 16};
+        cfg.threads = dry ? 1024 : 4096;
+        cfg.rounds = dry ? 8 : 32;
+    } else {
+        panel.strides = {1, 4, 8, 12, 16, 20, 24, 28, 32};
+        cfg.threads = dry ? 2048 : 16384;
+        cfg.rounds = dry ? 8 : 64;
+    }
+    cfg.repeats = dry ? 1 : 3;
+
+    for (int a = 0; a < sim::apiCount; ++a) {
+        Api api = static_cast<Api>(a);
+        if (!dev.profile(api).available)
+            continue;
+        panel.apiRun[a] = true;
+        panel.points[a] =
+            suite::runBandwidthSweep(dev, api, panel.strides, cfg);
+    }
+    return panel;
+}
+
+std::string
+renderBandwidthSection(const std::vector<BandwidthPanel> &panels,
+                       bool mobile, bool dry)
+{
+    std::string out;
+    if (dry)
+        out += "(dry run: reduced sizes, figures not "
+               "paper-comparable)\n";
+    const char *fig = mobile ? "3" : "1";
+    for (const BandwidthPanel &panel : panels) {
+        out += strprintf("=== Fig. %s: %s (peak %.1f GB/s) ===\n", fig,
+                         panel.device.c_str(), panel.peakBwGBs);
+        int vk = static_cast<int>(Api::Vulkan);
+        std::vector<std::string> headers = {"stride (4B elems)"};
+        for (int a = 0; a < sim::apiCount; ++a)
+            if (panel.apiRun[a])
+                headers.push_back(
+                    std::string(sim::apiName(static_cast<Api>(a))) +
+                    " GB/s");
+        if (panel.apiRun[vk])
+            headers.push_back("Vulkan %peak");
+        Table table(headers);
+        for (size_t i = 0; i < panel.strides.size(); ++i) {
+            std::vector<std::string> cells = {
+                strprintf("%u", panel.strides[i])};
+            for (int a = 0; a < sim::apiCount; ++a)
+                if (panel.apiRun[a])
+                    cells.push_back(
+                        fmtF(panel.points[a][i].gbPerSec, 3));
+            if (panel.apiRun[vk])
+                cells.push_back(fmtF(panel.points[vk][i].gbPerSec /
+                                         panel.peakBwGBs * 100.0,
+                                     1));
+            table.addRow(cells);
+        }
+        out += table.render();
+        out += "\nunit stride:";
+        bool first = true;
+        for (int a = 0; a < sim::apiCount; ++a) {
+            if (!panel.apiRun[a])
+                continue;
+            double gbs = panel.points[a][0].gbPerSec;
+            out += strprintf("%s %s %.2f GB/s (%.1f%% of peak)",
+                             first ? "" : ",",
+                             sim::apiName(static_cast<Api>(a)), gbs,
+                             gbs / panel.peakBwGBs * 100.0);
+            first = false;
+        }
+        out += "\n\n";
+    }
+    out += mobile
+               ? "paper anchors: Nexus unit stride OpenCL 2.85 GB/s "
+                 "(89%) vs Vulkan 2.69 GB/s (84%); Snapdragon Vulkan "
+                 "worse below 16 B strides (push-constant rebind "
+                 "quirk), converging above\n"
+               : "paper anchors: GTX1050Ti unit stride 79.6% (Vulkan) "
+                 "/ 84% (CUDA) of the 112 GB/s peak; RX560 71.6% / "
+                 "71.5% (Vulkan/OpenCL); Vulkan slightly ahead beyond "
+                 "64 B strides on both\n";
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Speedup figures (Figs. 2 and 4)
+// ---------------------------------------------------------------------------
+
+std::string
+renderSpeedupSection(const std::vector<FigureData> &figures, bool mobile,
+                     uint64_t scale)
+{
+    std::string out;
+    if (scale > 1)
+        out += strprintf("(dry run: sizes / %llu, figures not "
+                         "paper-comparable)\n",
+                         (unsigned long long)scale);
+    if (mobile) {
+        for (const suite::Benchmark *bench : suite::registry())
+            if (bench->mobileSizes().empty())
+                out += strprintf("skipped wholesale on mobile: %s — "
+                                 "%s\n",
+                                 bench->name().c_str(),
+                                 bench->mobileSkipReason().c_str());
+    }
+    for (const FigureData &fig : figures) {
+        out += formatSpeedupFigure(fig);
+        out += "\n";
+        if (!fig.allValidated())
+            out += "WARNING: some runs failed validation!\n";
+    }
+    out += mobile ? "paper anchors: Nexus geomean Vulkan/OpenCL 1.59x; "
+                    "Snapdragon 0.83x\n"
+                  : "paper anchors: GTX1050Ti geomean Vulkan/OpenCL "
+                    "1.66x, Vulkan/CUDA 1.53x; RX560 Vulkan/OpenCL "
+                    "1.26x\n";
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Tables I–III
+// ---------------------------------------------------------------------------
+
+std::string
+renderTab1Section()
+{
+    std::string out = "TABLE I: VComputeBench benchmarks\n\n";
+    Table table({"Name", "Application", "Dwarf", "Domain",
+                 "Vulkan submit strategies"});
+    for (const suite::Benchmark *b : suite::registry()) {
+        // The smallest desktop size decides the program shape; the
+        // strategy set is a property of the host structure, not the
+        // input scale.
+        suite::Workload w = b->workload(b->desktopSizes()[0]);
+        std::string strategies;
+        for (suite::SubmitStrategy s : suite::applicableStrategies(w)) {
+            if (!strategies.empty())
+                strategies += ", ";
+            strategies += suite::strategyName(s);
+            if (s == w.preferred)
+                strategies += "*";
+        }
+        table.addRow({b->name(), b->fullName(), b->dwarf(), b->domain(),
+                      strategies});
+    }
+    out += table.render();
+    out += "\n(paper Table I lists the first nine rows; srad, kmeans"
+           " and streamcluster\nextend the suite with the same"
+           " Rodinia-derived methodology.  * = the strategy\nthe"
+           " paper's method prefers; every strategy listed for a"
+           " benchmark produces\nbit-identical outputs — see"
+           " bench/abl_command_buffer and tests/test_workload.)\n";
+    return out;
+}
+
+std::string
+renderTab23Section(const std::vector<sim::DeviceSpec> &devices)
+{
+    std::string out;
+    for (bool mobile : {false, true}) {
+        out += mobile
+                   ? "TABLE III: Mobile GPUs experimental setup\n\n"
+                   : "TABLE II: Desktop GPUs experimental setup\n\n";
+        Table table({"Device", "Platform", "OpenCL", "CUDA", "Vulkan",
+                     "Heap", "Push"});
+        for (const auto &dev : devices) {
+            if (dev.mobile != mobile)
+                continue;
+            auto ver = [&](Api api) {
+                const auto &p = dev.profile(api);
+                return p.available ? p.version : std::string("-");
+            };
+            table.addRow(
+                {dev.name, dev.platform, ver(Api::OpenCl),
+                 ver(Api::Cuda), ver(Api::Vulkan),
+                 strprintf("%llu MiB",
+                           (unsigned long long)(dev.deviceHeapBytes >>
+                                                20)),
+                 strprintf("%u B", dev.maxPushBytes)});
+        }
+        out += table.render();
+        out += "\n";
+    }
+    out += "(the paper's parts are the GTX 1050 Ti, RX 560, Adreno "
+           "506 and PowerVR\nG6430; any other row is a post-paper "
+           "expansion part defined entirely by\nits spec file under "
+           "devices/)\n";
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Suite sweep
+// ---------------------------------------------------------------------------
+
+bool
+ReportBook::allValidated() const
+{
+    for (const DeviceReport &report : devices) {
+        if (!report.figure.allValidated())
+            return false;
+        for (const SweepRun &run : report.strategySweep)
+            if (run.result.ok && !run.result.validated)
+                return false;
+    }
+    return true;
+}
+
+ReportBook
+buildReportBook(const std::vector<sim::DeviceSpec> &devices, bool dry)
+{
+    ReportBook book;
+    book.dry = dry;
+    for (const sim::DeviceSpec &dev : devices) {
+        DeviceReport report;
+        report.dev = &dev;
+        report.bandwidth = runBandwidthPanel(dev, dry);
+        uint64_t scale = speedupScale(dev.mobile, dry);
+        report.figure = runSpeedupFigure(dev, dev.mobile, scale);
+
+        // Vulkan submission-strategy sweep at the smallest size.
+        if (dev.profile(Api::Vulkan).available) {
+            for (const suite::Benchmark *bench : suite::registry()) {
+                auto sizes = dev.mobile ? bench->mobileSizes()
+                                        : bench->desktopSizes();
+                if (sizes.empty())
+                    continue;
+                suite::SizeConfig cfg =
+                    scaleConfig(sizes.front(), scale);
+                suite::Workload w = bench->workload(cfg);
+                for (suite::SubmitStrategy s :
+                     suite::applicableStrategies(w)) {
+                    suite::WorkloadOptions opts;
+                    opts.strategy = s;
+                    SweepRun run;
+                    run.bench = bench->name();
+                    run.size = sizes.front().label;
+                    run.api = Api::Vulkan;
+                    run.strategy = s;
+                    run.preferred = s == w.preferred;
+                    run.result =
+                        bench->run(dev, Api::Vulkan, cfg, opts);
+                    report.strategySweep.push_back(std::move(run));
+                }
+            }
+        }
+        book.devices.push_back(std::move(report));
+    }
+    return book;
+}
+
+std::string
+renderStrategySection(const ReportBook &book)
+{
+    std::string out;
+    out += "Every benchmark x admissible Vulkan submission strategy "
+           "at the smallest\npaper size (strategies are derived from "
+           "the declared program shape;\noutputs are bit-identical "
+           "across a benchmark's strategies — the numbers\nbelow "
+           "differ only in submission overhead).  * = the workload's "
+           "preferred\nstrategy, the one the figures above report.\n";
+    for (const DeviceReport &report : book.devices) {
+        if (report.strategySweep.empty())
+            continue;
+        out += strprintf("\n--- %s ---\n", report.dev->name.c_str());
+        Table table({"bench", "size", "strategy", "kernel-region ns",
+                     "launches", "note"});
+        for (const SweepRun &run : report.strategySweep) {
+            // Tag the preferred strategy like Table I does.
+            std::string name = suite::strategyName(run.strategy);
+            if (run.preferred)
+                name += "*";
+            std::string note;
+            if (!run.result.ok)
+                note = run.result.skipReason;
+            else if (!run.result.validated)
+                note = "VALIDATION FAILED";
+            table.addRow(
+                {run.bench, run.size, name,
+                 run.result.ok ? strprintf("%.0f",
+                                           run.result.kernelRegionNs)
+                               : "-",
+                 run.result.ok
+                     ? strprintf("%llu", (unsigned long long)
+                                             run.result.launches)
+                     : "-",
+                 note});
+        }
+        out += table.render();
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Artifacts
+// ---------------------------------------------------------------------------
+
+std::string
+deviceSlug(const std::string &device_name)
+{
+    std::string slug;
+    for (char c : device_name) {
+        if (std::isalnum(static_cast<unsigned char>(c)))
+            slug += static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        else if (!slug.empty() && slug.back() != '-')
+            slug += '-';
+    }
+    while (!slug.empty() && slug.back() == '-')
+        slug.pop_back();
+    return slug.empty() ? "device" : slug;
+}
+
+std::string
+deviceCsv(const DeviceReport &report)
+{
+    Table table({"device", "bench", "size", "api", "strategy",
+                 "kernel_region_ns", "total_ns", "launches", "ok",
+                 "validated", "note"});
+    const std::string &dev = report.dev->name;
+    for (const SpeedupRow &row : report.figure.rows) {
+        for (int a = 0; a < sim::apiCount; ++a) {
+            Api api = static_cast<Api>(a);
+            table.addRow(
+                {dev, row.bench, row.sizeLabel, sim::apiName(api),
+                 row.ok[a] ? row.strategy[a] : "-",
+                 row.ok[a] ? strprintf("%.0f", row.ns[a]) : "-",
+                 row.ok[a] ? strprintf("%.0f", row.totalNs[a]) : "-",
+                 row.ok[a] ? strprintf("%llu", (unsigned long long)
+                                                   row.launches[a])
+                           : "-",
+                 row.ok[a] ? "true" : "false",
+                 row.validated[a] ? "true" : "false", row.skip[a]});
+        }
+    }
+    for (const SweepRun &run : report.strategySweep) {
+        const suite::RunResult &r = run.result;
+        table.addRow(
+            {dev, run.bench, run.size, sim::apiName(run.api),
+             suite::strategyName(run.strategy),
+             r.ok ? strprintf("%.0f", r.kernelRegionNs) : "-",
+             r.ok ? strprintf("%.0f", r.totalNs) : "-",
+             r.ok ? strprintf("%llu", (unsigned long long)r.launches)
+                  : "-",
+             r.ok ? "true" : "false", r.validated ? "true" : "false",
+             r.skipReason});
+    }
+    return table.csv();
+}
+
+namespace {
+
+/** JSON string literal with escaping (quotes, backslashes, control
+ *  characters) — spec files accept arbitrary free text for names. */
+std::string
+jsonStr(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strprintf("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out + "\"";
+}
+
+// Shared line emitters: the --suite-json trajectory (suiteJsonLines)
+// and the --out artifact (suiteJsonFromBook) must never drift in
+// shape, so both build every line through these.
+
+std::string
+jsonWholesaleSkipLine(const suite::Benchmark &bench,
+                      const std::string &dev_name)
+{
+    return strprintf("{\"bench\": %s, \"device\": %s, "
+                     "\"skipped\": %s}\n",
+                     jsonStr(bench.name()).c_str(),
+                     jsonStr(dev_name).c_str(),
+                     jsonStr(bench.mobileSkipReason()).c_str());
+}
+
+std::string
+jsonSkipLine(const std::string &bench, const std::string &size, Api api,
+             const std::string &dev_name, const std::string &reason)
+{
+    return strprintf("{\"bench\": %s, \"size\": %s, \"api\": \"%s\", "
+                     "\"device\": %s, \"skipped\": %s}\n",
+                     jsonStr(bench).c_str(), jsonStr(size).c_str(),
+                     sim::apiName(api), jsonStr(dev_name).c_str(),
+                     jsonStr(reason).c_str());
+}
+
+std::string
+jsonRunLine(const std::string &bench, const std::string &size, Api api,
+            const std::string &dev_name, const std::string &strategy,
+            double kernel_ns, double total_ns, uint64_t launches,
+            bool validated)
+{
+    return strprintf("{\"bench\": %s, \"size\": %s, \"api\": \"%s\", "
+                     "\"device\": %s, \"strategy\": %s, "
+                     "\"kernel_region_ns\": %.0f, \"total_ns\": %.0f, "
+                     "\"launches\": %llu, \"validated\": %s}\n",
+                     jsonStr(bench).c_str(), jsonStr(size).c_str(),
+                     sim::apiName(api), jsonStr(dev_name).c_str(),
+                     jsonStr(strategy).c_str(), kernel_ns, total_ns,
+                     (unsigned long long)launches,
+                     validated ? "true" : "false");
+}
+
+std::string
+jsonDeviceSummary(const char *mode, const std::string &dev_name,
+                  double kernel_ns, bool validated)
+{
+    return strprintf("{\"bench\": \"suite\", \"mode\": \"%s\", "
+                     "\"device\": %s, \"kernel_region_ns\": %.0f, "
+                     "\"validated\": %s}\n",
+                     mode, jsonStr(dev_name).c_str(), kernel_ns,
+                     validated ? "true" : "false");
+}
+
+std::string
+jsonSuiteTrailer(const char *mode, size_t device_count, bool validated)
+{
+    return strprintf("{\"bench\": \"report\", \"mode\": \"%s\", "
+                     "\"devices\": %zu, \"validated\": %s}\n",
+                     mode, device_count, validated ? "true" : "false");
+}
+
+} // namespace
+
+std::string
+suiteJsonFromBook(const ReportBook &book)
+{
+    const char *mode = book.dry ? "dry-run" : "full";
+    std::string out;
+    bool all_ok = true;
+    for (const DeviceReport &report : book.devices) {
+        const std::string &dev = report.dev->name;
+        if (report.dev->mobile) {
+            for (const suite::Benchmark *bench : suite::registry())
+                if (bench->mobileSizes().empty())
+                    out += jsonWholesaleSkipLine(*bench, dev);
+        }
+        double device_kernel_ns = 0;
+        bool device_ok = true;
+        for (const SpeedupRow &row : report.figure.rows) {
+            for (int a = 0; a < sim::apiCount; ++a) {
+                Api api = static_cast<Api>(a);
+                if (!report.dev->profile(api).available)
+                    continue;
+                if (!row.ok[a]) {
+                    out += jsonSkipLine(row.bench, row.sizeLabel, api,
+                                        dev, row.skip[a]);
+                    continue;
+                }
+                device_ok = device_ok && row.validated[a];
+                device_kernel_ns += row.ns[a];
+                out += jsonRunLine(row.bench, row.sizeLabel, api, dev,
+                                   row.strategy[a], row.ns[a],
+                                   row.totalNs[a], row.launches[a],
+                                   row.validated[a]);
+            }
+        }
+        out += jsonDeviceSummary(mode, dev, device_kernel_ns,
+                                 device_ok);
+        all_ok = all_ok && device_ok;
+    }
+    out += jsonSuiteTrailer(mode, book.devices.size(), all_ok);
+    return out;
+}
+
+std::string
+suiteJsonLines(const std::vector<sim::DeviceSpec> &devices, bool quick,
+               bool *all_validated)
+{
+    const char *mode = quick ? "quick" : "full";
+    std::string out;
+    bool all_ok = true;
+    for (const sim::DeviceSpec &dev : devices) {
+        double device_kernel_ns = 0;
+        bool device_ok = true;
+        for (const suite::Benchmark *bench : suite::registry()) {
+            auto sizes = dev.mobile ? bench->mobileSizes()
+                                    : bench->desktopSizes();
+            if (sizes.empty()) {
+                out += jsonWholesaleSkipLine(*bench, dev.name);
+                continue;
+            }
+            const suite::SizeConfig &cfg =
+                quick ? sizes.front() : sizes.back();
+            for (int a = 0; a < sim::apiCount; ++a) {
+                Api api = static_cast<Api>(a);
+                if (!dev.profile(api).available)
+                    continue;
+                suite::RunResult r = bench->run(dev, api, cfg);
+                if (!r.ok) {
+                    out += jsonSkipLine(bench->name(), cfg.label, api,
+                                        dev.name, r.skipReason);
+                    continue;
+                }
+                device_ok = device_ok && r.validated;
+                device_kernel_ns += r.kernelRegionNs;
+                out += jsonRunLine(bench->name(), cfg.label, api,
+                                   dev.name, r.strategy,
+                                   r.kernelRegionNs, r.totalNs,
+                                   r.launches, r.validated);
+            }
+        }
+        out += jsonDeviceSummary(mode, dev.name, device_kernel_ns,
+                                 device_ok);
+        all_ok = all_ok && device_ok;
+    }
+    out += jsonSuiteTrailer(mode, devices.size(), all_ok);
+    if (all_validated)
+        *all_validated = all_ok;
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// The Markdown results book
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void
+addFencedSection(std::string &out, const std::string &heading,
+                 const std::string &intro, const std::string &body)
+{
+    out += "## " + heading + "\n\n";
+    if (!intro.empty())
+        out += intro + "\n\n";
+    out += "```\n";
+    out += body;
+    if (!body.empty() && body.back() != '\n')
+        out += "\n";
+    out += "```\n\n";
+}
+
+} // namespace
+
+std::string
+renderResultsBook(const ReportBook &book)
+{
+    size_t desktop = 0, mobile = 0;
+    for (const DeviceReport &r : book.devices)
+        (r.dev->mobile ? mobile : desktop)++;
+
+    std::string out;
+    out += "<!-- GENERATED FILE — do not edit by hand.\n"
+           "     Regenerate from the repo root with:\n"
+           "         build/tools/vcb_report --dry-run > "
+           "docs/RESULTS.md\n"
+           "     CI and ctest fail when this file drifts from the "
+           "committed copy\n"
+           "     (tools/check_docs.sh and the check_results_book "
+           "test). -->\n\n";
+    out += "# VComputeBench results book\n\n";
+    out += strprintf(
+        "One artifact for the paper's whole measurement story: "
+        "generated by\n`vcb_report` from the device registry "
+        "(%zu devices: %zu desktop, %zu mobile,\nall loaded from "
+        "`devices/*.dev` spec files — see "
+        "[DEVICE_MODEL.md](DEVICE_MODEL.md)),\nrunning every "
+        "registered benchmark under every available API and every\n"
+        "admissible Vulkan submission strategy on the simulated "
+        "devices\n([ARCHITECTURE.md](ARCHITECTURE.md)).\n\n",
+        book.devices.size(), desktop, mobile);
+    if (book.dry)
+        out += "**Dry-run scale**: sizes are shrunk so CI can "
+               "regenerate and diff this\nbook on every build; "
+               "numbers exercise the full pipeline but are *not*\n"
+               "paper-comparable.  `build/tools/vcb_report --out "
+               "report` writes the\npaper-scale artifact tree "
+               "(per-device CSVs, suite JSON, this book).\n\n";
+
+    std::string device_list;
+    for (const DeviceReport &r : book.devices)
+        device_list += strprintf("- %s (%s, %s)\n",
+                                 r.dev->name.c_str(),
+                                 r.dev->mobile ? "mobile" : "desktop",
+                                 r.dev->vendor.c_str());
+    out += "Devices, registry order:\n\n" + device_list + "\n";
+
+    addFencedSection(
+        out, "Table I — benchmarks and submission strategies",
+        "Straight from the suite registry; a new benchmark family "
+        "appears here\n(and in every figure below) the moment it "
+        "registers.",
+        renderTab1Section());
+
+    std::vector<sim::DeviceSpec> specs;
+    for (const DeviceReport &r : book.devices)
+        specs.push_back(*r.dev);
+    addFencedSection(out, "Tables II & III — experimental setup",
+                     "From the loaded device registry: the paper's "
+                     "four parts plus the\nspec-file-only expansion "
+                     "devices.",
+                     renderTab23Section(specs));
+
+    std::vector<BandwidthPanel> desktop_bw, mobile_bw;
+    std::vector<FigureData> desktop_figs, mobile_figs;
+    for (const DeviceReport &r : book.devices) {
+        if (r.dev->mobile) {
+            mobile_bw.push_back(r.bandwidth);
+            mobile_figs.push_back(r.figure);
+        } else {
+            desktop_bw.push_back(r.bandwidth);
+            desktop_figs.push_back(r.figure);
+        }
+    }
+
+    addFencedSection(
+        out, "Figure 1 — strided memory bandwidth, desktop",
+        "Useful-byte bandwidth of the strided-read sweep under every "
+        "available\nAPI (paper Sec. V-A1).",
+        renderBandwidthSection(desktop_bw, false, book.dry));
+    addFencedSection(
+        out, "Figure 2 — per-benchmark speedups vs OpenCL, desktop",
+        "Kernel-region speedups against the OpenCL baseline at the "
+        "preferred\nsubmission strategy (paper Sec. V-A2).",
+        renderSpeedupSection(desktop_figs, false,
+                             speedupScale(false, book.dry)));
+    addFencedSection(
+        out, "Figure 3 — strided memory bandwidth, mobile",
+        "The mobile strided sweep (paper Sec. V-B1); the Snapdragon "
+        "push-constant\nquirk shows below 16-byte strides.",
+        renderBandwidthSection(mobile_bw, true, book.dry));
+    addFencedSection(
+        out, "Figure 4 — per-benchmark speedups vs OpenCL, mobile",
+        "Mobile speedups with the paper's wholesale skips and driver "
+        "failures\nreproduced through the driver profiles (paper "
+        "Sec. V-B2).",
+        renderSpeedupSection(mobile_figs, true,
+                             speedupScale(true, book.dry)));
+
+    addFencedSection(out, "Vulkan submission-strategy sweep",
+                     "The report layer's own axis beyond the paper: "
+                     "every admissible\nstrategy per benchmark, so "
+                     "command-buffer wins/losses are visible\n"
+                     "per device.",
+                     renderStrategySection(book));
+
+    // Geomean summary as a native markdown table.
+    out += "## Geomean summary\n\n";
+    out += "| device | class | Vulkan/OpenCL | CUDA/OpenCL | "
+           "Vulkan/CUDA | validated |\n";
+    out += "|---|---|---|---|---|---|\n";
+    for (const DeviceReport &r : book.devices) {
+        auto fmtx = [](double v) {
+            return v > 0 ? strprintf("%.2fx", v) : std::string("-");
+        };
+        bool has_cuda = r.dev->profile(Api::Cuda).available;
+        out += strprintf(
+            "| %s | %s | %s | %s | %s | %s |\n", r.dev->name.c_str(),
+            r.dev->mobile ? "mobile" : "desktop",
+            fmtx(r.figure.geomeanVsOpenCl(Api::Vulkan)).c_str(),
+            has_cuda ? fmtx(r.figure.geomeanVsOpenCl(Api::Cuda)).c_str()
+                     : "-",
+            has_cuda ? fmtx(r.figure.geomeanVulkanVsCuda()).c_str()
+                     : "-",
+            r.figure.allValidated() ? "yes" : "**NO**");
+    }
+    out += "\n";
+    out += "Figures and tables above are rendered by "
+           "`src/harness/report_book.cc`; the\nstandalone "
+           "`bench/fig*` and `bench/tab*` binaries print the same "
+           "sections\nfrom the same renderers, so they cannot drift "
+           "from this book.\n";
+    return out;
+}
+
+} // namespace vcb::harness

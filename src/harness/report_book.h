@@ -1,0 +1,186 @@
+/**
+ * @file
+ * The report-book layer: one code path that runs every registered
+ * benchmark x API x admissible Vulkan submission strategy across a
+ * device registry and renders every paper artifact from the result —
+ * the fig1–fig4 sections, the tab1–tab3 tables, per-device CSVs, the
+ * suite-wide JSON snapshot and the generated Markdown results book
+ * (docs/RESULTS.md).
+ *
+ * The standalone `bench/fig*` / `bench/tab*` binaries are thin
+ * wrappers over the same section renderers, so a figure printed on a
+ * terminal can never drift from the committed book: both are the same
+ * string from the same run.  `tools/vcb_report` is the one-command
+ * driver (see its --help for the artifact tree layout).
+ *
+ * Every number below comes from simulated clocks, so a report built
+ * twice from the same tree is byte-identical — which is what lets CI
+ * regenerate docs/RESULTS.md and fail on drift.
+ */
+
+#ifndef VCB_HARNESS_REPORT_BOOK_H
+#define VCB_HARNESS_REPORT_BOOK_H
+
+#include <string>
+#include <vector>
+
+#include "harness/figures.h"
+#include "sim/device.h"
+#include "suite/bandwidth.h"
+#include "suite/workload.h"
+
+namespace vcb::harness {
+
+/**
+ * Resolve the report's device registry: when `devices_dir` is
+ * non-empty, load its spec files and install them as the active
+ * registry (sim/device_file.h — the report pipeline's path);
+ * otherwise return the current active registry (the compiled-in paper
+ * parts by default).  Benchmarks must run against the exact returned
+ * objects — the Vulkan front-end resolves devices by identity — so
+ * callers keep references, never copies.
+ */
+const std::vector<sim::DeviceSpec> &
+resolveReportDevices(const std::string &devices_dir);
+
+/** Pointers to the mobile (or desktop) subset, registry order. */
+std::vector<const sim::DeviceSpec *>
+selectDevices(const std::vector<sim::DeviceSpec> &devices, bool mobile);
+
+/** Figure speedup scale divisors (dry-run shrink used by fig2/fig4
+ *  --dry-run and the book): desktop 64, mobile 16, 1 when not dry. */
+uint64_t speedupScale(bool mobile, bool dry);
+
+// ---------------------------------------------------------------------------
+// Bandwidth figures (Figs. 1 and 3)
+// ---------------------------------------------------------------------------
+
+/** One device's strided-bandwidth sweep under every available API. */
+struct BandwidthPanel
+{
+    std::string device;
+    double peakBwGBs = 0;
+    std::vector<uint32_t> strides;
+    bool apiRun[sim::apiCount] = {false, false, false};
+    std::vector<suite::BandwidthPoint> points[sim::apiCount];
+};
+
+/** Run the device's sweep: desktop strides/sizes for desktop parts,
+ *  mobile strides/sizes for mobile parts; `dry` shrinks the sweep. */
+BandwidthPanel runBandwidthPanel(const sim::DeviceSpec &dev, bool dry);
+
+/** Render the Fig. 1 (desktop) or Fig. 3 (mobile) section: one panel
+ *  per device with per-stride GB/s columns and the unit-stride
+ *  percent-of-peak summary the paper anchors on. */
+std::string
+renderBandwidthSection(const std::vector<BandwidthPanel> &panels,
+                       bool mobile, bool dry);
+
+// ---------------------------------------------------------------------------
+// Speedup figures (Figs. 2 and 4)
+// ---------------------------------------------------------------------------
+
+/** Render the Fig. 2 (desktop) or Fig. 4 (mobile) section from
+ *  already-run figures: per-device speedup tables/bar charts, the
+ *  wholesale mobile-skip annotations, validation warnings and the
+ *  paper's geomean anchors. */
+std::string
+renderSpeedupSection(const std::vector<FigureData> &figures, bool mobile,
+                     uint64_t scale);
+
+// ---------------------------------------------------------------------------
+// Tables I–III
+// ---------------------------------------------------------------------------
+
+/** Table I: benchmark metadata + admissible submission strategies. */
+std::string renderTab1Section();
+
+/** Tables II and III from the given registry (desktop then mobile). */
+std::string
+renderTab23Section(const std::vector<sim::DeviceSpec> &devices);
+
+// ---------------------------------------------------------------------------
+// Suite sweep (CSV / JSON / strategy section)
+// ---------------------------------------------------------------------------
+
+/** One benchmark execution within the report sweep. */
+struct SweepRun
+{
+    std::string bench;
+    std::string size;
+    sim::Api api = sim::Api::Vulkan;
+    suite::SubmitStrategy strategy = suite::SubmitStrategy::ReRecord;
+    /** This strategy is the workload's preferred one (Table I's *). */
+    bool preferred = false;
+    suite::RunResult result;
+};
+
+/** Everything the book reports about one device. */
+struct DeviceReport
+{
+    /** Into the caller's (active-registry) device vector. */
+    const sim::DeviceSpec *dev = nullptr;
+    /** Bandwidth sweep (Fig. 1/3 panel). */
+    BandwidthPanel bandwidth;
+    /** Benchmarks x sizes x APIs at the preferred strategy
+     *  (Fig. 2/4 figure; desktop sizes for desktop parts). */
+    FigureData figure;
+    /** Vulkan submission-strategy sweep at the smallest size: one run
+     *  per benchmark x applicable strategy. */
+    std::vector<SweepRun> strategySweep;
+};
+
+/** The whole report: one DeviceReport per registry device. */
+struct ReportBook
+{
+    std::vector<DeviceReport> devices;
+    bool dry = false;
+
+    /** Every executed run validated against its CPU reference. */
+    bool allValidated() const;
+};
+
+/** Run the full report across `devices` (dry = shrunken sizes). */
+ReportBook buildReportBook(const std::vector<sim::DeviceSpec> &devices,
+                           bool dry);
+
+/** The Vulkan submission-strategy sweep section of the book. */
+std::string renderStrategySection(const ReportBook &book);
+
+/** Render the whole Markdown results book (docs/RESULTS.md). */
+std::string renderResultsBook(const ReportBook &book);
+
+/** Per-device CSV: every figure run and strategy-sweep run. */
+std::string deviceCsv(const DeviceReport &report);
+
+/** Filesystem-safe slug for a device's artifact files. */
+std::string deviceSlug(const std::string &device_name);
+
+/**
+ * The suite-wide JSON snapshot (one object per line — a superset of
+ * `vcb_perf --suite` across every device and API): each registry
+ * benchmark at its smallest (quick) or largest (full) paper size under
+ * every available API at the preferred strategy, then one summary line
+ * per device and one suite trailer.  Wall-clock fields are left out on
+ * purpose: every value is simulated, so the snapshot is deterministic
+ * and diffable (BENCH_report.json).  Runs the benchmarks itself — the
+ * standalone `--suite-json` trajectory path.
+ *
+ * `all_validated`, when non-null, receives the sweep's verdict.
+ */
+std::string suiteJsonLines(const std::vector<sim::DeviceSpec> &devices,
+                           bool quick, bool *all_validated = nullptr);
+
+/**
+ * The same JSON-lines format rendered from an already-built book (no
+ * benchmark re-execution): one line per figure row x available API at
+ * the book's scale, skip lines for driver failures and wholesale
+ * mobile skips, per-device summaries and the suite trailer.  This is
+ * what `vcb_report --out` writes alongside the book so the artifact
+ * tree is internally consistent and costs one suite run.
+ */
+std::string suiteJsonFromBook(const ReportBook &book);
+
+} // namespace vcb::harness
+
+#endif // VCB_HARNESS_REPORT_BOOK_H

@@ -73,7 +73,7 @@ std::vector<const sim::DeviceSpec *>
 getDevices()
 {
     std::vector<const sim::DeviceSpec *> out;
-    for (const auto &d : sim::deviceRegistry())
+    for (const auto &d : sim::activeDeviceRegistry())
         if (d.profile(sim::Api::OpenCl).available)
             out.push_back(&d);
     return out;

@@ -12,8 +12,13 @@
  * shared-memory codegen, outright driver failures for particular
  * kernels).
  *
- * Everything here is a *model input*: constants are set once in
- * device_registry.cc (with rationale) and never per-benchmark.
+ * Everything here is a *model input*: constants are set once per
+ * device (with rationale) and never per-benchmark.  The paper's four
+ * parts are compiled in (device_registry.cc); any device — those four
+ * included — can also be described by a `.dev` spec file under
+ * `devices/`, loaded through sim/device_file.h (see
+ * docs/DEVICE_MODEL.md), which is how the report pipeline gets its
+ * registry.
  */
 
 #ifndef VCB_SIM_DEVICE_H
@@ -158,10 +163,31 @@ struct DeviceSpec
     double lanesPerNs() const;
 };
 
-/** All registered devices, in Table II then Table III order. */
+/** The compiled-in paper devices, in Table II then Table III order. */
 const std::vector<DeviceSpec> &deviceRegistry();
 
-/** Find a device by (case-insensitive substring) name; fatal if absent. */
+/**
+ * The devices the runtime front-ends enumerate (vkm's
+ * vkEnumeratePhysicalDevices analogue and the OpenCL platform list):
+ * the compiled-in paper parts by default, or whatever
+ * setActiveDeviceRegistry() installed — the report pipeline's
+ * spec-file registry (sim/device_file.h).
+ */
+const std::vector<DeviceSpec> &activeDeviceRegistry();
+
+/**
+ * Install `devices` as the active registry and return the stored
+ * copies.  Benchmarks must run against these exact objects (the
+ * Vulkan front-end resolves a DeviceSpec to a physical device by
+ * identity), so callers keep references into the returned vector.
+ * Call once at startup, before creating any runtime context; the
+ * previous active registry's storage is invalidated.
+ */
+const std::vector<DeviceSpec> &
+setActiveDeviceRegistry(std::vector<DeviceSpec> devices);
+
+/** Find a device in the active registry by (case-insensitive
+ *  substring) name; fatal if absent. */
 const DeviceSpec &deviceByName(const std::string &name);
 
 /** Registry ids used throughout benches: "gtx1050ti", "rx560",

@@ -10,6 +10,15 @@
  * Fang et al. [15] for launch overheads) that motivates it.  They are
  * set once here and shared by every benchmark — per-benchmark results
  * then *emerge* from executed instruction and memory-access counts.
+ *
+ * These four are the only compiled-in devices.  The `devices/`
+ * directory at the repo root carries the same four serialized as
+ * spec files (byte-identical — tests/test_device_file.cc enforces it)
+ * plus the post-paper expansion parts, and the report pipeline
+ * (tools/vcb_report) loads everything from there: new devices are
+ * added as spec files, never here.  Field-by-field semantics and
+ * calibration guidance: docs/DEVICE_MODEL.md; load/save API:
+ * sim/device_file.h.
  */
 
 #include "sim/device.h"
@@ -317,11 +326,33 @@ deviceRegistry()
     return registry;
 }
 
+namespace {
+/** Non-null once setActiveDeviceRegistry has been called. */
+const std::vector<DeviceSpec> *activeOverride = nullptr;
+} // namespace
+
+const std::vector<DeviceSpec> &
+activeDeviceRegistry()
+{
+    return activeOverride ? *activeOverride : deviceRegistry();
+}
+
+const std::vector<DeviceSpec> &
+setActiveDeviceRegistry(std::vector<DeviceSpec> devices)
+{
+    VCB_ASSERT(!devices.empty(),
+               "active device registry cannot be empty");
+    static std::vector<DeviceSpec> storage;
+    storage = std::move(devices);
+    activeOverride = &storage;
+    return storage;
+}
+
 const DeviceSpec &
 deviceByName(const std::string &name)
 {
     std::string needle = toLower(name);
-    for (const auto &d : deviceRegistry()) {
+    for (const auto &d : activeDeviceRegistry()) {
         if (toLower(d.name).find(needle) != std::string::npos)
             return d;
     }

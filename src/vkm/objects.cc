@@ -94,7 +94,7 @@ createInstance(const InstanceCreateInfo &info, Instance *out)
     auto impl = std::make_shared<InstanceImpl>();
     impl->validation = info.enableValidation;
     impl->applicationName = info.applicationName;
-    for (const auto &spec : sim::deviceRegistry()) {
+    for (const auto &spec : sim::activeDeviceRegistry()) {
         if (!spec.profile(sim::Api::Vulkan).available)
             continue;
         auto pd = std::make_shared<PhysicalDeviceImpl>();

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Device spec-file tests: serialize -> parse -> compare round trips of
+ * every compiled-in device, byte-equality of the committed `.dev`
+ * files under devices/ with the registry (VCB_DEVICES_DIR, set by
+ * CTest), directory loading, and positional rejection of malformed,
+ * unknown-key and out-of-range spec files.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "sim/device.h"
+#include "sim/device_file.h"
+
+namespace vcb::sim {
+namespace {
+
+std::string
+readAll(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "cannot read " << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+/** Error-path helper: parse must fail and mention every fragment. */
+void
+expectParseError(const std::string &text,
+                 const std::vector<std::string> &fragments)
+{
+    std::string err;
+    auto parsed = parseDevice(text, &err);
+    ASSERT_FALSE(parsed.has_value())
+        << "expected parse failure for:\n"
+        << text;
+    for (const std::string &fragment : fragments)
+        EXPECT_NE(err.find(fragment), std::string::npos)
+            << "error '" << err << "' lacks '" << fragment << "'";
+}
+
+TEST(DeviceFile, RoundTripsEveryBuiltin)
+{
+    for (const DeviceSpec &dev : deviceRegistry()) {
+        std::string text = serializeDevice(dev);
+        std::string err;
+        auto parsed = parseDevice(text, &err);
+        ASSERT_TRUE(parsed.has_value()) << dev.name << ": " << err;
+        // Canonical-form fixpoint: a parse reproduces every field the
+        // serializer writes, bit-exact doubles included.
+        EXPECT_EQ(serializeDevice(*parsed), text) << dev.name;
+    }
+}
+
+TEST(DeviceFile, RoundTripPreservesFields)
+{
+    auto parsed = parseDevice(serializeDevice(gtx1050ti()));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->name, "NVIDIA GTX1050Ti");
+    EXPECT_EQ(parsed->computeUnits, 6u);
+    EXPECT_EQ(parsed->clockGhz, 1.39); // bit-exact, not approximate
+    EXPECT_EQ(parsed->deviceHeapBytes, 4ull << 30);
+    const DriverProfile &vk =
+        parsed->apis[static_cast<int>(Api::Vulkan)];
+    EXPECT_EQ(vk.memEfficiency, 0.849);
+    EXPECT_EQ(vk.txEfficiency, 1.06);
+    EXPECT_FALSE(vk.localMemPromotion);
+    // Unavailable profiles serialize as one line and parse back to
+    // defaults (rx560 has no CUDA).
+    auto rx = parseDevice(serializeDevice(rx560()));
+    ASSERT_TRUE(rx.has_value());
+    EXPECT_FALSE(rx->apis[static_cast<int>(Api::Cuda)].available);
+
+    auto pvr = parseDevice(serializeDevice(powervrG6430()));
+    ASSERT_TRUE(pvr.has_value());
+    const DriverProfile &pvk =
+        pvr->apis[static_cast<int>(Api::Vulkan)];
+    ASSERT_EQ(pvk.kernelTimeDerates.size(), 1u);
+    EXPECT_EQ(pvk.kernelTimeDerates[0].first, "hotspot");
+    EXPECT_EQ(pvk.kernelTimeDerates[0].second, 2.2);
+    ASSERT_EQ(pvk.brokenKernels.size(), 1u);
+    EXPECT_EQ(pvk.brokenKernels[0], "backprop");
+
+    auto adreno = parseDevice(serializeDevice(adreno506()));
+    ASSERT_TRUE(adreno.has_value());
+    const DriverProfile &avk =
+        adreno->apis[static_cast<int>(Api::Vulkan)];
+    EXPECT_TRUE(avk.pushConstantsAsBufferBind);
+    EXPECT_EQ(avk.sharedKernelTimeDerate, 2.0);
+    const DriverProfile &acl =
+        adreno->apis[static_cast<int>(Api::OpenCl)];
+    ASSERT_EQ(acl.brokenKernels.size(), 1u);
+    EXPECT_EQ(acl.brokenKernels[0], "lud");
+}
+
+TEST(DeviceFile, CommittedSpecsMatchBuiltins)
+{
+    const char *dir = std::getenv("VCB_DEVICES_DIR");
+    if (!dir)
+        GTEST_SKIP() << "VCB_DEVICES_DIR not set";
+    const std::pair<const char *, const DeviceSpec &> parts[] = {
+        {"gtx1050ti", gtx1050ti()},
+        {"rx560", rx560()},
+        {"adreno506", adreno506()},
+        {"powervr_g6430", powervrG6430()},
+    };
+    for (const auto &[stem, dev] : parts) {
+        std::string path = std::string(dir) + "/" + stem + ".dev";
+        // Byte equality: the committed paper specs ARE the registry,
+        // so figures from files cannot drift from the binaries.
+        EXPECT_EQ(readAll(path), serializeDevice(dev)) << path;
+    }
+}
+
+TEST(DeviceFile, LoadsSpecDirectoryWithExpansionDevices)
+{
+    const char *dir = std::getenv("VCB_DEVICES_DIR");
+    if (!dir)
+        GTEST_SKIP() << "VCB_DEVICES_DIR not set";
+    std::vector<DeviceSpec> devices = loadDeviceDir(dir);
+    EXPECT_GE(devices.size(), 6u);
+
+    size_t mobile = 0;
+    bool mali = false, adreno640 = false;
+    for (size_t i = 0; i < devices.size(); ++i) {
+        mobile += devices[i].mobile ? 1 : 0;
+        for (size_t j = i + 1; j < devices.size(); ++j)
+            EXPECT_NE(devices[i].name, devices[j].name);
+        if (devices[i].name == "Arm Mali-G76")
+            mali = true;
+        if (devices[i].name == "Qualcomm Adreno 640")
+            adreno640 = true;
+    }
+    EXPECT_GE(mobile, 4u);
+    EXPECT_TRUE(mali) << "expansion device Mali-G76 missing";
+    EXPECT_TRUE(adreno640) << "expansion device Adreno 640 missing";
+
+    // The expansion parts expose Vulkan + OpenCL, never CUDA, and
+    // dropped the paper-era Snapdragon push-constant quirk.
+    for (const DeviceSpec &d : devices) {
+        if (d.name != "Arm Mali-G76" &&
+            d.name != "Qualcomm Adreno 640")
+            continue;
+        EXPECT_TRUE(d.mobile) << d.name;
+        EXPECT_TRUE(d.profile(Api::Vulkan).available) << d.name;
+        EXPECT_TRUE(d.profile(Api::OpenCl).available) << d.name;
+        EXPECT_FALSE(d.profile(Api::Cuda).available) << d.name;
+        EXPECT_FALSE(d.profile(Api::Vulkan).pushConstantsAsBufferBind)
+            << d.name;
+    }
+}
+
+TEST(DeviceFile, MinimalSpecParsesToDefaults)
+{
+    auto parsed = parseDevice("name = Tiny\n");
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->name, "Tiny");
+    EXPECT_EQ(parsed->computeUnits, 1u);
+    EXPECT_FALSE(parsed->apis[0].available);
+    // Canonical-form fixpoint holds for defaults too.
+    std::string text = serializeDevice(*parsed);
+    auto again = parseDevice(text);
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(serializeDevice(*again), text);
+}
+
+TEST(DeviceFile, CommentsAndBlankLinesAreIgnored)
+{
+    auto parsed = parseDevice("# a comment\n\n"
+                              "name = X\n"
+                              "   # indented comment\n"
+                              "compute_units = 3\n");
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->computeUnits, 3u);
+}
+
+TEST(DeviceFile, RejectsMissingEquals)
+{
+    expectParseError("name = X\ncompute_units\n",
+                     {"line 2", "key = value"});
+}
+
+TEST(DeviceFile, RejectsUnknownDeviceKey)
+{
+    expectParseError("name = X\nfrobnicate = 1\n",
+                     {"line 2", "unknown device key 'frobnicate'"});
+}
+
+TEST(DeviceFile, RejectsDriverKeyInPreamble)
+{
+    expectParseError("name = X\ncode_quality = 1\n",
+                     {"line 2", "unknown device key 'code_quality'"});
+}
+
+TEST(DeviceFile, RejectsUnknownDriverKey)
+{
+    expectParseError("name = X\n[vulkan]\nwibble = 1\n",
+                     {"line 3", "unknown driver key 'wibble'",
+                      "[vulkan]"});
+}
+
+TEST(DeviceFile, RejectsUnknownSection)
+{
+    expectParseError("name = X\n[metal]\n",
+                     {"line 2", "unknown section"});
+}
+
+TEST(DeviceFile, RejectsDuplicateSection)
+{
+    expectParseError("name = X\n[vulkan]\navailable = true\n[vulkan]\n",
+                     {"line 4", "duplicate section"});
+}
+
+TEST(DeviceFile, RejectsDuplicateKey)
+{
+    expectParseError("name = X\nname = Y\n",
+                     {"line 2", "duplicate key 'name'"});
+}
+
+TEST(DeviceFile, RejectsBadBool)
+{
+    expectParseError("name = X\nmobile = maybe\n",
+                     {"line 2", "true or false"});
+}
+
+TEST(DeviceFile, RejectsBadInteger)
+{
+    expectParseError("name = X\ncompute_units = twelve\n",
+                     {"line 2", "unsigned integer"});
+    expectParseError("name = X\ncompute_units = -3\n",
+                     {"line 2", "unsigned integer"});
+}
+
+TEST(DeviceFile, RejectsOutOfRangeValues)
+{
+    expectParseError("name = X\ncompute_units = 0\n",
+                     {"line 2", "'compute_units' out of range"});
+    expectParseError("name = X\nclock_ghz = 0\n",
+                     {"line 2", "'clock_ghz' out of range"});
+    expectParseError("name = X\n[vulkan]\nmem_efficiency = 1.5\n",
+                     {"line 3", "'mem_efficiency' out of range"});
+    expectParseError("name = X\n[opencl]\ncode_quality = -1\n",
+                     {"line 3", "'code_quality' out of range"});
+}
+
+TEST(DeviceFile, RejectsNonFiniteDouble)
+{
+    expectParseError("name = X\nclock_ghz = nan\n",
+                     {"line 2", "finite"});
+}
+
+TEST(DeviceFile, RejectsMalformedDerates)
+{
+    expectParseError("name = X\n[vulkan]\nkernel_time_derates = "
+                     "hotspot\n",
+                     {"line 3", "name:factor"});
+    expectParseError("name = X\n[vulkan]\nkernel_time_derates = "
+                     "hotspot:-1\n",
+                     {"line 3", "positive"});
+}
+
+TEST(DeviceFile, RejectsEmptyBrokenKernelEntry)
+{
+    expectParseError("name = X\n[vulkan]\nbroken_kernels = lud,,bfs\n",
+                     {"line 3", "empty entry"});
+}
+
+TEST(DeviceFile, RejectsMissingName)
+{
+    expectParseError("mobile = true\n",
+                     {"missing required key 'name'"});
+}
+
+} // namespace
+} // namespace vcb::sim

@@ -1,4 +1,4 @@
-/** @file Reporting and figure-aggregation utilities. */
+/** @file Reporting, figure-aggregation and report-book utilities. */
 
 #include <gtest/gtest.h>
 
@@ -6,6 +6,7 @@
 
 #include "harness/figures.h"
 #include "harness/report.h"
+#include "harness/report_book.h"
 
 namespace vcb::harness {
 namespace {
@@ -127,6 +128,81 @@ TEST(FigureData, FormatIncludesGeomeanAndNotes)
     EXPECT_NE(out.find("bench1"), std::string::npos);
     EXPECT_NE(out.find("driver failure"), std::string::npos);
     EXPECT_NE(out.find("3.00"), std::string::npos);
+}
+
+TEST(ScaleConfig, ShrinksTowardFloorNeverInflates)
+{
+    suite::SizeConfig size{"s", {4096, 16, 64}};
+    suite::SizeConfig scaled = scaleConfig(size, 64);
+    EXPECT_EQ(scaled.params[0], 64u); // 4096 / 64
+    EXPECT_EQ(scaled.params[1], 16u); // small param passes through
+    EXPECT_EQ(scaled.params[2], 32u); // floored at min(p, 32)
+    suite::SizeConfig same = scaleConfig(size, 1);
+    EXPECT_EQ(same.params, size.params);
+}
+
+TEST(ReportBook, DeviceSlugIsFilesystemSafe)
+{
+    EXPECT_EQ(deviceSlug("NVIDIA GTX1050Ti"), "nvidia-gtx1050ti");
+    EXPECT_EQ(deviceSlug("Imagination PowerVR Rogue G6430"),
+              "imagination-powervr-rogue-g6430");
+    EXPECT_EQ(deviceSlug("   "), "device");
+}
+
+TEST(ReportBook, SelectDevicesSplitsByClass)
+{
+    const auto &devices = sim::activeDeviceRegistry();
+    auto desktop = selectDevices(devices, false);
+    auto mobile = selectDevices(devices, true);
+    EXPECT_EQ(desktop.size() + mobile.size(), devices.size());
+    for (const sim::DeviceSpec *d : desktop)
+        EXPECT_FALSE(d->mobile);
+    for (const sim::DeviceSpec *d : mobile)
+        EXPECT_TRUE(d->mobile);
+}
+
+TEST(ReportBook, Tab1ListsEveryRegistryBenchmark)
+{
+    std::string tab1 = renderTab1Section();
+    for (const suite::Benchmark *b : suite::registry())
+        EXPECT_NE(tab1.find(b->name()), std::string::npos)
+            << b->name();
+    EXPECT_NE(tab1.find("re-record"), std::string::npos);
+}
+
+TEST(ReportBook, Tab23ListsDevicesWithDashForMissingApis)
+{
+    std::string tabs =
+        renderTab23Section(sim::activeDeviceRegistry());
+    EXPECT_NE(tabs.find("TABLE II"), std::string::npos);
+    EXPECT_NE(tabs.find("TABLE III"), std::string::npos);
+    EXPECT_NE(tabs.find("NVIDIA GTX1050Ti"), std::string::npos);
+    EXPECT_NE(tabs.find("CUDA 8.0"), std::string::npos);
+    // AMD/mobile rows carry "-" in the CUDA column.
+    EXPECT_NE(tabs.find("-"), std::string::npos);
+}
+
+TEST(ReportBook, BandwidthSectionIsDeterministic)
+{
+    BandwidthPanel p1 = runBandwidthPanel(sim::gtx1050ti(), true);
+    BandwidthPanel p2 = runBandwidthPanel(sim::gtx1050ti(), true);
+    std::string s1 = renderBandwidthSection({p1}, false, true);
+    std::string s2 = renderBandwidthSection({p2}, false, true);
+    // Simulated clocks only: a rerun renders byte-identically, which
+    // is what lets CI regenerate docs/RESULTS.md and diff it.
+    EXPECT_EQ(s1, s2);
+    EXPECT_NE(s1.find("Fig. 1: NVIDIA GTX1050Ti"), std::string::npos);
+    EXPECT_NE(s1.find("unit stride:"), std::string::npos);
+}
+
+TEST(ReportBook, SpeedupSectionAnnotatesWholesaleMobileSkips)
+{
+    // Render-only path: an empty figure list still carries the
+    // wholesale-skip annotations derived from the registry (cfd).
+    std::string section = renderSpeedupSection({}, true, 16);
+    EXPECT_NE(section.find("skipped wholesale on mobile: cfd"),
+              std::string::npos);
+    EXPECT_NE(section.find("paper anchors"), std::string::npos);
 }
 
 } // namespace

@@ -1,0 +1,53 @@
+#!/bin/sh
+# check_report_identity.sh — verifies the report pipeline's no-drift
+# guarantee: the fig1–fig4 and tab1/tab23 sections embedded in the
+# committed docs/RESULTS.md are byte-identical to what the standalone
+# bench/ binaries print for the same device specs (both sides are the
+# same report_book renderer; this catches anyone breaking that).
+#
+# Usage: tools/check_report_identity.sh [repo-root] [build-dir]
+# (defaults: script's parent directory, <root>/build)
+
+set -u
+root=${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}
+build=${2:-"$root/build"}
+
+fail=0
+
+# extract <heading-prefix>: the first fenced block after the heading.
+extract() {
+    awk -v h="$1" '
+        index($0, h) == 1 { want = 1 }
+        want && $0 == "```" { if (infence) exit; infence = 1; next }
+        infence { print }
+    ' "$root/docs/RESULTS.md"
+}
+
+check() { # heading-prefix label command...
+    heading=$1; label=$2; shift 2
+    if [ ! -x "$1" ]; then
+        echo "check_report_identity: $1 not built; skipping $label"
+        return
+    fi
+    got=$("$@" 2>/dev/null)
+    want=$(extract "$heading")
+    if [ -z "$want" ]; then
+        echo "MISSING: no '$heading' section in docs/RESULTS.md"
+        fail=1
+    elif [ "$got" != "$want" ]; then
+        echo "MISMATCH: $label output differs from the committed book section"
+        fail=1
+    else
+        echo "check_report_identity: $label identical to book"
+    fi
+}
+
+devs="$root/devices"
+check "## Figure 1" fig1 "$build/fig1_bandwidth_desktop" --dry-run --devices "$devs"
+check "## Figure 2" fig2 "$build/fig2_speedup_desktop" --dry-run --devices "$devs"
+check "## Figure 3" fig3 "$build/fig3_bandwidth_mobile" --dry-run --devices "$devs"
+check "## Figure 4" fig4 "$build/fig4_speedup_mobile" --dry-run --devices "$devs"
+check "## Table I " tab1 "$build/tab1_benchmarks"
+check "## Tables II" tab23 "$build/tab23_platforms" --devices "$devs"
+
+exit "$fail"

@@ -26,9 +26,10 @@
  * --suite switches to the per-benchmark snapshot mode: every registry
  * benchmark runs once under the selected API at its preferred
  * submission strategy, and each JSON line carries the strategy tag and
- * the paper's kernel_region_ns metric, so the CI perf snapshot tracks
- * per-benchmark kernel-region trajectories alongside the simulator
- * throughput mix.
+ * the paper's kernel_region_ns metric.  (The CI-tracked suite snapshot
+ * is the superset `vcb_report --suite-json --quick` — every device and
+ * API, wall-clock-free, committed as BENCH_report.json; --suite stays
+ * as the single-device interactive probe.)
  *
  *   vcb_perf            # paper-scale reference mix (largest sizes)
  *   vcb_perf --quick    # small sizes, used as the ctest smoke entry
