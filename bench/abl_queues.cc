@@ -6,35 +6,43 @@
  *
  * Part 1: a large upload executed on the compute queue serialised
  * with a compute pass, vs on the transfer queue overlapped with it.
- * Part 2: four independent nn-style kernels submitted to one compute
- * queue vs to four compute queues (fences join the results) — under
- * both submission strategies of the shared enum (suite/workload.h):
- * batched (each kernel's repeats in one command buffer) and re-record
- * (one submission per repeat), showing that queue-level parallelism
- * and command-buffer batching compose.
+ * Part 2: the real dag workloads (nn, kmeans — suite benchmarks with
+ * declared per-step dependencies) swept over queue count x submission
+ * strategy through the shared multi-queue Vulkan runner.  Every cell
+ * validates against the CPU reference and the host arrays are checked
+ * bit-identical across queue counts: queues move only the simulated
+ * timeline, never the results.
+ *
+ * `--smoke` shrinks the sizes and the queue axis for CI.
  */
 
 #include <cstdio>
+#include <cstring>
+#include <map>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/mathutil.h"
-#include "common/rng.h"
 #include "common/strutil.h"
 #include "harness/report.h"
 #include "kernels/kernels.h"
+#include "suite/benchmark.h"
 #include "suite/vkhelp.h"
 #include "suite/workload.h"
 
 using namespace vcb;
+using suite::HostArrays;
+using suite::RunResult;
 using suite::SubmitStrategy;
 using suite::VkContext;
 using suite::VkKernel;
+using suite::Workload;
+using suite::WorkloadOptions;
 
 namespace {
 
 /** A compute pass: several nn_euclid dispatches over n records,
- *  recorded into one command buffer (the batched strategy's shape). */
+ *  recorded into one command buffer. */
 void
 recordComputePass(VkKernel &k, vkm::CommandBuffer cb,
                   vkm::DescriptorSet set, uint32_t n, uint32_t repeats)
@@ -111,87 +119,16 @@ transferQueuePart(const sim::DeviceSpec &dev, bool use_transfer_queue)
     return ctx.now() - t0;
 }
 
-/** Part 2 worker: one kernel's worth of work on one queue.  Batched
- *  submits one multi-dispatch command buffer; ReRecord submits one
- *  single-dispatch command buffer per repeat (no fence wait in
- *  between — the queues still pipeline).  Command-buffer recording is
- *  free on the simulated host clock (costs are charged at submit), so
- *  the strategy contrast measured here is pure per-submission
- *  overhead — the same term that separates the strategies in the
- *  suite runner. */
-struct Worker
-{
-    std::vector<vkm::CommandBuffer> cbs; ///< 1 (batched) or `repeats`
-    vkm::Fence fence;
-};
-
-double
-multiQueuePart(const sim::DeviceSpec &dev, uint32_t queues,
-               SubmitStrategy strategy)
-{
-    const uint32_t n = 1u << 20;
-    const uint32_t repeats = 4;
-    VkContext ctx = VkContext::create(dev);
-    VkKernel k;
-    std::string err = suite::createVkKernel(ctx, kernels::buildNnEuclid(),
-                                            &k);
-    VCB_ASSERT(err.empty(), "%s", err.c_str());
-
-    std::vector<vkm::Queue> qs;
-    for (uint32_t i = 0; i < queues; ++i)
-        qs.push_back(vkm::getDeviceQueue(ctx.device, 0, i));
-
-    uint64_t bytes = uint64_t(n) * 4;
-    std::vector<Worker> workers;
-    for (uint32_t i = 0; i < 4; ++i) {
-        auto b_lat = ctx.createDeviceBuffer(bytes);
-        auto b_lng = ctx.createDeviceBuffer(bytes);
-        auto b_dist = ctx.createDeviceBuffer(bytes);
-        auto set = makeDescriptorSet(
-            ctx, k, {{0, b_lat}, {1, b_lng}, {2, b_dist}});
-        Worker w;
-        uint32_t cb_count =
-            strategy == SubmitStrategy::Batched ? 1 : repeats;
-        uint32_t per_cb =
-            strategy == SubmitStrategy::Batched ? repeats : 1;
-        for (uint32_t c = 0; c < cb_count; ++c) {
-            vkm::CommandBuffer cb;
-            vkm::check(vkm::allocateCommandBuffer(ctx.device,
-                                                  ctx.cmdPool, &cb),
-                       "allocateCommandBuffer");
-            recordComputePass(k, cb, set, n, per_cb);
-            w.cbs.push_back(cb);
-        }
-        vkm::check(vkm::createFence(ctx.device, &w.fence),
-                   "createFence");
-        workers.push_back(std::move(w));
-    }
-
-    double t0 = ctx.now();
-    for (uint32_t i = 0; i < 4; ++i) {
-        for (size_t c = 0; c < workers[i].cbs.size(); ++c) {
-            vkm::SubmitInfo si;
-            si.commandBuffers.push_back(workers[i].cbs[c]);
-            // Only the last submission of a worker signals its fence.
-            bool last = c + 1 == workers[i].cbs.size();
-            vkm::check(vkm::queueSubmit(qs[i % queues], {si},
-                                        last ? workers[i].fence
-                                             : vkm::Fence()),
-                       "queueSubmit");
-        }
-    }
-    std::vector<vkm::Fence> fences;
-    for (const Worker &w : workers)
-        fences.push_back(w.fence);
-    vkm::check(vkm::waitForFences(ctx.device, fences), "waitForFences");
-    return ctx.now() - t0;
-}
-
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+
     const sim::DeviceSpec &dev = sim::gtx1050ti();
     std::printf("Ablation: transfer queues and multiple compute queues "
                 "(%s)\n\n",
@@ -206,23 +143,66 @@ main()
                harness::fmtF(same_q / xfer_q, 2) + "x"});
     std::printf("%s\n", t1.render().c_str());
 
-    harness::Table t2({"4 independent kernels on", "submit strategy",
-                       "wall (sim)", "speedup"});
-    double base = 0;
-    for (uint32_t queues : {1u, 4u}) {
-        for (SubmitStrategy s :
-             {SubmitStrategy::Batched, SubmitStrategy::ReRecord}) {
-            double ns = multiQueuePart(dev, queues, s);
-            if (base == 0)
-                base = ns;
-            t2.addRow({strprintf("%u compute queue%s", queues,
-                                 queues == 1 ? "" : "s"),
-                       suite::strategyName(s), formatNs(ns),
-                       harness::fmtF(base / ns, 2) + "x"});
+    // Part 2: real dag workloads over queue count x strategy.  Sizes
+    // are paper-scale so per-chunk kernel time dominates submission
+    // overhead (smoke shrinks them to keep CI fast).
+    const std::map<std::string, suite::SizeConfig> sizes = {
+        {"nn", smoke ? suite::SizeConfig{"256K", {262144}}
+                     : suite::SizeConfig{"16M", {2097152}}},
+        {"kmeans", smoke ? suite::SizeConfig{"16K", {16384, 4, 5}}
+                         : suite::SizeConfig{"64K", {65536, 4, 5}}},
+    };
+    const std::vector<uint32_t> queue_axis =
+        smoke ? std::vector<uint32_t>{1, 4}
+              : std::vector<uint32_t>{1, 2, 4, 8};
+    const SubmitStrategy strategies[] = {SubmitStrategy::RecordOnce,
+                                         SubmitStrategy::ReRecord};
+
+    harness::Table t2({"workload", "strategy", "queues", "kernel region",
+                       "busy/elapsed", "speedup"});
+    bool identical = true;
+    for (const auto &[name, cfg] : sizes) {
+        Workload w = suite::byName(name).workload(cfg);
+        VCB_ASSERT(w.dag, "%s is not a dag workload", name.c_str());
+        HostArrays golden;
+        bool have_golden = false;
+        for (SubmitStrategy strat : strategies) {
+            double base = 0;
+            for (uint32_t q : queue_axis) {
+                WorkloadOptions opts;
+                opts.strategy = strat;
+                opts.queueCount = q;
+                HostArrays host;
+                RunResult r =
+                    suite::runWorkloadVulkan(w, dev, opts, &host);
+                VCB_ASSERT(r.ok, "%s: %s", name.c_str(),
+                           r.skipReason.c_str());
+                VCB_ASSERT(r.validated, "%s q=%u: %s", name.c_str(), q,
+                           r.validationError.c_str());
+                if (!have_golden) {
+                    golden = std::move(host);
+                    have_golden = true;
+                } else if (host != golden) {
+                    identical = false;
+                }
+                if (base == 0)
+                    base = r.kernelRegionNs;
+                t2.addRow({name, suite::strategyName(strat),
+                           strprintf("%u", r.queuesUsed),
+                           formatNs(r.kernelRegionNs),
+                           harness::fmtF(r.deviceBusyNs /
+                                             r.kernelRegionNs,
+                                         2),
+                           harness::fmtF(base / r.kernelRegionNs, 2) +
+                               "x"});
+            }
         }
     }
     std::printf("%s\n", t2.render().c_str());
+    std::printf("outputs bit-identical across queue counts and "
+                "strategies: %s\n",
+                identical ? "yes" : "NO — BUG");
     std::printf("paper: use transfer queues for large copies; use "
                 "multiple compute queues for better utilisation\n");
-    return 0;
+    return identical ? 0 : 1;
 }

@@ -115,6 +115,16 @@ struct SweepRun
     suite::RunResult result;
 };
 
+/** One cell of the multi-queue overlap sweep. */
+struct OverlapRun
+{
+    std::string bench;
+    std::string size;
+    uint32_t queues = 1; ///< requested queue count (result.queuesUsed
+                         ///< is the device-clamped effective count)
+    suite::RunResult result;
+};
+
 /** Everything the book reports about one device. */
 struct DeviceReport
 {
@@ -128,6 +138,11 @@ struct DeviceReport
     /** Vulkan submission-strategy sweep at the smallest size: one run
      *  per benchmark x applicable strategy. */
     std::vector<SweepRun> strategySweep;
+    /** Multi-queue overlap sweep: each dag benchmark at its largest
+     *  paper size (never dry-shrunk — overlap needs per-chunk kernel
+     *  time to dominate submission overhead) over 1/2/4 compute
+     *  queues. */
+    std::vector<OverlapRun> overlapSweep;
 };
 
 /** The whole report: one DeviceReport per registry device. */
@@ -146,6 +161,9 @@ ReportBook buildReportBook(const std::vector<sim::DeviceSpec> &devices,
 
 /** The Vulkan submission-strategy sweep section of the book. */
 std::string renderStrategySection(const ReportBook &book);
+
+/** The multi-queue overlap-curve section of the book. */
+std::string renderOverlapSection(const ReportBook &book);
 
 /** Render the whole Markdown results book (docs/RESULTS.md). */
 std::string renderResultsBook(const ReportBook &book);

@@ -10,6 +10,7 @@ Timeline::Timeline(uint32_t queue_count)
 {
     VCB_ASSERT(queue_count >= 1, "timeline needs at least one queue");
     queues.assign(queue_count, 0.0);
+    busy.assign(queue_count, 0.0);
 }
 
 void
@@ -26,6 +27,7 @@ Timeline::enqueue(uint32_t queue, double device_ns)
     VCB_ASSERT(device_ns >= 0, "negative device work");
     double start = std::max(queues[queue], hostNs);
     queues[queue] = start + device_ns;
+    busy[queue] += device_ns;
     return queues[queue];
 }
 
@@ -61,6 +63,22 @@ uint32_t
 Timeline::queueCount() const
 {
     return static_cast<uint32_t>(queues.size());
+}
+
+double
+Timeline::busyNs(uint32_t queue) const
+{
+    VCB_ASSERT(queue < busy.size(), "queue %u out of range", queue);
+    return busy[queue];
+}
+
+double
+Timeline::busyTotalNs() const
+{
+    double total = 0;
+    for (double b : busy)
+        total += b;
+    return total;
 }
 
 void

@@ -59,9 +59,18 @@ class Timeline
     /** Make one queue wait for a timestamp (cross-queue semaphore). */
     void queueWaitUntil(uint32_t queue, double t);
 
+    /** Device time enqueued on one queue since construction (busy
+     *  time, excluding idle gaps — the overlap-efficiency numerator). */
+    double busyNs(uint32_t queue) const;
+
+    /** Total device busy time across all queues.  Overlap is real
+     *  exactly when this exceeds the makespan of the same work. */
+    double busyTotalNs() const;
+
   private:
     double hostNs = 0;
     std::vector<double> queues;
+    std::vector<double> busy;
 };
 
 } // namespace vcb::sim

@@ -12,6 +12,16 @@
  * strategy is record-once-resubmit; the iteration count is decided
  * purely by the data (loop until delta == 0 or maxIters), which is
  * what the convergence-determinism tests pin down.
+ *
+ * The point set is split into independent slices, each with its own
+ * feature/membership/delta buffers against the shared (read-only
+ * within an iteration) centroid buffer; the per-slice assignment
+ * dispatches carry dependency edges (Workload::dag) so the
+ * multi-queue Vulkan path overlaps them across compute queues.  A
+ * slice's SoA values and distance-accumulation order match the
+ * unsliced layout element for element, and total delta is the sum of
+ * slice deltas, so memberships, the convergence trajectory and the
+ * final centroids are bit-identical at any queue count.
  */
 
 #include "suite/benchmark.h"
@@ -142,58 +152,116 @@ referenceKmeans(const Points &p)
     return mem;
 }
 
-enum BufferIx : size_t { B_AOS, B_SOA, B_CENT, B_MEM, B_DELTA };
-enum HostIx : size_t { H_ZERO, H_CENT, H_DELTA, H_MEM };
+/** Independent point slices; each gets its own assignment dispatch. */
+constexpr size_t kChunks = 4;
+
+// Buffer layout: B_CENT shared, then per chunk c a quartet
+// {aos, soa, mem, delta} starting at 1 + 4c.
+enum BufferIx : size_t { B_CENT };
+constexpr size_t B_AOS(size_t c) { return 1 + 4 * c; }
+constexpr size_t B_SOA(size_t c) { return 2 + 4 * c; }
+constexpr size_t B_MEM(size_t c) { return 3 + 4 * c; }
+constexpr size_t B_DELTA(size_t c) { return 4 + 4 * c; }
+
+// Host layout: zero word, centroids, combined delta, then per chunk c
+// {delta, mem} at 3 + 2c / 4 + 2c.
+enum HostIx : size_t { H_ZERO, H_CENT, H_DELTA };
+constexpr size_t H_CDELTA(size_t c) { return 3 + 2 * c; }
+constexpr size_t H_MEM(size_t c) { return 4 + 2 * c; }
 
 Workload
 makeWorkload(Points pts)
 {
     auto in = std::make_shared<const Points>(std::move(pts));
     const Points &p = *in;
-    uint64_t feat_bytes = uint64_t(p.n) * p.f * 4;
     uint64_t cent_bytes = uint64_t(p.k) * p.f * 4;
-    uint64_t mem_bytes = uint64_t(p.n) * 4;
 
     Workload w;
     w.name = "kmeans";
     w.kernels = {kernels::buildKmeansSwap(), kernels::buildKmeansAssign()};
-    w.buffers = {{feat_bytes, wordsOf(p.aos)},
-                 {feat_bytes, {}},
-                 {cent_bytes, {}},
-                 {mem_bytes, wordsOf(std::vector<int32_t>(p.n, -1))},
-                 {4, {}}};
-    w.host = {{0u},
-              wordsOf(initialCentroids(p)),
-              {0u},
-              std::vector<uint32_t>(p.n)};
+    w.dag = true;
+    w.buffers = {{cent_bytes, {}}};
+    w.host = {{0u}, wordsOf(initialCentroids(p)), {0u}};
 
-    const uint32_t groups = (uint32_t)ceilDiv(p.n, 256);
-    // One-time feature transpose.
-    w.prologue = {dispatchStep(0, groups, 1, 1, {pw(p.n), pw(p.f)},
-                               {{0, B_AOS}, {1, B_SOA}})};
+    std::vector<size_t> bounds(kChunks + 1);
+    for (size_t c = 0; c <= kChunks; ++c)
+        bounds[c] = size_t(p.n) * c / kChunks;
+    std::vector<uint32_t> cns(kChunks);
+    for (size_t c = 0; c < kChunks; ++c) {
+        uint32_t cn = cns[c] = uint32_t(bounds[c + 1] - bounds[c]);
+        std::vector<float> aos(p.aos.begin() + bounds[c] * p.f,
+                               p.aos.begin() + bounds[c + 1] * p.f);
+        w.buffers.push_back({uint64_t(cn) * p.f * 4, wordsOf(aos)});
+        w.buffers.push_back({uint64_t(cn) * p.f * 4, {}});
+        w.buffers.push_back(
+            {uint64_t(cn) * 4,
+             wordsOf(std::vector<int32_t>(cn, -1))});
+        w.buffers.push_back({4, {}});
+        w.host.push_back({0u});
+        w.host.push_back(std::vector<uint32_t>(cn));
+    }
+
+    // One-time per-slice feature transposes — independent dag roots.
+    for (size_t c = 0; c < kChunks; ++c)
+        w.prologue.push_back(dispatchStep(
+            0, (uint32_t)ceilDiv(cns[c], 256), 1, 1,
+            {pw(cns[c]), pw(p.f)}, {{0, B_AOS(c)}, {1, B_SOA(c)}}));
+
     // The per-iteration program is identical every iteration (only
-    // buffer contents change): record once, resubmit.
-    w.body = {
-        uploadStep(B_CENT, H_CENT),
-        uploadStep(B_DELTA, H_ZERO),
-        dispatchStep(1, groups, 1, 1, {pw(p.n), pw(p.f), pw(p.k)},
-                     {{0, B_SOA}, {1, B_CENT}, {2, B_MEM}, {3, B_DELTA}}),
-        readbackStep(B_DELTA, H_DELTA),
-        readbackStep(B_MEM, H_MEM),
+    // buffer contents change): record once, resubmit.  Step indices:
+    // 0 centroid upload, 1..kChunks delta clears, then per chunk the
+    // assignment dispatch (after the shared upload and its own clear)
+    // and two readbacks behind it; the trailing host step folds slice
+    // results together.
+    w.body.push_back(uploadStep(B_CENT, H_CENT));
+    for (size_t c = 0; c < kChunks; ++c)
+        w.body.push_back(uploadStep(B_DELTA(c), H_ZERO));
+    const size_t firstAssign = w.body.size();
+    for (size_t c = 0; c < kChunks; ++c)
+        w.body.push_back(withDeps(
+            dispatchStep(1, (uint32_t)ceilDiv(cns[c], 256), 1, 1,
+                         {pw(cns[c]), pw(p.f), pw(p.k)},
+                         {{0, B_SOA(c)},
+                          {1, B_CENT},
+                          {2, B_MEM(c)},
+                          {3, B_DELTA(c)}}),
+            {0, 1 + c}));
+    std::vector<size_t> readbacks;
+    for (size_t c = 0; c < kChunks; ++c) {
+        readbacks.push_back(w.body.size());
+        w.body.push_back(withDeps(readbackStep(B_DELTA(c), H_CDELTA(c)),
+                                  {firstAssign + c}));
+        readbacks.push_back(w.body.size());
+        w.body.push_back(withDeps(readbackStep(B_MEM(c), H_MEM(c)),
+                                  {firstAssign + c}));
+    }
+    w.body.push_back(withDeps(
         hostStep([in](HostArrays &h) {
-            std::vector<int32_t> mem = intsOf(h[H_MEM]);
+            int32_t delta = 0;
+            std::vector<int32_t> mem;
+            for (size_t c = 0; c < kChunks; ++c) {
+                delta += static_cast<int32_t>(h[H_CDELTA(c)][0]);
+                std::vector<int32_t> part = intsOf(h[H_MEM(c)]);
+                mem.insert(mem.end(), part.begin(), part.end());
+            }
+            h[H_DELTA][0] = static_cast<uint32_t>(delta);
             std::vector<float> cent = floatsOf(h[H_CENT]);
             updateCentroids(*in, mem, cent);
             h[H_CENT] = wordsOf(cent);
         }),
-    };
+        readbacks));
     w.iterations = kMaxIters;
     w.converged = [](const HostArrays &h) {
         return static_cast<int32_t>(h[H_DELTA][0]) == 0;
     };
     w.preferred = SubmitStrategy::RecordOnce;
     w.validate = [in](const HostArrays &h) {
-        return compareInts(intsOf(h[H_MEM]), referenceKmeans(*in));
+        std::vector<int32_t> mem;
+        for (size_t c = 0; c < kChunks; ++c) {
+            std::vector<int32_t> part = intsOf(h[H_MEM(c)]);
+            mem.insert(mem.end(), part.begin(), part.end());
+        }
+        return compareInts(mem, referenceKmeans(*in));
     };
     return w;
 }

@@ -2,11 +2,15 @@
  * @file
  * nn — K-Nearest Neighbors (Dense Linear Algebra / Data Mining).
  *
- * A single distance kernel over the record set; the host selects the
- * K nearest afterwards (outside the kernel-time region, as in
- * Rodinia).  No inter-launch dependencies: all three APIs issue one
- * launch/submission, and the one-dispatch body sweeps all three
- * Vulkan strategies trivially.
+ * The distance pass is embarrassingly parallel, so the record set is
+ * split into independent slices — one dispatch per slice, declared
+ * with no dependency edges between them (Workload::dag).  On the
+ * multi-queue Vulkan path the slices spread across compute queues and
+ * genuinely overlap; every serial path (OpenCL, CUDA, single-queue
+ * Vulkan) just runs them back to back.  Per-record math is unchanged
+ * from the single-dispatch version, so results are bit-identical at
+ * any queue count.  The host selects the K nearest afterwards
+ * (outside the kernel-time region, as in Rodinia).
  */
 
 #include "suite/benchmark.h"
@@ -59,31 +63,51 @@ referenceDistances(const Records &r)
     return d;
 }
 
-enum BufferIx : size_t { B_LAT, B_LNG, B_DIST };
-enum HostIx : size_t { H_DIST };
+/** Independent record slices (one dispatch each; all sizes are
+ *  multiples of this, but the split handles remainders anyway). */
+constexpr size_t kChunks = 4;
+
+// Buffers: per chunk c, {lat, lng, dist} at 3c / 3c+1 / 3c+2.
+// Host arrays: per chunk c, the slice's distances at index c.
 
 Workload
 makeWorkload(Records recs)
 {
     auto in = std::make_shared<const Records>(std::move(recs));
     const Records &r = *in;
-    uint64_t bytes = uint64_t(r.n) * 4;
 
     Workload w;
     w.name = "nn";
     w.kernels = {kernels::buildNnEuclid()};
-    w.buffers = {{bytes, wordsOf(r.lat)},
-                 {bytes, wordsOf(r.lng)},
-                 {bytes, {}}};
-    w.host = {std::vector<uint32_t>(r.n)};
+    w.dag = true;
 
-    w.body = {dispatchStep(0, (uint32_t)ceilDiv(r.n, 256), 1, 1,
-                           {pw(r.n), pwF(r.qLat), pwF(r.qLng)},
-                           {{0, B_LAT}, {1, B_LNG}, {2, B_DIST}})};
-    w.epilogue = {readbackStep(B_DIST, H_DIST)};
+    std::vector<size_t> bounds(kChunks + 1);
+    for (size_t c = 0; c <= kChunks; ++c)
+        bounds[c] = size_t(r.n) * c / kChunks;
+    for (size_t c = 0; c < kChunks; ++c) {
+        uint32_t cn = uint32_t(bounds[c + 1] - bounds[c]);
+        std::vector<float> lat(r.lat.begin() + bounds[c],
+                               r.lat.begin() + bounds[c + 1]);
+        std::vector<float> lng(r.lng.begin() + bounds[c],
+                               r.lng.begin() + bounds[c + 1]);
+        uint64_t bytes = uint64_t(cn) * 4;
+        w.buffers.push_back({bytes, wordsOf(lat)});
+        w.buffers.push_back({bytes, wordsOf(lng)});
+        w.buffers.push_back({bytes, {}});
+        w.host.push_back(std::vector<uint32_t>(cn));
+        w.body.push_back(dispatchStep(
+            0, (uint32_t)ceilDiv(cn, 256), 1, 1,
+            {pw(cn), pwF(r.qLat), pwF(r.qLng)},
+            {{0, 3 * c}, {1, 3 * c + 1}, {2, 3 * c + 2}}));
+        w.epilogue.push_back(readbackStep(3 * c + 2, c));
+    }
     w.preferred = SubmitStrategy::Batched;
     w.validate = [in](const HostArrays &h) {
-        std::vector<float> dist = floatsOf(h[H_DIST]);
+        std::vector<float> dist;
+        for (size_t c = 0; c < kChunks; ++c) {
+            std::vector<float> part = floatsOf(h[c]);
+            dist.insert(dist.end(), part.begin(), part.end());
+        }
         std::string err = compareFloats(dist, referenceDistances(*in));
         // Host-side top-K selection (outside the timed region), kept
         // to mirror the Rodinia host behaviour.

@@ -21,10 +21,12 @@ VkContext::create(const sim::DeviceSpec &spec)
                spec.name.c_str());
 
     DeviceCreateInfo dci;
-    dci.queueCreateInfos.push_back({0, 1});
+    dci.queueCreateInfos.push_back({0, spec.computeQueueCount});
     dci.queueCreateInfos.push_back({1, 1});
     check(createDevice(ctx.phys, dci, &ctx.device), "createDevice");
-    ctx.queue = getDeviceQueue(ctx.device, 0, 0);
+    for (uint32_t i = 0; i < spec.computeQueueCount; ++i)
+        ctx.computeQueues.push_back(getDeviceQueue(ctx.device, 0, i));
+    ctx.queue = ctx.computeQueues[0];
     ctx.transferQueue = getDeviceQueue(ctx.device, 1, 0);
     check(createCommandPool(ctx.device, {0}, &ctx.cmdPool),
           "createCommandPool");

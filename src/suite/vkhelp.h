@@ -30,6 +30,10 @@ struct VkContext
     vkm::Device device;
     vkm::Queue queue;         ///< compute family, queue 0
     vkm::Queue transferQueue; ///< transfer family, queue 0
+    /** Every compute-family queue the spec exposes (queue 0 first);
+     *  the multi-queue workload scheduler spreads independent
+     *  dispatch chains across these. */
+    std::vector<vkm::Queue> computeQueues;
     vkm::CommandPool cmdPool;
     vkm::DescriptorPool descPool;
     bool unified = false;

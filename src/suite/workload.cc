@@ -120,6 +120,13 @@ hostStep(std::function<void(HostArrays &)> fn)
     return s;
 }
 
+WorkloadStep
+withDeps(WorkloadStep s, std::vector<size_t> deps)
+{
+    s.deps = std::move(deps);
+    return s;
+}
+
 namespace {
 
 using Kind = WorkloadStep::Kind;
@@ -189,6 +196,27 @@ checkWorkload(const Workload &w)
     VCB_ASSERT(w.bodyFor == nullptr || w.iterations != UINT32_MAX,
                "%s: per-iteration bodies need a finite trip count",
                w.name.c_str());
+    auto checkSteps = [&](const std::vector<WorkloadStep> &steps,
+                          const char *which, bool dag_timed) {
+        for (size_t i = 0; i < steps.size(); ++i) {
+            for (size_t d : steps[i].deps)
+                VCB_ASSERT(d < i,
+                           "%s: %s step %zu depends on step %zu — deps "
+                           "must point backwards (list order is the "
+                           "topological order)",
+                           w.name.c_str(), which, i, d);
+            if (dag_timed)
+                VCB_ASSERT(steps[i].kind != Kind::Barrier,
+                           "%s: dag %s expresses ordering via deps, "
+                           "not barrier steps",
+                           w.name.c_str(), which);
+        }
+    };
+    checkSteps(w.prologue, "prologue", w.dag);
+    checkSteps(w.body, "body", w.dag);
+    checkSteps(w.epilogue, "epilogue", false);
+    VCB_ASSERT(!(w.dag && w.bodyFor),
+               "%s: dag workloads need a uniform body", w.name.c_str());
 }
 
 /** Validation epilogue shared by the three runners. */
@@ -635,6 +663,163 @@ recordBatches(VkRun &run, const Workload &w,
     return batches;
 }
 
+// ---------------------------------------------------------------------------
+// Multi-queue DAG scheduler
+// ---------------------------------------------------------------------------
+
+/** One dispatch of a dag step list, placed on a compute queue, with
+ *  its own command buffer and fence and the cross-queue semaphore
+ *  edges it waits on / signals. */
+struct DagNode
+{
+    size_t step = 0;    ///< index into the step list
+    uint32_t queue = 0; ///< compute-queue index
+    std::vector<size_t> waits;   ///< edge indices (into DagPlan::edges)
+    std::vector<size_t> signals; ///< edge indices
+    vkm::CommandBuffer cb;
+    vkm::Fence fence;
+};
+
+/** The static schedule of one dag step list: computed once (dag bodies
+ *  are uniform), replayed every iteration. */
+struct DagPlan
+{
+    std::vector<DagNode> nodes;  ///< one per Dispatch step, list order
+    std::vector<size_t> nodeOf;  ///< step index -> node index / SIZE_MAX
+    std::vector<vkm::Semaphore> edges; ///< one per cross-queue edge
+};
+
+/**
+ * Assign each dispatch to a queue and materialize the cross-queue
+ * semaphore edges.
+ *
+ * Placement: a dispatch inherits the queue of its first
+ * dispatch-dependency (keeping a dependent chain on one queue, so the
+ * chain's spine needs no semaphores — in-queue order covers it); roots
+ * round-robin across the `queues` available queues.  Every remaining
+ * dependency that crosses queues gets a dedicated binary semaphore,
+ * signaled by the producer's submit and consumed by the consumer's —
+ * consumption (vkm clears `signaled` on wait) is what lets the same
+ * semaphore serve every iteration.
+ */
+DagPlan
+buildDagPlan(VkRun &run, const std::vector<WorkloadStep> &steps,
+             uint32_t queues)
+{
+    DagPlan plan;
+    plan.nodeOf.assign(steps.size(), SIZE_MAX);
+    uint32_t rr = 0;
+    for (size_t i = 0; i < steps.size(); ++i) {
+        if (steps[i].kind != Kind::Dispatch)
+            continue;
+        DagNode node;
+        node.step = i;
+        node.queue = UINT32_MAX;
+        for (size_t d : steps[i].deps)
+            if (plan.nodeOf[d] != SIZE_MAX) {
+                node.queue = plan.nodes[plan.nodeOf[d]].queue;
+                break;
+            }
+        if (node.queue == UINT32_MAX)
+            node.queue = rr++ % queues;
+        vkm::check(vkm::allocateCommandBuffer(run.ctx.device,
+                                              run.ctx.cmdPool, &node.cb),
+                   "allocateCommandBuffer");
+        vkm::check(vkm::createFence(run.ctx.device, &node.fence),
+                   "createFence");
+        plan.nodeOf[i] = plan.nodes.size();
+        plan.nodes.push_back(std::move(node));
+        DagNode &self = plan.nodes.back();
+        for (size_t d : steps[i].deps) {
+            size_t pn = plan.nodeOf[d];
+            if (pn == SIZE_MAX || plan.nodes[pn].queue == self.queue)
+                continue;
+            vkm::Semaphore sem;
+            vkm::check(vkm::createSemaphore(run.ctx.device, &sem),
+                       "createSemaphore");
+            plan.nodes[pn].signals.push_back(plan.edges.size());
+            self.waits.push_back(plan.edges.size());
+            plan.edges.push_back(sem);
+        }
+    }
+    return plan;
+}
+
+/** (Re-)record one node's self-contained command buffer.  Recording
+ *  advances no simulated clock, so RecordOnce and ReRecord differ only
+ *  in when this runs, never in the timeline. */
+void
+recordDagNode(VkRun &run, DagNode &node, const WorkloadStep &s)
+{
+    vkm::check(vkm::resetCommandBuffer(node.cb), "resetCommandBuffer");
+    vkm::check(vkm::beginCommandBuffer(node.cb), "beginCommandBuffer");
+    run.resetRecordState();
+    run.recordDispatch(node.cb, s);
+    vkm::check(vkm::endCommandBuffer(node.cb), "endCommandBuffer");
+}
+
+/**
+ * Execute one pass over a dag step list against its plan: dispatches
+ * submit to their assigned queue (one submit per node, fence always
+ * attached), host steps first fence-wait the dispatches they depend on
+ * (all submitted so far when they declare none — conservative), and
+ * the pass ends with a single join over every fence so the next
+ * iteration reuses them.  Submission happens in list order, so the
+ * functional (eager) results are bit-identical to the serial path by
+ * construction — queue count only moves the simulated timeline.
+ */
+void
+execDag(VkRun &run, const std::vector<WorkloadStep> &steps,
+        DagPlan &plan, bool rerecord)
+{
+    std::vector<bool> submitted(plan.nodes.size(), false);
+    for (size_t i = 0; i < steps.size(); ++i) {
+        const WorkloadStep &s = steps[i];
+        if (s.kind == Kind::Dispatch) {
+            DagNode &node = plan.nodes[plan.nodeOf[i]];
+            if (rerecord)
+                recordDagNode(run, node, s);
+            vkm::SubmitInfo si;
+            for (size_t e : node.waits)
+                si.waitSemaphores.push_back(plan.edges[e]);
+            si.commandBuffers.push_back(node.cb);
+            for (size_t e : node.signals)
+                si.signalSemaphores.push_back(plan.edges[e]);
+            vkm::check(vkm::queueSubmit(run.ctx.computeQueues[node.queue],
+                                        {si}, node.fence),
+                       "queueSubmit");
+            submitted[plan.nodeOf[i]] = true;
+            ++run.res.launches;
+        } else {
+            std::vector<vkm::Fence> wait;
+            if (!s.deps.empty()) {
+                for (size_t d : s.deps) {
+                    size_t n = plan.nodeOf[d];
+                    if (n != SIZE_MAX && submitted[n])
+                        wait.push_back(plan.nodes[n].fence);
+                }
+            } else {
+                for (size_t n = 0; n < plan.nodes.size(); ++n)
+                    if (submitted[n])
+                        wait.push_back(plan.nodes[n].fence);
+            }
+            if (!wait.empty())
+                vkm::check(vkm::waitForFences(run.ctx.device, wait),
+                           "waitForFences");
+            run.execHostStep(s);
+        }
+    }
+    std::vector<vkm::Fence> all;
+    for (size_t n = 0; n < plan.nodes.size(); ++n)
+        if (submitted[n])
+            all.push_back(plan.nodes[n].fence);
+    if (!all.empty()) {
+        vkm::check(vkm::waitForFences(run.ctx.device, all),
+                   "waitForFences");
+        vkm::check(vkm::resetFences(run.ctx.device, all), "resetFences");
+    }
+}
+
 } // namespace
 
 RunResult
@@ -651,6 +836,15 @@ runWorkloadVulkan(const Workload &w, const sim::DeviceSpec &dev,
     VCB_ASSERT(strategyApplicableOver(w, strat, bodies),
                "%s: strategy %s not applicable", w.name.c_str(),
                strategyName(strat));
+    const bool multiq = opts.queueCount > 0;
+    if (multiq) {
+        VCB_ASSERT(w.dag, "%s: multi-queue mode needs a dag workload",
+                   w.name.c_str());
+        VCB_ASSERT(strat != SubmitStrategy::Batched,
+                   "%s: batched submits whole iterations at once — "
+                   "nothing is left to spread across queues",
+                   w.name.c_str());
+    }
 
     RunResult res;
     res.strategy = strategyName(strat);
@@ -658,6 +852,12 @@ runWorkloadVulkan(const Workload &w, const sim::DeviceSpec &dev,
     res.skipReason = run.compileKernels();
     if (!res.skipReason.empty())
         return res;
+    const uint32_t nq =
+        multiq ? std::min<uint32_t>(
+                     opts.queueCount,
+                     (uint32_t)run.ctx.computeQueues.size())
+               : 1;
+    res.queuesUsed = nq;
 
     double t_total0 = run.ctx.now();
     run.createBuffers();
@@ -674,12 +874,43 @@ runWorkloadVulkan(const Workload &w, const sim::DeviceSpec &dev,
         run.prescanSets(w.body);
     }
     std::vector<Segment> prerec;
-    if (strat == SubmitStrategy::RecordOnce)
+    DagPlan proPlan, bodyPlan;
+    if (multiq) {
+        proPlan = buildDagPlan(run, w.prologue, nq);
+        bodyPlan = buildDagPlan(run, w.body, nq);
+        if (strat == SubmitStrategy::RecordOnce)
+            for (DagNode &n : bodyPlan.nodes)
+                recordDagNode(run, n, w.body[n.step]);
+    } else if (strat == SubmitStrategy::RecordOnce) {
         prerec = recordSegments(run, w.body);
-    else if (strat == SubmitStrategy::Batched)
+    } else if (strat == SubmitStrategy::Batched) {
         prerec = recordBatches(run, w, bodies, opts.batchN);
+    }
 
     double t0 = run.ctx.now();
+    double busy0 = vkm::deviceBusyNs(run.ctx.device);
+    if (multiq) {
+        // The prologue runs once: record at execution time (recording
+        // is free on the simulated clock either way).
+        execDag(run, w.prologue, proPlan, true);
+        for (uint32_t it = 0; it < w.iterations; ++it) {
+            execDag(run, w.body, bodyPlan,
+                    strat == SubmitStrategy::ReRecord);
+            if (w.converged && w.converged(run.host))
+                break;
+        }
+        res.kernelRegionNs = run.ctx.now() - t0;
+        res.deviceBusyNs = vkm::deviceBusyNs(run.ctx.device) - busy0;
+
+        run.execStream(w.epilogue);
+        run.flushStream();
+        res.totalNs = run.ctx.now() - t_total0;
+
+        finishRun(w, run.host, res);
+        if (host_out)
+            *host_out = std::move(run.host);
+        return res;
+    }
     run.execStream(w.prologue);
     run.flushStream();
     switch (strat) {
@@ -707,6 +938,7 @@ runWorkloadVulkan(const Workload &w, const sim::DeviceSpec &dev,
     }
     run.flushStream();
     res.kernelRegionNs = run.ctx.now() - t0;
+    res.deviceBusyNs = vkm::deviceBusyNs(run.ctx.device) - busy0;
 
     run.execStream(w.epilogue);
     run.flushStream();

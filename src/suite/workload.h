@@ -68,6 +68,14 @@ struct RunResult
      *  "per-launch" for OpenCL/CUDA. */
     std::string strategy;
 
+    /** Compute queues the Vulkan run spread dispatches over (1 for the
+     *  serial path and for OpenCL/CUDA). */
+    uint32_t queuesUsed = 1;
+    /** Summed device-busy time over all queues inside the kernel
+     *  region (Vulkan only; 0 elsewhere).  busy/elapsed > 1 is the
+     *  signature of genuine multi-queue overlap. */
+    double deviceBusyNs = 0;
+
     /** Output matched the CPU reference. */
     bool validated = false;
     std::string validationError;
@@ -160,6 +168,14 @@ struct WorkloadStep
 
     // HostCall
     std::function<void(HostArrays &)> fn;
+
+    /** Indices of earlier steps in the same list this step depends on
+     *  (each must be < this step's own index, so list order is a valid
+     *  topological order).  Empty = conservative: after everything
+     *  before it.  Only dag workloads declare deps; the serial runners
+     *  (OpenCL, CUDA, single-queue Vulkan) execute in list order and
+     *  ignore them. */
+    std::vector<size_t> deps;
 };
 
 /** Step factories (the declarative vocabulary of bench_*.cc). */
@@ -174,6 +190,8 @@ WorkloadStep uploadIfStep(size_t buffer, size_t host_array,
                           size_t cond_array, size_t cond_word);
 WorkloadStep readbackStep(size_t buffer, size_t host_array);
 WorkloadStep hostStep(std::function<void(HostArrays &)> fn);
+/** Attach declared dependencies to a step (dag workloads). */
+WorkloadStep withDeps(WorkloadStep s, std::vector<size_t> deps);
 
 /** One device buffer of a workload. */
 struct WorkloadBuffer
@@ -234,6 +252,14 @@ struct Workload
      *  what Benchmark::run uses unless the caller overrides it. */
     SubmitStrategy preferred = SubmitStrategy::ReRecord;
 
+    /** True when the step lists carry meaningful `deps` edges, i.e.
+     *  steps with no path between them are independent and the Vulkan
+     *  runner may spread them over multiple compute queues
+     *  (WorkloadOptions::queueCount).  Requires a uniform body (no
+     *  bodyFor) and no Barrier steps in prologue/body — ordering is
+     *  expressed by the edges, not by list position. */
+    bool dag = false;
+
     /** Compare the final host arrays against a CPU reference; empty
      *  string = validated. */
     std::function<std::string(const HostArrays &)> validate;
@@ -257,6 +283,13 @@ struct WorkloadOptions
     std::optional<SubmitStrategy> strategy;
     /** Batched: iterations per command buffer; 0 = all in one. */
     uint32_t batchN = 0;
+    /** Vulkan multi-queue mode: spread a dag workload's independent
+     *  dispatch chains over up to this many compute queues (clamped to
+     *  the device's computeQueueCount), joining cross-queue edges with
+     *  semaphores.  0 = the serial single-queue path.  Requires
+     *  Workload::dag; Batched does not apply (it submits whole
+     *  iterations, leaving nothing to overlap). */
+    uint32_t queueCount = 0;
 };
 
 /** Execute through the Vulkan-mini front-end.  `host_out`, when

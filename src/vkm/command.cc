@@ -5,6 +5,7 @@
 
 #include "vkm/internal.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/logging.h"
@@ -195,21 +196,36 @@ replaySubmits(QueueImpl *q, const std::vector<SubmitInfo> &submits,
     d->timeline->hostAdvance(prof.submitOverheadNs);
     d->submitCount += 1;
 
-    // Cross-queue waits first.
-    for (const auto &submit : submits)
-        for (const auto &sem : submit.waitSemaphores)
-            if (sem.valid())
-                d->timeline->queueWaitUntil(q->timelineIndex,
-                                            sem.impl()->timestampNs);
+    // Cross-queue waits first.  A binary semaphore must have been
+    // signaled by an earlier submission; the wait consumes it.
+    for (const auto &submit : submits) {
+        for (const auto &sem : submit.waitSemaphores) {
+            if (!sem.valid())
+                continue;
+            if (!sem.impl()->signaled) {
+                warn("vkm validation: waiting on a never-signaled "
+                     "semaphore");
+                return Result::ErrorValidation;
+            }
+            sem.impl()->signaled = false;
+            d->timeline->queueWaitUntil(q->timelineIndex,
+                                        sem.impl()->timestampNs);
+        }
+    }
 
     double start = std::max(d->timeline->queueReady(q->timelineIndex),
                             d->timeline->hostNow());
     double device_ns = 0;
 
-    // Bound state during replay.
+    // Bound state during replay — reset per command buffer below
+    // (Vulkan command-buffer state never outlives the recording that
+    // set it).  `bound_earlier` distinguishes a plain missing bind
+    // from state that an earlier command buffer of this batch would
+    // have leaked before the per-CB reset existed.
     PipelineImpl *pipeline = nullptr;
     DescriptorSetImpl *sets[4] = {nullptr, nullptr, nullptr, nullptr};
     std::vector<uint32_t> push(64, 0);
+    bool bound_earlier = false;
 
     for (const auto &submit : submits) {
         for (const auto &cbh : submit.commandBuffers) {
@@ -220,18 +236,37 @@ replaySubmits(QueueImpl *q, const std::vector<SubmitInfo> &submits,
                      "ended");
                 return Result::ErrorValidation;
             }
+            bound_earlier = bound_earlier || pipeline != nullptr;
+            pipeline = nullptr;
+            std::fill(std::begin(sets), std::end(sets), nullptr);
+            push.assign(64, 0);
             for (const auto &c : cb->commands) {
                 switch (c.kind) {
-                  case Command::Kind::BindPipeline:
+                  case Command::Kind::BindPipeline: {
                     pipeline = c.pipeline.impl();
+                    // The replay push buffer must cover the bound
+                    // layout's full declared range, which may exceed
+                    // the 64-word baseline on big-push devices.
+                    uint32_t words =
+                        pipeline->layout.impl()->pushBytes / 4;
+                    if (words > push.size())
+                        push.resize(words, 0);
                     device_ns += prof.bindPipelineNs;
                     break;
+                  }
                   case Command::Kind::BindDescriptorSet:
                     VCB_ASSERT(c.setIndex < 4, "set index out of range");
                     sets[c.setIndex] = c.set.impl();
                     device_ns += prof.bindDescSetNs;
                     break;
                   case Command::Kind::PushConstants: {
+                    // cmdPushConstants validated against the layout's
+                    // range, which can be larger than the buffer sized
+                    // so far when the push precedes the pipeline bind.
+                    if (c.pushOffsetWords + c.pushData.size() >
+                        push.size())
+                        push.resize(c.pushOffsetWords + c.pushData.size(),
+                                    0);
                     for (size_t i = 0; i < c.pushData.size(); ++i)
                         push[c.pushOffsetWords + i] = c.pushData[i];
                     // Snapdragon quirk: push constants behave like a
@@ -243,8 +278,12 @@ replaySubmits(QueueImpl *q, const std::vector<SubmitInfo> &submits,
                   }
                   case Command::Kind::Dispatch: {
                     if (!pipeline) {
-                        warn("vkm validation: dispatch without a bound "
-                             "pipeline");
+                        warn(bound_earlier
+                                 ? "vkm validation: dispatch relies on "
+                                   "pipeline state bound in an earlier "
+                                   "command buffer (state is per-CB)"
+                                 : "vkm validation: dispatch without a "
+                                   "bound pipeline");
                         return Result::ErrorValidation;
                     }
                     const sim::CompiledKernel &kernel = *pipeline->kernel;
@@ -315,10 +354,14 @@ replaySubmits(QueueImpl *q, const std::vector<SubmitInfo> &submits,
     d->timeline->queueWaitUntil(q->timelineIndex, start);
     double completion = d->timeline->enqueue(q->timelineIndex, device_ns);
 
-    for (const auto &submit : submits)
-        for (const auto &sem : submit.signalSemaphores)
-            if (sem.valid())
-                sem.impl()->timestampNs = completion;
+    for (const auto &submit : submits) {
+        for (const auto &sem : submit.signalSemaphores) {
+            if (!sem.valid())
+                continue;
+            sem.impl()->signaled = true;
+            sem.impl()->timestampNs = completion;
+        }
+    }
 
     if (fence.valid()) {
         fence.impl()->submitted = true;

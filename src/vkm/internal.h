@@ -161,6 +161,10 @@ struct FenceImpl
 
 struct SemaphoreImpl
 {
+    /** Binary semaphore: signaled by a submit's completion, consumed by
+     *  the first wait.  Waiting while unsignaled is a validation error
+     *  (mirroring the never-submitted-fence path in waitForFences). */
+    bool signaled = false;
     double timestampNs = 0;
 };
 

@@ -555,4 +555,19 @@ hostAdvanceNs(Device dev, double ns)
     dev.impl()->timeline->hostAdvance(ns);
 }
 
+double
+deviceBusyNs(Device dev)
+{
+    VCB_ASSERT(dev.valid(), "null device");
+    return dev.impl()->timeline->busyTotalNs();
+}
+
+double
+queueBusyNs(Queue queue)
+{
+    VCB_ASSERT(queue.valid(), "null queue");
+    QueueImpl *q = queue.impl();
+    return q->dev->timeline->busyNs(q->timelineIndex);
+}
+
 } // namespace vcb::vkm

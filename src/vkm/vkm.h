@@ -424,6 +424,15 @@ double hostNowNs(Device dev);
 /** Spend host time explicitly (host-side compute in benchmarks). */
 void hostAdvanceNs(Device dev, double ns);
 
+/** Total device busy time across every queue of the device's
+ *  timeline, in ns.  Busy time is queue-count invariant for the same
+ *  work; comparing it against the host makespan quantifies how much
+ *  of the submitted work genuinely overlapped. */
+double deviceBusyNs(Device dev);
+
+/** Busy time of one queue's clock, in ns. */
+double queueBusyNs(Queue queue);
+
 } // namespace vcb::vkm
 
 #endif // VCB_VKM_VKM_H

@@ -476,6 +476,240 @@ TEST(VkmSync, TimestampsOrderWithinCommandBuffer)
     EXPECT_GT(results[1], results[0]);
 }
 
+TEST(VkmCommands, OversizedPushLayoutsReplaySafely)
+{
+    // Regression: replaySubmits kept a fixed 64-word push buffer, so a
+    // pipeline layout declaring more than 256 bytes of push constants
+    // overflowed it at replay.  The buffer is now sized from the bound
+    // layout.  Needs a device whose limit admits such a layout.
+    sim::DeviceSpec big = sim::gtx1050ti();
+    big.name = "GTX1050Ti-bigpush";
+    big.maxPushBytes = 512;
+    sim::setActiveDeviceRegistry({big});
+    {
+        Instance inst = makeInstance();
+        auto pd = enumeratePhysicalDevices(inst)[0];
+        Device dev = makeDevice(pd);
+
+        ShaderModule mod;
+        check(createShaderModule(
+                  dev, {kernels::buildVecAdd().serialize()}, &mod),
+              "createShaderModule");
+        DescriptorSetLayout dsl;
+        check(createDescriptorSetLayout(dev, {{{0}, {1}, {2}}}, &dsl),
+              "createDescriptorSetLayout");
+        PipelineLayout layout;
+        PipelineLayoutCreateInfo plci;
+        plci.setLayouts.push_back(dsl);
+        plci.pushConstantRanges.push_back({0, 512});
+        check(createPipelineLayout(dev, plci, &layout),
+              "createPipelineLayout");
+        Pipeline pipeline;
+        check(createComputePipeline(dev, {mod, layout}, &pipeline),
+              "createComputePipeline");
+
+        CommandPool pool;
+        check(createCommandPool(dev, {0}, &pool), "createCommandPool");
+        CommandBuffer cb;
+        check(allocateCommandBuffer(dev, pool, &cb),
+              "allocateCommandBuffer");
+        uint32_t words[128] = {};
+        words[127] = 0xDEADBEEF;
+        check(beginCommandBuffer(cb), "begin");
+        cmdBindPipeline(cb, pipeline);
+        cmdPushConstants(cb, layout, 0, 512, words);
+        check(endCommandBuffer(cb), "end");
+
+        Queue queue = getDeviceQueue(dev, 0, 0);
+        SubmitInfo si;
+        si.commandBuffers.push_back(cb);
+        EXPECT_EQ(queueSubmit(queue, {si}, Fence()), Result::Success);
+    }
+    sim::setActiveDeviceRegistry(sim::deviceRegistry());
+}
+
+TEST(VkmSync, WaitOnNeverSignaledSemaphoreFailsValidation)
+{
+    // Regression: waiting on a semaphore no submit ever signaled was a
+    // silent no-op wait; it now fails validation like waiting on a
+    // never-submitted fence.
+    Instance inst = makeInstance();
+    Device dev = makeDevice(physByName(inst, "GTX1050Ti"));
+    Queue queue = getDeviceQueue(dev, 0, 0);
+    CommandPool pool;
+    check(createCommandPool(dev, {0}, &pool), "createCommandPool");
+    CommandBuffer cb;
+    check(allocateCommandBuffer(dev, pool, &cb),
+          "allocateCommandBuffer");
+    check(beginCommandBuffer(cb), "begin");
+    check(endCommandBuffer(cb), "end");
+
+    Semaphore sem;
+    check(createSemaphore(dev, &sem), "createSemaphore");
+    SubmitInfo wait;
+    wait.waitSemaphores.push_back(sem);
+    wait.commandBuffers.push_back(cb);
+    EXPECT_EQ(queueSubmit(queue, {wait}, Fence()),
+              Result::ErrorValidation);
+
+    // Signal once, wait once: fine.  A binary semaphore's wait
+    // consumes the signal, so a second wait is the same error.
+    SubmitInfo signal;
+    signal.commandBuffers.push_back(cb);
+    signal.signalSemaphores.push_back(sem);
+    check(queueSubmit(queue, {signal}, Fence()), "queueSubmit");
+    EXPECT_EQ(queueSubmit(queue, {wait}, Fence()), Result::Success);
+    EXPECT_EQ(queueSubmit(queue, {wait}, Fence()),
+              Result::ErrorValidation);
+}
+
+TEST(VkmCommands, BoundStateDoesNotCarryAcrossCommandBuffers)
+{
+    // Regression: replaySubmits carried the bound pipeline across
+    // command-buffer boundaries, so a second command buffer could
+    // dispatch without ever binding — legal in the replayer, illegal
+    // at the API.  State is now reset per command buffer.
+    Instance inst = makeInstance();
+    Device dev = makeDevice(physByName(inst, "GTX1050Ti"));
+    Queue queue = getDeviceQueue(dev, 0, 0);
+
+    ShaderModule mod;
+    check(createShaderModule(dev,
+                             {kernels::buildVecAdd().serialize()},
+                             &mod),
+          "createShaderModule");
+    DescriptorSetLayout dsl;
+    check(createDescriptorSetLayout(dev, {{{0}, {1}, {2}}}, &dsl),
+          "createDescriptorSetLayout");
+    PipelineLayout layout;
+    PipelineLayoutCreateInfo plci;
+    plci.setLayouts.push_back(dsl);
+    plci.pushConstantRanges.push_back({0, 4});
+    check(createPipelineLayout(dev, plci, &layout),
+          "createPipelineLayout");
+    Pipeline pipeline;
+    check(createComputePipeline(dev, {mod, layout}, &pipeline),
+          "createComputePipeline");
+
+    Buffer buf;
+    check(createBuffer(dev, {4096, BufferUsageStorage}, &buf),
+          "createBuffer");
+    auto reqs = getBufferMemoryRequirements(dev, buf);
+    DeviceMemory mem;
+    check(allocateMemory(dev, {reqs.size, 0}, &mem), "allocateMemory");
+    check(bindBufferMemory(dev, buf, mem, 0), "bindBufferMemory");
+    DescriptorPool dpool;
+    check(createDescriptorPool(dev, {4}, &dpool),
+          "createDescriptorPool");
+    DescriptorSet set;
+    check(allocateDescriptorSet(dev, dpool, dsl, &set),
+          "allocateDescriptorSet");
+    updateDescriptorSets(dev,
+                         {{set, 0, buf}, {set, 1, buf}, {set, 2, buf}});
+
+    CommandPool pool;
+    check(createCommandPool(dev, {0}, &pool), "createCommandPool");
+    CommandBuffer first, second;
+    check(allocateCommandBuffer(dev, pool, &first), "alloc");
+    check(allocateCommandBuffer(dev, pool, &second), "alloc");
+    const uint32_t n = 16;
+    check(beginCommandBuffer(first), "begin");
+    cmdBindPipeline(first, pipeline);
+    cmdBindDescriptorSet(first, layout, 0, set);
+    cmdPushConstants(first, layout, 0, 4, &n);
+    cmdDispatch(first, 1, 1, 1);
+    check(endCommandBuffer(first), "end");
+    // The second command buffer records only a dispatch, relying on
+    // the state the first one bound.
+    check(beginCommandBuffer(second), "begin");
+    cmdDispatch(second, 1, 1, 1);
+    check(endCommandBuffer(second), "end");
+
+    SubmitInfo si;
+    si.commandBuffers.push_back(first);
+    si.commandBuffers.push_back(second);
+    EXPECT_EQ(queueSubmit(queue, {si}, Fence()),
+              Result::ErrorValidation);
+}
+
+TEST(VkmSync, SemaphoreChainCompletionOrderMatchesSerialOrder)
+{
+    // Property: a K-link chain of submissions joined by semaphores
+    // completes in chain order whether it runs on 1, 2 or 4 compute
+    // queues, and the final buffer contents (last fill wins) are
+    // identical — spreading a chain never reorders it.
+    Instance inst = makeInstance();
+    auto pd = physByName(inst, "GTX1050Ti"); // 8 compute queues
+    constexpr uint32_t K = 8;
+    for (uint32_t n_queues : {1u, 2u, 4u}) {
+        Device dev;
+        DeviceCreateInfo dci;
+        dci.queueCreateInfos.push_back({0, 4});
+        check(createDevice(pd, dci, &dev), "createDevice");
+
+        Buffer buf;
+        check(createBuffer(
+                  dev,
+                  {4096, BufferUsageStorage | BufferUsageTransferDst},
+                  &buf),
+              "createBuffer");
+        auto reqs = getBufferMemoryRequirements(dev, buf);
+        auto props = getPhysicalDeviceMemoryProperties(pd);
+        uint32_t type =
+            findMemoryType(props, reqs.memoryTypeBits,
+                           MemoryHostVisible | MemoryHostCoherent);
+        ASSERT_NE(type, UINT32_MAX);
+        DeviceMemory mem;
+        check(allocateMemory(dev, {reqs.size, type}, &mem),
+              "allocateMemory");
+        check(bindBufferMemory(dev, buf, mem, 0), "bindBufferMemory");
+
+        CommandPool pool;
+        check(createCommandPool(dev, {0}, &pool), "createCommandPool");
+        QueryPool qp;
+        check(createQueryPool(dev, {K}, &qp), "createQueryPool");
+
+        std::vector<Semaphore> sems(K);
+        for (auto &s : sems)
+            check(createSemaphore(dev, &s), "createSemaphore");
+        Fence fence;
+        check(createFence(dev, &fence), "createFence");
+
+        for (uint32_t i = 0; i < K; ++i) {
+            CommandBuffer cb;
+            check(allocateCommandBuffer(dev, pool, &cb), "alloc");
+            check(beginCommandBuffer(cb), "begin");
+            cmdFillBuffer(cb, buf, 0, 4096, i + 1);
+            cmdWriteTimestamp(cb, qp, i);
+            check(endCommandBuffer(cb), "end");
+            SubmitInfo si;
+            if (i > 0)
+                si.waitSemaphores.push_back(sems[i - 1]);
+            si.commandBuffers.push_back(cb);
+            si.signalSemaphores.push_back(sems[i]);
+            Queue q = getDeviceQueue(dev, 0, i % n_queues);
+            check(queueSubmit(q, {si}, i + 1 == K ? fence : Fence()),
+                  "queueSubmit");
+        }
+        check(waitForFences(dev, {fence}), "waitForFences");
+
+        std::vector<double> ts;
+        check(getQueryPoolResults(dev, qp, 0, K, &ts),
+              "getQueryPoolResults");
+        ASSERT_EQ(ts.size(), K);
+        for (uint32_t i = 1; i < K; ++i)
+            EXPECT_GT(ts[i], ts[i - 1])
+                << "queues=" << n_queues << " link " << i;
+
+        void *ptr = nullptr;
+        check(mapMemory(dev, bufferMemory(buf), 0, 4, &ptr),
+              "mapMemory");
+        EXPECT_EQ(*static_cast<uint32_t *>(ptr), K)
+            << "queues=" << n_queues;
+        unmapMemory(dev, bufferMemory(buf));
+    }
+}
+
 TEST(VkmSync, SemaphoresChainAcrossQueues)
 {
     Instance inst = makeInstance();
