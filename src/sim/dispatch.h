@@ -13,6 +13,45 @@ namespace vcb::sim {
 
 struct CompiledKernel;
 
+/**
+ * Executor tiers, fastest first.  Selection is per kernel from
+ * lowering metadata (chooseExecTier) unless a sampler or robust access
+ * forces the instrumented tier, or VCB_EXECUTOR forces one for
+ * debugging.  Every tier produces bit-identical buffers, DispatchStats
+ * and kernelNs — the tiers differ only in host speed.
+ */
+enum class ExecTier : uint8_t
+{
+    /** Branch/atomic-free kernels: the whole dispatch body runs as one
+     *  fused loop over fixed-width lane blocks, no divergence checks. */
+    Trace,
+    /** Op-major lockstep over lane blocks of W; a divergent branch or
+     *  atomic bails only the affected block to the lane-major tier. */
+    Block,
+    /** One lane at a time to phase end — the order-defining reference
+     *  executor (atomics observe exactly this lane order). */
+    LaneMajor,
+    /** Lane-major plus sampler recording / robust clamping. */
+    Instrumented,
+    Count
+};
+
+/** Symbolic tier name ("trace", "block", "lane", "instrumented"). */
+const char *execTierName(ExecTier t);
+
+/** Forced tier parsed from VCB_EXECUTOR (same names), cached on first
+ *  use; returns ExecTier::Count when unset/auto. */
+ExecTier executorOverride();
+/** Test hook: force a tier programmatically (Count = back to auto /
+ *  re-read VCB_EXECUTOR). */
+void setExecutorOverride(ExecTier t);
+
+/** Lane-block width W for the block/trace tiers: VCB_BLOCK_W, one of
+ *  4/8/16 (default 8), cached on first use. */
+uint32_t blockWidth();
+/** Test hook: force W (0 = back to env/default). */
+void setBlockWidth(uint32_t w);
+
 /** A storage buffer as seen by the interpreter: a span of words. */
 struct BufferBinding
 {
@@ -37,6 +76,9 @@ struct DispatchStats
     uint64_t atomicOps = 0;
     /** Barrier phases crossed (summed over workgroups). */
     uint64_t barriers = 0;
+
+    /** Tier-equivalence tests demand bit-identical stats. */
+    bool operator==(const DispatchStats &) const = default;
 };
 
 /** Immutable inputs of one dispatch. */

@@ -36,6 +36,8 @@ struct WorkerState
 
 std::atomic<uint64_t> g_workgroupsExecuted{0};
 std::atomic<uint64_t> g_dispatchWallNs{0};
+std::atomic<uint64_t>
+    g_tierWorkgroups[static_cast<size_t>(ExecTier::Count)]{};
 
 } // namespace
 
@@ -49,6 +51,13 @@ uint64_t
 dispatchWallNs()
 {
     return g_dispatchWallNs.load(std::memory_order_relaxed);
+}
+
+uint64_t
+tierWorkgroupCount(ExecTier t)
+{
+    return g_tierWorkgroups[static_cast<size_t>(t)].load(
+        std::memory_order_relaxed);
 }
 
 DispatchResult
@@ -117,6 +126,12 @@ ExecutionEngine::dispatch(const DispatchContext &ctx)
         stats.invocations += ws.invocations;
         for (uint32_t s = 0; s < k.numSites; ++s)
             site_exec[s] += ws.siteExec[s];
+        // Tier usage is perf telemetry, not simulation state: it goes
+        // to the process-wide counters, never into DispatchStats.
+        for (size_t t = 0; t < static_cast<size_t>(ExecTier::Count); ++t)
+            if (ws.tierWorkgroups[t])
+                g_tierWorkgroups[t].fetch_add(
+                    ws.tierWorkgroups[t], std::memory_order_relaxed);
     };
 
     // Sampled workgroups run serially first (the sampler is not

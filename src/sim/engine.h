@@ -6,9 +6,10 @@
  * dispatch() interprets a few spread-out workgroups first on the
  * instrumented executor with the coalescing sampler attached, then
  * fans the remaining workgroups out over
- * ThreadPool::parallelForRange, where each worker runs the micro-op
- * fast paths (op-major lockstep, falling back to lane-major on branch
- * divergence or atomics — see src/sim/interpreter.cc and
+ * ThreadPool::parallelForRange, where each worker runs the kernel's
+ * selected executor tier (trace / block-lockstep over lane blocks of
+ * W, bailing divergent or atomic blocks to lane-major — see ExecTier
+ * in src/sim/dispatch.h, src/sim/interpreter.cc and
  * docs/ARCHITECTURE.md).  Workgroups are independent in every
  * supported programming model, so parallel interpretation preserves
  * results for valid kernels; per-worker statistics merge once per
@@ -39,6 +40,16 @@ uint64_t executedWorkgroupCount();
  * executedWorkgroupCount() for throughput measurement.
  */
 uint64_t dispatchWallNs();
+
+/**
+ * Process-wide count of workgroups run on one executor tier, for perf
+ * tooling (vcb_perf's per-tier breakdown).  Like
+ * executedWorkgroupCount(): monotonic, never reset, and deliberately
+ * OUTSIDE DispatchStats — tier choice must never affect simulation
+ * results.  A workgroup counts toward the tier it was dispatched on
+ * even when some of its lane blocks bailed to the lane-major executor.
+ */
+uint64_t tierWorkgroupCount(ExecTier t);
 
 /** Per-device dispatch executor. */
 class ExecutionEngine

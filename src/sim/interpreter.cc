@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstring>
 
 #include "common/logging.h"
 
@@ -156,6 +157,8 @@ Interpreter::prepare(const DispatchContext &new_ctx)
     regs.resize(static_cast<size_t>(localCount) * kernel->module.regCount);
     pcs.resize(localCount);
     shared.resize(kernel->module.sharedWords);
+    tier = effectiveExecTier(kernel->micro);
+    bw = blockWidth();
 
     // Local-invocation ids per lane, computed once per dispatch: the
     // three divisions per lane entry were measurable at small kernels.
@@ -200,26 +203,40 @@ Interpreter::runWorkgroup(uint32_t wx, uint32_t wy, uint32_t wz,
 
     ws.invocations += localCount;
 
-    const bool instrumented = sampler != nullptr || ctx->robustAccess;
+    // A sampler or robust access forces the instrumented tier for this
+    // workgroup regardless of the per-kernel selection.
+    const ExecTier t = (sampler != nullptr || ctx->robustAccess)
+                           ? ExecTier::Instrumented
+                           : tier;
+    const bool blocked = t == ExecTier::Trace || t == ExecTier::Block;
+    ws.tierWorkgroups[static_cast<size_t>(t)] += 1;
 
     // Phased execution, one executor call per phase: every lane runs
     // from its pc until Ret or Barrier.  At each phase boundary either
     // all lanes returned (done), all stopped at a barrier (release and
     // run the next phase), or the kernel diverged (trap).  Barrier-free
-    // kernels complete in a single phase.  Phases whose lanes all
-    // resume at one pc run op-major (runPhaseVector); instrumented
-    // runs and phases with scattered resume points go lane-major.
+    // kernels complete in a single phase.  On the block/trace tiers,
+    // phases whose lanes all resume at one pc run over lane blocks;
+    // phases with scattered resume points (and the lane-major /
+    // instrumented tiers throughout) go lane-major.
     std::fill(pcs.begin(), pcs.end(), 0u);
-    bool uniform = !instrumented;
+    bool uniform = blocked;
     for (;;) {
         uint32_t done = 0;
         uint32_t at_barrier = 0;
-        if (instrumented)
-            runPhase<true>(wx, wy, wz, ws, sampler, done, at_barrier);
+        if (t == ExecTier::Instrumented)
+            runPhase<true>(0, localCount, wx, wy, wz, ws, sampler, done,
+                           at_barrier);
+        else if (t == ExecTier::LaneMajor)
+            runPhase<false>(0, localCount, wx, wy, wz, ws, nullptr,
+                            done, at_barrier);
         else if (uniform)
-            runPhaseVector(pcs[0], wx, wy, wz, ws, done, at_barrier);
+            runPhaseWgDyn(t == ExecTier::Trace, pcs[0], wx, wy, wz, ws,
+                          done, at_barrier);
         else
-            runPhase<false>(wx, wy, wz, ws, nullptr, done, at_barrier);
+            // Scattered resume points (lanes released from different
+            // barriers): per-block containment from the saved pcs.
+            runPhaseBlocksDyn(wx, wy, wz, ws, done, at_barrier);
         if (at_barrier == 0)
             break;
         if (done > 0) {
@@ -230,7 +247,7 @@ Interpreter::runWorkgroup(uint32_t wx, uint32_t wy, uint32_t wz,
         }
         // Release the barrier: every lane resumes past its Barrier.
         ws.barriers += 1;
-        if (!instrumented) {
+        if (blocked) {
             uniform = true;
             for (uint32_t lane = 1; lane < localCount && uniform; ++lane)
                 uniform = pcs[lane] == pcs[0];
@@ -307,7 +324,8 @@ Interpreter::runWorkgroup(uint32_t wx, uint32_t wy, uint32_t wz,
 
 template <bool Instrumented>
 void
-Interpreter::runPhase(uint32_t wx, uint32_t wy, uint32_t wz,
+Interpreter::runPhase(uint32_t lane_begin, uint32_t lane_end,
+                      uint32_t wx, uint32_t wy, uint32_t wz,
                       WorkgroupStats &ws, CoalesceSampler *sampler,
                       uint32_t &done_out, uint32_t &barrier_out)
 {
@@ -337,6 +355,7 @@ Interpreter::runPhase(uint32_t wx, uint32_t wy, uint32_t wz,
         &&L_FMulFAdd, &&L_FMulFSub,
         &&L_LdShFMul, &&L_LdShFSub, &&L_LdShFDiv,
         &&L_FSubStSh, &&L_FDivStSh, &&L_IDivRem,
+        &&L_Super, &&L_SuperLoop,
         &&L_Barrier, &&L_Ret,
     };
     static_assert(sizeof(kJump) / sizeof(kJump[0]) ==
@@ -357,7 +376,7 @@ Interpreter::runPhase(uint32_t wx, uint32_t wy, uint32_t wz,
     const uint32_t lx = k.module.localSize[0];
     const uint32_t ly = k.module.localSize[1];
 
-    uint32_t lane = 0;
+    uint32_t lane = lane_begin;
     uint32_t done = 0;
     uint32_t at_barrier = 0;
     uint32_t *r = regs.data();
@@ -390,6 +409,9 @@ Interpreter::runPhase(uint32_t wx, uint32_t wy, uint32_t wz,
             sampler->record(lane, site, addr * 4);
         return buf.data + addr;
     };
+
+    if (lane >= lane_end)
+        return;
 
 new_lane:
     // Per-lane entry: bind the lane's register column (the file is
@@ -814,6 +836,123 @@ VCB_OP(IDivRem) {
     NEXT;
 }
 
+VCB_OP(Super) {
+    // One fused straight-line run (see SuperKind in microop.h).  The
+    // recognizer proved the run's scratch registers dead outside it,
+    // so intermediates stay in locals; resolve() keeps per-access
+    // sampling, robust clamping and site counts exactly as the
+    // unfused op sequence produced them.
+    const SuperOp &sup = mk.supers[ip->aux];
+    switch (sup.kind) {
+      case SuperKind::SqDistStep: {
+        const uint32_t a1 = R(sup.r[0]) * R(sup.r[1]) + R(sup.r[2]);
+        const uint32_t xv =
+            std::atomic_ref<uint32_t>(*resolve(sup.buf[0], a1,
+                                               sup.site[0]))
+                .load(std::memory_order_relaxed);
+        const uint32_t a2 = R(sup.r[3]) + R(sup.r[4]);
+        const uint32_t yv =
+            std::atomic_ref<uint32_t>(*resolve(sup.buf[1], a2,
+                                               sup.site[1]))
+                .load(std::memory_order_relaxed);
+        const float d = bitsToF(xv) - bitsToF(yv);
+        const float t = d * d;
+        const float z = bitsToF(R(sup.r[5]));
+        R(sup.r[5]) = fToBits(sup.aux & 1 ? t + z : z + t);
+        R(sup.r[6]) = R(sup.r[7]) + R(sup.r[8]);
+        break;
+      }
+      case SuperKind::ShDotStep: {
+        const uint32_t a1 = R(sup.r[0]) * R(sup.r[1]) + R(sup.r[2]);
+        VCB_ASSERT(a1 < shared_words,
+                   "kernel '%s' @%u: shared load [%u] out of bounds "
+                   "(%llu words)",
+                   k.module.name.c_str(), pcOf(), a1,
+                   (unsigned long long)shared_words);
+        const uint32_t v1 = sh[a1];
+        const uint32_t a2 =
+            R(sup.r[6]) + (R(sup.r[3]) * R(sup.r[4]) + R(sup.r[5]));
+        VCB_ASSERT(a2 < shared_words,
+                   "kernel '%s' @%u: shared load [%u] out of bounds "
+                   "(%llu words)",
+                   k.module.name.c_str(), pcOf(), a2,
+                   (unsigned long long)shared_words);
+        const uint32_t v2 = sh[a2];
+        R(sup.r[8]) = fToBits(
+            std::fma(bitsToF(v1), bitsToF(v2), bitsToF(R(sup.r[7]))));
+        R(sup.r[9]) = R(sup.r[10]) + R(sup.r[11]);
+        ws.sharedAccesses += 2;
+        break;
+      }
+      case SuperKind::Count:
+        break;
+    }
+    NEXT;
+}
+
+VCB_OP(SuperLoop) {
+    // Fused counted loop (lowering pass 3.6): run to completion for
+    // this lane.  Each iteration charges headCost + bodyCost — the
+    // exact costFrom charges the unfused CmpBr/body/Jmp stream pays
+    // per trip around the back edge — and the head's flag register
+    // receives the final (failing) test's value before the transfer
+    // to the exit pc.  The access order per lane is unchanged, so
+    // sampling, robust clamping and site counts stay exact.
+    const SuperOp &sup = mk.supers[ip->aux];
+    uint64_t iters = 0;
+    while (bitsToS(R(sup.loopB)) < bitsToS(R(sup.loopC))) {
+        ++iters;
+        switch (sup.kind) {
+          case SuperKind::SqDistStep: {
+            const uint32_t a1 =
+                R(sup.r[0]) * R(sup.r[1]) + R(sup.r[2]);
+            const uint32_t xv =
+                std::atomic_ref<uint32_t>(*resolve(sup.buf[0], a1,
+                                                   sup.site[0]))
+                    .load(std::memory_order_relaxed);
+            const uint32_t a2 = R(sup.r[3]) + R(sup.r[4]);
+            const uint32_t yv =
+                std::atomic_ref<uint32_t>(*resolve(sup.buf[1], a2,
+                                                   sup.site[1]))
+                    .load(std::memory_order_relaxed);
+            const float d = bitsToF(xv) - bitsToF(yv);
+            const float t = d * d;
+            const float z = bitsToF(R(sup.r[5]));
+            R(sup.r[5]) = fToBits(sup.aux & 1 ? t + z : z + t);
+            R(sup.r[6]) = R(sup.r[7]) + R(sup.r[8]);
+            break;
+          }
+          case SuperKind::ShDotStep: {
+            const uint32_t a1 =
+                R(sup.r[0]) * R(sup.r[1]) + R(sup.r[2]);
+            VCB_ASSERT(a1 < shared_words,
+                       "kernel '%s' @%u: shared load [%u] out of "
+                       "bounds (%llu words)",
+                       k.module.name.c_str(), pcOf(), a1,
+                       (unsigned long long)shared_words);
+            const uint32_t v1 = sh[a1];
+            const uint32_t a2 =
+                R(sup.r[6]) + (R(sup.r[3]) * R(sup.r[4]) + R(sup.r[5]));
+            VCB_ASSERT(a2 < shared_words,
+                       "kernel '%s' @%u: shared load [%u] out of "
+                       "bounds (%llu words)",
+                       k.module.name.c_str(), pcOf(), a2,
+                       (unsigned long long)shared_words);
+            const uint32_t v2 = sh[a2];
+            R(sup.r[8]) = fToBits(std::fma(bitsToF(v1), bitsToF(v2),
+                                           bitsToF(R(sup.r[7]))));
+            R(sup.r[9]) = R(sup.r[10]) + R(sup.r[11]);
+            ws.sharedAccesses += 2;
+            break;
+          }
+          case SuperKind::Count:
+            break;
+        }
+    }
+    cycles += iters * (sup.headCost + sup.bodyCost);
+    R(sup.loopFlag) = sup.loopAux;
+    XFER(sup.exitPc);
+}
 VCB_OP(Barrier)
     pcs[lane] = pcOf() + 1;
     ws.laneCycles += cycles;
@@ -834,10 +973,10 @@ VCB_OP(Ret)
 #endif
 
 lane_done:
-    if (++lane < localCount)
+    if (++lane < lane_end)
         goto new_lane;
-    done_out = done;
-    barrier_out = at_barrier;
+    done_out += done;
+    barrier_out += at_barrier;
 }
 
 #undef VCB_CMPBR
@@ -847,19 +986,942 @@ lane_done:
 #undef R
 
 template void
-Interpreter::runPhase<false>(uint32_t, uint32_t, uint32_t,
-                             WorkgroupStats &, CoalesceSampler *,
-                             uint32_t &, uint32_t &);
+Interpreter::runPhase<false>(uint32_t, uint32_t, uint32_t, uint32_t,
+                             uint32_t, WorkgroupStats &,
+                             CoalesceSampler *, uint32_t &, uint32_t &);
 template void
-Interpreter::runPhase<true>(uint32_t, uint32_t, uint32_t,
-                            WorkgroupStats &, CoalesceSampler *,
-                            uint32_t &, uint32_t &);
+Interpreter::runPhase<true>(uint32_t, uint32_t, uint32_t, uint32_t,
+                            uint32_t, WorkgroupStats &,
+                            CoalesceSampler *, uint32_t &, uint32_t &);
+
+void
+Interpreter::execSuper(const SuperOp &sup, uint32_t pc,
+                       uint32_t lane_begin, uint32_t lane_end,
+                       WorkgroupStats &ws)
+{
+    const CompiledKernel &k = *kernel;
+    const size_t lc = localCount;
+    uint32_t *const regs0 = regs.data();
+    const BufferBinding *const bufs = ctx->buffers.data();
+    uint64_t *const site_exec = ws.siteExec.data();
+    uint32_t *const sh = shared.data();
+    const uint64_t shared_words = shared.size();
+    const uint32_t n = lane_end - lane_begin;
+    // Lane vector of register x, offset to the first lane of the
+    // range (the register file is reg-major).
+    auto V = [&](uint32_t x) {
+        return regs0 + static_cast<size_t>(x) * lc + lane_begin;
+    };
+    auto oob = [&](uint32_t binding, uint64_t addr,
+                   uint64_t words) -> void {
+        panic("kernel '%s' @%u: binding %u access [%llu] out of bounds "
+              "(%llu words)",
+              k.module.name.c_str(), pc, binding,
+              (unsigned long long)addr, (unsigned long long)words);
+    };
+
+    // Statement order within each lane matches the fused op sequence
+    // exactly, so register aliasing between the distilled operands
+    // (e.g. the loop counter read early and incremented last) keeps
+    // per-lane semantics; lanes are independent, so fusing the whole
+    // run per lane is unobservable.
+    //
+    // Loop records (sup.loop) run the counted loop to completion
+    // ITERATION-major: per trip, every still-active lane executes the
+    // body before any lane advances — the lane-contiguous memory
+    // order of the op-major executor, which is what keeps strided
+    // per-lane walks (kmeans reads column gid of a 64K-point matrix)
+    // cache-friendly.  The bodies only load from global/shared
+    // memory, so the order difference from the lane-major reference
+    // is unobservable; a lane whose condition fails stops updating
+    // its own registers, so exited lanes stay exited.  The caller
+    // performs the exit transfer.
+    switch (sup.kind) {
+      case SuperKind::SqDistStep: {
+        const BufferBinding &b0 = bufs[sup.buf[0]];
+        const BufferBinding &b1 = bufs[sup.buf[1]];
+        const uint32_t *const IB = V(sup.r[0]);
+        const uint32_t *const IC = V(sup.r[1]);
+        const uint32_t *const IE = V(sup.r[2]);
+        const uint32_t *const AB = V(sup.r[3]);
+        const uint32_t *const AC = V(sup.r[4]);
+        uint32_t *const ACC = V(sup.r[5]);
+        uint32_t *const IA = V(sup.r[6]);
+        const uint32_t *const NB = V(sup.r[7]);
+        const uint32_t *const NC = V(sup.r[8]);
+        const bool left = sup.aux & 1;
+        auto body = [&](uint32_t l) __attribute__((always_inline)) {
+            const uint32_t a1 = IB[l] * IC[l] + IE[l];
+            if (a1 >= b0.words) [[unlikely]]
+                oob(sup.buf[0], a1, b0.words);
+            const uint32_t xv =
+                std::atomic_ref<uint32_t>(b0.data[a1])
+                    .load(std::memory_order_relaxed);
+            const uint32_t a2 = AB[l] + AC[l];
+            if (a2 >= b1.words) [[unlikely]]
+                oob(sup.buf[1], a2, b1.words);
+            const uint32_t yv =
+                std::atomic_ref<uint32_t>(b1.data[a2])
+                    .load(std::memory_order_relaxed);
+            const float d = bitsToF(xv) - bitsToF(yv);
+            const float t = d * d;
+            const float z = bitsToF(ACC[l]);
+            ACC[l] = fToBits(left ? t + z : z + t);
+            IA[l] = NB[l] + NC[l];
+        };
+        if (!sup.loop) {
+            for (uint32_t l = 0; l < n; ++l)
+                body(l);
+            site_exec[sup.site[0]] += n;
+            site_exec[sup.site[1]] += n;
+            break;
+        }
+        const uint32_t *const LB = V(sup.loopB);
+        const uint32_t *const LC = V(sup.loopC);
+        uint32_t *const FL = V(sup.loopFlag);
+        uint64_t total = 0;
+        for (;;) {
+            uint32_t active = 0;
+            for (uint32_t l = 0; l < n; ++l)
+                active += bitsToS(LB[l]) < bitsToS(LC[l]);
+            if (active == 0)
+                break;
+            if (active == n) {
+                for (uint32_t l = 0; l < n; ++l)
+                    body(l);
+            } else {
+                for (uint32_t l = 0; l < n; ++l)
+                    if (bitsToS(LB[l]) < bitsToS(LC[l]))
+                        body(l);
+            }
+            total += active;
+        }
+        for (uint32_t l = 0; l < n; ++l)
+            FL[l] = sup.loopAux;
+        site_exec[sup.site[0]] += total;
+        site_exec[sup.site[1]] += total;
+        ws.laneCycles += total * (sup.headCost + sup.bodyCost);
+        break;
+      }
+      case SuperKind::ShDotStep: {
+        const uint32_t *const MB = V(sup.r[0]);
+        const uint32_t *const MC = V(sup.r[1]);
+        const uint32_t *const ME = V(sup.r[2]);
+        const uint32_t *const PB = V(sup.r[3]);
+        const uint32_t *const PC = V(sup.r[4]);
+        const uint32_t *const PE = V(sup.r[5]);
+        const uint32_t *const SB = V(sup.r[6]);
+        const uint32_t *const ZD = V(sup.r[7]);
+        uint32_t *const ZA = V(sup.r[8]);
+        uint32_t *const IA = V(sup.r[9]);
+        const uint32_t *const NB = V(sup.r[10]);
+        const uint32_t *const NC = V(sup.r[11]);
+        auto body = [&](uint32_t l) __attribute__((always_inline)) {
+            const uint32_t a1 = MB[l] * MC[l] + ME[l];
+            if (a1 >= shared_words) [[unlikely]]
+                panic("kernel '%s' @%u: shared load [%u] out of "
+                      "bounds (%llu words)",
+                      k.module.name.c_str(), pc, a1,
+                      (unsigned long long)shared_words);
+            const uint32_t v1 = sh[a1];
+            const uint32_t a2 = SB[l] + (PB[l] * PC[l] + PE[l]);
+            if (a2 >= shared_words) [[unlikely]]
+                panic("kernel '%s' @%u: shared load [%u] out of "
+                      "bounds (%llu words)",
+                      k.module.name.c_str(), pc, a2,
+                      (unsigned long long)shared_words);
+            const uint32_t v2 = sh[a2];
+            ZA[l] = fToBits(
+                std::fma(bitsToF(v1), bitsToF(v2), bitsToF(ZD[l])));
+            IA[l] = NB[l] + NC[l];
+        };
+        if (!sup.loop) {
+            for (uint32_t l = 0; l < n; ++l)
+                body(l);
+            ws.sharedAccesses += 2ull * n;
+            break;
+        }
+        const uint32_t *const LB = V(sup.loopB);
+        const uint32_t *const LC = V(sup.loopC);
+        uint32_t *const FL = V(sup.loopFlag);
+        uint64_t total = 0;
+        for (;;) {
+            uint32_t active = 0;
+            for (uint32_t l = 0; l < n; ++l)
+                active += bitsToS(LB[l]) < bitsToS(LC[l]);
+            if (active == 0)
+                break;
+            if (active == n) {
+                for (uint32_t l = 0; l < n; ++l)
+                    body(l);
+            } else {
+                for (uint32_t l = 0; l < n; ++l)
+                    if (bitsToS(LB[l]) < bitsToS(LC[l]))
+                        body(l);
+            }
+            total += active;
+        }
+        for (uint32_t l = 0; l < n; ++l)
+            FL[l] = sup.loopAux;
+        ws.sharedAccesses += 2ull * total;
+        ws.laneCycles += total * (sup.headCost + sup.bodyCost);
+        break;
+      }
+      case SuperKind::Count:
+        break;
+    }
+}
+
+/** Block lane vector of register x: W contiguous lanes starting at
+ *  the current block base (rb points at the block's lane-0 column of
+ *  the reg-major file). */
+#define BV(x) (rb + static_cast<size_t>(x) * lc)
+/** Element-wise binary op over one lane block: compile-time trip
+ *  count W over contiguous operands, so the compiler unrolls and
+ *  vectorizes.  A may alias B/C only exactly (vector offsets are
+ *  multiples of lc), which keeps per-lane semantics. */
+#define BBIN(name, expr)                                                  \
+    case MOp::name: {                                                     \
+        uint32_t *const A = BV(in.a);                                     \
+        const uint32_t *const B = BV(in.b);                               \
+        const uint32_t *const C = BV(in.c);                               \
+        for (uint32_t l = 0; l < W; ++l)                                  \
+            A[l] = (expr);                                                \
+        break;                                                            \
+    }
+#define BUN(name, expr)                                                   \
+    case MOp::name: {                                                     \
+        uint32_t *const A = BV(in.a);                                     \
+        const uint32_t *const B = BV(in.b);                               \
+        for (uint32_t l = 0; l < W; ++l)                                  \
+            A[l] = (expr);                                                \
+        break;                                                            \
+    }
+/** Fused compare+branch: flags written per block lane; a uniform
+ *  outcome transfers the whole block, divergence bails only this
+ *  block's W lanes to the lane-major executor. */
+#define BCMPBR(mop, expr)                                                 \
+    case MOp::mop: {                                                      \
+        uint32_t *const A = BV(in.a);                                     \
+        const uint32_t *const B = BV(in.b);                               \
+        const uint32_t *const C = BV(in.c);                               \
+        uint32_t taken = 0;                                               \
+        const uint32_t sense = in.aux;                                    \
+        for (uint32_t l = 0; l < W; ++l) {                                \
+            const uint32_t x = B[l];                                      \
+            const uint32_t y = C[l];                                      \
+            const uint32_t cond = (expr);                                 \
+            A[l] = cond;                                                  \
+            taken += cond == sense;                                       \
+        }                                                                 \
+        if (taken == 0 || taken == W) {                                   \
+            pc = taken ? in.d : pc + 1;                                   \
+            ws.laneCycles +=                                              \
+                static_cast<uint64_t>(cost_from[pc]) * W;                 \
+            continue;                                                     \
+        }                                                                 \
+        for (uint32_t l = 0; l < W; ++l)                                  \
+            pcs[base + l] = A[l] == sense ? in.d : pc + 1;                \
+        runPhase<false>(base, base + W, wx, wy, wz, ws, nullptr, done,    \
+                        at_barrier);                                      \
+        goto block_done;                                                  \
+    }
+
+template <uint32_t W>
+void
+Interpreter::runPhaseBlocks(uint32_t wx, uint32_t wy, uint32_t wz,
+                            WorkgroupStats &ws, uint32_t &done_out,
+                            uint32_t &barrier_out)
+{
+    const CompiledKernel &k = *kernel;
+    const MicroKernel &mk = k.micro;
+    const MicroOp *const ops = mk.ops.data();
+    const uint32_t *const cost_from = mk.costFrom.data();
+    const size_t lc = localCount;
+    uint32_t *const regs0 = regs.data();
+    const BufferBinding *const bufs = ctx->buffers.data();
+    uint64_t *const site_exec = ws.siteExec.data();
+    uint32_t *const sh = shared.data();
+    const uint64_t shared_words = shared.size();
+    const uint32_t lx = k.module.localSize[0];
+    const uint32_t ly = k.module.localSize[1];
+
+    uint32_t done = 0;
+    uint32_t at_barrier = 0;
+    uint32_t pc = 0;
+
+    auto oob = [&](uint32_t binding, uint64_t addr,
+                   uint64_t words) -> void {
+        panic("kernel '%s' @%u: binding %u access [%llu] out of bounds "
+              "(%llu words)",
+              k.module.name.c_str(), pc, binding,
+              (unsigned long long)addr, (unsigned long long)words);
+    };
+    auto shOob = [&](const char *what, uint64_t addr) -> void {
+        panic("kernel '%s' @%u: shared %s [%llu] out of bounds "
+              "(%llu words)",
+              k.module.name.c_str(), pc, what, (unsigned long long)addr,
+              (unsigned long long)shared_words);
+    };
+
+    /**
+     * One block global load.  Classify the address vector once:
+     *  - contiguous (addr[l] == addr[0] + l) and fully in bounds: one
+     *    bounds test, one W-word memcpy.  Global words are relaxed
+     *    atomics elsewhere; a word-aligned block copy cannot tear
+     *    individual words on supported hosts, and the simulator's
+     *    data-race-free execution contract already makes concurrent
+     *    conflicting writers to these words UB (benign same-value
+     *    races, which a copy preserves, excepted).
+     *  - uniform (every lane reads one address): one atomic load,
+     *    broadcast — kmeans' centroid reads.
+     *  - scattered: per-lane bounds checks, then per-lane loads.
+     */
+    auto loadBlock = [&](uint32_t *A, const uint32_t *ADDR,
+                         uint32_t binding) -> void {
+        const BufferBinding &buf = bufs[binding];
+        const uint32_t a0 = ADDR[0];
+        bool contig = true;
+        bool unif = true;
+        for (uint32_t l = 1; l < W; ++l) {
+            contig &= ADDR[l] == a0 + l;
+            unif &= ADDR[l] == a0;
+        }
+        if (contig && static_cast<uint64_t>(a0) + W <= buf.words) {
+            std::memcpy(A, buf.data + a0, W * sizeof(uint32_t));
+            return;
+        }
+        if (a0 >= buf.words) [[unlikely]]
+            oob(binding, a0, buf.words);
+        if (unif) {
+            const uint32_t v = std::atomic_ref<uint32_t>(buf.data[a0])
+                                   .load(std::memory_order_relaxed);
+            for (uint32_t l = 0; l < W; ++l)
+                A[l] = v;
+            return;
+        }
+        for (uint32_t l = 1; l < W; ++l)
+            if (ADDR[l] >= buf.words) [[unlikely]]
+                oob(binding, ADDR[l], buf.words);
+        for (uint32_t l = 0; l < W; ++l)
+            A[l] = std::atomic_ref<uint32_t>(buf.data[ADDR[l]])
+                       .load(std::memory_order_relaxed);
+    };
+
+    /** One block global store: contiguous in-bounds addresses become a
+     *  single W-word memcpy (see loadBlock for the race argument);
+     *  anything else stores per lane in lane order (duplicate
+     *  addresses: last lane wins, as lane-major). */
+    auto storeBlock = [&](uint32_t binding, const uint32_t *ADDR,
+                          const uint32_t *S) -> void {
+        const BufferBinding &buf = bufs[binding];
+        const uint32_t a0 = ADDR[0];
+        bool contig = true;
+        for (uint32_t l = 1; l < W; ++l)
+            contig &= ADDR[l] == a0 + l;
+        if (contig && static_cast<uint64_t>(a0) + W <= buf.words) {
+            std::memcpy(buf.data + a0, S, W * sizeof(uint32_t));
+            return;
+        }
+        for (uint32_t l = 0; l < W; ++l)
+            if (ADDR[l] >= buf.words) [[unlikely]]
+                oob(binding, ADDR[l], buf.words);
+        for (uint32_t l = 0; l < W; ++l)
+            std::atomic_ref<uint32_t>(buf.data[ADDR[l]])
+                .store(S[l], std::memory_order_relaxed);
+    };
+
+    /** Shared-memory bounds: one OR-reduced check per block, the slow
+     *  per-lane walk only to report the offending lane. */
+    auto shCheck = [&](const uint32_t *ADDR, const char *what) -> void {
+        uint32_t bad = 0;
+        for (uint32_t l = 0; l < W; ++l)
+            bad |= static_cast<uint32_t>(ADDR[l] >= shared_words);
+        if (bad) [[unlikely]] {
+            for (uint32_t l = 0; l < W; ++l)
+                if (ADDR[l] >= shared_words)
+                    shOob(what, ADDR[l]);
+        }
+    };
+
+    // Full blocks of W lanes each run the REST of the phase before the
+    // next block starts.  Sequential block order preserves the
+    // lane-major executor's global atomic order exactly: a block that
+    // reaches an observable-order op (atomic) bails to lane-major
+    // below BEFORE executing it, and everything the block ran lockstep
+    // up to that point is order-unobservable under the data-race-free
+    // contract.
+    const uint32_t full = static_cast<uint32_t>(lc - lc % W);
+    for (uint32_t base = 0; base < full; base += W) {
+        uint32_t *const rb = regs0 + base;
+        const LaneId *const lid = lids.data() + base;
+        // Resume from the per-lane pcs; a block whose lanes disagree
+        // runs lane-major as a block (containing the divergence).
+        pc = pcs[base];
+        bool blk_uniform = true;
+        for (uint32_t l = 1; l < W; ++l)
+            blk_uniform &= pcs[base + l] == pc;
+        if (!blk_uniform) {
+            runPhase<false>(base, base + W, wx, wy, wz, ws, nullptr,
+                            done, at_barrier);
+            continue;
+        }
+        // Charge the straight-line run for the block up front, as the
+        // lane-major executor does per lane at entry.
+        ws.laneCycles += static_cast<uint64_t>(cost_from[pc]) * W;
+        for (;;) {
+            const MicroOp &in = ops[pc];
+            switch (in.op) {
+              case MOp::Const: {
+                uint32_t *const A = BV(in.a);
+                for (uint32_t l = 0; l < W; ++l)
+                    A[l] = in.b;
+                break;
+              }
+              case MOp::Mov: {
+                uint32_t *const A = BV(in.a);
+                const uint32_t *const B = BV(in.b);
+                for (uint32_t l = 0; l < W; ++l)
+                    A[l] = B[l];
+                break;
+              }
+              case MOp::LdBuiltin: {
+                using spirv::Builtin;
+                uint32_t *const A = BV(in.a);
+                switch (static_cast<Builtin>(in.aux)) {
+                  case Builtin::GlobalIdX:
+                    for (uint32_t l = 0; l < W; ++l)
+                        A[l] = wx * lx + lid[l].x;
+                    break;
+                  case Builtin::GlobalIdY:
+                    for (uint32_t l = 0; l < W; ++l)
+                        A[l] = wy * ly + lid[l].y;
+                    break;
+                  case Builtin::GlobalIdZ:
+                    for (uint32_t l = 0; l < W; ++l)
+                        A[l] = wz * k.module.localSize[2] + lid[l].z;
+                    break;
+                  case Builtin::LocalIdX:
+                    for (uint32_t l = 0; l < W; ++l)
+                        A[l] = lid[l].x;
+                    break;
+                  case Builtin::LocalIdY:
+                    for (uint32_t l = 0; l < W; ++l)
+                        A[l] = lid[l].y;
+                    break;
+                  case Builtin::LocalIdZ:
+                    for (uint32_t l = 0; l < W; ++l)
+                        A[l] = lid[l].z;
+                    break;
+                  case Builtin::LocalLinearId:
+                    for (uint32_t l = 0; l < W; ++l)
+                        A[l] = base + l;
+                    break;
+                  case Builtin::GroupIdX: std::fill_n(A, W, wx); break;
+                  case Builtin::GroupIdY: std::fill_n(A, W, wy); break;
+                  case Builtin::GroupIdZ: std::fill_n(A, W, wz); break;
+                  case Builtin::NumGroupsX:
+                    std::fill_n(A, W, ctx->groups[0]);
+                    break;
+                  case Builtin::NumGroupsY:
+                    std::fill_n(A, W, ctx->groups[1]);
+                    break;
+                  case Builtin::NumGroupsZ:
+                    std::fill_n(A, W, ctx->groups[2]);
+                    break;
+                  case Builtin::LocalSizeX: std::fill_n(A, W, lx); break;
+                  case Builtin::LocalSizeY: std::fill_n(A, W, ly); break;
+                  case Builtin::LocalSizeZ:
+                    std::fill_n(A, W, k.module.localSize[2]);
+                    break;
+                  case Builtin::GlobalSizeX:
+                    std::fill_n(A, W, ctx->groups[0] * lx);
+                    break;
+                  case Builtin::GlobalSizeY:
+                    std::fill_n(A, W, ctx->groups[1] * ly);
+                    break;
+                  case Builtin::GlobalSizeZ:
+                    std::fill_n(A, W,
+                                ctx->groups[2] * k.module.localSize[2]);
+                    break;
+                  case Builtin::Count: std::fill_n(A, W, 0u); break;
+                }
+                break;
+              }
+              case MOp::LdPush: {
+                uint32_t *const A = BV(in.a);
+                std::fill_n(A, W, ctx->push[in.b]);
+                break;
+              }
+
+              BBIN(IAdd, B[l] + C[l])
+              BBIN(ISub, B[l] - C[l])
+              BBIN(IMul, B[l] * C[l])
+              case MOp::IDiv: {
+                uint32_t *const A = BV(in.a);
+                const uint32_t *const B = BV(in.b);
+                const uint32_t *const C = BV(in.c);
+                for (uint32_t l = 0; l < W; ++l) {
+                    if (C[l] == 0)
+                        panic("kernel '%s' @%u: integer division by "
+                              "zero",
+                              k.module.name.c_str(), pc);
+                    A[l] = static_cast<uint32_t>(bitsToS(B[l]) /
+                                                 bitsToS(C[l]));
+                }
+                break;
+              }
+              case MOp::IRem: {
+                uint32_t *const A = BV(in.a);
+                const uint32_t *const B = BV(in.b);
+                const uint32_t *const C = BV(in.c);
+                for (uint32_t l = 0; l < W; ++l) {
+                    if (C[l] == 0)
+                        panic("kernel '%s' @%u: integer remainder by "
+                              "zero",
+                              k.module.name.c_str(), pc);
+                    A[l] = static_cast<uint32_t>(bitsToS(B[l]) %
+                                                 bitsToS(C[l]));
+                }
+                break;
+              }
+              BBIN(IMin, static_cast<uint32_t>(
+                             std::min(bitsToS(B[l]), bitsToS(C[l]))))
+              BBIN(IMax, static_cast<uint32_t>(
+                             std::max(bitsToS(B[l]), bitsToS(C[l]))))
+              BBIN(IAnd, B[l] & C[l])
+              BBIN(IOr, B[l] | C[l])
+              BBIN(IXor, B[l] ^ C[l])
+              BUN(INot, ~B[l])
+              BUN(INeg, static_cast<uint32_t>(-bitsToS(B[l])))
+              BBIN(IShl, B[l] << (C[l] & 31))
+              BBIN(IShrU, B[l] >> (C[l] & 31))
+              BBIN(IShrS,
+                   static_cast<uint32_t>(bitsToS(B[l]) >> (C[l] & 31)))
+
+              BBIN(FAdd, fToBits(bitsToF(B[l]) + bitsToF(C[l])))
+              BBIN(FSub, fToBits(bitsToF(B[l]) - bitsToF(C[l])))
+              BBIN(FMul, fToBits(bitsToF(B[l]) * bitsToF(C[l])))
+              BBIN(FDiv, fToBits(bitsToF(B[l]) / bitsToF(C[l])))
+              BBIN(FMin,
+                   fToBits(std::fmin(bitsToF(B[l]), bitsToF(C[l]))))
+              BBIN(FMax,
+                   fToBits(std::fmax(bitsToF(B[l]), bitsToF(C[l]))))
+              BUN(FAbs, fToBits(std::fabs(bitsToF(B[l]))))
+              BUN(FNeg, fToBits(-bitsToF(B[l])))
+              BUN(FSqrt, fToBits(std::sqrt(bitsToF(B[l]))))
+              BUN(FExp, fToBits(std::exp(bitsToF(B[l]))))
+              BUN(FLog, fToBits(std::log(bitsToF(B[l]))))
+              BUN(FFloor, fToBits(std::floor(bitsToF(B[l]))))
+              BUN(FSin, fToBits(std::sin(bitsToF(B[l]))))
+              BUN(FCos, fToBits(std::cos(bitsToF(B[l]))))
+              case MOp::FFma: {
+                uint32_t *const A = BV(in.a);
+                const uint32_t *const B = BV(in.b);
+                const uint32_t *const C = BV(in.c);
+                const uint32_t *const D = BV(in.d);
+                for (uint32_t l = 0; l < W; ++l)
+                    A[l] = fToBits(std::fma(bitsToF(B[l]),
+                                            bitsToF(C[l]),
+                                            bitsToF(D[l])));
+                break;
+              }
+              BBIN(FPow, fToBits(std::pow(bitsToF(B[l]), bitsToF(C[l]))))
+              BUN(CvtSF, fToBits(static_cast<float>(bitsToS(B[l]))))
+              BUN(CvtFS, static_cast<uint32_t>(
+                             static_cast<int32_t>(bitsToF(B[l]))))
+
+              BBIN(IEq, B[l] == C[l])
+              BBIN(INe, B[l] != C[l])
+              BBIN(ILt, bitsToS(B[l]) < bitsToS(C[l]))
+              BBIN(ILe, bitsToS(B[l]) <= bitsToS(C[l]))
+              BBIN(IGt, bitsToS(B[l]) > bitsToS(C[l]))
+              BBIN(IGe, bitsToS(B[l]) >= bitsToS(C[l]))
+              BBIN(ULt, B[l] < C[l])
+              BBIN(UGe, B[l] >= C[l])
+              BBIN(FEq, bitsToF(B[l]) == bitsToF(C[l]))
+              BBIN(FNe, bitsToF(B[l]) != bitsToF(C[l]))
+              BBIN(FLt, bitsToF(B[l]) < bitsToF(C[l]))
+              BBIN(FLe, bitsToF(B[l]) <= bitsToF(C[l]))
+              BBIN(FGt, bitsToF(B[l]) > bitsToF(C[l]))
+              BBIN(FGe, bitsToF(B[l]) >= bitsToF(C[l]))
+              case MOp::Select: {
+                uint32_t *const A = BV(in.a);
+                const uint32_t *const B = BV(in.b);
+                const uint32_t *const C = BV(in.c);
+                const uint32_t *const D = BV(in.d);
+                for (uint32_t l = 0; l < W; ++l)
+                    A[l] = B[l] ? C[l] : D[l];
+                break;
+              }
+
+              case MOp::LdBuf: {
+                loadBlock(BV(in.a), BV(in.c), in.b);
+                site_exec[in.d] += W;
+                break;
+              }
+              case MOp::StBuf: {
+                storeBlock(in.a, BV(in.b), BV(in.c));
+                site_exec[in.d] += W;
+                break;
+              }
+              case MOp::LdShared: {
+                uint32_t *const A = BV(in.a);
+                const uint32_t *const ADDR = BV(in.b);
+                shCheck(ADDR, "load");
+                for (uint32_t l = 0; l < W; ++l)
+                    A[l] = sh[ADDR[l]];
+                ws.sharedAccesses += W;
+                break;
+              }
+              case MOp::StShared: {
+                const uint32_t *const ADDR = BV(in.a);
+                const uint32_t *const S = BV(in.b);
+                shCheck(ADDR, "store");
+                for (uint32_t l = 0; l < W; ++l)
+                    sh[ADDR[l]] = S[l];
+                ws.sharedAccesses += W;
+                break;
+              }
+
+              case MOp::IAddLd: {
+                uint32_t *const A = BV(in.a);
+                const uint32_t *const B = BV(in.b);
+                const uint32_t *const C = BV(in.c);
+                for (uint32_t l = 0; l < W; ++l)
+                    A[l] = B[l] + C[l];
+                loadBlock(BV(in.d), A, in.aux);
+                site_exec[in.e] += W;
+                break;
+              }
+              case MOp::IAddSt: {
+                uint32_t *const A = BV(in.a);
+                const uint32_t *const B = BV(in.b);
+                const uint32_t *const C = BV(in.c);
+                for (uint32_t l = 0; l < W; ++l)
+                    A[l] = B[l] + C[l];
+                storeBlock(in.aux, A, BV(in.d));
+                site_exec[in.e] += W;
+                break;
+              }
+              case MOp::IMulAdd: {
+                uint32_t *const A = BV(in.a);
+                const uint32_t *const B = BV(in.b);
+                const uint32_t *const C = BV(in.c);
+                uint32_t *const D = BV(in.d);
+                const uint32_t *const E = BV(in.e);
+                for (uint32_t l = 0; l < W; ++l) {
+                    const uint32_t t = B[l] * C[l];
+                    A[l] = t;
+                    D[l] = t + E[l];
+                }
+                break;
+              }
+              case MOp::IAddAdd: {
+                uint32_t *const A = BV(in.a);
+                const uint32_t *const B = BV(in.b);
+                const uint32_t *const C = BV(in.c);
+                uint32_t *const D = BV(in.d);
+                const uint32_t *const E = BV(in.e);
+                for (uint32_t l = 0; l < W; ++l) {
+                    const uint32_t t = B[l] + C[l];
+                    A[l] = t;
+                    D[l] = t + E[l];
+                }
+                break;
+              }
+              case MOp::IAddLdSh: {
+                uint32_t *const A = BV(in.a);
+                const uint32_t *const B = BV(in.b);
+                const uint32_t *const C = BV(in.c);
+                uint32_t *const D = BV(in.d);
+                for (uint32_t l = 0; l < W; ++l)
+                    A[l] = B[l] + C[l];
+                shCheck(A, "load");
+                for (uint32_t l = 0; l < W; ++l)
+                    D[l] = sh[A[l]];
+                ws.sharedAccesses += W;
+                break;
+              }
+              case MOp::IAddStSh: {
+                uint32_t *const A = BV(in.a);
+                const uint32_t *const B = BV(in.b);
+                const uint32_t *const C = BV(in.c);
+                const uint32_t *const D = BV(in.d);
+                for (uint32_t l = 0; l < W; ++l)
+                    A[l] = B[l] + C[l];
+                shCheck(A, "store");
+                for (uint32_t l = 0; l < W; ++l)
+                    sh[A[l]] = D[l];
+                ws.sharedAccesses += W;
+                break;
+              }
+              case MOp::MulAddLdSh: {
+                uint32_t *const A = BV(in.a);
+                const uint32_t *const B = BV(in.b);
+                const uint32_t *const C = BV(in.c);
+                uint32_t *const D = BV(in.d);
+                const uint32_t *const E = BV(in.e);
+                uint32_t *const X = BV(in.aux);
+                for (uint32_t l = 0; l < W; ++l) {
+                    const uint32_t t = B[l] * C[l];
+                    A[l] = t;
+                    D[l] = t + E[l];
+                }
+                shCheck(D, "load");
+                for (uint32_t l = 0; l < W; ++l)
+                    X[l] = sh[D[l]];
+                ws.sharedAccesses += W;
+                break;
+              }
+              case MOp::MulAddStSh: {
+                uint32_t *const A = BV(in.a);
+                const uint32_t *const B = BV(in.b);
+                const uint32_t *const C = BV(in.c);
+                uint32_t *const D = BV(in.d);
+                const uint32_t *const E = BV(in.e);
+                const uint32_t *const X = BV(in.aux);
+                for (uint32_t l = 0; l < W; ++l) {
+                    const uint32_t t = B[l] * C[l];
+                    A[l] = t;
+                    D[l] = t + E[l];
+                }
+                shCheck(D, "store");
+                for (uint32_t l = 0; l < W; ++l)
+                    sh[D[l]] = X[l];
+                ws.sharedAccesses += W;
+                break;
+              }
+              case MOp::FMulFAdd: {
+                uint32_t *const A = BV(in.a);
+                const uint32_t *const B = BV(in.b);
+                const uint32_t *const C = BV(in.c);
+                uint32_t *const D = BV(in.d);
+                const uint32_t *const E = BV(in.e);
+                const bool left = in.aux & 1;
+                for (uint32_t l = 0; l < W; ++l) {
+                    const float t = bitsToF(B[l]) * bitsToF(C[l]);
+                    A[l] = fToBits(t);
+                    const float z = bitsToF(E[l]);
+                    D[l] = fToBits(left ? t + z : z + t);
+                }
+                break;
+              }
+              case MOp::FMulFSub: {
+                uint32_t *const A = BV(in.a);
+                const uint32_t *const B = BV(in.b);
+                const uint32_t *const C = BV(in.c);
+                uint32_t *const D = BV(in.d);
+                const uint32_t *const E = BV(in.e);
+                const bool left = in.aux & 1;
+                for (uint32_t l = 0; l < W; ++l) {
+                    const float t = bitsToF(B[l]) * bitsToF(C[l]);
+                    A[l] = fToBits(t);
+                    const float z = bitsToF(E[l]);
+                    D[l] = fToBits(left ? t - z : z - t);
+                }
+                break;
+              }
+              case MOp::LdShFMul:
+              case MOp::LdShFSub:
+              case MOp::LdShFDiv: {
+                uint32_t *const A = BV(in.a);
+                const uint32_t *const B = BV(in.b);
+                uint32_t *const D = BV(in.d);
+                const uint32_t *const E = BV(in.e);
+                const bool left = in.aux & 1;
+                shCheck(B, "load");
+                for (uint32_t l = 0; l < W; ++l) {
+                    const uint32_t v = sh[B[l]];
+                    A[l] = v;
+                    const float fv = bitsToF(v);
+                    const float z = bitsToF(E[l]);
+                    float res;
+                    if (in.op == MOp::LdShFMul)
+                        res = left ? fv * z : z * fv;
+                    else if (in.op == MOp::LdShFSub)
+                        res = left ? fv - z : z - fv;
+                    else
+                        res = left ? fv / z : z / fv;
+                    D[l] = fToBits(res);
+                }
+                ws.sharedAccesses += W;
+                break;
+              }
+              case MOp::FSubStSh:
+              case MOp::FDivStSh: {
+                uint32_t *const A = BV(in.a);
+                const uint32_t *const B = BV(in.b);
+                const uint32_t *const C = BV(in.c);
+                const uint32_t *const D = BV(in.d);
+                for (uint32_t l = 0; l < W; ++l) {
+                    const float x = bitsToF(B[l]);
+                    const float y = bitsToF(C[l]);
+                    A[l] =
+                        fToBits(in.op == MOp::FSubStSh ? x - y : x / y);
+                }
+                shCheck(D, "store");
+                for (uint32_t l = 0; l < W; ++l)
+                    sh[D[l]] = A[l];
+                ws.sharedAccesses += W;
+                break;
+              }
+              case MOp::IDivRem: {
+                uint32_t *const A = BV(in.a);
+                const uint32_t *const B = BV(in.b);
+                const uint32_t *const C = BV(in.c);
+                uint32_t *const D = BV(in.d);
+                for (uint32_t l = 0; l < W; ++l) {
+                    const int32_t den = bitsToS(C[l]);
+                    if (den == 0)
+                        panic("kernel '%s' @%u: integer division by "
+                              "zero",
+                              k.module.name.c_str(), pc);
+                    const int32_t num = bitsToS(B[l]);
+                    A[l] = static_cast<uint32_t>(num / den);
+                    D[l] = static_cast<uint32_t>(num % den);
+                }
+                break;
+              }
+
+              case MOp::Super:
+                execSuper(mk.supers[in.aux], pc, base, base + W, ws);
+                break;
+              case MOp::SuperLoop: {
+                // Fused counted loop: all lanes run to completion and
+                // reconverge at the exit pc (execSuper charges the
+                // per-iteration cycles).
+                const SuperOp &sup = mk.supers[in.aux];
+                execSuper(sup, pc, base, base + W, ws);
+                pc = sup.exitPc;
+                ws.laneCycles +=
+                    static_cast<uint64_t>(cost_from[pc]) * W;
+                continue;
+              }
+
+              case MOp::Jmp:
+                pc = in.a;
+                ws.laneCycles +=
+                    static_cast<uint64_t>(cost_from[pc]) * W;
+                continue;
+              case MOp::BrTrue:
+              case MOp::BrFalse: {
+                const uint32_t *const A = BV(in.a);
+                const uint32_t sense = in.op == MOp::BrTrue ? 1 : 0;
+                uint32_t taken = 0;
+                for (uint32_t l = 0; l < W; ++l)
+                    taken += (A[l] != 0) == (sense != 0);
+                if (taken == 0 || taken == W) {
+                    pc = taken ? in.b : pc + 1;
+                    ws.laneCycles +=
+                        static_cast<uint64_t>(cost_from[pc]) * W;
+                    continue;
+                }
+                for (uint32_t l = 0; l < W; ++l)
+                    pcs[base + l] =
+                        (A[l] != 0) == (sense != 0) ? in.b : pc + 1;
+                runPhase<false>(base, base + W, wx, wy, wz, ws,
+                                nullptr, done, at_barrier);
+                goto block_done;
+              }
+
+              BCMPBR(CmpBrIEq, x == y)
+              BCMPBR(CmpBrINe, x != y)
+              BCMPBR(CmpBrILt, bitsToS(x) < bitsToS(y))
+              BCMPBR(CmpBrILe, bitsToS(x) <= bitsToS(y))
+              BCMPBR(CmpBrIGt, bitsToS(x) > bitsToS(y))
+              BCMPBR(CmpBrIGe, bitsToS(x) >= bitsToS(y))
+              BCMPBR(CmpBrULt, x < y)
+              BCMPBR(CmpBrUGe, x >= y)
+              BCMPBR(CmpBrFEq, bitsToF(x) == bitsToF(y))
+              BCMPBR(CmpBrFNe, bitsToF(x) != bitsToF(y))
+              BCMPBR(CmpBrFLt, bitsToF(x) < bitsToF(y))
+              BCMPBR(CmpBrFLe, bitsToF(x) <= bitsToF(y))
+              BCMPBR(CmpBrFGt, bitsToF(x) > bitsToF(y))
+              BCMPBR(CmpBrFGe, bitsToF(x) >= bitsToF(y))
+
+              case MOp::ConstAlu: {
+                uint32_t *const A = BV(in.a);
+                uint32_t *const C2 = BV(in.c);
+                const uint32_t *const D = BV(in.d);
+                const uint32_t *const E = BV(in.e);
+                const BinKind kind = static_cast<BinKind>(in.aux);
+                std::fill_n(A, W, in.b);
+                for (uint32_t l = 0; l < W; ++l)
+                    C2[l] = evalBin(kind, D[l], E[l]);
+                break;
+              }
+
+              case MOp::Barrier:
+                for (uint32_t l = 0; l < W; ++l)
+                    pcs[base + l] = pc + 1;
+                at_barrier += W;
+                goto block_done;
+              case MOp::Ret:
+                done += W;
+                goto block_done;
+
+              default:
+                // Atomics: lane order is observable, so un-charge the
+                // current straight-line run and hand only THIS block's
+                // lanes to the lane-major executor from this pc.
+                // Later blocks keep running lockstep; the sequential
+                // block order keeps the global atomic order identical
+                // to lane-major.
+                ws.laneCycles -=
+                    static_cast<uint64_t>(cost_from[pc]) * W;
+                for (uint32_t l = 0; l < W; ++l)
+                    pcs[base + l] = pc;
+                runPhase<false>(base, base + W, wx, wy, wz, ws,
+                                nullptr, done, at_barrier);
+                goto block_done;
+            }
+            ++pc;
+        }
+    block_done:;
+    }
+
+    // Tail lanes (localCount % W) always run lane-major from their
+    // saved pcs, after every full block — the same position they hold
+    // in lane-major order.
+    if (full < lc) {
+        runPhase<false>(full, static_cast<uint32_t>(lc), wx, wy, wz, ws,
+                        nullptr, done, at_barrier);
+    }
+    done_out += done;
+    barrier_out += at_barrier;
+}
+
+#undef BV
+#undef BBIN
+#undef BUN
+#undef BCMPBR
+
+void
+Interpreter::runPhaseBlocksDyn(uint32_t wx, uint32_t wy, uint32_t wz,
+                               WorkgroupStats &ws, uint32_t &done_out,
+                               uint32_t &barrier_out)
+{
+    switch (bw) {
+      case 4:
+        runPhaseBlocks<4>(wx, wy, wz, ws, done_out, barrier_out);
+        break;
+      case 16:
+        runPhaseBlocks<16>(wx, wy, wz, ws, done_out, barrier_out);
+        break;
+      default:
+        runPhaseBlocks<8>(wx, wy, wz, ws, done_out, barrier_out);
+        break;
+    }
+}
+
 
 /** Lane vector of register x (contiguous, reg-major file). */
 #define V(x) (regs0 + static_cast<size_t>(x) * lc)
-/** Element-wise binary op handler for the op-major executor.  A may
- *  alias B/C only exactly (vector offsets are multiples of lc), which
- *  keeps the per-lane semantics of the lane-major path. */
+/** Element-wise binary op handler for the whole-workgroup op-major
+ *  executor.  A may alias B/C only exactly (vector offsets are
+ *  multiples of lc), which keeps the per-lane semantics of the
+ *  lane-major path. */
 #define VBIN(name, expr)                                                  \
     case MOp::name: {                                                     \
         uint32_t *const A = V(in.a);                                      \
@@ -878,38 +1940,47 @@ Interpreter::runPhase<true>(uint32_t, uint32_t, uint32_t,
         break;                                                            \
     }
 /** Fused compare+branch: flags written per lane, then the uniform /
- *  divergent decision below the switch. */
-#define VCMPBR(name, expr)                                                \
-    case MOp::name: {                                                     \
-        uint32_t *const A = V(in.a);                                      \
-        const uint32_t *const B = V(in.b);                                \
-        const uint32_t *const C = V(in.c);                                \
-        uint32_t taken = 0;                                               \
-        const uint32_t sense = in.aux;                                    \
-        for (size_t l = 0; l < lc; ++l) {                                 \
-            const uint32_t x = B[l];                                      \
-            const uint32_t y = C[l];                                      \
-            const uint32_t cond = (expr);                                 \
-            A[l] = cond;                                                  \
-            taken += cond == sense;                                       \
+ *  divergent decision.  Divergence writes every lane's resume pc and
+ *  hands the rest of the phase to the lane-block continuation, which
+ *  contains the split at W-lane granularity.  The trace tier is only
+ *  selected for branch-free kernels, so there the whole handler
+ *  compiles down to a guard. */
+#define VCMPBR(mop, expr)                                                 \
+    case MOp::mop: {                                                      \
+        if constexpr (TraceTier) {                                        \
+            panic("kernel '%s' @%u: branch reached the trace tier",       \
+                  k.module.name.c_str(), pc);                             \
+        } else {                                                          \
+            uint32_t *const A = V(in.a);                                  \
+            const uint32_t *const B = V(in.b);                            \
+            const uint32_t *const C = V(in.c);                            \
+            uint32_t taken = 0;                                           \
+            const uint32_t sense = in.aux;                                \
+            for (size_t l = 0; l < lc; ++l) {                             \
+                const uint32_t x = B[l];                                  \
+                const uint32_t y = C[l];                                  \
+                const uint32_t cond = (expr);                             \
+                A[l] = cond;                                              \
+                taken += cond == sense;                                   \
+            }                                                             \
+            if (taken == lc || taken == 0) {                              \
+                pc = taken ? in.d : pc + 1;                               \
+                ws.laneCycles +=                                          \
+                    static_cast<uint64_t>(cost_from[pc]) * lc;            \
+                continue;                                                 \
+            }                                                             \
+            for (size_t l = 0; l < lc; ++l)                               \
+                pcs[l] = A[l] == sense ? in.d : pc + 1;                   \
+            runPhaseBlocks<W>(wx, wy, wz, ws, done_out, barrier_out);     \
+            return;                                                       \
         }                                                                 \
-        if (taken == lc || taken == 0) {                                  \
-            pc = taken ? in.d : pc + 1;                                   \
-            ws.laneCycles +=                                              \
-                static_cast<uint64_t>(cost_from[pc]) * lc;                \
-            continue;                                                     \
-        }                                                                 \
-        for (size_t l = 0; l < lc; ++l)                                   \
-            pcs[l] = A[l] == sense ? in.d : pc + 1;                       \
-        runPhase<false>(wx, wy, wz, ws, nullptr, done_out,                \
-                        barrier_out);                                     \
-        return;                                                           \
     }
 
+template <uint32_t W, bool TraceTier>
 void
-Interpreter::runPhaseVector(uint32_t start_pc, uint32_t wx, uint32_t wy,
-                            uint32_t wz, WorkgroupStats &ws,
-                            uint32_t &done_out, uint32_t &barrier_out)
+Interpreter::runPhaseWg(uint32_t start_pc, uint32_t wx, uint32_t wy,
+                        uint32_t wz, WorkgroupStats &ws,
+                        uint32_t &done_out, uint32_t &barrier_out)
 {
     const CompiledKernel &k = *kernel;
     const MicroKernel &mk = k.micro;
@@ -941,6 +2012,89 @@ Interpreter::runPhaseVector(uint32_t start_pc, uint32_t wx, uint32_t wy,
               "(%llu words)",
               k.module.name.c_str(), pc, what, (unsigned long long)addr,
               (unsigned long long)shared_words);
+    };
+
+    // W-blocked global-memory fast paths.  A block whose addresses are
+    // contiguous takes one bounds test and one memcpy (word-aligned
+    // word copies cannot tear, and the data-race-free contract every
+    // programming model requires makes the non-atomic copy
+    // unobservable); a block loading one uniform address takes a
+    // single load.  Anything else falls back to the per-lane guarded
+    // loop, which also reproduces the lane-major executor's
+    // first-offending-lane panic on out-of-bounds access.
+    auto loadVec = [&](uint32_t *A, const uint32_t *ADDR,
+                       const BufferBinding &buf, uint32_t binding) {
+        size_t l = 0;
+        for (; l + W <= lc; l += W) {
+            const uint32_t a0 = ADDR[l];
+            bool contig = true;
+            bool unif = true;
+            for (uint32_t j = 1; j < W; ++j) {
+                contig &= ADDR[l + j] == a0 + j;
+                unif &= ADDR[l + j] == a0;
+            }
+            if (contig && uint64_t(a0) + W <= buf.words) {
+                std::memcpy(A + l, buf.data + a0, W * sizeof(uint32_t));
+            } else if (unif && a0 < buf.words) {
+                const uint32_t v =
+                    std::atomic_ref<uint32_t>(buf.data[a0])
+                        .load(std::memory_order_relaxed);
+                for (uint32_t j = 0; j < W; ++j)
+                    A[l + j] = v;
+            } else {
+                for (uint32_t j = 0; j < W; ++j) {
+                    const uint32_t addr = ADDR[l + j];
+                    if (addr >= buf.words) [[unlikely]]
+                        oob(binding, addr, buf.words);
+                    A[l + j] =
+                        std::atomic_ref<uint32_t>(buf.data[addr])
+                            .load(std::memory_order_relaxed);
+                }
+            }
+        }
+        for (; l < lc; ++l) {
+            const uint32_t addr = ADDR[l];
+            if (addr >= buf.words) [[unlikely]]
+                oob(binding, addr, buf.words);
+            A[l] = std::atomic_ref<uint32_t>(buf.data[addr])
+                       .load(std::memory_order_relaxed);
+        }
+    };
+    auto storeVec = [&](const uint32_t *S, const uint32_t *ADDR,
+                        const BufferBinding &buf, uint32_t binding) {
+        size_t l = 0;
+        for (; l + W <= lc; l += W) {
+            const uint32_t a0 = ADDR[l];
+            bool contig = true;
+            bool unif = true;
+            for (uint32_t j = 1; j < W; ++j) {
+                contig &= ADDR[l + j] == a0 + j;
+                unif &= ADDR[l + j] == a0;
+            }
+            if (contig && uint64_t(a0) + W <= buf.words) {
+                std::memcpy(buf.data + a0, S + l, W * sizeof(uint32_t));
+            } else if (unif && a0 < buf.words) {
+                // Sequential lanes overwrite one word: only the last
+                // value survives, exactly as in the per-lane loop.
+                std::atomic_ref<uint32_t>(buf.data[a0])
+                    .store(S[l + W - 1], std::memory_order_relaxed);
+            } else {
+                for (uint32_t j = 0; j < W; ++j) {
+                    const uint32_t addr = ADDR[l + j];
+                    if (addr >= buf.words) [[unlikely]]
+                        oob(binding, addr, buf.words);
+                    std::atomic_ref<uint32_t>(buf.data[addr])
+                        .store(S[l + j], std::memory_order_relaxed);
+                }
+            }
+        }
+        for (; l < lc; ++l) {
+            const uint32_t addr = ADDR[l];
+            if (addr >= buf.words) [[unlikely]]
+                oob(binding, addr, buf.words);
+            std::atomic_ref<uint32_t>(buf.data[addr])
+                .store(S[l], std::memory_order_relaxed);
+        }
     };
 
     for (;;) {
@@ -1116,34 +2270,14 @@ Interpreter::runPhaseVector(uint32_t start_pc, uint32_t wx, uint32_t wy,
             break;
           }
 
-          case MOp::LdBuf: {
-            const BufferBinding &buf = bufs[in.b];
-            uint32_t *const A = V(in.a);
-            const uint32_t *const ADDR = V(in.c);
-            for (size_t l = 0; l < lc; ++l) {
-                const uint32_t addr = ADDR[l];
-                if (addr >= buf.words) [[unlikely]]
-                    oob(in.b, addr, buf.words);
-                A[l] = std::atomic_ref<uint32_t>(buf.data[addr])
-                           .load(std::memory_order_relaxed);
-            }
+          case MOp::LdBuf:
+            loadVec(V(in.a), V(in.c), bufs[in.b], in.b);
             site_exec[in.d] += lc;
             break;
-          }
-          case MOp::StBuf: {
-            const BufferBinding &buf = bufs[in.a];
-            const uint32_t *const ADDR = V(in.b);
-            const uint32_t *const S = V(in.c);
-            for (size_t l = 0; l < lc; ++l) {
-                const uint32_t addr = ADDR[l];
-                if (addr >= buf.words) [[unlikely]]
-                    oob(in.a, addr, buf.words);
-                std::atomic_ref<uint32_t>(buf.data[addr])
-                    .store(S[l], std::memory_order_relaxed);
-            }
+          case MOp::StBuf:
+            storeVec(V(in.c), V(in.b), bufs[in.a], in.a);
             site_exec[in.d] += lc;
             break;
-          }
           case MOp::LdShared: {
             uint32_t *const A = V(in.a);
             const uint32_t *const ADDR = V(in.b);
@@ -1170,36 +2304,22 @@ Interpreter::runPhaseVector(uint32_t start_pc, uint32_t wx, uint32_t wy,
           }
 
           case MOp::IAddLd: {
-            const BufferBinding &buf = bufs[in.aux];
             uint32_t *const A = V(in.a);
             const uint32_t *const B = V(in.b);
             const uint32_t *const C = V(in.c);
-            uint32_t *const D = V(in.d);
-            for (size_t l = 0; l < lc; ++l) {
-                const uint32_t addr = B[l] + C[l];
-                A[l] = addr;
-                if (addr >= buf.words) [[unlikely]]
-                    oob(in.aux, addr, buf.words);
-                D[l] = std::atomic_ref<uint32_t>(buf.data[addr])
-                           .load(std::memory_order_relaxed);
-            }
+            for (size_t l = 0; l < lc; ++l)
+                A[l] = B[l] + C[l];
+            loadVec(V(in.d), A, bufs[in.aux], in.aux);
             site_exec[in.e] += lc;
             break;
           }
           case MOp::IAddSt: {
-            const BufferBinding &buf = bufs[in.aux];
             uint32_t *const A = V(in.a);
             const uint32_t *const B = V(in.b);
             const uint32_t *const C = V(in.c);
-            const uint32_t *const D = V(in.d);
-            for (size_t l = 0; l < lc; ++l) {
-                const uint32_t addr = B[l] + C[l];
-                A[l] = addr;
-                if (addr >= buf.words) [[unlikely]]
-                    oob(in.aux, addr, buf.words);
-                std::atomic_ref<uint32_t>(buf.data[addr])
-                    .store(D[l], std::memory_order_relaxed);
-            }
+            for (size_t l = 0; l < lc; ++l)
+                A[l] = B[l] + C[l];
+            storeVec(V(in.d), A, bufs[in.aux], in.aux);
             site_exec[in.e] += lc;
             break;
           }
@@ -1392,28 +2512,56 @@ Interpreter::runPhaseVector(uint32_t start_pc, uint32_t wx, uint32_t wy,
             break;
           }
 
-          case MOp::Jmp:
-            pc = in.a;
+          case MOp::Super:
+            // Whole-workgroup fused run; one dispatch covers what
+            // used to be six per-op passes over the lane vectors.
+            execSuper(mk.supers[in.aux], pc, 0,
+                      static_cast<uint32_t>(lc), ws);
+            break;
+          case MOp::SuperLoop: {
+            // Fused counted loop: one dispatch covers the whole loop
+            // nest level — per-lane trip counts never surface as
+            // divergence because every lane reconverges at the exit
+            // pc (execSuper charges the per-iteration cycles).
+            const SuperOp &sup = mk.supers[in.aux];
+            execSuper(sup, pc, 0, static_cast<uint32_t>(lc), ws);
+            pc = sup.exitPc;
             ws.laneCycles += static_cast<uint64_t>(cost_from[pc]) * lc;
             continue;
-          case MOp::BrTrue:
-          case MOp::BrFalse: {
-            const uint32_t *const A = V(in.a);
-            const uint32_t sense = in.op == MOp::BrTrue ? 1 : 0;
-            uint32_t taken = 0;
-            for (size_t l = 0; l < lc; ++l)
-                taken += (A[l] != 0) == (sense != 0);
-            if (taken == lc || taken == 0) {
-                pc = taken ? in.b : pc + 1;
+          }
+
+          case MOp::Jmp:
+            if constexpr (TraceTier) {
+                panic("kernel '%s' @%u: branch reached the trace tier",
+                      k.module.name.c_str(), pc);
+            } else {
+                pc = in.a;
                 ws.laneCycles +=
                     static_cast<uint64_t>(cost_from[pc]) * lc;
                 continue;
             }
-            for (size_t l = 0; l < lc; ++l)
-                pcs[l] = (A[l] != 0) == (sense != 0) ? in.b : pc + 1;
-            runPhase<false>(wx, wy, wz, ws, nullptr, done_out,
-                            barrier_out);
-            return;
+          case MOp::BrTrue:
+          case MOp::BrFalse: {
+            if constexpr (TraceTier) {
+                panic("kernel '%s' @%u: branch reached the trace tier",
+                      k.module.name.c_str(), pc);
+            } else {
+                const uint32_t *const A = V(in.a);
+                const uint32_t sense = in.op == MOp::BrTrue ? 1 : 0;
+                uint32_t taken = 0;
+                for (size_t l = 0; l < lc; ++l)
+                    taken += (A[l] != 0) == (sense != 0);
+                if (taken == lc || taken == 0) {
+                    pc = taken ? in.b : pc + 1;
+                    ws.laneCycles +=
+                        static_cast<uint64_t>(cost_from[pc]) * lc;
+                    continue;
+                }
+                for (size_t l = 0; l < lc; ++l)
+                    pcs[l] = (A[l] != 0) == (sense != 0) ? in.b : pc + 1;
+                runPhaseBlocks<W>(wx, wy, wz, ws, done_out, barrier_out);
+                return;
+            }
           }
 
           VCMPBR(CmpBrIEq, x == y)
@@ -1445,23 +2593,29 @@ Interpreter::runPhaseVector(uint32_t start_pc, uint32_t wx, uint32_t wy,
 
           case MOp::Barrier:
             std::fill(pcs.begin(), pcs.end(), pc + 1);
-            done_out = 0;
-            barrier_out = static_cast<uint32_t>(lc);
+            barrier_out += static_cast<uint32_t>(lc);
             return;
           case MOp::Ret:
-            done_out = static_cast<uint32_t>(lc);
-            barrier_out = 0;
+            done_out += static_cast<uint32_t>(lc);
             return;
 
           default:
-            // Atomics (lane order observable) and anything else we do
-            // not vectorize: hand the rest of the phase to the
-            // lane-major executor, which re-charges from this pc.
-            ws.laneCycles -= static_cast<uint64_t>(cost_from[pc]) * lc;
-            std::fill(pcs.begin(), pcs.end(), pc);
-            runPhase<false>(wx, wy, wz, ws, nullptr, done_out,
-                            barrier_out);
-            return;
+            if constexpr (TraceTier) {
+                panic("kernel '%s' @%u: op %s reached the trace tier",
+                      k.module.name.c_str(), pc, mopName(in.op));
+            } else {
+                // Atomics: every lane is at this pc, so lane order is
+                // fully observable — un-charge the straight-line run
+                // and hand the rest of the phase to the lane-major
+                // executor, which re-charges from this pc and defines
+                // the atomic order.
+                ws.laneCycles -=
+                    static_cast<uint64_t>(cost_from[pc]) * lc;
+                std::fill(pcs.begin(), pcs.end(), pc);
+                runPhase<false>(0, static_cast<uint32_t>(lc), wx, wy,
+                                wz, ws, nullptr, done_out, barrier_out);
+                return;
+            }
         }
         ++pc;
     }
@@ -1471,5 +2625,39 @@ Interpreter::runPhaseVector(uint32_t start_pc, uint32_t wx, uint32_t wy,
 #undef VBIN
 #undef VUN
 #undef VCMPBR
+
+void
+Interpreter::runPhaseWgDyn(bool trace, uint32_t start_pc, uint32_t wx,
+                           uint32_t wy, uint32_t wz, WorkgroupStats &ws,
+                           uint32_t &done_out, uint32_t &barrier_out)
+{
+    switch (bw) {
+      case 4:
+        if (trace)
+            runPhaseWg<4, true>(start_pc, wx, wy, wz, ws, done_out,
+                                barrier_out);
+        else
+            runPhaseWg<4, false>(start_pc, wx, wy, wz, ws, done_out,
+                                 barrier_out);
+        break;
+      case 16:
+        if (trace)
+            runPhaseWg<16, true>(start_pc, wx, wy, wz, ws, done_out,
+                                 barrier_out);
+        else
+            runPhaseWg<16, false>(start_pc, wx, wy, wz, ws, done_out,
+                                  barrier_out);
+        break;
+      default:
+        if (trace)
+            runPhaseWg<8, true>(start_pc, wx, wy, wz, ws, done_out,
+                                barrier_out);
+        else
+            runPhaseWg<8, false>(start_pc, wx, wy, wz, ws, done_out,
+                                 barrier_out);
+        break;
+    }
+}
+
 
 } // namespace vcb::sim

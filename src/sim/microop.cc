@@ -1,5 +1,10 @@
 #include "sim/microop.h"
 
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
 #include "common/logging.h"
 #include "sim/kernel.h"
 
@@ -111,6 +116,7 @@ isTerminator(MOp op)
       case MOp::Jmp:
       case MOp::BrTrue:
       case MOp::BrFalse:
+      case MOp::SuperLoop: // ends with a transfer to its exit pc
       case MOp::Barrier:
       case MOp::Ret:
         return true;
@@ -245,10 +251,114 @@ forEachDst(const MicroOp &op, Fn fn)
         fn(op.d);
         fn(op.aux);
         break;
+      case MOp::Super:
+      case MOp::SuperLoop:
+        // Superops are formed after every forEachDst consumer runs;
+        // their writes live in the side table, unreachable from here.
+        VCB_ASSERT(false, "forEachDst on a superop");
+        break;
       default:
         // Everything else (ALU, compares, loads, atomics, CmpBr*,
         // IAddSt/IAddStSh address write) writes exactly op.a.
         fn(op.a);
+        break;
+    }
+}
+
+/** Apply fn to every register a micro-op reads. */
+template <typename Fn>
+void
+forEachSrc(const MicroOp &op, Fn fn)
+{
+    switch (op.op) {
+      case MOp::Const:
+      case MOp::LdBuiltin:
+      case MOp::LdPush:
+      case MOp::Jmp:
+      case MOp::Barrier:
+      case MOp::Ret:
+        break;
+      case MOp::Mov:
+      case MOp::INot: case MOp::INeg:
+      case MOp::FAbs: case MOp::FNeg: case MOp::FSqrt: case MOp::FExp:
+      case MOp::FLog: case MOp::FFloor: case MOp::FSin: case MOp::FCos:
+      case MOp::CvtSF: case MOp::CvtFS:
+      case MOp::LdShared:
+        fn(op.b);
+        break;
+      case MOp::FFma:
+      case MOp::Select:
+        fn(op.b);
+        fn(op.c);
+        fn(op.d);
+        break;
+      case MOp::LdBuf:
+        fn(op.c);
+        break;
+      case MOp::StBuf:
+        fn(op.b);
+        fn(op.c);
+        break;
+      case MOp::StShared:
+        fn(op.a);
+        fn(op.b);
+        break;
+      case MOp::AtomIAdd: case MOp::AtomIOr:
+      case MOp::AtomIMin: case MOp::AtomIMax:
+        fn(op.c);
+        fn(op.d);
+        break;
+      case MOp::BrTrue:
+      case MOp::BrFalse:
+        fn(op.a);
+        break;
+      case MOp::ConstAlu:
+        fn(op.d);
+        fn(op.e);
+        break;
+      case MOp::IAddLd:
+      case MOp::IAddLdSh:
+      case MOp::IDivRem:
+        fn(op.b);
+        fn(op.c);
+        break;
+      case MOp::IAddSt:
+      case MOp::IAddStSh:
+      case MOp::FSubStSh:
+      case MOp::FDivStSh:
+        fn(op.b);
+        fn(op.c);
+        fn(op.d);
+        break;
+      case MOp::IMulAdd:
+      case MOp::IAddAdd:
+      case MOp::MulAddLdSh:
+      case MOp::FMulFAdd:
+      case MOp::FMulFSub:
+        fn(op.b);
+        fn(op.c);
+        fn(op.e);
+        break;
+      case MOp::MulAddStSh:
+        fn(op.b);
+        fn(op.c);
+        fn(op.e);
+        fn(op.aux);
+        break;
+      case MOp::LdShFMul:
+      case MOp::LdShFSub:
+      case MOp::LdShFDiv:
+        fn(op.b);
+        fn(op.e);
+        break;
+      case MOp::Super:
+      case MOp::SuperLoop:
+        VCB_ASSERT(false, "forEachSrc on a superop");
+        break;
+      default:
+        // Binary ALU, compares, CmpBr*: sources in b and c.
+        fn(op.b);
+        fn(op.c);
         break;
     }
 }
@@ -444,6 +554,321 @@ hoistUniformEntry(MicroKernel &mk, std::vector<uint8_t> &cost,
     mk.hoistedCost = hoisted_cost;
 }
 
+// --- superop recognition (pass 3.5) ---------------------------------------
+
+/**
+ * May the candidate run [s, e) keep `scratch` in host registers?
+ * Yes iff every scratch register is referenced by NO op outside the
+ * run, NO hoisted template op, and is distinct from every distilled
+ * operand the template still reads from or writes to the lane
+ * register file — then skipping its materialization is invisible.
+ */
+bool
+scratchElidable(const MicroKernel &mk, size_t s, size_t e,
+                const uint32_t *scratch, size_t n_scratch,
+                const uint32_t *live, size_t n_live)
+{
+    for (size_t i = 0; i < n_scratch; ++i) {
+        const uint32_t reg = scratch[i];
+        for (size_t j = 0; j < n_live; ++j)
+            if (live[j] == reg)
+                return false;
+        bool found = false;
+        auto mark = [&](uint32_t rr) { found |= rr == reg; };
+        for (size_t j = 0; j < mk.ops.size(); ++j) {
+            if (j >= s && j < e)
+                continue;
+            forEachSrc(mk.ops[j], mark);
+            forEachDst(mk.ops[j], mark);
+        }
+        for (const MicroOp &op : mk.templateOps) {
+            forEachSrc(op, mark);
+            forEachDst(op, mark);
+        }
+        if (found)
+            return false;
+    }
+    return true;
+}
+
+/** Match SuperKind::SqDistStep at mk.ops[i..i+6) (see SuperKind). */
+bool
+matchSqDistStep(const MicroKernel &mk, size_t i, SuperOp &sup)
+{
+    const MicroOp *o = mk.ops.data() + i;
+    if (o[0].op != MOp::IMulAdd || o[1].op != MOp::LdBuf ||
+        o[2].op != MOp::IAddLd || o[3].op != MOp::FSub ||
+        o[4].op != MOp::FMulFAdd || o[5].op != MOp::IAdd)
+        return false;
+    // Wiring: the first load's address comes from the IMulAdd, the
+    // subtraction consumes both loads, the multiply-accumulate
+    // squares the delta into an in/out accumulator.
+    if (o[1].c != o[0].d || o[3].b != o[1].a || o[3].c != o[2].d ||
+        o[4].b != o[3].a || o[4].c != o[3].a || o[4].d != o[4].e)
+        return false;
+    const uint32_t scratch[] = {o[0].a, o[0].d, o[1].a, o[2].a,
+                                o[2].d, o[3].a, o[4].a};
+    const uint32_t live[] = {o[0].b, o[0].c, o[0].e, o[2].b, o[2].c,
+                             o[4].d, o[5].a, o[5].b, o[5].c};
+    if (!scratchElidable(mk, i, i + 6, scratch, 7, live, 9))
+        return false;
+    sup.kind = SuperKind::SqDistStep;
+    sup.aux = o[4].aux;
+    sup.r[0] = o[0].b;
+    sup.r[1] = o[0].c;
+    sup.r[2] = o[0].e;
+    sup.r[3] = o[2].b;
+    sup.r[4] = o[2].c;
+    sup.r[5] = o[4].d;
+    sup.r[6] = o[5].a;
+    sup.r[7] = o[5].b;
+    sup.r[8] = o[5].c;
+    sup.buf[0] = static_cast<uint16_t>(o[1].b);
+    sup.site[0] = static_cast<uint16_t>(o[1].d);
+    sup.buf[1] = o[2].aux;
+    sup.site[1] = static_cast<uint16_t>(o[2].e);
+    return true;
+}
+
+/** Match SuperKind::ShDotStep at mk.ops[i..i+6) (see SuperKind). */
+bool
+matchShDotStep(const MicroKernel &mk, size_t i, SuperOp &sup)
+{
+    const MicroOp *o = mk.ops.data() + i;
+    if (o[0].op != MOp::MulAddLdSh || o[1].op != MOp::IMulAdd ||
+        o[2].op != MOp::IAddLdSh || o[3].op != MOp::FFma ||
+        o[4].op != MOp::Mov || o[5].op != MOp::IAdd)
+        return false;
+    // Wiring: the second shared address consumes the IMulAdd, the fma
+    // consumes both shared loads, the Mov commits the accumulator.
+    if (o[2].c != o[1].d || o[3].b != o[0].aux || o[3].c != o[2].d ||
+        o[4].b != o[3].a)
+        return false;
+    const uint32_t scratch[] = {o[0].a, o[0].d,
+                                static_cast<uint32_t>(o[0].aux),
+                                o[1].a, o[1].d, o[2].a, o[2].d, o[3].a};
+    const uint32_t live[] = {o[0].b, o[0].c, o[0].e, o[1].b, o[1].c,
+                             o[1].e, o[2].b, o[3].d, o[4].a,
+                             o[5].a,  o[5].b, o[5].c};
+    if (!scratchElidable(mk, i, i + 6, scratch, 8, live, 12))
+        return false;
+    sup.kind = SuperKind::ShDotStep;
+    sup.r[0] = o[0].b;
+    sup.r[1] = o[0].c;
+    sup.r[2] = o[0].e;
+    sup.r[3] = o[1].b;
+    sup.r[4] = o[1].c;
+    sup.r[5] = o[1].e;
+    sup.r[6] = o[2].b;
+    sup.r[7] = o[3].d;
+    sup.r[8] = o[4].a;
+    sup.r[9] = o[5].a;
+    sup.r[10] = o[5].b;
+    sup.r[11] = o[5].c;
+    return true;
+}
+
+/**
+ * Pass 3.5: recognize the suite's dominant straight-line runs and
+ * replace each with one MOp::Super record dispatched through the
+ * SuperKind template registry.  Runs after hoisting, so the entry
+ * analysis sees the plain stream; branch targets are remapped and the
+ * per-op costs summed into the record, so costFrom — and therefore
+ * laneCycles — are unchanged.  A run is only fused when control flow
+ * cannot enter its interior and its scratch registers are provably
+ * unreferenced outside it (then every executor tier may keep them in
+ * host registers instead of the lane register file).
+ */
+void
+fuseSuperopRuns(MicroKernel &mk, std::vector<uint8_t> &cost)
+{
+    const size_t n = mk.ops.size();
+    std::vector<uint8_t> is_target(n, 0);
+    for (const MicroOp &op : mk.ops) {
+        switch (op.op) {
+          case MOp::Jmp: is_target[op.a] = 1; break;
+          case MOp::BrTrue:
+          case MOp::BrFalse: is_target[op.b] = 1; break;
+          default:
+            if (isCmpBr(op.op))
+                is_target[op.d] = 1;
+            break;
+        }
+    }
+    auto interiorFree = [&](size_t s, size_t e) {
+        for (size_t j = s + 1; j < e; ++j)
+            if (is_target[j])
+                return false;
+        return true;
+    };
+
+    std::vector<MicroOp> new_ops;
+    std::vector<uint8_t> new_cost;
+    std::vector<uint32_t> remap(n, 0);
+    new_ops.reserve(n);
+    new_cost.reserve(n);
+    size_t i = 0;
+    while (i < n) {
+        remap[i] = static_cast<uint32_t>(new_ops.size());
+        SuperOp sup;
+        size_t len = 0;
+        if (i + 6 <= n && interiorFree(i, i + 6) &&
+            (matchSqDistStep(mk, i, sup) || matchShDotStep(mk, i, sup)))
+            len = 6;
+        if (len == 0) {
+            new_ops.push_back(mk.ops[i]);
+            new_cost.push_back(cost[i]);
+            ++i;
+            continue;
+        }
+        uint32_t csum = 0;
+        for (size_t j = 0; j < len; ++j)
+            csum += cost[i + j];
+        sup.cost = csum;
+        MicroOp op;
+        op.op = MOp::Super;
+        op.aux = static_cast<uint16_t>(mk.supers.size());
+        mk.supers.push_back(sup);
+        new_ops.push_back(op);
+        VCB_ASSERT(csum <= 0xff, "superop cost overflow");
+        new_cost.push_back(static_cast<uint8_t>(csum));
+        i += len;
+    }
+    if (mk.supers.empty())
+        return;
+    for (MicroOp &op : new_ops) {
+        switch (op.op) {
+          case MOp::Jmp: op.a = remap[op.a]; break;
+          case MOp::BrTrue:
+          case MOp::BrFalse: op.b = remap[op.b]; break;
+          default:
+            if (isCmpBr(op.op))
+                op.d = remap[op.d];
+            break;
+        }
+    }
+    mk.ops = std::move(new_ops);
+    cost = std::move(new_cost);
+}
+
+/** Registers a superop template references (prefix of SuperOp::r). */
+size_t
+superRegCount(SuperKind kind)
+{
+    switch (kind) {
+      case SuperKind::SqDistStep: return 9;
+      case SuperKind::ShDotStep: return 12;
+      case SuperKind::Count: break;
+    }
+    return 0;
+}
+
+/**
+ * Pass 3.6: wrap each [CmpBrILt head; Super body; Jmp back-to-head]
+ * triad into one MOp::SuperLoop terminator that runs the counted loop
+ * to completion per lane — the executor pays one dispatch per LOOP
+ * instead of three per ITERATION, and per-lane trip counts never
+ * surface as divergence (all lanes reconverge at the exit pc).
+ *
+ * Soundness: control flow cannot land inside the triad (is_target),
+ * the head's exit value of the flag register is written exactly
+ * (loopAux — the failing test's result), and skipping the flag's
+ * intermediate per-test writes is invisible because the flag register
+ * is provably not referenced by the head's own operands or the body.
+ * Cycle charges are carried per iteration (headCost + bodyCost, the
+ * same costFrom charges the unfused stream pays per trip around the
+ * back edge), so laneCycles stay bit-identical.
+ */
+void
+fuseSuperLoops(MicroKernel &mk, std::vector<uint8_t> &cost)
+{
+    const size_t n = mk.ops.size();
+    std::vector<uint8_t> is_target(n, 0);
+    for (const MicroOp &op : mk.ops) {
+        switch (op.op) {
+          case MOp::Jmp: is_target[op.a] = 1; break;
+          case MOp::BrTrue:
+          case MOp::BrFalse: is_target[op.b] = 1; break;
+          default:
+            if (isCmpBr(op.op))
+                is_target[op.d] = 1;
+            break;
+        }
+    }
+
+    std::vector<MicroOp> new_ops;
+    std::vector<uint8_t> new_cost;
+    std::vector<uint32_t> remap(n, 0);
+    new_ops.reserve(n);
+    new_cost.reserve(n);
+    bool any = false;
+    size_t i = 0;
+    while (i < n) {
+        remap[i] = static_cast<uint32_t>(new_ops.size());
+        bool fuse = false;
+        if (i + 3 <= n && mk.ops[i].op == MOp::CmpBrILt &&
+            mk.ops[i].aux == 0 && mk.ops[i + 1].op == MOp::Super &&
+            mk.ops[i + 2].op == MOp::Jmp && mk.ops[i + 2].a == i &&
+            !is_target[i + 1] && !is_target[i + 2] &&
+            mk.ops[i].d != i && mk.ops[i].d != i + 1 &&
+            mk.ops[i].d != i + 2) {
+            const MicroOp &head = mk.ops[i];
+            SuperOp &sup = mk.supers[mk.ops[i + 1].aux];
+            bool flag_free = head.a != head.b && head.a != head.c;
+            for (size_t r = 0, cnt = superRegCount(sup.kind); r < cnt;
+                 ++r)
+                flag_free &= head.a != sup.r[r];
+            if (flag_free) {
+                sup.loop = 1;
+                sup.loopAux = head.aux;
+                sup.loopFlag = head.a;
+                sup.loopB = head.b;
+                sup.loopC = head.c;
+                sup.exitPc = head.d; // old index; remapped below
+                sup.headCost = cost[i];
+                sup.bodyCost =
+                    static_cast<uint32_t>(cost[i + 1]) + cost[i + 2];
+                MicroOp op;
+                op.op = MOp::SuperLoop;
+                op.aux = mk.ops[i + 1].aux;
+                new_ops.push_back(op);
+                // Arrival charge stays the head test's cost; the
+                // handler charges the per-iteration costs itself.
+                new_cost.push_back(cost[i]);
+                fuse = true;
+                any = true;
+            }
+        }
+        if (!fuse) {
+            new_ops.push_back(mk.ops[i]);
+            new_cost.push_back(cost[i]);
+            ++i;
+            continue;
+        }
+        remap[i + 1] = remap[i];
+        remap[i + 2] = remap[i];
+        i += 3;
+    }
+    if (!any)
+        return;
+    for (MicroOp &op : new_ops) {
+        switch (op.op) {
+          case MOp::Jmp: op.a = remap[op.a]; break;
+          case MOp::BrTrue:
+          case MOp::BrFalse: op.b = remap[op.b]; break;
+          default:
+            if (isCmpBr(op.op))
+                op.d = remap[op.d];
+            break;
+        }
+    }
+    for (SuperOp &sup : mk.supers)
+        if (sup.loop)
+            sup.exitPc = remap[sup.exitPc];
+    mk.ops = std::move(new_ops);
+    cost = std::move(new_cost);
+}
+
 } // namespace
 
 void
@@ -456,7 +881,10 @@ lowerKernel(CompiledKernel &k, const LowerOptions &opt)
     mk.templateDsts.clear();
     mk.hoistedCost = 0;
     mk.fusedPairs = 0;
+    mk.supers.clear();
     mk.hasBarrier = false;
+    mk.hasBranches = false;
+    mk.hasAtomics = false;
 
     const std::vector<Insn> &insns = k.insns;
     const size_t n = insns.size();
@@ -760,6 +1188,15 @@ lowerKernel(CompiledKernel &k, const LowerOptions &opt)
     // template (sound only with write-before-read proven).
     hoistUniformEntry(mk, cost, k.module.regCount);
 
+    // Pass 3.5: templated superops over the remaining stream, then
+    // pass 3.6: counted loops around a superop body fuse into
+    // run-to-completion SuperLoop records.
+    if (opt.fuseSuperops && superopsEnabled()) {
+        fuseSuperopRuns(mk, cost);
+        if (!mk.supers.empty())
+            fuseSuperLoops(mk, cost);
+    }
+
     // Pass 4: suffix-sum costs per straight-line run; the entry run
     // additionally carries the hoisted ops' cost so laneCycles stay
     // bit-identical.
@@ -770,6 +1207,440 @@ lowerKernel(CompiledKernel &k, const LowerOptions &opt)
         mk.costFrom[j] = cost[j] + after;
     }
     mk.costFrom[0] += mk.hoistedCost;
+
+    // Tier-policy metadata.
+    for (const MicroOp &op : mk.ops) {
+        switch (op.op) {
+          case MOp::Jmp:
+          case MOp::BrTrue:
+          case MOp::BrFalse:
+            mk.hasBranches = true;
+            break;
+          case MOp::AtomIAdd:
+          case MOp::AtomIOr:
+          case MOp::AtomIMin:
+          case MOp::AtomIMax:
+            mk.hasAtomics = true;
+            break;
+          default:
+            if (isCmpBr(op.op))
+                mk.hasBranches = true;
+            break;
+        }
+    }
+}
+
+ExecTier
+chooseExecTier(const MicroKernel &mk)
+{
+    if (!mk.hasBranches && !mk.hasAtomics)
+        return ExecTier::Trace;
+    return ExecTier::Block;
+}
+
+// --- executor-tier knobs --------------------------------------------------
+
+const char *
+execTierName(ExecTier t)
+{
+    switch (t) {
+      case ExecTier::Trace: return "trace";
+      case ExecTier::Block: return "block";
+      case ExecTier::LaneMajor: return "lane";
+      case ExecTier::Instrumented: return "instrumented";
+      case ExecTier::Count: break;
+    }
+    return "auto";
+}
+
+namespace {
+/** Cached VCB_EXECUTOR: Count+1 = not read yet, Count = auto. */
+std::atomic<uint8_t> g_forced_tier{static_cast<uint8_t>(ExecTier::Count) +
+                                   1};
+/** Cached VCB_BLOCK_W (0 = not read yet). */
+std::atomic<uint32_t> g_block_w{0};
+/** Cached VCB_SUPEROPS state: -1 = not read yet, else 0/1. */
+std::atomic<int> g_superops{-1};
+} // namespace
+
+ExecTier
+executorOverride()
+{
+    uint8_t v = g_forced_tier.load(std::memory_order_relaxed);
+    if (v > static_cast<uint8_t>(ExecTier::Count)) {
+        ExecTier t = ExecTier::Count;
+        if (const char *env = std::getenv("VCB_EXECUTOR")) {
+            const std::string s(env);
+            if (s == "trace")
+                t = ExecTier::Trace;
+            else if (s == "block")
+                t = ExecTier::Block;
+            else if (s == "lane")
+                t = ExecTier::LaneMajor;
+            else if (s == "instrumented")
+                t = ExecTier::Instrumented;
+            else if (!s.empty() && s != "auto")
+                fatal("VCB_EXECUTOR='%s' is not one of "
+                      "trace/block/lane/instrumented/auto",
+                      env);
+        }
+        v = static_cast<uint8_t>(t);
+        g_forced_tier.store(v, std::memory_order_relaxed);
+    }
+    return static_cast<ExecTier>(v);
+}
+
+void
+setExecutorOverride(ExecTier t)
+{
+    // Count resets to "unread" so the next query re-parses the env.
+    g_forced_tier.store(t == ExecTier::Count
+                            ? static_cast<uint8_t>(ExecTier::Count) + 1
+                            : static_cast<uint8_t>(t),
+                        std::memory_order_relaxed);
+}
+
+bool
+superopsEnabled()
+{
+    int v = g_superops.load(std::memory_order_relaxed);
+    if (v < 0) {
+        const char *env = std::getenv("VCB_SUPEROPS");
+        v = (env && env[0] == '0' && env[1] == '\0') ? 0 : 1;
+        g_superops.store(v, std::memory_order_relaxed);
+    }
+    return v != 0;
+}
+
+void
+setSuperopsEnabled(int enabled)
+{
+    g_superops.store(enabled < 0 ? -1 : (enabled != 0),
+                     std::memory_order_relaxed);
+}
+
+uint32_t
+blockWidth()
+{
+    uint32_t w = g_block_w.load(std::memory_order_relaxed);
+    if (w == 0) {
+        w = 8;
+        if (const char *env = std::getenv("VCB_BLOCK_W")) {
+            w = static_cast<uint32_t>(std::atoi(env));
+            if (w != 4 && w != 8 && w != 16)
+                fatal("VCB_BLOCK_W=%s is not one of 4/8/16", env);
+        }
+        g_block_w.store(w, std::memory_order_relaxed);
+    }
+    return w;
+}
+
+void
+setBlockWidth(uint32_t w)
+{
+    VCB_ASSERT(w == 0 || w == 4 || w == 8 || w == 16,
+               "block width %u is not one of 4/8/16", w);
+    g_block_w.store(w, std::memory_order_relaxed);
+}
+
+ExecTier
+effectiveExecTier(const MicroKernel &mk)
+{
+    const ExecTier forced = executorOverride();
+    ExecTier tier =
+        forced == ExecTier::Count ? chooseExecTier(mk) : forced;
+    // The trace tier requires a straight-line atomic-free body; a
+    // forced "trace" degrades to the block tier where that fails.
+    if (tier == ExecTier::Trace && (mk.hasBranches || mk.hasAtomics))
+        tier = ExecTier::Block;
+    return tier;
+}
+
+// --- disassembly ----------------------------------------------------------
+
+const char *
+mopName(MOp op)
+{
+    static const char *const names[] = {
+        "Const", "Mov", "LdBuiltin", "LdPush",
+        "IAdd", "ISub", "IMul", "IDiv", "IRem", "IMin", "IMax", "IAnd",
+        "IOr", "IXor", "INot", "INeg", "IShl", "IShrU", "IShrS",
+        "FAdd", "FSub", "FMul", "FDiv", "FMin", "FMax", "FAbs", "FNeg",
+        "FSqrt", "FExp", "FLog", "FFloor", "FSin", "FCos", "FFma",
+        "FPow", "CvtSF", "CvtFS",
+        "IEq", "INe", "ILt", "ILe", "IGt", "IGe", "ULt", "UGe",
+        "FEq", "FNe", "FLt", "FLe", "FGt", "FGe", "Select",
+        "LdBuf", "StBuf", "LdShared", "StShared",
+        "AtomIAdd", "AtomIOr", "AtomIMin", "AtomIMax",
+        "Jmp", "BrTrue", "BrFalse",
+        "CmpBrIEq", "CmpBrINe", "CmpBrILt", "CmpBrILe", "CmpBrIGt",
+        "CmpBrIGe", "CmpBrULt", "CmpBrUGe",
+        "CmpBrFEq", "CmpBrFNe", "CmpBrFLt", "CmpBrFLe", "CmpBrFGt",
+        "CmpBrFGe",
+        "ConstAlu", "IAddLd", "IAddSt", "IMulAdd", "IAddAdd",
+        "IAddLdSh", "IAddStSh", "MulAddLdSh", "MulAddStSh",
+        "FMulFAdd", "FMulFSub",
+        "LdShFMul", "LdShFSub", "LdShFDiv",
+        "FSubStSh", "FDivStSh", "IDivRem",
+        "Super", "SuperLoop",
+        "Barrier", "Ret",
+    };
+    static_assert(sizeof(names) / sizeof(names[0]) ==
+                      static_cast<size_t>(MOp::Count),
+                  "name table out of sync with MOp");
+    const size_t raw = static_cast<size_t>(op);
+    return raw < static_cast<size_t>(MOp::Count) ? names[raw] : "?";
+}
+
+const char *
+superKindName(SuperKind kind)
+{
+    switch (kind) {
+      case SuperKind::SqDistStep: return "SqDistStep";
+      case SuperKind::ShDotStep: return "ShDotStep";
+      case SuperKind::Count: break;
+    }
+    return "?";
+}
+
+namespace {
+
+/** printf into a std::string. */
+std::string
+strf(const char *fmt, ...)
+{
+    char buf[256];
+    va_list ap;
+    va_start(ap, fmt);
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    return buf;
+}
+
+const char *
+binKindName(BinKind k)
+{
+    static const char *const names[] = {
+        "iadd", "isub", "imul", "imin", "imax", "iand", "ior", "ixor",
+        "ishl", "ishru", "ishrs",
+        "fadd", "fsub", "fmul", "fdiv", "fmin", "fmax",
+        "ieq", "ine", "ilt", "ile", "igt", "ige", "ult", "uge",
+        "feq", "fne", "flt", "fle", "fgt", "fge",
+    };
+    static_assert(sizeof(names) / sizeof(names[0]) ==
+                      static_cast<size_t>(BinKind::Count),
+                  "name table out of sync with BinKind");
+    const size_t raw = static_cast<size_t>(k);
+    return raw < static_cast<size_t>(BinKind::Count) ? names[raw] : "?";
+}
+
+/** Infix symbol of a simple binary micro-op, or null. */
+const char *
+binSymbol(MOp op)
+{
+    switch (op) {
+      case MOp::IAdd: case MOp::FAdd: return "+";
+      case MOp::ISub: case MOp::FSub: return "-";
+      case MOp::IMul: case MOp::FMul: return "*";
+      case MOp::IDiv: case MOp::FDiv: return "/";
+      case MOp::IRem: return "%";
+      case MOp::IAnd: return "&";
+      case MOp::IOr: return "|";
+      case MOp::IXor: return "^";
+      case MOp::IShl: return "<<";
+      case MOp::IShrU: return ">>u";
+      case MOp::IShrS: return ">>s";
+      case MOp::IEq: case MOp::FEq: return "==";
+      case MOp::INe: case MOp::FNe: return "!=";
+      case MOp::ILt: case MOp::FLt: return "<s";
+      case MOp::ILe: case MOp::FLe: return "<=s";
+      case MOp::IGt: case MOp::FGt: return ">s";
+      case MOp::IGe: case MOp::FGe: return ">=s";
+      case MOp::ULt: return "<u";
+      case MOp::UGe: return ">=u";
+      default: return nullptr;
+    }
+  }
+
+/** Comparison symbol of a CmpBr op (CmpBrIEq..CmpBrFGe). */
+const char *
+cmpBrSymbol(MOp op)
+{
+    static const char *const sym[] = {"==", "!=", "<s", "<=s", ">s",
+                                      ">=s", "<u", ">=u", "==", "!=",
+                                      "<", "<=", ">", ">="};
+    return sym[static_cast<size_t>(op) -
+               static_cast<size_t>(MOp::CmpBrIEq)];
+}
+
+} // namespace
+
+std::string
+renderMicroOp(const MicroKernel &mk, uint32_t pc)
+{
+    const MicroOp &o = mk.ops[pc];
+    if (const char *sym = binSymbol(o.op))
+        return strf("r%u = r%u %s r%u", o.a, o.b, sym, o.c);
+    if (isCmpBr(o.op))
+        return strf("r%u = r%u %s r%u; br @%u if %u", o.a, o.b,
+                    cmpBrSymbol(o.op), o.c, o.d, o.aux);
+    switch (o.op) {
+      case MOp::Const:
+        return strf("r%u = %u (%g)", o.a, o.b, bitsToF(o.b));
+      case MOp::Mov: return strf("r%u = r%u", o.a, o.b);
+      case MOp::LdBuiltin:
+        return strf("r%u = %s", o.a,
+                    spirv::builtinName(
+                        static_cast<spirv::Builtin>(o.aux)));
+      case MOp::LdPush: return strf("r%u = push[%u]", o.a, o.b);
+      case MOp::INot: return strf("r%u = ~r%u", o.a, o.b);
+      case MOp::INeg: case MOp::FNeg:
+        return strf("r%u = -r%u", o.a, o.b);
+      case MOp::FAbs: case MOp::FSqrt: case MOp::FExp: case MOp::FLog:
+      case MOp::FFloor: case MOp::FSin: case MOp::FCos:
+      case MOp::CvtSF: case MOp::CvtFS:
+        return strf("r%u = %s(r%u)", o.a, mopName(o.op), o.b);
+      case MOp::FMin: case MOp::FMax: case MOp::IMin: case MOp::IMax:
+      case MOp::FPow:
+        return strf("r%u = %s(r%u, r%u)", o.a, mopName(o.op), o.b, o.c);
+      case MOp::FFma:
+        return strf("r%u = fma(r%u, r%u, r%u)", o.a, o.b, o.c, o.d);
+      case MOp::Select:
+        return strf("r%u = r%u ? r%u : r%u", o.a, o.b, o.c, o.d);
+      case MOp::LdBuf:
+        return strf("r%u = buf%u[r%u]  site %u", o.a, o.b, o.c, o.d);
+      case MOp::StBuf:
+        return strf("buf%u[r%u] = r%u  site %u", o.a, o.b, o.c, o.d);
+      case MOp::LdShared: return strf("r%u = sh[r%u]", o.a, o.b);
+      case MOp::StShared: return strf("sh[r%u] = r%u", o.a, o.b);
+      case MOp::AtomIAdd: case MOp::AtomIOr: case MOp::AtomIMin:
+      case MOp::AtomIMax:
+        return strf("r%u = %s(buf%u[r%u], r%u)  site %u", o.a,
+                    mopName(o.op), o.b, o.c, o.d, o.e);
+      case MOp::Jmp: return strf("jmp @%u", o.a);
+      case MOp::BrTrue: return strf("br @%u if r%u", o.b, o.a);
+      case MOp::BrFalse: return strf("br @%u if !r%u", o.b, o.a);
+      case MOp::ConstAlu:
+        return strf("r%u = %u (%g); r%u = %s(r%u, r%u)", o.a, o.b,
+                    bitsToF(o.b), o.c,
+                    binKindName(static_cast<BinKind>(o.aux)), o.d, o.e);
+      case MOp::IAddLd:
+        return strf("r%u = r%u + r%u; r%u = buf%u[r%u]  site %u", o.a,
+                    o.b, o.c, o.d, o.aux, o.a, o.e);
+      case MOp::IAddSt:
+        return strf("r%u = r%u + r%u; buf%u[r%u] = r%u  site %u", o.a,
+                    o.b, o.c, o.aux, o.a, o.d, o.e);
+      case MOp::IMulAdd:
+        return strf("r%u = r%u * r%u; r%u = r%u + r%u", o.a, o.b, o.c,
+                    o.d, o.a, o.e);
+      case MOp::IAddAdd:
+        return strf("r%u = r%u + r%u; r%u = r%u + r%u", o.a, o.b, o.c,
+                    o.d, o.a, o.e);
+      case MOp::IAddLdSh:
+        return strf("r%u = r%u + r%u; r%u = sh[r%u]", o.a, o.b, o.c,
+                    o.d, o.a);
+      case MOp::IAddStSh:
+        return strf("r%u = r%u + r%u; sh[r%u] = r%u", o.a, o.b, o.c,
+                    o.a, o.d);
+      case MOp::MulAddLdSh:
+        return strf("r%u = r%u * r%u; r%u = r%u + r%u; r%u = sh[r%u]",
+                    o.a, o.b, o.c, o.d, o.a, o.e, o.aux, o.d);
+      case MOp::MulAddStSh:
+        return strf("r%u = r%u * r%u; r%u = r%u + r%u; sh[r%u] = r%u",
+                    o.a, o.b, o.c, o.d, o.a, o.e, o.d, o.aux);
+      case MOp::FMulFAdd:
+        return o.aux & 1
+                   ? strf("r%u = r%u * r%u; r%u = r%u + r%u", o.a, o.b,
+                          o.c, o.d, o.a, o.e)
+                   : strf("r%u = r%u * r%u; r%u = r%u + r%u", o.a, o.b,
+                          o.c, o.d, o.e, o.a);
+      case MOp::FMulFSub:
+        return o.aux & 1
+                   ? strf("r%u = r%u * r%u; r%u = r%u - r%u", o.a, o.b,
+                          o.c, o.d, o.a, o.e)
+                   : strf("r%u = r%u * r%u; r%u = r%u - r%u", o.a, o.b,
+                          o.c, o.d, o.e, o.a);
+      case MOp::LdShFMul: case MOp::LdShFSub: case MOp::LdShFDiv: {
+        const char *sym = o.op == MOp::LdShFMul   ? "*"
+                          : o.op == MOp::LdShFSub ? "-"
+                                                  : "/";
+        return o.aux & 1
+                   ? strf("r%u = sh[r%u]; r%u = r%u %s r%u", o.a, o.b,
+                          o.d, o.a, sym, o.e)
+                   : strf("r%u = sh[r%u]; r%u = r%u %s r%u", o.a, o.b,
+                          o.d, o.e, sym, o.a);
+      }
+      case MOp::FSubStSh:
+        return strf("r%u = r%u - r%u; sh[r%u] = r%u", o.a, o.b, o.c,
+                    o.d, o.a);
+      case MOp::FDivStSh:
+        return strf("r%u = r%u / r%u; sh[r%u] = r%u", o.a, o.b, o.c,
+                    o.d, o.a);
+      case MOp::IDivRem:
+        return strf("r%u = r%u / r%u; r%u = r%u %% r%u", o.a, o.b, o.c,
+                    o.d, o.b, o.c);
+      case MOp::Super:
+      case MOp::SuperLoop: {
+        const SuperOp &s = mk.supers[o.aux];
+        std::string body;
+        switch (s.kind) {
+          case SuperKind::SqDistStep:
+            body = strf("SqDistStep: d = buf%u[r%u*r%u+r%u] - "
+                        "buf%u[r%u+r%u]; r%u %s d*d; r%u = r%u + r%u"
+                        "  sites %u,%u",
+                        s.buf[0], s.r[0], s.r[1], s.r[2], s.buf[1],
+                        s.r[3], s.r[4], s.r[5],
+                        s.aux & 1 ? "=+" : "+=", s.r[6], s.r[7],
+                        s.r[8], s.site[0], s.site[1]);
+            break;
+          case SuperKind::ShDotStep:
+            body = strf("ShDotStep: r%u = fma(sh[r%u*r%u+r%u], "
+                        "sh[r%u+(r%u*r%u+r%u)], r%u); r%u = r%u + r%u",
+                        s.r[8], s.r[0], s.r[1], s.r[2], s.r[6],
+                        s.r[3], s.r[4], s.r[5], s.r[7], s.r[9],
+                        s.r[10], s.r[11]);
+            break;
+          case SuperKind::Count:
+            body = strf("?%u", o.aux);
+            break;
+        }
+        if (o.op == MOp::Super)
+            return "super " + body;
+        return strf("superloop while (int r%u < int r%u) [r%u, @%u] ",
+                    s.loopB, s.loopC, s.loopFlag, s.exitPc) +
+               body;
+      }
+      case MOp::Barrier: return "barrier";
+      case MOp::Ret: return "ret";
+      default: break;
+    }
+    return strf("%s a=%u b=%u c=%u d=%u e=%u aux=%u", mopName(o.op),
+                o.a, o.b, o.c, o.d, o.e, o.aux);
+}
+
+std::string
+disassembleMicro(const MicroKernel &mk)
+{
+    std::string out;
+    out += strf("; %zu micro-ops, %zu hoisted template ops, "
+                "%u pairs fused, %zu superops%s\n",
+                mk.ops.size(), mk.templateOps.size(), mk.fusedPairs,
+                mk.supers.size(),
+                mk.skipRegZeroInit ? ", zero-init skipped" : "");
+    // Template ops execute once per dispatch; show them with a 't'
+    // prefix so listings make the hoist visible.
+    MicroKernel tmpl;
+    tmpl.ops = mk.templateOps;
+    tmpl.costFrom.assign(tmpl.ops.size(), 0);
+    for (size_t i = 0; i < tmpl.ops.size(); ++i)
+        out += strf("  t%-3zu: %s\n", i,
+                    renderMicroOp(tmpl, static_cast<uint32_t>(i))
+                        .c_str());
+    for (size_t i = 0; i < mk.ops.size(); ++i)
+        out += strf("  %4zu: %-55s ; cost_from %u\n", i,
+                    renderMicroOp(mk, static_cast<uint32_t>(i)).c_str(),
+                    mk.costFrom[i]);
+    return out;
 }
 
 } // namespace vcb::sim

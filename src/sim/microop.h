@@ -33,8 +33,10 @@
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "sim/dispatch.h"
 #include "spirv/opcodes.h"
 
 namespace vcb::sim {
@@ -128,6 +130,21 @@ enum class MOp : uint16_t
      *  division): r[a] = r[b] / r[c]; r[d] = r[b] % r[c]. */
     IDivRem,
 
+    /** Templated superop: aux indexes MicroKernel::supers, whose
+     *  SuperKind selects a hand-written template for a whole
+     *  straight-line run of micro-ops (see SuperOp).  All executor
+     *  tiers dispatch the same record, so superop formation can never
+     *  change results; its cost is the sum of the fused ops' costs. */
+    Super,
+    /** A counted loop [CmpBrILt head; Super body; Jmp back] fused
+     *  into one record (aux indexes supers, whose loop extension
+     *  holds the head/exit wiring).  Every executor runs the whole
+     *  loop to completion per lane — trip counts may differ per lane
+     *  without ever surfacing as divergence, since all lanes
+     *  reconverge at the exit pc.  Terminator (ends with a transfer
+     *  to the exit pc). */
+    SuperLoop,
+
     Barrier,
     Ret,
     Count
@@ -142,6 +159,79 @@ enum class BinKind : uint8_t
     FEq, FNe, FLt, FLe, FGt, FGe,
     Count
 };
+
+/**
+ * Superop templates: the suite's dominant straight-line runs, each
+ * specialized into one hand-written loop body per executor.  The
+ * recognizer (lowerKernel pass 3.5) only forms one when the run's
+ * scratch registers are referenced nowhere else in the kernel, so the
+ * templates can keep intermediates in host registers instead of
+ * round-tripping every value through the lane register file.
+ */
+enum class SuperKind : uint16_t
+{
+    /**
+     * Squared-distance reduction step (kmeans_assign's inner loop):
+     *   IMulAdd; LdBuf; IAddLd; FSub; FMulFAdd; IAdd
+     *   a1 = r[0]*r[1] + r[2];   x = buf[buf0][a1]   (site[0])
+     *   a2 = r[3] + r[4];        y = buf[buf1][a2]   (site[1])
+     *   d = x - y;  t = d*d;
+     *   r[5] = aux&1 ? t + r[5] : r[5] + t;
+     *   r[6] = r[7] + r[8];
+     */
+    SqDistStep,
+    /**
+     * Shared-memory dot-product step (lud_internal's inner loop):
+     *   MulAddLdSh; IMulAdd; IAddLdSh; FFma; Mov; IAdd
+     *   v1 = shared[r[0]*r[1] + r[2]];
+     *   v2 = shared[r[6] + (r[3]*r[4] + r[5])];
+     *   r[8] = fma(v1, v2, r[7]);
+     *   r[9] = r[10] + r[11];
+     */
+    ShDotStep,
+    Count
+};
+
+/**
+ * One recognized superop instance: the template id plus the distilled
+ * register/buffer/site operands (layout per SuperKind above).  The
+ * fused run's summed issue cost rides along so pass 4's costFrom
+ * suffix-sums — and therefore laneCycles — are unchanged.
+ */
+struct SuperOp
+{
+    SuperKind kind = SuperKind::Count;
+    /** FMulFAdd-style operand-order bit(s), template-specific. */
+    uint16_t aux = 0;
+    uint32_t r[12] = {};
+    uint16_t buf[2] = {};
+    uint16_t site[2] = {};
+    /** Summed issue cost of the fused micro-ops. */
+    uint32_t cost = 0;
+
+    /**
+     * Counted-loop extension (MOp::SuperLoop): when loop != 0 the
+     * record also owns the enclosing `while (int r[loopB] < int
+     * r[loopC])` triad.  The executor runs the body to completion per
+     * lane, then writes the head's flag register (r[loopFlag] =
+     * loopAux, the exact value the final, failing test produces) and
+     * transfers to exitPc.  Per iteration it charges headCost +
+     * bodyCost lane-cycles — the costFrom charges the unfused stream
+     * pays per trip around the back edge — so laneCycles stay
+     * bit-identical for any per-lane trip count.
+     */
+    uint8_t loop = 0;
+    uint16_t loopAux = 0;
+    uint32_t loopFlag = 0;
+    uint32_t loopB = 0;
+    uint32_t loopC = 0;
+    uint32_t exitPc = 0;
+    uint32_t headCost = 0;
+    uint32_t bodyCost = 0;
+};
+
+/** Symbolic name of a superop template ("SqDistStep", ...). */
+const char *superKindName(SuperKind kind);
 
 /** One packed micro-op.  Field meaning depends on `op` (see MOp). */
 struct MicroOp
@@ -194,8 +284,15 @@ struct MicroKernel
     /** Kernel contains at least one Barrier: barrier-free kernels take
      *  a leaner workgroup loop (no per-lane pc/state bookkeeping). */
     bool hasBarrier = false;
+    /** Any control transfer (Jmp/BrTrue/BrFalse/CmpBr*): kernels
+     *  without one are straight-line and eligible for the trace tier. */
+    bool hasBranches = false;
+    /** Any atomic op (lane order observable: block tiers must bail). */
+    bool hasAtomics = false;
     /** Number of instruction pairs fused (diagnostics/tests). */
     uint32_t fusedPairs = 0;
+    /** Recognized superop records, indexed by MOp::Super's aux. */
+    std::vector<SuperOp> supers;
 };
 
 /** Lowering knobs; defaults match compileKernel.  Tests disable fusion
@@ -209,10 +306,13 @@ struct LowerOptions
     bool fuseAddrMem = true;
     /** Integer ALU pairs (IMulAdd/IAddAdd, the indexing idiom). */
     bool fuseMulAdd = true;
+    /** Straight-line runs into templated superops (MOp::Super); also
+     *  gated at run time by VCB_SUPEROPS / setSuperopsEnabled(). */
+    bool fuseSuperops = true;
 
     static LowerOptions noFusion()
     {
-        return {false, false, false, false};
+        return {false, false, false, false, false};
     }
 };
 
@@ -223,6 +323,38 @@ void lowerKernel(CompiledKernel &k, const LowerOptions &opt = {});
 /** ALU issue cost per original opcode, in lane-cycles (the timing
  *  model's per-instruction cost table; baked into MicroKernel). */
 uint8_t opCost(spirv::Op op);
+
+/** Symbolic name of a micro-op ("IAddLd", "CmpBrULt", ...). */
+const char *mopName(MOp op);
+
+/** Tier policy from lowering metadata: Trace for straight-line
+ *  branch/atomic-free kernels, Block otherwise.  The engine upgrades
+ *  to Instrumented when a sampler or robust access demands it, and
+ *  VCB_EXECUTOR overrides the result for debugging. */
+ExecTier chooseExecTier(const MicroKernel &mk);
+
+/** The tier a non-instrumented dispatch of this kernel actually runs:
+ *  chooseExecTier unless VCB_EXECUTOR / setExecutorOverride forces one
+ *  (a forced Trace degrades to Block when the body is not
+ *  straight-line). */
+ExecTier effectiveExecTier(const MicroKernel &mk);
+
+/** Run-time gate for superop formation (cached VCB_SUPEROPS; any
+ *  value but "0" enables).  Checked by lowerKernel on top of
+ *  LowerOptions::fuseSuperops. */
+bool superopsEnabled();
+
+/** Force superop formation on (1) / off (0), or re-read the
+ *  environment (-1).  Test hook, like setExecutorOverride(). */
+void setSuperopsEnabled(int enabled);
+
+/** One rendered micro-op with symbolic operands ("r3 = r1 + r2"). */
+std::string renderMicroOp(const MicroKernel &mk, uint32_t pc);
+
+/** Full listing of a lowered kernel: hoisted template ops, then the
+ *  per-lane stream with pc, rendered operands and costFrom.  Used by
+ *  vcb_disasm and the disasm round-trip tests. */
+std::string disassembleMicro(const MicroKernel &mk);
 
 // --- shared executor helpers ----------------------------------------------
 

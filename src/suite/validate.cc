@@ -953,7 +953,9 @@ runGoldenScenario(const GoldenScenario &s, const sim::DeviceSpec &dev,
         }
         ctx.push = step.push.data();
         ctx.pushWords = (uint32_t)step.push.size();
-        engine.dispatch(ctx);
+        sim::DispatchResult r = engine.dispatch(ctx);
+        out.stepStats.push_back(r.stats);
+        out.kernelNs += r.kernelNs;
     }
 
     out.ran = true;

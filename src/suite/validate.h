@@ -98,6 +98,12 @@ struct GoldenOutcome
     /** Final contents of each checked buffer, in check order (for
      *  cross-API agreement tests). */
     std::vector<std::vector<uint32_t>> checkedBuffers;
+    /** Per-step simulation statistics and summed simulated kernel
+     *  time, in step order — the tier-equivalence tests demand these
+     *  stay bit-identical under every forced executor tier, block
+     *  width and superop setting. */
+    std::vector<sim::DispatchStats> stepStats;
+    double kernelNs = 0;
 };
 
 /**

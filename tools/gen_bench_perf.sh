@@ -1,0 +1,49 @@
+#!/bin/sh
+# gen_bench_perf.sh — regenerates BENCH_perf.json, the committed
+# interpreter-throughput snapshot: the reference mix's median-of-N
+# workgroups/s (with min/max spread and the per-executor-tier
+# workgroup breakdown) at VCB_THREADS=1 and VCB_THREADS=4, plus the
+# quick mix at VCB_THREADS=1 which the perf_guard ctest entry compares
+# against (tools/perf_guard.sh).
+#
+# Unlike BENCH_report.json this snapshot is wall-clock derived, so it
+# is never diffed byte-for-byte; it records the trajectory on the
+# reference machine and feeds the relative-drop regression guard.
+#
+# Usage: tools/gen_bench_perf.sh [vcb_perf-binary] > BENCH_perf.json
+# (default binary: <repo>/build/vcb_perf; repeats: VCB_PERF_REPEATS
+# or 5)
+
+set -eu
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+bin=${1:-"$root/build/vcb_perf"}
+repeats=${VCB_PERF_REPEATS:-5}
+
+if [ ! -x "$bin" ]; then
+    echo "gen_bench_perf: $bin not built" >&2
+    exit 1
+fi
+
+mix() { # threads [extra-args...]
+    threads=$1; shift
+    VCB_THREADS=$threads "$bin" --repeat "$repeats" "$@" 2>/dev/null |
+        grep '"bench": "mix"'
+}
+
+full1=$(mix 1)
+full4=$(mix 4)
+quick1=$(mix 1 --quick)
+
+cat <<EOF
+{
+  "comment": "interpreter throughput snapshot; regenerate with tools/gen_bench_perf.sh > BENCH_perf.json",
+  "repeats": $repeats,
+  "full": {
+    "threads1": $full1,
+    "threads4": $full4
+  },
+  "quick": {
+    "threads1": $quick1
+  }
+}
+EOF

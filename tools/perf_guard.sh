@@ -1,0 +1,67 @@
+#!/bin/sh
+# perf_guard.sh — interpreter-throughput regression gate (ctest entry
+# "perf_guard").  Runs the quick reference mix single-threaded,
+# median-of-3, and fails when workgroups/s drops more than
+# VCB_PERF_TOLERANCE (default 0.25 = 25%) below the committed
+# BENCH_perf.json quick/threads1 snapshot.
+#
+# The gate is RELATIVE on purpose: absolute wg/s varies across hosts,
+# but a hot-path regression shows up as a large relative drop even on
+# a noisy machine.  Set VCB_PERF_TOLERANCE to loosen on known-slow or
+# shared runners, or VCB_PERF_GUARD=off to skip entirely.
+#
+# Usage: tools/perf_guard.sh [repo-root] [vcb_perf-binary]
+
+set -u
+root=${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}
+bin=${2:-"$root/build/vcb_perf"}
+tol=${VCB_PERF_TOLERANCE:-0.25}
+
+if [ "${VCB_PERF_GUARD:-on}" = "off" ]; then
+    echo "perf_guard: disabled via VCB_PERF_GUARD=off"
+    exit 0
+fi
+if [ ! -x "$bin" ]; then
+    echo "perf_guard: $bin not built" >&2
+    exit 1
+fi
+if [ ! -f "$root/BENCH_perf.json" ]; then
+    echo "perf_guard: no committed BENCH_perf.json" >&2
+    exit 1
+fi
+
+ref=$(jq -r '.quick.threads1.workgroups_per_s' "$root/BENCH_perf.json" \
+    2>/dev/null)
+if [ -z "$ref" ] || [ "$ref" = "null" ]; then
+    echo "perf_guard: BENCH_perf.json has no quick/threads1 snapshot" >&2
+    exit 1
+fi
+
+floor=$(awk -v r="$ref" -v t="$tol" 'BEGIN { printf "%d", r * (1 - t) }')
+
+# A real regression reproduces; a noisy-neighbour era mostly does not.
+# One retry halves the false-failure rate without hiding true drops.
+attempt=1
+while :; do
+    got=$(VCB_THREADS=1 "$bin" --quick --repeat 3 2>/dev/null |
+        grep '"bench": "mix"' | jq -r '.workgroups_per_s')
+    if [ -z "$got" ] || [ "$got" = "null" ]; then
+        echo "perf_guard: vcb_perf produced no mix line" >&2
+        exit 1
+    fi
+    echo "perf_guard: quick mix $got wg/s (committed $ref," \
+         "floor $floor, tolerance $tol, attempt $attempt)"
+    if [ "$got" -ge "$floor" ]; then
+        echo "perf_guard: OK"
+        exit 0
+    fi
+    if [ "$attempt" -ge 2 ]; then
+        break
+    fi
+    attempt=$((attempt + 1))
+done
+echo "perf_guard: FAIL — throughput dropped more than" \
+     "$(awk -v t="$tol" 'BEGIN { printf "%d%%", t * 100 }')" \
+     "below the committed snapshot on both attempts; investigate or" \
+     "regenerate BENCH_perf.json (tools/gen_bench_perf.sh) if intentional"
+exit 1

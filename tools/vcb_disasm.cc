@@ -71,6 +71,7 @@ main(int argc, char **argv)
 
     const sim::DeviceSpec &dev = sim::deviceByName(device_name);
     std::printf("\n; driver compilation on %s:\n", dev.name.c_str());
+    std::unique_ptr<sim::CompiledKernel> lowered;
     for (sim::Api api :
          {sim::Api::Vulkan, sim::Api::OpenCl, sim::Api::Cuda}) {
         if (!dev.profile(api).available) {
@@ -89,6 +90,18 @@ main(int argc, char **argv)
                     sim::apiName(api), k->promoted ? "honoured" : "ignored",
                     k->codeQualityEff,
                     formatNs(k->compileNs).c_str());
+        if (!lowered)
+            lowered = std::move(k);
+    }
+
+    // Micro-op lowering (API-independent): the stream the interpreter
+    // executes, with fused pairs, superops and hoisted template ops
+    // rendered symbolically.
+    if (lowered) {
+        std::printf("\n; micro-op lowering (executor tier: %s):\n",
+                    sim::execTierName(
+                        sim::chooseExecTier(lowered->micro)));
+        std::printf("%s", sim::disassembleMicro(lowered->micro).c_str());
     }
     return 0;
 }

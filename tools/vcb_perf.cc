@@ -33,10 +33,20 @@
  *
  *   vcb_perf            # paper-scale reference mix (largest sizes)
  *   vcb_perf --quick    # small sizes, used as the ctest smoke entry
+ *   vcb_perf --repeat 5 # median-of-5 mix (use for BENCH_perf.json)
  *   vcb_perf --suite [--quick]  # per-benchmark kernelRegionNs JSON
+ *
+ * --repeat N runs the whole mix N times and reports the MEDIAN
+ * workgroups/s per benchmark and for the mix, with min/max spread, so
+ * committed snapshot numbers are not single-shot noise on a loaded
+ * host.  The mix line also carries the per-tier workgroup breakdown
+ * (sim::tierWorkgroupCount) so the trajectory records which executor
+ * tier did the work.
  */
 
+#include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -88,8 +98,17 @@ nowMs()
 void
 usage()
 {
-    std::printf("usage: vcb_perf [--quick] [--suite] [--device NAME] "
-                "[--api vulkan|opencl|cuda]\n");
+    std::printf("usage: vcb_perf [--quick] [--repeat N] [--suite] "
+                "[--device NAME] [--api vulkan|opencl|cuda]\n");
+}
+
+/** Median of an unsorted sample (averages the middle pair). */
+double
+median(std::vector<double> v)
+{
+    std::sort(v.begin(), v.end());
+    const size_t n = v.size();
+    return n % 2 ? v[n / 2] : (v[n / 2 - 1] + v[n / 2]) / 2.0;
 }
 
 /** --suite: one JSON line per registry benchmark with the paper's
@@ -142,6 +161,7 @@ main(int argc, char **argv)
 {
     bool quick = false;
     bool suite_mode = false;
+    int repeat = 1;
     std::string device_name = "gtx1050ti";
     std::string api_str = "vulkan";
 
@@ -156,6 +176,11 @@ main(int argc, char **argv)
             quick = true;
         else if (arg == "--suite")
             suite_mode = true;
+        else if (arg == "--repeat") {
+            repeat = std::atoi(next().c_str());
+            if (repeat < 1)
+                fatal("--repeat needs a positive count");
+        }
         else if (arg == "--device")
             device_name = next();
         else if (arg == "--api")
@@ -186,54 +211,112 @@ main(int argc, char **argv)
 
     const char *threads_env = std::getenv("VCB_THREADS");
 
+    constexpr size_t kBenches = std::size(kMix);
+    // Per-bench samples across repeats.
+    std::vector<std::vector<double>> b_wall(kBenches), b_sim(kBenches),
+        b_wgps(kBenches);
+    uint64_t b_wgs[kBenches] = {};
+    uint64_t b_launches[kBenches] = {};
+    std::string b_label[kBenches];
+    std::vector<double> mix_wall_r, mix_sim_r, mix_wgps_r;
     uint64_t mix_wgs = 0;
-    double mix_ms = 0;
-    double mix_sim_ms = 0;
+    uint64_t tier0[static_cast<size_t>(sim::ExecTier::Count)];
+    for (size_t t = 0; t < static_cast<size_t>(sim::ExecTier::Count);
+         ++t)
+        tier0[t] = sim::tierWorkgroupCount(static_cast<sim::ExecTier>(t));
     bool all_ok = true;
-    for (const MixEntry &e : kMix) {
-        const suite::Benchmark &bench = suite::byName(e.bench);
-        auto sizes = bench.desktopSizes();
-        size_t idx = quick ? e.quickSize : e.fullSize;
-        VCB_ASSERT(idx < sizes.size(), "mix size index out of range");
-        const suite::SizeConfig &cfg = sizes[idx];
 
-        uint64_t wg0 = sim::executedWorkgroupCount();
-        uint64_t sim0 = sim::dispatchWallNs();
-        double t0 = nowMs();
-        suite::RunResult r = bench.run(dev, api, cfg);
-        double wall_ms = nowMs() - t0;
-        double sim_ms = (sim::dispatchWallNs() - sim0) / 1e6;
-        uint64_t wgs = sim::executedWorkgroupCount() - wg0;
+    for (int rep = 0; rep < repeat; ++rep) {
+        uint64_t rep_wgs = 0;
+        double rep_wall = 0;
+        double rep_sim = 0;
+        for (size_t b = 0; b < kBenches; ++b) {
+            const MixEntry &e = kMix[b];
+            const suite::Benchmark &bench = suite::byName(e.bench);
+            auto sizes = bench.desktopSizes();
+            size_t idx = quick ? e.quickSize : e.fullSize;
+            VCB_ASSERT(idx < sizes.size(),
+                       "mix size index out of range");
+            const suite::SizeConfig &cfg = sizes[idx];
 
-        bool ok = r.ok && r.validated;
-        all_ok = all_ok && ok;
-        mix_wgs += wgs;
-        mix_ms += wall_ms;
-        mix_sim_ms += sim_ms;
+            uint64_t wg0 = sim::executedWorkgroupCount();
+            uint64_t sim0 = sim::dispatchWallNs();
+            double t0 = nowMs();
+            suite::RunResult r = bench.run(dev, api, cfg);
+            double wall_ms = nowMs() - t0;
+            double sim_ms = (sim::dispatchWallNs() - sim0) / 1e6;
+            uint64_t wgs = sim::executedWorkgroupCount() - wg0;
+
+            all_ok = all_ok && r.ok && r.validated;
+            b_wall[b].push_back(wall_ms);
+            b_sim[b].push_back(sim_ms);
+            b_wgps[b].push_back(sim_ms > 0 ? wgs * 1e3 / sim_ms : 0.0);
+            b_wgs[b] = wgs;
+            b_launches[b] = r.launches;
+            b_label[b] = cfg.label;
+            rep_wgs += wgs;
+            rep_wall += wall_ms;
+            rep_sim += sim_ms;
+        }
+        mix_wgs = rep_wgs;
+        mix_wall_r.push_back(rep_wall);
+        mix_sim_r.push_back(rep_sim);
+        mix_wgps_r.push_back(rep_sim > 0 ? rep_wgs * 1e3 / rep_sim
+                                         : 0.0);
+    }
+
+    for (size_t b = 0; b < kBenches; ++b) {
         std::printf("{\"bench\": \"%s\", \"size\": \"%s\", "
                     "\"api\": \"%s\", \"device\": \"%s\", "
                     "\"wall_ms\": %.3f, \"sim_ms\": %.3f, "
                     "\"workgroups\": %llu, "
                     "\"workgroups_per_s\": %.0f, \"launches\": %llu, "
                     "\"validated\": %s}\n",
-                    e.bench, cfg.label.c_str(), sim::apiName(api),
-                    dev.name.c_str(), wall_ms, sim_ms,
-                    (unsigned long long)wgs,
-                    sim_ms > 0 ? wgs * 1e3 / sim_ms : 0.0,
-                    (unsigned long long)r.launches,
-                    ok ? "true" : "false");
+                    kMix[b].bench, b_label[b].c_str(),
+                    sim::apiName(api), dev.name.c_str(),
+                    median(b_wall[b]), median(b_sim[b]),
+                    (unsigned long long)b_wgs[b], median(b_wgps[b]),
+                    (unsigned long long)b_launches[b],
+                    all_ok ? "true" : "false");
         std::fflush(stdout);
     }
 
-    std::printf("{\"bench\": \"mix\", \"mode\": \"%s\", "
-                "\"wall_ms\": %.3f, \"sim_ms\": %.3f, "
-                "\"workgroups\": %llu, "
-                "\"workgroups_per_s\": %.0f, \"vcb_threads\": \"%s\", "
-                "\"validated\": %s}\n",
-                quick ? "quick" : "full", mix_ms, mix_sim_ms,
-                (unsigned long long)mix_wgs,
-                mix_sim_ms > 0 ? mix_wgs * 1e3 / mix_sim_ms : 0.0,
-                threads_env ? threads_env : "default",
-                all_ok ? "true" : "false");
+    // Per-tier workgroup counts over the whole run: which executor
+    // tier actually did the work (telemetry, not simulation state).
+    uint64_t tier_wgs[static_cast<size_t>(sim::ExecTier::Count)];
+    for (size_t t = 0; t < static_cast<size_t>(sim::ExecTier::Count);
+         ++t)
+        tier_wgs[t] =
+            sim::tierWorkgroupCount(static_cast<sim::ExecTier>(t)) -
+            tier0[t];
+
+    const double wgps_med = median(mix_wgps_r);
+    const double wgps_min =
+        *std::min_element(mix_wgps_r.begin(), mix_wgps_r.end());
+    const double wgps_max =
+        *std::max_element(mix_wgps_r.begin(), mix_wgps_r.end());
+    std::printf(
+        "{\"bench\": \"mix\", \"mode\": \"%s\", "
+        "\"wall_ms\": %.3f, \"sim_ms\": %.3f, "
+        "\"workgroups\": %llu, "
+        "\"workgroups_per_s\": %.0f, "
+        "\"wgps_min\": %.0f, \"wgps_max\": %.0f, "
+        "\"repeats\": %d, "
+        "\"tiers\": {\"trace\": %llu, \"block\": %llu, "
+        "\"lanemajor\": %llu, \"instrumented\": %llu}, "
+        "\"vcb_threads\": \"%s\", \"validated\": %s}\n",
+        quick ? "quick" : "full", median(mix_wall_r),
+        median(mix_sim_r), (unsigned long long)mix_wgs, wgps_med,
+        wgps_min, wgps_max, repeat,
+        (unsigned long long)
+            tier_wgs[static_cast<size_t>(sim::ExecTier::Trace)],
+        (unsigned long long)
+            tier_wgs[static_cast<size_t>(sim::ExecTier::Block)],
+        (unsigned long long)
+            tier_wgs[static_cast<size_t>(sim::ExecTier::LaneMajor)],
+        (unsigned long long)
+            tier_wgs[static_cast<size_t>(sim::ExecTier::Instrumented)],
+        threads_env ? threads_env : "default",
+        all_ok ? "true" : "false");
     return all_ok ? 0 : 1;
 }
