@@ -112,7 +112,7 @@ ThreadPool::workerLoop(unsigned worker)
 {
     uint64_t seen = 0;
     for (;;) {
-        Job *job = nullptr;
+        std::shared_ptr<Job> job;
         {
             std::unique_lock<std::mutex> lk(mtx);
             cv.wait(lk, [&] {
@@ -129,29 +129,34 @@ ThreadPool::workerLoop(unsigned worker)
 }
 
 void
-ThreadPool::submitAndRun(Job &job)
+ThreadPool::submitAndRun(const std::shared_ptr<Job> &job)
 {
     // Aim for several chunks per worker to balance irregular work.
     uint64_t parts = (threads.size() + 1) * 8;
-    job.chunk = std::max<uint64_t>(1, job.count / parts);
+    job->chunk = std::max<uint64_t>(1, job->count / parts);
 
     {
         std::lock_guard<std::mutex> lk(mtx);
-        current = &job;
+        current = job;
         ++generation;
     }
     cv.notify_all();
 
-    runJob(job, 0);
+    runJob(*job, 0);
 
-    // Wait for stragglers still inside their chunks.
-    if (job.done.load() != job.count) {
+    // Wait for stragglers still inside their chunks.  The caller runs
+    // chunks itself, so `done` always reaches `count` even when a
+    // concurrent submission steals the workers away.
+    if (job->done.load() != job->count) {
         std::unique_lock<std::mutex> lk(mtx);
-        cvDone.wait(lk, [&] { return job.done.load() == job.count; });
+        cvDone.wait(lk, [&] { return job->done.load() == job->count; });
     }
     {
         std::lock_guard<std::mutex> lk(mtx);
-        current = nullptr;
+        // Only detach our own job: a concurrent submitter may already
+        // have installed the next one.
+        if (current == job)
+            current.reset();
     }
 }
 
@@ -168,9 +173,9 @@ ThreadPool::parallelFor(uint64_t count,
         return;
     }
 
-    Job job;
-    job.fn = &fn;
-    job.count = count;
+    auto job = std::make_shared<Job>();
+    job->fn = &fn;
+    job->count = count;
     submitAndRun(job);
 }
 
@@ -186,9 +191,9 @@ ThreadPool::parallelForRange(
         return;
     }
 
-    Job job;
-    job.rangeFn = &fn;
-    job.count = count;
+    auto job = std::make_shared<Job>();
+    job->rangeFn = &fn;
+    job->count = count;
     submitAndRun(job);
 }
 

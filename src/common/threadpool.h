@@ -18,6 +18,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -79,6 +80,16 @@ class ThreadPool
     static int globalWorkers();
 
   private:
+    /**
+     * One parallel-for invocation.  Heap-owned (shared_ptr) so a worker
+     * that claims an empty chunk AFTER the submitting thread observed
+     * completion and returned touches live memory, never a dead stack
+     * frame — the submitter's fn/rangeFn pointers may dangle by then,
+     * but an empty claim never invokes them.  This also makes
+     * submitAndRun safe for CONCURRENT submitters (serve sessions):
+     * each caller completes its own job even when another submission
+     * replaces `current` underneath it.
+     */
     struct Job
     {
         /** Exactly one of fn / rangeFn is set. */
@@ -93,13 +104,13 @@ class ThreadPool
 
     void workerLoop(unsigned worker);
     void runJob(Job &job, unsigned worker);
-    void submitAndRun(Job &job);
+    void submitAndRun(const std::shared_ptr<Job> &job);
 
     std::vector<std::thread> threads;
     std::mutex mtx;
     std::condition_variable cv;
     std::condition_variable cvDone;
-    Job *current = nullptr;
+    std::shared_ptr<Job> current;
     uint64_t generation = 0;
     bool stopping = false;
 };

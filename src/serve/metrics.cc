@@ -1,0 +1,71 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+
+namespace vcb::serve {
+
+void
+LatencyRecorder::record(double ns)
+{
+    std::lock_guard<std::mutex> lk(mtx);
+    samples.push_back(ns);
+    sum += ns;
+}
+
+LatencyRecorder::Snapshot
+LatencyRecorder::snapshot() const
+{
+    std::vector<double> sorted;
+    double total = 0;
+    {
+        std::lock_guard<std::mutex> lk(mtx);
+        sorted = samples;
+        total = sum;
+    }
+    Snapshot s;
+    s.count = sorted.size();
+    if (sorted.empty())
+        return s;
+    std::sort(sorted.begin(), sorted.end());
+    s.minNs = sorted.front();
+    s.maxNs = sorted.back();
+    s.meanNs = total / (double)sorted.size();
+    auto rank = [&](double q) {
+        // Nearest-rank: smallest sample with at least q of the mass
+        // at or below it.
+        size_t n = sorted.size();
+        size_t idx = (size_t)(q * (double)n);
+        if (idx >= n)
+            idx = n - 1;
+        return sorted[idx];
+    };
+    s.p50Ns = rank(0.50);
+    s.p95Ns = rank(0.95);
+    s.p99Ns = rank(0.99);
+    return s;
+}
+
+void
+LatencyRecorder::reset()
+{
+    std::lock_guard<std::mutex> lk(mtx);
+    samples.clear();
+    sum = 0;
+}
+
+double
+ServeMetrics::elapsedSeconds() const
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+double
+ServeMetrics::throughputRps() const
+{
+    double secs = elapsedSeconds();
+    return secs > 0 ? (double)completed.load() / secs : 0.0;
+}
+
+} // namespace vcb::serve

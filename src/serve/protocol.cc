@@ -1,0 +1,406 @@
+#include "serve/protocol.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/strutil.h"
+
+namespace vcb::serve {
+
+namespace {
+
+/** Cursor over one wire line. */
+struct Cursor
+{
+    const std::string &s;
+    size_t pos = 0;
+
+    void skipWs()
+    {
+        while (pos < s.size() && std::isspace((unsigned char)s[pos]))
+            ++pos;
+    }
+    bool atEnd()
+    {
+        skipWs();
+        return pos >= s.size();
+    }
+    bool eat(char c)
+    {
+        skipWs();
+        if (pos < s.size() && s[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+    char peek()
+    {
+        skipWs();
+        return pos < s.size() ? s[pos] : '\0';
+    }
+};
+
+bool
+parseString(Cursor &c, std::string *out, std::string *err)
+{
+    if (!c.eat('"')) {
+        *err = strprintf("expected string at offset %zu", c.pos);
+        return false;
+    }
+    out->clear();
+    while (c.pos < c.s.size()) {
+        char ch = c.s[c.pos++];
+        if (ch == '"')
+            return true;
+        if ((unsigned char)ch < 0x20) {
+            *err = "unescaped control character in string";
+            return false;
+        }
+        if (ch != '\\') {
+            out->push_back(ch);
+            continue;
+        }
+        if (c.pos >= c.s.size()) {
+            *err = "truncated escape sequence";
+            return false;
+        }
+        char esc = c.s[c.pos++];
+        switch (esc) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'u': {
+            if (c.pos + 4 > c.s.size()) {
+                *err = "truncated \\u escape";
+                return false;
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+                char h = c.s[c.pos++];
+                code <<= 4;
+                if (h >= '0' && h <= '9')
+                    code |= (unsigned)(h - '0');
+                else if (h >= 'a' && h <= 'f')
+                    code |= (unsigned)(h - 'a' + 10);
+                else if (h >= 'A' && h <= 'F')
+                    code |= (unsigned)(h - 'A' + 10);
+                else {
+                    *err = "invalid \\u escape digit";
+                    return false;
+                }
+            }
+            if (code > 0x7f) {
+                *err = strprintf("\\u%04x: only ASCII \\u escapes are "
+                                 "supported",
+                                 code);
+                return false;
+            }
+            out->push_back((char)code);
+            break;
+          }
+          default:
+            *err = strprintf("invalid escape '\\%c'", esc);
+            return false;
+        }
+    }
+    *err = "unterminated string";
+    return false;
+}
+
+bool
+parseValue(Cursor &c, JsonField *out, std::string *err)
+{
+    char ch = c.peek();
+    if (ch == '"') {
+        out->kind = JsonField::Kind::String;
+        return parseString(c, &out->str, err);
+    }
+    if (ch == '{' || ch == '[') {
+        *err = "nested objects/arrays are not allowed "
+               "(flat protocol)";
+        return false;
+    }
+    if (ch == 't' || ch == 'f') {
+        const char *word = ch == 't' ? "true" : "false";
+        size_t len = ch == 't' ? 4 : 5;
+        if (c.s.compare(c.pos, len, word) != 0) {
+            *err = strprintf("bad literal at offset %zu", c.pos);
+            return false;
+        }
+        c.pos += len;
+        out->kind = JsonField::Kind::Bool;
+        out->b = ch == 't';
+        return true;
+    }
+    if (ch == 'n') {
+        *err = "null values are not allowed";
+        return false;
+    }
+    if (ch == '-' || (ch >= '0' && ch <= '9')) {
+        size_t start = c.pos;
+        while (c.pos < c.s.size() &&
+               (std::isdigit((unsigned char)c.s[c.pos]) ||
+                c.s[c.pos] == '-' || c.s[c.pos] == '+' ||
+                c.s[c.pos] == '.' || c.s[c.pos] == 'e' ||
+                c.s[c.pos] == 'E'))
+            ++c.pos;
+        std::string tok = c.s.substr(start, c.pos - start);
+        char *end = nullptr;
+        double v = std::strtod(tok.c_str(), &end);
+        if (!end || *end != '\0') {
+            *err = strprintf("bad number '%s'", tok.c_str());
+            return false;
+        }
+        out->kind = JsonField::Kind::Number;
+        out->num = v;
+        return true;
+    }
+    *err = strprintf("unexpected character '%c' at offset %zu", ch,
+                     c.pos);
+    return false;
+}
+
+/** Fetch a field by key; nullptr when absent. */
+const JsonField *
+find(const JsonObject &obj, const std::string &key)
+{
+    for (const auto &kv : obj)
+        if (kv.first == key)
+            return &kv.second;
+    return nullptr;
+}
+
+bool
+wantString(const JsonObject &obj, const std::string &key,
+           std::string *out, std::string *err)
+{
+    const JsonField *f = find(obj, key);
+    if (!f)
+        return true;
+    if (f->kind != JsonField::Kind::String) {
+        *err = strprintf("'%s' must be a string", key.c_str());
+        return false;
+    }
+    *out = f->str;
+    return true;
+}
+
+bool
+wantIndex(const JsonObject &obj, const std::string &key, uint32_t max,
+          uint32_t *out, std::string *err)
+{
+    const JsonField *f = find(obj, key);
+    if (!f)
+        return true;
+    if (f->kind != JsonField::Kind::Number || f->num < 0 ||
+        f->num > max || f->num != (double)(uint32_t)f->num) {
+        *err = strprintf("'%s' must be an integer in [0, %u]",
+                         key.c_str(), max);
+        return false;
+    }
+    *out = (uint32_t)f->num;
+    return true;
+}
+
+} // namespace
+
+bool
+parseFlatObject(const std::string &line, JsonObject *out,
+                std::string *err)
+{
+    out->clear();
+    Cursor c{line};
+    if (!c.eat('{')) {
+        *err = "expected '{'";
+        return false;
+    }
+    if (c.eat('}')) {
+        if (!c.atEnd()) {
+            *err = "trailing characters after object";
+            return false;
+        }
+        return true;
+    }
+    for (;;) {
+        std::string key;
+        if (!parseString(c, &key, err))
+            return false;
+        if (find(*out, key)) {
+            *err = strprintf("duplicate key '%s'", key.c_str());
+            return false;
+        }
+        if (!c.eat(':')) {
+            *err = strprintf("expected ':' after key '%s'",
+                             key.c_str());
+            return false;
+        }
+        JsonField value;
+        if (!parseValue(c, &value, err))
+            return false;
+        out->emplace_back(std::move(key), std::move(value));
+        if (c.eat(','))
+            continue;
+        if (c.eat('}'))
+            break;
+        *err = "expected ',' or '}'";
+        return false;
+    }
+    if (!c.atEnd()) {
+        *err = "trailing characters after object";
+        return false;
+    }
+    return true;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char ch : s) {
+        switch (ch) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if ((unsigned char)ch < 0x20)
+                out += strprintf("\\u%04x", (unsigned char)ch);
+            else
+                out.push_back(ch);
+        }
+    }
+    return out;
+}
+
+bool
+parseRequestLine(const std::string &line, Request *req,
+                 std::string *err)
+{
+    JsonObject obj;
+    if (!parseFlatObject(line, &obj, err))
+        return false;
+
+    *req = Request{};
+    if (!wantString(obj, "id", &req->id, err))
+        return false;
+
+    std::string cmd;
+    if (!wantString(obj, "cmd", &cmd, err))
+        return false;
+
+    if (!cmd.empty()) {
+        if (cmd == "stats")
+            req->kind = Request::Kind::Stats;
+        else if (cmd == "drain")
+            req->kind = Request::Kind::Drain;
+        else if (cmd == "shutdown")
+            req->kind = Request::Kind::Shutdown;
+        else if (cmd == "cache")
+            req->kind = Request::Kind::Cache;
+        else if (cmd == "cache_clear")
+            req->kind = Request::Kind::CacheClear;
+        else {
+            *err = strprintf("unknown command '%s'", cmd.c_str());
+            return false;
+        }
+        for (const auto &kv : obj) {
+            const std::string &k = kv.first;
+            if (k == "id" || k == "cmd")
+                continue;
+            if (k == "enabled" && req->kind == Request::Kind::Cache) {
+                if (kv.second.kind != JsonField::Kind::Bool) {
+                    *err = "'enabled' must be a boolean";
+                    return false;
+                }
+                req->cacheEnabled = kv.second.b;
+                continue;
+            }
+            *err = strprintf("unknown key '%s' for command '%s'",
+                             k.c_str(), cmd.c_str());
+            return false;
+        }
+        return true;
+    }
+
+    req->kind = Request::Kind::Run;
+    for (const auto &kv : obj) {
+        const std::string &k = kv.first;
+        if (k != "id" && k != "bench" && k != "device" && k != "api" &&
+            k != "size" && k != "strategy" && k != "queues") {
+            *err = strprintf("unknown key '%s' in run request",
+                             k.c_str());
+            return false;
+        }
+    }
+    if (!wantString(obj, "bench", &req->bench, err) ||
+        !wantString(obj, "device", &req->device, err) ||
+        !wantString(obj, "api", &req->api, err) ||
+        !wantString(obj, "strategy", &req->strategy, err))
+        return false;
+    if (req->bench.empty()) {
+        *err = "run request is missing 'bench'";
+        return false;
+    }
+    if (const JsonField *f = find(obj, "size")) {
+        if (f->kind == JsonField::Kind::String) {
+            req->sizeLabel = f->str;
+        } else {
+            uint32_t idx = 0;
+            if (!wantIndex(obj, "size", 1024, &idx, err))
+                return false;
+            req->sizeIdx = (int)idx;
+        }
+    }
+    if (!wantIndex(obj, "queues", 64, &req->queues, err))
+        return false;
+    return true;
+}
+
+std::string
+serializeResponse(const Response &r)
+{
+    std::string out = strprintf("{\"type\": \"%s\"", r.type.c_str());
+    if (!r.id.empty())
+        out += strprintf(", \"id\": \"%s\"", jsonEscape(r.id).c_str());
+    out += strprintf(", \"ok\": %s", r.ok ? "true" : "false");
+    if (!r.cmd.empty())
+        out += strprintf(", \"cmd\": \"%s\"", jsonEscape(r.cmd).c_str());
+    if (!r.error.empty())
+        out += strprintf(", \"error\": \"%s\"",
+                         jsonEscape(r.error).c_str());
+    if (r.type == "result" && r.ok) {
+        out += strprintf(
+            ", \"bench\": \"%s\", \"device\": \"%s\", \"api\": \"%s\", "
+            "\"strategy\": \"%s\", \"size\": \"%s\"",
+            jsonEscape(r.bench).c_str(), jsonEscape(r.device).c_str(),
+            jsonEscape(r.api).c_str(), jsonEscape(r.strategy).c_str(),
+            jsonEscape(r.size).c_str());
+        out += strprintf(", \"kernel_region_ns\": %.1f, "
+                         "\"total_ns\": %.1f, \"launches\": %llu, "
+                         "\"validated\": %s",
+                         r.kernelRegionNs, r.totalNs,
+                         (unsigned long long)r.launches,
+                         r.validated ? "true" : "false");
+        out += strprintf(", \"result_hash\": \"%016llx\"",
+                         (unsigned long long)r.resultHash);
+    }
+    if (r.type == "result")
+        out += strprintf(", \"service_ns\": %.0f, \"session\": %u",
+                         r.serviceNs, r.session);
+    for (const auto &kv : r.extra)
+        out += strprintf(", \"%s\": %s", kv.first.c_str(),
+                         kv.second.c_str());
+    out += "}";
+    return out;
+}
+
+} // namespace vcb::serve

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The vcb_serve wire protocol: newline-delimited flat JSON.
+ *
+ * Every request and every response is exactly one line holding one
+ * FLAT JSON object — string, number and boolean values only.  Nested
+ * objects/arrays, null, duplicate keys and unknown keys are rejected
+ * (a load generator feeding a long-lived server must fail loudly on a
+ * malformed or misspelled request, not silently default it), which
+ * also keeps the parser small enough to be obviously correct.
+ *
+ * Run request (all keys optional except "bench"):
+ *
+ *   {"id": "r1", "bench": "bfs", "size": 0, "api": "vulkan",
+ *    "device": "gtx1050ti", "strategy": "batched", "queues": 2}
+ *
+ *   "size" is a desktop/mobile size index (number) or a size label
+ *   (string, e.g. "64K").  "strategy" is a strategyName() or
+ *   "default".
+ *
+ * Control commands:
+ *
+ *   {"cmd": "stats", "id": "s1"}        -> one flat stats line
+ *   {"cmd": "drain", "id": "d1"}        -> ack after queues empty
+ *   {"cmd": "shutdown", "id": "q1"}     -> drain, ack, exit
+ *   {"cmd": "cache", "enabled": true}   -> toggle the compile cache
+ *   {"cmd": "cache_clear"}              -> drop cached kernels
+ *
+ * Responses echo the request id and carry a "type" discriminator:
+ * "result" (a completed run), "ok" (control ack), "error" (rejected
+ * request), "stats".  Results arrive in COMPLETION order, not
+ * submission order — the id is the correlation key.  result_hash is
+ * the FNV-1a hash of the final host arrays as a hex string (JSON
+ * numbers cannot carry 64 bits), the bit-identity handle used by
+ * vcb_load and the serve tests.
+ */
+
+#ifndef VCB_SERVE_PROTOCOL_H
+#define VCB_SERVE_PROTOCOL_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vcb::serve {
+
+/** One value of a flat JSON object. */
+struct JsonField
+{
+    enum class Kind { String, Number, Bool };
+    Kind kind = Kind::String;
+    std::string str;
+    double num = 0;
+    bool b = false;
+};
+
+/** Parsed flat object, in key order. */
+using JsonObject = std::vector<std::pair<std::string, JsonField>>;
+
+/**
+ * Parse one line as a flat JSON object.  Rejects (returns false, sets
+ * `err`) on syntax errors, nested objects/arrays, null values,
+ * duplicate keys and trailing garbage.  \uXXXX escapes are accepted
+ * for ASCII code points only.
+ */
+bool parseFlatObject(const std::string &line, JsonObject *out,
+                     std::string *err);
+
+/** JSON string escaping (quotes not included). */
+std::string jsonEscape(const std::string &s);
+
+/** A decoded request line. */
+struct Request
+{
+    enum class Kind { Run, Stats, Drain, Shutdown, Cache, CacheClear };
+    Kind kind = Kind::Run;
+
+    /** Client correlation id (echoed verbatim; may be empty). */
+    std::string id;
+
+    // ---- Run ----------------------------------------------------------
+    std::string bench;
+    std::string device = "gtx1050ti";
+    std::string api = "vulkan";
+    /** Size index into the device-class size list... */
+    int sizeIdx = 0;
+    /** ...or, when non-empty, a size label ("64K") looked up instead. */
+    std::string sizeLabel;
+    /** strategyName() or empty/"default" = the workload's preferred. */
+    std::string strategy;
+    /** Vulkan multi-queue width (0 = serial single-queue path). */
+    uint32_t queues = 0;
+
+    // ---- Cache --------------------------------------------------------
+    bool cacheEnabled = true;
+};
+
+/**
+ * Decode one wire line into a Request.  Strict: every key must be
+ * known for the request's kind and well-typed.  Returns false and a
+ * human-readable reason on rejection.
+ */
+bool parseRequestLine(const std::string &line, Request *req,
+                      std::string *err);
+
+/** A response line (see serializeResponse for the wire mapping). */
+struct Response
+{
+    /** "result", "ok", "error" or "stats". */
+    std::string type = "result";
+    std::string id;
+    bool ok = false;
+    /** Rejection reason / run skip reason (emitted when non-empty). */
+    std::string error;
+    /** Control ack: the command being acknowledged. */
+    std::string cmd;
+
+    // ---- result fields (type == "result") -----------------------------
+    std::string bench, device, api, strategy, size;
+    double kernelRegionNs = 0;
+    double totalNs = 0;
+    uint64_t launches = 0;
+    bool validated = false;
+    /** FNV-1a of the final host arrays (bit-identity handle). */
+    uint64_t resultHash = 0;
+    /** Wall-clock service time inside the session (ns). */
+    double serviceNs = 0;
+    /** Session that executed the request. */
+    unsigned session = 0;
+
+    /** Extra flat fields appended verbatim (stats lines): the value
+     *  must already be valid JSON (number, true/false or a quoted
+     *  string). */
+    std::vector<std::pair<std::string, std::string>> extra;
+};
+
+/** Encode a response as one flat-JSON wire line (no newline). */
+std::string serializeResponse(const Response &r);
+
+} // namespace vcb::serve
+
+#endif // VCB_SERVE_PROTOCOL_H

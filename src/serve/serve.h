@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The serve layer: long-lived benchmark execution sessions.
+ *
+ * A ServeSession is one worker thread with its own request queue and
+ * its OWN active device registry — the session installs a
+ * ScopedDeviceRegistry on its thread (sim/device.h), so two sessions
+ * configured with different device directories can never observe each
+ * other's devices, and the runtime front-ends' raw DeviceSpec
+ * pointers (vkm resolves physical devices by identity) always point
+ * into the session's private storage.
+ *
+ * A ServeBroker owns N sessions and shards incoming run requests over
+ * them round-robin.  Execution itself is the ordinary golden path —
+ * build the benchmark's declarative workload, hand it to the shared
+ * API runners, validate against the CPU reference — so a served
+ * result is bit-identical to what the same request produces serially
+ * in vcb_run; executeRequest() is that path factored to be callable
+ * from any thread, and hashHostArrays() turns the final host arrays
+ * into the compact bit-identity handle the protocol carries.
+ *
+ * Repeated requests hit the content-addressed compile cache
+ * (sim/compile_cache.h) under compileKernel, which is where the serve
+ * layer's steady-state latency win comes from; vcb_load measures it
+ * as a cache-on/off ablation.
+ */
+
+#ifndef VCB_SERVE_SERVE_H
+#define VCB_SERVE_SERVE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/metrics.h"
+#include "serve/protocol.h"
+#include "sim/device.h"
+#include "suite/workload.h"
+
+namespace vcb::serve {
+
+/** FNV-1a over the final host arrays (lengths + contents): the
+ *  bit-identity handle of one benchmark execution. */
+uint64_t hashHostArrays(const suite::HostArrays &host);
+
+/**
+ * Execute one run request synchronously against the CALLING thread's
+ * active device registry and return the filled response (ok=false
+ * with a reason for unknown bench/device/api/strategy/size,
+ * inapplicable strategies, and runner skips).  Never fatal: a serve
+ * process must outlive any malformed request.
+ */
+Response executeRequest(const Request &req, unsigned session = 0);
+
+/** One session: a worker thread + queue + private device registry. */
+class ServeSession
+{
+  public:
+    using ResponseFn = std::function<void(const Response &)>;
+
+    /**
+     * @param id      session number (stamped into responses).
+     * @param devices this session's device registry; empty = the
+     *        compiled-in paper devices.
+     * @param metrics broker-wide counters to record into; may be null.
+     */
+    ServeSession(unsigned id, std::vector<sim::DeviceSpec> devices,
+                 ServeMetrics *metrics = nullptr);
+
+    /** Graceful drain: blocks until every queued request has been
+     *  executed and answered, then joins the worker. */
+    ~ServeSession();
+
+    ServeSession(const ServeSession &) = delete;
+    ServeSession &operator=(const ServeSession &) = delete;
+
+    /** Queue a run request; `done` fires on the session thread when
+     *  it completes. */
+    void enqueue(Request req, ResponseFn done);
+
+    /** Block until the queue is empty and the worker is idle. */
+    void drain();
+
+    size_t pending() const;
+    unsigned id() const { return id_; }
+
+  private:
+    void threadLoop();
+
+    unsigned id_;
+    std::vector<sim::DeviceSpec> devices_;
+    ServeMetrics *metrics_;
+
+    mutable std::mutex mtx;
+    std::condition_variable cv;
+    std::condition_variable cvIdle;
+    std::deque<std::pair<Request, ResponseFn>> queue;
+    bool stopping = false;
+    bool busy = false;
+
+    std::thread thread;
+};
+
+/** Broker construction parameters. */
+struct BrokerConfig
+{
+    /** Engine-session pool size. */
+    unsigned sessions = 4;
+    /** Device registry installed in every session; empty = the
+     *  compiled-in paper devices. */
+    std::vector<sim::DeviceSpec> devices;
+};
+
+/** N sessions + round-robin sharding + shared metrics. */
+class ServeBroker
+{
+  public:
+    explicit ServeBroker(BrokerConfig cfg = {});
+    /** Drains every session (graceful shutdown). */
+    ~ServeBroker();
+
+    ServeBroker(const ServeBroker &) = delete;
+    ServeBroker &operator=(const ServeBroker &) = delete;
+
+    /** Shard a run request to the next session; `done` fires on that
+     *  session's thread. */
+    void submit(Request req, ServeSession::ResponseFn done);
+
+    /** Convenience for synchronous clients (vcb_load closed loop,
+     *  tests): submit and block for the response. */
+    Response submitSync(const Request &req);
+
+    /** Block until every session is idle. */
+    void drain();
+
+    /** One flat-JSON stats line (the "stats" command's answer):
+     *  counters, latency percentiles, throughput, compile-cache
+     *  counters. */
+    std::string statsLine(const std::string &id) const;
+
+    ServeMetrics &metrics() { return metrics_; }
+    unsigned sessionCount() const { return (unsigned)sessions_.size(); }
+
+  private:
+    std::vector<std::unique_ptr<ServeSession>> sessions_;
+    std::atomic<uint64_t> rr{0};
+    ServeMetrics metrics_;
+};
+
+/**
+ * Built-in end-to-end check (`vcb_serve --self-test`): protocol
+ * accept/reject cases, then a small request mix executed serially and
+ * through a multi-session broker, demanding bit-identical result
+ * hashes and simulated times.  Returns the number of failures
+ * (0 = pass); failures are described on stderr.
+ */
+int runSelfTest();
+
+} // namespace vcb::serve
+
+#endif // VCB_SERVE_SERVE_H

@@ -1,0 +1,250 @@
+#include "sim/compile_cache.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+#include "sim/device_file.h"
+#include "sim/kernel.h"
+
+namespace vcb::sim {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+inline uint64_t
+fnv1a(const void *data, size_t bytes, uint64_t h = kFnvOffset)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < bytes; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+/** -1 = not read yet; 0 = off; 1 = on. */
+std::atomic<int> g_cacheEnabled{-1};
+
+/** Parsed VCB_COMPILE_CACHE: enabled flag + optional capacity. */
+struct CacheEnv
+{
+    bool enabled = true;
+    size_t capacity = 1024;
+};
+
+CacheEnv
+readCacheEnv()
+{
+    CacheEnv env;
+    const char *v = std::getenv("VCB_COMPILE_CACHE");
+    if (!v || !*v)
+        return env;
+    std::string s(v);
+    if (s == "0" || s == "off" || s == "OFF") {
+        env.enabled = false;
+        return env;
+    }
+    if (s == "1" || s == "on" || s == "ON")
+        return env;
+    char *end = nullptr;
+    long n = std::strtol(v, &end, 10);
+    if (end && *end == '\0' && n > 0) {
+        env.capacity = static_cast<size_t>(n);
+        return env;
+    }
+    warn("ignoring invalid VCB_COMPILE_CACHE='%s' "
+         "(want 0/off, 1/on or a positive entry count)",
+         v);
+    return env;
+}
+
+} // namespace
+
+uint64_t
+hashModule(const spirv::Module &m)
+{
+    std::vector<uint32_t> words = m.serialize();
+    return fnv1a(words.data(), words.size() * sizeof(uint32_t));
+}
+
+uint64_t
+deviceFingerprint(const DeviceSpec &dev)
+{
+    // Table-driven field hash: equal iff serializeDevice() text is
+    // equal, but with no text formatting on the per-compile hot path.
+    return hashDevice(dev);
+}
+
+CompileCacheKey
+makeCompileCacheKey(const spirv::Module &m, const DeviceSpec &dev,
+                    Api api, const LowerOptions &opt)
+{
+    CompileCacheKey key;
+    key.moduleHash = hashModule(m);
+    key.deviceFp = deviceFingerprint(dev);
+    uint32_t cfg = static_cast<uint32_t>(api);
+    cfg |= (opt.fuseCmpBranch ? 1u : 0u) << 2;
+    cfg |= (opt.fuseConstAlu ? 1u : 0u) << 3;
+    cfg |= (opt.fuseAddrMem ? 1u : 0u) << 4;
+    cfg |= (opt.fuseMulAdd ? 1u : 0u) << 5;
+    cfg |= (opt.fuseSuperops ? 1u : 0u) << 6;
+    // lowerKernel gates superop formation on the VCB_SUPEROPS runtime
+    // switch on top of LowerOptions, so it is part of the content key.
+    cfg |= (superopsEnabled() ? 1u : 0u) << 7;
+    key.config = cfg;
+    return key;
+}
+
+size_t
+CompileCache::Shard::KeyHash::operator()(const CompileCacheKey &k) const
+{
+    uint64_t h = kFnvOffset;
+    h = fnv1a(&k.moduleHash, sizeof(k.moduleHash), h);
+    h = fnv1a(&k.deviceFp, sizeof(k.deviceFp), h);
+    h = fnv1a(&k.config, sizeof(k.config), h);
+    return static_cast<size_t>(h);
+}
+
+CompileCache::CompileCache(size_t capacity, size_t shard_count)
+    : shards(shard_count ? shard_count : 1),
+      totalCapacity(capacity ? capacity : 1)
+{
+    perShardCapacity =
+        std::max<size_t>(1, totalCapacity / shards.size());
+}
+
+CompileCache &
+CompileCache::global()
+{
+    static CompileCache cache(readCacheEnv().capacity, 8);
+    return cache;
+}
+
+bool
+CompileCache::globalEnabled()
+{
+    int v = g_cacheEnabled.load(std::memory_order_relaxed);
+    if (v < 0) {
+        v = readCacheEnv().enabled ? 1 : 0;
+        g_cacheEnabled.store(v, std::memory_order_relaxed);
+    }
+    return v != 0;
+}
+
+void
+CompileCache::setGlobalEnabled(int enabled)
+{
+    g_cacheEnabled.store(enabled < 0 ? -1 : (enabled ? 1 : 0),
+                         std::memory_order_relaxed);
+}
+
+CompileCache::Shard &
+CompileCache::shardFor(const CompileCacheKey &key)
+{
+    return shards[Shard::KeyHash{}(key) % shards.size()];
+}
+
+std::unique_ptr<CompiledKernel>
+CompileCache::lookup(const CompileCacheKey &key)
+{
+    Shard &shard = shardFor(key);
+    std::shared_ptr<const CompiledKernel> found;
+    {
+        std::lock_guard<std::mutex> lk(shard.mtx);
+        auto it = shard.index.find(key);
+        if (it != shard.index.end()) {
+            shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+            found = it->second->kernel;
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lk(statsMtx);
+        if (found)
+            ++counters.hits;
+        else
+            ++counters.misses;
+    }
+    if (!found)
+        return nullptr;
+    // Deep copy: callers own (and may re-lower) their kernel; the
+    // cached artefact stays immutable.
+    return std::make_unique<CompiledKernel>(*found);
+}
+
+void
+CompileCache::insert(const CompileCacheKey &key, const CompiledKernel &k)
+{
+    Shard &shard = shardFor(key);
+    uint64_t evicted = 0;
+    {
+        std::lock_guard<std::mutex> lk(shard.mtx);
+        auto it = shard.index.find(key);
+        if (it != shard.index.end()) {
+            // Refresh in place (identical content by construction).
+            shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+            it->second->kernel =
+                std::make_shared<const CompiledKernel>(k);
+        } else {
+            shard.lru.push_front(
+                Entry{key, std::make_shared<const CompiledKernel>(k)});
+            shard.index[key] = shard.lru.begin();
+            while (shard.lru.size() > perShardCapacity) {
+                shard.index.erase(shard.lru.back().key);
+                shard.lru.pop_back();
+                ++evicted;
+            }
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lk(statsMtx);
+        ++counters.insertions;
+        counters.evictions += evicted;
+    }
+}
+
+void
+CompileCache::recordCompileCpu(uint64_t ns)
+{
+    compileCalls.fetch_add(1, std::memory_order_relaxed);
+    compileCpuNs.fetch_add(ns, std::memory_order_relaxed);
+}
+
+CompileCacheStats
+CompileCache::stats() const
+{
+    CompileCacheStats out;
+    {
+        std::lock_guard<std::mutex> lk(statsMtx);
+        out = counters;
+    }
+    uint64_t entries = 0;
+    for (const Shard &shard : shards) {
+        std::lock_guard<std::mutex> lk(shard.mtx);
+        entries += shard.lru.size();
+    }
+    out.entries = entries;
+    out.compileCalls = compileCalls.load(std::memory_order_relaxed);
+    out.compileCpuNs = compileCpuNs.load(std::memory_order_relaxed);
+    return out;
+}
+
+void
+CompileCache::clear()
+{
+    for (Shard &shard : shards) {
+        std::lock_guard<std::mutex> lk(shard.mtx);
+        shard.index.clear();
+        shard.lru.clear();
+    }
+    compileCalls.store(0, std::memory_order_relaxed);
+    compileCpuNs.store(0, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lk(statsMtx);
+    counters = CompileCacheStats{};
+}
+
+} // namespace vcb::sim

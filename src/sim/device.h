@@ -172,19 +172,54 @@ const std::vector<DeviceSpec> &deviceRegistry();
  * the compiled-in paper parts by default, or whatever
  * setActiveDeviceRegistry() installed — the report pipeline's
  * spec-file registry (sim/device_file.h).
+ *
+ * The override is THREAD-SCOPED: each thread sees its own installed
+ * registry (or the compiled-in default).  Tools that install one in
+ * main() and run everything there behave exactly as before; serve
+ * sessions (src/serve/) each install their own registry on their
+ * worker thread, so concurrent sessions with different device
+ * directories can never observe each other's devices.
  */
 const std::vector<DeviceSpec> &activeDeviceRegistry();
 
 /**
- * Install `devices` as the active registry and return the stored
- * copies.  Benchmarks must run against these exact objects (the
- * Vulkan front-end resolves a DeviceSpec to a physical device by
+ * Install `devices` as the calling thread's active registry and return
+ * the stored copies.  Benchmarks must run against these exact objects
+ * (the Vulkan front-end resolves a DeviceSpec to a physical device by
  * identity), so callers keep references into the returned vector.
- * Call once at startup, before creating any runtime context; the
- * previous active registry's storage is invalidated.
+ * Call before creating any runtime context on this thread; the
+ * thread's previous active registry storage is invalidated.
  */
 const std::vector<DeviceSpec> &
 setActiveDeviceRegistry(std::vector<DeviceSpec> devices);
+
+/** Remove the calling thread's registry override: activeDeviceRegistry
+ *  falls back to the compiled-in deviceRegistry().  Invalidates the
+ *  storage returned by setActiveDeviceRegistry on this thread. */
+void clearActiveDeviceRegistry();
+
+/**
+ * RAII registry override: installs `devices` on the calling thread for
+ * the scope's lifetime, then restores the previous thread state
+ * (a prior override's contents, or no override).  The serve layer
+ * wraps every session worker in one of these.
+ */
+class ScopedDeviceRegistry
+{
+  public:
+    explicit ScopedDeviceRegistry(std::vector<DeviceSpec> devices);
+    ~ScopedDeviceRegistry();
+
+    ScopedDeviceRegistry(const ScopedDeviceRegistry &) = delete;
+    ScopedDeviceRegistry &operator=(const ScopedDeviceRegistry &) = delete;
+
+    /** The installed (stored) device objects. */
+    const std::vector<DeviceSpec> &devices() const;
+
+  private:
+    std::vector<DeviceSpec> saved;
+    bool hadOverride = false;
+};
 
 /** Find a device in the active registry by (case-insensitive
  *  substring) name; fatal if absent. */

@@ -4,6 +4,7 @@
 #include <cerrno>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -420,6 +421,93 @@ serializeDevice(const DeviceSpec &d)
         }
     }
     return out;
+}
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t
+fnvBytes(uint64_t h, const void *data, size_t n)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    for (size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+uint64_t
+fnvStr(uint64_t h, const std::string &s)
+{
+    // Length-prefixed so adjacent strings cannot alias.
+    uint64_t len = s.size();
+    h = fnvBytes(h, &len, sizeof(len));
+    return fnvBytes(h, s.data(), s.size());
+}
+
+uint64_t
+hashFields(uint64_t h, const std::vector<FieldRef> &fields)
+{
+    for (const FieldRef &f : fields) {
+        h = fnvBytes(h, f.key, std::strlen(f.key));
+        switch (f.kind) {
+          case FieldKind::Str:
+            h = fnvStr(h, *static_cast<const std::string *>(f.p));
+            break;
+          case FieldKind::Bool: {
+            unsigned char v =
+                *static_cast<const bool *>(f.p) ? 1 : 0;
+            h = fnvBytes(h, &v, 1);
+            break;
+          }
+          case FieldKind::U32:
+            h = fnvBytes(h, f.p, sizeof(uint32_t));
+            break;
+          case FieldKind::U64:
+            h = fnvBytes(h, f.p, sizeof(uint64_t));
+            break;
+          case FieldKind::Dbl:
+            // Hash the bit pattern: exact, like the shortest-exact
+            // decimal form in the text serializer.
+            h = fnvBytes(h, f.p, sizeof(double));
+            break;
+        }
+    }
+    return h;
+}
+
+} // namespace
+
+uint64_t
+hashDevice(const DeviceSpec &d)
+{
+    // The field tables want mutable access (the parser writes through
+    // them); hashing only reads, so the const_cast is sound and spares
+    // the deep copy serializeDevice makes.
+    DeviceSpec &mut = const_cast<DeviceSpec &>(d);
+    uint64_t h = hashFields(kFnvOffset, deviceFields(mut));
+    for (int a = 0; a < apiCount; ++a) {
+        DriverProfile &p = mut.apis[a];
+        h = fnvBytes(h, kSectionNames[a], std::strlen(kSectionNames[a]));
+        if (!p.available) {
+            // Mirror serializeDevice: an unavailable API contributes
+            // only its availability.
+            unsigned char v = 0;
+            h = fnvBytes(h, &v, 1);
+            continue;
+        }
+        h = hashFields(h, profileFields(p));
+        for (const std::string &k : p.brokenKernels)
+            h = fnvStr(h, k);
+        for (const auto &[name, factor] : p.kernelTimeDerates) {
+            h = fnvStr(h, name);
+            h = fnvBytes(h, &factor, sizeof(factor));
+        }
+    }
+    return h;
 }
 
 std::optional<DeviceSpec>

@@ -48,6 +48,15 @@ namespace vcb::sim {
 std::string serializeDevice(const DeviceSpec &d);
 
 /**
+ * FNV-1a over every serializable field of `d`, walking the same field
+ * tables as serializeDevice — two specs hash equal iff their canonical
+ * spec text is equal — but without formatting any text, so it is cheap
+ * enough to call per kernel compile (the compile cache fingerprints
+ * the device on every lookup).
+ */
+uint64_t hashDevice(const DeviceSpec &d);
+
+/**
  * Parse spec-file text.  On failure returns nullopt and, when `error`
  * is non-null, stores a positional message ("line 12: ...").
  */

@@ -327,14 +327,20 @@ deviceRegistry()
 }
 
 namespace {
-/** Non-null once setActiveDeviceRegistry has been called. */
-const std::vector<DeviceSpec> *activeOverride = nullptr;
+/** Thread-scoped override state: each thread that calls
+ *  setActiveDeviceRegistry gets its own storage, so concurrent serve
+ *  sessions with different device registries can never observe (or
+ *  dangle pointers into) each other's specs.  The runtime front-ends
+ *  resolve DeviceSpecs by identity, so the storage must stay stable
+ *  for as long as the thread runs workloads against it. */
+thread_local bool activeOverride = false;
+thread_local std::vector<DeviceSpec> activeStorage;
 } // namespace
 
 const std::vector<DeviceSpec> &
 activeDeviceRegistry()
 {
-    return activeOverride ? *activeOverride : deviceRegistry();
+    return activeOverride ? activeStorage : deviceRegistry();
 }
 
 const std::vector<DeviceSpec> &
@@ -342,10 +348,38 @@ setActiveDeviceRegistry(std::vector<DeviceSpec> devices)
 {
     VCB_ASSERT(!devices.empty(),
                "active device registry cannot be empty");
-    static std::vector<DeviceSpec> storage;
-    storage = std::move(devices);
-    activeOverride = &storage;
-    return storage;
+    activeStorage = std::move(devices);
+    activeOverride = true;
+    return activeStorage;
+}
+
+void
+clearActiveDeviceRegistry()
+{
+    activeOverride = false;
+    activeStorage.clear();
+}
+
+ScopedDeviceRegistry::ScopedDeviceRegistry(std::vector<DeviceSpec> devices)
+    : hadOverride(activeOverride)
+{
+    if (hadOverride)
+        saved = std::move(activeStorage);
+    setActiveDeviceRegistry(std::move(devices));
+}
+
+ScopedDeviceRegistry::~ScopedDeviceRegistry()
+{
+    if (hadOverride)
+        setActiveDeviceRegistry(std::move(saved));
+    else
+        clearActiveDeviceRegistry();
+}
+
+const std::vector<DeviceSpec> &
+ScopedDeviceRegistry::devices() const
+{
+    return activeStorage;
 }
 
 const DeviceSpec &

@@ -1,7 +1,11 @@
 #include "sim/kernel.h"
 
+#include <chrono>
+#include <ctime>
+
 #include "common/logging.h"
 #include "common/strutil.h"
+#include "sim/compile_cache.h"
 
 namespace vcb::sim {
 
@@ -11,15 +15,32 @@ CompiledKernel::localCount() const
     return module.localSize[0] * module.localSize[1] * module.localSize[2];
 }
 
+namespace {
+
 std::unique_ptr<CompiledKernel>
-compileKernel(const spirv::Module &m, const DeviceSpec &dev, Api api,
-              std::string *errorOut)
+compileKernelImpl(const spirv::Module &m, const DeviceSpec &dev, Api api,
+                  std::string *errorOut)
 {
     auto fail = [&](const std::string &msg) {
         if (errorOut)
             *errorOut = msg;
         return nullptr;
     };
+
+    // Content-addressed compile cache (sim/compile_cache.h).  Only
+    // SUCCESSFUL compiles are cached, and every input to the failure
+    // checks below (module content, device spec, API) is part of the
+    // key, so a hit can skip them: the same inputs passed before.
+    bool useCache = CompileCache::globalEnabled();
+    CompileCacheKey cacheKey;
+    if (useCache) {
+        cacheKey = makeCompileCacheKey(m, dev, api);
+        if (auto cached = CompileCache::global().lookup(cacheKey)) {
+            if (errorOut)
+                errorOut->clear();
+            return cached;
+        }
+    }
 
     const DriverProfile &prof = dev.profile(api);
     if (!prof.available)
@@ -96,8 +117,47 @@ compileKernel(const spirv::Module &m, const DeviceSpec &dev, Api api,
     // micro-ops.
     lowerKernel(*k);
 
+    if (useCache)
+        CompileCache::global().insert(cacheKey, *k);
+
     if (errorOut)
         errorOut->clear();
+    return k;
+}
+
+} // namespace
+
+namespace {
+
+/** Per-thread CPU nanoseconds: immune to preemption, so per-call cost
+ *  stays meaningful while other sessions saturate the machine. */
+uint64_t
+threadCpuNs()
+{
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    timespec ts;
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+        return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+               static_cast<uint64_t>(ts.tv_nsec);
+#endif
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+std::unique_ptr<CompiledKernel>
+compileKernel(const spirv::Module &m, const DeviceSpec &dev, Api api,
+              std::string *errorOut)
+{
+    // CPU-time accounting feeds the serve layer's cache ablation
+    // (vcb_load): the off/warm delta of this counter IS the latency
+    // the cache removes from request service time.
+    uint64_t t0 = threadCpuNs();
+    auto k = compileKernelImpl(m, dev, api, errorOut);
+    CompileCache::global().recordCompileCpu(threadCpuNs() - t0);
     return k;
 }
 

@@ -5,8 +5,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <string>
+#include <tuple>
+#include <vector>
 
 #include "common/logging.h"
+#include "kernels/kernels.h"
+#include "sim/compile_cache.h"
 #include "sim/engine.h"
 #include "sim/kernel.h"
 #include "spirv/builder.h"
@@ -651,6 +657,186 @@ TEST(MicroOp, WriteBeforeReadKernelsSkipZeroFill)
     auto kernel = compileKernel(b.finish(), dev, Api::Vulkan, &err);
     ASSERT_NE(kernel, nullptr) << err;
     EXPECT_TRUE(kernel->micro.skipRegZeroInit);
+}
+
+// ---------------------------------------------------------------------------
+// Compile-cache regression: a cache hit must reproduce the uncached
+// compile bit-for-bit — same lowered program, same simulated times —
+// for every kernel in the library, and near-identical devices must
+// never alias each other's cache entries.
+// ---------------------------------------------------------------------------
+
+/** Save/restore the process-global cache switch around a test. */
+class CompileCacheGuard
+{
+  public:
+    CompileCacheGuard() : wasEnabled(CompileCache::globalEnabled()) {}
+    ~CompileCacheGuard()
+    {
+        CompileCache::global().clear();
+        CompileCache::setGlobalEnabled(wasEnabled ? 1 : 0);
+    }
+
+  private:
+    bool wasEnabled;
+};
+
+/** Field-wise bit-identity of two compiled kernels. */
+void
+expectIdenticalCompiles(const CompiledKernel &a, const CompiledKernel &b,
+                        const std::string &what)
+{
+    EXPECT_EQ(a.api, b.api) << what;
+    EXPECT_EQ(a.promoted, b.promoted) << what;
+    EXPECT_EQ(a.codeQualityEff, b.codeQualityEff) << what;
+    EXPECT_EQ(a.compileNs, b.compileNs) << what;
+    EXPECT_EQ(a.insns.size(), b.insns.size()) << what;
+    EXPECT_EQ(a.siteOfInsn, b.siteOfInsn) << what;
+    EXPECT_EQ(a.numSites, b.numSites) << what;
+    EXPECT_EQ(a.sitePromote, b.sitePromote) << what;
+
+    const MicroKernel &ma = a.micro, &mb = b.micro;
+    ASSERT_EQ(ma.ops.size(), mb.ops.size()) << what;
+    if (!ma.ops.empty())
+        EXPECT_EQ(std::memcmp(ma.ops.data(), mb.ops.data(),
+                              ma.ops.size() * sizeof(MicroOp)),
+                  0)
+            << what;
+    ASSERT_EQ(ma.templateOps.size(), mb.templateOps.size()) << what;
+    if (!ma.templateOps.empty())
+        EXPECT_EQ(std::memcmp(ma.templateOps.data(),
+                              mb.templateOps.data(),
+                              ma.templateOps.size() * sizeof(MicroOp)),
+                  0)
+            << what;
+    ASSERT_EQ(ma.supers.size(), mb.supers.size()) << what;
+    if (!ma.supers.empty())
+        EXPECT_EQ(std::memcmp(ma.supers.data(), mb.supers.data(),
+                              ma.supers.size() * sizeof(SuperOp)),
+                  0)
+            << what;
+    EXPECT_EQ(ma.templateDsts, mb.templateDsts) << what;
+    EXPECT_EQ(ma.costFrom, mb.costFrom) << what;
+    EXPECT_EQ(ma.hoistedCost, mb.hoistedCost) << what;
+    EXPECT_EQ(ma.skipRegZeroInit, mb.skipRegZeroInit) << what;
+    EXPECT_EQ(ma.hasBarrier, mb.hasBarrier) << what;
+    EXPECT_EQ(ma.hasBranches, mb.hasBranches) << what;
+    EXPECT_EQ(ma.hasAtomics, mb.hasAtomics) << what;
+    EXPECT_EQ(ma.fusedPairs, mb.fusedPairs) << what;
+}
+
+TEST(CompileCacheRegression, HitsBitIdenticalAcrossKernelRegistry)
+{
+    CompileCacheGuard guard;
+    const DeviceSpec &dev = gtx1050ti();
+
+    for (const auto &[name, build] : kernels::kernelRegistry()) {
+        spirv::Module m = build();
+        for (Api api : {Api::Vulkan, Api::OpenCl, Api::Cuda}) {
+            // Ground truth with the cache off.
+            CompileCache::setGlobalEnabled(0);
+            std::string err;
+            auto uncached = compileKernel(m, dev, api, &err);
+            ASSERT_NE(uncached, nullptr) << name << ": " << err;
+
+            // Cold compile (miss + insert), then warm compile (hit).
+            CompileCache::setGlobalEnabled(1);
+            CompileCache::global().clear();
+            auto cold = compileKernel(m, dev, api, &err);
+            ASSERT_NE(cold, nullptr) << name << ": " << err;
+            auto warm = compileKernel(m, dev, api, &err);
+            ASSERT_NE(warm, nullptr) << name << ": " << err;
+            EXPECT_EQ(CompileCache::global().stats().hits, 1u) << name;
+
+            std::string what =
+                name + "/" + std::to_string(static_cast<int>(api));
+            expectIdenticalCompiles(*uncached, *cold, what + " cold");
+            expectIdenticalCompiles(*uncached, *warm, what + " warm");
+        }
+    }
+}
+
+TEST(CompileCacheRegression, WarmHitDispatchesBitIdentically)
+{
+    CompileCacheGuard guard;
+    const DeviceSpec &dev = gtx1050ti();
+    spirv::Module m = kernels::buildVecAdd();
+    constexpr uint32_t n = 512, groups = 2;
+
+    auto runOnce = [&](bool useCache) {
+        CompileCache::setGlobalEnabled(useCache ? 1 : 0);
+        std::string err;
+        auto kernel = compileKernel(m, dev, Api::Vulkan, &err);
+        if (!kernel)
+            panic("compile failed: %s", err.c_str());
+        std::vector<std::vector<uint32_t>> bufs(3);
+        for (uint32_t i = 0; i < n; ++i) {
+            bufs[0].push_back(asBits(0.5f * (float)i));
+            bufs[1].push_back(asBits(2.0f));
+        }
+        bufs[2].assign(n, 0);
+        DispatchContext ctx;
+        ctx.kernel = kernel.get();
+        ctx.groups[0] = groups;
+        for (auto &buf : bufs)
+            ctx.buffers.push_back({buf.data(), buf.size()});
+        std::vector<uint32_t> push{n};
+        ctx.push = push.data();
+        ctx.pushWords = 1;
+        ExecutionEngine engine(dev);
+        DispatchResult r = engine.dispatch(ctx);
+        return std::make_tuple(bufs[2], r.kernelNs, r.stats);
+    };
+
+    auto baseline = runOnce(false);
+    CompileCache::global().clear();
+    auto cold = runOnce(true); // populates the cache
+    auto warm = runOnce(true); // served from the cache
+    ASSERT_GE(CompileCache::global().stats().hits, 1u);
+
+    EXPECT_EQ(std::get<0>(cold), std::get<0>(baseline));
+    EXPECT_EQ(std::get<0>(warm), std::get<0>(baseline));
+    EXPECT_EQ(std::get<1>(cold), std::get<1>(baseline));
+    EXPECT_EQ(std::get<1>(warm), std::get<1>(baseline));
+    EXPECT_TRUE(std::get<2>(cold) == std::get<2>(baseline));
+    EXPECT_TRUE(std::get<2>(warm) == std::get<2>(baseline));
+}
+
+TEST(CompileCacheRegression, NearIdenticalDevicesDoNotAlias)
+{
+    CompileCacheGuard guard;
+    CompileCache::setGlobalEnabled(1);
+    CompileCache::global().clear();
+
+    // Two devices differing ONLY in one driver-profile scalar.
+    const DeviceSpec &dev = gtx1050ti();
+    DeviceSpec tweaked = dev;
+    tweaked.apis[static_cast<int>(Api::Vulkan)].codeQuality = 0.5;
+
+    spirv::Module m = kernels::buildVecAdd();
+    EXPECT_NE(makeCompileCacheKey(m, dev, Api::Vulkan),
+              makeCompileCacheKey(m, tweaked, Api::Vulkan));
+
+    std::string err;
+    auto base = compileKernel(m, dev, Api::Vulkan, &err);
+    ASSERT_NE(base, nullptr) << err;
+    auto base2 = compileKernel(m, dev, Api::Vulkan, &err);
+    ASSERT_NE(base2, nullptr) << err;
+    EXPECT_EQ(CompileCache::global().stats().hits, 1u);
+
+    // The tweaked device must MISS (fresh compile with its own
+    // profile), not pick up the cached gtx1050ti artefact.
+    auto other = compileKernel(m, tweaked, Api::Vulkan, &err);
+    ASSERT_NE(other, nullptr) << err;
+    EXPECT_EQ(CompileCache::global().stats().hits, 1u);
+    EXPECT_EQ(CompileCache::global().stats().entries, 2u);
+    EXPECT_EQ(other->codeQualityEff, 0.5);
+    EXPECT_NE(other->codeQualityEff, base->codeQualityEff);
+
+    // Same API, different entry per API too.
+    auto cl = compileKernel(m, dev, Api::OpenCl, &err);
+    ASSERT_NE(cl, nullptr) << err;
+    EXPECT_EQ(CompileCache::global().stats().entries, 3u);
 }
 
 } // namespace

@@ -8,11 +8,16 @@
 #include <atomic>
 #include <bit>
 #include <cmath>
+#include <cstdlib>
+#include <iterator>
 #include <stdexcept>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/threadpool.h"
+#include "serve/serve.h"
 #include "sim/engine.h"
 #include "sim/kernel.h"
 #include "spirv/builder.h"
@@ -457,6 +462,124 @@ TEST(ThreadPoolProperty, VcbThreadsEnvOverride)
         setenv("VCB_THREADS", saved.c_str(), 1);
     else
         unsetenv("VCB_THREADS");
+}
+
+// ---------------------------------------------------------------------------
+// The global pool accepts jobs from several threads at once (the serve
+// broker's sessions all dispatch through it): every submitter's range
+// must still be covered exactly once, with no cross-talk between
+// concurrently running jobs.
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolProperty, ConcurrentSubmittersCoverExactlyOnce)
+{
+    ThreadPool pool(3);
+    constexpr int kSubmitters = 4;
+    constexpr uint64_t kCount = 5000;
+    constexpr int kRounds = 8;
+
+    std::vector<std::thread> submitters;
+    std::atomic<int> failures{0};
+    for (int t = 0; t < kSubmitters; ++t) {
+        submitters.emplace_back([&pool, &failures] {
+            for (int round = 0; round < kRounds; ++round) {
+                std::vector<std::atomic<uint32_t>> hits(kCount);
+                pool.parallelForRange(
+                    kCount,
+                    [&](uint64_t begin, uint64_t end, unsigned) {
+                        for (uint64_t i = begin; i < end; ++i)
+                            hits[i].fetch_add(1);
+                    });
+                for (uint64_t i = 0; i < kCount; ++i)
+                    if (hits[i].load() != 1u)
+                        ++failures;
+            }
+        });
+    }
+    for (auto &t : submitters)
+        t.join();
+    EXPECT_EQ(failures.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Serve property: a seeded random request mix answered by a concurrent
+// multi-session broker is bit-identical to the serial golden path
+// (same hashes, same simulated times), for any seed.
+// ---------------------------------------------------------------------------
+
+TEST(ServeProperty, SeededRandomMixMatchesSerialGolden)
+{
+    struct Combo
+    {
+        const char *bench, *api, *device;
+    };
+    // Known-good (bench, api, device) triples at size index 0.
+    static const Combo kCombos[] = {
+        {"bfs", "vulkan", "gtx1050ti"},
+        {"bfs", "opencl", "gtx1050ti"},
+        {"bfs", "cuda", "gtx1050ti"},
+        {"pathfinder", "vulkan", "gtx1050ti"},
+        {"pathfinder", "opencl", "gtx1050ti"},
+        {"hotspot", "cuda", "gtx1050ti"},
+        {"nw", "vulkan", "rx560"},
+        {"nw", "opencl", "rx560"},
+    };
+    const uint64_t seed =
+        std::getenv("VCB_PROPERTY_SEED")
+            ? std::strtoull(std::getenv("VCB_PROPERTY_SEED"), nullptr,
+                            10)
+            : 42;
+    Rng rng(seed);
+
+    std::vector<serve::Request> mix;
+    for (int i = 0; i < 10; ++i) {
+        const Combo &c = kCombos[rng.nextBelow(std::size(kCombos))];
+        serve::Request r;
+        r.id = "p" + std::to_string(i);
+        r.bench = c.bench;
+        r.api = c.api;
+        r.device = c.device;
+        mix.push_back(r);
+    }
+
+    std::vector<serve::Response> golden;
+    for (const serve::Request &r : mix)
+        golden.push_back(serve::executeRequest(r));
+
+    serve::ServeBroker broker(serve::BrokerConfig{3, {}});
+    std::vector<serve::Response> served(mix.size());
+    std::atomic<size_t> cursor{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 4; ++c) {
+        clients.emplace_back([&] {
+            for (;;) {
+                size_t i = cursor.fetch_add(1);
+                if (i >= mix.size())
+                    return;
+                served[i] = broker.submitSync(mix[i]);
+            }
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+
+    for (size_t i = 0; i < mix.size(); ++i) {
+        ASSERT_TRUE(golden[i].ok)
+            << "seed " << seed << " " << mix[i].id << ": "
+            << golden[i].error;
+        ASSERT_TRUE(served[i].ok)
+            << "seed " << seed << " " << mix[i].id << ": "
+            << served[i].error;
+        EXPECT_TRUE(served[i].validated) << mix[i].id;
+        EXPECT_EQ(served[i].resultHash, golden[i].resultHash)
+            << "seed " << seed << " " << mix[i].id;
+        EXPECT_EQ(served[i].kernelRegionNs, golden[i].kernelRegionNs)
+            << "seed " << seed << " " << mix[i].id;
+        EXPECT_EQ(served[i].totalNs, golden[i].totalNs)
+            << "seed " << seed << " " << mix[i].id;
+        EXPECT_EQ(served[i].launches, golden[i].launches)
+            << "seed " << seed << " " << mix[i].id;
+    }
 }
 
 } // namespace

@@ -1,0 +1,42 @@
+#!/bin/sh
+# gen_bench_serve.sh — regenerates BENCH_serve.json, the committed
+# serve-layer snapshot: vcb_load's compile-cache ablation (the same
+# seeded request mix served with the cache off, cold and warm) plus
+# its gate summary (cross-phase hash identity, warm hit rate, p50
+# latency speedup).
+#
+# Like BENCH_perf.json this is wall-clock derived, so it is never
+# diffed byte-for-byte; it records the serve layer's latency
+# trajectory on the reference machine.  The functional claims it
+# witnesses (hash_match, warm hit rate > 0.9) are enforced every CI
+# run by the smoke_vcb_load_spawned ctest entry.
+#
+# Usage: tools/gen_bench_serve.sh [vcb_load-binary] > BENCH_serve.json
+# (default binary: <repo>/build/vcb_load; requests: VCB_LOAD_REQUESTS
+# or 120)
+
+set -eu
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+bin=${1:-"$root/build/vcb_load"}
+requests=${VCB_LOAD_REQUESTS:-120}
+
+if [ ! -x "$bin" ]; then
+    echo "gen_bench_serve: $bin not built" >&2
+    exit 1
+fi
+
+out=$(VCB_THREADS=4 "$bin" --requests "$requests" --clients 4 \
+          --sessions 4 --seed 42 2>/dev/null)
+
+phase() { printf '%s\n' "$out" | grep "\"phase\": \"$1\""; }
+
+cat <<EOF
+{
+  "comment": "serve-layer compile-cache ablation; regenerate with tools/gen_bench_serve.sh > BENCH_serve.json",
+  "requests": $requests,
+  "cache_off": $(phase cache_off),
+  "cache_cold": $(phase cache_cold),
+  "cache_warm": $(phase cache_warm),
+  "summary": $(printf '%s\n' "$out" | grep '"phase": "summary"')
+}
+EOF
