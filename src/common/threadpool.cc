@@ -41,7 +41,20 @@ runRange(const std::function<void(uint64_t, uint64_t, unsigned)> &fn,
     }
 }
 
+/** Depth of nested ScopedSerial scopes on this thread. */
+thread_local int t_serialScopeDepth = 0;
+
 } // namespace
+
+ThreadPool::ScopedSerial::ScopedSerial() { ++t_serialScopeDepth; }
+
+ThreadPool::ScopedSerial::~ScopedSerial() { --t_serialScopeDepth; }
+
+bool
+ThreadPool::serialScopeActive()
+{
+    return t_serialScopeDepth > 0;
+}
 
 ThreadPool::ThreadPool(int workers)
 {
@@ -167,7 +180,7 @@ ThreadPool::parallelFor(uint64_t count,
     if (count == 0)
         return;
     // Small counts: run inline, skip synchronization entirely.
-    if (count <= 2 || threads.empty()) {
+    if (count <= 2 || threads.empty() || serialScopeActive()) {
         for (uint64_t i = 0; i < count; ++i)
             runItem(fn, i);
         return;
@@ -186,7 +199,10 @@ ThreadPool::parallelForRange(
 {
     if (count == 0)
         return;
-    if (count <= 2 || threads.empty()) {
+    // Below kSerialGrain the submit/wake/join handshake costs more
+    // than the fan-out recovers (measured — see header comment), so
+    // run the whole range inline on the caller.
+    if (count <= kSerialGrain || threads.empty() || serialScopeActive()) {
         runRange(fn, 0, count, 0);
         return;
     }

@@ -30,6 +30,36 @@ class ThreadPool
 {
   public:
     /**
+     * Range counts at or below this run inline on the calling thread:
+     * measured on the reference mix (vcb_perf), dispatches this small
+     * pay the submit/wake/join handshake for ~0% gain (BENCH_perf.json
+     * showed threads1 ≈ threads4 overall because the mix is dominated
+     * by sub-kSerialGrain dispatches).  See docs/ARCHITECTURE.md
+     * ("Engine parallelism") for the measurement.
+     */
+    static constexpr uint64_t kSerialGrain = 64;
+
+    /**
+     * While alive, parallelFor/parallelForRange invoked from the
+     * constructing thread run inline (serially) regardless of pool
+     * size.  Outer coarse-grain parallelism (the sweep executor in
+     * src/harness/sweep.cc) installs one per worker so nested dispatch
+     * fan-out does not oversubscribe the machine.  Nestable; scoped to
+     * the thread, so other threads' submissions are unaffected.
+     */
+    class ScopedSerial
+    {
+      public:
+        ScopedSerial();
+        ~ScopedSerial();
+        ScopedSerial(const ScopedSerial &) = delete;
+        ScopedSerial &operator=(const ScopedSerial &) = delete;
+    };
+
+    /** True when a ScopedSerial is active on the calling thread. */
+    static bool serialScopeActive();
+
+    /**
      * @param workers Number of worker threads: negative = size to the
      *                hardware (concurrency - 1, at least 1); 0 = no
      *                workers, everything runs on the calling thread.

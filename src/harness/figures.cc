@@ -67,7 +67,8 @@ scaleConfig(const suite::SizeConfig &size, uint64_t scale)
 }
 
 FigureData
-runSpeedupFigure(const sim::DeviceSpec &dev, bool mobile, uint64_t scale)
+planSpeedupFigure(const sim::DeviceSpec &dev, bool mobile,
+                  uint64_t scale, std::vector<FigureCell> &cells)
 {
     VCB_ASSERT(scale >= 1, "scale must be >= 1");
     FigureData fig;
@@ -84,7 +85,6 @@ runSpeedupFigure(const sim::DeviceSpec &dev, bool mobile, uint64_t scale)
             continue;
         }
         for (const auto &size : sizes) {
-            suite::SizeConfig cfg = scaleConfig(size, scale);
             SpeedupRow row;
             row.bench = bench->name();
             row.sizeLabel = size.label;
@@ -94,23 +94,47 @@ runSpeedupFigure(const sim::DeviceSpec &dev, bool mobile, uint64_t scale)
                     row.skip[a] = "API not available";
                     continue;
                 }
-                suite::RunResult r = bench->run(dev, api, cfg);
-                row.ok[a] = r.ok;
-                row.skip[a] = r.skipReason;
-                row.ns[a] = r.kernelRegionNs;
-                row.validated[a] = r.validated;
-                row.strategy[a] = r.strategy;
-                row.totalNs[a] = r.totalNs;
-                row.launches[a] = r.launches;
-                if (r.ok && !r.validated)
-                    warn("%s/%s on %s [%s]: validation FAILED: %s",
-                         bench->name().c_str(), size.label.c_str(),
-                         dev.name.c_str(), sim::apiName(api),
-                         r.validationError.c_str());
+                FigureCell cell;
+                cell.row = fig.rows.size();
+                cell.api = api;
+                cell.cfg = scaleConfig(size, scale);
+                cells.push_back(std::move(cell));
             }
             fig.rows.push_back(std::move(row));
         }
     }
+    return fig;
+}
+
+void
+runFigureCell(FigureData &fig, const FigureCell &cell,
+              const sim::DeviceSpec &dev)
+{
+    SpeedupRow &row = fig.rows[cell.row];
+    const suite::Benchmark &bench = suite::byName(row.bench);
+    int a = static_cast<int>(cell.api);
+    suite::RunResult r = bench.run(dev, cell.api, cell.cfg);
+    row.ok[a] = r.ok;
+    row.skip[a] = r.skipReason;
+    row.ns[a] = r.kernelRegionNs;
+    row.validated[a] = r.validated;
+    row.strategy[a] = r.strategy;
+    row.totalNs[a] = r.totalNs;
+    row.launches[a] = r.launches;
+    if (r.ok && !r.validated)
+        warn("%s/%s on %s [%s]: validation FAILED: %s",
+             row.bench.c_str(), row.sizeLabel.c_str(),
+             dev.name.c_str(), sim::apiName(cell.api),
+             r.validationError.c_str());
+}
+
+FigureData
+runSpeedupFigure(const sim::DeviceSpec &dev, bool mobile, uint64_t scale)
+{
+    std::vector<FigureCell> cells;
+    FigureData fig = planSpeedupFigure(dev, mobile, scale, cells);
+    for (const FigureCell &cell : cells)
+        runFigureCell(fig, cell, dev);
     return fig;
 }
 

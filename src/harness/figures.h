@@ -66,6 +66,32 @@ struct FigureData
 FigureData runSpeedupFigure(const sim::DeviceSpec &dev, bool mobile,
                             uint64_t scale = 1);
 
+/** One runnable (row, API) unit of a speedup figure. */
+struct FigureCell
+{
+    size_t row = 0;           ///< Index into FigureData::rows.
+    sim::Api api = sim::Api::OpenCl;
+    suite::SizeConfig cfg;    ///< Already scaled.
+};
+
+/**
+ * Enumerate the figure without running anything: rows are created
+ * (bench x size, API-unavailable skips prefilled) and one FigureCell
+ * per runnable (row, API) pair is appended to `cells`.  Feeding the
+ * cells to runFigureCell in any order — including concurrently, since
+ * each writes disjoint row slots — reproduces runSpeedupFigure()
+ * exactly; the sweep executor (sweep.h) relies on this split.
+ */
+FigureData planSpeedupFigure(const sim::DeviceSpec &dev, bool mobile,
+                             uint64_t scale,
+                             std::vector<FigureCell> &cells);
+
+/** Execute one planned cell against `dev` (pass the EXECUTING
+ *  thread's registry copy, not the planning-time spec), writing the
+ *  row's per-API slots. */
+void runFigureCell(FigureData &fig, const FigureCell &cell,
+                   const sim::DeviceSpec &dev);
+
 /** Shrink a size configuration by `scale` toward a floor of 32
  *  (small parameters pass through unchanged) — the fig2/fig4 --dry-run
  *  and report-book scaling rule. */

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cctype>
+#include <functional>
 #include <map>
 
 #include "common/logging.h"
 #include "common/strutil.h"
 #include "harness/report.h"
+#include "harness/sweep.h"
 #include "sim/device_file.h"
 #include "suite/benchmark.h"
 
@@ -46,13 +48,13 @@ speedupScale(bool mobile, bool dry)
 // ---------------------------------------------------------------------------
 
 BandwidthPanel
-runBandwidthPanel(const sim::DeviceSpec &dev, bool dry)
+planBandwidthPanel(const sim::DeviceSpec &dev, bool dry,
+                   suite::BandwidthConfig &cfg)
 {
     BandwidthPanel panel;
     panel.device = dev.name;
     panel.peakBwGBs = dev.peakBwGBs;
 
-    suite::BandwidthConfig cfg;
     if (dev.mobile) {
         panel.strides = {1, 2, 4, 6, 8, 10, 12, 14, 16};
         cfg.threads = dry ? 1024 : 4096;
@@ -64,14 +66,29 @@ runBandwidthPanel(const sim::DeviceSpec &dev, bool dry)
     }
     cfg.repeats = dry ? 1 : 3;
 
-    for (int a = 0; a < sim::apiCount; ++a) {
-        Api api = static_cast<Api>(a);
-        if (!dev.profile(api).available)
-            continue;
-        panel.apiRun[a] = true;
-        panel.points[a] =
-            suite::runBandwidthSweep(dev, api, panel.strides, cfg);
-    }
+    for (int a = 0; a < sim::apiCount; ++a)
+        if (dev.profile(static_cast<Api>(a)).available)
+            panel.apiRun[a] = true;
+    return panel;
+}
+
+void
+runBandwidthPanelApi(BandwidthPanel &panel, Api api,
+                     const sim::DeviceSpec &dev,
+                     const suite::BandwidthConfig &cfg)
+{
+    panel.points[static_cast<int>(api)] =
+        suite::runBandwidthSweep(dev, api, panel.strides, cfg);
+}
+
+BandwidthPanel
+runBandwidthPanel(const sim::DeviceSpec &dev, bool dry)
+{
+    suite::BandwidthConfig cfg;
+    BandwidthPanel panel = planBandwidthPanel(dev, dry, cfg);
+    for (int a = 0; a < sim::apiCount; ++a)
+        if (panel.apiRun[a])
+            runBandwidthPanelApi(panel, static_cast<Api>(a), dev, cfg);
     return panel;
 }
 
@@ -264,41 +281,90 @@ ReportBook::allValidated() const
 }
 
 ReportBook
-buildReportBook(const std::vector<sim::DeviceSpec> &devices, bool dry)
+buildReportBook(const std::vector<sim::DeviceSpec> &devices, bool dry,
+                unsigned jobs)
 {
     ReportBook book;
     book.dry = dry;
-    for (const sim::DeviceSpec &dev : devices) {
-        DeviceReport report;
-        report.dev = &dev;
-        report.bandwidth = runBandwidthPanel(dev, dry);
-        uint64_t scale = speedupScale(dev.mobile, dry);
-        report.figure = runSpeedupFigure(dev, dev.mobile, scale);
+    book.devices.resize(devices.size());
 
-        // Vulkan submission-strategy sweep at the smallest size.
-        if (dev.profile(Api::Vulkan).available) {
-            for (const suite::Benchmark *bench : suite::registry()) {
-                auto sizes = dev.mobile ? bench->mobileSizes()
-                                        : bench->desktopSizes();
-                if (sizes.empty())
-                    continue;
-                suite::SizeConfig cfg =
-                    scaleConfig(sizes.front(), scale);
-                suite::Workload w = bench->workload(cfg);
-                for (suite::SubmitStrategy s :
-                     suite::applicableStrategies(w)) {
+    // Plan the whole run as independent cells before executing any:
+    // every result slot is preallocated on the main thread, each cell
+    // writes only its own slot, and the merge is therefore structural
+    // (plan order) no matter which worker finishes when.  Cells
+    // resolve their device by INDEX against the executing worker's
+    // private registry (sim::activeDeviceRegistry()[di]) — the Vulkan
+    // front-end resolves specs by object identity, so a cell must use
+    // its own session's copy, never the planning-time reference.
+    std::vector<std::function<void()>> plan;
+    std::vector<std::vector<FigureCell>> fig_cells(devices.size());
+
+    for (size_t di = 0; di < devices.size(); ++di) {
+        const sim::DeviceSpec &dev = devices[di];
+        DeviceReport &report = book.devices[di];
+        report.dev = &dev;
+
+        // Bandwidth sweep: one cell per available API column.
+        suite::BandwidthConfig bw_cfg;
+        report.bandwidth = planBandwidthPanel(dev, dry, bw_cfg);
+        for (int a = 0; a < sim::apiCount; ++a) {
+            if (!report.bandwidth.apiRun[a])
+                continue;
+            Api api = static_cast<Api>(a);
+            plan.push_back([&book, di, api, bw_cfg] {
+                runBandwidthPanelApi(book.devices[di].bandwidth, api,
+                                     sim::activeDeviceRegistry()[di],
+                                     bw_cfg);
+            });
+        }
+
+        // Speedup figure: one cell per (bench x size, API) row slot.
+        uint64_t scale = speedupScale(dev.mobile, dry);
+        report.figure =
+            planSpeedupFigure(dev, dev.mobile, scale, fig_cells[di]);
+        for (size_t ci = 0; ci < fig_cells[di].size(); ++ci) {
+            plan.push_back([&book, &fig_cells, di, ci] {
+                runFigureCell(book.devices[di].figure,
+                              fig_cells[di][ci],
+                              sim::activeDeviceRegistry()[di]);
+            });
+        }
+
+        if (!dev.profile(Api::Vulkan).available)
+            continue;
+
+        for (const suite::Benchmark *bench : suite::registry()) {
+            auto sizes = dev.mobile ? bench->mobileSizes()
+                                    : bench->desktopSizes();
+            if (sizes.empty())
+                continue;
+            suite::SizeConfig cfg = scaleConfig(sizes.front(), scale);
+            // One planning-time workload build enumerates the
+            // admissible strategies and the dag flag — both are
+            // properties of the program shape, not the input scale.
+            suite::Workload w = bench->workload(cfg);
+
+            // Vulkan submission-strategy sweep at the smallest size:
+            // one cell per admissible strategy.
+            for (suite::SubmitStrategy s :
+                 suite::applicableStrategies(w)) {
+                SweepRun run;
+                run.bench = bench->name();
+                run.size = sizes.front().label;
+                run.api = Api::Vulkan;
+                run.strategy = s;
+                run.preferred = s == w.preferred;
+                size_t slot = report.strategySweep.size();
+                report.strategySweep.push_back(std::move(run));
+                plan.push_back([&book, di, slot, cfg, s] {
+                    SweepRun &out =
+                        book.devices[di].strategySweep[slot];
                     suite::WorkloadOptions opts;
                     opts.strategy = s;
-                    SweepRun run;
-                    run.bench = bench->name();
-                    run.size = sizes.front().label;
-                    run.api = Api::Vulkan;
-                    run.strategy = s;
-                    run.preferred = s == w.preferred;
-                    run.result =
-                        bench->run(dev, Api::Vulkan, cfg, opts);
-                    report.strategySweep.push_back(std::move(run));
-                }
+                    out.result = suite::byName(out.bench).run(
+                        sim::activeDeviceRegistry()[di], Api::Vulkan,
+                        cfg, opts);
+                });
             }
 
             // Multi-queue overlap sweep: dag benchmarks at their
@@ -306,30 +372,49 @@ buildReportBook(const std::vector<sim::DeviceSpec> &devices, bool dry)
             // overlap only shows when per-chunk kernel time dominates
             // per-submit overhead, and a shrunken size would render a
             // flat (misleading) curve.  Simulated runs stay cheap in
-            // real time.
-            for (const suite::Benchmark *bench : suite::registry()) {
-                auto sizes = dev.mobile ? bench->mobileSizes()
-                                        : bench->desktopSizes();
-                if (sizes.empty())
-                    continue;
-                suite::Workload w = bench->workload(sizes.back());
-                if (!w.dag)
-                    continue;
-                for (uint32_t q : {1u, 2u, 4u}) {
+            // real time.  One cell per benchmark (not per queue
+            // count): the three runs share one full-size workload
+            // build, like the serial path always did.
+            if (!w.dag)
+                continue;
+            size_t slot = report.overlapSweep.size();
+            for (uint32_t q : {1u, 2u, 4u}) {
+                OverlapRun run;
+                run.bench = bench->name();
+                run.size = sizes.back().label;
+                run.queues = q;
+                report.overlapSweep.push_back(std::move(run));
+            }
+            suite::SizeConfig full = sizes.back();
+            plan.push_back([&book, di, slot, full] {
+                DeviceReport &rep = book.devices[di];
+                const sim::DeviceSpec &d =
+                    sim::activeDeviceRegistry()[di];
+                suite::Workload full_w =
+                    suite::byName(rep.overlapSweep[slot].bench)
+                        .workload(full);
+                for (size_t i = 0; i < 3; ++i) {
+                    OverlapRun &out = rep.overlapSweep[slot + i];
                     suite::WorkloadOptions opts;
                     opts.strategy = suite::SubmitStrategy::ReRecord;
-                    opts.queueCount = q;
-                    OverlapRun run;
-                    run.bench = bench->name();
-                    run.size = sizes.back().label;
-                    run.queues = q;
-                    run.result = suite::runWorkloadVulkan(w, dev, opts);
-                    report.overlapSweep.push_back(std::move(run));
+                    opts.queueCount = out.queues;
+                    out.result =
+                        suite::runWorkloadVulkan(full_w, d, opts);
                 }
-            }
+            });
         }
-        book.devices.push_back(std::move(report));
     }
+
+    SweepOptions opts;
+    opts.jobs = jobs;
+    opts.devices = devices;
+    SweepStats stats = runSweepPlan(
+        plan.size(), [&plan](size_t cell) { plan[cell](); }, opts);
+    book.jobs = stats.jobs;
+    book.cells = stats.cells;
+    book.sweepWallMs = stats.wallMs;
+    for (double ms : stats.cellSimMs)
+        book.sweepSimMs += ms;
     return book;
 }
 
@@ -626,48 +711,104 @@ suiteJsonFromBook(const ReportBook &book)
     return out;
 }
 
+namespace {
+
+/** Sweep-executor ledger line: the ONLY wall-clock-derived line in the
+ *  --suite-json output (everything above it is simulated and
+ *  deterministic), so diff-based consumers filter it with
+ *  grep -v '"bench": "sweep"'.  `slowest_cell_ms` is the longest
+ *  single cell — the lower bound any job count can reach. */
+std::string
+jsonSweepLedger(const char *mode, const SweepStats &stats)
+{
+    double sim_ms = 0, slowest = 0;
+    for (double ms : stats.cellSimMs)
+        sim_ms += ms;
+    for (double ms : stats.cellWallMs)
+        slowest = std::max(slowest, ms);
+    return strprintf("{\"bench\": \"sweep\", \"mode\": \"%s\", "
+                     "\"jobs\": %u, \"cells\": %zu, "
+                     "\"sweep_wall_ms\": %.1f, \"sweep_sim_ms\": %.1f, "
+                     "\"slowest_cell_ms\": %.1f}\n",
+                     mode, stats.jobs, stats.cells, stats.wallMs,
+                     sim_ms, slowest);
+}
+
+} // namespace
+
 std::string
 suiteJsonLines(const std::vector<sim::DeviceSpec> &devices, bool quick,
-               bool *all_validated)
+               bool *all_validated, unsigned jobs)
 {
     const char *mode = quick ? "quick" : "full";
-    std::string out;
-    bool all_ok = true;
-    for (const sim::DeviceSpec &dev : devices) {
-        double device_kernel_ns = 0;
-        bool device_ok = true;
-        for (const suite::Benchmark *bench : suite::registry()) {
-            auto sizes = dev.mobile ? bench->mobileSizes()
-                                    : bench->desktopSizes();
-            if (sizes.empty()) {
-                out += jsonWholesaleSkipLine(*bench, dev.name);
+
+    // Plan: one cell per (device, benchmark); each renders its own
+    // line chunk and partial sums into a preallocated slot, so the
+    // plan-order merge below is byte-identical at any job count.
+    struct Chunk
+    {
+        std::string lines;
+        double kernelNs = 0;
+        bool ok = true;
+    };
+    const auto &benches = suite::registry();
+    std::vector<Chunk> chunks(devices.size() * benches.size());
+
+    auto run_chunk = [&](size_t cell) {
+        size_t di = cell / benches.size();
+        const suite::Benchmark *bench = benches[cell % benches.size()];
+        const sim::DeviceSpec &dev = sim::activeDeviceRegistry()[di];
+        Chunk &out = chunks[cell];
+        auto sizes = dev.mobile ? bench->mobileSizes()
+                                : bench->desktopSizes();
+        if (sizes.empty()) {
+            out.lines = jsonWholesaleSkipLine(*bench, dev.name);
+            return;
+        }
+        const suite::SizeConfig &cfg =
+            quick ? sizes.front() : sizes.back();
+        for (int a = 0; a < sim::apiCount; ++a) {
+            Api api = static_cast<Api>(a);
+            if (!dev.profile(api).available)
+                continue;
+            suite::RunResult r = bench->run(dev, api, cfg);
+            if (!r.ok) {
+                out.lines += jsonSkipLine(bench->name(), cfg.label,
+                                          api, dev.name, r.skipReason);
                 continue;
             }
-            const suite::SizeConfig &cfg =
-                quick ? sizes.front() : sizes.back();
-            for (int a = 0; a < sim::apiCount; ++a) {
-                Api api = static_cast<Api>(a);
-                if (!dev.profile(api).available)
-                    continue;
-                suite::RunResult r = bench->run(dev, api, cfg);
-                if (!r.ok) {
-                    out += jsonSkipLine(bench->name(), cfg.label, api,
-                                        dev.name, r.skipReason);
-                    continue;
-                }
-                device_ok = device_ok && r.validated;
-                device_kernel_ns += r.kernelRegionNs;
-                out += jsonRunLine(bench->name(), cfg.label, api,
-                                   dev.name, r.strategy,
-                                   r.kernelRegionNs, r.totalNs,
-                                   r.launches, r.validated);
-            }
+            out.ok = out.ok && r.validated;
+            out.kernelNs += r.kernelRegionNs;
+            out.lines += jsonRunLine(bench->name(), cfg.label, api,
+                                     dev.name, r.strategy,
+                                     r.kernelRegionNs, r.totalNs,
+                                     r.launches, r.validated);
         }
-        out += jsonDeviceSummary(mode, dev.name, device_kernel_ns,
-                                 device_ok);
+    };
+
+    SweepOptions sweep_opts;
+    sweep_opts.jobs = jobs;
+    sweep_opts.devices = devices;
+    SweepStats stats =
+        runSweepPlan(chunks.size(), run_chunk, sweep_opts);
+
+    std::string out;
+    bool all_ok = true;
+    for (size_t di = 0; di < devices.size(); ++di) {
+        double device_kernel_ns = 0;
+        bool device_ok = true;
+        for (size_t bi = 0; bi < benches.size(); ++bi) {
+            const Chunk &c = chunks[di * benches.size() + bi];
+            out += c.lines;
+            device_kernel_ns += c.kernelNs;
+            device_ok = device_ok && c.ok;
+        }
+        out += jsonDeviceSummary(mode, devices[di].name,
+                                 device_kernel_ns, device_ok);
         all_ok = all_ok && device_ok;
     }
     out += jsonSuiteTrailer(mode, devices.size(), all_ok);
+    out += jsonSweepLedger(mode, stats);
     if (all_validated)
         *all_validated = all_ok;
     return out;
@@ -710,7 +851,15 @@ renderResultsBook(const ReportBook &book)
            "     CI and ctest fail when this file drifts from the "
            "committed copy\n"
            "     (tools/check_docs.sh and the check_results_book "
-           "test). -->\n\n";
+           "test).\n"
+           "     The book builds on the sweep executor "
+           "(src/harness/sweep.h); every\n"
+           "     number comes from simulated clocks, so this file is "
+           "byte-identical\n"
+           "     at any --jobs / VCB_REPORT_JOBS worker count "
+           "(tests/test_sweep.cc\n"
+           "     and the CI parallel-identity gate enforce it). "
+           "-->\n\n";
     out += "# VComputeBench results book\n\n";
     out += strprintf(
         "One artifact for the paper's whole measurement story: "

@@ -69,6 +69,20 @@ struct BandwidthPanel
  *  mobile strides/sizes for mobile parts; `dry` shrinks the sweep. */
 BandwidthPanel runBandwidthPanel(const sim::DeviceSpec &dev, bool dry);
 
+/** Enumerate the panel without running anything: strides chosen,
+ *  apiRun[] marked, `cfg` filled.  One runBandwidthPanelApi call per
+ *  marked API — in any order, each writes a disjoint points[] slot —
+ *  reproduces runBandwidthPanel() exactly (the sweep-executor split,
+ *  see sweep.h). */
+BandwidthPanel planBandwidthPanel(const sim::DeviceSpec &dev, bool dry,
+                                  suite::BandwidthConfig &cfg);
+
+/** Execute one API column of a planned panel against `dev` (the
+ *  EXECUTING thread's registry copy). */
+void runBandwidthPanelApi(BandwidthPanel &panel, sim::Api api,
+                          const sim::DeviceSpec &dev,
+                          const suite::BandwidthConfig &cfg);
+
 /** Render the Fig. 1 (desktop) or Fig. 3 (mobile) section: one panel
  *  per device with per-stride GB/s columns and the unit-stride
  *  percent-of-peak summary the paper anchors on. */
@@ -151,13 +165,30 @@ struct ReportBook
     std::vector<DeviceReport> devices;
     bool dry = false;
 
+    /**
+     * Sweep-executor ledger for the build (sweep.h): wall time only —
+     * every number in the book itself comes from simulated clocks, so
+     * these fields never appear in the rendered Markdown/CSV output
+     * and the book stays byte-identical at any job count.
+     */
+    unsigned jobs = 1;       ///< Worker sessions used.
+    size_t cells = 0;        ///< Plan length.
+    double sweepWallMs = 0;  ///< Whole-plan wall time.
+    double sweepSimMs = 0;   ///< Sum of per-cell simulator time.
+
     /** Every executed run validated against its CPU reference. */
     bool allValidated() const;
 };
 
-/** Run the full report across `devices` (dry = shrunken sizes). */
+/**
+ * Run the full report across `devices` (dry = shrunken sizes) on the
+ * sweep executor: the run is enumerated as independent cells and
+ * executed on `jobs` isolated engine sessions (0 = VCB_REPORT_JOBS,
+ * else hardware concurrency — see sweep.h).  Output is byte-identical
+ * at any job count; jobs only moves wall time.
+ */
 ReportBook buildReportBook(const std::vector<sim::DeviceSpec> &devices,
-                           bool dry);
+                           bool dry, unsigned jobs = 0);
 
 /** The Vulkan submission-strategy sweep section of the book. */
 std::string renderStrategySection(const ReportBook &book);
@@ -185,9 +216,19 @@ std::string deviceSlug(const std::string &device_name);
  * standalone `--suite-json` trajectory path.
  *
  * `all_validated`, when non-null, receives the sweep's verdict.
+ *
+ * Runs on the sweep executor (`jobs` as in buildReportBook); the
+ * deterministic lines are byte-identical at any job count.  One
+ * trailing ledger line (`"bench": "sweep"` — jobs, cells,
+ * sweep_wall_ms, sweep_sim_ms, slowest cell) records the executor's
+ * wall-clock trajectory; it is the single wall-clock-derived line in
+ * BENCH_report.json, so diff-based consumers filter it
+ * (grep -v '"bench": "sweep"' — see .github/workflows/ci.yml and
+ * tools/gen_bench_report.sh).
  */
 std::string suiteJsonLines(const std::vector<sim::DeviceSpec> &devices,
-                           bool quick, bool *all_validated = nullptr);
+                           bool quick, bool *all_validated = nullptr,
+                           unsigned jobs = 0);
 
 /**
  * The same JSON-lines format rendered from an already-built book (no

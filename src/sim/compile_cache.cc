@@ -171,8 +171,11 @@ CompileCache::lookup(const CompileCacheKey &key)
     }
     if (!found)
         return nullptr;
-    // Deep copy: callers own (and may re-lower) their kernel; the
-    // cached artefact stays immutable.
+    // Copy the metadata, share the program: CompiledKernel::micro is
+    // an immutable shared_ptr, so this copy aliases the cached
+    // micro-op stream instead of duplicating it.  Callers own their
+    // kernel and may re-lower it — lowerKernel publishes a fresh
+    // program into the copy, never mutating the shared one.
     return std::make_unique<CompiledKernel>(*found);
 }
 

@@ -8,9 +8,9 @@
  * micro-op executable (sim/microop.h) — by far the most expensive part
  * of serving a benchmark request.  The serve layer (src/serve/) replays
  * thousands of requests over a small set of kernels, so compileKernel
- * consults this cache first: a hit returns a COPY of the previously
- * compiled artefact and skips validation, decode and lowering
- * entirely.
+ * consults this cache first: a hit returns a copy of the previously
+ * compiled artefact's metadata SHARING its immutable micro-op program
+ * and skips validation, decode and lowering entirely.
  *
  * Keying is by content, never by identity:
  *
@@ -28,11 +28,15 @@
  *
  * The store is a sharded LRU: each shard owns a mutex, an LRU list and
  * an index, so concurrent serve sessions hit different shards without
- * contending.  Entries are immutable shared_ptrs; lookups hand out
- * deep copies, so callers that re-lower a compiled kernel (the
- * fused-vs-unfused tests) can never corrupt the cached artefact.
+ * contending.  Entries are immutable shared_ptrs; lookups copy the
+ * metadata fields but share the micro-op program, which is itself an
+ * immutable shared_ptr<const MicroKernel> (CompiledKernel::micro) —
+ * the dominant allocation is never deep-copied per hit.  Callers that
+ * re-lower a compiled kernel (the fused-vs-unfused tests) get a fresh
+ * program published into their copy; the shared one is untouched, so
+ * no caller can corrupt the cached artefact.
  *
- * Cache hits are observably invisible by construction — the copy is
+ * Cache hits are observably invisible by construction — the result is
  * field-for-field identical to what a fresh compile would produce —
  * and tests/test_interpreter.cc enforces it (program bytes,
  * DispatchStats and kernelNs bit-identical across the full kernel

@@ -36,6 +36,12 @@ struct WorkerState
 
 std::atomic<uint64_t> g_workgroupsExecuted{0};
 std::atomic<uint64_t> g_dispatchWallNs{0};
+/** Same wall time, attributed to the thread that called dispatch():
+ *  valid because dispatch() joins its pool fan-out before returning,
+ *  so the whole dispatch elapses on the calling thread.  Lets sweep
+ *  workers (src/harness/sweep.cc) ledger per-cell simulator time
+ *  without tearing the process-wide counter apart. */
+thread_local uint64_t t_dispatchWallNs = 0;
 std::atomic<uint64_t>
     g_tierWorkgroups[static_cast<size_t>(ExecTier::Count)]{};
 
@@ -54,6 +60,12 @@ dispatchWallNs()
 }
 
 uint64_t
+dispatchWallNsThisThread()
+{
+    return t_dispatchWallNs;
+}
+
+uint64_t
 tierWorkgroupCount(ExecTier t)
 {
     return g_tierWorkgroups[static_cast<size_t>(t)].load(
@@ -69,11 +81,12 @@ ExecutionEngine::dispatch(const DispatchContext &ctx)
         std::chrono::steady_clock::time_point t0;
         ~WallScope()
         {
-            g_dispatchWallNs.fetch_add(
+            const uint64_t ns =
                 std::chrono::duration_cast<std::chrono::nanoseconds>(
                     std::chrono::steady_clock::now() - t0)
-                    .count(),
-                std::memory_order_relaxed);
+                    .count();
+            g_dispatchWallNs.fetch_add(ns, std::memory_order_relaxed);
+            t_dispatchWallNs += ns;
         }
     } wall_scope{wall_start};
 

@@ -42,6 +42,16 @@ uint64_t executedWorkgroupCount();
 uint64_t dispatchWallNs();
 
 /**
+ * Wall-clock nanoseconds spent inside dispatch() by the CALLING
+ * thread.  dispatch() joins its thread-pool fan-out before returning,
+ * so the full dispatch duration elapses on the caller — this counter
+ * therefore partitions dispatchWallNs() by dispatching thread.  The
+ * sweep executor samples it around each cell to attribute simulator
+ * time per cell without a process-wide reset.
+ */
+uint64_t dispatchWallNsThisThread();
+
+/**
  * Process-wide count of workgroups run on one executor tier, for perf
  * tooling (vcb_perf's per-tier breakdown).  Like
  * executedWorkgroupCount(): monotonic, never reset, and deliberately

@@ -157,7 +157,7 @@ Interpreter::prepare(const DispatchContext &new_ctx)
     regs.resize(static_cast<size_t>(localCount) * kernel->module.regCount);
     pcs.resize(localCount);
     shared.resize(kernel->module.sharedWords);
-    tier = effectiveExecTier(kernel->micro);
+    tier = effectiveExecTier(*kernel->micro);
     bw = blockWidth();
 
     // Local-invocation ids per lane, computed once per dispatch: the
@@ -174,7 +174,7 @@ Interpreter::prepare(const DispatchContext &new_ctx)
     // values stay correct for every workgroup of this dispatch.  The
     // register file is reg-major (reg * localCount + lane), so each
     // broadcast is one contiguous fill.
-    const MicroKernel &mk = kernel->micro;
+    const MicroKernel &mk = *kernel->micro;
     if (!mk.templateOps.empty()) {
         const uint32_t reg_count = kernel->module.regCount;
         std::vector<uint32_t> tmpl(reg_count, 0);
@@ -191,7 +191,7 @@ void
 Interpreter::runWorkgroup(uint32_t wx, uint32_t wy, uint32_t wz,
                           WorkgroupStats &ws, CoalesceSampler *sampler)
 {
-    const MicroKernel &mk = kernel->micro;
+    const MicroKernel &mk = *kernel->micro;
     // When lowering proved every register is written before it is
     // read, the zero-fill is unobservable: skip it.  Shared memory
     // keeps its deterministic zero state per workgroup.
@@ -364,7 +364,7 @@ Interpreter::runPhase(uint32_t lane_begin, uint32_t lane_end,
 #endif
 
     const CompiledKernel &k = *kernel;
-    const MicroKernel &mk = k.micro;
+    const MicroKernel &mk = *k.micro;
     const MicroOp *const ops = mk.ops.data();
     const uint32_t *const cost_from = mk.costFrom.data();
     const size_t lc = localCount;
@@ -1234,7 +1234,7 @@ Interpreter::runPhaseBlocks(uint32_t wx, uint32_t wy, uint32_t wz,
                             uint32_t &barrier_out)
 {
     const CompiledKernel &k = *kernel;
-    const MicroKernel &mk = k.micro;
+    const MicroKernel &mk = *k.micro;
     const MicroOp *const ops = mk.ops.data();
     const uint32_t *const cost_from = mk.costFrom.data();
     const size_t lc = localCount;
@@ -1983,7 +1983,7 @@ Interpreter::runPhaseWg(uint32_t start_pc, uint32_t wx, uint32_t wy,
                         uint32_t &done_out, uint32_t &barrier_out)
 {
     const CompiledKernel &k = *kernel;
-    const MicroKernel &mk = k.micro;
+    const MicroKernel &mk = *k.micro;
     const MicroOp *const ops = mk.ops.data();
     const uint32_t *const cost_from = mk.costFrom.data();
     const size_t lc = localCount;

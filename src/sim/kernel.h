@@ -52,8 +52,12 @@ struct CompiledKernel
     std::vector<uint8_t> sitePromote;
 
     /** The executable lowering the interpreter actually runs (packed
-     *  micro-ops, fused pairs, suffix cost table) — see microop.h. */
-    MicroKernel micro;
+     *  micro-ops, fused pairs, suffix cost table) — see microop.h.
+     *  Immutable once published by lowerKernel(), so compile-cache
+     *  hits share one program across sessions instead of deep-copying
+     *  the micro-op stream; re-lowering swaps in a fresh program and
+     *  never mutates the shared one (copy-on-write). */
+    std::shared_ptr<const MicroKernel> micro;
 
     /** Invocations per workgroup. */
     uint32_t localCount() const;

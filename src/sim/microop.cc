@@ -874,17 +874,11 @@ fuseSuperLoops(MicroKernel &mk, std::vector<uint8_t> &cost)
 void
 lowerKernel(CompiledKernel &k, const LowerOptions &opt)
 {
-    MicroKernel &mk = k.micro;
-    mk.ops.clear();
-    mk.costFrom.clear();
-    mk.templateOps.clear();
-    mk.templateDsts.clear();
-    mk.hoistedCost = 0;
-    mk.fusedPairs = 0;
-    mk.supers.clear();
-    mk.hasBarrier = false;
-    mk.hasBranches = false;
-    mk.hasAtomics = false;
+    // Build into a local and publish at the end: k.micro may alias a
+    // program shared with other cache clients, which must never see a
+    // half-lowered stream (or any mutation at all).
+    MicroKernel local;
+    MicroKernel &mk = local;
 
     const std::vector<Insn> &insns = k.insns;
     const size_t n = insns.size();
@@ -1228,6 +1222,8 @@ lowerKernel(CompiledKernel &k, const LowerOptions &opt)
             break;
         }
     }
+
+    k.micro = std::make_shared<const MicroKernel>(std::move(local));
 }
 
 ExecTier

@@ -521,11 +521,11 @@ TEST(MicroOp, LoweringActuallyFuses)
     std::string err;
     auto kernel = compileKernel(fusionKernel(), dev, Api::Vulkan, &err);
     ASSERT_NE(kernel, nullptr) << err;
-    EXPECT_GT(kernel->micro.fusedPairs, 0u);
-    EXPECT_LT(kernel->micro.ops.size(), kernel->insns.size());
+    EXPECT_GT(kernel->micro->fusedPairs, 0u);
+    EXPECT_LT(kernel->micro->ops.size(), kernel->insns.size());
 
     lowerKernel(*kernel, LowerOptions::noFusion());
-    EXPECT_EQ(kernel->micro.fusedPairs, 0u);
+    EXPECT_EQ(kernel->micro->fusedPairs, 0u);
 }
 
 TEST(MicroOp, RobustPathMatchesFastPath)
@@ -603,7 +603,7 @@ TEST(MicroOp, NeverWrittenRegisterReadsZero)
     std::string err;
     auto kernel = compileKernel(m, dev, Api::Vulkan, &err);
     ASSERT_NE(kernel, nullptr) << err;
-    EXPECT_FALSE(kernel->micro.skipRegZeroInit);
+    EXPECT_FALSE(kernel->micro->skipRegZeroInit);
 
     std::vector<uint32_t> out(4, 0xdeadbeefu);
     DispatchContext ctx;
@@ -633,7 +633,7 @@ TEST(MicroOp, ConditionallyWrittenRegisterReadsZeroEveryWorkgroup)
     std::string err;
     auto kernel = compileKernel(m, dev, Api::Vulkan, &err);
     ASSERT_NE(kernel, nullptr) << err;
-    EXPECT_FALSE(kernel->micro.skipRegZeroInit);
+    EXPECT_FALSE(kernel->micro->skipRegZeroInit);
 
     std::vector<uint32_t> out(32, 7u);
     DispatchContext ctx;
@@ -656,7 +656,7 @@ TEST(MicroOp, WriteBeforeReadKernelsSkipZeroFill)
     std::string err;
     auto kernel = compileKernel(b.finish(), dev, Api::Vulkan, &err);
     ASSERT_NE(kernel, nullptr) << err;
-    EXPECT_TRUE(kernel->micro.skipRegZeroInit);
+    EXPECT_TRUE(kernel->micro->skipRegZeroInit);
 }
 
 // ---------------------------------------------------------------------------
@@ -695,7 +695,7 @@ expectIdenticalCompiles(const CompiledKernel &a, const CompiledKernel &b,
     EXPECT_EQ(a.numSites, b.numSites) << what;
     EXPECT_EQ(a.sitePromote, b.sitePromote) << what;
 
-    const MicroKernel &ma = a.micro, &mb = b.micro;
+    const MicroKernel &ma = *a.micro, &mb = *b.micro;
     ASSERT_EQ(ma.ops.size(), mb.ops.size()) << what;
     if (!ma.ops.empty())
         EXPECT_EQ(std::memcmp(ma.ops.data(), mb.ops.data(),

@@ -271,7 +271,7 @@ TEST(CompileCacheUnit, NearIdenticalDevicesGetDistinctFingerprints)
     EXPECT_EQ(sim::deviceFingerprint(copy), base);
 }
 
-TEST(CompileCacheUnit, LookupsReturnIsolatedCopies)
+TEST(CompileCacheUnit, LookupsShareProgramButNeverAlias)
 {
     sim::CompileCache cache(4, 1);
     auto m = tinyKernel("cc_iso", 9);
@@ -279,15 +279,28 @@ TEST(CompileCacheUnit, LookupsReturnIsolatedCopies)
     cache.insert(keyFor(m), *k);
 
     auto first = cache.lookup(keyFor(m));
-    ASSERT_NE(first, nullptr);
-    size_t ops = first->micro.ops.size();
-    first->micro.ops.clear(); // callers may re-lower their copy
-    first->codeQualityEff = -1;
-
     auto second = cache.lookup(keyFor(m));
+    ASSERT_NE(first, nullptr);
     ASSERT_NE(second, nullptr);
-    EXPECT_EQ(second->micro.ops.size(), ops);
-    EXPECT_EQ(second->codeQualityEff, k->codeQualityEff);
+
+    // Hits share one immutable program: no per-hit deep copy of the
+    // micro-op stream.
+    EXPECT_EQ(first->micro.get(), second->micro.get());
+    size_t ops = first->micro->ops.size();
+
+    // Re-lowering a hit swaps in a fresh program (copy-on-write); the
+    // program other clients hold is untouched.
+    const sim::MicroKernel *shared_prog = second->micro.get();
+    sim::lowerKernel(*first, sim::LowerOptions::noFusion());
+    EXPECT_NE(first->micro.get(), shared_prog);
+    EXPECT_EQ(second->micro.get(), shared_prog);
+    EXPECT_EQ(second->micro->ops.size(), ops);
+
+    // Scalar fields are still per-lookup copies.
+    first->codeQualityEff = -1;
+    auto third = cache.lookup(keyFor(m));
+    ASSERT_NE(third, nullptr);
+    EXPECT_EQ(third->codeQualityEff, k->codeQualityEff);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Sweep-executor tests: byte-identity of the report book at any job
+ * count, plan-order merge under adversarial completion schedules, and
+ * per-worker device-registry isolation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "harness/report_book.h"
+#include "harness/sweep.h"
+#include "sim/device.h"
+#include "sim/engine.h"
+
+namespace vcb::harness {
+namespace {
+
+// --- resolveSweepJobs -------------------------------------------------------
+
+TEST(ResolveSweepJobs, ExplicitRequestWins)
+{
+    setenv("VCB_REPORT_JOBS", "7", 1);
+    EXPECT_EQ(resolveSweepJobs(3), 3u);
+    unsetenv("VCB_REPORT_JOBS");
+}
+
+TEST(ResolveSweepJobs, EnvFallback)
+{
+    setenv("VCB_REPORT_JOBS", "5", 1);
+    EXPECT_EQ(resolveSweepJobs(0), 5u);
+    unsetenv("VCB_REPORT_JOBS");
+}
+
+TEST(ResolveSweepJobs, InvalidEnvFallsBackToHardware)
+{
+    setenv("VCB_REPORT_JOBS", "banana", 1);
+    unsigned jobs = resolveSweepJobs(0);
+    unsetenv("VCB_REPORT_JOBS");
+    EXPECT_GE(jobs, 1u);
+}
+
+// --- plan-order merge -------------------------------------------------------
+
+/** Cells complete in deliberately inverted order (early cells sleep
+ *  longest); slot writes must still land at plan positions and the
+ *  ledger must cover every cell exactly once. */
+TEST(SweepPlan, MergesInPlanOrderUnderShuffledCompletion)
+{
+    constexpr size_t kCells = 24;
+    std::vector<size_t> slots(kCells, ~size_t{0});
+    std::atomic<size_t> completions{0};
+    std::vector<size_t> completion_order(kCells, 0);
+
+    SweepOptions opts;
+    opts.jobs = 4;
+    SweepStats stats = runSweepPlan(
+        kCells,
+        [&](size_t cell) {
+            // Early plan entries finish last.
+            std::this_thread::sleep_for(
+                std::chrono::microseconds((kCells - cell) * 200));
+            slots[cell] = cell;
+            completion_order[completions.fetch_add(1)] = cell;
+        },
+        opts);
+
+    EXPECT_EQ(stats.jobs, 4u);
+    EXPECT_EQ(stats.cells, kCells);
+    ASSERT_EQ(stats.cellWallMs.size(), kCells);
+    ASSERT_EQ(stats.cellSimMs.size(), kCells);
+    ASSERT_EQ(stats.cellWorker.size(), kCells);
+    for (size_t i = 0; i < kCells; ++i) {
+        // The merge is positional: cell i's result sits at slot i no
+        // matter when (or on which worker) it completed.
+        EXPECT_EQ(slots[i], i);
+        EXPECT_LT(stats.cellWorker[i], 4u);
+        EXPECT_GE(stats.cellWallMs[i], 0.0);
+    }
+    EXPECT_EQ(completions.load(), kCells);
+}
+
+/** jobs=1 must also run on a spawned worker (not the caller), so the
+ *  execution environment is identical at every job count. */
+TEST(SweepPlan, SingleJobRunsOffCallerThread)
+{
+    std::thread::id caller = std::this_thread::get_id();
+    std::thread::id cell_thread;
+    SweepOptions opts;
+    opts.jobs = 1;
+    SweepStats stats = runSweepPlan(
+        1, [&](size_t) { cell_thread = std::this_thread::get_id(); },
+        opts);
+    EXPECT_EQ(stats.jobs, 1u);
+    EXPECT_NE(cell_thread, caller);
+}
+
+// --- per-worker registry isolation -----------------------------------------
+
+TEST(SweepPlan, WorkersGetPrivateRegistrySessions)
+{
+    // A registry the caller does not have: cells must see it (the
+    // sweep installs the snapshot per worker), and each worker must
+    // own a private copy (distinct object identity per worker).
+    std::vector<sim::DeviceSpec> custom = {sim::gtx1050ti()};
+    custom[0].name = "sweep-isolation-probe";
+
+    const std::vector<sim::DeviceSpec> &caller_reg =
+        sim::activeDeviceRegistry();
+    const sim::DeviceSpec *caller_first =
+        caller_reg.empty() ? nullptr : &caller_reg[0];
+
+    constexpr size_t kCells = 16;
+    std::mutex mtx;
+    std::vector<const void *> seen;
+    bool all_named = true;
+
+    SweepOptions opts;
+    opts.jobs = 4;
+    opts.devices = custom;
+    SweepStats stats = runSweepPlan(
+        kCells,
+        [&](size_t) {
+            const std::vector<sim::DeviceSpec> &reg =
+                sim::activeDeviceRegistry();
+            std::lock_guard<std::mutex> lk(mtx);
+            if (reg.size() != 1 ||
+                reg[0].name != "sweep-isolation-probe")
+                all_named = false;
+            seen.push_back(&reg[0]);
+        },
+        opts);
+
+    EXPECT_TRUE(all_named);
+    // No cell saw the caller's registry, and no two workers shared a
+    // registry object.
+    std::set<const void *> addrs;
+    for (const void *addr : seen) {
+        addrs.insert(addr);
+        EXPECT_NE(addr, static_cast<const void *>(caller_first));
+    }
+    std::set<unsigned> workers(stats.cellWorker.begin(),
+                               stats.cellWorker.end());
+    // Every distinct worker that ran cells saw a distinct private
+    // copy: one registry address per participating worker.
+    EXPECT_EQ(addrs.size(), workers.size());
+
+    // The caller's registry is untouched after the sweep.
+    EXPECT_EQ(&sim::activeDeviceRegistry(), &caller_reg);
+}
+
+// --- report-book byte identity ---------------------------------------------
+
+/** The tentpole acceptance property: the full quick book — Markdown
+ *  render, every per-device CSV and the deterministic suite-JSON
+ *  lines — is byte-identical at jobs=1 and jobs=4.  This runs in the
+ *  sanitize job too (smoke label), so data races in the sweep would
+ *  surface here under TSan/ASan. */
+TEST(SweepBook, QuickBookByteIdenticalAcrossJobCounts)
+{
+    const std::vector<sim::DeviceSpec> &devices =
+        sim::activeDeviceRegistry();
+    ASSERT_FALSE(devices.empty());
+
+    ReportBook book1 = buildReportBook(devices, /*dry=*/true, 1);
+    ReportBook book4 = buildReportBook(devices, /*dry=*/true, 4);
+    EXPECT_EQ(book1.jobs, 1u);
+    EXPECT_EQ(book4.jobs, 4u);
+    EXPECT_EQ(book1.cells, book4.cells);
+    EXPECT_GT(book1.cells, 0u);
+
+    EXPECT_EQ(renderResultsBook(book1), renderResultsBook(book4));
+    ASSERT_EQ(book1.devices.size(), book4.devices.size());
+    for (size_t i = 0; i < book1.devices.size(); ++i)
+        EXPECT_EQ(deviceCsv(book1.devices[i]),
+                  deviceCsv(book4.devices[i]));
+    EXPECT_EQ(suiteJsonFromBook(book1), suiteJsonFromBook(book4));
+}
+
+} // namespace
+} // namespace vcb::harness

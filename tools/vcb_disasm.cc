@@ -100,8 +100,8 @@ main(int argc, char **argv)
     if (lowered) {
         std::printf("\n; micro-op lowering (executor tier: %s):\n",
                     sim::execTierName(
-                        sim::chooseExecTier(lowered->micro)));
-        std::printf("%s", sim::disassembleMicro(lowered->micro).c_str());
+                        sim::chooseExecTier(*lowered->micro)));
+        std::printf("%s", sim::disassembleMicro(*lowered->micro).c_str());
     }
     return 0;
 }

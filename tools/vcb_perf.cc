@@ -53,6 +53,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "harness/sweep.h"
 #include "sim/engine.h"
 #include "suite/benchmark.h"
 
@@ -99,7 +100,12 @@ void
 usage()
 {
     std::printf("usage: vcb_perf [--quick] [--repeat N] [--suite] "
-                "[--device NAME] [--api vulkan|opencl|cuda]\n");
+                "[--jobs N] [--device NAME] "
+                "[--api vulkan|opencl|cuda]\n"
+                "  --jobs N  (--suite only) sweep-executor sessions; "
+                "simulated fields are\n            byte-identical at "
+                "any job count (default: VCB_REPORT_JOBS,\n"
+                "            else hardware concurrency)\n");
 }
 
 /** Median of an unsorted sample (averages the middle pair). */
@@ -112,23 +118,41 @@ median(std::vector<double> v)
 }
 
 /** --suite: one JSON line per registry benchmark with the paper's
- *  metric and the submission strategy that produced it. */
+ *  metric and the submission strategy that produced it.  Runs on the
+ *  sweep executor (src/harness/sweep.h): one cell per benchmark on
+ *  `jobs` isolated sessions, results printed in registry order — the
+ *  simulated fields are byte-identical at any job count; wall_ms and
+ *  sim_ms are the executor's per-cell ledger. */
 int
-runSuiteSnapshot(const sim::DeviceSpec &dev, sim::Api api, bool quick)
+runSuiteSnapshot(const sim::DeviceSpec &dev, sim::Api api, bool quick,
+                 unsigned jobs)
 {
+    const auto &benches = suite::registry();
+    std::vector<suite::RunResult> results(benches.size());
+    std::vector<std::string> labels(benches.size());
+
+    const std::string dev_name = dev.name;
+    harness::SweepOptions sweep_opts;
+    sweep_opts.jobs = jobs;
+    harness::SweepStats stats = harness::runSweepPlan(
+        benches.size(),
+        [&](size_t cell) {
+            const suite::Benchmark *bench = benches[cell];
+            auto sizes = bench->desktopSizes();
+            const suite::SizeConfig &cfg =
+                quick ? sizes.front() : sizes.back();
+            labels[cell] = cfg.label;
+            // Resolve against the worker session's own registry copy
+            // (the Vulkan front-end matches specs by identity).
+            results[cell] = bench->run(sim::deviceByName(dev_name),
+                                       api, cfg);
+        },
+        sweep_opts);
+
     bool all_ok = true;
     double suite_kernel_ns = 0;
-    for (const suite::Benchmark *bench : suite::registry()) {
-        auto sizes = bench->desktopSizes();
-        const suite::SizeConfig &cfg =
-            quick ? sizes.front() : sizes.back();
-
-        uint64_t sim0 = sim::dispatchWallNs();
-        double t0 = nowMs();
-        suite::RunResult r = bench->run(dev, api, cfg);
-        double wall_ms = nowMs() - t0;
-        double sim_ms = (sim::dispatchWallNs() - sim0) / 1e6;
-
+    for (size_t b = 0; b < benches.size(); ++b) {
+        const suite::RunResult &r = results[b];
         bool ok = r.ok && r.validated;
         all_ok = all_ok && ok;
         suite_kernel_ns += r.kernelRegionNs;
@@ -138,19 +162,20 @@ runSuiteSnapshot(const sim::DeviceSpec &dev, sim::Api api, bool quick)
                     "\"kernel_region_ns\": %.0f, \"total_ns\": %.0f, "
                     "\"launches\": %llu, \"wall_ms\": %.3f, "
                     "\"sim_ms\": %.3f, \"validated\": %s}\n",
-                    bench->name().c_str(), cfg.label.c_str(),
+                    benches[b]->name().c_str(), labels[b].c_str(),
                     sim::apiName(api), dev.name.c_str(),
                     r.strategy.c_str(), r.kernelRegionNs, r.totalNs,
-                    (unsigned long long)r.launches, wall_ms, sim_ms,
-                    ok ? "true" : "false");
+                    (unsigned long long)r.launches, stats.cellWallMs[b],
+                    stats.cellSimMs[b], ok ? "true" : "false");
         std::fflush(stdout);
     }
     std::printf("{\"bench\": \"suite\", \"mode\": \"%s\", "
                 "\"api\": \"%s\", \"device\": \"%s\", "
-                "\"kernel_region_ns\": %.0f, \"validated\": %s}\n",
+                "\"kernel_region_ns\": %.0f, \"jobs\": %u, "
+                "\"sweep_wall_ms\": %.1f, \"validated\": %s}\n",
                 quick ? "quick" : "full", sim::apiName(api),
-                dev.name.c_str(), suite_kernel_ns,
-                all_ok ? "true" : "false");
+                dev.name.c_str(), suite_kernel_ns, stats.jobs,
+                stats.wallMs, all_ok ? "true" : "false");
     return all_ok ? 0 : 1;
 }
 
@@ -162,6 +187,7 @@ main(int argc, char **argv)
     bool quick = false;
     bool suite_mode = false;
     int repeat = 1;
+    unsigned jobs = 0; // --suite only; 0 = VCB_REPORT_JOBS/hardware
     std::string device_name = "gtx1050ti";
     std::string api_str = "vulkan";
 
@@ -180,6 +206,12 @@ main(int argc, char **argv)
             repeat = std::atoi(next().c_str());
             if (repeat < 1)
                 fatal("--repeat needs a positive count");
+        }
+        else if (arg == "--jobs") {
+            int n = std::atoi(next().c_str());
+            if (n < 1 || n > 256)
+                fatal("--jobs needs a count in 1..256");
+            jobs = static_cast<unsigned>(n);
         }
         else if (arg == "--device")
             device_name = next();
@@ -207,7 +239,7 @@ main(int argc, char **argv)
               dev.name.c_str());
 
     if (suite_mode)
-        return runSuiteSnapshot(dev, api, quick);
+        return runSuiteSnapshot(dev, api, quick, jobs);
 
     const char *threads_env = std::getenv("VCB_THREADS");
 

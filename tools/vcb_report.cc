@@ -35,6 +35,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -57,7 +58,10 @@ usage()
     std::printf(
         "usage: vcb_report [--devices DIR] [--dry-run] [--quick]\n"
         "                  [--out DIR] [--check FILE] [--suite-json]\n"
-        "                  [--write-builtin-specs DIR]\n");
+        "                  [--jobs N] [--write-builtin-specs DIR]\n"
+        "  --jobs N   sweep-executor worker sessions (default:\n"
+        "             VCB_REPORT_JOBS, else hardware concurrency);\n"
+        "             output is byte-identical at any job count\n");
 }
 
 void
@@ -138,6 +142,7 @@ main(int argc, char **argv)
     bool dry_run = false;
     bool quick = false;
     bool suite_json = false;
+    unsigned jobs = 0; // 0 = VCB_REPORT_JOBS, else hardware
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -158,7 +163,14 @@ main(int argc, char **argv)
             check_file = next();
         else if (arg == "--suite-json")
             suite_json = true;
-        else if (arg == "--write-builtin-specs")
+        else if (arg == "--jobs") {
+            std::string v = next();
+            char *end = nullptr;
+            long n = std::strtol(v.c_str(), &end, 10);
+            if (!end || *end != '\0' || n < 1 || n > 256)
+                fatal("invalid --jobs '%s' (want 1..256)", v.c_str());
+            jobs = static_cast<unsigned>(n);
+        } else if (arg == "--write-builtin-specs")
             write_specs_dir = next();
         else {
             usage();
@@ -179,13 +191,18 @@ main(int argc, char **argv)
     if (suite_json) {
         bool all_ok = false;
         std::string lines =
-            harness::suiteJsonLines(devices, quick, &all_ok);
+            harness::suiteJsonLines(devices, quick, &all_ok, jobs);
         std::fputs(lines.c_str(), stdout);
         return all_ok ? 0 : 1;
     }
 
     bool dry = dry_run || quick;
-    harness::ReportBook book = harness::buildReportBook(devices, dry);
+    harness::ReportBook book =
+        harness::buildReportBook(devices, dry, jobs);
+    // Wall-clock trajectory of the build (stderr: the book itself is
+    // deterministic and byte-diffed, so it never carries wall time).
+    inform("sweep: %zu cells on %u jobs in %.1f ms (sim %.1f ms)",
+           book.cells, book.jobs, book.sweepWallMs, book.sweepSimMs);
     std::string markdown = harness::renderResultsBook(book);
     bool ok = book.allValidated();
     if (!ok)
