@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Regenerates the oversubscribed-bandwidth sweep section (UVM
+ * expansion parts) as a thin wrapper over the shared report-book
+ * renderer (src/harness/report_book.h) — the exact section
+ * `vcb_report` embeds in docs/RESULTS.md, so the standalone figure
+ * cannot drift from the book.
+ *
+ * The sweep runs a unit-stride read over working sets from 0.5x to 2x
+ * the modeled device-local heap on every device whose spec enables
+ * UVM paging (unified_memory = true, uvm_oversubscription > 1): the
+ * sub-heap factors stay device-local, the super-heap factors page
+ * through the shared pool and pay first-touch migration plus the
+ * oversubscribed-bandwidth derate — the knee the section exists to
+ * show.  Hard-cap parts contribute no panel.
+ *
+ * Default devices are the compiled-in parts (no UVM parts there, so
+ * the section renders its placeholder); --devices DIR loads a spec
+ * directory — the committed devices/ tree includes the UVM-enabled
+ * adreno640 and mali_g76 expansion parts.
+ */
+
+#include <cstdio>
+#include <cstring>
+
+#include "harness/report_book.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace vcb;
+    bool dry_run = false;
+    std::string devices_dir;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--dry-run") == 0) {
+            dry_run = true;
+        } else if (std::strcmp(argv[i], "--devices") == 0 &&
+                   i + 1 < argc) {
+            devices_dir = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--dry-run] [--devices DIR]\n",
+                         argv[0]);
+            return 1;
+        }
+    }
+    const std::vector<sim::DeviceSpec> &devices =
+        harness::resolveReportDevices(devices_dir);
+    // Registry order, every device: panels plan empty on non-UVM
+    // parts, exactly as buildReportBook stores them.
+    std::vector<harness::OversubPanel> panels;
+    for (const sim::DeviceSpec &dev : devices) {
+        suite::OversubConfig cfg;
+        harness::OversubPanel panel =
+            harness::planOversubPanel(dev, dry_run, cfg);
+        for (int a = 0; a < sim::apiCount; ++a)
+            if (panel.apiRun[a])
+                harness::runOversubPanelApi(
+                    panel, static_cast<sim::Api>(a), dev, cfg);
+        panels.push_back(std::move(panel));
+    }
+    std::fputs(harness::renderOversubSection(panels, dry_run).c_str(),
+               stdout);
+    return 0;
+}

@@ -7,6 +7,7 @@
 #include "sim/kernel.h"
 #include "sim/timeline.h"
 #include "sim/timing.h"
+#include "sim/uvm.h"
 
 namespace vcb::cuda {
 
@@ -15,14 +16,25 @@ struct RuntimeImpl
     const sim::DeviceSpec *spec = nullptr;
     std::unique_ptr<sim::ExecutionEngine> engine;
     std::unique_ptr<sim::Timeline> timeline;
-    uint64_t heapUsed = 0;
+    std::unique_ptr<sim::UvmAccounting> uvm;
 };
 
 struct DevPtrImpl
 {
     RuntimeImpl *rt = nullptr;
     uint64_t bytes = 0;
+    /** UVM: overflowed the device heap into the shared pool. */
+    bool paged = false;
+    /** UVM: device-side; host memcpys clear this and the next launch
+     *  touching the allocation pays the first-touch migration. */
+    bool resident = false;
     std::vector<uint32_t> words;
+
+    ~DevPtrImpl()
+    {
+        if (rt)
+            rt->uvm->free(bytes);
+    }
 };
 
 struct FunctionImpl
@@ -53,6 +65,7 @@ Runtime::Runtime(const sim::DeviceSpec &dev, uint32_t streams)
     impl_->spec = &dev;
     impl_->engine = std::make_unique<sim::ExecutionEngine>(dev);
     impl_->timeline = std::make_unique<sim::Timeline>(streams);
+    impl_->uvm = std::make_unique<sim::UvmAccounting>(dev);
 }
 
 Runtime::~Runtime() = default;
@@ -74,14 +87,24 @@ Runtime::malloc(uint64_t bytes)
 {
     VCB_ASSERT(bytes > 0 && bytes % 4 == 0,
                "allocation must be a positive multiple of 4");
-    if (impl_->heapUsed + bytes > impl_->spec->deviceHeapBytes)
-        fatal("cuda: out of device memory on %s",
-              impl_->spec->name.c_str());
-    impl_->heapUsed += bytes;
+    // cudaErrorMemoryAllocation surfaces as an invalid DevPtr so
+    // callers can skip the workload rather than abort — the same
+    // failure surface as vkm's ErrorOutOfDeviceMemory.  UVM devices
+    // (cudaMallocManaged semantics) page past the heap instead.
+    sim::UvmAccounting::Placement placement = impl_->uvm->alloc(bytes);
+    if (placement == sim::UvmAccounting::Placement::TooBig) {
+        warn("cuda: out of device memory on %s (%llu B used, %llu B "
+             "requested)",
+             impl_->spec->name.c_str(),
+             (unsigned long long)impl_->uvm->heapUsed(),
+             (unsigned long long)bytes);
+        return DevPtr();
+    }
     DevPtr p;
     p.impl_ = std::make_shared<DevPtrImpl>();
     p.impl_->rt = impl_.get();
     p.impl_->bytes = bytes;
+    p.impl_->paged = placement == sim::UvmAccounting::Placement::Paged;
     p.impl_->words.assign(bytes / 4, 0);
     return p;
 }
@@ -92,6 +115,8 @@ Runtime::memcpyHtoD(DevPtr dst, const void *src, uint64_t bytes)
     VCB_ASSERT(dst.valid() && src && bytes <= dst.sizeBytes(),
                "bad memcpyHtoD");
     std::memcpy(dst.impl()->words.data(), src, bytes);
+    // Host access evicts paged allocations (first-touch model).
+    dst.impl()->resident = false;
     const sim::DriverProfile &prof =
         impl_->spec->profile(sim::Api::Cuda);
     impl_->timeline->hostAdvance(prof.launchOverheadNs);
@@ -112,6 +137,8 @@ Runtime::memcpyDtoH(void *dst, DevPtr src, uint64_t bytes)
         0, sim::TimingModel::transferNs(*impl_->spec, bytes));
     impl_->timeline->hostWaitUntil(end, prof.syncWakeupNs);
     std::memcpy(dst, src.impl()->words.data(), bytes);
+    // Host access evicts paged allocations (first-touch model).
+    src.impl()->resident = false;
 }
 
 void
@@ -121,8 +148,17 @@ Runtime::memset(DevPtr dst, uint32_t word_value, uint64_t bytes)
                "bad memset");
     std::fill(dst.impl()->words.begin(),
               dst.impl()->words.begin() + bytes / 4, word_value);
+    // memset runs device-side: a paged destination pages in first.
+    double migrate_ns = 0;
+    DevPtrImpl *p = dst.impl();
+    if (p->paged && !p->resident) {
+        migrate_ns = sim::uvmMigrateNs(*impl_->spec, p->bytes);
+        p->resident = true;
+        impl_->uvm->chargeMigration(p->bytes, migrate_ns);
+    }
     impl_->timeline->enqueue(
-        0, sim::TimingModel::deviceCopyNs(*impl_->spec, bytes) / 2.0);
+        0, migrate_ns +
+               sim::TimingModel::deviceCopyNs(*impl_->spec, bytes) / 2.0);
 }
 
 Function
@@ -166,10 +202,19 @@ Runtime::launchKernel(Function f, uint32_t grid_x, uint32_t grid_y,
                "kernel '%s' expects %zu buffer args, got %zu",
                kernel.module.name.c_str(),
                kernel.module.bindings.size(), buffer_args.size());
+    // UVM first-touch migration: non-resident paged arguments page in
+    // ahead of the launch, charged as device time on the stream.
+    double migrate_ns = 0;
     for (size_t i = 0; i < buffer_args.size(); ++i) {
         const auto &decl = kernel.module.bindings[i];
         VCB_ASSERT(buffer_args[i].valid(), "null buffer arg %zu", i);
         DevPtrImpl *p = buffer_args[i].impl();
+        if (p->paged && !p->resident) {
+            double ns = sim::uvmMigrateNs(*impl_->spec, p->bytes);
+            migrate_ns += ns;
+            p->resident = true;
+            impl_->uvm->chargeMigration(p->bytes, ns);
+        }
         ctx.buffers[decl.binding] = {p->words.data(), p->words.size()};
     }
 
@@ -184,9 +229,11 @@ Runtime::launchKernel(Function f, uint32_t grid_x, uint32_t grid_y,
     ctx.push = push.data();
     ctx.pushWords = static_cast<uint32_t>(push.size());
 
+    ctx.dramDerate = impl_->uvm->bwDerate();
+
     impl_->timeline->hostAdvance(prof.launchOverheadNs);
     sim::DispatchResult r = impl_->engine->dispatch(ctx);
-    impl_->timeline->enqueue(stream, r.kernelNs);
+    impl_->timeline->enqueue(stream, migrate_ns + r.kernelNs);
 }
 
 double
@@ -212,6 +259,24 @@ Runtime::deviceSynchronize()
     const sim::DriverProfile &prof =
         impl_->spec->profile(sim::Api::Cuda);
     impl_->timeline->hostWaitAll(prof.syncWakeupNs);
+}
+
+uint64_t
+heapUsed(const Runtime &rt)
+{
+    return rt.impl()->uvm->heapUsed();
+}
+
+uint64_t
+uvmMigratedBytes(const Runtime &rt)
+{
+    return rt.impl()->uvm->migratedBytes();
+}
+
+double
+uvmFaultNs(const Runtime &rt)
+{
+    return rt.impl()->uvm->faultNs();
 }
 
 } // namespace vcb::cuda

@@ -64,7 +64,9 @@ class Runtime
 
     const sim::DeviceSpec &device() const;
 
-    /** cudaMalloc: fatal on out-of-memory. */
+    /** cudaMalloc: returns an invalid DevPtr on out-of-memory so
+     *  callers can skip the workload; UVM devices page past the heap
+     *  (cudaMallocManaged semantics) up to uvmCapBytes(). */
     DevPtr malloc(uint64_t bytes);
     /** cudaMemcpy host->device (blocking). */
     void memcpyHtoD(DevPtr dst, const void *src, uint64_t bytes);
@@ -107,6 +109,15 @@ class Runtime
   private:
     std::unique_ptr<RuntimeImpl> impl_;
 };
+
+/** Bytes currently allocated against the runtime's device heap. */
+uint64_t heapUsed(const Runtime &rt);
+
+/** Bytes migrated device-ward by UVM first-touch paging so far. */
+uint64_t uvmMigratedBytes(const Runtime &rt);
+
+/** Migration + fault time charged to the device by UVM paging, ns. */
+double uvmFaultNs(const Runtime &rt);
 
 } // namespace vcb::cuda
 

@@ -76,12 +76,16 @@ planSpeedupFigure(const sim::DeviceSpec &dev, bool mobile,
     fig.mobile = mobile;
 
     for (const suite::Benchmark *bench : suite::registry()) {
-        auto sizes = mobile ? bench->mobileSizes()
+        auto sizes = mobile ? bench->sizesFor(dev)
                             : bench->desktopSizes();
         if (mobile && sizes.empty()) {
-            // cfd: skipped wholesale on mobile (Sec. V-B2).
-            inform("%s: skipped on mobile: %s", bench->name().c_str(),
-                   bench->mobileSkipReason().c_str());
+            // cfd on hard-cap parts: skipped wholesale (Sec. V-B2);
+            // UVM parts page instead and contribute rows.
+            std::string reason = bench->mobileSkipReason(dev);
+            inform("%s: skipped on %s: %s", bench->name().c_str(),
+                   dev.name.c_str(), reason.c_str());
+            fig.wholesaleSkips.push_back(
+                {bench->name(), std::move(reason)});
             continue;
         }
         for (const auto &size : sizes) {
@@ -121,6 +125,8 @@ runFigureCell(FigureData &fig, const FigureCell &cell,
     row.strategy[a] = r.strategy;
     row.totalNs[a] = r.totalNs;
     row.launches[a] = r.launches;
+    row.migratedBytes[a] = r.migratedBytes;
+    row.faultNs[a] = r.faultNs;
     if (r.ok && !r.validated)
         warn("%s/%s on %s [%s]: validation FAILED: %s",
              row.bench.c_str(), row.sizeLabel.c_str(),

@@ -34,6 +34,9 @@ struct SpeedupRow
      *  the Vulkan column reports which command-buffer strategy
      *  produced its number. */
     std::string strategy[sim::apiCount];
+    /** UVM paging traffic of each API's run (0 off paging devices). */
+    uint64_t migratedBytes[sim::apiCount] = {0, 0, 0};
+    double faultNs[sim::apiCount] = {0, 0, 0};
 
     /** Speedup of `api` relative to the OpenCL baseline (the paper's
      *  convention); 0 when either side is missing. */
@@ -46,6 +49,10 @@ struct FigureData
     const sim::DeviceSpec *dev = nullptr;
     bool mobile = false;
     std::vector<SpeedupRow> rows;
+    /** Benchmarks skipped wholesale on THIS device (bench name,
+     *  mobileSkipReason(dev)) — per-device now that UVM parts run
+     *  workloads the hard-cap parts cannot. */
+    std::vector<std::pair<std::string, std::string>> wholesaleSkips;
 
     /** Geometric-mean speedup of `api` vs OpenCL over all rows where
      *  both ran (the paper's headline numbers). */

@@ -155,6 +155,107 @@ renderBandwidthSection(const std::vector<BandwidthPanel> &panels,
 }
 
 // ---------------------------------------------------------------------------
+// Oversubscribed-bandwidth sweep (UVM parts)
+// ---------------------------------------------------------------------------
+
+OversubPanel
+planOversubPanel(const sim::DeviceSpec &dev, bool dry,
+                 suite::OversubConfig &cfg)
+{
+    OversubPanel panel;
+    panel.device = dev.name;
+    panel.heapBytes = dev.deviceHeapBytes;
+    panel.derate = dev.uvmOversubBwDerate;
+    if (!dev.uvmPagingEnabled())
+        return panel; // hard-cap part: nothing to sweep
+    cfg.factors = {0.5, 0.75, 1.0, 1.25, 1.5, 2.0};
+    cfg.rounds = dry ? 8 : 32;
+    cfg.repeats = dry ? 1 : 3;
+    panel.factors = cfg.factors;
+    for (int a = 0; a < sim::apiCount; ++a)
+        if (dev.profile(static_cast<Api>(a)).available)
+            panel.apiRun[a] = true;
+    return panel;
+}
+
+void
+runOversubPanelApi(OversubPanel &panel, Api api,
+                   const sim::DeviceSpec &dev,
+                   const suite::OversubConfig &cfg)
+{
+    panel.points[static_cast<int>(api)] =
+        suite::runOversubSweep(dev, api, cfg);
+}
+
+std::string
+renderOversubSection(const std::vector<OversubPanel> &panels, bool dry)
+{
+    std::string out;
+    out += "Unit-stride read bandwidth as the working set grows past "
+           "the modeled\ndevice-local heap on the unified-memory "
+           "parts: factors <= 1.0 stay\ndevice-local, factors > 1.0 "
+           "page through the shared pool and pay\nfirst-touch "
+           "migration plus the oversubscribed-bandwidth derate.  Each\n"
+           "factor runs in a fresh context, so points are independent "
+           "and the\ncurve is the paging model itself, not allocator "
+           "history.\n";
+    if (dry)
+        out += "(dry run: reduced rounds/repeats; the knee's position "
+               "is the point,\nnot the absolute GB/s)\n";
+    bool any = false;
+    for (const OversubPanel &panel : panels) {
+        if (panel.factors.empty())
+            continue;
+        any = true;
+        out += strprintf("\n--- %s (heap %llu KiB, derate %.2f) ---\n",
+                         panel.device.c_str(),
+                         (unsigned long long)(panel.heapBytes >> 10),
+                         panel.derate);
+        std::vector<std::string> headers = {"factor", "working set"};
+        for (int a = 0; a < sim::apiCount; ++a)
+            if (panel.apiRun[a]) {
+                std::string api = sim::apiName(static_cast<Api>(a));
+                headers.push_back(api + " GB/s");
+                headers.push_back(api + " migrated");
+                headers.push_back(api + " fault ms");
+            }
+        Table table(headers);
+        for (size_t i = 0; i < panel.factors.size(); ++i) {
+            std::vector<std::string> cells = {
+                fmtF(panel.factors[i], 2)};
+            bool have_ws = false;
+            for (int a = 0; a < sim::apiCount; ++a) {
+                if (!panel.apiRun[a])
+                    continue;
+                const suite::OversubPoint &p = panel.points[a][i];
+                if (!have_ws) {
+                    cells.insert(
+                        cells.begin() + 1,
+                        strprintf("%llu KiB",
+                                  (unsigned long long)(
+                                      p.workingSetBytes >> 10)));
+                    have_ws = true;
+                }
+                cells.push_back(fmtF(p.gbPerSec, 3));
+                cells.push_back(strprintf(
+                    "%llu KiB",
+                    (unsigned long long)(p.migratedBytes >> 10)));
+                cells.push_back(fmtF(p.faultNs / 1e6, 3));
+            }
+            if (!have_ws)
+                cells.insert(cells.begin() + 1, "-");
+            table.addRow(cells);
+        }
+        out += table.render();
+    }
+    if (!any)
+        out += "\n(no unified-memory parts with uvm_oversubscription "
+               "> 1 in the\nregistry — add one under devices/ to "
+               "populate this section)\n";
+    return out;
+}
+
+// ---------------------------------------------------------------------------
 // Speedup figures (Figs. 2 and 4)
 // ---------------------------------------------------------------------------
 
@@ -167,15 +268,11 @@ renderSpeedupSection(const std::vector<FigureData> &figures, bool mobile,
         out += strprintf("(dry run: sizes / %llu, figures not "
                          "paper-comparable)\n",
                          (unsigned long long)scale);
-    if (mobile) {
-        for (const suite::Benchmark *bench : suite::registry())
-            if (bench->mobileSizes().empty())
-                out += strprintf("skipped wholesale on mobile: %s — "
-                                 "%s\n",
-                                 bench->name().c_str(),
-                                 bench->mobileSkipReason().c_str());
-    }
     for (const FigureData &fig : figures) {
+        for (const auto &skip : fig.wholesaleSkips)
+            out += strprintf("skipped wholesale on %s: %s — %s\n",
+                             fig.dev->name.c_str(), skip.first.c_str(),
+                             skip.second.c_str());
         out += formatSpeedupFigure(fig);
         out += "\n";
         if (!fig.allValidated())
@@ -330,12 +427,26 @@ buildReportBook(const std::vector<sim::DeviceSpec> &devices, bool dry,
             });
         }
 
+        // Oversubscription sweep: one cell per available API column
+        // (plans empty on non-UVM parts).
+        suite::OversubConfig os_cfg;
+        report.oversub = planOversubPanel(dev, dry, os_cfg);
+        for (int a = 0; a < sim::apiCount; ++a) {
+            if (!report.oversub.apiRun[a])
+                continue;
+            Api api = static_cast<Api>(a);
+            plan.push_back([&book, di, api, os_cfg] {
+                runOversubPanelApi(book.devices[di].oversub, api,
+                                   sim::activeDeviceRegistry()[di],
+                                   os_cfg);
+            });
+        }
+
         if (!dev.profile(Api::Vulkan).available)
             continue;
 
         for (const suite::Benchmark *bench : suite::registry()) {
-            auto sizes = dev.mobile ? bench->mobileSizes()
-                                    : bench->desktopSizes();
+            auto sizes = bench->sizesFor(dev);
             if (sizes.empty())
                 continue;
             suite::SizeConfig cfg = scaleConfig(sizes.front(), scale);
@@ -538,8 +649,9 @@ std::string
 deviceCsv(const DeviceReport &report)
 {
     Table table({"device", "bench", "size", "api", "strategy",
-                 "kernel_region_ns", "total_ns", "launches", "ok",
-                 "validated", "note"});
+                 "kernel_region_ns", "total_ns", "launches",
+                 "migrated_bytes", "fault_ns", "ok", "validated",
+                 "note"});
     const std::string &dev = report.dev->name;
     for (const SpeedupRow &row : report.figure.rows) {
         for (int a = 0; a < sim::apiCount; ++a) {
@@ -552,6 +664,11 @@ deviceCsv(const DeviceReport &report)
                  row.ok[a] ? strprintf("%llu", (unsigned long long)
                                                    row.launches[a])
                            : "-",
+                 row.ok[a] ? strprintf("%llu",
+                                       (unsigned long long)
+                                           row.migratedBytes[a])
+                           : "-",
+                 row.ok[a] ? strprintf("%.0f", row.faultNs[a]) : "-",
                  row.ok[a] ? "true" : "false",
                  row.validated[a] ? "true" : "false", row.skip[a]});
         }
@@ -565,6 +682,10 @@ deviceCsv(const DeviceReport &report)
              r.ok ? strprintf("%.0f", r.totalNs) : "-",
              r.ok ? strprintf("%llu", (unsigned long long)r.launches)
                   : "-",
+             r.ok ? strprintf("%llu",
+                              (unsigned long long)r.migratedBytes)
+                  : "-",
+             r.ok ? strprintf("%.0f", r.faultNs) : "-",
              r.ok ? "true" : "false", r.validated ? "true" : "false",
              r.skipReason});
     }
@@ -611,14 +732,14 @@ jsonStr(const std::string &s)
 // shape, so both build every line through these.
 
 std::string
-jsonWholesaleSkipLine(const suite::Benchmark &bench,
-                      const std::string &dev_name)
+jsonWholesaleSkipLine(const std::string &bench,
+                      const std::string &dev_name,
+                      const std::string &reason)
 {
     return strprintf("{\"bench\": %s, \"device\": %s, "
                      "\"skipped\": %s}\n",
-                     jsonStr(bench.name()).c_str(),
-                     jsonStr(dev_name).c_str(),
-                     jsonStr(bench.mobileSkipReason()).c_str());
+                     jsonStr(bench).c_str(), jsonStr(dev_name).c_str(),
+                     jsonStr(reason).c_str());
 }
 
 std::string
@@ -636,17 +757,19 @@ std::string
 jsonRunLine(const std::string &bench, const std::string &size, Api api,
             const std::string &dev_name, const std::string &strategy,
             double kernel_ns, double total_ns, uint64_t launches,
-            bool validated)
+            bool validated, uint64_t migrated_bytes, double fault_ns)
 {
     return strprintf("{\"bench\": %s, \"size\": %s, \"api\": \"%s\", "
                      "\"device\": %s, \"strategy\": %s, "
                      "\"kernel_region_ns\": %.0f, \"total_ns\": %.0f, "
-                     "\"launches\": %llu, \"validated\": %s}\n",
+                     "\"launches\": %llu, \"validated\": %s, "
+                     "\"migrated_bytes\": %llu, \"fault_ns\": %.0f}\n",
                      jsonStr(bench).c_str(), jsonStr(size).c_str(),
                      sim::apiName(api), jsonStr(dev_name).c_str(),
                      jsonStr(strategy).c_str(), kernel_ns, total_ns,
                      (unsigned long long)launches,
-                     validated ? "true" : "false");
+                     validated ? "true" : "false",
+                     (unsigned long long)migrated_bytes, fault_ns);
 }
 
 std::string
@@ -678,11 +801,8 @@ suiteJsonFromBook(const ReportBook &book)
     bool all_ok = true;
     for (const DeviceReport &report : book.devices) {
         const std::string &dev = report.dev->name;
-        if (report.dev->mobile) {
-            for (const suite::Benchmark *bench : suite::registry())
-                if (bench->mobileSizes().empty())
-                    out += jsonWholesaleSkipLine(*bench, dev);
-        }
+        for (const auto &skip : report.figure.wholesaleSkips)
+            out += jsonWholesaleSkipLine(skip.first, dev, skip.second);
         double device_kernel_ns = 0;
         bool device_ok = true;
         for (const SpeedupRow &row : report.figure.rows) {
@@ -700,7 +820,9 @@ suiteJsonFromBook(const ReportBook &book)
                 out += jsonRunLine(row.bench, row.sizeLabel, api, dev,
                                    row.strategy[a], row.ns[a],
                                    row.totalNs[a], row.launches[a],
-                                   row.validated[a]);
+                                   row.validated[a],
+                                   row.migratedBytes[a],
+                                   row.faultNs[a]);
             }
         }
         out += jsonDeviceSummary(mode, dev, device_kernel_ns,
@@ -759,10 +881,11 @@ suiteJsonLines(const std::vector<sim::DeviceSpec> &devices, bool quick,
         const suite::Benchmark *bench = benches[cell % benches.size()];
         const sim::DeviceSpec &dev = sim::activeDeviceRegistry()[di];
         Chunk &out = chunks[cell];
-        auto sizes = dev.mobile ? bench->mobileSizes()
-                                : bench->desktopSizes();
+        auto sizes = bench->sizesFor(dev);
         if (sizes.empty()) {
-            out.lines = jsonWholesaleSkipLine(*bench, dev.name);
+            out.lines =
+                jsonWholesaleSkipLine(bench->name(), dev.name,
+                                      bench->mobileSkipReason(dev));
             return;
         }
         const suite::SizeConfig &cfg =
@@ -782,7 +905,8 @@ suiteJsonLines(const std::vector<sim::DeviceSpec> &devices, bool quick,
             out.lines += jsonRunLine(bench->name(), cfg.label, api,
                                      dev.name, r.strategy,
                                      r.kernelRegionNs, r.totalNs,
-                                     r.launches, r.validated);
+                                     r.launches, r.validated,
+                                     r.migratedBytes, r.faultNs);
         }
     };
 
@@ -952,6 +1076,18 @@ renderResultsBook(const ReportBook &book)
                      "spread across compute queues (paper Sec. VI-B), "
                      "at paper-scale\nsizes even in the dry book.",
                      renderOverlapSection(book));
+
+    std::vector<OversubPanel> oversub_panels;
+    for (const DeviceReport &r : book.devices)
+        oversub_panels.push_back(r.oversub);
+    addFencedSection(
+        out, "Oversubscribed-bandwidth sweep",
+        "The unified-memory expansion parts page working sets past "
+        "their modeled\ndevice-local heap instead of failing "
+        "allocation (the paper's cfd skip\nmade tunable — see "
+        "DEVICE_MODEL.md, UVM fields): bandwidth vs\nworking-set "
+        "factor, with first-touch migration traffic itemized.",
+        renderOversubSection(oversub_panels, book.dry));
 
     // Geomean summary as a native markdown table.
     out += "## Geomean summary\n\n";

@@ -91,6 +91,42 @@ renderBandwidthSection(const std::vector<BandwidthPanel> &panels,
                        bool mobile, bool dry);
 
 // ---------------------------------------------------------------------------
+// Oversubscribed-bandwidth sweep (UVM parts)
+// ---------------------------------------------------------------------------
+
+/** One UVM device's oversubscription sweep under every available API:
+ *  unit-stride bandwidth over working sets from 0.5x to 2x the
+ *  device-local heap, with the paging traffic each point paid. */
+struct OversubPanel
+{
+    std::string device;
+    uint64_t heapBytes = 0;
+    double derate = 1.0; ///< uvm_oversub_bw_derate, for the header
+    std::vector<double> factors;
+    bool apiRun[sim::apiCount] = {false, false, false};
+    std::vector<suite::OversubPoint> points[sim::apiCount];
+};
+
+/** Enumerate the panel without running anything.  Empty factors (and
+ *  all-false apiRun[]) on devices without uvmPagingEnabled() — the
+ *  sweep only exists for UVM parts.  One runOversubPanelApi call per
+ *  marked API, any order, reproduces the serial sweep exactly (the
+ *  sweep-executor split, see sweep.h). */
+OversubPanel planOversubPanel(const sim::DeviceSpec &dev, bool dry,
+                              suite::OversubConfig &cfg);
+
+/** Execute one API column of a planned panel against `dev` (the
+ *  EXECUTING thread's registry copy). */
+void runOversubPanelApi(OversubPanel &panel, sim::Api api,
+                        const sim::DeviceSpec &dev,
+                        const suite::OversubConfig &cfg);
+
+/** Render the oversubscription section: one table per UVM device with
+ *  per-factor working set, per-API GB/s and paging-traffic columns. */
+std::string
+renderOversubSection(const std::vector<OversubPanel> &panels, bool dry);
+
+// ---------------------------------------------------------------------------
 // Speedup figures (Figs. 2 and 4)
 // ---------------------------------------------------------------------------
 
@@ -157,6 +193,9 @@ struct DeviceReport
      *  time to dominate submission overhead) over 1/2/4 compute
      *  queues. */
     std::vector<OverlapRun> overlapSweep;
+    /** Oversubscribed-bandwidth sweep (empty factors on non-UVM
+     *  parts — the sweep only exists where paging does). */
+    OversubPanel oversub;
 };
 
 /** The whole report: one DeviceReport per registry device. */

@@ -8,6 +8,7 @@
 #include "sim/kernel.h"
 #include "sim/timeline.h"
 #include "sim/timing.h"
+#include "sim/uvm.h"
 
 namespace vcb::ocl {
 
@@ -44,14 +45,25 @@ struct ContextImpl
     const sim::DeviceSpec *spec = nullptr;
     std::unique_ptr<sim::ExecutionEngine> engine;
     std::unique_ptr<sim::Timeline> timeline;
-    uint64_t heapUsed = 0;
+    std::unique_ptr<sim::UvmAccounting> uvm;
 };
 
 struct BufferImpl
 {
     ContextImpl *ctx = nullptr;
     uint64_t bytes = 0;
+    /** UVM: overflowed the device heap into the shared pool. */
+    bool paged = false;
+    /** UVM: device-side; host writes/reads clear this and the next
+     *  launch touching the buffer pays the first-touch migration. */
+    bool resident = false;
     std::vector<uint32_t> words;
+
+    ~BufferImpl()
+    {
+        if (ctx)
+            ctx->uvm->free(bytes);
+    }
 };
 
 struct ProgramImpl
@@ -87,6 +99,7 @@ Context::Context(const sim::DeviceSpec &dev)
     impl_->spec = &dev;
     impl_->engine = std::make_unique<sim::ExecutionEngine>(dev);
     impl_->timeline = std::make_unique<sim::Timeline>(1);
+    impl_->uvm = std::make_unique<sim::UvmAccounting>(dev);
 }
 
 Context::~Context() = default;
@@ -125,18 +138,44 @@ createBuffer(Context &ctx, uint32_t flags, uint64_t bytes)
                "buffer size must be a positive multiple of 4");
     VCB_ASSERT(flags != 0, "buffer needs memory flags");
     ContextImpl *c = ctx.impl();
-    if (c->heapUsed + bytes > c->spec->deviceHeapBytes)
-        fatal("ocl: CL_MEM_OBJECT_ALLOCATION_FAILURE on %s (%llu B used, "
-              "%llu B requested)",
-              c->spec->name.c_str(), (unsigned long long)c->heapUsed,
-              (unsigned long long)bytes);
-    c->heapUsed += bytes;
+    // CL_MEM_OBJECT_ALLOCATION_FAILURE surfaces as an invalid Buffer so
+    // callers can skip the workload rather than abort the process —
+    // the same failure surface as vkm's ErrorOutOfDeviceMemory.  UVM
+    // devices page past the heap instead (up to uvmCapBytes()).
+    sim::UvmAccounting::Placement placement = c->uvm->alloc(bytes);
+    if (placement == sim::UvmAccounting::Placement::TooBig) {
+        warn("ocl: CL_MEM_OBJECT_ALLOCATION_FAILURE on %s (%llu B used, "
+             "%llu B requested)",
+             c->spec->name.c_str(),
+             (unsigned long long)c->uvm->heapUsed(),
+             (unsigned long long)bytes);
+        return Buffer();
+    }
     Buffer b;
     b.impl_ = std::make_shared<BufferImpl>();
     b.impl_->ctx = c;
     b.impl_->bytes = bytes;
+    b.impl_->paged = placement == sim::UvmAccounting::Placement::Paged;
     b.impl_->words.assign(bytes / 4, 0);
     return b;
+}
+
+uint64_t
+heapUsed(const Context &ctx)
+{
+    return ctx.impl()->uvm->heapUsed();
+}
+
+uint64_t
+uvmMigratedBytes(const Context &ctx)
+{
+    return ctx.impl()->uvm->migratedBytes();
+}
+
+double
+uvmFaultNs(const Context &ctx)
+{
+    return ctx.impl()->uvm->faultNs();
 }
 
 Program
@@ -249,16 +288,26 @@ enqueueNDRangeKernel(Context &ctx, Kernel k, uint32_t gx, uint32_t gy,
     dctx.groups[1] = gy / ls[1];
     dctx.groups[2] = gz / ls[2];
     dctx.buffers.resize(kernel.module.bindingBound());
+    // UVM first-touch migration: non-resident paged arguments page in
+    // ahead of the launch, charged as device time on the queue.
+    double migrate_ns = 0;
     for (const auto &decl : kernel.module.bindings) {
         auto it = ki->buffers.find(decl.binding);
         VCB_ASSERT(it != ki->buffers.end(),
                    "kernel '%s': argument (binding %u) was never set",
                    kernel.module.name.c_str(), decl.binding);
         BufferImpl *b = it->second.impl();
+        if (b->paged && !b->resident) {
+            double ns = sim::uvmMigrateNs(*c->spec, b->bytes);
+            migrate_ns += ns;
+            b->resident = true;
+            c->uvm->chargeMigration(b->bytes, ns);
+        }
         dctx.buffers[decl.binding] = {b->words.data(), b->words.size()};
     }
     dctx.push = ki->push.data();
     dctx.pushWords = static_cast<uint32_t>(ki->push.size());
+    dctx.dramDerate = c->uvm->bwDerate();
 
     // Host pays the enqueue overhead; the device work is appended to
     // the in-order queue (enqueue-ahead pipelining).
@@ -271,7 +320,7 @@ enqueueNDRangeKernel(Context &ctx, Kernel k, uint32_t gx, uint32_t gy,
     double start = std::max(c->timeline->queueReady(0),
                             c->timeline->hostNow());
     ev.impl->startNs = start;
-    ev.impl->endNs = c->timeline->enqueue(0, r.kernelNs);
+    ev.impl->endNs = c->timeline->enqueue(0, migrate_ns + r.kernelNs);
     return ev;
 }
 
@@ -289,6 +338,8 @@ enqueueWriteBuffer(Context &ctx, Buffer buf, bool blocking,
     std::memcpy(reinterpret_cast<uint8_t *>(buf.impl()->words.data()) +
                     offset,
                 src, bytes);
+    // Host access evicts paged allocations (first-touch model).
+    buf.impl()->resident = false;
 
     c->timeline->hostAdvance(prof.launchOverheadNs);
     Event ev;
@@ -319,6 +370,8 @@ enqueueReadBuffer(Context &ctx, Buffer buf, bool blocking, uint64_t offset,
                 reinterpret_cast<uint8_t *>(buf.impl()->words.data()) +
                     offset,
                 bytes);
+    // Host access evicts paged allocations (first-touch model).
+    buf.impl()->resident = false;
 
     c->timeline->hostAdvance(prof.launchOverheadNs);
     Event ev;

@@ -129,8 +129,22 @@ class Kernel
     std::shared_ptr<KernelImpl> impl_;
 };
 
-/** Allocate a device buffer; fatal on heap exhaustion (CL_OUT_OF...). */
+/**
+ * Allocate a device buffer.  Returns an invalid Buffer on heap
+ * exhaustion (CL_MEM_OBJECT_ALLOCATION_FAILURE) so callers can skip
+ * the workload; UVM devices page past the heap up to
+ * DeviceSpec::uvmCapBytes() instead.
+ */
 Buffer createBuffer(Context &ctx, uint32_t flags, uint64_t bytes);
+
+/** Bytes currently allocated against the context's device heap. */
+uint64_t heapUsed(const Context &ctx);
+
+/** Bytes migrated device-ward by UVM first-touch paging so far. */
+uint64_t uvmMigratedBytes(const Context &ctx);
+
+/** Migration + fault time charged to the device by UVM paging, ns. */
+double uvmFaultNs(const Context &ctx);
 
 /** Wrap kernel source (the IR module) into a program. */
 Program createProgramWithSource(Context &ctx, const spirv::Module &m);

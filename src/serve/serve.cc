@@ -127,14 +127,13 @@ executeRequest(const Request &req, unsigned session)
         return reject(req, session,
                       strprintf("unknown API '%s'", req.api.c_str()));
 
-    auto sizes = dev->mobile ? bench->mobileSizes()
-                             : bench->desktopSizes();
+    auto sizes = bench->sizesFor(*dev);
     if (sizes.empty())
         return reject(req, session,
                       strprintf("%s has no sizes for %s: %s",
                                 bench->name().c_str(),
                                 dev->name.c_str(),
-                                bench->mobileSkipReason().c_str()));
+                                bench->mobileSkipReason(*dev).c_str()));
     suite::SizeConfig cfg;
     if (!req.sizeLabel.empty()) {
         bool found = false;

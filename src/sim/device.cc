@@ -51,4 +51,15 @@ DeviceSpec::lanesPerNs() const
     return computeUnits * simdWidth * clockGhz;
 }
 
+uint64_t
+DeviceSpec::uvmCapBytes() const
+{
+    if (!uvmPagingEnabled())
+        return deviceHeapBytes;
+    double cap = static_cast<double>(deviceHeapBytes) *
+                 uvmOversubscription;
+    double pool = static_cast<double>(hostVisibleHeapBytes);
+    return static_cast<uint64_t>(cap < pool ? cap : pool);
+}
+
 } // namespace vcb::sim

@@ -147,6 +147,35 @@ struct DeviceSpec
     double hostCopyBwGBs = 12.0; ///< PCIe for desktop, DRAM for mobile
     bool unifiedMemory = false;
 
+    // ---- unified-memory paging (UVM) ------------------------------------
+    // Only meaningful when unifiedMemory is true (the parser rejects
+    // the keys otherwise).  With uvmOversubscription left at 1 the
+    // device heap stays a hard cap — the paper parts' behaviour; > 1
+    // lets allocations overflow into the shared pool up to
+    // heap x factor, paying first-touch migration and a bandwidth
+    // derate while oversubscribed (UVMBench/ALTIS-style modeling, see
+    // docs/DEVICE_MODEL.md).
+    /** Allocation cap as a multiple of deviceHeapBytes (1 = hard cap). */
+    double uvmOversubscription = 1.0;
+    /** Migration granularity (driver page size). */
+    uint32_t uvmPageBytes = 65536;
+    /** Transfer cost per migrated page on first device touch. */
+    double uvmMigrationNsPerPage = 0;
+    /** Fault-handling latency charged per migrated page. */
+    double uvmFaultLatencyNs = 0;
+    /** DRAM bandwidth multiplier while the working set oversubscribes
+     *  the device heap (1 = no derate; smaller = slower). */
+    double uvmOversubBwDerate = 1.0;
+
+    /** True when allocations may overflow the device heap (paging). */
+    bool uvmPagingEnabled() const
+    {
+        return unifiedMemory && uvmOversubscription > 1.0;
+    }
+    /** Total allocatable bytes: heap x oversubscription factor, never
+     *  beyond the host-visible pool. */
+    uint64_t uvmCapBytes() const;
+
     // ---- limits ------------------------------------------------------------
     uint32_t maxPushBytes = 256;
     uint32_t maxWorkgroupInvocations = 1024;

@@ -70,6 +70,25 @@ deviceFields(DeviceSpec &d)
     };
 }
 
+/** UVM paging fields: serialized (and hashed) only for unified-memory
+ *  parts; the parser rejects them on `unified_memory = false` specs. */
+std::vector<FieldRef>
+uvmFields(DeviceSpec &d)
+{
+    return {
+        {"uvm_oversubscription", FieldKind::Dbl, &d.uvmOversubscription,
+         1, 256},
+        {"uvm_page_bytes", FieldKind::U32, &d.uvmPageBytes, 256,
+         1u << 24},
+        {"uvm_migration_ns_per_page", FieldKind::Dbl,
+         &d.uvmMigrationNsPerPage, 0, 1e9},
+        {"uvm_fault_latency_ns", FieldKind::Dbl, &d.uvmFaultLatencyNs,
+         0, 1e9},
+        {"uvm_oversub_bw_derate", FieldKind::Dbl, &d.uvmOversubBwDerate,
+         0, 1, true},
+    };
+}
+
 std::vector<FieldRef>
 profileFields(DriverProfile &p)
 {
@@ -282,10 +301,15 @@ bool
 Parser::parse(const std::string &text)
 {
     auto dev_fields = deviceFields(spec);
+    auto uvm_fields = uvmFields(spec);
     // -1 = device preamble, else the api index of the open section.
     int section = -1;
     bool seen_section[apiCount] = {false, false, false};
     std::vector<std::string> seen_keys;
+    // First UVM key seen, validated against unified_memory at the end
+    // of the parse (the keys may precede the unified_memory line).
+    int uvm_line = 0;
+    std::string uvm_key;
 
     std::istringstream in(text);
     std::string raw;
@@ -345,6 +369,17 @@ Parser::parse(const std::string &text)
                         return false;
                     break;
                 }
+            for (const FieldRef &f : uvm_fields)
+                if (!matched && key == f.key) {
+                    matched = true;
+                    if (!setField(f, value, line))
+                        return false;
+                    if (uvm_line == 0) {
+                        uvm_line = line;
+                        uvm_key = key;
+                    }
+                    break;
+                }
             if (!matched)
                 return fail(line,
                             strprintf("unknown device key '%s' (driver "
@@ -376,6 +411,10 @@ Parser::parse(const std::string &text)
 
     if (spec.name.empty())
         return fail(0, "device spec is missing required key 'name'");
+    if (uvm_line != 0 && !spec.unifiedMemory)
+        return fail(uvm_line,
+                    strprintf("'%s' requires unified_memory = true",
+                              uvm_key.c_str()));
     return true;
 }
 
@@ -394,6 +433,8 @@ serializeDevice(const DeviceSpec &d)
            "vcb_report\n";
     out += "# --write-builtin-specs (built-in parts only).\n\n";
     emitFields(out, deviceFields(copy));
+    if (copy.unifiedMemory)
+        emitFields(out, uvmFields(copy));
 
     for (int a = 0; a < apiCount; ++a) {
         DriverProfile &p = copy.apis[a];
@@ -489,6 +530,10 @@ hashDevice(const DeviceSpec &d)
     // the deep copy serializeDevice makes.
     DeviceSpec &mut = const_cast<DeviceSpec &>(d);
     uint64_t h = hashFields(kFnvOffset, deviceFields(mut));
+    // Mirror serializeDevice: UVM fields contribute only on unified
+    // parts, so hard-cap and UVM specs can never alias.
+    if (mut.unifiedMemory)
+        h = hashFields(h, uvmFields(mut));
     for (int a = 0; a < apiCount; ++a) {
         DriverProfile &p = mut.apis[a];
         h = fnvBytes(h, kSectionNames[a], std::strlen(kSectionNames[a]));

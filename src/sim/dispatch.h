@@ -77,6 +77,15 @@ struct DispatchStats
     /** Barrier phases crossed (summed over workgroups). */
     uint64_t barriers = 0;
 
+    // UVM paging costs of this dispatch.  The engine never writes
+    // these (residency is runtime front-end state); the vkm/ocl/cuda
+    // front-ends fill them in when a dispatch first touches paged
+    // allocations (sim/uvm.h).
+    /** Bytes migrated device-ward before this dispatch ran. */
+    uint64_t migratedBytes = 0;
+    /** Migration + page-fault time charged ahead of the kernel. */
+    double faultNs = 0;
+
     /** Tier-equivalence tests demand bit-identical stats. */
     bool operator==(const DispatchStats &) const = default;
 };
@@ -92,6 +101,9 @@ struct DispatchContext
     uint32_t pushWords = 0;
     /** Clamp out-of-bounds accesses instead of trapping. */
     bool robustAccess = false;
+    /** DRAM bandwidth multiplier for this dispatch — < 1 while a UVM
+     *  device's working set oversubscribes its heap (sim/uvm.h). */
+    double dramDerate = 1.0;
 };
 
 /** Result of simulating one dispatch. */

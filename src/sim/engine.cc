@@ -224,8 +224,10 @@ ExecutionEngine::dispatch(const DispatchContext &ctx)
     const DriverProfile &prof = dev.profile(k.api);
     double derate = prof.kernelTimeFactor(k.module.name,
                                           k.module.sharedWords > 0);
-    result.kernelNs = dev.dispatchLatencyNs + prof.dispatchSetupNs +
-                      derate * TimingModel::kernelExecNs(dev, k, stats);
+    result.kernelNs =
+        dev.dispatchLatencyNs + prof.dispatchSetupNs +
+        derate * TimingModel::kernelExecNs(dev, k, stats,
+                                           ctx.dramDerate);
     return result;
 }
 

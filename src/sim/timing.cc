@@ -9,7 +9,8 @@ namespace vcb::sim {
 double
 TimingModel::kernelExecNs(const DeviceSpec &dev,
                           const CompiledKernel &kernel,
-                          const DispatchStats &stats)
+                          const DispatchStats &stats,
+                          double dram_derate)
 {
     const DriverProfile &prof = dev.profile(kernel.api);
 
@@ -23,7 +24,9 @@ TimingModel::kernelExecNs(const DeviceSpec &dev,
     double bw_ns = useful_bytes / (dev.peakBwGBs * prof.memEfficiency);
     double tx_ns = stats.dramTransactions /
                    (dev.txPerNs * prof.txEfficiency);
-    double dram_ns = std::max(bw_ns, tx_ns);
+    // Oversubscribed UVM working sets run the DRAM system slower —
+    // thrashing migrations steal bandwidth and transaction slots alike.
+    double dram_ns = std::max(bw_ns, tx_ns) / dram_derate;
 
     // On-chip bound: promoted accesses and explicit shared memory.
     double onchip_bytes =

@@ -25,10 +25,13 @@ namespace vcb::sim {
 struct TimingModel
 {
     /** Device-side execution time of one dispatch (excludes fixed
-     *  per-dispatch latency, which the engine adds). */
+     *  per-dispatch latency, which the engine adds).  `dram_derate`
+     *  < 1 scales down the effective DRAM throughput — the UVM
+     *  oversubscription penalty (sim/uvm.h). */
     static double kernelExecNs(const DeviceSpec &dev,
                                const CompiledKernel &kernel,
-                               const DispatchStats &stats);
+                               const DispatchStats &stats,
+                               double dram_derate = 1.0);
 
     /** Host<->device copy time for a byte count. */
     static double transferNs(const DeviceSpec &dev, uint64_t bytes);

@@ -1,0 +1,19 @@
+#include "sim/uvm.h"
+
+namespace vcb::sim {
+
+uint64_t
+uvmPagesFor(const DeviceSpec &dev, uint64_t bytes)
+{
+    uint64_t page = dev.uvmPageBytes;
+    return (bytes + page - 1) / page;
+}
+
+double
+uvmMigrateNs(const DeviceSpec &dev, uint64_t bytes)
+{
+    return static_cast<double>(uvmPagesFor(dev, bytes)) *
+           (dev.uvmMigrationNsPerPage + dev.uvmFaultLatencyNs);
+}
+
+} // namespace vcb::sim

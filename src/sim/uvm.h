@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Unified-memory paging model shared by the three runtime front-ends.
+ *
+ * On a device with `unifiedMemory = true` and `uvm_oversubscription`
+ * > 1, allocations may overflow the device-local heap into the shared
+ * pool up to `DeviceSpec::uvmCapBytes()` (UVMBench/ALTIS-style
+ * oversubscription; docs/DEVICE_MODEL.md has the field reference and
+ * calibration notes).  The model is deliberately simple and fully
+ * deterministic:
+ *
+ *  - **placement** is decided at allocation time: an allocation that
+ *    no longer fits the device heap is *paged*; one that exceeds the
+ *    cap fails exactly like a hard-cap device;
+ *  - **first-touch migration**: a paged allocation starts non-resident
+ *    and every host access (map, write/read buffer, memcpy) evicts it
+ *    again; the next device command touching it charges
+ *    `pages x (uvm_migration_ns_per_page + uvm_fault_latency_ns)`
+ *    ahead of the kernel and marks it resident;
+ *  - **bandwidth derate**: while total usage exceeds the device heap,
+ *    dispatches run their DRAM system at
+ *    `uvm_oversub_bw_derate x` speed (DispatchContext::dramDerate).
+ *
+ * UvmAccounting is the one bookkeeping object all three front-ends
+ * embed (and the property tests drive directly), so vkm/ocl/cuda can
+ * never disagree on placement, cap checks or migration costs.
+ */
+
+#ifndef VCB_SIM_UVM_H
+#define VCB_SIM_UVM_H
+
+#include <cstdint>
+
+#include "sim/device.h"
+
+namespace vcb::sim {
+
+/** Pages needed to migrate `bytes` (ceiling division). */
+uint64_t uvmPagesFor(const DeviceSpec &dev, uint64_t bytes);
+
+/** First-touch migration cost of a `bytes`-sized allocation:
+ *  pages x (migration + fault latency). */
+double uvmMigrateNs(const DeviceSpec &dev, uint64_t bytes);
+
+/** Device-heap pool accounting for one context/device session. */
+class UvmAccounting
+{
+  public:
+    explicit UvmAccounting(const DeviceSpec &dev) : dev_(&dev) {}
+
+    /** Where an allocation landed (or why it failed). */
+    enum class Placement
+    {
+        DeviceLocal, ///< fits the device heap
+        Paged,       ///< overflows the heap, lives in the shared pool
+        TooBig       ///< exceeds the cap — allocation must fail
+    };
+
+    /** Try to allocate; usage grows unless the result is TooBig. */
+    Placement alloc(uint64_t bytes)
+    {
+        if (used_ + bytes > capBytes())
+            return Placement::TooBig;
+        bool paged = used_ + bytes > dev_->deviceHeapBytes;
+        used_ += bytes;
+        return paged ? Placement::Paged : Placement::DeviceLocal;
+    }
+
+    /** Return an allocation's bytes to the pool. */
+    void free(uint64_t bytes) { used_ -= bytes; }
+
+    /** Bytes currently allocated against the pool. */
+    uint64_t heapUsed() const { return used_; }
+
+    /** Hard allocation limit: the device heap, or heap x
+     *  oversubscription factor when paging is enabled. */
+    uint64_t capBytes() const { return dev_->uvmCapBytes(); }
+
+    /** True while the working set exceeds the device heap. */
+    bool oversubscribed() const
+    {
+        return used_ > dev_->deviceHeapBytes;
+    }
+
+    /** DRAM derate for the next dispatch (1 when not oversubscribed). */
+    double bwDerate() const
+    {
+        return oversubscribed() ? dev_->uvmOversubBwDerate : 1.0;
+    }
+
+    /** Record a first-touch migration (run-level counters). */
+    void chargeMigration(uint64_t bytes, double ns)
+    {
+        migratedBytes_ += bytes;
+        faultNs_ += ns;
+    }
+
+    /** Total bytes migrated device-ward this session. */
+    uint64_t migratedBytes() const { return migratedBytes_; }
+    /** Total migration + fault time charged this session. */
+    double faultNs() const { return faultNs_; }
+
+  private:
+    const DeviceSpec *dev_;
+    uint64_t used_ = 0;
+    uint64_t migratedBytes_ = 0;
+    double faultNs_ = 0;
+};
+
+} // namespace vcb::sim
+
+#endif // VCB_SIM_UVM_H

@@ -167,7 +167,183 @@ sweepCuda(const sim::DeviceSpec &dev,
     return points;
 }
 
+// ---------------------------------------------------------------------------
+// Oversubscribed-bandwidth sweep
+// ---------------------------------------------------------------------------
+
+/** Thread count whose unit-stride working set (8 words per thread)
+ *  best fills `ws_bytes`, rounded down to whole 256-wide groups. */
+uint32_t
+oversubThreads(uint64_t ws_bytes)
+{
+    uint64_t threads = ws_bytes / 4 / 8;
+    threads -= threads % 256;
+    return static_cast<uint32_t>(std::max<uint64_t>(threads, 256));
+}
+
+OversubPoint
+oversubVulkan(const sim::DeviceSpec &dev, uint32_t threads,
+              const OversubConfig &cfg)
+{
+    OversubPoint p;
+    VkContext ctx = VkContext::create(dev);
+    VkKernel k;
+    std::string err =
+        createVkKernel(ctx, kernels::buildStridedRead(), &k);
+    VCB_ASSERT(err.empty(), "stridedRead rejected: %s", err.c_str());
+
+    uint64_t words = uint64_t(threads) * 8;
+    auto b_src = ctx.createDeviceBuffer(words * 4);
+    auto b_guard = ctx.createDeviceBuffer(4);
+    if (!b_src.valid() || !b_guard.valid())
+        return p; // exceeded even the paged cap: zero-bandwidth point
+    auto src = sourceData(words);
+    if (!ctx.upload(b_src, src.data(), words * 4))
+        return p;
+    auto set = makeDescriptorSet(ctx, k, {{0, b_src}, {1, b_guard}});
+
+    vkm::QueryPool pool;
+    vkm::check(vkm::createQueryPool(ctx.device, {2}, &pool),
+               "createQueryPool");
+    vkm::CommandBuffer cb;
+    vkm::check(vkm::allocateCommandBuffer(ctx.device, ctx.cmdPool, &cb),
+               "allocateCommandBuffer");
+    vkm::check(vkm::beginCommandBuffer(cb), "beginCommandBuffer");
+    vkm::cmdBindPipeline(cb, k.pipeline);
+    vkm::cmdBindDescriptorSet(cb, k.layout, 0, set);
+    vkm::cmdWriteTimestamp(cb, pool, 0);
+    for (uint32_t r = 0; r < cfg.repeats; ++r) {
+        uint32_t push[3] = {1, cfg.rounds, threads};
+        vkm::cmdPushConstants(cb, k.layout, 0, 12, push);
+        vkm::cmdDispatch(cb, threads / 256, 1, 1);
+        vkm::cmdPipelineBarrier(cb);
+    }
+    vkm::cmdWriteTimestamp(cb, pool, 1);
+    vkm::check(vkm::endCommandBuffer(cb), "endCommandBuffer");
+
+    vkm::Fence fence;
+    vkm::check(vkm::createFence(ctx.device, &fence), "createFence");
+    vkm::SubmitInfo si;
+    si.commandBuffers.push_back(cb);
+    vkm::check(vkm::queueSubmit(ctx.queue, {si}, fence), "queueSubmit");
+    vkm::check(vkm::waitForFences(ctx.device, {fence}), "waitForFences");
+
+    std::vector<double> ts;
+    vkm::check(vkm::getQueryPoolResults(ctx.device, pool, 0, 2, &ts),
+               "getQueryPoolResults");
+    double useful =
+        double(threads) * cfg.rounds * 4.0 * cfg.repeats;
+    p.gbPerSec = useful / (ts[1] - ts[0]);
+    p.migratedBytes = vkm::uvmMigratedBytes(ctx.device);
+    p.faultNs = vkm::uvmFaultNs(ctx.device);
+    return p;
+}
+
+OversubPoint
+oversubOpenCl(const sim::DeviceSpec &dev, uint32_t threads,
+              const OversubConfig &cfg)
+{
+    OversubPoint p;
+    ocl::Context ctx(dev);
+    auto prog =
+        ocl::createProgramWithSource(ctx, kernels::buildStridedRead());
+    std::string err;
+    bool built = ocl::buildProgram(prog, &err);
+    VCB_ASSERT(built, "stridedRead build failed: %s", err.c_str());
+    auto k = ocl::createKernel(prog, "stridedRead", &err);
+    VCB_ASSERT(k.valid(), "%s", err.c_str());
+
+    uint64_t words = uint64_t(threads) * 8;
+    auto b_src = ocl::createBuffer(ctx, ocl::MemReadOnly, words * 4);
+    auto b_guard = ocl::createBuffer(ctx, ocl::MemReadWrite, 4);
+    if (!b_src.valid() || !b_guard.valid())
+        return p;
+    auto src = sourceData(words);
+    ocl::enqueueWriteBuffer(ctx, b_src, true, 0, words * 4, src.data());
+
+    ocl::setKernelArgBuffer(k, 0, b_src);
+    ocl::setKernelArgBuffer(k, 1, b_guard);
+    ocl::setKernelArgScalar(k, 0, 1u);
+    ocl::setKernelArgScalar(k, 1, cfg.rounds);
+    ocl::setKernelArgScalar(k, 2, threads);
+    ocl::Event first, last;
+    for (uint32_t r = 0; r < cfg.repeats; ++r) {
+        ocl::Event ev = ocl::enqueueNDRangeKernel(ctx, k, threads);
+        if (r == 0)
+            first = ev;
+        last = ev;
+    }
+    ctx.finish();
+    double useful =
+        double(threads) * cfg.rounds * 4.0 * cfg.repeats;
+    p.gbPerSec = useful / (last.endNs() - first.startNs());
+    p.migratedBytes = ocl::uvmMigratedBytes(ctx);
+    p.faultNs = ocl::uvmFaultNs(ctx);
+    return p;
+}
+
+OversubPoint
+oversubCuda(const sim::DeviceSpec &dev, uint32_t threads,
+            const OversubConfig &cfg)
+{
+    OversubPoint p;
+    cuda::Runtime rt(dev);
+    auto f = rt.loadFunction(kernels::buildStridedRead());
+
+    uint64_t words = uint64_t(threads) * 8;
+    auto d_src = rt.malloc(words * 4);
+    auto d_guard = rt.malloc(4);
+    if (!d_src.valid() || !d_guard.valid())
+        return p;
+    auto src = sourceData(words);
+    rt.memcpyHtoD(d_src, src.data(), words * 4);
+
+    double e1 = rt.eventRecordNs();
+    for (uint32_t r = 0; r < cfg.repeats; ++r)
+        rt.launchKernel(f, threads / 256, 1, 1, {d_src, d_guard},
+                        {1u, cfg.rounds, threads});
+    double e2 = rt.eventRecordNs();
+    rt.streamSynchronize();
+    double useful =
+        double(threads) * cfg.rounds * 4.0 * cfg.repeats;
+    p.gbPerSec = useful / (e2 - e1);
+    p.migratedBytes = cuda::uvmMigratedBytes(rt);
+    p.faultNs = cuda::uvmFaultNs(rt);
+    return p;
+}
+
 } // namespace
+
+std::vector<OversubPoint>
+runOversubSweep(const sim::DeviceSpec &dev, sim::Api api,
+                const OversubConfig &cfg)
+{
+    VCB_ASSERT(!cfg.factors.empty(), "empty factor list");
+    std::vector<OversubPoint> points;
+    for (double factor : cfg.factors) {
+        uint64_t ws = static_cast<uint64_t>(
+            factor * double(dev.deviceHeapBytes));
+        // Fresh context per factor: heap accounting (and thus the
+        // paged-or-not placement decision) starts from zero.
+        uint32_t threads = oversubThreads(ws);
+        OversubPoint p;
+        switch (api) {
+          case sim::Api::Vulkan:
+            p = oversubVulkan(dev, threads, cfg);
+            break;
+          case sim::Api::OpenCl:
+            p = oversubOpenCl(dev, threads, cfg);
+            break;
+          case sim::Api::Cuda:
+            p = oversubCuda(dev, threads, cfg);
+            break;
+        }
+        p.factor = factor;
+        p.workingSetBytes = uint64_t(threads) * 8 * 4;
+        points.push_back(p);
+    }
+    return points;
+}
 
 std::vector<BandwidthPoint>
 runBandwidthSweep(const sim::DeviceSpec &dev, sim::Api api,

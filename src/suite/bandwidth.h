@@ -41,6 +41,41 @@ runBandwidthSweep(const sim::DeviceSpec &dev, sim::Api api,
                   const std::vector<uint32_t> &strides,
                   const BandwidthConfig &cfg = BandwidthConfig());
 
+/** One working-set point of the oversubscription sweep. */
+struct OversubPoint
+{
+    double factor = 0;            ///< working set / device-local heap
+    uint64_t workingSetBytes = 0; ///< actual buffer size (rounded to
+                                  ///< a whole thread grid)
+    double gbPerSec = 0;          ///< useful-byte bandwidth, including
+                                  ///< migration stalls
+    uint64_t migratedBytes = 0;   ///< UVM pages migrated on first touch
+    double faultNs = 0;           ///< total migration + fault time
+};
+
+struct OversubConfig
+{
+    /** Working-set sizes as multiples of deviceHeapBytes; factors
+     *  above 1.0 oversubscribe the heap on UVM parts. */
+    std::vector<double> factors = {0.5, 0.75, 1.0, 1.25, 1.5, 2.0};
+    uint32_t rounds = 8;  ///< unit-stride reads per thread per pass
+    uint32_t repeats = 1; ///< timed kernel repetitions per factor
+};
+
+/**
+ * The oversubscribed-bandwidth sweep: a unit-stride read over working
+ * sets from cfg.factors x deviceHeapBytes.  Each factor runs in a
+ * FRESH context (heap accounting starts from zero), so points are
+ * independent: factors <= 1.0 stay device-local, factors > 1.0 page
+ * through the UVM pool and pay first-touch migration plus the
+ * oversubscribed-bandwidth derate.  Only meaningful on devices with
+ * uvmPagingEnabled(); on hard-cap parts the > 1.0 factors fail
+ * allocation and report zero bandwidth.
+ */
+std::vector<OversubPoint>
+runOversubSweep(const sim::DeviceSpec &dev, sim::Api api,
+                const OversubConfig &cfg = OversubConfig());
+
 } // namespace vcb::suite
 
 #endif // VCB_SUITE_BANDWIDTH_H

@@ -10,8 +10,11 @@
  * does the speedup (Sec. V-A2).  The body is uniform and pure-device,
  * so cfd sweeps all three submission strategies.
  *
- * Mobile: skipped entirely — the paper reports the cfd datasets do
- * not fit on either mobile platform.
+ * Mobile: the paper reports the cfd datasets do not fit on either
+ * mobile platform, so hard-cap mobile parts skip it wholesale.  Parts
+ * modeling UVM oversubscription (uvm_oversubscription > 1) page the
+ * working set into the shared pool instead and run it, paying
+ * first-touch migration and the oversubscribed-bandwidth derate.
  */
 
 #include "suite/benchmark.h"
@@ -186,9 +189,18 @@ class CfdBenchmark : public Benchmark
         // Paper: fvcorr domains with 97K / 193K / 232K elements.
         return {{"97K", {24576}}, {"193K", {49152}}, {"232K", {61440}}};
     }
-    std::vector<SizeConfig> mobileSizes() const override { return {}; }
-    std::string mobileSkipReason() const override
+    std::vector<SizeConfig> mobileSizes() const override
     {
+        // Working sets sized to overflow the modeled mobile device
+        // heaps: UVM parts page them in (with first-touch migration
+        // and oversubscription derates); hard-cap parts skip.
+        return {{"97K", {24576}}, {"193K", {49152}}};
+    }
+    std::string
+    mobileSkipReason(const sim::DeviceSpec &dev) const override
+    {
+        if (dev.uvmPagingEnabled())
+            return "";
         return "dataset exceeds mobile device-local heap (paper: 'cfd "
                "could not fit on both platforms')";
     }

@@ -54,9 +54,27 @@ class Benchmark
     /** Sizes of the mobile evaluation (Fig. 4); empty when the
      *  benchmark cannot run on mobile at all. */
     virtual std::vector<SizeConfig> mobileSizes() const = 0;
-    /** Non-empty when mobile runs are skipped wholesale (cfd: the
-     *  paper-size datasets exceed the mobile device heaps). */
-    virtual std::string mobileSkipReason() const { return ""; }
+    /** Non-empty when mobile runs are skipped wholesale on `dev`
+     *  (cfd: the working set exceeds a hard-cap mobile heap; UVM
+     *  parts page instead and run). */
+    virtual std::string
+    mobileSkipReason(const sim::DeviceSpec &dev) const
+    {
+        (void)dev;
+        return "";
+    }
+
+    /** The size list this benchmark actually runs on `dev`: desktop
+     *  sizes on desktop parts, mobile sizes on mobile parts, empty
+     *  when mobileSkipReason(dev) applies — the one skip test every
+     *  caller (figures, report book, serve, CLI) goes through. */
+    std::vector<SizeConfig> sizesFor(const sim::DeviceSpec &dev) const
+    {
+        if (!dev.mobile)
+            return desktopSizes();
+        return mobileSkipReason(dev).empty() ? mobileSizes()
+                                             : std::vector<SizeConfig>{};
+    }
 
     /** Build the declarative host program for one size configuration:
      *  deterministically generated inputs, buffers, step list, loop

@@ -58,10 +58,14 @@ makeBuffer(VkContext &ctx, uint64_t bytes, uint32_t mem_flags)
     mai.allocationSize = reqs.size;
     mai.memoryTypeIndex = type;
     Result r = allocateMemory(ctx.device, mai, &mem);
-    if (r == Result::ErrorOutOfDeviceMemory)
-        fatal("vkm: out of device memory allocating %llu B on %s",
-              (unsigned long long)bytes,
-              physicalDeviceSpec(ctx.phys).name.c_str());
+    if (r == Result::ErrorOutOfDeviceMemory) {
+        // Surface heap exhaustion as an invalid buffer so the caller
+        // can skip the workload — same surface as ocl/cuda allocation.
+        warn("vkm: out of device memory allocating %llu B on %s",
+             (unsigned long long)bytes,
+             physicalDeviceSpec(ctx.phys).name.c_str());
+        return Buffer();
+    }
     check(r, "allocateMemory");
     check(bindBufferMemory(ctx.device, buf, mem, 0), "bindBufferMemory");
     return buf;
@@ -92,7 +96,7 @@ VkContext::map(vkm::Buffer buf)
     return static_cast<uint32_t *>(ptr);
 }
 
-void
+bool
 VkContext::upload(vkm::Buffer dst, const void *src, uint64_t bytes)
 {
     if (unified) {
@@ -102,11 +106,13 @@ VkContext::upload(vkm::Buffer dst, const void *src, uint64_t bytes)
               "mapMemory");
         std::memcpy(ptr, src, bytes);
         unmapMemory(device, bufferMemory(dst));
-        return;
+        return true;
     }
     // Discrete: staging buffer + copy on the transfer queue (the
     // paper's recommended use of transfer queues for large copies).
     Buffer staging = createHostBuffer(bytes);
+    if (!staging.valid())
+        return false;
     void *ptr = nullptr;
     check(mapMemory(device, bufferMemory(staging), 0, bytes, &ptr),
           "mapMemory");
@@ -130,9 +136,10 @@ VkContext::upload(vkm::Buffer dst, const void *src, uint64_t bytes)
     si.commandBuffers.push_back(cb);
     check(queueSubmit(transferQueue, {si}, fence), "queueSubmit");
     check(waitForFences(device, {fence}), "waitForFences");
+    return true;
 }
 
-void
+bool
 VkContext::download(vkm::Buffer src, void *dst, uint64_t bytes)
 {
     if (unified) {
@@ -141,9 +148,11 @@ VkContext::download(vkm::Buffer src, void *dst, uint64_t bytes)
               "mapMemory");
         std::memcpy(dst, ptr, bytes);
         unmapMemory(device, bufferMemory(src));
-        return;
+        return true;
     }
     Buffer staging = createHostBuffer(bytes);
+    if (!staging.valid())
+        return false;
 
     CommandBuffer cb;
     CommandPoolCreateInfo cpci;
@@ -168,6 +177,7 @@ VkContext::download(vkm::Buffer src, void *dst, uint64_t bytes)
           "mapMemory");
     std::memcpy(dst, ptr, bytes);
     unmapMemory(device, bufferMemory(staging));
+    return true;
 }
 
 double

@@ -42,16 +42,20 @@ struct VkContext
      *  internal errors — the device is known to support Vulkan). */
     static VkContext create(const sim::DeviceSpec &spec);
 
-    /** Device-local storage buffer (plus transfer usage). */
+    /** Device-local storage buffer (plus transfer usage).  Invalid on
+     *  heap exhaustion (ErrorOutOfDeviceMemory) so callers can skip
+     *  the workload — same failure surface as ocl/cuda allocation. */
     vkm::Buffer createDeviceBuffer(uint64_t bytes);
-    /** Host-visible storage buffer (stop flags, staging). */
+    /** Host-visible storage buffer (stop flags, staging); invalid on
+     *  host-visible heap exhaustion. */
     vkm::Buffer createHostBuffer(uint64_t bytes);
 
     /** Upload through a staging buffer + transfer queue (discrete) or
-     *  a direct map (unified). */
-    void upload(vkm::Buffer dst, const void *src, uint64_t bytes);
+     *  a direct map (unified).  False when the staging allocation runs
+     *  the host-visible heap out of memory. */
+    bool upload(vkm::Buffer dst, const void *src, uint64_t bytes);
     /** Download, mirroring upload. */
-    void download(vkm::Buffer src, void *dst, uint64_t bytes);
+    bool download(vkm::Buffer src, void *dst, uint64_t bytes);
 
     /** Persistently map a host-visible buffer. */
     uint32_t *map(vkm::Buffer buf);

@@ -364,30 +364,40 @@ struct VkRun
         return "";
     }
 
-    void createBuffers()
+    /** Create and initialise every buffer; non-empty = skip reason
+     *  (heap exhaustion surfaces here, not as a fatal). */
+    std::string createBuffers()
     {
         maps.assign(w.buffers.size(), nullptr);
         for (size_t i = 0; i < w.buffers.size(); ++i) {
             const WorkloadBuffer &bd = w.buffers[i];
             if (bd.hostVisible) {
                 buffers.push_back(ctx.createHostBuffer(bd.bytes));
-                maps[i] = ctx.map(buffers.back());
             } else {
                 buffers.push_back(ctx.createDeviceBuffer(bd.bytes));
             }
+            if (!buffers.back().valid())
+                return strprintf("out of device memory (buffer %zu, "
+                                 "%llu B)",
+                                 i, (unsigned long long)bd.bytes);
+            if (bd.hostVisible)
+                maps[i] = ctx.map(buffers.back());
             if (!bd.init.empty()) {
                 if (maps[i])
                     std::memcpy(maps[i], bd.init.data(),
                                 bd.init.size() * 4);
-                else
-                    ctx.upload(buffers[i], bd.init.data(),
-                               bd.init.size() * 4);
+                else if (!ctx.upload(buffers[i], bd.init.data(),
+                                     bd.init.size() * 4))
+                    return strprintf("out of host-visible memory "
+                                     "staging buffer %zu",
+                                     i);
             }
         }
         vkm::check(vkm::createFence(ctx.device, &fence), "createFence");
         vkm::check(vkm::allocateCommandBuffer(ctx.device, ctx.cmdPool,
                                               &streamCb),
                    "allocateCommandBuffer");
+        return "";
     }
 
     vkm::DescriptorSet setFor(const WorkloadStep &s)
@@ -860,7 +870,9 @@ runWorkloadVulkan(const Workload &w, const sim::DeviceSpec &dev,
     res.queuesUsed = nq;
 
     double t_total0 = run.ctx.now();
-    run.createBuffers();
+    res.skipReason = run.createBuffers();
+    if (!res.skipReason.empty())
+        return res;
 
     // Pre-create descriptor sets and pre-record what the strategy
     // allows, all outside the timed region (as the hand-written
@@ -905,6 +917,8 @@ runWorkloadVulkan(const Workload &w, const sim::DeviceSpec &dev,
         run.execStream(w.epilogue);
         run.flushStream();
         res.totalNs = run.ctx.now() - t_total0;
+        res.migratedBytes = vkm::uvmMigratedBytes(run.ctx.device);
+        res.faultNs = vkm::uvmFaultNs(run.ctx.device);
 
         finishRun(w, run.host, res);
         if (host_out)
@@ -943,6 +957,8 @@ runWorkloadVulkan(const Workload &w, const sim::DeviceSpec &dev,
     run.execStream(w.epilogue);
     run.flushStream();
     res.totalNs = run.ctx.now() - t_total0;
+    res.migratedBytes = vkm::uvmMigratedBytes(run.ctx.device);
+    res.faultNs = vkm::uvmFaultNs(run.ctx.device);
 
     finishRun(w, run.host, res);
     if (host_out)
@@ -980,9 +996,16 @@ runWorkloadOcl(const Workload &w, const sim::DeviceSpec &dev,
 
     double t_total0 = ctx.hostNowNs();
     std::vector<ocl::Buffer> buffers;
-    for (const WorkloadBuffer &bd : w.buffers) {
+    for (size_t i = 0; i < w.buffers.size(); ++i) {
+        const WorkloadBuffer &bd = w.buffers[i];
         buffers.push_back(
             ocl::createBuffer(ctx, ocl::MemReadWrite, bd.bytes));
+        if (!buffers.back().valid()) {
+            res.skipReason =
+                strprintf("out of device memory (buffer %zu, %llu B)",
+                          i, (unsigned long long)bd.bytes);
+            return res;
+        }
         if (!bd.init.empty())
             ocl::enqueueWriteBuffer(ctx, buffers.back(), true, 0,
                                     bd.init.size() * 4, bd.init.data());
@@ -1052,6 +1075,8 @@ runWorkloadOcl(const Workload &w, const sim::DeviceSpec &dev,
 
     exec(w.epilogue);
     res.totalNs = ctx.hostNowNs() - t_total0;
+    res.migratedBytes = ocl::uvmMigratedBytes(ctx);
+    res.faultNs = ocl::uvmFaultNs(ctx);
 
     finishRun(w, host, res);
     if (host_out)
@@ -1081,8 +1106,15 @@ runWorkloadCuda(const Workload &w, const sim::DeviceSpec &dev,
 
     double t_total0 = rt.hostNowNs();
     std::vector<cuda::DevPtr> buffers;
-    for (const WorkloadBuffer &bd : w.buffers) {
+    for (size_t i = 0; i < w.buffers.size(); ++i) {
+        const WorkloadBuffer &bd = w.buffers[i];
         buffers.push_back(rt.malloc(bd.bytes));
+        if (!buffers.back().valid()) {
+            res.skipReason =
+                strprintf("out of device memory (buffer %zu, %llu B)",
+                          i, (unsigned long long)bd.bytes);
+            return res;
+        }
         if (!bd.init.empty())
             rt.memcpyHtoD(buffers.back(), bd.init.data(),
                           bd.init.size() * 4);
@@ -1154,6 +1186,8 @@ runWorkloadCuda(const Workload &w, const sim::DeviceSpec &dev,
 
     exec(w.epilogue);
     res.totalNs = rt.hostNowNs() - t_total0;
+    res.migratedBytes = cuda::uvmMigratedBytes(rt);
+    res.faultNs = cuda::uvmFaultNs(rt);
 
     finishRun(w, host, res);
     if (host_out)

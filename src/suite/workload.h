@@ -76,6 +76,12 @@ struct RunResult
      *  signature of genuine multi-queue overlap. */
     double deviceBusyNs = 0;
 
+    /** UVM paging traffic inside the run: bytes migrated device-ward
+     *  by first-touch faults, and the migration + fault time charged
+     *  to the device clock.  Both 0 on non-paging devices. */
+    uint64_t migratedBytes = 0;
+    double faultNs = 0;
+
     /** Output matched the CPU reference. */
     bool validated = false;
     std::string validationError;

@@ -217,6 +217,24 @@ replaySubmits(QueueImpl *q, const std::vector<SubmitInfo> &submits,
                             d->timeline->hostNow());
     double device_ns = 0;
 
+    // UVM first-touch migration: a paged allocation that is not
+    // resident pays its page-in cost ahead of the device command that
+    // touches it.  Host access (mapMemory) clears residency again.
+    auto migrateIn = [&](DeviceMemoryImpl *m) {
+        if (!m || !m->paged || m->resident)
+            return;
+        double ns = sim::uvmMigrateNs(spec, m->size);
+        device_ns += ns;
+        m->resident = true;
+        d->uvmMigratedBytes += m->size;
+        d->uvmFaultNs += ns;
+    };
+    // While total usage exceeds the device heap, every dispatch runs
+    // its DRAM system derated (thrashing migrations steal bandwidth).
+    const bool oversubscribed =
+        spec.uvmPagingEnabled() && !d->heapUsed.empty() &&
+        d->heapUsed[0] > spec.deviceHeapBytes;
+
     // Bound state during replay — reset per command buffer below
     // (Vulkan command-buffer state never outlives the recording that
     // set it).  `bound_earlier` distinguishes a plain missing bind
@@ -308,11 +326,14 @@ replaySubmits(QueueImpl *q, const std::vector<SubmitInfo> &submits,
                                  kernel.module.name.c_str(), decl.binding);
                             return Result::ErrorValidation;
                         }
+                        migrateIn(buf.impl()->memory.impl());
                         ctx.buffers[decl.binding] = {
                             buf.impl()->data(), buf.impl()->words()};
                     }
                     ctx.push = push.data();
                     ctx.pushWords = static_cast<uint32_t>(push.size());
+                    if (oversubscribed)
+                        ctx.dramDerate = spec.uvmOversubBwDerate;
                     sim::DispatchResult r = d->engine->dispatch(ctx);
                     device_ns += r.kernelNs;
                     d->dispatchCount += 1;
@@ -322,6 +343,8 @@ replaySubmits(QueueImpl *q, const std::vector<SubmitInfo> &submits,
                     device_ns += prof.barrierNs;
                     break;
                   case Command::Kind::CopyBuffer: {
+                    migrateIn(c.src.impl()->memory.impl());
+                    migrateIn(c.dst.impl()->memory.impl());
                     std::memcpy(
                         reinterpret_cast<uint8_t *>(c.dst.impl()->data()) +
                             c.dstOffset,
@@ -333,6 +356,7 @@ replaySubmits(QueueImpl *q, const std::vector<SubmitInfo> &submits,
                     break;
                   }
                   case Command::Kind::FillBuffer: {
+                    migrateIn(c.dst.impl()->memory.impl());
                     uint32_t *p = c.dst.impl()->data() + c.dstOffset / 4;
                     std::fill(p, p + c.copySize / 4, c.fillValue);
                     device_ns += sim::TimingModel::deviceCopyNs(

@@ -14,6 +14,7 @@
 #include "sim/engine.h"
 #include "sim/kernel.h"
 #include "sim/timeline.h"
+#include "sim/uvm.h"
 #include "vkm/vkm.h"
 
 namespace vcb::vkm {
@@ -41,6 +42,9 @@ struct DeviceImpl
     /** Running counters for tests and tooling. */
     uint64_t submitCount = 0;
     uint64_t dispatchCount = 0;
+    /** UVM paging counters (devices with uvmPagingEnabled() only). */
+    uint64_t uvmMigratedBytes = 0;
+    double uvmFaultNs = 0;
 };
 
 struct QueueImpl
@@ -59,6 +63,11 @@ struct DeviceMemoryImpl
     bool hostVisible = false;
     bool mapped = false;
     bool freed = false;
+    /** UVM: allocation overflowed the device heap into the shared pool. */
+    bool paged = false;
+    /** UVM: pages are device-side; host access clears this and the next
+     *  device command pays the first-touch migration again. */
+    bool resident = false;
     std::vector<uint32_t> words;
 
     ~DeviceMemoryImpl();

@@ -262,7 +262,14 @@ allocateMemory(Device dev, const MemoryAllocateInfo &info,
                                info.memoryTypeIndex);
     const MemoryType &type = d->memProps.memoryTypes[info.memoryTypeIndex];
     const MemoryHeap &heap = d->memProps.memoryHeaps[type.heapIndex];
-    if (d->heapUsed[type.heapIndex] + info.allocationSize > heap.size)
+    const sim::DeviceSpec &spec = *d->spec;
+    // UVM devices page past the unified heap into the shared pool, up
+    // to uvmCapBytes(); everything else hits the hard heap limit.
+    uint64_t cap = heap.size;
+    bool unified_heap = spec.unifiedMemory && type.heapIndex == 0;
+    if (unified_heap && spec.uvmPagingEnabled())
+        cap = spec.uvmCapBytes();
+    if (d->heapUsed[type.heapIndex] + info.allocationSize > cap)
         return Result::ErrorOutOfDeviceMemory;
 
     auto impl = std::make_shared<DeviceMemoryImpl>();
@@ -271,6 +278,9 @@ allocateMemory(Device dev, const MemoryAllocateInfo &info,
     impl->heapIndex = type.heapIndex;
     impl->size = info.allocationSize;
     impl->hostVisible = (type.propertyFlags & MemoryHostVisible) != 0;
+    impl->paged = unified_heap &&
+                  d->heapUsed[type.heapIndex] + info.allocationSize >
+                      spec.deviceHeapBytes;
     impl->words.assign((info.allocationSize + 3) / 4, 0);
     d->heapUsed[type.heapIndex] += info.allocationSize;
     *out = DeviceMemory(impl);
@@ -313,6 +323,9 @@ mapMemory(Device dev, DeviceMemory mem, uint64_t offset, uint64_t size,
     if (offset % 4 != 0 || offset + size > m->size)
         return validationError("map range out of bounds");
     m->mapped = true;
+    // Host access evicts paged allocations: the next device command
+    // touching this memory pays the first-touch migration again.
+    m->resident = false;
     *out = reinterpret_cast<uint8_t *>(m->words.data()) + offset;
     return Result::Success;
 }
@@ -568,6 +581,20 @@ queueBusyNs(Queue queue)
     VCB_ASSERT(queue.valid(), "null queue");
     QueueImpl *q = queue.impl();
     return q->dev->timeline->busyNs(q->timelineIndex);
+}
+
+uint64_t
+uvmMigratedBytes(Device dev)
+{
+    VCB_ASSERT(dev.valid(), "null device");
+    return dev.impl()->uvmMigratedBytes;
+}
+
+double
+uvmFaultNs(Device dev)
+{
+    VCB_ASSERT(dev.valid(), "null device");
+    return dev.impl()->uvmFaultNs;
 }
 
 } // namespace vcb::vkm

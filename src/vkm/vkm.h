@@ -433,6 +433,13 @@ double deviceBusyNs(Device dev);
 /** Busy time of one queue's clock, in ns. */
 double queueBusyNs(Queue queue);
 
+/** Bytes migrated device-ward by UVM first-touch paging so far.
+ *  Always 0 on devices without uvmPagingEnabled(). */
+uint64_t uvmMigratedBytes(Device dev);
+
+/** Migration + fault time charged to the device by UVM paging, in ns. */
+double uvmFaultNs(Device dev);
+
 } // namespace vcb::vkm
 
 #endif // VCB_VKM_VKM_H

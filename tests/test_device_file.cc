@@ -13,6 +13,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/rng.h"
 #include "sim/device.h"
 #include "sim/device_file.h"
 
@@ -274,6 +275,105 @@ TEST(DeviceFile, RejectsMissingName)
 {
     expectParseError("mobile = true\n",
                      {"missing required key 'name'"});
+}
+
+// ---------------------------------------------------------------------------
+// UVM paging fields (unified-memory parts only)
+// ---------------------------------------------------------------------------
+
+TEST(DeviceFileUvm, RandomizedUvmSpecsRoundTripBitExactly)
+{
+    const uint64_t seed =
+        std::getenv("VCB_PROPERTY_SEED")
+            ? std::strtoull(std::getenv("VCB_PROPERTY_SEED"), nullptr,
+                            10)
+            : 42;
+    Rng rng(seed);
+    for (int trial = 0; trial < 64; ++trial) {
+        DeviceSpec d = adreno506(); // unified-memory builtin
+        d.name = "Fuzz UVM " + std::to_string(trial);
+        // Random values across each field's full accepted range.
+        d.uvmOversubscription = 1.0 + rng.nextFloat(0.0f, 255.0f);
+        d.uvmPageBytes =
+            256 + (uint32_t)rng.nextBelow((1u << 24) - 255);
+        d.uvmMigrationNsPerPage = rng.nextFloat(0.0f, 1e9f);
+        d.uvmFaultLatencyNs = rng.nextFloat(0.0f, 1e9f);
+        d.uvmOversubBwDerate = rng.nextFloat(0.001f, 1.0f);
+
+        std::string text = serializeDevice(d);
+        std::string err;
+        auto parsed = parseDevice(text, &err);
+        ASSERT_TRUE(parsed.has_value())
+            << "seed " << seed << " trial " << trial << ": " << err;
+        // Bit-exact field round trip, canonical-form fixpoint, and a
+        // matching fingerprint (the compile cache keys on it).
+        EXPECT_EQ(parsed->uvmOversubscription, d.uvmOversubscription)
+            << trial;
+        EXPECT_EQ(parsed->uvmPageBytes, d.uvmPageBytes) << trial;
+        EXPECT_EQ(parsed->uvmMigrationNsPerPage,
+                  d.uvmMigrationNsPerPage)
+            << trial;
+        EXPECT_EQ(parsed->uvmFaultLatencyNs, d.uvmFaultLatencyNs)
+            << trial;
+        EXPECT_EQ(parsed->uvmOversubBwDerate, d.uvmOversubBwDerate)
+            << trial;
+        EXPECT_EQ(serializeDevice(*parsed), text) << trial;
+        EXPECT_EQ(hashDevice(*parsed), hashDevice(d)) << trial;
+    }
+}
+
+TEST(DeviceFileUvm, RejectsUvmKeysWithoutUnifiedMemory)
+{
+    // Default (unified_memory absent = false): positional, at the
+    // offending key's line.
+    expectParseError(
+        "name = X\nuvm_page_bytes = 65536\n",
+        {"line 2", "'uvm_page_bytes' requires unified_memory = true"});
+    // Explicit false AFTER the UVM key: the check runs at end of
+    // parse, but the error still points at the key's own line.
+    expectParseError("name = X\nuvm_oversubscription = 4\n"
+                     "unified_memory = false\n",
+                     {"line 2", "'uvm_oversubscription' requires "
+                                "unified_memory = true"});
+    // On a unified part the same text parses.
+    auto ok = parseDevice("name = X\nuvm_oversubscription = 4\n"
+                          "unified_memory = true\n");
+    ASSERT_TRUE(ok.has_value());
+    EXPECT_EQ(ok->uvmOversubscription, 4.0);
+    EXPECT_TRUE(ok->uvmPagingEnabled());
+}
+
+TEST(DeviceFileUvm, RejectsOutOfRangeUvmValues)
+{
+    expectParseError("name = X\nunified_memory = true\n"
+                     "uvm_oversubscription = 0.5\n",
+                     {"line 3", "'uvm_oversubscription' out of range"});
+    expectParseError("name = X\nunified_memory = true\n"
+                     "uvm_oversubscription = 300\n",
+                     {"line 3", "'uvm_oversubscription' out of range"});
+    expectParseError("name = X\nunified_memory = true\n"
+                     "uvm_page_bytes = 64\n",
+                     {"line 3", "'uvm_page_bytes' out of range"});
+    // The derate's minimum is strict: 0 would stall the DRAM model.
+    expectParseError("name = X\nunified_memory = true\n"
+                     "uvm_oversub_bw_derate = 0\n",
+                     {"line 3",
+                      "'uvm_oversub_bw_derate' out of range"});
+}
+
+TEST(DeviceFileUvm, SerializerEmitsUvmFieldsOnlyOnUnifiedParts)
+{
+    // Hard-cap desktop: no uvm_ lines at all (the fields are inert).
+    EXPECT_EQ(serializeDevice(gtx1050ti()).find("uvm_"),
+              std::string::npos);
+    // Unified part: all five fields, even at defaults (canonical
+    // form), so the committed adreno506/powervr specs carry them.
+    std::string text = serializeDevice(adreno506());
+    for (const char *key :
+         {"uvm_oversubscription", "uvm_page_bytes",
+          "uvm_migration_ns_per_page", "uvm_fault_latency_ns",
+          "uvm_oversub_bw_derate"})
+        EXPECT_NE(text.find(key), std::string::npos) << key;
 }
 
 } // namespace

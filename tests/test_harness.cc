@@ -197,12 +197,29 @@ TEST(ReportBook, BandwidthSectionIsDeterministic)
 
 TEST(ReportBook, SpeedupSectionAnnotatesWholesaleMobileSkips)
 {
-    // Render-only path: an empty figure list still carries the
-    // wholesale-skip annotations derived from the registry (cfd).
-    std::string section = renderSpeedupSection({}, true, 16);
-    EXPECT_NE(section.find("skipped wholesale on mobile: cfd"),
-              std::string::npos);
+    // Wholesale skips are per-device now (a UVM part pages and runs
+    // what a hard-cap part cannot): planning a hard-cap mobile figure
+    // records cfd's skip, and the renderer prints it with the device
+    // name and the paper's reason.
+    std::vector<FigureCell> cells;
+    FigureData fig =
+        planSpeedupFigure(sim::adreno506(), true, 1, cells);
+    ASSERT_EQ(fig.wholesaleSkips.size(), 1u);
+    EXPECT_EQ(fig.wholesaleSkips[0].first, "cfd");
+    std::string section = renderSpeedupSection({fig}, true, 16);
+    EXPECT_NE(
+        section.find("skipped wholesale on Qualcomm Adreno 506: cfd"),
+        std::string::npos);
     EXPECT_NE(section.find("paper anchors"), std::string::npos);
+
+    // A UVM part records no wholesale skip: cfd pages instead.
+    sim::DeviceSpec uvm = sim::adreno506();
+    uvm.name = "UVM Adreno";
+    uvm.uvmOversubscription = 64.0;
+    std::vector<FigureCell> uvm_cells;
+    FigureData uvm_fig = planSpeedupFigure(uvm, true, 1, uvm_cells);
+    EXPECT_TRUE(uvm_fig.wholesaleSkips.empty());
+    EXPECT_GT(uvm_cells.size(), cells.size());
 }
 
 } // namespace

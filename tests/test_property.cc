@@ -20,6 +20,7 @@
 #include "serve/serve.h"
 #include "sim/engine.h"
 #include "sim/kernel.h"
+#include "sim/uvm.h"
 #include "spirv/builder.h"
 
 namespace vcb::sim {
@@ -500,6 +501,99 @@ TEST(ThreadPoolProperty, ConcurrentSubmittersCoverExactlyOnce)
         t.join();
     EXPECT_EQ(failures.load(), 0);
 }
+
+// ---------------------------------------------------------------------------
+// UVM property: a seeded random alloc/free trace against UvmAccounting
+// (the one bookkeeping object all three front-ends embed) keeps
+// heapUsed exactly equal to a shadow sum of live allocations — no
+// drift — and every placement / derate answer follows the model's
+// definition at the moment of the call.
+// ---------------------------------------------------------------------------
+
+class UvmAccountingTrace : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(UvmAccountingTrace, HeapUsedNeverDriftsFromShadowSum)
+{
+    const uint64_t seed =
+        std::getenv("VCB_PROPERTY_SEED")
+            ? std::strtoull(std::getenv("VCB_PROPERTY_SEED"), nullptr,
+                            10)
+            : 42;
+    Rng rng(seed * 1000 + static_cast<uint64_t>(GetParam()));
+
+    DeviceSpec dev = adreno506();
+    dev.deviceHeapBytes = 1 << 20;
+    // Mix of hard-cap and paging parts across trials.
+    dev.uvmOversubscription = GetParam() % 2 ? 4.0 : 1.0;
+    dev.uvmPageBytes = 64 * 1024;
+    dev.uvmOversubBwDerate = 0.5;
+    ASSERT_EQ(dev.uvmPagingEnabled(), GetParam() % 2 == 1);
+
+    UvmAccounting uvm(dev);
+    std::vector<uint64_t> live; // shadow allocation list
+    uint64_t shadow = 0;
+    uint64_t placed_paged = 0, refused = 0;
+
+    for (int step = 0; step < 2000; ++step) {
+        bool do_alloc = live.empty() || rng.nextBelow(3) != 0;
+        if (do_alloc) {
+            // Sizes from 4 B to ~2x the cap, so every Placement arm
+            // is exercised (DeviceLocal, Paged, TooBig).
+            uint64_t bytes =
+                4 + rng.nextBelow(2 * dev.uvmCapBytes());
+            auto placement = uvm.alloc(bytes);
+            if (placement == UvmAccounting::Placement::TooBig) {
+                // Refused: usage must be untouched.
+                ++refused;
+                ASSERT_GT(shadow + bytes, dev.uvmCapBytes()) << step;
+            } else {
+                // Placement matches the model's predicate against the
+                // usage BEFORE this allocation.
+                bool paged = shadow + bytes > dev.deviceHeapBytes;
+                ASSERT_EQ(placement == UvmAccounting::Placement::Paged,
+                          paged)
+                    << "seed " << seed << " step " << step;
+                if (paged)
+                    ++placed_paged;
+                ASSERT_LE(shadow + bytes, dev.uvmCapBytes()) << step;
+                shadow += bytes;
+                live.push_back(bytes);
+            }
+        } else {
+            size_t i = rng.nextBelow(live.size());
+            uvm.free(live[i]);
+            shadow -= live[i];
+            live[i] = live.back();
+            live.pop_back();
+        }
+        // The invariant proper: exact equality, every step.
+        ASSERT_EQ(uvm.heapUsed(), shadow)
+            << "seed " << seed << " step " << step;
+        ASSERT_EQ(uvm.oversubscribed(), shadow > dev.deviceHeapBytes)
+            << step;
+        ASSERT_EQ(uvm.bwDerate(), uvm.oversubscribed()
+                                      ? dev.uvmOversubBwDerate
+                                      : 1.0)
+            << step;
+    }
+    // Hard-cap trials can never page; paging trials must have (the
+    // size distribution guarantees both arms are hit).
+    if (!dev.uvmPagingEnabled()) {
+        EXPECT_EQ(placed_paged, 0u);
+        EXPECT_GT(refused, 0u);
+    } else {
+        EXPECT_GT(placed_paged, 0u);
+    }
+    // Draining every live allocation returns usage to exactly zero.
+    for (uint64_t bytes : live)
+        uvm.free(bytes);
+    EXPECT_EQ(uvm.heapUsed(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UvmAccountingTrace,
+                         ::testing::Range(0, 8));
 
 // ---------------------------------------------------------------------------
 // Serve property: a seeded random request mix answered by a concurrent

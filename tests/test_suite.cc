@@ -38,16 +38,26 @@ TEST(SuiteRegistry, TableOneContents)
 
 TEST(SuiteRegistry, MobileCoverageMatchesPaper)
 {
-    // cfd is absent from the mobile evaluation; everyone else —
-    // including the suite-expansion families, which follow the same
-    // convention — has two mobile sizes (Fig. 4).
+    // Every benchmark now declares two mobile sizes (Fig. 4); whether
+    // cfd's actually RUN depends on the device: the paper's hard-cap
+    // parts skip it wholesale, UVM parts page it in instead.
+    sim::DeviceSpec hard_cap;
+    hard_cap.mobile = true;
+    hard_cap.unifiedMemory = true;
+    sim::DeviceSpec uvm = hard_cap;
+    uvm.uvmOversubscription = 64.0;
     for (const auto *b : registry()) {
+        EXPECT_EQ(b->mobileSizes().size(), 2u) << b->name();
+        // UVM parts run everything.
+        EXPECT_TRUE(b->mobileSkipReason(uvm).empty()) << b->name();
+        EXPECT_EQ(b->sizesFor(uvm).size(), 2u) << b->name();
         if (b->name() == "cfd") {
-            EXPECT_TRUE(b->mobileSizes().empty());
-            EXPECT_NE(b->mobileSkipReason().find("heap"),
+            // The paper's skip survives on hard-cap parts.
+            EXPECT_TRUE(b->sizesFor(hard_cap).empty());
+            EXPECT_NE(b->mobileSkipReason(hard_cap).find("heap"),
                       std::string::npos);
         } else {
-            EXPECT_EQ(b->mobileSizes().size(), 2u) << b->name();
+            EXPECT_EQ(b->sizesFor(hard_cap).size(), 2u) << b->name();
         }
     }
 }

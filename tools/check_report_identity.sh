@@ -49,5 +49,6 @@ check "## Figure 3" fig3 "$build/fig3_bandwidth_mobile" --dry-run --devices "$de
 check "## Figure 4" fig4 "$build/fig4_speedup_mobile" --dry-run --devices "$devs"
 check "## Table I " tab1 "$build/tab1_benchmarks"
 check "## Tables II" tab23 "$build/tab23_platforms" --devices "$devs"
+check "## Oversubscribed" oversub "$build/fig_oversub_bandwidth" --dry-run --devices "$devs"
 
 exit "$fail"

@@ -61,8 +61,7 @@ listEverything()
         for (const auto &s : b->mobileSizes())
             mob += s.label + " ";
         if (mob.empty())
-            mob = "(skipped: " + b->mobileSkipReason().substr(0, 32) +
-                  "...)";
+            mob = "(none)";
         benches.addRow({b->name(), b->fullName(), desk, mob});
     }
     std::printf("%s\n", benches.render().c_str());
@@ -151,11 +150,10 @@ main(int argc, char **argv)
         for (const std::string &p : split(params_str, ','))
             cfg.params.push_back(parseSize(p));
     } else {
-        auto sizes = dev.mobile ? bench.mobileSizes()
-                                : bench.desktopSizes();
+        auto sizes = bench.sizesFor(dev);
         if (sizes.empty())
             fatal("%s has no sizes for %s: %s", bench_name.c_str(),
-                  dev.name.c_str(), bench.mobileSkipReason().c_str());
+                  dev.name.c_str(), bench.mobileSkipReason(dev).c_str());
         if (size_idx >= sizes.size())
             fatal("--size %zu out of range (%zu sizes)", size_idx,
                   sizes.size());
